@@ -1,0 +1,285 @@
+//! The adaptive controller and the static-vs-adaptive comparison harness.
+
+use crate::detector::ThreatLevel;
+
+/// Which replication protocol a deployment runs (§II-D "switching to a
+/// backup protocol that is more adequate to the current conditions").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ProtocolChoice {
+    /// Primary-backup: cheapest, crash faults only.
+    Passive,
+    /// MinBFT: Byzantine tolerance at 2f+1 (needs hybrids).
+    MinBft,
+    /// PBFT: Byzantine tolerance at 3f+1, no hybrid assumption.
+    Pbft,
+}
+
+impl ProtocolChoice {
+    /// Replicas needed to tolerate `f` faults under this protocol.
+    pub fn replicas_for(self, f: u32) -> u32 {
+        match self {
+            ProtocolChoice::Passive => 2,
+            ProtocolChoice::MinBft => 2 * f + 1,
+            ProtocolChoice::Pbft => 3 * f + 1,
+        }
+    }
+
+    /// Whether the protocol masks Byzantine (not just crash) faults.
+    pub fn tolerates_byzantine(self) -> bool {
+        !matches!(self, ProtocolChoice::Passive)
+    }
+}
+
+/// A deployed configuration: protocol plus fault threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Deployment {
+    /// Protocol in use.
+    pub protocol: ProtocolChoice,
+    /// Fault threshold the deployment is sized for.
+    pub f: u32,
+}
+
+impl Deployment {
+    /// Tiles/replicas this deployment occupies.
+    pub fn replicas(&self) -> u32 {
+        self.protocol.replicas_for(self.f)
+    }
+
+    /// Whether the deployment masks an attacker able to compromise
+    /// `byz_faults` replicas (Byzantine).
+    pub fn masks(&self, byz_faults: u32) -> bool {
+        if byz_faults == 0 {
+            return true;
+        }
+        self.protocol.tolerates_byzantine() && self.f >= byz_faults
+    }
+}
+
+/// The controller's policy: a threat-level → deployment table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveController {
+    /// Deployment per [`ThreatLevel`] (index = level order).
+    pub table: [Deployment; 4],
+    /// Cycles of degraded service while switching deployments.
+    pub switch_cost: u64,
+}
+
+impl Default for AdaptiveController {
+    fn default() -> Self {
+        AdaptiveController {
+            table: [
+                Deployment { protocol: ProtocolChoice::Passive, f: 1 },
+                Deployment { protocol: ProtocolChoice::MinBft, f: 1 },
+                Deployment { protocol: ProtocolChoice::MinBft, f: 2 },
+                Deployment { protocol: ProtocolChoice::Pbft, f: 3 },
+            ],
+            switch_cost: 500,
+        }
+    }
+}
+
+impl AdaptiveController {
+    /// Deployment for a threat level.
+    pub fn deployment_for(&self, level: ThreatLevel) -> Deployment {
+        let idx = ThreatLevel::ALL.iter().position(|l| *l == level).expect("level in ALL");
+        self.table[idx]
+    }
+}
+
+/// Comparison policies for [`simulate_adaptation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdaptPolicy {
+    /// Keep one deployment forever.
+    Static(Deployment),
+    /// Follow the controller's table as the detected level changes.
+    Adaptive(AdaptiveController),
+}
+
+/// Outcome of replaying a threat trace under a policy (experiment E7).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptReport {
+    /// Total trace duration.
+    pub duration: u64,
+    /// Time during which the deployment could NOT mask the actual threat.
+    pub underprotected_time: u64,
+    /// Integral of replicas over time (resource cost, replica-cycles).
+    pub replica_cycles: u64,
+    /// Deployment switches performed.
+    pub switches: u32,
+    /// Time spent in degraded switching state.
+    pub switching_time: u64,
+}
+
+impl AdaptReport {
+    /// Fraction of time under-protected.
+    pub fn underprotected_fraction(&self) -> f64 {
+        if self.duration == 0 {
+            return 0.0;
+        }
+        self.underprotected_time as f64 / self.duration as f64
+    }
+
+    /// Mean replicas deployed.
+    pub fn mean_replicas(&self) -> f64 {
+        if self.duration == 0 {
+            return 0.0;
+        }
+        self.replica_cycles as f64 / self.duration as f64
+    }
+}
+
+/// A threat trace segment: for `duration` cycles, an attacker capable of
+/// Byzantine-compromising `byz_faults` replicas is active, and the detector
+/// reports `detected` (the detector may lag or misjudge; E7 feeds it
+/// realistic lag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSegment {
+    /// Segment length in cycles.
+    pub duration: u64,
+    /// Ground-truth attacker strength (simultaneously compromisable
+    /// replicas; 0 = no attacker).
+    pub byz_faults: u32,
+    /// Threat level the detector reports during this segment.
+    pub detected: ThreatLevel,
+}
+
+/// Replays `trace` under `policy`.
+pub fn simulate_adaptation(trace: &[TraceSegment], policy: AdaptPolicy) -> AdaptReport {
+    let mut report = AdaptReport {
+        duration: 0,
+        underprotected_time: 0,
+        replica_cycles: 0,
+        switches: 0,
+        switching_time: 0,
+    };
+    let mut current: Deployment = match policy {
+        AdaptPolicy::Static(d) => d,
+        AdaptPolicy::Adaptive(c) => c.deployment_for(ThreatLevel::Low),
+    };
+    for seg in trace {
+        // Adaptive: react to the detected level at segment start.
+        if let AdaptPolicy::Adaptive(controller) = policy {
+            let want = controller.deployment_for(seg.detected);
+            if want != current {
+                report.switches += 1;
+                let degraded = controller.switch_cost.min(seg.duration);
+                report.switching_time += degraded;
+                // During the switch the *larger* footprint is reserved but
+                // protection is the weaker of the two configurations.
+                let weaker_masks = |b: u32| current.masks(b) && want.masks(b);
+                if !weaker_masks(seg.byz_faults) {
+                    report.underprotected_time += degraded;
+                }
+                report.replica_cycles +=
+                    degraded * current.replicas().max(want.replicas()) as u64;
+                current = want;
+                // Remainder of the segment runs the new deployment.
+                let rest = seg.duration - degraded;
+                report.duration += seg.duration;
+                report.replica_cycles += rest * current.replicas() as u64;
+                if !current.masks(seg.byz_faults) {
+                    report.underprotected_time += rest;
+                }
+                continue;
+            }
+        }
+        report.duration += seg.duration;
+        report.replica_cycles += seg.duration * current.replicas() as u64;
+        if !current.masks(seg.byz_faults) {
+            report.underprotected_time += seg.duration;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> Vec<TraceSegment> {
+        vec![
+            // Long quiet period.
+            TraceSegment { duration: 80_000, byz_faults: 0, detected: ThreatLevel::Low },
+            // Attacker ramps up: can compromise one replica.
+            TraceSegment { duration: 8_000, byz_faults: 1, detected: ThreatLevel::High },
+            // Full campaign: two replicas.
+            TraceSegment { duration: 8_000, byz_faults: 2, detected: ThreatLevel::High },
+            // Attack subsides.
+            TraceSegment { duration: 80_000, byz_faults: 0, detected: ThreatLevel::Low },
+        ]
+    }
+
+    #[test]
+    fn replica_requirements() {
+        assert_eq!(ProtocolChoice::Passive.replicas_for(3), 2);
+        assert_eq!(ProtocolChoice::MinBft.replicas_for(2), 5);
+        assert_eq!(ProtocolChoice::Pbft.replicas_for(2), 7);
+    }
+
+    #[test]
+    fn masking_logic() {
+        let passive = Deployment { protocol: ProtocolChoice::Passive, f: 1 };
+        assert!(passive.masks(0));
+        assert!(!passive.masks(1), "passive cannot mask Byzantine faults");
+        let minbft2 = Deployment { protocol: ProtocolChoice::MinBft, f: 2 };
+        assert!(minbft2.masks(2));
+        assert!(!minbft2.masks(3));
+    }
+
+    #[test]
+    fn static_small_is_cheap_but_underprotected() {
+        let small = Deployment { protocol: ProtocolChoice::MinBft, f: 1 };
+        let r = simulate_adaptation(&trace(), AdaptPolicy::Static(small));
+        assert_eq!(r.underprotected_time, 8_000, "the f=2 phase defeats f=1");
+        assert_eq!(r.mean_replicas(), 3.0);
+        assert_eq!(r.switches, 0);
+    }
+
+    #[test]
+    fn static_large_is_protected_but_expensive() {
+        let big = Deployment { protocol: ProtocolChoice::Pbft, f: 2 };
+        let r = simulate_adaptation(&trace(), AdaptPolicy::Static(big));
+        assert_eq!(r.underprotected_time, 0);
+        assert_eq!(r.mean_replicas(), 7.0, "7 replicas burn all the time");
+    }
+
+    #[test]
+    fn adaptive_gets_both() {
+        let r = simulate_adaptation(
+            &trace(),
+            AdaptPolicy::Adaptive(AdaptiveController::default()),
+        );
+        // Under-protection only during switch windows (≤ 2 switches here).
+        assert!(r.underprotected_time <= 2 * AdaptiveController::default().switch_cost);
+        // Mean cost close to the quiet deployment's 2 replicas.
+        assert!(
+            r.mean_replicas() < 3.0,
+            "adaptation amortizes to cheap: {}",
+            r.mean_replicas()
+        );
+        assert!(r.switches >= 2);
+    }
+
+    #[test]
+    fn adaptive_with_lagging_detector_pays_in_protection() {
+        // Detector stuck at Low while the attacker is active.
+        let blind = vec![TraceSegment {
+            duration: 10_000,
+            byz_faults: 1,
+            detected: ThreatLevel::Low,
+        }];
+        let r = simulate_adaptation(
+            &blind,
+            AdaptPolicy::Adaptive(AdaptiveController::default()),
+        );
+        assert_eq!(r.underprotected_time, 10_000, "no detection, no protection");
+    }
+
+    #[test]
+    fn empty_trace_is_zeroes() {
+        let r = simulate_adaptation(&[], AdaptPolicy::Adaptive(AdaptiveController::default()));
+        assert_eq!(r.duration, 0);
+        assert_eq!(r.underprotected_fraction(), 0.0);
+        assert_eq!(r.mean_replicas(), 0.0);
+    }
+}

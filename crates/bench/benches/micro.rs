@@ -1,0 +1,141 @@
+//! Criterion micro-benchmarks for the substrate hot paths: crypto, hybrid
+//! certificate handling, ECC codec, NoC routing, and single-op protocol
+//! commits.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rsoc_bft::minbft::MinBftCluster;
+use rsoc_bft::pbft::PbftCluster;
+use rsoc_bft::runner::{run, RunConfig};
+use rsoc_crypto::{hmac_sha256, sha256, MacKey};
+use rsoc_fpga::{Bitstream, FpgaFabric, Icap, Principal, ReconfigEngine, Region};
+use rsoc_hw::ecc::Hamming;
+use rsoc_hw::{EccRegister, PlainRegister, RegisterCell};
+use rsoc_hybrid::{KeyRing, Usig, UsigId};
+use rsoc_noc::network::{Network, NetworkConfig};
+use rsoc_noc::{Mesh2d, Routing};
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto");
+    let data_1k = vec![0xA5u8; 1024];
+    g.throughput(Throughput::Bytes(1024));
+    g.bench_function("sha256/1KiB", |b| b.iter(|| sha256(black_box(&data_1k))));
+    let key = MacKey::derive(1, "bench");
+    g.bench_function("hmac_sha256/1KiB", |b| {
+        b.iter(|| hmac_sha256(black_box(key.as_bytes()), black_box(&data_1k)))
+    });
+    g.finish();
+}
+
+fn bench_usig(c: &mut Criterion) {
+    let mut g = c.benchmark_group("usig");
+    let ring = KeyRing::provision(2, 2);
+    let mut plain = Usig::new(UsigId(0), ring.clone(), Box::new(PlainRegister::new(64)));
+    let mut ecc = Usig::new(UsigId(1), ring.clone(), Box::new(EccRegister::new(64)));
+    g.bench_function("create_ui/plain", |b| {
+        b.iter(|| plain.create_ui(black_box(b"prepare view=0 seq=1")).unwrap())
+    });
+    g.bench_function("create_ui/secded", |b| {
+        b.iter(|| ecc.create_ui(black_box(b"prepare view=0 seq=1")).unwrap())
+    });
+    let verifier = Usig::new(UsigId(0), ring, Box::new(PlainRegister::new(64)));
+    let mut signer = Usig::new(
+        UsigId(1),
+        KeyRing::provision(2, 2),
+        Box::new(PlainRegister::new(64)),
+    );
+    let ui = signer.create_ui(b"msg").unwrap();
+    g.bench_function("verify_ui", |b| {
+        b.iter(|| verifier.verify_ui(UsigId(1), black_box(&ui), black_box(b"msg")))
+    });
+    g.finish();
+}
+
+fn bench_ecc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hamming64");
+    let code = Hamming::new(64);
+    g.bench_function("encode", |b| b.iter(|| code.encode(black_box(0xDEAD_BEEF_CAFE_F00D))));
+    let cw = code.encode(0xDEAD_BEEF_CAFE_F00D);
+    g.bench_function("decode_clean", |b| b.iter(|| code.decode(black_box(cw))));
+    let corrupted = cw ^ (1 << 17);
+    g.bench_function("decode_correct1", |b| b.iter(|| code.decode(black_box(corrupted))));
+    let mut reg = EccRegister::new(64);
+    reg.store(42);
+    g.bench_function("register_load_scrub", |b| {
+        b.iter(|| {
+            reg.inject_flip(13);
+            black_box(reg.load())
+        })
+    });
+    g.finish();
+}
+
+fn bench_noc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("noc");
+    g.bench_function("8x8_xy_100pkts_drain", |b| {
+        b.iter(|| {
+            let mesh = Mesh2d::new(8, 8);
+            let mut net =
+                Network::new(mesh, NetworkConfig { routing: Routing::Xy, ..Default::default() });
+            for i in 0..100u16 {
+                let s = rsoc_noc::NodeId(i % 64);
+                let d = rsoc_noc::NodeId((i * 7 + 13) % 64);
+                net.inject(s, d, 1);
+            }
+            net.drain(10_000);
+            black_box(net.stats().delivered.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocols");
+    g.sample_size(20);
+    let config = RunConfig {
+        f: 1,
+        clients: 1,
+        requests_per_client: 10,
+        seed: 7,
+        ..Default::default()
+    };
+    g.bench_function("pbft_f1_10ops", |b| {
+        b.iter(|| {
+            let mut cluster = PbftCluster::new(&config);
+            black_box(run(&mut cluster, &config).committed)
+        })
+    });
+    g.bench_function("minbft_f1_10ops", |b| {
+        b.iter(|| {
+            let mut cluster = MinBftCluster::new(&config);
+            black_box(run(&mut cluster, &config).committed)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fpga(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fpga");
+    let key = MacKey::derive(3, "bs");
+    g.bench_function("reconfigure_2frames", |b| {
+        b.iter(|| {
+            let mut icap = Icap::new(key.clone());
+            icap.allow(Principal(0), Region::new(0, 16));
+            let mut engine = ReconfigEngine::new(FpgaFabric::new(4, 4, 8), icap);
+            let r = Region::new(0, 2);
+            let bs = Bitstream::for_variant(1, r, 8, &key);
+            black_box(engine.reconfigure(Principal(0), r, &bs, 1).unwrap().cycles)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_crypto,
+    bench_usig,
+    bench_ecc,
+    bench_noc,
+    bench_protocols,
+    bench_fpga
+);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! E10 — NoC resilience under link faults (§I "networked systems on chip").
+//!
+//! Claim: the on-chip interconnect is itself a fault point; tile-level
+//! replication needs resilient delivery underneath.
+//!
+//! Sweep: directed-link fault rate × {plain XY, XY + retransmission,
+//! fault-adaptive routing} on an 8×8 mesh with uniform-random traffic.
+//! Metrics: delivery ratio, mean delivered latency.
+
+use rsoc_bench::{f1 as fmt1, f3, ExpOptions, Table};
+use rsoc_noc::network::{Network, NetworkConfig};
+use rsoc_noc::retransmit::Retransmitter;
+use rsoc_noc::{Routing, TrafficPattern};
+use rsoc_sim::SimRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    scheme: &'static str,
+    link_fault_rate: f64,
+    delivery_ratio: f64,
+    mean_latency: f64,
+}
+
+const MESSAGES: usize = 200;
+
+fn fresh_net(routing: Routing, fault_rate: f64, rng: &mut SimRng) -> Network {
+    let mesh = rsoc_noc::Mesh2d::new(8, 8);
+    let mut net = Network::new(mesh, NetworkConfig { routing, ..Default::default() });
+    net.kill_links_randomly(fault_rate, rng);
+    net
+}
+
+fn run_plain(routing: Routing, fault_rate: f64, rng: &mut SimRng) -> (f64, f64) {
+    let mut net = fresh_net(routing, fault_rate, rng);
+    let mesh = *net.mesh();
+    let pairs = TrafficPattern::UniformRandom.generate(&mesh, MESSAGES, rng);
+    for (s, d) in pairs {
+        net.inject(s, d, 1);
+        // Pace injection to limit contention effects.
+        net.tick();
+    }
+    net.drain(100_000);
+    (net.stats().delivery_ratio(), net.stats().mean_latency().unwrap_or(0.0))
+}
+
+fn run_retransmit(fault_rate: f64, rng: &mut SimRng) -> (f64, f64) {
+    let mut net = fresh_net(Routing::Xy, fault_rate, rng);
+    let mesh = *net.mesh();
+    let mut rt = Retransmitter::new(200, 4);
+    let pairs = TrafficPattern::UniformRandom.generate(&mesh, MESSAGES, rng);
+    for (s, d) in pairs {
+        rt.send(&mut net, s, d);
+        net.tick();
+        rt.harvest(&mut net);
+    }
+    let mut guard = 0;
+    while rt.pending() > 0 && guard < 200_000 {
+        net.tick();
+        rt.harvest(&mut net);
+        guard += 1;
+    }
+    let delivered: Vec<_> = rt.outcomes().iter().filter(|o| o.delivered).collect();
+    let mean_lat = if delivered.is_empty() {
+        0.0
+    } else {
+        delivered.iter().map(|o| o.latency as f64).sum::<f64>() / delivered.len() as f64
+    };
+    (rt.delivery_ratio(), mean_lat)
+}
+
+fn main() {
+    let options = ExpOptions::from_args();
+    let trials = options.trials(30);
+    let root = SimRng::new(0xE10);
+
+    let mut table = Table::new(
+        "E10 8x8 mesh, uniform traffic: delivery under dead links",
+        &["scheme", "fault_rate", "delivery", "mean_latency"],
+    );
+    for (fi, rate) in [0.0f64, 0.01, 0.02, 0.05, 0.10].iter().enumerate() {
+        for (si, scheme) in ["xy", "xy+retx", "adaptive"].iter().enumerate() {
+            let mut dr_sum = 0.0;
+            let mut lat_sum = 0.0;
+            for t in 0..trials {
+                let mut rng = root.fork((fi * 10 + si) as u64 * 100_000 + t);
+                let (dr, lat) = match *scheme {
+                    "xy" => run_plain(Routing::Xy, *rate, &mut rng),
+                    "adaptive" => {
+                        run_plain(Routing::FaultAdaptive { max_misroutes: 12 }, *rate, &mut rng)
+                    }
+                    _ => run_retransmit(*rate, &mut rng),
+                };
+                dr_sum += dr;
+                lat_sum += lat;
+            }
+            let n = trials as f64;
+            table.row(
+                &[
+                    scheme.to_string(),
+                    f3(*rate),
+                    f3(dr_sum / n),
+                    fmt1(lat_sum / n),
+                ],
+                &Row {
+                    scheme: match *scheme {
+                        "xy" => "xy",
+                        "adaptive" => "adaptive",
+                        _ => "xy+retx",
+                    },
+                    link_fault_rate: *rate,
+                    delivery_ratio: dr_sum / n,
+                    mean_latency: lat_sum / n,
+                },
+            );
+        }
+    }
+    table.print(&options);
+    println!(
+        "\nExpected shape (paper §I): plain XY loses messages roughly in\n\
+         proportion to the fraction of source-destination pairs whose unique\n\
+         path crosses a dead link; retransmission recovers only transient\n\
+         losses (dead links defeat it after max attempts on the same path);\n\
+         fault-adaptive routing keeps delivery near 1 well past 5% dead\n\
+         links by paying detour latency."
+    );
+}

@@ -1,0 +1,143 @@
+//! E1 — Gate-level redundancy (§I, Fig. 1 bottom layer).
+//!
+//! Claim: replicated/backup gates mask faults at an area cost; redundancy
+//! stops paying once the extra gates (and the voter) collect more faults
+//! than they mask.
+//!
+//! Sweep: per-gate fault probability × {simplex, TMR, 5-MR}. Two voter
+//! models are reported: the classic Lyons–Vanderkulk *protected voter*
+//! (hardened or negligible relative to the module) and an honest
+//! *gate-built voter* that fails like everything else. An 8-bit ripple
+//! adder is the module under protection.
+
+use rsoc_bench::{f3, ExpOptions, Table};
+use rsoc_hw::circuits::ripple_carry_adder;
+use rsoc_hw::redundancy::{nmr, nmr_overhead};
+use rsoc_hw::reliability::{estimate_nmr_ideal_voter, estimate_reliability};
+use rsoc_hw::FaultSampler;
+use rsoc_sim::SimRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    p_fault: f64,
+    simplex: f64,
+    tmr_protected: f64,
+    fivemr_protected: f64,
+    tmr_gate_voter: f64,
+    tmr_area_factor: f64,
+}
+
+fn main() {
+    let options = ExpOptions::from_args();
+    let trials = options.trials(30_000);
+    let root = SimRng::new(0xE1);
+    let module = ripple_carry_adder(8);
+    let tmr_gate = nmr(&module, 3);
+
+    let mut table = Table::new(
+        "E1 rca8: correct-output probability vs per-gate fault rate",
+        &["p_fault", "simplex", "tmr", "5mr", "tmr(gate-voter)", "tmr_area"],
+    );
+    for (i, p) in [1e-4f64, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1].iter().enumerate() {
+        let sampler = FaultSampler::new(*p);
+        let mut r1 = root.fork(i as u64 * 10 + 1);
+        let mut r2 = root.fork(i as u64 * 10 + 2);
+        let mut r3 = root.fork(i as u64 * 10 + 3);
+        let mut r4 = root.fork(i as u64 * 10 + 4);
+        let simplex = estimate_reliability(&module, &sampler, trials, &mut r1);
+        let tmr = estimate_nmr_ideal_voter(&module, 3, &sampler, trials, &mut r2);
+        let fivemr = estimate_nmr_ideal_voter(&module, 5, &sampler, trials, &mut r3);
+        let tmr_gv = estimate_reliability(&tmr_gate, &sampler, trials, &mut r4);
+        table.row(
+            &[
+                format!("{p:.0e}"),
+                f3(simplex.correct_fraction),
+                f3(tmr.correct_fraction),
+                f3(fivemr.correct_fraction),
+                f3(tmr_gv.correct_fraction),
+                f3(nmr_overhead(&module, 3)),
+            ],
+            &Row {
+                p_fault: *p,
+                simplex: simplex.correct_fraction,
+                tmr_protected: tmr.correct_fraction,
+                fivemr_protected: fivemr.correct_fraction,
+                tmr_gate_voter: tmr_gv.correct_fraction,
+                tmr_area_factor: nmr_overhead(&module, 3),
+            },
+        );
+    }
+    table.print(&options);
+
+    // --- Part 2: replicated vs diverse gates under design flaws (§I:
+    // "replicated parallel gates, or diverse gates"). ---------------------
+    use rsoc_hw::diverse::{
+        flaw_in_diverse_nmr, flaw_in_identical_nmr, nmr_diverse, ripple_carry_adder_nand,
+        ripple_carry_adder_nor, DesignFlaw,
+    };
+    #[derive(Serialize)]
+    struct FlawRow {
+        arrangement: &'static str,
+        failure_rate: f64,
+    }
+    let base = ripple_carry_adder(4);
+    let nand = ripple_carry_adder_nand(4);
+    let nor = ripple_carry_adder_nor(4);
+    let identical = nmr(&base, 3);
+    let impls = [&base, &nand, &nor];
+    let diverse = nmr_diverse(&impls);
+    let flaw_trials = options.trials(10_000);
+    let mut rng = root.fork(999);
+    let mut fail = [0u64; 3]; // simplex, identical tmr, diverse tmr
+    for _ in 0..flaw_trials {
+        let flaw = DesignFlaw::sample(base.logic_gate_count(), &mut rng);
+        let inputs: Vec<bool> = (0..base.input_count()).map(|_| rng.chance(0.5)).collect();
+        let golden = base.eval(&inputs);
+        let mut one = rsoc_hw::FaultMap::new();
+        one.insert(
+            rsoc_hw::GateId::new((base.input_count() + flaw.logic_gate_index) as u32),
+            flaw.kind,
+        );
+        if base.eval_with_faults(&inputs, &one) != golden {
+            fail[0] += 1;
+        }
+        if identical.eval_with_faults(&inputs, &flaw_in_identical_nmr(&base, 3, flaw)) != golden {
+            fail[1] += 1;
+        }
+        if diverse.eval_with_faults(&inputs, &flaw_in_diverse_nmr(&impls, 0, flaw)) != golden {
+            fail[2] += 1;
+        }
+    }
+    let mut flaw_table = Table::new(
+        "E1b rca4 with one random design flaw: output error rate",
+        &["arrangement", "failure_rate"],
+    );
+    for (i, name) in ["simplex", "identical TMR", "diverse TMR"].iter().enumerate() {
+        let rate = fail[i] as f64 / flaw_trials as f64;
+        flaw_table.row(
+            &[name.to_string(), f3(rate)],
+            &FlawRow {
+                arrangement: match i {
+                    0 => "simplex",
+                    1 => "identical-tmr",
+                    _ => "diverse-tmr",
+                },
+                failure_rate: rate,
+            },
+        );
+    }
+    flaw_table.print(&options);
+
+    println!(
+        "\nExpected shape (paper §I): with a protected voter, TMR/5-MR cut the\n\
+         failure probability by orders of magnitude at low fault rates and\n\
+         invert past the crossover (~p where a copy is likely faulty). The\n\
+         gate-built-voter column shows the engineering caveat: on a module\n\
+         this small the unprotected voter eats most of the redundancy win —\n\
+         the paper's point that resiliency must be designed at the *right*\n\
+         level, not sprinkled on. E1b: identical redundancy replicates a\n\
+         design flaw into every copy (failure ≈ simplex), while diverse\n\
+         implementations confine it to one voted-out copy (failure = 0)."
+    );
+}

@@ -1,0 +1,131 @@
+//! E2 — Hybrid register protection (§III's USIG example).
+//!
+//! Claim: "any bitflip in the counter will have catastrophic effects on the
+//! consensus problem"; ECC registers "increase the complexity of the
+//! circuit at the benefit of tolerating a certain number of bitflips".
+//!
+//! Sweep: SEU count per campaign × {plain, parity, secded} USIG counter
+//! registers. Metrics: certified-duplicate/gap rate (undetected counter
+//! corruption → broken uniqueness/monotonicity), fail-stop rate (detected,
+//! USIG refuses service), and gate cost.
+
+use rsoc_bench::{f3, ExpOptions, Table};
+use rsoc_crypto::MacKey;
+use rsoc_hw::{EccRegister, ParityRegister, PlainRegister, RegisterCell};
+use rsoc_hybrid::{KeyRing, Usig, UsigError, UsigId};
+use rsoc_sim::SimRng;
+use serde::Serialize;
+use std::collections::BTreeSet;
+
+#[derive(Serialize)]
+struct Row {
+    protection: &'static str,
+    seu_per_campaign: u32,
+    violation_rate: f64,
+    failstop_rate: f64,
+    clean_rate: f64,
+    gate_cost: u64,
+}
+
+fn make_usig(protection: &str, ring: &KeyRing) -> Usig {
+    let reg: Box<dyn RegisterCell> = match protection {
+        "plain" => Box::new(PlainRegister::new(64)),
+        "parity" => Box::new(ParityRegister::new(64)),
+        "secded" => Box::new(EccRegister::new(64)),
+        _ => unreachable!(),
+    };
+    Usig::new(UsigId(0), ring.clone(), reg)
+}
+
+/// One campaign: interleave UI creation with `seu` random counter flips;
+/// classify the outcome.
+enum Outcome {
+    Clean,
+    Violation, // duplicate or skipped certified counter (undetected!)
+    FailStop,  // USIG detected corruption and refused
+}
+
+fn campaign(protection: &str, seu: u32, ring: &KeyRing, rng: &mut SimRng) -> Outcome {
+    let mut usig = make_usig(protection, ring);
+    let ops = 50u32;
+    let mut seen: BTreeSet<u64> = BTreeSet::new();
+    let mut expected_next = 1u64;
+    let mut flips_left = seu;
+    for i in 0..ops {
+        // Spread the flips across the campaign.
+        if flips_left > 0 && rng.chance(seu as f64 / ops as f64) {
+            usig.inject_counter_flip(rng.below(80) as u32);
+            flips_left -= 1;
+        }
+        match usig.create_ui(format!("msg {i}").as_bytes()) {
+            Ok(ui) => {
+                if !seen.insert(ui.counter) || ui.counter < expected_next {
+                    return Outcome::Violation; // duplicate counter certified
+                }
+                if ui.counter > expected_next {
+                    return Outcome::Violation; // silent gap (skipped values)
+                }
+                expected_next = ui.counter + 1;
+            }
+            Err(UsigError::CounterCorrupted) => return Outcome::FailStop,
+            Err(UsigError::CounterExhausted) => return Outcome::Violation,
+        }
+    }
+    Outcome::Clean
+}
+
+fn main() {
+    let options = ExpOptions::from_args();
+    let trials = options.trials(4_000);
+    let ring = KeyRing::provision(0xE2, 1);
+    let root = SimRng::new(0xE2);
+
+    let mut table = Table::new(
+        "E2 USIG counter under SEUs: violation (undetected) / fail-stop (detected) rates",
+        &["protection", "seu", "violation", "failstop", "clean", "gates"],
+    );
+    for (pi, protection) in ["plain", "parity", "secded"].iter().enumerate() {
+        let cost = make_usig(protection, &ring).gate_cost();
+        for (si, seu) in [0u32, 1, 2, 4, 8].iter().enumerate() {
+            let mut violations = 0u64;
+            let mut failstops = 0u64;
+            for t in 0..trials {
+                let mut rng = root.fork((pi * 100 + si * 10) as u64 * 1_000_000 + t);
+                match campaign(protection, *seu, &ring, &mut rng) {
+                    Outcome::Clean => {}
+                    Outcome::Violation => violations += 1,
+                    Outcome::FailStop => failstops += 1,
+                }
+            }
+            let v = violations as f64 / trials as f64;
+            let fs = failstops as f64 / trials as f64;
+            table.row(
+                &[
+                    protection.to_string(),
+                    seu.to_string(),
+                    f3(v),
+                    f3(fs),
+                    f3(1.0 - v - fs),
+                    cost.to_string(),
+                ],
+                &Row {
+                    protection,
+                    seu_per_campaign: *seu,
+                    violation_rate: v,
+                    failstop_rate: fs,
+                    clean_rate: 1.0 - v - fs,
+                    gate_cost: cost,
+                },
+            );
+        }
+    }
+    table.print(&options);
+    let _ = MacKey::derive(0, "unused"); // keep the crypto dep honest in docs
+    println!(
+        "\nExpected shape (paper §III): plain registers convert SEUs into\n\
+         *undetected* duplicate/gap certificates (consensus safety breaks);\n\
+         parity converts them into fail-stops (safe but unavailable); SEC-DED\n\
+         rides through single flips at a moderate gate-cost premium, staying\n\
+         far below the simple-core hybridization bound."
+    );
+}

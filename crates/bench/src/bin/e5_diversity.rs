@@ -1,0 +1,126 @@
+//! E5 — Diversity vs common-mode compromise (§II-B).
+//!
+//! Claim: "Resiliency through active replication is only guaranteed as long
+//! as the replicas fail independently"; diversity avoids common-mode
+//! failures and intrusions.
+//!
+//! Sweep: n = 4 replicas (f = 1), diversity degree d = 1..4 (number of
+//! distinct variants). Metrics: fraction of the vulnerability universe
+//! whose single exploit defeats the system, greedy number of exploits an
+//! adversary needs, and Monte-Carlo campaign time to defeat.
+
+use rsoc_bench::{f1 as fmt1, f3, ExpOptions, Table};
+use rsoc_diversity::{
+    common_mode_exposure, greedy_exploits_to_defeat, PoolConfig, VariantId, VariantPool,
+};
+use rsoc_sim::SimRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    diversity_degree: usize,
+    vendors_used: usize,
+    exposure: f64,
+    greedy_exploits: usize,
+    mean_exploits_mc: f64,
+}
+
+/// Monte-Carlo: adversary repeatedly picks a uniformly random vulnerability
+/// to weaponize (zero-day discovery); counts exploits until > f replicas
+/// fall. This complements the greedy (best-case-adversary) metric.
+fn mc_exploits(pool: &VariantPool, assignment: &[VariantId], f: usize, rng: &mut SimRng) -> f64 {
+    let universe = pool.config().vuln_universe as u64;
+    let mut compromised = vec![false; assignment.len()];
+    let mut tried = std::collections::BTreeSet::new();
+    let mut exploits = 0f64;
+    loop {
+        if compromised.iter().filter(|c| **c).count() > f {
+            return exploits;
+        }
+        if tried.len() as u64 == universe {
+            return f64::INFINITY;
+        }
+        let vuln = rsoc_diversity::VulnId(rng.below(universe) as u32);
+        if !tried.insert(vuln.0) {
+            continue;
+        }
+        exploits += 1.0;
+        for (i, id) in assignment.iter().enumerate() {
+            if pool.variant(*id).map(|v| v.vulnerable_to(vuln)).unwrap_or(false) {
+                compromised[i] = true;
+            }
+        }
+    }
+}
+
+fn main() {
+    let options = ExpOptions::from_args();
+    let trials = options.trials(2_000);
+    let root = SimRng::new(0xE5);
+    let mut pool_rng = root.fork(0);
+    // Sparser vulnerability space than the default so cross-variant
+    // collisions are rare and the diversity effect is legible.
+    let pool_config = PoolConfig {
+        vuln_universe: 1_000,
+        vendor_base_vulns: 3,
+        variant_vulns: 5,
+        ..Default::default()
+    };
+    let pool = VariantPool::generate(pool_config, &mut pool_rng);
+    let n = 4usize;
+    let f = 1usize;
+
+    let mut table = Table::new(
+        "E5 diversity degree vs common-mode compromise (n=4, f=1)",
+        &["distinct_variants", "max_share", "vendors", "exposure", "greedy_k", "mc_mean_k"],
+    );
+    for d in 1..=4usize {
+        // d distinct variants spread over the 4 replicas, cross-vendor by
+        // construction (variant id % vendors = vendor).
+        let assignment: Vec<VariantId> = (0..n).map(|i| VariantId((i % d) as u32)).collect();
+        let vendors: std::collections::BTreeSet<u32> = assignment
+            .iter()
+            .map(|v| pool.variant(*v).unwrap().vendor.0)
+            .collect();
+        let exposure = common_mode_exposure(&pool, &assignment, f);
+        let greedy = greedy_exploits_to_defeat(&pool, &assignment, f).unwrap_or(0);
+        let max_share = (0..d)
+            .map(|v| assignment.iter().filter(|a| a.0 == v as u32).count())
+            .max()
+            .unwrap_or(0);
+        let mut mc_sum = 0.0;
+        for t in 0..trials {
+            let mut rng = root.fork(1_000 + d as u64 * trials + t);
+            mc_sum += mc_exploits(&pool, &assignment, f, &mut rng);
+        }
+        let mc_mean = mc_sum / trials as f64;
+        table.row(
+            &[
+                d.to_string(),
+                max_share.to_string(),
+                vendors.len().to_string(),
+                f3(exposure),
+                greedy.to_string(),
+                fmt1(mc_mean),
+            ],
+            &Row {
+                diversity_degree: d,
+                vendors_used: vendors.len(),
+                exposure,
+                greedy_exploits: greedy,
+                mean_exploits_mc: mc_mean,
+            },
+        );
+    }
+    table.print(&options);
+    println!(
+        "\nExpected shape (paper §II-B): what matters is the *largest group of\n\
+         replicas sharing a variant* (max_share): as long as max_share > f, a\n\
+         single exploit defeats the system (greedy_k = 1), and partial\n\
+         diversity even widens the fatal-vulnerability surface while\n\
+         shrinking the blast radius. Only full diversity (max_share ≤ f)\n\
+         forces the adversary to chain multiple distinct exploits — the\n\
+         paper's point that replication pays only when replicas fail\n\
+         independently."
+    );
+}

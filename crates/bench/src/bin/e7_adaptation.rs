@@ -1,0 +1,158 @@
+//! E7 — Threat-adaptive deployment (§II-D).
+//!
+//! Claim: adapting f and the protocol to the current threat gets the
+//! protection of the big static configuration at close to the cost of the
+//! small one; the price is detector dependence and switch windows.
+//!
+//! Scenario: a day-in-the-life threat trace (long quiet, escalating attack,
+//! quiet). The detector lags ground truth by one segment to model
+//! detection latency. Policies: static-small, static-large, adaptive.
+
+use rsoc_adapt::{
+    simulate_adaptation, AdaptPolicy, AdaptiveController, Deployment, ProtocolChoice, ThreatLevel,
+};
+use rsoc_adapt::controller::TraceSegment;
+use rsoc_bench::{f3, ExpOptions, Table};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    policy: String,
+    underprotected_frac: f64,
+    mean_replicas: f64,
+    switches: u32,
+}
+
+fn trace() -> Vec<TraceSegment> {
+    // (duration, ground-truth byz f, detected level) — detection lags one
+    // segment behind ground truth.
+    vec![
+        TraceSegment { duration: 100_000, byz_faults: 0, detected: ThreatLevel::Low },
+        TraceSegment { duration: 5_000, byz_faults: 1, detected: ThreatLevel::Low }, // lag
+        TraceSegment { duration: 15_000, byz_faults: 1, detected: ThreatLevel::High },
+        TraceSegment { duration: 10_000, byz_faults: 2, detected: ThreatLevel::High },
+        TraceSegment { duration: 10_000, byz_faults: 3, detected: ThreatLevel::Critical },
+        TraceSegment { duration: 15_000, byz_faults: 1, detected: ThreatLevel::Critical }, // lag down
+        TraceSegment { duration: 100_000, byz_faults: 0, detected: ThreatLevel::Low },
+    ]
+}
+
+fn main() {
+    let options = ExpOptions::from_args();
+    let trace = trace();
+
+    let mut table = Table::new(
+        "E7 static vs adaptive deployments over a threat trace",
+        &["policy", "underprot_frac", "mean_replicas", "switches"],
+    );
+    let policies: Vec<(String, AdaptPolicy)> = vec![
+        (
+            "static minbft f=1".into(),
+            AdaptPolicy::Static(Deployment { protocol: ProtocolChoice::MinBft, f: 1 }),
+        ),
+        (
+            "static pbft f=3".into(),
+            AdaptPolicy::Static(Deployment { protocol: ProtocolChoice::Pbft, f: 3 }),
+        ),
+        (
+            "adaptive".into(),
+            AdaptPolicy::Adaptive(AdaptiveController::default()),
+        ),
+    ];
+    for (name, policy) in policies {
+        let r = simulate_adaptation(&trace, policy);
+        table.row(
+            &[
+                name.clone(),
+                f3(r.underprotected_fraction()),
+                f3(r.mean_replicas()),
+                r.switches.to_string(),
+            ],
+            &Row {
+                policy: name,
+                underprotected_frac: r.underprotected_fraction(),
+                mean_replicas: r.mean_replicas(),
+                switches: r.switches,
+            },
+        );
+    }
+    table.print(&options);
+
+    // --- Part 2: detector in the loop (no oracle labels). ----------------
+    use rsoc_adapt::{run_closed_loop, DetectorConfig, GroundTruthWindow, ObservationModel};
+    use rsoc_sim::SimRng;
+    #[derive(Serialize)]
+    struct LoopRow {
+        noise: &'static str,
+        masked: u32,
+        missed: u32,
+        false_alarm_windows: u32,
+        mean_replicas: f64,
+    }
+    let mut truth = Vec::new();
+    for _ in 0..60 {
+        truth.push(GroundTruthWindow { duration: 1_000, byz_faults: 0 });
+    }
+    for _ in 0..12 {
+        truth.push(GroundTruthWindow { duration: 1_000, byz_faults: 1 });
+    }
+    for _ in 0..8 {
+        truth.push(GroundTruthWindow { duration: 1_000, byz_faults: 2 });
+    }
+    for _ in 0..60 {
+        truth.push(GroundTruthWindow { duration: 1_000, byz_faults: 0 });
+    }
+    let mut loop_table = Table::new(
+        "E7b closed loop (detector observes noisy signals, no oracle)",
+        &["noise", "attacks_masked", "attacks_missed", "false_alarms", "mean_replicas"],
+    );
+    for (name, model) in [
+        ("nominal", ObservationModel::default()),
+        (
+            "noisy-bg",
+            ObservationModel { background_timeouts: 2.0, background_seu: 1.0, ..Default::default() },
+        ),
+        (
+            "weak-signal",
+            ObservationModel {
+                equivocations_per_fault: 0.5,
+                mac_failures_per_fault: 0.8,
+                ..Default::default()
+            },
+        ),
+    ] {
+        let mut rng = SimRng::new(0xE7B);
+        let r = run_closed_loop(
+            &truth,
+            DetectorConfig::default(),
+            AdaptiveController::default(),
+            model,
+            &mut rng,
+        );
+        loop_table.row(
+            &[
+                name.to_string(),
+                r.attacks_masked.to_string(),
+                r.attacks_missed.to_string(),
+                r.false_alarm_windows.to_string(),
+                f3(r.ledger.mean_replicas()),
+            ],
+            &LoopRow {
+                noise: name,
+                masked: r.attacks_masked,
+                missed: r.attacks_missed,
+                false_alarm_windows: r.false_alarm_windows,
+                mean_replicas: r.ledger.mean_replicas(),
+            },
+        );
+    }
+    loop_table.print(&options);
+
+    println!(
+        "\nExpected shape (paper §II-D): static-small is cheap but spends the\n\
+         whole attack under-protected; static-large is protected but burns\n\
+         10 replicas through the long quiet phases; adaptive tracks the\n\
+         threat — under-protection limited to detection lag plus switch\n\
+         windows, at a mean footprint close to the small configuration."
+    );
+}

@@ -1,0 +1,162 @@
+//! # rsoc-bench — experiment harness
+//!
+//! One binary per experiment (see `DESIGN.md` §3 for the experiment index):
+//!
+//! | binary | paper claim |
+//! |---|---|
+//! | `e1_gate_redundancy` | gate-level redundancy trades area for masking (§I) |
+//! | `e2_hybrid_ecc` | plain vs parity vs SEC-DED USIG counters (§III) |
+//! | `e3_bft_cost` | MinBFT 2f+1 vs PBFT 3f+1 cost (§II-A, §III) |
+//! | `e4_passive_active` | passive failover gap vs active masking (§II-A) |
+//! | `e5_diversity` | diversity vs common-mode compromise (§II-B) |
+//! | `e6_rejuvenation` | rejuvenation policies vs APT (§II-C) |
+//! | `e7_adaptation` | static vs adaptive deployments (§II-D) |
+//! | `e8_reconfig` | voted vs direct privilege change (§II-E) |
+//! | `e9_fpga_relocation` | relocation vs grid backdoors (§II-C/E) |
+//! | `e10_noc_faults` | routing policies vs link faults (§I) |
+//! | `f1_layered_stack` | full-stack ablation (Fig. 1) |
+//!
+//! Every binary prints an aligned table to stdout and, with `--json`, one
+//! JSON object per row (machine-readable for EXPERIMENTS.md regeneration).
+//! `--quick` cuts trial counts for smoke runs.
+
+use serde::Serialize;
+
+/// Shared command-line options for experiment binaries.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExpOptions {
+    /// Emit one JSON object per row after the table.
+    pub json: bool,
+    /// Reduce trial counts for a fast smoke run.
+    pub quick: bool,
+}
+
+impl ExpOptions {
+    /// Parses `--json` / `--quick` from `std::env::args`.
+    pub fn from_args() -> Self {
+        let mut o = ExpOptions::default();
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "--json" => o.json = true,
+                "--quick" => o.quick = true,
+                other => eprintln!("ignoring unknown argument: {other}"),
+            }
+        }
+        o
+    }
+
+    /// Scales a trial count down in quick mode.
+    pub fn trials(&self, full: u64) -> u64 {
+        if self.quick {
+            (full / 10).max(1)
+        } else {
+            full
+        }
+    }
+}
+
+/// A table printer that also serializes rows as JSON.
+#[derive(Debug)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    json_rows: Vec<String>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            json_rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row: display cells plus a serializable record for `--json`.
+    ///
+    /// # Panics
+    /// Panics if the cell count differs from the header count or the record
+    /// fails to serialize (a bug in the experiment).
+    pub fn row<T: Serialize>(&mut self, cells: &[String], record: &T) {
+        assert_eq!(cells.len(), self.headers.len(), "cell/header mismatch");
+        self.rows.push(cells.to_vec());
+        self.json_rows
+            .push(serde_json::to_string(record).expect("row serialization"));
+    }
+
+    /// Prints the aligned table (and JSON lines when requested).
+    pub fn print(&self, options: &ExpOptions) {
+        println!("\n== {} ==", self.title);
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let parts: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect();
+            println!("  {}", parts.join("  "));
+        };
+        line(&self.headers);
+        line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+        for row in &self.rows {
+            line(row);
+        }
+        if options.json {
+            for j in &self.json_rows {
+                println!("{j}");
+            }
+        }
+    }
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a float with 1 decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize)]
+    struct Rec {
+        a: u32,
+    }
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = Table::new("demo", &["x", "y"]);
+        t.row(&["1".into(), "2".into()], &Rec { a: 1 });
+        t.print(&ExpOptions { json: true, quick: false });
+        assert_eq!(t.rows.len(), 1);
+    }
+
+    #[test]
+    fn quick_scales_trials() {
+        let q = ExpOptions { json: false, quick: true };
+        assert_eq!(q.trials(1000), 100);
+        assert_eq!(q.trials(5), 1);
+        let f = ExpOptions::default();
+        assert_eq!(f.trials(1000), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell/header mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("demo", &["x", "y"]);
+        t.row(&["1".into()], &Rec { a: 1 });
+    }
+}

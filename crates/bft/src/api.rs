@@ -1,0 +1,235 @@
+//! Common SMR types shared by all protocols.
+
+use rsoc_crypto::sha256;
+use std::fmt;
+
+/// Replica identity (0-based, dense).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ReplicaId(pub u32);
+
+impl fmt::Display for ReplicaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Client identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClientId(pub u32);
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Globally unique operation identity: (client, client-sequence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpId {
+    /// Issuing client.
+    pub client: ClientId,
+    /// Client-local sequence number (1-based).
+    pub seq: u64,
+}
+
+/// A client request carrying an opaque state-machine command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Operation identity (used for exactly-once execution).
+    pub op: OpId,
+    /// Opaque command payload.
+    pub payload: Vec<u8>,
+}
+
+impl Request {
+    /// SHA-256 digest of the request (identity + payload), used in
+    /// prepare/commit certificates.
+    pub fn digest(&self) -> [u8; 32] {
+        let mut bytes = Vec::with_capacity(12 + 8 + self.payload.len());
+        bytes.extend_from_slice(&self.op.client.0.to_le_bytes());
+        bytes.extend_from_slice(&self.op.seq.to_le_bytes());
+        bytes.extend_from_slice(&self.payload);
+        sha256(&bytes)
+    }
+}
+
+/// A reply from a replica to a client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// Responding replica.
+    pub replica: ReplicaId,
+    /// Operation being answered.
+    pub op: OpId,
+    /// State-machine result.
+    pub result: Vec<u8>,
+}
+
+/// One committed slot of a replica's totally-ordered log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogEntry {
+    /// Global sequence number (1-based, dense).
+    pub seq: u64,
+    /// Which operation was committed here.
+    pub op: OpId,
+    /// Digest of the committed request.
+    pub digest: [u8; 32],
+}
+
+/// Addressable endpoints in the protocol harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Endpoint {
+    /// A replica.
+    Replica(ReplicaId),
+    /// A client.
+    Client(ClientId),
+}
+
+/// Input delivered to a replica by the harness.
+#[derive(Debug, Clone)]
+pub enum Input<M> {
+    /// A protocol message from another endpoint.
+    Message {
+        /// Sender.
+        from: Endpoint,
+        /// Payload.
+        msg: M,
+    },
+    /// A timer the replica had set has fired.
+    Timer {
+        /// Protocol-defined timer class.
+        kind: u32,
+        /// Protocol-defined token (e.g., a sequence number).
+        token: u64,
+    },
+}
+
+/// Outgoing effects collected from a replica handler.
+#[derive(Debug)]
+pub struct Outbox<M> {
+    /// Messages to send: (destination, payload).
+    pub msgs: Vec<(Endpoint, M)>,
+    /// Timers to arm: (delay cycles, kind, token).
+    pub timers: Vec<(u64, u32, u64)>,
+}
+
+impl<M> Default for Outbox<M> {
+    fn default() -> Self {
+        Outbox { msgs: Vec::new(), timers: Vec::new() }
+    }
+}
+
+impl<M> Outbox<M> {
+    /// Creates an empty outbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues a message.
+    pub fn send(&mut self, to: Endpoint, msg: M) {
+        self.msgs.push((to, msg));
+    }
+
+    /// Queues a message to every replica in `0..n` except `me`.
+    pub fn broadcast(&mut self, n: u32, me: ReplicaId, msg: M)
+    where
+        M: Clone,
+    {
+        for i in 0..n {
+            if i != me.0 {
+                self.msgs.push((Endpoint::Replica(ReplicaId(i)), msg.clone()));
+            }
+        }
+    }
+
+    /// Arms a timer.
+    pub fn arm(&mut self, delay: u64, kind: u32, token: u64) {
+        self.timers.push((delay, kind, token));
+    }
+}
+
+/// The protocol-node interface the harness drives.
+///
+/// A node is one replica of one protocol. The harness delivers inputs in
+/// deterministic virtual-time order and routes the outbox.
+pub trait ReplicaNode {
+    /// Protocol message type (must embed client requests and replies).
+    type Msg: Clone + fmt::Debug;
+
+    /// This node's id.
+    fn id(&self) -> ReplicaId;
+
+    /// Handles one input, emitting effects into `out`.
+    fn on_input(&mut self, input: Input<Self::Msg>, now: u64, out: &mut Outbox<Self::Msg>);
+
+    /// The committed log so far (dense, in sequence order).
+    fn committed_log(&self) -> &[LogEntry];
+
+    /// Wraps a client request into a protocol message.
+    fn make_request(req: Request) -> Self::Msg;
+
+    /// Extracts a reply if `msg` is one (used by the client harness).
+    fn as_reply(msg: &Self::Msg) -> Option<&Reply>;
+}
+
+/// A cluster: the set of nodes plus protocol-level metadata the harness
+/// needs (quorum sizes, client targeting).
+pub trait Cluster {
+    /// Node type.
+    type Node: ReplicaNode;
+
+    /// All nodes (index = replica id).
+    fn nodes_mut(&mut self) -> &mut [Self::Node];
+
+    /// All nodes, immutable.
+    fn nodes(&self) -> &[Self::Node];
+
+    /// Number of matching replies a client needs before accepting a result.
+    fn reply_quorum(&self) -> usize;
+
+    /// Human-readable protocol name for reports.
+    fn protocol_name(&self) -> &'static str;
+
+    /// Ids of replicas considered *correct* (crash/Byzantine ones excluded
+    /// from safety checking).
+    fn correct_replicas(&self) -> Vec<ReplicaId>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_digest_is_stable_and_sensitive() {
+        let r1 = Request { op: OpId { client: ClientId(1), seq: 5 }, payload: b"set x=1".to_vec() };
+        let r2 = r1.clone();
+        assert_eq!(r1.digest(), r2.digest());
+        let r3 = Request { op: OpId { client: ClientId(1), seq: 6 }, payload: b"set x=1".to_vec() };
+        assert_ne!(r1.digest(), r3.digest(), "op id is part of identity");
+        let r4 = Request { op: OpId { client: ClientId(1), seq: 5 }, payload: b"set x=2".to_vec() };
+        assert_ne!(r1.digest(), r4.digest());
+    }
+
+    #[test]
+    fn outbox_broadcast_skips_self() {
+        let mut out: Outbox<u32> = Outbox::new();
+        out.broadcast(4, ReplicaId(2), 7);
+        assert_eq!(out.msgs.len(), 3);
+        assert!(out
+            .msgs
+            .iter()
+            .all(|(to, _)| *to != Endpoint::Replica(ReplicaId(2))));
+    }
+
+    #[test]
+    fn outbox_timers() {
+        let mut out: Outbox<u32> = Outbox::new();
+        out.arm(10, 1, 99);
+        assert_eq!(out.timers, vec![(10, 1, 99)]);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(format!("{}", ReplicaId(3)), "r3");
+        assert_eq!(format!("{}", ClientId(1)), "c1");
+    }
+}

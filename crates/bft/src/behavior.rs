@@ -1,0 +1,78 @@
+//! Faulty replica behaviours (§I: benign *and* malicious/Byzantine faults).
+//!
+//! Behaviours are interpreted inside each protocol's replica logic, so an
+//! "equivocating" PBFT primary actually sends conflicting pre-prepares,
+//! and a MinBFT attacker actually fabricates USIG certificates (which then
+//! fail verification — the hybrid at work).
+
+/// What kind of (mis)behaviour a replica exhibits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Behavior {
+    /// Follows the protocol.
+    #[default]
+    Correct,
+    /// Crashed from the start: ignores everything, sends nothing.
+    Crashed,
+    /// Crashes at the given virtual time (benign fail-stop).
+    CrashAt(u64),
+    /// Receives but never sends (omission fault / kill-switch silence).
+    Silent,
+    /// Byzantine: when primary, sends conflicting proposals to different
+    /// backups; when backup, votes for bogus digests.
+    Equivocate,
+    /// Byzantine (MinBFT-specific): attempts to reuse a USIG counter by
+    /// forging a certificate for a second conflicting message.
+    ForgeUi,
+}
+
+impl Behavior {
+    /// Whether the replica is crashed at time `now`.
+    pub fn crashed_at(&self, now: u64) -> bool {
+        match self {
+            Behavior::Crashed => true,
+            Behavior::CrashAt(t) => now >= *t,
+            _ => false,
+        }
+    }
+
+    /// Whether the replica ever sends messages at time `now`.
+    pub fn sends_at(&self, now: u64) -> bool {
+        !self.crashed_at(now) && *self != Behavior::Silent
+    }
+
+    /// Whether the behaviour is Byzantine (arbitrary) rather than benign.
+    /// Byzantine replicas are excluded from cross-replica safety checks.
+    pub fn is_byzantine(&self) -> bool {
+        matches!(self, Behavior::Equivocate | Behavior::ForgeUi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_semantics() {
+        assert!(Behavior::Crashed.crashed_at(0));
+        assert!(!Behavior::CrashAt(10).crashed_at(9));
+        assert!(Behavior::CrashAt(10).crashed_at(10));
+        assert!(!Behavior::Correct.crashed_at(u64::MAX));
+    }
+
+    #[test]
+    fn send_semantics() {
+        assert!(Behavior::Correct.sends_at(5));
+        assert!(!Behavior::Silent.sends_at(5));
+        assert!(!Behavior::CrashAt(3).sends_at(4));
+        assert!(Behavior::Equivocate.sends_at(0));
+    }
+
+    #[test]
+    fn byzantine_classification() {
+        assert!(Behavior::Equivocate.is_byzantine());
+        assert!(Behavior::ForgeUi.is_byzantine());
+        assert!(!Behavior::Crashed.is_byzantine());
+        assert!(!Behavior::Silent.is_byzantine());
+        assert!(!Behavior::Correct.is_byzantine());
+    }
+}

@@ -1,0 +1,55 @@
+//! # rsoc-bft — replication protocols for tiles on a chip
+//!
+//! §II-A of the paper: "Active replication masks faults through building a
+//! deterministic replicated state machine, composed of replicas of
+//! identical functionality, which execute an agreement protocol, e.g. Paxos
+//! or PBFT. The number of required replicas is typically 2f+1/3f+1 in order
+//! to tolerate f faults. Interestingly, several works make use of hardware
+//! hybrids as root-of-trust to simplify these protocols ... requiring only
+//! 2f+1 replicas to tolerate f Byzantine ones."
+//!
+//! This crate implements, message-precisely and over a deterministic
+//! discrete-event harness:
+//!
+//! * [`pbft`] — PBFT (Castro & Liskov): 3f+1 replicas, three-phase commit,
+//!   view change on primary failure;
+//! * [`minbft`] — MinBFT (Veronese et al.): 2f+1 replicas, two-phase commit
+//!   anchored in the [`rsoc_hybrid::Usig`] trusted component;
+//! * [`passive`] — primary-backup (passive) replication with a heartbeat
+//!   failure detector — cheap but with a visible failover window;
+//! * [`behavior`] — pluggable faulty behaviours (crash, silence,
+//!   equivocation, UI forgery);
+//! * [`runner`] — the closed-loop client harness, latency models, message
+//!   accounting, and the cross-replica safety checker.
+//!
+//! Experiments **E3** (replica/message cost), **E4** (passive vs active)
+//! and the protocol halves of **E5–E7** run on this crate.
+//!
+//! ## Example: MinBFT committing under a Byzantine backup
+//!
+//! ```
+//! use rsoc_bft::behavior::Behavior;
+//! use rsoc_bft::minbft::MinBftCluster;
+//! use rsoc_bft::runner::{RunConfig, run};
+//!
+//! let config = RunConfig { f: 1, clients: 2, requests_per_client: 5, seed: 42, ..Default::default() };
+//! let mut cluster = MinBftCluster::new(&config);
+//! cluster.set_behavior(rsoc_bft::api::ReplicaId(2), Behavior::Silent);
+//! let report = run(&mut cluster, &config);
+//! assert!(report.safety_ok);
+//! assert_eq!(report.committed, 10);
+//! ```
+
+pub mod api;
+pub mod behavior;
+pub mod broadcast;
+pub mod minbft;
+pub mod passive;
+pub mod pbft;
+pub mod runner;
+pub mod statemachine;
+
+pub use api::{ClientId, LogEntry, OpId, Reply, ReplicaId, Request};
+pub use behavior::Behavior;
+pub use runner::{run, RunConfig, RunReport};
+pub use statemachine::{CounterMachine, KvStore, StateMachine};

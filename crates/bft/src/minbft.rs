@@ -1,0 +1,863 @@
+//! MinBFT (Veronese et al., "Efficient Byzantine Fault-Tolerance", IEEE
+//! ToC 2011) — the hybrid 2f+1 protocol the paper holds up as the payoff of
+//! architectural hybridization (§II-A, §III).
+//!
+//! Each replica owns a [`rsoc_hybrid::Usig`]; every PREPARE (primary) and
+//! COMMIT (backup) carries a USIG certificate. Because the USIG counter is
+//! monotonic and certified, a Byzantine primary cannot assign the same
+//! counter to two different messages — equivocation is structurally
+//! impossible — which is what shrinks the replica requirement from 3f+1 to
+//! 2f+1 and the commit quorum to f+1.
+//!
+//! Out-of-order delivery is handled with a per-sender hold-back queue (the
+//! USIG contiguity window only advances in counter order). The view change
+//! follows the same operational shape as our PBFT: request-patience timers,
+//! `ReqViewChange` votes (carrying prepared-but-unexecuted entries), and a
+//! re-proposal round by the new primary.
+
+use crate::api::{
+    Cluster, Endpoint, Input, LogEntry, OpId, Outbox, Reply, ReplicaId, ReplicaNode, Request,
+};
+use crate::behavior::Behavior;
+use crate::runner::RunConfig;
+use crate::statemachine::{KvStore, StateMachine};
+use rsoc_crypto::Tag;
+use rsoc_hw::{EccRegister, PlainRegister, RegisterCell};
+use rsoc_hybrid::{KeyRing, Usig, UsigId, UI};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Timer kind: request patience expired.
+const TIMER_REQUEST: u32 = 1;
+/// Backup patience before suspecting the primary.
+const REQUEST_PATIENCE: u64 = 1_500;
+
+/// MinBFT wire messages.
+#[derive(Debug, Clone)]
+pub enum MinBftMsg {
+    /// Client request.
+    Request(Request),
+    /// Primary's UI-certified ordering proposal.
+    Prepare {
+        /// View.
+        view: u64,
+        /// Global sequence number.
+        seq: u64,
+        /// Full request.
+        req: Request,
+        /// Primary's USIG certificate over `(view, seq, digest)`.
+        ui: UI,
+    },
+    /// Backup's UI-certified commit vote (carries the request so replicas
+    /// that missed the PREPARE can still execute on a commit quorum).
+    Commit {
+        /// View.
+        view: u64,
+        /// Sequence.
+        seq: u64,
+        /// Full request.
+        req: Request,
+        /// The primary's UI from the PREPARE (evidence of assignment).
+        primary_ui: UI,
+        /// Voting replica.
+        from: ReplicaId,
+        /// Voter's own USIG certificate.
+        ui: UI,
+    },
+    /// Execution result (replica → client).
+    Reply(Reply),
+    /// Vote to replace the primary.
+    ReqViewChange {
+        /// Proposed view.
+        new_view: u64,
+        /// Voter.
+        from: ReplicaId,
+        /// Prepared-but-unexecuted entries that must survive.
+        prepared: Vec<(u64, Request)>,
+    },
+    /// New primary's installation message (re-proposals follow as normal
+    /// UI-certified PREPAREs).
+    NewView {
+        /// Installed view.
+        view: u64,
+        /// Re-proposed entries.
+        preprepares: Vec<(u64, Request)>,
+    },
+}
+
+#[derive(Debug, Default)]
+struct Slot {
+    req: Option<Request>,
+    digest: Option<[u8; 32]>,
+    prepare_ok: bool,
+    commits: BTreeSet<ReplicaId>,
+    sent_commit: bool,
+    executed: bool,
+}
+
+fn prepare_bytes(view: u64, seq: u64, digest: &[u8; 32]) -> Vec<u8> {
+    let mut b = Vec::with_capacity(8 + 8 + 8 + 32);
+    b.extend_from_slice(b"PREPARE|");
+    b.extend_from_slice(&view.to_le_bytes());
+    b.extend_from_slice(&seq.to_le_bytes());
+    b.extend_from_slice(digest);
+    b
+}
+
+fn commit_bytes(view: u64, seq: u64, digest: &[u8; 32], primary_counter: u64) -> Vec<u8> {
+    let mut b = Vec::with_capacity(8 + 8 + 8 + 8 + 32);
+    b.extend_from_slice(b"COMMIT|");
+    b.extend_from_slice(&view.to_le_bytes());
+    b.extend_from_slice(&seq.to_le_bytes());
+    b.extend_from_slice(&primary_counter.to_le_bytes());
+    b.extend_from_slice(digest);
+    b
+}
+
+/// Which register protects each replica's USIG counter (experiment E2 /
+/// ablations swap this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CounterProtection {
+    /// Unprotected flip-flops.
+    Plain,
+    /// Hamming SEC-DED.
+    #[default]
+    SecDed,
+}
+
+impl CounterProtection {
+    fn build(self) -> Box<dyn RegisterCell> {
+        match self {
+            CounterProtection::Plain => Box::new(PlainRegister::new(64)),
+            CounterProtection::SecDed => Box::new(EccRegister::new(64)),
+        }
+    }
+}
+
+/// One MinBFT replica.
+#[derive(Debug)]
+pub struct MinBftReplica {
+    id: ReplicaId,
+    n: u32,
+    f: u32,
+    view: u64,
+    behavior: Behavior,
+    usig: Usig,
+    /// Hold-back ingress: per-sender buffered UI-bearing messages.
+    ingress: BTreeMap<u32, BTreeMap<u64, MinBftMsg>>,
+    /// Messages for views we have not installed yet (a NewView may still be
+    /// in flight); re-dispatched on installation.
+    future: Vec<MinBftMsg>,
+    /// Last accepted USIG counter per sender.
+    accepted: BTreeMap<u32, u64>,
+    next_seq: u64,
+    slots: BTreeMap<u64, Slot>,
+    assigned: BTreeMap<OpId, u64>,
+    stored_prepares: BTreeMap<u64, MinBftMsg>,
+    executed: BTreeMap<OpId, Vec<u8>>,
+    pending: BTreeMap<u64, Request>,
+    log: Vec<LogEntry>,
+    exec_upto: u64,
+    machine: KvStore,
+    vc_votes: BTreeMap<u64, BTreeMap<ReplicaId, Vec<(u64, Request)>>>,
+    vc_sent_for: u64,
+}
+
+impl MinBftReplica {
+    /// Creates replica `id` of an `n = 2f+1` cluster sharing `ring`.
+    pub fn new(id: ReplicaId, f: u32, ring: KeyRing, protection: CounterProtection) -> Self {
+        MinBftReplica {
+            id,
+            n: 2 * f + 1,
+            f,
+            view: 0,
+            behavior: Behavior::Correct,
+            usig: Usig::new(UsigId(id.0), ring, protection.build()),
+            ingress: BTreeMap::new(),
+            future: Vec::new(),
+            accepted: BTreeMap::new(),
+            next_seq: 1,
+            slots: BTreeMap::new(),
+            assigned: BTreeMap::new(),
+            stored_prepares: BTreeMap::new(),
+            executed: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            log: Vec::new(),
+            exec_upto: 0,
+            machine: KvStore::new(),
+            vc_votes: BTreeMap::new(),
+            vc_sent_for: 0,
+        }
+    }
+
+    /// Sets this replica's behaviour.
+    pub fn set_behavior(&mut self, behavior: Behavior) {
+        self.behavior = behavior;
+    }
+
+    /// Current behaviour.
+    pub fn behavior(&self) -> Behavior {
+        self.behavior
+    }
+
+    /// Current view.
+    pub fn view(&self) -> u64 {
+        self.view
+    }
+
+    /// SEU injection into the USIG counter register (E2 / F1).
+    pub fn inject_usig_flip(&mut self, bit: u32) {
+        self.usig.inject_counter_flip(bit);
+    }
+
+    fn primary_of(&self, view: u64) -> ReplicaId {
+        ReplicaId((view % self.n as u64) as u32)
+    }
+
+    fn is_primary(&self) -> bool {
+        self.primary_of(self.view) == self.id
+    }
+
+    fn commit_quorum(&self) -> usize {
+        (self.f + 1) as usize
+    }
+
+    fn op_token(op: OpId) -> u64 {
+        ((op.client.0 as u64) << 32) | (op.seq & 0xFFFF_FFFF)
+    }
+
+    /// Verifies a UI and enforces per-sender counter contiguity, buffering
+    /// out-of-order arrivals. Returns `true` when `msg` should be processed
+    /// now; queued messages are drained by the caller via
+    /// [`Self::take_ready`].
+    fn ingest_ui(&mut self, sender: ReplicaId, ui: &UI, signed: &[u8], msg: &MinBftMsg) -> bool {
+        if !self.usig.verify_ui(UsigId(sender.0), ui, signed) {
+            return false; // forged or corrupted certificate
+        }
+        let last = self.accepted.entry(sender.0).or_insert(0);
+        match ui.counter.cmp(&(*last + 1)) {
+            std::cmp::Ordering::Equal => {
+                *last = ui.counter;
+                true
+            }
+            std::cmp::Ordering::Greater => {
+                self.ingress
+                    .entry(sender.0)
+                    .or_default()
+                    .insert(ui.counter, msg.clone());
+                false
+            }
+            std::cmp::Ordering::Less => false, // replay / duplicate counter
+        }
+    }
+
+    /// Pops the next contiguous buffered message from any sender, if ready.
+    fn take_ready(&mut self) -> Option<MinBftMsg> {
+        let senders: Vec<u32> = self.ingress.keys().copied().collect();
+        for s in senders {
+            let next = self.accepted.get(&s).copied().unwrap_or(0) + 1;
+            if let Some(buf) = self.ingress.get_mut(&s) {
+                if let Some(msg) = buf.remove(&next) {
+                    *self.accepted.entry(s).or_insert(0) = next;
+                    return Some(msg);
+                }
+            }
+        }
+        None
+    }
+
+    fn handle_request(&mut self, req: Request, out: &mut Outbox<MinBftMsg>) {
+        if let Some(result) = self.executed.get(&req.op) {
+            out.send(
+                Endpoint::Client(req.op.client),
+                MinBftMsg::Reply(Reply { replica: self.id, op: req.op, result: result.clone() }),
+            );
+            return;
+        }
+        if self.is_primary() {
+            if let Some(seq) = self.assigned.get(&req.op).copied() {
+                // Retransmit the stored PREPARE (heals backups with counter gaps).
+                if let Some(prep) = self.stored_prepares.get(&seq).cloned() {
+                    out.broadcast(self.n, self.id, prep);
+                }
+                return;
+            }
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.assigned.insert(req.op, seq);
+            if self.behavior == Behavior::ForgeUi {
+                self.forge_equivocation(seq, req, out);
+                return;
+            }
+            let digest = req.digest();
+            let Ok(ui) = self.usig.create_ui(&prepare_bytes(self.view, seq, &digest)) else {
+                return; // fail-stopped USIG: replica can no longer lead
+            };
+            let prep = MinBftMsg::Prepare { view: self.view, seq, req: req.clone(), ui };
+            self.stored_prepares.insert(seq, prep.clone());
+            let slot = self.slots.entry(seq).or_default();
+            slot.req = Some(req);
+            slot.digest = Some(digest);
+            slot.prepare_ok = true;
+            slot.commits.insert(self.id); // the PREPARE is the primary's commit
+            slot.sent_commit = true;
+            out.broadcast(self.n, self.id, prep);
+        } else {
+            let token = Self::op_token(req.op);
+            if !self.pending.contains_key(&token) && !self.executed.contains_key(&req.op) {
+                self.pending.insert(token, req);
+                out.arm(REQUEST_PATIENCE, TIMER_REQUEST, token);
+            }
+        }
+    }
+
+    /// Byzantine primary attempting equivocation: a valid PREPARE for `req`
+    /// to half the backups and a *forged* certificate (same counter,
+    /// fabricated tag — the USIG refuses to sign twice) for a conflicting
+    /// request to the rest. The hybrid makes the forgery detectable.
+    fn forge_equivocation(&mut self, seq: u64, req: Request, out: &mut Outbox<MinBftMsg>) {
+        let digest = req.digest();
+        let Ok(ui) = self.usig.create_ui(&prepare_bytes(self.view, seq, &digest)) else {
+            return;
+        };
+        let mut evil = req.clone();
+        evil.payload.reverse();
+        let forged_ui = UI { id: UsigId(self.id.0), counter: ui.counter, tag: Tag([0xEE; 32]) };
+        let half = self.n / 2 + 1;
+        for i in 0..self.n {
+            if i == self.id.0 {
+                continue;
+            }
+            let msg = if i < half {
+                MinBftMsg::Prepare { view: self.view, seq, req: req.clone(), ui }
+            } else {
+                MinBftMsg::Prepare { view: self.view, seq, req: evil.clone(), ui: forged_ui }
+            };
+            out.send(Endpoint::Replica(ReplicaId(i)), msg);
+        }
+        let slot = self.slots.entry(seq).or_default();
+        slot.req = Some(req);
+        slot.digest = Some(digest);
+        slot.prepare_ok = true;
+        slot.commits.insert(self.id);
+        slot.sent_commit = true;
+    }
+
+    fn handle_prepare(&mut self, view: u64, seq: u64, req: Request, ui: UI, out: &mut Outbox<MinBftMsg>) {
+        if view != self.view {
+            return;
+        }
+        let digest = req.digest();
+        let primary = self.primary_of(view);
+        let slot = self.slots.entry(seq).or_default();
+        if slot.executed {
+            return;
+        }
+        if let Some(d) = slot.digest {
+            if d != digest {
+                return; // conflicts with already-evidenced assignment
+            }
+        }
+        slot.req = Some(req.clone());
+        slot.digest = Some(digest);
+        slot.prepare_ok = true;
+        slot.commits.insert(primary);
+        if !slot.sent_commit {
+            slot.sent_commit = true;
+            slot.commits.insert(self.id);
+            let Ok(my_ui) =
+                self.usig.create_ui(&commit_bytes(view, seq, &digest, ui.counter))
+            else {
+                return;
+            };
+            out.broadcast(
+                self.n,
+                self.id,
+                MinBftMsg::Commit {
+                    view,
+                    seq,
+                    req,
+                    primary_ui: ui,
+                    from: self.id,
+                    ui: my_ui,
+                },
+            );
+        }
+        self.try_execute(out);
+    }
+
+    fn handle_commit(&mut self, view: u64, seq: u64, req: Request, primary_ui: UI, from: ReplicaId, out: &mut Outbox<MinBftMsg>) {
+        if view != self.view {
+            return;
+        }
+        // The commit must reference a genuine primary certificate.
+        let digest = req.digest();
+        if !self.usig.verify_ui(
+            UsigId(self.primary_of(view).0),
+            &primary_ui,
+            &prepare_bytes(view, seq, &digest),
+        ) {
+            return;
+        }
+        let primary = self.primary_of(view);
+        let slot = self.slots.entry(seq).or_default();
+        if let Some(d) = slot.digest {
+            if d != digest {
+                return;
+            }
+        }
+        slot.req.get_or_insert(req);
+        slot.digest = Some(digest);
+        slot.commits.insert(from);
+        slot.commits.insert(primary);
+        self.try_execute(out);
+    }
+
+    fn try_execute(&mut self, out: &mut Outbox<MinBftMsg>) {
+        let quorum = self.commit_quorum();
+        loop {
+            let next = self.exec_upto + 1;
+            let ready = match self.slots.get(&next) {
+                Some(s) => !s.executed && s.req.is_some() && s.commits.len() >= quorum,
+                None => false,
+            };
+            if !ready {
+                break;
+            }
+            let slot = self.slots.get_mut(&next).expect("checked");
+            slot.executed = true;
+            let req = slot.req.clone().expect("checked");
+            let digest = slot.digest.expect("digest follows req");
+            self.exec_upto = next;
+            let result = self.machine.apply(&req.payload);
+            self.log.push(LogEntry { seq: next, op: req.op, digest });
+            self.executed.insert(req.op, result.clone());
+            self.pending.remove(&Self::op_token(req.op));
+            self.assigned.insert(req.op, next);
+            out.send(
+                Endpoint::Client(req.op.client),
+                MinBftMsg::Reply(Reply { replica: self.id, op: req.op, result }),
+            );
+        }
+    }
+
+    fn prepared_uncommitted(&self) -> Vec<(u64, Request)> {
+        self.slots
+            .iter()
+            .filter(|(_, s)| !s.executed && s.prepare_ok)
+            .filter_map(|(seq, s)| s.req.clone().map(|r| (*seq, r)))
+            .collect()
+    }
+
+    fn start_view_change(&mut self, new_view: u64, out: &mut Outbox<MinBftMsg>) {
+        if new_view <= self.view || self.vc_sent_for >= new_view {
+            return;
+        }
+        self.vc_sent_for = new_view;
+        let prepared = self.prepared_uncommitted();
+        self.vc_votes.entry(new_view).or_default().insert(self.id, prepared.clone());
+        out.broadcast(
+            self.n,
+            self.id,
+            MinBftMsg::ReqViewChange { new_view, from: self.id, prepared },
+        );
+        self.maybe_install_view(new_view, out);
+    }
+
+    fn handle_req_view_change(
+        &mut self,
+        new_view: u64,
+        from: ReplicaId,
+        prepared: Vec<(u64, Request)>,
+        out: &mut Outbox<MinBftMsg>,
+    ) {
+        if new_view <= self.view {
+            return;
+        }
+        self.vc_votes.entry(new_view).or_default().insert(from, prepared);
+        if !self.vc_votes[&new_view].is_empty() {
+            // In MinBFT a single valid suspicion suffices to join, because
+            // UI certificates make false accusations non-amplifiable; we
+            // require our own patience timer OR f+1 votes, matching the
+            // conservative reading:
+            if self.vc_votes[&new_view].len() >= (self.f + 1) as usize {
+                self.start_view_change(new_view, out);
+            }
+        }
+        self.maybe_install_view(new_view, out);
+    }
+
+    fn maybe_install_view(&mut self, new_view: u64, out: &mut Outbox<MinBftMsg>) {
+        let Some(votes) = self.vc_votes.get(&new_view) else { return };
+        if votes.len() < (self.f + 1) as usize || self.primary_of(new_view) != self.id {
+            return;
+        }
+        let mut repropose: BTreeMap<u64, Request> = BTreeMap::new();
+        for entries in votes.values() {
+            for (seq, req) in entries {
+                repropose.entry(*seq).or_insert_with(|| req.clone());
+            }
+        }
+        for (seq, req) in self.prepared_uncommitted() {
+            repropose.entry(seq).or_insert(req);
+        }
+        self.view = new_view;
+        let max_seq = repropose.keys().max().copied().unwrap_or(self.exec_upto);
+        self.next_seq = self.next_seq.max(max_seq + 1);
+        let covered: BTreeSet<OpId> = repropose.values().map(|r| r.op).collect();
+        let pending: Vec<Request> = self.pending.values().cloned().collect();
+        for req in pending {
+            if covered.contains(&req.op) || self.executed.contains_key(&req.op) {
+                continue;
+            }
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            repropose.insert(seq, req);
+        }
+        let preprepares: Vec<(u64, Request)> = repropose.iter().map(|(s, r)| (*s, r.clone())).collect();
+        out.broadcast(self.n, self.id, MinBftMsg::NewView { view: new_view, preprepares });
+        // Re-propose everything with fresh UIs as the new primary.
+        self.install_as_primary(repropose, out);
+        self.replay_future(out);
+    }
+
+    fn install_as_primary(&mut self, entries: BTreeMap<u64, Request>, out: &mut Outbox<MinBftMsg>) {
+        for (seq, req) in entries {
+            if self.slots.get(&seq).map(|s| s.executed).unwrap_or(false) {
+                continue;
+            }
+            let digest = req.digest();
+            let Ok(ui) = self.usig.create_ui(&prepare_bytes(self.view, seq, &digest)) else {
+                return;
+            };
+            let prep = MinBftMsg::Prepare { view: self.view, seq, req: req.clone(), ui };
+            self.stored_prepares.insert(seq, prep.clone());
+            self.assigned.insert(req.op, seq);
+            let slot = self.slots.entry(seq).or_default();
+            // Reset stale votes from the old view.
+            slot.commits.clear();
+            slot.req = Some(req);
+            slot.digest = Some(digest);
+            slot.prepare_ok = true;
+            slot.commits.insert(self.id);
+            slot.sent_commit = true;
+            out.broadcast(self.n, self.id, prep);
+        }
+        self.try_execute(out);
+    }
+
+    fn handle_new_view(&mut self, view: u64, from: Endpoint, out: &mut Outbox<MinBftMsg>) {
+        if view <= self.view {
+            return;
+        }
+        if from != Endpoint::Replica(self.primary_of(view)) {
+            return;
+        }
+        // Adopt the view; actual agreement re-runs via the primary's fresh
+        // PREPAREs (which carry verifiable UIs). Clear stale votes.
+        self.view = view;
+        self.vc_sent_for = self.vc_sent_for.max(view);
+        for slot in self.slots.values_mut() {
+            if !slot.executed {
+                slot.commits.clear();
+                slot.prepare_ok = false;
+                slot.sent_commit = false;
+            }
+        }
+        let tokens: Vec<u64> = self.pending.keys().copied().collect();
+        for token in tokens {
+            out.arm(REQUEST_PATIENCE, TIMER_REQUEST, token);
+        }
+        self.replay_future(out);
+    }
+
+    /// Re-dispatches messages stashed for views we had not installed yet.
+    fn replay_future(&mut self, out: &mut Outbox<MinBftMsg>) {
+        let current = self.view;
+        let stash = std::mem::take(&mut self.future);
+        for msg in stash {
+            let msg_view = match &msg {
+                MinBftMsg::Prepare { view, .. } | MinBftMsg::Commit { view, .. } => *view,
+                _ => continue,
+            };
+            if msg_view > current {
+                self.future.push(msg); // still ahead of us
+            } else {
+                // From a generic peer endpoint: dispatch re-checks everything.
+                self.dispatch(Endpoint::Replica(self.primary_of(msg_view)), msg, out);
+            }
+        }
+    }
+
+    fn dispatch(&mut self, from: Endpoint, msg: MinBftMsg, out: &mut Outbox<MinBftMsg>) {
+        match msg {
+            MinBftMsg::Request(req) => self.handle_request(req, out),
+            MinBftMsg::Prepare { view, seq, req, ui } => {
+                if view > self.view {
+                    // The installing NewView may still be in flight. Do NOT
+                    // consume the sender's UI counter yet — stash verbatim.
+                    self.future.push(MinBftMsg::Prepare { view, seq, req, ui });
+                    return;
+                }
+                let digest = req.digest();
+                let msg_copy = MinBftMsg::Prepare { view, seq, req: req.clone(), ui };
+                let sender = self.primary_of(view);
+                if self.ingest_ui(sender, &ui, &prepare_bytes(view, seq, &digest), &msg_copy) {
+                    self.handle_prepare(view, seq, req, ui, out);
+                    self.drain_ready(out);
+                }
+            }
+            MinBftMsg::Commit { view, seq, req, primary_ui, from: voter, ui } => {
+                if view > self.view {
+                    self.future.push(MinBftMsg::Commit { view, seq, req, primary_ui, from: voter, ui });
+                    return;
+                }
+                let digest = req.digest();
+                let msg_copy = MinBftMsg::Commit {
+                    view,
+                    seq,
+                    req: req.clone(),
+                    primary_ui,
+                    from: voter,
+                    ui,
+                };
+                if self.ingest_ui(
+                    voter,
+                    &ui,
+                    &commit_bytes(view, seq, &digest, primary_ui.counter),
+                    &msg_copy,
+                ) {
+                    self.handle_commit(view, seq, req, primary_ui, voter, out);
+                    self.drain_ready(out);
+                }
+            }
+            MinBftMsg::ReqViewChange { new_view, from: voter, prepared } => {
+                self.handle_req_view_change(new_view, voter, prepared, out)
+            }
+            MinBftMsg::NewView { view, preprepares } => {
+                let _ = preprepares; // re-proposals arrive as fresh PREPAREs
+                self.handle_new_view(view, from, out)
+            }
+            MinBftMsg::Reply(_) => {}
+        }
+    }
+
+    fn drain_ready(&mut self, out: &mut Outbox<MinBftMsg>) {
+        while let Some(msg) = self.take_ready() {
+            match msg {
+                MinBftMsg::Prepare { view, seq, req, ui } => {
+                    self.handle_prepare(view, seq, req, ui, out)
+                }
+                MinBftMsg::Commit { view, seq, req, primary_ui, from, ui } => {
+                    let _ = ui;
+                    self.handle_commit(view, seq, req, primary_ui, from, out)
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+impl ReplicaNode for MinBftReplica {
+    type Msg = MinBftMsg;
+
+    fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    fn on_input(&mut self, input: Input<MinBftMsg>, now: u64, out: &mut Outbox<MinBftMsg>) {
+        if self.behavior.crashed_at(now) {
+            return;
+        }
+        let mut staged = Outbox::new();
+        match input {
+            Input::Message { from, msg } => self.dispatch(from, msg, &mut staged),
+            Input::Timer { kind: TIMER_REQUEST, token } => {
+                if self.pending.contains_key(&token) {
+                    let next = self.view + 1;
+                    self.start_view_change(next, &mut staged);
+                    staged.arm(REQUEST_PATIENCE, TIMER_REQUEST, token);
+                }
+            }
+            Input::Timer { .. } => {}
+        }
+        if self.behavior.sends_at(now) {
+            out.msgs.extend(staged.msgs);
+        }
+        out.timers.extend(staged.timers);
+    }
+
+    fn committed_log(&self) -> &[LogEntry] {
+        &self.log
+    }
+
+    fn make_request(req: Request) -> MinBftMsg {
+        MinBftMsg::Request(req)
+    }
+
+    fn as_reply(msg: &MinBftMsg) -> Option<&Reply> {
+        match msg {
+            MinBftMsg::Reply(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// A MinBFT cluster of `2f+1` replicas sharing a provisioned key ring.
+#[derive(Debug)]
+pub struct MinBftCluster {
+    nodes: Vec<MinBftReplica>,
+    f: u32,
+}
+
+impl MinBftCluster {
+    /// Builds the cluster for `config.f` with SEC-DED-protected USIGs.
+    pub fn new(config: &RunConfig) -> Self {
+        Self::with_protection(config, CounterProtection::SecDed)
+    }
+
+    /// Builds the cluster with an explicit USIG counter protection level.
+    pub fn with_protection(config: &RunConfig, protection: CounterProtection) -> Self {
+        let n = 2 * config.f + 1;
+        let ring = KeyRing::provision(config.seed, n);
+        MinBftCluster {
+            nodes: (0..n)
+                .map(|i| MinBftReplica::new(ReplicaId(i), config.f, ring.clone(), protection))
+                .collect(),
+            f: config.f,
+        }
+    }
+
+    /// Overrides one replica's behaviour.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn set_behavior(&mut self, id: ReplicaId, behavior: Behavior) {
+        self.nodes[id.0 as usize].set_behavior(behavior);
+    }
+
+    /// Fault threshold.
+    pub fn f(&self) -> u32 {
+        self.f
+    }
+}
+
+impl Cluster for MinBftCluster {
+    type Node = MinBftReplica;
+
+    fn nodes_mut(&mut self) -> &mut [MinBftReplica] {
+        &mut self.nodes
+    }
+
+    fn nodes(&self) -> &[MinBftReplica] {
+        &self.nodes
+    }
+
+    fn reply_quorum(&self) -> usize {
+        (self.f + 1) as usize
+    }
+
+    fn protocol_name(&self) -> &'static str {
+        "minbft"
+    }
+
+    fn correct_replicas(&self) -> Vec<ReplicaId> {
+        self.nodes
+            .iter()
+            .filter(|n| !n.behavior().is_byzantine())
+            .map(|n| n.id())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run, RunConfig};
+
+    fn config(f: u32, clients: u32, reqs: u64, seed: u64) -> RunConfig {
+        RunConfig { f, clients, requests_per_client: reqs, seed, ..Default::default() }
+    }
+
+    #[test]
+    fn fault_free_commits_with_2f_plus_1() {
+        let cfg = config(1, 2, 10, 21);
+        let mut cluster = MinBftCluster::new(&cfg);
+        let report = run(&mut cluster, &cfg);
+        assert_eq!(report.n_replicas, 3, "MinBFT needs only 2f+1 replicas");
+        assert_eq!(report.committed, 20);
+        assert!(report.safety_ok);
+    }
+
+    #[test]
+    fn cheaper_than_pbft_in_messages() {
+        let cfg = config(1, 1, 10, 23);
+        let minbft = run(&mut MinBftCluster::new(&cfg), &cfg);
+        let pbft = run(&mut crate::pbft::PbftCluster::new(&cfg), &cfg);
+        assert!(
+            minbft.messages_per_commit() < pbft.messages_per_commit(),
+            "minbft {:.1} msgs/op must beat pbft {:.1}",
+            minbft.messages_per_commit(),
+            pbft.messages_per_commit()
+        );
+    }
+
+    #[test]
+    fn tolerates_silent_backup() {
+        let cfg = config(1, 1, 10, 25);
+        let mut cluster = MinBftCluster::new(&cfg);
+        cluster.set_behavior(ReplicaId(2), Behavior::Silent);
+        let report = run(&mut cluster, &cfg);
+        assert_eq!(report.committed, 10);
+        assert!(report.safety_ok);
+    }
+
+    #[test]
+    fn primary_crash_recovers_via_view_change() {
+        let cfg = RunConfig { max_cycles: 8_000_000, ..config(1, 1, 8, 27) };
+        let mut cluster = MinBftCluster::new(&cfg);
+        cluster.set_behavior(ReplicaId(0), Behavior::CrashAt(150));
+        let report = run(&mut cluster, &cfg);
+        assert_eq!(report.committed, 8);
+        assert!(report.safety_ok);
+        assert!(cluster.nodes()[1].view() >= 1, "view advanced past the dead primary");
+    }
+
+    #[test]
+    fn forged_ui_equivocation_is_contained() {
+        let cfg = RunConfig { max_cycles: 8_000_000, ..config(1, 2, 6, 29) };
+        let mut cluster = MinBftCluster::new(&cfg);
+        cluster.set_behavior(ReplicaId(0), Behavior::ForgeUi);
+        let report = run(&mut cluster, &cfg);
+        assert!(report.safety_ok, "forged certificates must not split the log");
+        assert_eq!(report.committed, 12, "correct replicas still make progress");
+    }
+
+    #[test]
+    fn message_loss_recovered_by_prepare_retransmission() {
+        let cfg = RunConfig { drop_rate: 0.05, max_cycles: 8_000_000, ..config(1, 1, 8, 31) };
+        let mut cluster = MinBftCluster::new(&cfg);
+        let report = run(&mut cluster, &cfg);
+        assert_eq!(report.committed, 8);
+        assert!(report.safety_ok);
+    }
+
+    #[test]
+    fn f2_scales_to_five_replicas() {
+        let cfg = config(2, 1, 6, 33);
+        let mut cluster = MinBftCluster::new(&cfg);
+        cluster.set_behavior(ReplicaId(4), Behavior::Crashed);
+        let report = run(&mut cluster, &cfg);
+        assert_eq!(report.n_replicas, 5);
+        assert_eq!(report.committed, 6);
+        assert!(report.safety_ok);
+    }
+
+    #[test]
+    fn plain_counter_protection_is_available_for_e2() {
+        let cfg = config(1, 1, 4, 35);
+        let mut cluster = MinBftCluster::with_protection(&cfg, CounterProtection::Plain);
+        let report = run(&mut cluster, &cfg);
+        assert_eq!(report.committed, 4);
+        assert_eq!(cluster.nodes()[0].usig.protection_name(), "plain");
+    }
+}

@@ -1,0 +1,391 @@
+//! Passive (primary-backup) replication — §II-A's cheap baseline:
+//! "Passive replication allows a failing system to failover into a backup
+//! replica. This is a cheap solution that typically requires one passive
+//! backup replica. However, recovery is slow, requires reliable detection
+//! and is not seamless to the user."
+//!
+//! The primary executes requests and ships state updates to the backup;
+//! a heartbeat failure detector promotes the backup when the primary goes
+//! quiet. Experiment E4 measures exactly the paper's trade-off: steady-state
+//! cost (2 replicas, 2 messages/op) vs the failover unavailability window.
+
+use crate::api::{
+    Cluster, Endpoint, Input, LogEntry, OpId, Outbox, Reply, ReplicaId, ReplicaNode, Request,
+};
+use crate::behavior::Behavior;
+use crate::runner::RunConfig;
+use crate::statemachine::{KvStore, StateMachine};
+use std::collections::BTreeMap;
+
+/// Timer kind: primary sends its next heartbeat.
+const TIMER_HEARTBEAT: u32 = 1;
+/// Timer kind: backup checks heartbeat freshness.
+const TIMER_DETECT: u32 = 2;
+
+/// Passive-replication wire messages.
+#[derive(Debug, Clone)]
+pub enum PassiveMsg {
+    /// Client request.
+    Request(Request),
+    /// Primary → backup: executed operation and its result.
+    StateUpdate {
+        /// Epoch of the sending primary.
+        epoch: u64,
+        /// Log sequence.
+        seq: u64,
+        /// The executed request.
+        req: Request,
+        /// Execution result (so the backup answers retries identically).
+        result: Vec<u8>,
+    },
+    /// Primary liveness signal.
+    Heartbeat {
+        /// Sender's epoch.
+        epoch: u64,
+        /// Sender.
+        from: ReplicaId,
+    },
+    /// Execution result (replica → client).
+    Reply(Reply),
+}
+
+/// One passive-replication replica (two per cluster).
+#[derive(Debug)]
+pub struct PassiveReplica {
+    id: ReplicaId,
+    behavior: Behavior,
+    /// Current primary epoch; primary is `epoch % 2`.
+    epoch: u64,
+    bootstrapped: bool,
+    last_heartbeat: u64,
+    heartbeat_interval: u64,
+    detect_timeout: u64,
+    log: Vec<LogEntry>,
+    executed: BTreeMap<OpId, Vec<u8>>,
+    machine: KvStore,
+    next_seq: u64,
+    /// Out-of-order state updates held back until their predecessors apply.
+    held_updates: BTreeMap<u64, (Request, Vec<u8>)>,
+    /// Count of failovers this replica performed.
+    failovers: u32,
+}
+
+impl PassiveReplica {
+    /// Creates a replica; `id.0` must be 0 (initial primary) or 1 (backup).
+    ///
+    /// # Panics
+    /// Panics for ids other than 0 and 1.
+    pub fn new(id: ReplicaId, heartbeat_interval: u64, detect_timeout: u64) -> Self {
+        assert!(id.0 < 2, "passive replication uses exactly two replicas");
+        PassiveReplica {
+            id,
+            behavior: Behavior::Correct,
+            epoch: 0,
+            bootstrapped: false,
+            last_heartbeat: 0,
+            heartbeat_interval,
+            detect_timeout,
+            log: Vec::new(),
+            executed: BTreeMap::new(),
+            machine: KvStore::new(),
+            next_seq: 1,
+            held_updates: BTreeMap::new(),
+            failovers: 0,
+        }
+    }
+
+    /// Sets this replica's behaviour.
+    pub fn set_behavior(&mut self, behavior: Behavior) {
+        self.behavior = behavior;
+    }
+
+    /// Current behaviour.
+    pub fn behavior(&self) -> Behavior {
+        self.behavior
+    }
+
+    /// Whether this replica currently believes it is the primary.
+    pub fn is_primary(&self) -> bool {
+        (self.epoch % 2) as u32 == self.id.0
+    }
+
+    /// Number of failovers this replica performed.
+    pub fn failovers(&self) -> u32 {
+        self.failovers
+    }
+
+    fn peer(&self) -> ReplicaId {
+        ReplicaId(1 - self.id.0)
+    }
+
+    fn bootstrap(&mut self, now: u64, out: &mut Outbox<PassiveMsg>) {
+        if self.bootstrapped {
+            return;
+        }
+        self.bootstrapped = true;
+        self.last_heartbeat = now;
+        if self.is_primary() {
+            out.arm(self.heartbeat_interval, TIMER_HEARTBEAT, 0);
+        } else {
+            out.arm(self.detect_timeout, TIMER_DETECT, 0);
+        }
+    }
+
+    fn handle_request(&mut self, req: Request, out: &mut Outbox<PassiveMsg>) {
+        if let Some(result) = self.executed.get(&req.op) {
+            out.send(
+                Endpoint::Client(req.op.client),
+                PassiveMsg::Reply(Reply { replica: self.id, op: req.op, result: result.clone() }),
+            );
+            return;
+        }
+        if !self.is_primary() {
+            return; // backups ignore requests — the failover gap E4 measures
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let result = self.machine.apply(&req.payload);
+        self.log.push(LogEntry { seq, op: req.op, digest: req.digest() });
+        self.executed.insert(req.op, result.clone());
+        out.send(
+            Endpoint::Replica(self.peer()),
+            PassiveMsg::StateUpdate { epoch: self.epoch, seq, req: req.clone(), result: result.clone() },
+        );
+        out.send(
+            Endpoint::Client(req.op.client),
+            PassiveMsg::Reply(Reply { replica: self.id, op: req.op, result }),
+        );
+    }
+
+    fn handle_state_update(&mut self, epoch: u64, seq: u64, req: Request, result: Vec<u8>) {
+        if epoch < self.epoch || self.is_primary() {
+            return; // stale update from a deposed primary
+        }
+        if self.executed.contains_key(&req.op) {
+            return;
+        }
+        // Updates can be reordered by the interconnect; hold back until the
+        // predecessor applied so the backup's log mirrors the primary's.
+        self.held_updates.insert(seq, (req, result));
+        loop {
+            let next = self.log.len() as u64 + 1;
+            let Some((req, result)) = self.held_updates.remove(&next) else { break };
+            self.machine.apply(&req.payload);
+            self.log.push(LogEntry { seq: next, op: req.op, digest: req.digest() });
+            self.executed.insert(req.op, result);
+            self.next_seq = self.next_seq.max(next + 1);
+        }
+    }
+}
+
+impl ReplicaNode for PassiveReplica {
+    type Msg = PassiveMsg;
+
+    fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    fn on_input(&mut self, input: Input<PassiveMsg>, now: u64, out: &mut Outbox<PassiveMsg>) {
+        if self.behavior.crashed_at(now) {
+            return;
+        }
+        let mut staged = Outbox::new();
+        self.bootstrap(now, &mut staged);
+        match input {
+            Input::Message { from: _, msg } => match msg {
+                PassiveMsg::Request(req) => self.handle_request(req, &mut staged),
+                PassiveMsg::StateUpdate { epoch, seq, req, result } => {
+                    self.handle_state_update(epoch, seq, req, result)
+                }
+                PassiveMsg::Heartbeat { epoch, from: _ } => {
+                    if epoch >= self.epoch {
+                        self.epoch = epoch;
+                        self.last_heartbeat = now;
+                    }
+                }
+                PassiveMsg::Reply(_) => {}
+            },
+            Input::Timer { kind: TIMER_HEARTBEAT, .. } => {
+                if self.is_primary() {
+                    staged.send(
+                        Endpoint::Replica(self.peer()),
+                        PassiveMsg::Heartbeat { epoch: self.epoch, from: self.id },
+                    );
+                    staged.arm(self.heartbeat_interval, TIMER_HEARTBEAT, 0);
+                }
+            }
+            Input::Timer { kind: TIMER_DETECT, .. } => {
+                if !self.is_primary() {
+                    if now.saturating_sub(self.last_heartbeat) > self.detect_timeout {
+                        // Failure detected: promote self.
+                        self.epoch += 1;
+                        self.failovers += 1;
+                        debug_assert!(self.is_primary());
+                        staged.send(
+                            Endpoint::Replica(self.peer()),
+                            PassiveMsg::Heartbeat { epoch: self.epoch, from: self.id },
+                        );
+                        staged.arm(self.heartbeat_interval, TIMER_HEARTBEAT, 0);
+                    } else {
+                        staged.arm(self.detect_timeout, TIMER_DETECT, 0);
+                    }
+                }
+            }
+            Input::Timer { .. } => {}
+        }
+        if self.behavior.sends_at(now) {
+            out.msgs.extend(staged.msgs);
+        }
+        out.timers.extend(staged.timers);
+    }
+
+    fn committed_log(&self) -> &[LogEntry] {
+        &self.log
+    }
+
+    fn make_request(req: Request) -> PassiveMsg {
+        PassiveMsg::Request(req)
+    }
+
+    fn as_reply(msg: &PassiveMsg) -> Option<&Reply> {
+        match msg {
+            PassiveMsg::Reply(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// A primary-backup pair.
+#[derive(Debug)]
+pub struct PassiveCluster {
+    nodes: Vec<PassiveReplica>,
+}
+
+impl PassiveCluster {
+    /// Builds the pair with default detector settings (heartbeat every 200
+    /// cycles, suspect after 800).
+    pub fn new(_config: &RunConfig) -> Self {
+        Self::with_detector(200, 800)
+    }
+
+    /// Builds the pair with explicit detector settings.
+    pub fn with_detector(heartbeat_interval: u64, detect_timeout: u64) -> Self {
+        PassiveCluster {
+            nodes: vec![
+                PassiveReplica::new(ReplicaId(0), heartbeat_interval, detect_timeout),
+                PassiveReplica::new(ReplicaId(1), heartbeat_interval, detect_timeout),
+            ],
+        }
+    }
+
+    /// Overrides one replica's behaviour.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn set_behavior(&mut self, id: ReplicaId, behavior: Behavior) {
+        self.nodes[id.0 as usize].set_behavior(behavior);
+    }
+}
+
+impl Cluster for PassiveCluster {
+    type Node = PassiveReplica;
+
+    fn nodes_mut(&mut self) -> &mut [PassiveReplica] {
+        &mut self.nodes
+    }
+
+    fn nodes(&self) -> &[PassiveReplica] {
+        &self.nodes
+    }
+
+    fn reply_quorum(&self) -> usize {
+        1
+    }
+
+    fn protocol_name(&self) -> &'static str {
+        "passive"
+    }
+
+    fn correct_replicas(&self) -> Vec<ReplicaId> {
+        self.nodes
+            .iter()
+            .filter(|n| !n.behavior().is_byzantine())
+            .map(|n| n.id())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run, RunConfig};
+
+    fn config(clients: u32, reqs: u64, seed: u64) -> RunConfig {
+        RunConfig { f: 1, clients, requests_per_client: reqs, seed, ..Default::default() }
+    }
+
+    #[test]
+    fn fault_free_serves_from_primary() {
+        let cfg = config(2, 10, 41);
+        let mut cluster = PassiveCluster::new(&cfg);
+        let report = run(&mut cluster, &cfg);
+        assert_eq!(report.committed, 20);
+        assert!(report.safety_ok);
+        assert_eq!(report.n_replicas, 2, "passive needs one backup only");
+        assert!(cluster.nodes()[0].is_primary());
+        // Backup mirrors the primary's log via state updates.
+        assert_eq!(cluster.nodes()[1].committed_log().len(), 20);
+    }
+
+    #[test]
+    fn cheapest_steady_state_of_all_protocols() {
+        let cfg = config(1, 10, 43);
+        let passive = run(&mut PassiveCluster::new(&cfg), &cfg);
+        let minbft = run(&mut crate::minbft::MinBftCluster::new(&cfg), &cfg);
+        assert!(passive.messages_per_commit() < minbft.messages_per_commit());
+    }
+
+    #[test]
+    fn primary_crash_fails_over_to_backup() {
+        let cfg = RunConfig { max_cycles: 10_000_000, ..config(1, 10, 45) };
+        let mut cluster = PassiveCluster::new(&cfg);
+        cluster.set_behavior(ReplicaId(0), Behavior::CrashAt(100));
+        let report = run(&mut cluster, &cfg);
+        assert_eq!(report.committed, 10, "backup finishes the workload");
+        assert!(report.safety_ok);
+        assert_eq!(cluster.nodes()[1].failovers(), 1);
+        assert!(cluster.nodes()[1].is_primary());
+    }
+
+    #[test]
+    fn failover_window_visible_in_latency_tail() {
+        let cfg = RunConfig { max_cycles: 10_000_000, client_timeout: 500, ..config(1, 10, 47) };
+        let mut cluster = PassiveCluster::new(&cfg);
+        cluster.set_behavior(ReplicaId(0), Behavior::CrashAt(100));
+        let report = run(&mut cluster, &cfg);
+        assert_eq!(report.committed, 10);
+        let p_max = report.commit_latency.quantile(1.0).unwrap();
+        let p50 = report.commit_latency.median().unwrap();
+        // The op in flight during failover pays detector timeout + retries.
+        assert!(
+            p_max > p50 * 10.0,
+            "failover is not seamless: max {p_max} vs median {p50}"
+        );
+        assert!(report.client_retries > 0);
+    }
+
+    #[test]
+    fn no_failover_when_primary_healthy() {
+        let cfg = config(1, 20, 49);
+        let mut cluster = PassiveCluster::new(&cfg);
+        let report = run(&mut cluster, &cfg);
+        assert_eq!(report.committed, 20);
+        assert_eq!(cluster.nodes()[1].failovers(), 0, "no spurious failovers");
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly two replicas")]
+    fn rejects_third_replica() {
+        PassiveReplica::new(ReplicaId(2), 100, 400);
+    }
+}

@@ -1,0 +1,740 @@
+//! PBFT (Castro & Liskov, OSDI'99): the classic 3f+1 Byzantine
+//! fault-tolerant state-machine replication protocol — the paper's baseline
+//! for "active replication ... execute an agreement protocol, e.g. Paxos or
+//! PBFT" (§II-A).
+//!
+//! Implemented message-precisely for the steady state (pre-prepare /
+//! prepare / commit with 2f+1 quorums) plus an operational view change
+//! (request timeouts → VIEW-CHANGE → NEW-VIEW re-proposal). Checkpoints and
+//! log GC are out of scope (runs are finite); the view change carries
+//! prepared sets without cryptographic proofs, which is sound here because
+//! the harness measures safety against *replica* misbehaviour, not
+//! view-change forgery.
+
+use crate::api::{
+    Cluster, Endpoint, Input, LogEntry, OpId, Outbox, Reply, ReplicaId, ReplicaNode, Request,
+};
+use crate::behavior::Behavior;
+use crate::runner::RunConfig;
+use crate::statemachine::{KvStore, StateMachine};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Timer kind: a backup's patience for a pending request ran out.
+const TIMER_REQUEST: u32 = 1;
+/// Cycles a backup waits for a request to commit before suspecting the
+/// primary.
+const REQUEST_PATIENCE: u64 = 1_500;
+
+/// PBFT wire messages.
+#[derive(Debug, Clone)]
+pub enum PbftMsg {
+    /// Client request (client → all replicas).
+    Request(Request),
+    /// Primary's ordering proposal.
+    PrePrepare {
+        /// View the proposal belongs to.
+        view: u64,
+        /// Global sequence number.
+        seq: u64,
+        /// The full request.
+        req: Request,
+    },
+    /// Backup's agreement to the proposal.
+    Prepare {
+        /// View.
+        view: u64,
+        /// Sequence.
+        seq: u64,
+        /// Request digest.
+        digest: [u8; 32],
+        /// Voting replica.
+        from: ReplicaId,
+    },
+    /// Commit vote after the prepared certificate is reached.
+    Commit {
+        /// View.
+        view: u64,
+        /// Sequence.
+        seq: u64,
+        /// Request digest.
+        digest: [u8; 32],
+        /// Voting replica.
+        from: ReplicaId,
+    },
+    /// Execution result (replica → client).
+    Reply(Reply),
+    /// Suspicion of the primary; vote to move to `new_view`.
+    ViewChange {
+        /// Proposed view.
+        new_view: u64,
+        /// Voter.
+        from: ReplicaId,
+        /// Entries prepared at the voter (must survive the view change).
+        prepared: Vec<(u64, Request)>,
+    },
+    /// New primary's installation message.
+    NewView {
+        /// The installed view.
+        view: u64,
+        /// Re-proposed `(seq, request)` pairs.
+        preprepares: Vec<(u64, Request)>,
+    },
+}
+
+#[derive(Debug, Default)]
+struct Slot {
+    req: Option<Request>,
+    digest: Option<[u8; 32]>,
+    prepares: BTreeSet<ReplicaId>,
+    commits: BTreeSet<ReplicaId>,
+    sent_commit: bool,
+    executed: bool,
+}
+
+/// One PBFT replica.
+#[derive(Debug)]
+pub struct PbftReplica {
+    id: ReplicaId,
+    n: u32,
+    f: u32,
+    view: u64,
+    behavior: Behavior,
+    next_seq: u64,
+    slots: BTreeMap<u64, Slot>,
+    assigned: BTreeMap<OpId, u64>,
+    executed: BTreeMap<OpId, Vec<u8>>,
+    pending: BTreeMap<u64, Request>,
+    stored_preprepares: BTreeMap<u64, PbftMsg>,
+    log: Vec<LogEntry>,
+    exec_upto: u64,
+    machine: KvStore,
+    vc_votes: BTreeMap<u64, BTreeMap<ReplicaId, Vec<(u64, Request)>>>,
+    vc_sent_for: u64,
+}
+
+impl PbftReplica {
+    /// Creates replica `id` of an `n = 3f+1` cluster.
+    pub fn new(id: ReplicaId, f: u32) -> Self {
+        PbftReplica {
+            id,
+            n: 3 * f + 1,
+            f,
+            view: 0,
+            behavior: Behavior::Correct,
+            next_seq: 1,
+            slots: BTreeMap::new(),
+            assigned: BTreeMap::new(),
+            executed: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            stored_preprepares: BTreeMap::new(),
+            log: Vec::new(),
+            exec_upto: 0,
+            machine: KvStore::new(),
+            vc_votes: BTreeMap::new(),
+            vc_sent_for: 0,
+        }
+    }
+
+    /// Sets this replica's (mis)behaviour.
+    pub fn set_behavior(&mut self, behavior: Behavior) {
+        self.behavior = behavior;
+    }
+
+    /// Current behaviour.
+    pub fn behavior(&self) -> Behavior {
+        self.behavior
+    }
+
+    /// Current view.
+    pub fn view(&self) -> u64 {
+        self.view
+    }
+
+    fn primary_of(&self, view: u64) -> ReplicaId {
+        ReplicaId((view % self.n as u64) as u32)
+    }
+
+    fn is_primary(&self) -> bool {
+        self.primary_of(self.view) == self.id
+    }
+
+    fn quorum(&self) -> usize {
+        (2 * self.f + 1) as usize
+    }
+
+    fn op_token(op: OpId) -> u64 {
+        ((op.client.0 as u64) << 32) | (op.seq & 0xFFFF_FFFF)
+    }
+
+    fn handle_request(&mut self, req: Request, out: &mut Outbox<PbftMsg>) {
+        if let Some(result) = self.executed.get(&req.op) {
+            out.send(
+                Endpoint::Client(req.op.client),
+                PbftMsg::Reply(Reply { replica: self.id, op: req.op, result: result.clone() }),
+            );
+            return;
+        }
+        if self.is_primary() {
+            if let Some(seq) = self.assigned.get(&req.op).copied() {
+                // Client retry for an in-flight op: re-announce so replicas
+                // that discarded messages during a view change catch up.
+                if let Some(pp) = self.stored_preprepares.get(&seq).cloned() {
+                    out.broadcast(self.n, self.id, pp);
+                }
+                self.reannounce_commit(seq, out);
+                return;
+            }
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.assigned.insert(req.op, seq);
+            if self.behavior == Behavior::Equivocate {
+                self.equivocate(seq, req, out);
+                return;
+            }
+            let digest = req.digest();
+            let slot = self.slots.entry(seq).or_default();
+            slot.req = Some(req.clone());
+            slot.digest = Some(digest);
+            slot.prepares.insert(self.id);
+            let pp = PbftMsg::PrePrepare { view: self.view, seq, req };
+            self.stored_preprepares.insert(seq, pp.clone());
+            out.broadcast(self.n, self.id, pp);
+        } else {
+            // Backup: remember the request and watch the primary.
+            let token = Self::op_token(req.op);
+            if !self.pending.contains_key(&token) && !self.executed.contains_key(&req.op) {
+                self.pending.insert(token, req);
+                out.arm(REQUEST_PATIENCE, TIMER_REQUEST, token);
+            }
+        }
+    }
+
+    /// Byzantine primary: proposes conflicting requests for the same
+    /// sequence number to two halves of the backups (and votes for both).
+    fn equivocate(&mut self, seq: u64, req: Request, out: &mut Outbox<PbftMsg>) {
+        let mut evil = req.clone();
+        evil.payload.reverse();
+        let half = self.n / 2;
+        for i in 0..self.n {
+            if i == self.id.0 {
+                continue;
+            }
+            let (r, d) = if i < half { (&req, req.digest()) } else { (&evil, evil.digest()) };
+            out.send(
+                Endpoint::Replica(ReplicaId(i)),
+                PbftMsg::PrePrepare { view: self.view, seq, req: r.clone() },
+            );
+            out.send(
+                Endpoint::Replica(ReplicaId(i)),
+                PbftMsg::Prepare { view: self.view, seq, digest: d, from: self.id },
+            );
+            out.send(
+                Endpoint::Replica(ReplicaId(i)),
+                PbftMsg::Commit { view: self.view, seq, digest: d, from: self.id },
+            );
+        }
+    }
+
+    fn handle_preprepare(&mut self, from: Endpoint, view: u64, seq: u64, req: Request, out: &mut Outbox<PbftMsg>) {
+        if view != self.view {
+            return;
+        }
+        if from != Endpoint::Replica(self.primary_of(view)) {
+            return; // only the view's primary may pre-prepare
+        }
+        let digest = req.digest();
+        let primary = self.primary_of(view);
+        let me = self.id;
+        let slot = self.slots.entry(seq).or_default();
+        if let Some(existing) = slot.digest {
+            if existing != digest {
+                return; // conflicting proposal for the slot: keep the first
+            }
+        }
+        if slot.executed {
+            return;
+        }
+        slot.req = Some(req.clone());
+        slot.digest = Some(digest);
+        slot.prepares.insert(primary);
+        slot.prepares.insert(me);
+        self.assigned.insert(req.op, seq);
+        out.broadcast(
+            self.n,
+            self.id,
+            PbftMsg::Prepare { view, seq, digest, from: self.id },
+        );
+        self.reannounce_commit(seq, out);
+        self.maybe_advance(seq, out);
+    }
+
+    /// Rebroadcasts this replica's COMMIT for `seq` if it has already voted
+    /// — heals peers that discarded the original during a view change.
+    fn reannounce_commit(&mut self, seq: u64, out: &mut Outbox<PbftMsg>) {
+        let view = self.view;
+        let me = self.id;
+        let n = self.n;
+        if let Some(slot) = self.slots.get(&seq) {
+            if slot.sent_commit && !slot.executed {
+                if let Some(digest) = slot.digest {
+                    out.broadcast(n, me, PbftMsg::Commit { view, seq, digest, from: me });
+                }
+            }
+        }
+    }
+
+    fn handle_prepare(&mut self, view: u64, seq: u64, digest: [u8; 32], from: ReplicaId, out: &mut Outbox<PbftMsg>) {
+        if view != self.view {
+            return;
+        }
+        let slot = self.slots.entry(seq).or_default();
+        if slot.digest.is_none_or(|d| d == digest) {
+            slot.prepares.insert(from);
+        }
+        self.maybe_advance(seq, out);
+    }
+
+    fn handle_commit(&mut self, view: u64, seq: u64, digest: [u8; 32], from: ReplicaId, out: &mut Outbox<PbftMsg>) {
+        if view != self.view {
+            return;
+        }
+        let slot = self.slots.entry(seq).or_default();
+        if slot.digest.is_none_or(|d| d == digest) {
+            slot.commits.insert(from);
+        }
+        self.maybe_advance(seq, out);
+    }
+
+    /// Drives a slot through prepared → committed → executed.
+    fn maybe_advance(&mut self, seq: u64, out: &mut Outbox<PbftMsg>) {
+        let quorum = self.quorum();
+        let (send_commit, view, digest) = {
+            let Some(slot) = self.slots.get_mut(&seq) else { return };
+            if slot.digest.is_none() {
+                return;
+            }
+            let prepared = slot.prepares.len() >= quorum;
+            let send_commit = prepared && !slot.sent_commit;
+            if send_commit {
+                slot.sent_commit = true;
+                slot.commits.insert(self.id);
+            }
+            (send_commit, self.view, slot.digest.expect("digest set"))
+        };
+        if send_commit {
+            out.broadcast(self.n, self.id, PbftMsg::Commit { view, seq, digest, from: self.id });
+        }
+        self.try_execute(out);
+    }
+
+    fn try_execute(&mut self, out: &mut Outbox<PbftMsg>) {
+        let quorum = self.quorum();
+        loop {
+            let next = self.exec_upto + 1;
+            let ready = match self.slots.get(&next) {
+                Some(slot) => {
+                    !slot.executed
+                        && slot.req.is_some()
+                        && slot.sent_commit
+                        && slot.commits.len() >= quorum
+                }
+                None => false,
+            };
+            if !ready {
+                break;
+            }
+            let slot = self.slots.get_mut(&next).expect("checked");
+            slot.executed = true;
+            let req = slot.req.clone().expect("checked");
+            let digest = slot.digest.expect("checked");
+            self.exec_upto = next;
+            let result = self.machine.apply(&req.payload);
+            self.log.push(LogEntry { seq: next, op: req.op, digest });
+            self.executed.insert(req.op, result.clone());
+            self.pending.remove(&Self::op_token(req.op));
+            out.send(
+                Endpoint::Client(req.op.client),
+                PbftMsg::Reply(Reply { replica: self.id, op: req.op, result }),
+            );
+        }
+    }
+
+    fn prepared_uncommitted(&self) -> Vec<(u64, Request)> {
+        let quorum = self.quorum();
+        self.slots
+            .iter()
+            .filter(|(_, s)| !s.executed && s.prepares.len() >= quorum)
+            .filter_map(|(seq, s)| s.req.clone().map(|r| (*seq, r)))
+            .collect()
+    }
+
+    fn start_view_change(&mut self, new_view: u64, out: &mut Outbox<PbftMsg>) {
+        if new_view <= self.view || self.vc_sent_for >= new_view {
+            return;
+        }
+        self.vc_sent_for = new_view;
+        let prepared = self.prepared_uncommitted();
+        self.vc_votes
+            .entry(new_view)
+            .or_default()
+            .insert(self.id, prepared.clone());
+        out.broadcast(
+            self.n,
+            self.id,
+            PbftMsg::ViewChange { new_view, from: self.id, prepared },
+        );
+        self.maybe_install_view(new_view, out);
+    }
+
+    fn handle_view_change(
+        &mut self,
+        new_view: u64,
+        from: ReplicaId,
+        prepared: Vec<(u64, Request)>,
+        out: &mut Outbox<PbftMsg>,
+    ) {
+        if new_view <= self.view {
+            return;
+        }
+        let votes = self.vc_votes.entry(new_view).or_default();
+        votes.insert(from, prepared);
+        let count = votes.len();
+        // Join the view change once f+1 replicas demand it.
+        if count >= (self.f + 1) as usize {
+            self.start_view_change(new_view, out);
+        }
+        self.maybe_install_view(new_view, out);
+    }
+
+    fn maybe_install_view(&mut self, new_view: u64, out: &mut Outbox<PbftMsg>) {
+        let quorum = self.quorum();
+        let Some(votes) = self.vc_votes.get(&new_view) else { return };
+        if votes.len() < quorum || self.primary_of(new_view) != self.id {
+            return;
+        }
+        // Become primary of the new view: gather every prepared entry and
+        // re-propose; pending-but-unprepared requests get fresh sequences.
+        let mut repropose: BTreeMap<u64, Request> = BTreeMap::new();
+        for entries in votes.values() {
+            for (seq, req) in entries {
+                repropose.entry(*seq).or_insert_with(|| req.clone());
+            }
+        }
+        // Also re-propose our own prepared-but-unexecuted entries.
+        for (seq, req) in self.prepared_uncommitted() {
+            repropose.entry(seq).or_insert(req);
+        }
+        self.view = new_view;
+        let max_seq = repropose.keys().max().copied().unwrap_or(self.exec_upto);
+        self.next_seq = self.next_seq.max(max_seq + 1);
+        // Pending requests not covered get new slots.
+        let covered: BTreeSet<OpId> = repropose.values().map(|r| r.op).collect();
+        let pending: Vec<Request> = self.pending.values().cloned().collect();
+        for req in pending {
+            if covered.contains(&req.op) || self.executed.contains_key(&req.op) {
+                continue;
+            }
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            repropose.insert(seq, req);
+        }
+        let preprepares: Vec<(u64, Request)> =
+            repropose.into_iter().collect();
+        // Install locally.
+        self.install_new_view(new_view, &preprepares, out);
+        out.broadcast(
+            self.n,
+            self.id,
+            PbftMsg::NewView { view: new_view, preprepares },
+        );
+    }
+
+    fn install_new_view(&mut self, view: u64, preprepares: &[(u64, Request)], out: &mut Outbox<PbftMsg>) {
+        self.view = view;
+        self.vc_sent_for = self.vc_sent_for.max(view);
+        // Reset vote state for uncommitted slots; re-run agreement in the new view.
+        for (seq, slot) in self.slots.iter_mut() {
+            if !slot.executed {
+                slot.prepares.clear();
+                slot.commits.clear();
+                slot.sent_commit = false;
+                let _ = seq;
+            }
+        }
+        for (seq, req) in preprepares {
+            if self
+                .slots
+                .get(seq)
+                .map(|s| s.executed)
+                .unwrap_or(false)
+            {
+                continue;
+            }
+            let digest = req.digest();
+            let primary = self.primary_of(view);
+            let me = self.id;
+            let slot = self.slots.entry(*seq).or_default();
+            slot.req = Some(req.clone());
+            slot.digest = Some(digest);
+            slot.prepares.insert(primary);
+            slot.prepares.insert(me);
+            self.assigned.insert(req.op, *seq);
+            if primary == me {
+                self.stored_preprepares.insert(
+                    *seq,
+                    PbftMsg::PrePrepare { view, seq: *seq, req: req.clone() },
+                );
+            }
+            out.broadcast(
+                self.n,
+                self.id,
+                PbftMsg::Prepare { view, seq: *seq, digest, from: self.id },
+            );
+        }
+        let seqs: Vec<u64> = preprepares.iter().map(|(s, _)| *s).collect();
+        for seq in seqs {
+            self.maybe_advance(seq, out);
+        }
+    }
+
+    fn handle_new_view(&mut self, view: u64, preprepares: Vec<(u64, Request)>, from: Endpoint, out: &mut Outbox<PbftMsg>) {
+        if view <= self.view && self.view != 0 {
+            return;
+        }
+        if from != Endpoint::Replica(self.primary_of(view)) {
+            return;
+        }
+        self.install_new_view(view, &preprepares, out);
+        // Re-arm patience for still-pending requests under the new primary.
+        let tokens: Vec<u64> = self.pending.keys().copied().collect();
+        for token in tokens {
+            out.arm(REQUEST_PATIENCE, TIMER_REQUEST, token);
+        }
+    }
+}
+
+impl ReplicaNode for PbftReplica {
+    type Msg = PbftMsg;
+
+    fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    fn on_input(&mut self, input: Input<PbftMsg>, now: u64, out: &mut Outbox<PbftMsg>) {
+        if self.behavior.crashed_at(now) {
+            return;
+        }
+        let mut staged = Outbox::new();
+        match input {
+            Input::Message { from, msg } => match msg {
+                PbftMsg::Request(req) => self.handle_request(req, &mut staged),
+                PbftMsg::PrePrepare { view, seq, req } => {
+                    self.handle_preprepare(from, view, seq, req, &mut staged)
+                }
+                PbftMsg::Prepare { view, seq, digest, from } => {
+                    self.handle_prepare(view, seq, digest, from, &mut staged)
+                }
+                PbftMsg::Commit { view, seq, digest, from } => {
+                    self.handle_commit(view, seq, digest, from, &mut staged)
+                }
+                PbftMsg::ViewChange { new_view, from, prepared } => {
+                    self.handle_view_change(new_view, from, prepared, &mut staged)
+                }
+                PbftMsg::NewView { view, preprepares } => {
+                    self.handle_new_view(view, preprepares, from, &mut staged)
+                }
+                PbftMsg::Reply(_) => {}
+            },
+            Input::Timer { kind: TIMER_REQUEST, token } => {
+                if self.pending.contains_key(&token) {
+                    let next = self.view + 1;
+                    self.start_view_change(next, &mut staged);
+                    // Keep watching: if the new view also stalls, escalate.
+                    staged.arm(REQUEST_PATIENCE, TIMER_REQUEST, token);
+                }
+            }
+            Input::Timer { .. } => {}
+        }
+        // Behaviour gate on outputs (timers always pass — they are local).
+        if self.behavior.sends_at(now) {
+            out.msgs.extend(staged.msgs);
+        }
+        out.timers.extend(staged.timers);
+    }
+
+    fn committed_log(&self) -> &[LogEntry] {
+        &self.log
+    }
+
+    fn make_request(req: Request) -> PbftMsg {
+        PbftMsg::Request(req)
+    }
+
+    fn as_reply(msg: &PbftMsg) -> Option<&Reply> {
+        match msg {
+            PbftMsg::Reply(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// A PBFT cluster of `3f+1` replicas.
+#[derive(Debug)]
+pub struct PbftCluster {
+    nodes: Vec<PbftReplica>,
+    f: u32,
+}
+
+impl PbftCluster {
+    /// Builds the cluster for `config.f`.
+    pub fn new(config: &RunConfig) -> Self {
+        let n = 3 * config.f + 1;
+        PbftCluster {
+            nodes: (0..n).map(|i| PbftReplica::new(ReplicaId(i), config.f)).collect(),
+            f: config.f,
+        }
+    }
+
+    /// Overrides one replica's behaviour.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn set_behavior(&mut self, id: ReplicaId, behavior: Behavior) {
+        self.nodes[id.0 as usize].set_behavior(behavior);
+    }
+
+    /// Fault threshold.
+    pub fn f(&self) -> u32 {
+        self.f
+    }
+}
+
+impl Cluster for PbftCluster {
+    type Node = PbftReplica;
+
+    fn nodes_mut(&mut self) -> &mut [PbftReplica] {
+        &mut self.nodes
+    }
+
+    fn nodes(&self) -> &[PbftReplica] {
+        &self.nodes
+    }
+
+    fn reply_quorum(&self) -> usize {
+        (self.f + 1) as usize
+    }
+
+    fn protocol_name(&self) -> &'static str {
+        "pbft"
+    }
+
+    fn correct_replicas(&self) -> Vec<ReplicaId> {
+        self.nodes
+            .iter()
+            .filter(|n| !n.behavior().is_byzantine())
+            .map(|n| n.id())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run, RunConfig};
+
+    fn config(f: u32, clients: u32, reqs: u64, seed: u64) -> RunConfig {
+        RunConfig { f, clients, requests_per_client: reqs, seed, ..Default::default() }
+    }
+
+    #[test]
+    fn fault_free_commits_everything() {
+        let cfg = config(1, 2, 10, 7);
+        let mut cluster = PbftCluster::new(&cfg);
+        let report = run(&mut cluster, &cfg);
+        assert_eq!(report.committed, 20);
+        assert!(report.safety_ok);
+        assert_eq!(report.n_replicas, 4);
+        // All four replicas executed the same 20-entry log.
+        for node in cluster.nodes() {
+            assert_eq!(node.committed_log().len(), 20);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let cfg = config(1, 2, 8, 99);
+        let r1 = run(&mut PbftCluster::new(&cfg), &cfg);
+        let r2 = run(&mut PbftCluster::new(&cfg), &cfg);
+        assert_eq!(r1.committed, r2.committed);
+        assert_eq!(r1.messages_total, r2.messages_total);
+        assert_eq!(r1.duration_cycles, r2.duration_cycles);
+    }
+
+    #[test]
+    fn tolerates_f_silent_replicas() {
+        let cfg = config(1, 1, 10, 3);
+        let mut cluster = PbftCluster::new(&cfg);
+        cluster.set_behavior(ReplicaId(3), Behavior::Silent);
+        let report = run(&mut cluster, &cfg);
+        assert_eq!(report.committed, 10);
+        assert!(report.safety_ok);
+    }
+
+    #[test]
+    fn f2_cluster_tolerates_two_crashes() {
+        let cfg = config(2, 1, 6, 5);
+        let mut cluster = PbftCluster::new(&cfg);
+        cluster.set_behavior(ReplicaId(5), Behavior::Crashed);
+        cluster.set_behavior(ReplicaId(6), Behavior::Crashed);
+        let report = run(&mut cluster, &cfg);
+        assert_eq!(report.n_replicas, 7);
+        assert_eq!(report.committed, 6);
+        assert!(report.safety_ok);
+    }
+
+    #[test]
+    fn primary_crash_triggers_view_change_and_recovers() {
+        let cfg = RunConfig { max_cycles: 5_000_000, ..config(1, 1, 8, 11) };
+        let mut cluster = PbftCluster::new(&cfg);
+        // Primary of view 0 is replica 0; crash it mid-run.
+        cluster.set_behavior(ReplicaId(0), Behavior::CrashAt(150));
+        let report = run(&mut cluster, &cfg);
+        assert_eq!(report.committed, 8, "all requests commit despite failover");
+        assert!(report.safety_ok);
+        // Surviving replicas moved past view 0.
+        assert!(cluster.nodes()[1].view() >= 1);
+    }
+
+    #[test]
+    fn equivocating_primary_cannot_break_safety() {
+        let cfg = RunConfig { max_cycles: 5_000_000, ..config(1, 2, 6, 13) };
+        let mut cluster = PbftCluster::new(&cfg);
+        cluster.set_behavior(ReplicaId(0), Behavior::Equivocate);
+        let report = run(&mut cluster, &cfg);
+        assert!(report.safety_ok, "equivocation must never split correct logs");
+        assert_eq!(report.committed, 12, "liveness via view change");
+    }
+
+    #[test]
+    fn message_loss_is_recovered_by_retries() {
+        let cfg = RunConfig { drop_rate: 0.05, max_cycles: 5_000_000, ..config(1, 1, 8, 17) };
+        let mut cluster = PbftCluster::new(&cfg);
+        let report = run(&mut cluster, &cfg);
+        assert_eq!(report.committed, 8);
+        assert!(report.safety_ok);
+    }
+
+    #[test]
+    fn replies_are_deduplicated_for_retransmitted_requests() {
+        // Tiny client timeout forces retransmissions; execution must remain
+        // exactly-once (log length == distinct ops).
+        let cfg = RunConfig { client_timeout: 25, max_cycles: 5_000_000, ..config(1, 1, 5, 19) };
+        let mut cluster = PbftCluster::new(&cfg);
+        let report = run(&mut cluster, &cfg);
+        assert_eq!(report.committed, 5);
+        for node in cluster.nodes() {
+            assert_eq!(node.committed_log().len(), 5, "exactly-once execution");
+        }
+        assert!(report.client_retries > 0, "test must actually exercise retries");
+    }
+}

@@ -1,0 +1,461 @@
+//! The deterministic protocol harness: closed-loop clients, message
+//! latencies, message accounting, and the cross-replica safety checker.
+
+use crate::api::{
+    ClientId, Cluster, Endpoint, Input, OpId, ReplicaId, ReplicaNode, Request,
+};
+use rsoc_sim::{Histogram, SimRng};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// Message latency models for the on-chip interconnect.
+#[derive(Debug, Clone)]
+pub enum LatencyModel {
+    /// Every message takes exactly this many cycles.
+    Fixed(u64),
+    /// Uniform in `[min, max]`.
+    Uniform {
+        /// Minimum cycles.
+        min: u64,
+        /// Maximum cycles (inclusive).
+        max: u64,
+    },
+    /// NoC-style: `overhead + per_hop * manhattan(position(from), position(to))`.
+    /// Endpoint positions: replicas use `replica_at[id]`; clients sit at
+    /// `client_at`.
+    MeshHops {
+        /// Tile coordinate of each replica.
+        replica_at: Vec<(u16, u16)>,
+        /// Tile coordinate shared by clients (e.g., an I/O tile).
+        client_at: (u16, u16),
+        /// Cycles per hop.
+        per_hop: u64,
+        /// Fixed endpoint overhead.
+        overhead: u64,
+    },
+}
+
+impl LatencyModel {
+    fn sample(&self, from: Endpoint, to: Endpoint, rng: &mut SimRng) -> u64 {
+        match self {
+            LatencyModel::Fixed(c) => *c,
+            LatencyModel::Uniform { min, max } => rng.range(*min, *max + 1),
+            LatencyModel::MeshHops { replica_at, client_at, per_hop, overhead } => {
+                let pos = |e: Endpoint| match e {
+                    Endpoint::Replica(r) => replica_at
+                        .get(r.0 as usize)
+                        .copied()
+                        .unwrap_or(*client_at),
+                    Endpoint::Client(_) => *client_at,
+                };
+                let (ax, ay) = pos(from);
+                let (bx, by) = pos(to);
+                let hops = (ax.abs_diff(bx) + ay.abs_diff(by)) as u64;
+                overhead + per_hop * hops
+            }
+        }
+    }
+}
+
+/// Configuration of one protocol run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Fault threshold; each protocol derives its replica count from this
+    /// (PBFT: 3f+1, MinBFT: 2f+1, passive: 2).
+    pub f: u32,
+    /// Number of closed-loop clients.
+    pub clients: u32,
+    /// Requests each client issues.
+    pub requests_per_client: u64,
+    /// RNG seed (drives latencies and payloads).
+    pub seed: u64,
+    /// Message latency model.
+    pub latency: LatencyModel,
+    /// Client retransmission timeout in cycles.
+    pub client_timeout: u64,
+    /// Hard stop for the run.
+    pub max_cycles: u64,
+    /// Probability that any single replica→replica message is lost.
+    pub drop_rate: f64,
+    /// Payload bytes per request.
+    pub payload_size: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            f: 1,
+            clients: 1,
+            requests_per_client: 10,
+            seed: 1,
+            latency: LatencyModel::Uniform { min: 5, max: 15 },
+            client_timeout: 4_000,
+            max_cycles: 2_000_000,
+            drop_rate: 0.0,
+            payload_size: 16,
+        }
+    }
+}
+
+/// Outcome of one protocol run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Protocol name.
+    pub protocol: &'static str,
+    /// Replica count used.
+    pub n_replicas: usize,
+    /// Operations acknowledged to clients (reply quorum reached).
+    pub committed: u64,
+    /// Operations requested in total.
+    pub requested: u64,
+    /// Client-observed commit latencies (cycles).
+    pub commit_latency: Histogram,
+    /// All messages sent (client + protocol + replies).
+    pub messages_total: u64,
+    /// Replica→replica protocol messages only.
+    pub messages_protocol: u64,
+    /// Client retransmissions observed.
+    pub client_retries: u64,
+    /// Whether all correct replicas' logs were prefix-compatible.
+    pub safety_ok: bool,
+    /// Virtual duration of the run.
+    pub duration_cycles: u64,
+}
+
+impl RunReport {
+    /// Protocol messages per committed operation.
+    pub fn messages_per_commit(&self) -> f64 {
+        if self.committed == 0 {
+            return f64::INFINITY;
+        }
+        self.messages_protocol as f64 / self.committed as f64
+    }
+
+    /// Committed operations per 1000 cycles.
+    pub fn throughput_per_kcycle(&self) -> f64 {
+        if self.duration_cycles == 0 {
+            return 0.0;
+        }
+        self.committed as f64 * 1000.0 / self.duration_cycles as f64
+    }
+}
+
+#[derive(Debug)]
+enum Queued<M> {
+    Deliver { from: Endpoint, to: Endpoint, msg: M },
+    ReplicaTimer { replica: ReplicaId, kind: u32, token: u64 },
+    ClientTimer { client: ClientId, op_seq: u64 },
+}
+
+struct ClientState {
+    id: ClientId,
+    next_seq: u64,
+    done: u64,
+    target: u64,
+    outstanding: Option<Request>,
+    sent_at: u64,
+    replies: BTreeMap<Vec<u8>, Vec<ReplicaId>>,
+    retries: u64,
+}
+
+/// Runs `cluster` under `config`, returning the measured report.
+///
+/// Deterministic: identical `(cluster initial state, config)` gives an
+/// identical report.
+pub fn run<C: Cluster>(cluster: &mut C, config: &RunConfig) -> RunReport {
+    let n = cluster.nodes().len();
+    let mut rng = SimRng::new(config.seed ^ 0xB07_F00D);
+    let mut queue: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+    let mut slots: BTreeMap<u64, Queued<<C::Node as ReplicaNode>::Msg>> = BTreeMap::new();
+    let mut next_slot: u64 = 0;
+    let mut now: u64 = 0;
+
+    let mut messages_total = 0u64;
+    let mut messages_protocol = 0u64;
+    let mut commit_latency = Histogram::new();
+    let mut committed = 0u64;
+
+    let mut clients: Vec<ClientState> = (0..config.clients)
+        .map(|i| ClientState {
+            id: ClientId(i),
+            next_seq: 1,
+            done: 0,
+            target: config.requests_per_client,
+            outstanding: None,
+            sent_at: 0,
+            replies: BTreeMap::new(),
+            retries: 0,
+        })
+        .collect();
+
+    let quorum = cluster.reply_quorum();
+
+    macro_rules! push_event {
+        ($at:expr, $ev:expr) => {{
+            let slot = next_slot;
+            next_slot += 1;
+            slots.insert(slot, $ev);
+            queue.push(Reverse(($at, slot)));
+        }};
+    }
+
+    // Kick off: every client issues its first request at time ~0.
+    let mut initial_sends: Vec<(u64, Endpoint, Endpoint, <C::Node as ReplicaNode>::Msg)> =
+        Vec::new();
+    for c in &mut clients {
+        if let Some((req, sends)) = client_issue::<C>(c, n, config, &mut rng, 0) {
+            for s in sends {
+                initial_sends.push(s);
+            }
+            let _ = req;
+        }
+    }
+    for (at, from, to, msg) in initial_sends {
+        messages_total += 1;
+        push_event!(at, Queued::Deliver { from, to, msg });
+    }
+    for c in &clients {
+        if c.outstanding.is_some() {
+            push_event!(
+                config.client_timeout,
+                Queued::ClientTimer { client: c.id, op_seq: c.next_seq - 1 }
+            );
+        }
+    }
+
+    while let Some(Reverse((at, slot))) = queue.pop() {
+        if at > config.max_cycles {
+            now = config.max_cycles;
+            break;
+        }
+        now = at;
+        let ev = slots.remove(&slot).expect("slot present");
+        match ev {
+            Queued::Deliver { from, to, msg } => match to {
+                Endpoint::Replica(r) => {
+                    let mut out = crate::api::Outbox::new();
+                    cluster.nodes_mut()[r.0 as usize].on_input(
+                        Input::Message { from, msg },
+                        now,
+                        &mut out,
+                    );
+                    route_outbox::<C>(
+                        r,
+                        out,
+                        now,
+                        config,
+                        &mut rng,
+                        &mut messages_total,
+                        &mut messages_protocol,
+                        &mut |at, ev| {
+                            let slot = next_slot;
+                            next_slot += 1;
+                            slots.insert(slot, ev);
+                            queue.push(Reverse((at, slot)));
+                        },
+                    );
+                }
+                Endpoint::Client(c) => {
+                    let Some(reply) = C::Node::as_reply(&msg).cloned() else { continue };
+                    let client = &mut clients[c.0 as usize];
+                    let Some(outstanding) = &client.outstanding else { continue };
+                    if reply.op != outstanding.op {
+                        continue;
+                    }
+                    let voters = client.replies.entry(reply.result.clone()).or_default();
+                    if !voters.contains(&reply.replica) {
+                        voters.push(reply.replica);
+                    }
+                    if voters.len() >= quorum {
+                        committed += 1;
+                        commit_latency.record((now - client.sent_at) as f64);
+                        client.done += 1;
+                        client.outstanding = None;
+                        client.replies.clear();
+                        if let Some((_, sends)) =
+                            client_issue::<C>(client, n, config, &mut rng, now)
+                        {
+                            let op_seq = client.next_seq - 1;
+                            for (at, from, to, msg) in sends {
+                                messages_total += 1;
+                                push_event!(at, Queued::Deliver { from, to, msg });
+                            }
+                            push_event!(
+                                now + config.client_timeout,
+                                Queued::ClientTimer { client: c, op_seq }
+                            );
+                        }
+                    }
+                }
+            },
+            Queued::ReplicaTimer { replica, kind, token } => {
+                let mut out = crate::api::Outbox::new();
+                cluster.nodes_mut()[replica.0 as usize].on_input(
+                    Input::Timer { kind, token },
+                    now,
+                    &mut out,
+                );
+                route_outbox::<C>(
+                    replica,
+                    out,
+                    now,
+                    config,
+                    &mut rng,
+                    &mut messages_total,
+                    &mut messages_protocol,
+                    &mut |at, ev| {
+                        let slot = next_slot;
+                        next_slot += 1;
+                        slots.insert(slot, ev);
+                        queue.push(Reverse((at, slot)));
+                    },
+                );
+            }
+            Queued::ClientTimer { client, op_seq } => {
+                let c = &mut clients[client.0 as usize];
+                let still_waiting = c
+                    .outstanding
+                    .as_ref()
+                    .map(|r| r.op.seq == op_seq)
+                    .unwrap_or(false);
+                if still_waiting {
+                    c.retries += 1;
+                    let req = c.outstanding.clone().expect("outstanding");
+                    for i in 0..n {
+                        let delay = config.latency.sample(
+                            Endpoint::Client(client),
+                            Endpoint::Replica(ReplicaId(i as u32)),
+                            &mut rng,
+                        );
+                        messages_total += 1;
+                        push_event!(
+                            now + delay,
+                            Queued::Deliver {
+                                from: Endpoint::Client(client),
+                                to: Endpoint::Replica(ReplicaId(i as u32)),
+                                msg: C::Node::make_request(req.clone()),
+                            }
+                        );
+                    }
+                    push_event!(
+                        now + config.client_timeout,
+                        Queued::ClientTimer { client, op_seq }
+                    );
+                }
+            }
+        }
+        // Early exit when all clients have finished.
+        if clients.iter().all(|c| c.done >= c.target) {
+            break;
+        }
+    }
+
+    let requested: u64 = clients.iter().map(|c| c.done + c.outstanding.is_some() as u64).sum();
+    let retries = clients.iter().map(|c| c.retries).sum();
+    let safety_ok = check_safety(cluster);
+
+    RunReport {
+        protocol: cluster.protocol_name(),
+        n_replicas: n,
+        committed,
+        requested,
+        commit_latency,
+        messages_total,
+        messages_protocol,
+        client_retries: retries,
+        safety_ok,
+        duration_cycles: now,
+    }
+}
+
+/// Issues the next request for `client`, if any remain. Returns the request
+/// and the scheduled send tuples.
+#[allow(clippy::type_complexity)]
+fn client_issue<C: Cluster>(
+    client: &mut ClientState,
+    n: usize,
+    config: &RunConfig,
+    rng: &mut SimRng,
+    now: u64,
+) -> Option<(
+    Request,
+    Vec<(u64, Endpoint, Endpoint, <C::Node as ReplicaNode>::Msg)>,
+)> {
+    if client.done >= client.target {
+        return None;
+    }
+    let seq = client.next_seq;
+    client.next_seq += 1;
+    let mut payload = vec![0u8; config.payload_size];
+    for b in payload.iter_mut() {
+        *b = rng.next_u32() as u8;
+    }
+    // Make payloads printable KV sets so state machines do real work.
+    let text = format!("SET k{} v{}", client.id.0, seq);
+    let tlen = text.len().min(payload.len().max(text.len()));
+    payload.resize(tlen.max(config.payload_size), b'_');
+    let copy_len = text.len().min(payload.len());
+    payload[..copy_len].copy_from_slice(&text.as_bytes()[..copy_len]);
+
+    let req = Request { op: OpId { client: client.id, seq }, payload };
+    client.outstanding = Some(req.clone());
+    client.sent_at = now;
+    client.replies.clear();
+
+    let sends = (0..n)
+        .map(|i| {
+            let to = Endpoint::Replica(ReplicaId(i as u32));
+            let delay = config.latency.sample(Endpoint::Client(client.id), to, rng);
+            (now + delay, Endpoint::Client(client.id), to, C::Node::make_request(req.clone()))
+        })
+        .collect();
+    Some((req, sends))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn route_outbox<C: Cluster>(
+    from: ReplicaId,
+    out: crate::api::Outbox<<C::Node as ReplicaNode>::Msg>,
+    now: u64,
+    config: &RunConfig,
+    rng: &mut SimRng,
+    messages_total: &mut u64,
+    messages_protocol: &mut u64,
+    push: &mut dyn FnMut(u64, Queued<<C::Node as ReplicaNode>::Msg>),
+) {
+    for (to, msg) in out.msgs {
+        if let Endpoint::Replica(_) = to {
+            *messages_protocol += 1;
+            if rng.chance(config.drop_rate) {
+                *messages_total += 1; // sent but lost
+                continue;
+            }
+        }
+        *messages_total += 1;
+        let delay = config.latency.sample(Endpoint::Replica(from), to, rng);
+        push(now + delay, Queued::Deliver { from: Endpoint::Replica(from), to, msg });
+    }
+    for (delay, kind, token) in out.timers {
+        push(now + delay, Queued::ReplicaTimer { replica: from, kind, token });
+    }
+}
+
+/// Checks that all correct replicas' committed logs agree: for every pair,
+/// entries at the same sequence number have the same digest (prefix
+/// compatibility — one replica may simply be behind).
+pub fn check_safety<C: Cluster>(cluster: &C) -> bool {
+    let correct = cluster.correct_replicas();
+    for (i, &a) in correct.iter().enumerate() {
+        for &b in &correct[i + 1..] {
+            let la = cluster.nodes()[a.0 as usize].committed_log();
+            let lb = cluster.nodes()[b.0 as usize].committed_log();
+            let common = la.len().min(lb.len());
+            for k in 0..common {
+                if la[k].seq != lb[k].seq || la[k].digest != lb[k].digest {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}

@@ -1,0 +1,169 @@
+//! HMAC-SHA-256 (RFC 2104) and MAC key/tag newtypes.
+
+use crate::sha256::Sha256;
+
+/// A 256-bit MAC key held by a hybrid or the reconfiguration controller.
+///
+/// The key is deliberately *not* `Copy` and offers no `Display`, modelling
+/// the paper's requirement that hybrid secrets never leave the trusted
+/// perimeter except through explicit sharing at provisioning time.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MacKey([u8; 32]);
+
+impl MacKey {
+    /// Wraps raw key bytes.
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        MacKey(bytes)
+    }
+
+    /// Derives a key from a 64-bit provisioning seed and a role label.
+    ///
+    /// Deterministic, so simulations can re-derive replica keys from the
+    /// experiment seed.
+    pub fn derive(seed: u64, label: &str) -> Self {
+        let mut h = Sha256::new();
+        h.update(&seed.to_le_bytes());
+        h.update(b"/rsoc-key/");
+        h.update(label.as_bytes());
+        MacKey(h.finalize())
+    }
+
+    /// Raw key material (for the HMAC circuit inside the trusted perimeter).
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+}
+
+/// A 256-bit authentication tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tag(pub [u8; 32]);
+
+impl Tag {
+    /// First 8 bytes as `u64` — handy for compact logging in experiments.
+    pub fn prefix64(&self) -> u64 {
+        u64::from_le_bytes(self.0[..8].try_into().expect("8 bytes"))
+    }
+}
+
+/// Computes HMAC-SHA-256 over `msg` with `key`.
+///
+/// ```
+/// // RFC 4231 test case 2 (key = "Jefe").
+/// let mut key = [0u8; 32];
+/// key[..4].copy_from_slice(b"Jefe");
+/// // HMAC spec pads short keys with zeros, so a zero-extended key is equivalent.
+/// let tag = rsoc_crypto::hmac_sha256(&key, b"what do ya want for nothing?");
+/// assert_eq!(tag.0[0], 0x5b);
+/// ```
+pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> Tag {
+    let mut key_block = [0u8; 64];
+    if key.len() > 64 {
+        let d = crate::sha256::sha256(key);
+        key_block[..32].copy_from_slice(&d);
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+
+    let mut ipad = [0u8; 64];
+    let mut opad = [0u8; 64];
+    for i in 0..64 {
+        ipad[i] = key_block[i] ^ 0x36;
+        opad[i] = key_block[i] ^ 0x5c;
+    }
+
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(msg);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    Tag(outer.finalize())
+}
+
+/// Constant-shape verification of an HMAC tag.
+///
+/// Uses a branch-free byte comparison; timing side channels are out of scope
+/// for the simulation but the discipline costs nothing.
+pub fn hmac_verify(key: &[u8], msg: &[u8], tag: &Tag) -> bool {
+    let expect = hmac_sha256(key, msg);
+    let mut diff = 0u8;
+    for (a, b) in expect.0.iter().zip(tag.0.iter()) {
+        diff |= a ^ b;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0bu8; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag.0),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag.0),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3() {
+        let key = [0xaau8; 20];
+        let msg = [0xddu8; 50];
+        let tag = hmac_sha256(&key, &msg);
+        assert_eq!(
+            hex(&tag.0),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_long_key() {
+        // Case 6: 131-byte key forces the key-hashing path.
+        let key = [0xaau8; 131];
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex(&tag.0),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let key = MacKey::derive(42, "replica-0");
+        let tag = hmac_sha256(key.as_bytes(), b"commit #5");
+        assert!(hmac_verify(key.as_bytes(), b"commit #5", &tag));
+        assert!(!hmac_verify(key.as_bytes(), b"commit #6", &tag));
+        let other = MacKey::derive(42, "replica-1");
+        assert!(!hmac_verify(other.as_bytes(), b"commit #5", &tag));
+    }
+
+    #[test]
+    fn derive_is_deterministic_and_label_sensitive() {
+        assert_eq!(MacKey::derive(7, "a"), MacKey::derive(7, "a"));
+        assert_ne!(MacKey::derive(7, "a"), MacKey::derive(7, "b"));
+        assert_ne!(MacKey::derive(7, "a"), MacKey::derive(8, "a"));
+    }
+
+    #[test]
+    fn tag_prefix() {
+        let t = Tag([1u8; 32]);
+        assert_eq!(t.prefix64(), u64::from_le_bytes([1; 8]));
+    }
+}

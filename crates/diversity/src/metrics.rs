@@ -1,0 +1,152 @@
+//! Common-mode exposure metrics over a replica→variant assignment.
+
+use crate::variant::{VariantId, VariantPool, VulnId};
+
+/// Number of distinct variants in an assignment — the "diversity degree".
+pub fn distinct_variants(assignment: &[VariantId]) -> usize {
+    let mut v = assignment.to_vec();
+    v.sort_unstable();
+    v.dedup();
+    v.len()
+}
+
+/// How many replicas fall to an exploit for `vuln` under `assignment`.
+pub fn replicas_hit(pool: &VariantPool, assignment: &[VariantId], vuln: VulnId) -> usize {
+    assignment
+        .iter()
+        .filter(|id| pool.variant(**id).map(|v| v.vulnerable_to(vuln)).unwrap_or(false))
+        .count()
+}
+
+/// Fraction of the vulnerability universe whose single exploit compromises
+/// **more than `f`** replicas — the probability that a uniformly chosen
+/// zero-day defeats the replicated system outright (§II-B's common-mode
+/// failure risk).
+pub fn common_mode_exposure(pool: &VariantPool, assignment: &[VariantId], f: usize) -> f64 {
+    let universe = pool.config().vuln_universe;
+    if universe == 0 {
+        return 0.0;
+    }
+    let fatal = (0..universe)
+        .map(VulnId)
+        .filter(|v| replicas_hit(pool, assignment, *v) > f)
+        .count();
+    fatal as f64 / universe as f64
+}
+
+/// Greedy estimate of how many *distinct* exploits an adversary needs to
+/// compromise more than `f` replicas: repeatedly pick the vulnerability
+/// covering the most not-yet-compromised replicas.
+///
+/// Exact minimum cover is NP-hard; greedy gives the standard ln(n)
+/// approximation and, for the small replica counts on a chip, is almost
+/// always exact. Returns `None` if even all exploits combined cannot
+/// compromise more than `f` replicas.
+pub fn greedy_exploits_to_defeat(
+    pool: &VariantPool,
+    assignment: &[VariantId],
+    f: usize,
+) -> Option<usize> {
+    let universe = pool.config().vuln_universe;
+    let mut compromised = vec![false; assignment.len()];
+    let mut exploits = 0usize;
+    loop {
+        let down = compromised.iter().filter(|c| **c).count();
+        if down > f {
+            return Some(exploits);
+        }
+        // Pick the vuln that newly compromises the most replicas.
+        let mut best: Option<(usize, VulnId)> = None;
+        for raw in 0..universe {
+            let vuln = VulnId(raw);
+            let gain = assignment
+                .iter()
+                .enumerate()
+                .filter(|(i, id)| {
+                    !compromised[*i]
+                        && pool.variant(**id).map(|v| v.vulnerable_to(vuln)).unwrap_or(false)
+                })
+                .count();
+            if gain > 0 && best.map(|(g, _)| gain > g).unwrap_or(true) {
+                best = Some((gain, vuln));
+            }
+        }
+        let (_, vuln) = best?;
+        exploits += 1;
+        for (i, id) in assignment.iter().enumerate() {
+            if pool.variant(*id).map(|v| v.vulnerable_to(vuln)).unwrap_or(false) {
+                compromised[i] = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variant::{PoolConfig, VariantPool};
+    use rsoc_sim::SimRng;
+
+    fn pool(seed: u64) -> (VariantPool, SimRng) {
+        let mut rng = SimRng::new(seed);
+        let p = VariantPool::generate(PoolConfig::default(), &mut rng);
+        (p, rng)
+    }
+
+    #[test]
+    fn monoculture_exposure_is_total() {
+        let (p, _) = pool(1);
+        let mono = vec![VariantId(0); 4];
+        assert_eq!(distinct_variants(&mono), 1);
+        // Any vuln of variant 0 takes out all 4 replicas (> f for f in 0..3).
+        let vuln_count = p.variant(VariantId(0)).unwrap().vulns.len();
+        let exposure = common_mode_exposure(&p, &mono, 3);
+        let expected = vuln_count as f64 / p.config().vuln_universe as f64;
+        assert!((exposure - expected).abs() < 1e-12);
+        assert_eq!(greedy_exploits_to_defeat(&p, &mono, 3), Some(1), "one exploit fells all");
+    }
+
+    #[test]
+    fn diversity_reduces_exposure() {
+        let (p, _) = pool(2);
+        let f = 1usize;
+        let mono = vec![VariantId(0); 4];
+        // Cross-vendor diverse assignment (vendors are id % 4 by construction).
+        let diverse = vec![VariantId(0), VariantId(1), VariantId(2), VariantId(3)];
+        let e_mono = common_mode_exposure(&p, &mono, f);
+        let e_div = common_mode_exposure(&p, &diverse, f);
+        assert!(
+            e_div < e_mono,
+            "diverse exposure {e_div} must be below monoculture {e_mono}"
+        );
+    }
+
+    #[test]
+    fn diverse_assignment_needs_more_exploits() {
+        let (p, _) = pool(3);
+        let f = 1usize;
+        let mono = vec![VariantId(0); 4];
+        let diverse = vec![VariantId(0), VariantId(1), VariantId(2), VariantId(3)];
+        let k_mono = greedy_exploits_to_defeat(&p, &mono, f).unwrap();
+        let k_div = greedy_exploits_to_defeat(&p, &diverse, f).unwrap();
+        assert!(k_div >= k_mono, "diversity cannot make attack easier: {k_div} vs {k_mono}");
+        assert_eq!(k_mono, 1);
+    }
+
+    #[test]
+    fn replicas_hit_counts_correctly() {
+        let (p, _) = pool(4);
+        let v0 = p.variant(VariantId(0)).unwrap().clone();
+        let vuln = *v0.vulns.iter().next().unwrap();
+        let assignment = vec![VariantId(0), VariantId(0), VariantId(1)];
+        let hits = replicas_hit(&p, &assignment, vuln);
+        assert!(hits >= 2, "both copies of variant 0 fall");
+    }
+
+    #[test]
+    fn undefeatable_returns_none() {
+        // Universe where assignment is empty — nothing to compromise.
+        let (p, _) = pool(5);
+        assert_eq!(greedy_exploits_to_defeat(&p, &[], 0), None);
+    }
+}

@@ -1,0 +1,245 @@
+//! Variants, vendors, vulnerabilities, and the variant pool/generator.
+
+use rsoc_sim::SimRng;
+use std::collections::BTreeSet;
+
+/// A vulnerability class in the shared universe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VulnId(pub u32);
+
+/// An implementation vendor (vendor families share base vulnerabilities).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VendorId(pub u32);
+
+/// A concrete implementation variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VariantId(pub u32);
+
+/// An implementation variant: identity, vendor family, vulnerability set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Variant {
+    /// Unique id.
+    pub id: VariantId,
+    /// Producing vendor.
+    pub vendor: VendorId,
+    /// Which vulnerability classes this implementation contains.
+    pub vulns: BTreeSet<VulnId>,
+}
+
+impl Variant {
+    /// Whether this variant falls to an exploit for `vuln`.
+    pub fn vulnerable_to(&self, vuln: VulnId) -> bool {
+        self.vulns.contains(&vuln)
+    }
+
+    /// Number of shared vulnerabilities with another variant.
+    pub fn overlap(&self, other: &Variant) -> usize {
+        self.vulns.intersection(&other.vulns).count()
+    }
+}
+
+/// Parameters of the variant universe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoolConfig {
+    /// Size of the vulnerability universe.
+    pub vuln_universe: u32,
+    /// Number of vendors.
+    pub vendors: u32,
+    /// Base vulnerabilities every variant of a vendor inherits
+    /// (the common-mode channel within a vendor family).
+    pub vendor_base_vulns: u32,
+    /// Additional variant-specific vulnerabilities.
+    pub variant_vulns: u32,
+    /// Variants generated up front.
+    pub initial_variants: u32,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            vuln_universe: 200,
+            vendors: 4,
+            vendor_base_vulns: 4,
+            variant_vulns: 6,
+            initial_variants: 12,
+        }
+    }
+}
+
+/// A pool of variants plus the generator for fresh ones.
+#[derive(Debug, Clone)]
+pub struct VariantPool {
+    config: PoolConfig,
+    vendor_bases: Vec<BTreeSet<VulnId>>,
+    variants: Vec<Variant>,
+}
+
+impl VariantPool {
+    /// Generates a pool: vendor base sets first, then the initial variants
+    /// round-robin across vendors.
+    ///
+    /// # Panics
+    /// Panics if the universe is too small to sample the requested set
+    /// sizes, or `vendors == 0`.
+    pub fn generate(config: PoolConfig, rng: &mut SimRng) -> Self {
+        assert!(config.vendors > 0, "need at least one vendor");
+        assert!(
+            config.vendor_base_vulns + config.variant_vulns <= config.vuln_universe,
+            "vulnerability universe too small"
+        );
+        let vendor_bases: Vec<BTreeSet<VulnId>> = (0..config.vendors)
+            .map(|_| {
+                rng.sample_indices(config.vuln_universe as usize, config.vendor_base_vulns as usize)
+                    .into_iter()
+                    .map(|i| VulnId(i as u32))
+                    .collect()
+            })
+            .collect();
+        let mut pool = VariantPool { config, vendor_bases, variants: Vec::new() };
+        for _ in 0..config.initial_variants {
+            pool.fresh_variant(rng);
+        }
+        pool
+    }
+
+    /// The pool's configuration.
+    pub fn config(&self) -> PoolConfig {
+        self.config
+    }
+
+    /// All variants generated so far.
+    pub fn variants(&self) -> &[Variant] {
+        &self.variants
+    }
+
+    /// Looks up a variant.
+    pub fn variant(&self, id: VariantId) -> Option<&Variant> {
+        self.variants.get(id.0 as usize)
+    }
+
+    /// Generates (and registers) a fresh variant: next vendor round-robin,
+    /// vendor base vulnerabilities plus freshly sampled specific ones.
+    ///
+    /// Models the §II-B "morphable softcore" compiler: each call yields a
+    /// new implementation with a new vulnerability profile.
+    pub fn fresh_variant(&mut self, rng: &mut SimRng) -> VariantId {
+        let id = VariantId(self.variants.len() as u32);
+        let vendor = VendorId(id.0 % self.config.vendors);
+        let mut vulns = self.vendor_bases[vendor.0 as usize].clone();
+        while vulns.len() < (self.config.vendor_base_vulns + self.config.variant_vulns) as usize {
+            vulns.insert(VulnId(rng.below(self.config.vuln_universe as u64) as u32));
+        }
+        self.variants.push(Variant { id, vendor, vulns });
+        id
+    }
+
+    /// Picks a registered variant different from every id in `avoid`
+    /// (e.g., variants currently deployed or known-compromised); generates
+    /// a fresh one if no registered variant qualifies.
+    pub fn diverse_replacement(&mut self, avoid: &[VariantId], rng: &mut SimRng) -> VariantId {
+        let candidates: Vec<VariantId> = self
+            .variants
+            .iter()
+            .map(|v| v.id)
+            .filter(|id| !avoid.contains(id))
+            .collect();
+        match rng.choose(&candidates) {
+            Some(id) => *id,
+            None => self.fresh_variant(rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(seed: u64) -> (VariantPool, SimRng) {
+        let mut rng = SimRng::new(seed);
+        let p = VariantPool::generate(PoolConfig::default(), &mut rng);
+        (p, rng)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (a, _) = pool(5);
+        let (b, _) = pool(5);
+        assert_eq!(a.variants(), b.variants());
+    }
+
+    #[test]
+    fn variants_have_requested_sizes() {
+        let (p, _) = pool(6);
+        let cfg = p.config();
+        assert_eq!(p.variants().len(), cfg.initial_variants as usize);
+        for v in p.variants() {
+            assert_eq!(
+                v.vulns.len(),
+                (cfg.vendor_base_vulns + cfg.variant_vulns) as usize
+            );
+        }
+    }
+
+    #[test]
+    fn same_vendor_variants_share_base() {
+        let (p, _) = pool(7);
+        let same_vendor: Vec<&Variant> =
+            p.variants().iter().filter(|v| v.vendor == VendorId(0)).collect();
+        assert!(same_vendor.len() >= 2);
+        let overlap = same_vendor[0].overlap(same_vendor[1]);
+        assert!(
+            overlap >= p.config().vendor_base_vulns as usize,
+            "vendor base must be shared: overlap={overlap}"
+        );
+    }
+
+    #[test]
+    fn fresh_variants_get_new_ids() {
+        let (mut p, mut rng) = pool(8);
+        let before = p.variants().len();
+        let id = p.fresh_variant(&mut rng);
+        assert_eq!(id.0 as usize, before);
+        assert!(p.variant(id).is_some());
+    }
+
+    #[test]
+    fn diverse_replacement_avoids_listed() {
+        let (mut p, mut rng) = pool(9);
+        let avoid: Vec<VariantId> = p.variants().iter().map(|v| v.id).take(6).collect();
+        for _ in 0..20 {
+            let r = p.diverse_replacement(&avoid, &mut rng);
+            assert!(!avoid.contains(&r));
+        }
+    }
+
+    #[test]
+    fn diverse_replacement_generates_when_exhausted() {
+        let (mut p, mut rng) = pool(10);
+        let all: Vec<VariantId> = p.variants().iter().map(|v| v.id).collect();
+        let r = p.diverse_replacement(&all, &mut rng);
+        assert!(!all.contains(&r), "a fresh variant must be minted");
+    }
+
+    #[test]
+    fn vulnerable_to_matches_set() {
+        let (p, _) = pool(11);
+        let v = &p.variants()[0];
+        let hit = *v.vulns.iter().next().unwrap();
+        assert!(v.vulnerable_to(hit));
+        let miss = (0..p.config().vuln_universe)
+            .map(VulnId)
+            .find(|x| !v.vulns.contains(x))
+            .unwrap();
+        assert!(!v.vulnerable_to(miss));
+    }
+
+    #[test]
+    #[should_panic(expected = "universe too small")]
+    fn rejects_oversized_sets() {
+        let mut rng = SimRng::new(1);
+        VariantPool::generate(
+            PoolConfig { vuln_universe: 5, vendor_base_vulns: 4, variant_vulns: 4, ..Default::default() },
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,281 @@
+//! The configuration-frame grid.
+
+use rsoc_sim::SimRng;
+use std::collections::BTreeMap;
+
+/// Identifier of one configuration frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FrameId(pub u32);
+
+/// Identifier of a configured logic block (softcore, accelerator, ...).
+pub type BlockId = u64;
+
+/// Lifecycle state of a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FrameState {
+    /// Unconfigured.
+    #[default]
+    Empty,
+    /// Part of an enabled block.
+    Active(BlockId),
+    /// Configured but gated off (during reconfiguration).
+    Disabled,
+}
+
+/// A contiguous run of frames (the unit of partial reconfiguration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Region {
+    /// First frame index.
+    pub start: u32,
+    /// Number of frames.
+    pub len: u32,
+}
+
+impl Region {
+    /// Creates a region.
+    ///
+    /// # Panics
+    /// Panics if `len == 0`.
+    pub fn new(start: u32, len: u32) -> Self {
+        assert!(len > 0, "region must be non-empty");
+        Region { start, len }
+    }
+
+    /// Frame ids covered.
+    pub fn frames(&self) -> impl Iterator<Item = FrameId> + '_ {
+        (self.start..self.start + self.len).map(FrameId)
+    }
+
+    /// Whether two regions share any frame.
+    pub fn overlaps(&self, other: &Region) -> bool {
+        self.start < other.start + other.len && other.start < self.start + self.len
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct Frame {
+    words: Vec<u64>,
+    state: FrameState,
+    backdoored: bool,
+}
+
+/// The grid fabric: `rows × cols` frames, each holding `frame_words`
+/// configuration words.
+#[derive(Debug, Clone)]
+pub struct FpgaFabric {
+    rows: u32,
+    cols: u32,
+    frame_words: usize,
+    frames: Vec<Frame>,
+    /// Where each enabled block lives.
+    placements: BTreeMap<BlockId, Region>,
+}
+
+impl FpgaFabric {
+    /// Creates an empty fabric.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero.
+    pub fn new(rows: u32, cols: u32, frame_words: usize) -> Self {
+        assert!(rows > 0 && cols > 0 && frame_words > 0, "fabric dims must be positive");
+        FpgaFabric {
+            rows,
+            cols,
+            frame_words,
+            frames: vec![Frame { words: vec![0; frame_words], ..Default::default() }; (rows * cols) as usize],
+            placements: BTreeMap::new(),
+        }
+    }
+
+    /// Total frame count.
+    pub fn frame_count(&self) -> u32 {
+        self.rows * self.cols
+    }
+
+    /// Words per frame.
+    pub fn frame_words(&self) -> usize {
+        self.frame_words
+    }
+
+    /// State of a frame.
+    ///
+    /// # Panics
+    /// Panics for out-of-range frames.
+    pub fn frame_state(&self, frame: FrameId) -> FrameState {
+        self.frames[frame.0 as usize].state
+    }
+
+    /// Configuration words of a frame (readback).
+    ///
+    /// # Panics
+    /// Panics for out-of-range frames.
+    pub fn readback(&self, frame: FrameId) -> &[u64] {
+        &self.frames[frame.0 as usize].words
+    }
+
+    /// Whether `region` fits inside the fabric.
+    pub fn contains(&self, region: Region) -> bool {
+        region.start + region.len <= self.frame_count()
+    }
+
+    /// Plants hidden backdoors: each frame independently with probability
+    /// `density` (supply-chain attack on the grid fabric, §II-C).
+    pub fn plant_backdoors(&mut self, density: f64, rng: &mut SimRng) {
+        for f in &mut self.frames {
+            if rng.chance(density) {
+                f.backdoored = true;
+            }
+        }
+    }
+
+    /// Marks one specific frame backdoored (for deterministic tests).
+    ///
+    /// # Panics
+    /// Panics for out-of-range frames.
+    pub fn plant_backdoor_at(&mut self, frame: FrameId) {
+        self.frames[frame.0 as usize].backdoored = true;
+    }
+
+    /// Number of backdoored frames (inspection for experiments; a real
+    /// operator cannot see this).
+    pub fn backdoor_count(&self) -> usize {
+        self.frames.iter().filter(|f| f.backdoored).count()
+    }
+
+    /// Whether a block placed over `region` lands on a backdoored frame —
+    /// i.e., whether the hidden logic can observe/tamper with the block.
+    pub fn region_backdoored(&self, region: Region) -> bool {
+        region.frames().any(|f| self.frames[f.0 as usize].backdoored)
+    }
+
+    /// Where a block is currently placed.
+    pub fn block_region(&self, block: BlockId) -> Option<Region> {
+        self.placements.get(&block).copied()
+    }
+
+    /// All placements.
+    pub fn placements(&self) -> &BTreeMap<BlockId, Region> {
+        &self.placements
+    }
+
+    /// Finds the lowest-starting fully `Empty` region of `len` frames.
+    pub fn find_free_region(&self, len: u32) -> Option<Region> {
+        if len == 0 || len > self.frame_count() {
+            return None;
+        }
+        'outer: for start in 0..=(self.frame_count() - len) {
+            for i in start..start + len {
+                if self.frames[i as usize].state != FrameState::Empty {
+                    continue 'outer;
+                }
+            }
+            return Some(Region::new(start, len));
+        }
+        None
+    }
+
+    /// All fully `Empty` regions of exactly `len` frames (non-overlapping
+    /// scan from 0), for random placement policies.
+    pub fn free_regions(&self, len: u32) -> Vec<Region> {
+        let mut out = Vec::new();
+        if len == 0 || len > self.frame_count() {
+            return out;
+        }
+        let mut start = 0;
+        while start + len <= self.frame_count() {
+            let all_free =
+                (start..start + len).all(|i| self.frames[i as usize].state == FrameState::Empty);
+            if all_free {
+                out.push(Region::new(start, len));
+                start += len;
+            } else {
+                start += 1;
+            }
+        }
+        out
+    }
+
+    pub(crate) fn set_state(&mut self, region: Region, state: FrameState) {
+        for f in region.frames() {
+            self.frames[f.0 as usize].state = state;
+        }
+    }
+
+    pub(crate) fn write_words(&mut self, region: Region, words: &[u64]) {
+        for (i, f) in region.frames().enumerate() {
+            let frame = &mut self.frames[f.0 as usize];
+            frame
+                .words
+                .copy_from_slice(&words[i * self.frame_words..(i + 1) * self.frame_words]);
+        }
+    }
+
+    pub(crate) fn place(&mut self, block: BlockId, region: Region) {
+        self.placements.insert(block, region);
+    }
+
+    pub(crate) fn unplace(&mut self, block: BlockId) {
+        self.placements.remove(&block);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_fabric_is_empty() {
+        let f = FpgaFabric::new(4, 4, 8);
+        assert_eq!(f.frame_count(), 16);
+        for i in 0..16 {
+            assert_eq!(f.frame_state(FrameId(i)), FrameState::Empty);
+            assert_eq!(f.readback(FrameId(i)), &[0u64; 8]);
+        }
+        assert_eq!(f.backdoor_count(), 0);
+    }
+
+    #[test]
+    fn region_geometry() {
+        let r = Region::new(4, 3);
+        let frames: Vec<u32> = r.frames().map(|f| f.0).collect();
+        assert_eq!(frames, vec![4, 5, 6]);
+        assert!(r.overlaps(&Region::new(6, 2)));
+        assert!(!r.overlaps(&Region::new(7, 2)));
+        assert!(r.overlaps(&Region::new(0, 5)));
+    }
+
+    #[test]
+    fn free_region_search_skips_occupied() {
+        let mut f = FpgaFabric::new(2, 4, 4);
+        f.set_state(Region::new(0, 2), FrameState::Active(1));
+        let free = f.find_free_region(3).unwrap();
+        assert_eq!(free.start, 2);
+        assert!(f.find_free_region(7).is_none());
+        assert_eq!(f.free_regions(2).len(), 3);
+    }
+
+    #[test]
+    fn backdoors_affect_covering_regions_only() {
+        let mut f = FpgaFabric::new(2, 4, 4);
+        f.plant_backdoor_at(FrameId(5));
+        assert!(f.region_backdoored(Region::new(4, 2)));
+        assert!(f.region_backdoored(Region::new(5, 1)));
+        assert!(!f.region_backdoored(Region::new(0, 4)));
+        assert_eq!(f.backdoor_count(), 1);
+    }
+
+    #[test]
+    fn random_backdoor_density() {
+        let mut f = FpgaFabric::new(10, 10, 1);
+        let mut rng = SimRng::new(3);
+        f.plant_backdoors(0.25, &mut rng);
+        let count = f.backdoor_count();
+        assert!((10..=40).contains(&count), "density wildly off: {count}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_region() {
+        Region::new(0, 0);
+    }
+}

@@ -1,0 +1,238 @@
+//! The Internal Configuration Access Port with per-principal region ACLs.
+//!
+//! §II-E: "Provided sufficient access controls are in place at the internal
+//! configuration access ports, the actual configuration of a frame can even
+//! be delegated to its current user." The ACL is the mechanism the voted
+//! privilege gate (in `rsoc-soc`) manipulates: in the resilient design only
+//! the gate principal may write, and principals gain region rights only by
+//! consensually approved privilege changes.
+
+use crate::bitstream::Bitstream;
+use crate::fabric::{FpgaFabric, FrameState, Region};
+use rsoc_crypto::MacKey;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A configuration principal (kernel replica, gate, block owner).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Principal(pub u32);
+
+/// ICAP errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IcapError {
+    /// Principal lacks write rights over (all of) the target region.
+    AccessDenied,
+    /// Bitstream failed CRC/HMAC/region validation.
+    InvalidBitstream,
+    /// Target region exceeds the fabric.
+    OutOfBounds,
+    /// Target region is not fully disabled (write-while-enabled hazard).
+    RegionEnabled,
+}
+
+impl fmt::Display for IcapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IcapError::AccessDenied => write!(f, "principal lacks access to region"),
+            IcapError::InvalidBitstream => write!(f, "bitstream failed validation"),
+            IcapError::OutOfBounds => write!(f, "region exceeds fabric"),
+            IcapError::RegionEnabled => write!(f, "region must be disabled before writing"),
+        }
+    }
+}
+
+impl std::error::Error for IcapError {}
+
+/// Per-frame-write cost in cycles (configuration port bandwidth).
+pub const CYCLES_PER_WORD: u64 = 4;
+
+/// The access-controlled internal configuration port.
+#[derive(Debug, Clone)]
+pub struct Icap {
+    key: MacKey,
+    acl: BTreeMap<Principal, BTreeSet<Region>>,
+    writes: u64,
+    rejected: u64,
+}
+
+impl Icap {
+    /// Creates an ICAP that validates bitstreams under `key` and starts
+    /// with an empty ACL (default-deny).
+    pub fn new(key: MacKey) -> Self {
+        Icap { key, acl: BTreeMap::new(), writes: 0, rejected: 0 }
+    }
+
+    /// The bitstream-validation key (shared with legitimate signers).
+    pub fn key(&self) -> &MacKey {
+        &self.key
+    }
+
+    /// Grants `principal` write rights over `region`.
+    pub fn allow(&mut self, principal: Principal, region: Region) {
+        self.acl.entry(principal).or_default().insert(region);
+    }
+
+    /// Revokes a specific grant.
+    pub fn revoke(&mut self, principal: Principal, region: Region) {
+        if let Some(set) = self.acl.get_mut(&principal) {
+            set.remove(&region);
+        }
+    }
+
+    /// Revokes everything a principal holds.
+    pub fn revoke_all(&mut self, principal: Principal) {
+        self.acl.remove(&principal);
+    }
+
+    /// Whether `principal` may write all frames of `region` (some granted
+    /// region must fully cover it).
+    pub fn permits(&self, principal: Principal, region: Region) -> bool {
+        self.acl.get(&principal).is_some_and(|set| {
+            set.iter().any(|granted| {
+                granted.start <= region.start
+                    && granted.start + granted.len >= region.start + region.len
+            })
+        })
+    }
+
+    /// Successful writes so far.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Rejected write attempts so far (an audit signal for the threat
+    /// detector).
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Writes a validated bitstream into a fully *disabled* region.
+    ///
+    /// Returns the cycles the write occupied the port.
+    ///
+    /// # Errors
+    /// [`IcapError`] for ACL, bounds, validation, or state violations.
+    pub fn write(
+        &mut self,
+        fabric: &mut FpgaFabric,
+        principal: Principal,
+        region: Region,
+        bitstream: &Bitstream,
+    ) -> Result<u64, IcapError> {
+        let check = || -> Result<(), IcapError> {
+            if !fabric.contains(region) {
+                return Err(IcapError::OutOfBounds);
+            }
+            if !self.permits(principal, region) {
+                return Err(IcapError::AccessDenied);
+            }
+            if !bitstream.verify(region, &self.key) {
+                return Err(IcapError::InvalidBitstream);
+            }
+            for f in region.frames() {
+                if matches!(fabric.frame_state(f), FrameState::Active(_)) {
+                    return Err(IcapError::RegionEnabled);
+                }
+            }
+            Ok(())
+        };
+        if let Err(e) = check() {
+            self.rejected += 1;
+            return Err(e);
+        }
+        fabric.write_words(region, &bitstream.words);
+        self.writes += 1;
+        Ok(bitstream.words.len() as u64 * CYCLES_PER_WORD)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (FpgaFabric, Icap, MacKey) {
+        let key = MacKey::derive(9, "icap");
+        (FpgaFabric::new(4, 4, 4), Icap::new(key.clone()), key)
+    }
+
+    #[test]
+    fn write_requires_grant() {
+        let (mut fabric, mut icap, key) = setup();
+        let r = Region::new(0, 2);
+        let bs = Bitstream::for_variant(1, r, 4, &key);
+        assert_eq!(icap.write(&mut fabric, Principal(0), r, &bs), Err(IcapError::AccessDenied));
+        icap.allow(Principal(0), r);
+        assert!(icap.write(&mut fabric, Principal(0), r, &bs).is_ok());
+        assert_eq!(icap.writes(), 1);
+        assert_eq!(icap.rejected(), 1);
+    }
+
+    #[test]
+    fn grant_covers_subregions_only() {
+        let (mut fabric, mut icap, key) = setup();
+        icap.allow(Principal(0), Region::new(0, 4));
+        let sub = Region::new(1, 2);
+        let bs = Bitstream::for_variant(1, sub, 4, &key);
+        assert!(icap.write(&mut fabric, Principal(0), sub, &bs).is_ok());
+        let outside = Region::new(3, 2);
+        let bs2 = Bitstream::for_variant(1, outside, 4, &key);
+        assert_eq!(
+            icap.write(&mut fabric, Principal(0), outside, &bs2),
+            Err(IcapError::AccessDenied)
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_bitstream() {
+        let (mut fabric, mut icap, key) = setup();
+        let r = Region::new(0, 2);
+        icap.allow(Principal(0), r);
+        let mut bs = Bitstream::for_variant(1, r, 4, &key);
+        bs.words[0] ^= 0xFF;
+        assert_eq!(
+            icap.write(&mut fabric, Principal(0), r, &bs),
+            Err(IcapError::InvalidBitstream)
+        );
+    }
+
+    #[test]
+    fn rejects_forged_signature() {
+        let (mut fabric, mut icap, _) = setup();
+        let r = Region::new(0, 2);
+        icap.allow(Principal(0), r);
+        // Signed by an attacker's key, not the ICAP's.
+        let bs = Bitstream::for_variant(1, r, 4, &MacKey::derive(666, "attacker"));
+        assert_eq!(
+            icap.write(&mut fabric, Principal(0), r, &bs),
+            Err(IcapError::InvalidBitstream)
+        );
+    }
+
+    #[test]
+    fn rejects_enabled_region_and_out_of_bounds() {
+        let (mut fabric, mut icap, key) = setup();
+        let r = Region::new(0, 2);
+        icap.allow(Principal(0), r);
+        fabric.set_state(r, FrameState::Active(7));
+        let bs = Bitstream::for_variant(1, r, 4, &key);
+        assert_eq!(icap.write(&mut fabric, Principal(0), r, &bs), Err(IcapError::RegionEnabled));
+
+        let far = Region::new(15, 4);
+        icap.allow(Principal(0), far);
+        let bs2 = Bitstream::for_variant(1, far, 4, &key);
+        assert_eq!(icap.write(&mut fabric, Principal(0), far, &bs2), Err(IcapError::OutOfBounds));
+    }
+
+    #[test]
+    fn revocation_takes_effect() {
+        let (mut fabric, mut icap, key) = setup();
+        let r = Region::new(0, 2);
+        icap.allow(Principal(3), r);
+        icap.revoke(Principal(3), r);
+        let bs = Bitstream::for_variant(1, r, 4, &key);
+        assert_eq!(icap.write(&mut fabric, Principal(3), r, &bs), Err(IcapError::AccessDenied));
+        icap.allow(Principal(3), r);
+        icap.revoke_all(Principal(3));
+        assert!(!icap.permits(Principal(3), r));
+    }
+}

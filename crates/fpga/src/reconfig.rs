@@ -1,0 +1,325 @@
+//! Internal, partial, dynamic reconfiguration: disable → write →
+//! readback-validate → enable, plus block relocation and spatial
+//! rejuvenation.
+
+use crate::bitstream::Bitstream;
+use crate::fabric::{BlockId, FpgaFabric, FrameState, Region};
+use crate::icap::{Icap, IcapError, Principal};
+use std::fmt;
+
+/// Cycles to gate a region off or on.
+const CYCLES_GATE: u64 = 8;
+/// Cycles per frame for readback validation.
+const CYCLES_VALIDATE_FRAME: u64 = 16;
+
+/// Reconfiguration errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReconfigError {
+    /// The underlying ICAP write failed.
+    Icap(IcapError),
+    /// Readback after writing did not match the bitstream (configuration
+    /// memory upset during write).
+    ReadbackMismatch,
+    /// The named block is not placed anywhere.
+    UnknownBlock,
+    /// Destination region unusable (occupied or out of bounds).
+    DestinationUnavailable,
+}
+
+impl fmt::Display for ReconfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReconfigError::Icap(e) => write!(f, "icap: {e}"),
+            ReconfigError::ReadbackMismatch => write!(f, "readback validation failed"),
+            ReconfigError::UnknownBlock => write!(f, "unknown block"),
+            ReconfigError::DestinationUnavailable => write!(f, "destination region unavailable"),
+        }
+    }
+}
+
+impl std::error::Error for ReconfigError {}
+
+impl From<IcapError> for ReconfigError {
+    fn from(e: IcapError) -> Self {
+        ReconfigError::Icap(e)
+    }
+}
+
+/// Receipt of a completed reconfiguration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReconfigReceipt {
+    /// Total cycles the operation took (the block's downtime).
+    pub cycles: u64,
+    /// Frames rewritten.
+    pub frames_written: u32,
+}
+
+/// The reconfiguration engine: owns the fabric and its ICAP.
+///
+/// Reconfiguration is *partial and dynamic*: only the target region's
+/// frames change state; everything else keeps running (verified by the
+/// `other_blocks_undisturbed` test).
+#[derive(Debug)]
+pub struct ReconfigEngine {
+    fabric: FpgaFabric,
+    icap: Icap,
+}
+
+impl ReconfigEngine {
+    /// Creates an engine.
+    pub fn new(fabric: FpgaFabric, icap: Icap) -> Self {
+        ReconfigEngine { fabric, icap }
+    }
+
+    /// The fabric (read-only).
+    pub fn fabric(&self) -> &FpgaFabric {
+        &self.fabric
+    }
+
+    /// The ICAP (for ACL management by the privilege gate).
+    pub fn icap_mut(&mut self) -> &mut Icap {
+        &mut self.icap
+    }
+
+    /// The ICAP (read-only).
+    pub fn icap(&self) -> &Icap {
+        &self.icap
+    }
+
+    /// Full partial-dynamic reconfiguration of `region` with `bitstream`,
+    /// enabling it as `block` afterwards.
+    ///
+    /// # Errors
+    /// [`ReconfigError`] on ACL/validation/readback failures. On error the
+    /// region is left disabled (fail-safe), never half-enabled.
+    pub fn reconfigure(
+        &mut self,
+        principal: Principal,
+        region: Region,
+        bitstream: &Bitstream,
+        block: BlockId,
+    ) -> Result<ReconfigReceipt, ReconfigError> {
+        // 1. Disable (critical operation — in the resilient design this is
+        //    only reachable through the voted gate, see rsoc-soc).
+        if let Some(old) = self.block_at(region) {
+            self.fabric.unplace(old);
+        }
+        self.fabric.set_state(region, FrameState::Disabled);
+        let mut cycles = CYCLES_GATE;
+
+        // 2. Write through the access-controlled port.
+        cycles += self.icap.write(&mut self.fabric, principal, region, bitstream)?;
+
+        // 3. Readback validation.
+        cycles += region.len as u64 * CYCLES_VALIDATE_FRAME;
+        let fw = self.fabric.frame_words();
+        for (i, f) in region.frames().enumerate() {
+            if self.fabric.readback(f) != &bitstream.words[i * fw..(i + 1) * fw] {
+                return Err(ReconfigError::ReadbackMismatch);
+            }
+        }
+
+        // 4. Enable.
+        self.fabric.set_state(region, FrameState::Active(block));
+        self.fabric.place(block, region);
+        cycles += CYCLES_GATE;
+        Ok(ReconfigReceipt { cycles, frames_written: region.len })
+    }
+
+    /// Relocates `block` to `to`, re-targeting its current configuration
+    /// (spatial rejuvenation, §II-C: "rejuvenate to diverse softcore
+    /// variants that are loaded in different FPGA spatial locations").
+    ///
+    /// # Errors
+    /// [`ReconfigError::UnknownBlock`] /
+    /// [`ReconfigError::DestinationUnavailable`] / write errors.
+    pub fn relocate(
+        &mut self,
+        principal: Principal,
+        block: BlockId,
+        to: Region,
+    ) -> Result<ReconfigReceipt, ReconfigError> {
+        let from = self.fabric.block_region(block).ok_or(ReconfigError::UnknownBlock)?;
+        if !self.fabric.contains(to) || from.overlaps(&to) {
+            return Err(ReconfigError::DestinationUnavailable);
+        }
+        for f in to.frames() {
+            if self.fabric.frame_state(f) != FrameState::Empty {
+                return Err(ReconfigError::DestinationUnavailable);
+            }
+        }
+        // Rebuild the block's bitstream from current configuration.
+        let fw = self.fabric.frame_words();
+        let mut words = Vec::with_capacity(from.len as usize * fw);
+        for f in from.frames() {
+            words.extend_from_slice(self.fabric.readback(f));
+        }
+        let current = Bitstream::build(words, from, fw, self.icap.key());
+        let moved = current.retarget(to, self.icap.key());
+
+        let receipt = self.reconfigure(principal, to, &moved, block)?;
+        // Free the old site.
+        self.fabric.set_state(from, FrameState::Empty);
+        self.fabric.place(block, to);
+        Ok(ReconfigReceipt {
+            cycles: receipt.cycles + CYCLES_GATE,
+            frames_written: receipt.frames_written,
+        })
+    }
+
+    /// Decommissions `block`: gates its region off and frees the frames
+    /// (used before re-instantiating the block elsewhere with a fresh
+    /// variant — spatial rejuvenation).
+    ///
+    /// # Errors
+    /// [`ReconfigError::UnknownBlock`] if the block is not placed;
+    /// [`ReconfigError::Icap`] ([`IcapError::AccessDenied`]) if `principal`
+    /// lacks rights over the block's region.
+    pub fn decommission(
+        &mut self,
+        principal: Principal,
+        block: BlockId,
+    ) -> Result<Region, ReconfigError> {
+        let region = self.fabric.block_region(block).ok_or(ReconfigError::UnknownBlock)?;
+        if !self.icap.permits(principal, region) {
+            return Err(ReconfigError::Icap(IcapError::AccessDenied));
+        }
+        self.fabric.set_state(region, FrameState::Empty);
+        self.fabric.unplace(block);
+        Ok(region)
+    }
+
+    fn block_at(&self, region: Region) -> Option<BlockId> {
+        self.fabric
+            .placements()
+            .iter()
+            .find(|(_, r)| r.overlaps(&region))
+            .map(|(b, _)| *b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsoc_crypto::MacKey;
+
+    fn engine() -> (ReconfigEngine, MacKey) {
+        let key = MacKey::derive(21, "rc");
+        let fabric = FpgaFabric::new(4, 4, 4);
+        let mut icap = Icap::new(key.clone());
+        icap.allow(Principal(0), Region::new(0, 16));
+        (ReconfigEngine::new(fabric, icap), key)
+    }
+
+    #[test]
+    fn reconfigure_activates_block() {
+        let (mut e, key) = engine();
+        let r = Region::new(0, 3);
+        let bs = Bitstream::for_variant(5, r, 4, &key);
+        let receipt = e.reconfigure(Principal(0), r, &bs, 100).unwrap();
+        assert_eq!(receipt.frames_written, 3);
+        assert!(receipt.cycles > 0);
+        for f in r.frames() {
+            assert_eq!(e.fabric().frame_state(f), FrameState::Active(100));
+        }
+        assert_eq!(e.fabric().block_region(100), Some(r));
+    }
+
+    #[test]
+    fn other_blocks_undisturbed() {
+        // The "partial and dynamic" property: reconfiguring region B leaves
+        // region A's configuration and state untouched.
+        let (mut e, key) = engine();
+        let a = Region::new(0, 2);
+        let b = Region::new(4, 2);
+        e.reconfigure(Principal(0), a, &Bitstream::for_variant(1, a, 4, &key), 1).unwrap();
+        let snapshot: Vec<Vec<u64>> = a.frames().map(|f| e.fabric().readback(f).to_vec()).collect();
+        e.reconfigure(Principal(0), b, &Bitstream::for_variant(2, b, 4, &key), 2).unwrap();
+        for (i, f) in a.frames().enumerate() {
+            assert_eq!(e.fabric().frame_state(f), FrameState::Active(1));
+            assert_eq!(e.fabric().readback(f), &snapshot[i][..]);
+        }
+    }
+
+    #[test]
+    fn failed_write_leaves_region_disabled_not_enabled() {
+        let (mut e, _) = engine();
+        let r = Region::new(0, 2);
+        // Bitstream signed with the wrong key fails at the ICAP.
+        let bad = Bitstream::for_variant(5, r, 4, &MacKey::derive(99, "evil"));
+        let err = e.reconfigure(Principal(0), r, &bad, 7).unwrap_err();
+        assert_eq!(err, ReconfigError::Icap(IcapError::InvalidBitstream));
+        for f in r.frames() {
+            assert_eq!(e.fabric().frame_state(f), FrameState::Disabled, "fail-safe state");
+        }
+    }
+
+    #[test]
+    fn rewriting_replaces_previous_block() {
+        let (mut e, key) = engine();
+        let r = Region::new(0, 2);
+        e.reconfigure(Principal(0), r, &Bitstream::for_variant(1, r, 4, &key), 1).unwrap();
+        e.reconfigure(Principal(0), r, &Bitstream::for_variant(2, r, 4, &key), 2).unwrap();
+        assert_eq!(e.fabric().block_region(1), None, "old block evicted");
+        assert_eq!(e.fabric().block_region(2), Some(r));
+    }
+
+    #[test]
+    fn relocation_moves_configuration() {
+        let (mut e, key) = engine();
+        let from = Region::new(0, 2);
+        let to = Region::new(8, 2);
+        let bs = Bitstream::for_variant(7, from, 4, &key);
+        e.reconfigure(Principal(0), from, &bs, 42).unwrap();
+        let words_before: Vec<u64> =
+            from.frames().flat_map(|f| e.fabric().readback(f).to_vec()).collect();
+        e.relocate(Principal(0), 42, to).unwrap();
+        assert_eq!(e.fabric().block_region(42), Some(to));
+        for f in from.frames() {
+            assert_eq!(e.fabric().frame_state(f), FrameState::Empty, "old site freed");
+        }
+        let words_after: Vec<u64> =
+            to.frames().flat_map(|f| e.fabric().readback(f).to_vec()).collect();
+        assert_eq!(words_before, words_after, "configuration carried over");
+    }
+
+    #[test]
+    fn relocation_rejects_bad_destinations() {
+        let (mut e, key) = engine();
+        let from = Region::new(0, 2);
+        e.reconfigure(Principal(0), from, &Bitstream::for_variant(7, from, 4, &key), 42)
+            .unwrap();
+        assert_eq!(
+            e.relocate(Principal(0), 42, Region::new(1, 2)),
+            Err(ReconfigError::DestinationUnavailable),
+            "overlapping destination"
+        );
+        assert_eq!(
+            e.relocate(Principal(0), 42, Region::new(15, 2)),
+            Err(ReconfigError::DestinationUnavailable),
+            "out of bounds"
+        );
+        assert_eq!(
+            e.relocate(Principal(0), 99, Region::new(8, 2)),
+            Err(ReconfigError::UnknownBlock)
+        );
+        // Occupied destination.
+        let other = Region::new(8, 2);
+        e.reconfigure(Principal(0), other, &Bitstream::for_variant(1, other, 4, &key), 1)
+            .unwrap();
+        assert_eq!(
+            e.relocate(Principal(0), 42, other),
+            Err(ReconfigError::DestinationUnavailable)
+        );
+    }
+
+    #[test]
+    fn unauthorized_principal_cannot_reconfigure() {
+        let (mut e, key) = engine();
+        let r = Region::new(0, 2);
+        let bs = Bitstream::for_variant(5, r, 4, &key);
+        let err = e.reconfigure(Principal(9), r, &bs, 7).unwrap_err();
+        assert_eq!(err, ReconfigError::Icap(IcapError::AccessDenied));
+        assert_eq!(e.icap().rejected(), 1);
+    }
+}

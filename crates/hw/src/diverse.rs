@@ -1,0 +1,308 @@
+//! Structurally diverse redundancy (§I: "backup gates, replicated parallel
+//! gates, or **diverse gates**").
+//!
+//! Identical N-modular redundancy masks *independent* physical faults but
+//! replicates *design* flaws into every copy — a flawed gate netlist fails
+//! identically three times and the voter happily confirms the wrong answer.
+//! Diverse redundancy instantiates functionally identical but structurally
+//! different implementations, so an implementation-level flaw stays
+//! confined to one copy and is voted out.
+//!
+//! This module provides alternative implementations of the library
+//! circuits (NAND-only and NOR-only adders — classic technology-remapped
+//! variants), a diverse-NMR constructor, and a design-flaw fault model
+//! that injects the *same relative defect* into every structural copy of
+//! the same implementation.
+
+use crate::circuits::majority_n;
+use crate::faults::{FaultKind, FaultMap};
+use crate::netlist::{GateId, GateKind, Netlist};
+use rsoc_sim::SimRng;
+
+/// A `width`-bit ripple-carry adder synthesized exclusively from NAND
+/// gates (same interface as [`crate::circuits::ripple_carry_adder`]).
+///
+/// # Panics
+/// Panics if `width == 0`.
+pub fn ripple_carry_adder_nand(width: usize) -> Netlist {
+    assert!(width > 0, "adder width must be positive");
+    let mut n = Netlist::new(format!("rca{width}-nand"));
+    let a: Vec<GateId> = (0..width).map(|_| n.input()).collect();
+    let b: Vec<GateId> = (0..width).map(|_| n.input()).collect();
+    let mut carry = n.input();
+
+    // NAND-only building blocks.
+    let nand = |n: &mut Netlist, x: GateId, y: GateId| n.gate(GateKind::Nand, &[x, y]);
+    let xor = |n: &mut Netlist, x: GateId, y: GateId| {
+        // XOR from 4 NANDs.
+        let t = nand(n, x, y);
+        let u = nand(n, x, t);
+        let v = nand(n, y, t);
+        nand(n, u, v)
+    };
+
+    let mut sums = Vec::with_capacity(width);
+    for i in 0..width {
+        let axb = xor(&mut n, a[i], b[i]);
+        let sum = xor(&mut n, axb, carry);
+        // cout = NAND(NAND(a,b), NAND(axb, cin)) == (a&b) | (axb & cin).
+        let ab_n = nand(&mut n, a[i], b[i]);
+        let cx_n = nand(&mut n, axb, carry);
+        carry = nand(&mut n, ab_n, cx_n);
+        sums.push(sum);
+    }
+    for s in sums {
+        n.expose(s);
+    }
+    n.expose(carry);
+    n
+}
+
+/// A `width`-bit ripple-carry adder synthesized exclusively from NOR
+/// gates plus inverters (a third structural family).
+///
+/// # Panics
+/// Panics if `width == 0`.
+pub fn ripple_carry_adder_nor(width: usize) -> Netlist {
+    assert!(width > 0, "adder width must be positive");
+    let mut n = Netlist::new(format!("rca{width}-nor"));
+    let a: Vec<GateId> = (0..width).map(|_| n.input()).collect();
+    let b: Vec<GateId> = (0..width).map(|_| n.input()).collect();
+    let mut carry = n.input();
+
+    let nor = |n: &mut Netlist, x: GateId, y: GateId| n.gate(GateKind::Nor, &[x, y]);
+    let inv = |n: &mut Netlist, x: GateId| n.not(x);
+    let or = |n: &mut Netlist, x: GateId, y: GateId| {
+        let t = nor(n, x, y);
+        inv(n, t)
+    };
+    let and = |n: &mut Netlist, x: GateId, y: GateId| {
+        let nx = inv(n, x);
+        let ny = inv(n, y);
+        nor(n, nx, ny)
+    };
+    let xor = |n: &mut Netlist, x: GateId, y: GateId| {
+        // x ^ y = (x | y) & !(x & y)
+        let o = or(n, x, y);
+        let a2 = and(n, x, y);
+        let na = inv(n, a2);
+        and(n, o, na)
+    };
+
+    let mut sums = Vec::with_capacity(width);
+    for i in 0..width {
+        let axb = xor(&mut n, a[i], b[i]);
+        let sum = xor(&mut n, axb, carry);
+        let ab = and(&mut n, a[i], b[i]);
+        let cx = and(&mut n, carry, axb);
+        carry = or(&mut n, ab, cx);
+        sums.push(sum);
+    }
+    for s in sums {
+        n.expose(s);
+    }
+    n.expose(carry);
+    n
+}
+
+/// Builds an NMR circuit from *distinct implementations* of the same
+/// function: `modules[i]` becomes copy `i`, all sharing primary inputs,
+/// with a gate-built majority voter per output.
+///
+/// # Panics
+/// Panics unless `modules` has odd length ≥ 1 and all modules share the
+/// same input/output arity.
+pub fn nmr_diverse(modules: &[&Netlist]) -> Netlist {
+    assert!(!modules.is_empty() && modules.len() % 2 == 1, "need odd module count");
+    let inputs_n = modules[0].input_count();
+    let outputs_n = modules[0].output_count();
+    for m in modules {
+        assert_eq!(m.input_count(), inputs_n, "interface mismatch");
+        assert_eq!(m.output_count(), outputs_n, "interface mismatch");
+    }
+    let mut out = Netlist::new(format!("diverse-{}x{}", modules[0].name(), modules.len()));
+    let inputs: Vec<GateId> = (0..inputs_n).map(|_| out.input()).collect();
+    let mut copies = Vec::with_capacity(modules.len());
+    for m in modules {
+        copies.push(out.instantiate(m, &inputs));
+    }
+    for bit in 0..outputs_n {
+        let votes: Vec<GateId> = copies.iter().map(|c| c[bit]).collect();
+        let voted = majority_n(&mut out, &votes);
+        out.expose(voted);
+    }
+    out
+}
+
+/// A design flaw: one logic gate of an *implementation* is permanently
+/// wrong (spec misread, synthesis bug, malicious edit). Identical copies
+/// of that implementation all inherit it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DesignFlaw {
+    /// Index of the flawed logic gate within the implementation
+    /// (counting logic gates only, in construction order).
+    pub logic_gate_index: usize,
+    /// How the flawed gate misbehaves.
+    pub kind: FaultKind,
+}
+
+impl DesignFlaw {
+    /// Samples a uniformly random flaw for an implementation with
+    /// `logic_gates` logic gates.
+    ///
+    /// # Panics
+    /// Panics if `logic_gates == 0`.
+    pub fn sample(logic_gates: usize, rng: &mut SimRng) -> Self {
+        assert!(logic_gates > 0, "no gates to flaw");
+        let kinds = [FaultKind::StuckAt0, FaultKind::StuckAt1, FaultKind::Flip];
+        DesignFlaw {
+            logic_gate_index: rng.index(logic_gates),
+            kind: kinds[rng.index(3)],
+        }
+    }
+}
+
+/// Materializes a design flaw of `module` into a fault map for an NMR
+/// netlist built by [`crate::redundancy::nmr`] — the flaw lands at the
+/// same relative position in **every** copy (common mode).
+///
+/// Relies on `nmr`'s construction order: shared inputs first, then the
+/// copies' logic gates in module order, then voters.
+pub fn flaw_in_identical_nmr(module: &Netlist, n: usize, flaw: DesignFlaw) -> FaultMap {
+    let mut map = FaultMap::new();
+    let module_logic = module.gate_count() - module.input_count();
+    let base = module.input_count();
+    for copy in 0..n {
+        let idx = base + copy * module_logic + flaw.logic_gate_index;
+        map.insert(GateId::new(idx as u32), flaw.kind);
+    }
+    map
+}
+
+/// Materializes a design flaw of implementation `which` into a fault map
+/// for a [`nmr_diverse`] netlist — the flaw affects only that one copy.
+pub fn flaw_in_diverse_nmr(modules: &[&Netlist], which: usize, flaw: DesignFlaw) -> FaultMap {
+    assert!(which < modules.len(), "implementation index out of range");
+    let mut map = FaultMap::new();
+    let mut offset = modules[0].input_count();
+    for m in modules.iter().take(which) {
+        offset += m.gate_count() - m.input_count();
+    }
+    map.insert(GateId::new((offset + flaw.logic_gate_index) as u32), flaw.kind);
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuits::ripple_carry_adder;
+    use crate::redundancy::nmr;
+
+    fn random_inputs(width: usize, rng: &mut SimRng) -> Vec<bool> {
+        (0..2 * width + 1).map(|_| rng.chance(0.5)).collect()
+    }
+
+    #[test]
+    fn all_three_implementations_agree() {
+        let w = 4;
+        let base = ripple_carry_adder(w);
+        let nand = ripple_carry_adder_nand(w);
+        let nor = ripple_carry_adder_nor(w);
+        let mut rng = SimRng::new(1);
+        for _ in 0..200 {
+            let inputs = random_inputs(w, &mut rng);
+            let expect = base.eval(&inputs);
+            assert_eq!(nand.eval(&inputs), expect, "NAND variant diverges");
+            assert_eq!(nor.eval(&inputs), expect, "NOR variant diverges");
+        }
+    }
+
+    #[test]
+    fn implementations_are_structurally_distinct() {
+        let base = ripple_carry_adder(4);
+        let nand = ripple_carry_adder_nand(4);
+        let nor = ripple_carry_adder_nor(4);
+        assert_ne!(base.logic_gate_count(), nand.logic_gate_count());
+        assert_ne!(nand.logic_gate_count(), nor.logic_gate_count());
+    }
+
+    #[test]
+    fn diverse_nmr_preserves_function() {
+        let base = ripple_carry_adder(3);
+        let nand = ripple_carry_adder_nand(3);
+        let nor = ripple_carry_adder_nor(3);
+        let diverse = nmr_diverse(&[&base, &nand, &nor]);
+        let mut rng = SimRng::new(2);
+        for _ in 0..100 {
+            let inputs = random_inputs(3, &mut rng);
+            assert_eq!(diverse.eval(&inputs), base.eval(&inputs));
+        }
+    }
+
+    #[test]
+    fn design_flaw_defeats_identical_tmr_but_not_diverse_tmr() {
+        let w = 3;
+        let base = ripple_carry_adder(w);
+        let nand = ripple_carry_adder_nand(w);
+        let nor = ripple_carry_adder_nor(w);
+        let identical = nmr(&base, 3);
+        let diverse = nmr_diverse(&[&base, &nand, &nor]);
+        let mut rng = SimRng::new(3);
+
+        let mut identical_failures = 0u32;
+        let mut diverse_failures = 0u32;
+        let trials = 200;
+        for _ in 0..trials {
+            let flaw = DesignFlaw::sample(base.logic_gate_count(), &mut rng);
+            let id_map = flaw_in_identical_nmr(&base, 3, flaw);
+            let dv_map = flaw_in_diverse_nmr(&[&base, &nand, &nor], 0, flaw);
+            let inputs = random_inputs(w, &mut rng);
+            let golden = base.eval(&inputs);
+            if identical.eval_with_faults(&inputs, &id_map) != golden {
+                identical_failures += 1;
+            }
+            if diverse.eval_with_faults(&inputs, &dv_map) != golden {
+                diverse_failures += 1;
+            }
+        }
+        assert_eq!(diverse_failures, 0, "a single-implementation flaw must be voted out");
+        assert!(
+            identical_failures > trials / 4,
+            "replicated design flaws must frequently defeat identical TMR: {identical_failures}/{trials}"
+        );
+    }
+
+    #[test]
+    fn flaw_in_any_single_diverse_copy_is_masked() {
+        let w = 2;
+        let impls = [
+            ripple_carry_adder(w),
+            ripple_carry_adder_nand(w),
+            ripple_carry_adder_nor(w),
+        ];
+        let refs: Vec<&Netlist> = impls.iter().collect();
+        let diverse = nmr_diverse(&refs);
+        let mut rng = SimRng::new(4);
+        for which in 0..3 {
+            for _ in 0..50 {
+                let flaw = DesignFlaw::sample(impls[which].logic_gate_count(), &mut rng);
+                let map = flaw_in_diverse_nmr(&refs, which, flaw);
+                let inputs = random_inputs(w, &mut rng);
+                assert_eq!(
+                    diverse.eval_with_faults(&inputs, &map),
+                    impls[0].eval(&inputs),
+                    "impl {which} flaw must be masked"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "interface mismatch")]
+    fn diverse_nmr_rejects_mismatched_interfaces() {
+        let a = ripple_carry_adder(2);
+        let b = ripple_carry_adder(3);
+        let c = ripple_carry_adder(2);
+        nmr_diverse(&[&a, &b, &c]);
+    }
+}

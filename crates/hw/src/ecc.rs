@@ -1,0 +1,281 @@
+//! Hamming SEC-DED (single-error-correct, double-error-detect) codec.
+//!
+//! This is the ECC the paper's §III proposes for hybrid registers: "ECC
+//! registers add extra bits and the logic required for correction, which
+//! both increase the complexity of the circuit at the benefit of tolerating
+//! a certain number of bitflips."
+//!
+//! Layout: extended Hamming code. Codeword bit positions are 1-indexed;
+//! positions that are powers of two hold parity bits; position 0 (stored as
+//! the top bit here) holds the overall parity for double-error detection.
+
+/// Outcome of decoding a possibly corrupted codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeOutcome {
+    /// No error detected; payload returned.
+    Clean(u64),
+    /// A single bit error was corrected; payload plus the corrupted
+    /// codeword bit position (1-indexed; `0` = overall parity bit).
+    Corrected(u64, u32),
+    /// Two-bit error detected; data unrecoverable.
+    DoubleError,
+}
+
+impl DecodeOutcome {
+    /// Payload if recoverable.
+    pub fn value(self) -> Option<u64> {
+        match self {
+            DecodeOutcome::Clean(v) | DecodeOutcome::Corrected(v, _) => Some(v),
+            DecodeOutcome::DoubleError => None,
+        }
+    }
+}
+
+/// An extended Hamming SEC-DED code for payloads of 1..=64 bits.
+///
+/// ```
+/// use rsoc_hw::ecc::{DecodeOutcome, Hamming};
+/// let code = Hamming::new(32);
+/// let cw = code.encode(0xDEAD_BEEF);
+/// assert_eq!(code.decode(cw), DecodeOutcome::Clean(0xDEAD_BEEF));
+/// // Any single flipped bit is corrected:
+/// let corrupted = cw ^ (1 << 7);
+/// assert_eq!(code.decode(corrupted).value(), Some(0xDEAD_BEEF));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hamming {
+    data_bits: u32,
+    parity_bits: u32,
+}
+
+impl Hamming {
+    /// Creates a code for `data_bits`-bit payloads.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= data_bits <= 64`.
+    pub fn new(data_bits: u32) -> Self {
+        assert!((1..=64).contains(&data_bits), "data width must be 1..=64");
+        let mut r = 0u32;
+        while (1u64 << r) < (data_bits + r + 1) as u64 {
+            r += 1;
+        }
+        Hamming { data_bits, parity_bits: r }
+    }
+
+    /// Payload width in bits.
+    pub fn data_bits(&self) -> u32 {
+        self.data_bits
+    }
+
+    /// Number of Hamming parity bits (excluding the overall parity bit).
+    pub fn parity_bits(&self) -> u32 {
+        self.parity_bits
+    }
+
+    /// Total codeword width: data + parity + 1 overall-parity bit.
+    pub fn codeword_bits(&self) -> u32 {
+        self.data_bits + self.parity_bits + 1
+    }
+
+    /// Rough gate-equivalent cost of the encoder+decoder (XOR trees plus a
+    /// correction decoder), for §III complexity accounting.
+    pub fn gate_cost(&self) -> u64 {
+        let n = self.codeword_bits() as u64;
+        // Each parity bit XORs ~n/2 positions; syndrome decode ~n AND-OR; correction n XOR.
+        (self.parity_bits as u64 + 1) * (n / 2) + 2 * n
+    }
+
+    /// Encodes `data` into a codeword (stored in the low
+    /// [`codeword_bits`](Self::codeword_bits) bits of the return value).
+    ///
+    /// # Panics
+    /// Panics if `data` has bits beyond the payload width.
+    pub fn encode(&self, data: u64) -> u128 {
+        if self.data_bits < 64 {
+            assert!(data < (1u64 << self.data_bits), "payload too wide");
+        }
+        let total = self.data_bits + self.parity_bits; // positions 1..=total
+        let mut word: u128 = 0;
+        // Scatter data bits into non-power-of-two positions 1..=total.
+        let mut data_idx = 0;
+        for pos in 1..=total {
+            if pos & (pos - 1) == 0 {
+                continue; // parity position
+            }
+            if (data >> data_idx) & 1 == 1 {
+                word |= 1u128 << pos;
+            }
+            data_idx += 1;
+        }
+        // Compute Hamming parity bits.
+        for p in 0..self.parity_bits {
+            let pbit = 1u32 << p;
+            let mut parity = false;
+            for pos in 1..=total {
+                if pos & pbit != 0 && (word >> pos) & 1 == 1 {
+                    parity ^= true;
+                }
+            }
+            if parity {
+                word |= 1u128 << pbit;
+            }
+        }
+        // Overall parity over positions 1..=total, stored at bit 0.
+        let ones = (word >> 1).count_ones(); // counts bits 1..=total only
+        if ones % 2 == 1 {
+            word |= 1;
+        }
+        word
+    }
+
+    /// Decodes a codeword, correcting single-bit and detecting double-bit
+    /// errors.
+    pub fn decode(&self, mut word: u128) -> DecodeOutcome {
+        let total = self.data_bits + self.parity_bits;
+        // Syndrome: XOR of positions with a set bit.
+        let mut syndrome: u32 = 0;
+        for pos in 1..=total {
+            if (word >> pos) & 1 == 1 {
+                syndrome ^= pos;
+            }
+        }
+        // Overall parity check (positions 0..=total).
+        let mask = if total + 1 >= 128 { u128::MAX } else { (1u128 << (total + 1)) - 1 };
+        let overall_odd = (word & mask).count_ones() % 2 == 1;
+
+        let corrected_pos = if syndrome == 0 && !overall_odd {
+            None // clean
+        } else if overall_odd {
+            // Single-bit error: at `syndrome` (or the overall parity bit when 0).
+            if syndrome > total {
+                return DecodeOutcome::DoubleError; // syndrome points outside codeword
+            }
+            word ^= 1u128 << syndrome;
+            Some(syndrome)
+        } else {
+            // Syndrome nonzero but overall parity even: double error.
+            return DecodeOutcome::DoubleError;
+        };
+
+        // Gather payload.
+        let mut data: u64 = 0;
+        let mut data_idx = 0;
+        for pos in 1..=total {
+            if pos & (pos - 1) == 0 {
+                continue;
+            }
+            if (word >> pos) & 1 == 1 {
+                data |= 1u64 << data_idx;
+            }
+            data_idx += 1;
+        }
+        match corrected_pos {
+            None => DecodeOutcome::Clean(data),
+            Some(p) => DecodeOutcome::Corrected(data, p),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsoc_sim::SimRng;
+
+    #[test]
+    fn parity_bit_counts() {
+        assert_eq!(Hamming::new(1).parity_bits(), 2);
+        assert_eq!(Hamming::new(4).parity_bits(), 3);
+        assert_eq!(Hamming::new(11).parity_bits(), 4);
+        assert_eq!(Hamming::new(26).parity_bits(), 5);
+        assert_eq!(Hamming::new(32).parity_bits(), 6);
+        assert_eq!(Hamming::new(57).parity_bits(), 6);
+        assert_eq!(Hamming::new(64).parity_bits(), 7);
+        assert_eq!(Hamming::new(64).codeword_bits(), 72);
+    }
+
+    #[test]
+    fn roundtrip_clean() {
+        for width in [1u32, 4, 8, 16, 32, 48, 64] {
+            let code = Hamming::new(width);
+            let mut rng = SimRng::new(width as u64);
+            for _ in 0..200 {
+                let data = if width == 64 {
+                    rng.next_u64()
+                } else {
+                    rng.next_u64() & ((1u64 << width) - 1)
+                };
+                assert_eq!(code.decode(code.encode(data)), DecodeOutcome::Clean(data));
+            }
+        }
+    }
+
+    #[test]
+    fn corrects_every_single_bit_error() {
+        for width in [4u32, 16, 64] {
+            let code = Hamming::new(width);
+            let mut rng = SimRng::new(100 + width as u64);
+            for _ in 0..50 {
+                let data = rng.next_u64() & if width == 64 { u64::MAX } else { (1 << width) - 1 };
+                let cw = code.encode(data);
+                for bit in 0..code.codeword_bits() {
+                    let corrupted = cw ^ (1u128 << bit);
+                    match code.decode(corrupted) {
+                        DecodeOutcome::Corrected(v, pos) => {
+                            assert_eq!(v, data, "width={width} bit={bit}");
+                            assert_eq!(pos, bit, "reported position");
+                        }
+                        other => panic!("width={width} bit={bit}: got {other:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn detects_every_double_bit_error() {
+        let code = Hamming::new(16);
+        let mut rng = SimRng::new(7);
+        for _ in 0..20 {
+            let data = rng.next_u64() & 0xFFFF;
+            let cw = code.encode(data);
+            let n = code.codeword_bits();
+            for b1 in 0..n {
+                for b2 in (b1 + 1)..n {
+                    let corrupted = cw ^ (1u128 << b1) ^ (1u128 << b2);
+                    assert_eq!(
+                        code.decode(corrupted),
+                        DecodeOutcome::DoubleError,
+                        "bits {b1},{b2}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn triple_errors_may_miscorrect_but_never_panic() {
+        // SEC-DED gives no guarantee beyond 2 flips; just assert totality.
+        let code = Hamming::new(8);
+        let cw = code.encode(0xA5);
+        let mut rng = SimRng::new(13);
+        for _ in 0..500 {
+            let mut corrupted = cw;
+            for _ in 0..3 {
+                corrupted ^= 1u128 << rng.below(code.codeword_bits() as u64);
+            }
+            let _ = code.decode(corrupted);
+        }
+    }
+
+    #[test]
+    fn gate_cost_grows_with_width() {
+        assert!(Hamming::new(64).gate_cost() > Hamming::new(16).gate_cost());
+        assert!(Hamming::new(16).gate_cost() > Hamming::new(4).gate_cost());
+    }
+
+    #[test]
+    #[should_panic(expected = "payload too wide")]
+    fn encode_rejects_oversized_payload() {
+        Hamming::new(4).encode(0x1F);
+    }
+}

@@ -1,0 +1,172 @@
+//! Multi-vendor 3D-fabric layer model (§I of the paper).
+//!
+//! 3D-synthesized chips can stack layers of identical functionality from
+//! different vendors "to avoid vendor lock-in or potential aging issues,
+//! backdoors, and kill switches — so called Distribution attack on the
+//! supply chain." This module models dies as stacks of vendor-tagged layers
+//! and quantifies how vendor diversity changes the probability that a
+//! supply-chain event (a vendor-level defect or backdoor) takes out a
+//! masking majority of layers.
+
+use rsoc_sim::SimRng;
+use std::collections::BTreeMap;
+
+/// A hardware vendor identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VendorId(pub u32);
+
+/// One functional layer of a 3D die.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layer {
+    /// Who fabricated this layer.
+    pub vendor: VendorId,
+    /// Probability that a *vendor-independent* (local) defect disables this
+    /// layer during the mission.
+    pub local_defect_rate: f64,
+}
+
+/// A 3D die: redundant layers of identical functionality, majority-voted.
+///
+/// The die survives while a strict majority of layers is healthy.
+#[derive(Debug, Clone)]
+pub struct Die {
+    layers: Vec<Layer>,
+}
+
+impl Die {
+    /// Builds a die from layers.
+    ///
+    /// # Panics
+    /// Panics if `layers` is empty or even in count (majority voting needs
+    /// odd redundancy).
+    pub fn new(layers: Vec<Layer>) -> Self {
+        assert!(!layers.is_empty() && layers.len() % 2 == 1, "need odd layer count");
+        Die { layers }
+    }
+
+    /// Builds a die with `n` layers all from one vendor (the monoculture
+    /// baseline).
+    pub fn monoculture(n: usize, vendor: VendorId, local_defect_rate: f64) -> Self {
+        Die::new(
+            (0..n)
+                .map(|_| Layer { vendor, local_defect_rate })
+                .collect(),
+        )
+    }
+
+    /// Builds a die with `n` layers cycling over `vendors`.
+    ///
+    /// # Panics
+    /// Panics if `vendors` is empty.
+    pub fn diverse(n: usize, vendors: &[VendorId], local_defect_rate: f64) -> Self {
+        assert!(!vendors.is_empty(), "need at least one vendor");
+        Die::new(
+            (0..n)
+                .map(|i| Layer { vendor: vendors[i % vendors.len()], local_defect_rate })
+                .collect(),
+        )
+    }
+
+    /// Number of layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Number of distinct vendors.
+    pub fn vendor_count(&self) -> usize {
+        let mut v: Vec<VendorId> = self.layers.iter().map(|l| l.vendor).collect();
+        v.sort_unstable();
+        v.dedup();
+        v.len()
+    }
+
+    /// Simulates one mission: draws vendor-level events (each vendor is
+    /// compromised/defective with probability `vendor_event_rate`,
+    /// disabling *all* of that vendor's layers — the common-mode channel)
+    /// plus independent local defects, then majority-votes.
+    ///
+    /// Returns `true` when the die survives (majority of layers healthy).
+    pub fn survives_mission(&self, vendor_event_rate: f64, rng: &mut SimRng) -> bool {
+        let mut vendor_down: BTreeMap<VendorId, bool> = BTreeMap::new();
+        for l in &self.layers {
+            vendor_down
+                .entry(l.vendor)
+                .or_insert_with(|| rng.chance(vendor_event_rate));
+        }
+        let healthy = self
+            .layers
+            .iter()
+            .filter(|l| !vendor_down[&l.vendor] && !rng.chance(l.local_defect_rate))
+            .count();
+        healthy * 2 > self.layers.len()
+    }
+
+    /// Monte-Carlo estimate of mission survival probability.
+    ///
+    /// # Panics
+    /// Panics if `trials == 0`.
+    pub fn survival_probability(
+        &self,
+        vendor_event_rate: f64,
+        trials: u64,
+        rng: &mut SimRng,
+    ) -> f64 {
+        assert!(trials > 0, "need at least one trial");
+        let ok = (0..trials)
+            .filter(|_| self.survives_mission(vendor_event_rate, rng))
+            .count();
+        ok as f64 / trials as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monoculture_shares_vendor_fate() {
+        let die = Die::monoculture(3, VendorId(1), 0.0);
+        let mut rng = SimRng::new(1);
+        // Vendor event takes out all layers at once.
+        let p = die.survival_probability(1.0, 200, &mut rng);
+        assert_eq!(p, 0.0);
+        let p_ok = die.survival_probability(0.0, 200, &mut rng);
+        assert_eq!(p_ok, 1.0);
+    }
+
+    #[test]
+    fn diversity_beats_monoculture_under_vendor_events() {
+        let mono = Die::monoculture(3, VendorId(1), 0.01);
+        let div = Die::diverse(3, &[VendorId(1), VendorId(2), VendorId(3)], 0.01);
+        let mut rng = SimRng::new(2);
+        let p_mono = mono.survival_probability(0.2, 20_000, &mut rng);
+        let p_div = div.survival_probability(0.2, 20_000, &mut rng);
+        assert!(
+            p_div > p_mono + 0.05,
+            "diverse {p_div:.3} should clearly beat monoculture {p_mono:.3}"
+        );
+    }
+
+    #[test]
+    fn diverse_survival_matches_analytic() {
+        // 3 vendors, each down with q=0.2 independently, no local defects:
+        // survive iff at most 1 vendor down: (1-q)^3 + 3q(1-q)^2 = 0.896.
+        let div = Die::diverse(3, &[VendorId(1), VendorId(2), VendorId(3)], 0.0);
+        let mut rng = SimRng::new(3);
+        let p = div.survival_probability(0.2, 50_000, &mut rng);
+        assert!((p - 0.896).abs() < 0.01, "p={p}");
+    }
+
+    #[test]
+    fn vendor_count_reported() {
+        let div = Die::diverse(5, &[VendorId(1), VendorId(2)], 0.0);
+        assert_eq!(div.layer_count(), 5);
+        assert_eq!(div.vendor_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd layer count")]
+    fn rejects_even_layers() {
+        Die::monoculture(4, VendorId(0), 0.0);
+    }
+}

@@ -1,0 +1,398 @@
+//! Combinational netlists: gates wired in a DAG, evaluated in one forward
+//! pass. Builders guarantee inputs always reference earlier gates, so
+//! evaluation order equals construction order.
+
+use crate::faults::{FaultKind, FaultMap};
+use std::fmt;
+
+/// Identifier of a gate inside a [`Netlist`]; indexes the gate vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GateId(u32);
+
+impl GateId {
+    /// Wraps a raw index.
+    pub const fn new(raw: u32) -> Self {
+        GateId(raw)
+    }
+
+    /// Raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// Primitive gate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Primary input (value supplied by the caller).
+    Input,
+    /// Constant driver.
+    Const(bool),
+    /// Buffer (identity); used to model wire repeaters / fan-out points.
+    Buf,
+    /// Inverter.
+    Not,
+    /// 2-input AND.
+    And,
+    /// 2-input OR.
+    Or,
+    /// 2-input NAND.
+    Nand,
+    /// 2-input NOR.
+    Nor,
+    /// 2-input XOR.
+    Xor,
+    /// 2-input XNOR.
+    Xnor,
+}
+
+impl GateKind {
+    /// Number of input pins this gate kind requires.
+    pub fn arity(self) -> usize {
+        match self {
+            GateKind::Input | GateKind::Const(_) => 0,
+            GateKind::Buf | GateKind::Not => 1,
+            _ => 2,
+        }
+    }
+
+    fn eval(self, a: bool, b: bool) -> bool {
+        match self {
+            GateKind::Input => unreachable!("inputs are not evaluated"),
+            GateKind::Const(v) => v,
+            GateKind::Buf => a,
+            GateKind::Not => !a,
+            GateKind::And => a & b,
+            GateKind::Or => a | b,
+            GateKind::Nand => !(a & b),
+            GateKind::Nor => !(a | b),
+            GateKind::Xor => a ^ b,
+            GateKind::Xnor => !(a ^ b),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Gate {
+    kind: GateKind,
+    pins: [GateId; 2],
+}
+
+/// A combinational circuit: a DAG of gates with named inputs and outputs.
+///
+/// Construct with the builder methods ([`Netlist::input`], [`Netlist::gate`],
+/// convenience wrappers like [`Netlist::and`]), then evaluate with
+/// [`Netlist::eval`] or [`Netlist::eval_with_faults`].
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    name: String,
+    gates: Vec<Gate>,
+    inputs: Vec<GateId>,
+    outputs: Vec<GateId>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist { name: name.into(), gates: Vec::new(), inputs: Vec::new(), outputs: Vec::new() }
+    }
+
+    /// Circuit name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a primary input and returns its id.
+    pub fn input(&mut self) -> GateId {
+        let id = self.push(GateKind::Input, [GateId(0); 2]);
+        self.inputs.push(id);
+        id
+    }
+
+    /// Adds a constant driver.
+    pub fn constant(&mut self, value: bool) -> GateId {
+        self.push(GateKind::Const(value), [GateId(0); 2])
+    }
+
+    /// Adds a gate of `kind` fed by `pins`.
+    ///
+    /// # Panics
+    /// Panics if the pin count does not match the gate's arity, or a pin
+    /// references a not-yet-created gate (which would break the DAG order).
+    pub fn gate(&mut self, kind: GateKind, pins: &[GateId]) -> GateId {
+        assert_eq!(pins.len(), kind.arity(), "wrong pin count for {kind:?}");
+        let next = self.gates.len() as u32;
+        for p in pins {
+            assert!(p.0 < next, "pin {p} references a future gate");
+        }
+        let mut fixed = [GateId(0); 2];
+        for (i, p) in pins.iter().enumerate() {
+            fixed[i] = *p;
+        }
+        self.push(kind, fixed)
+    }
+
+    fn push(&mut self, kind: GateKind, pins: [GateId; 2]) -> GateId {
+        let id = GateId(self.gates.len() as u32);
+        self.gates.push(Gate { kind, pins });
+        id
+    }
+
+    /// 2-input AND convenience.
+    pub fn and(&mut self, a: GateId, b: GateId) -> GateId {
+        self.gate(GateKind::And, &[a, b])
+    }
+
+    /// 2-input OR convenience.
+    pub fn or(&mut self, a: GateId, b: GateId) -> GateId {
+        self.gate(GateKind::Or, &[a, b])
+    }
+
+    /// 2-input XOR convenience.
+    pub fn xor(&mut self, a: GateId, b: GateId) -> GateId {
+        self.gate(GateKind::Xor, &[a, b])
+    }
+
+    /// Inverter convenience.
+    pub fn not(&mut self, a: GateId) -> GateId {
+        self.gate(GateKind::Not, &[a])
+    }
+
+    /// Marks `id` as a primary output (order of calls = output order).
+    pub fn expose(&mut self, id: GateId) {
+        assert!(id.index() < self.gates.len(), "unknown gate");
+        self.outputs.push(id);
+    }
+
+    /// Number of primary inputs.
+    pub fn input_count(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of primary outputs.
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Total gate count, including input pseudo-gates.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Count of *logic* gates (excludes inputs and constants) — the paper's
+    /// "complexity" currency for hybrids (§III).
+    pub fn logic_gate_count(&self) -> usize {
+        self.gates
+            .iter()
+            .filter(|g| !matches!(g.kind, GateKind::Input | GateKind::Const(_)))
+            .count()
+    }
+
+    /// Primary input ids.
+    pub fn inputs(&self) -> &[GateId] {
+        &self.inputs
+    }
+
+    /// Primary output ids.
+    pub fn outputs(&self) -> &[GateId] {
+        &self.outputs
+    }
+
+    /// Evaluates the fault-free circuit.
+    ///
+    /// # Panics
+    /// Panics if `input_values.len() != self.input_count()`.
+    pub fn eval(&self, input_values: &[bool]) -> Vec<bool> {
+        self.eval_with_faults(input_values, &FaultMap::new())
+    }
+
+    /// Evaluates under a fault map: faulty gates produce stuck or inverted
+    /// values regardless of their inputs.
+    ///
+    /// # Panics
+    /// Panics if `input_values.len() != self.input_count()`.
+    pub fn eval_with_faults(&self, input_values: &[bool], faults: &FaultMap) -> Vec<bool> {
+        assert_eq!(input_values.len(), self.inputs.len(), "input arity mismatch");
+        let mut values = vec![false; self.gates.len()];
+        let mut next_input = 0;
+        for (idx, gate) in self.gates.iter().enumerate() {
+            let raw = match gate.kind {
+                GateKind::Input => {
+                    let v = input_values[next_input];
+                    next_input += 1;
+                    v
+                }
+                kind => {
+                    let a = values[gate.pins[0].index()];
+                    let b = values[gate.pins[1].index()];
+                    kind.eval(a, b)
+                }
+            };
+            values[idx] = match faults.get(&GateId(idx as u32)) {
+                Some(FaultKind::StuckAt0) => false,
+                Some(FaultKind::StuckAt1) => true,
+                Some(FaultKind::Flip) => !raw,
+                None => raw,
+            };
+        }
+        self.outputs.iter().map(|o| values[o.index()]).collect()
+    }
+
+    /// Appends a structural copy of `other` into `self`, wiring `other`'s
+    /// primary inputs to the given existing gates. Returns the ids that
+    /// correspond to `other`'s outputs.
+    ///
+    /// This is the primitive behind N-modular redundancy: the copy's gates
+    /// are fresh (and thus fail independently under fault sampling).
+    ///
+    /// # Panics
+    /// Panics if `wired_inputs.len() != other.input_count()`.
+    pub fn instantiate(&mut self, other: &Netlist, wired_inputs: &[GateId]) -> Vec<GateId> {
+        assert_eq!(wired_inputs.len(), other.inputs.len(), "input wiring mismatch");
+        let mut map: Vec<GateId> = Vec::with_capacity(other.gates.len());
+        let mut next_input = 0;
+        for gate in &other.gates {
+            let new_id = match gate.kind {
+                GateKind::Input => {
+                    let wired = wired_inputs[next_input];
+                    next_input += 1;
+                    wired
+                }
+                kind => {
+                    let pins: Vec<GateId> = gate.pins[..kind.arity()]
+                        .iter()
+                        .map(|p| map[p.index()])
+                        .collect();
+                    self.gate(kind, &pins)
+                }
+            };
+            map.push(new_id);
+        }
+        other.outputs.iter().map(|o| map[o.index()]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn half_adder() -> Netlist {
+        let mut n = Netlist::new("half-adder");
+        let a = n.input();
+        let b = n.input();
+        let sum = n.xor(a, b);
+        let carry = n.and(a, b);
+        n.expose(sum);
+        n.expose(carry);
+        n
+    }
+
+    #[test]
+    fn half_adder_truth_table() {
+        let n = half_adder();
+        assert_eq!(n.eval(&[false, false]), vec![false, false]);
+        assert_eq!(n.eval(&[true, false]), vec![true, false]);
+        assert_eq!(n.eval(&[false, true]), vec![true, false]);
+        assert_eq!(n.eval(&[true, true]), vec![false, true]);
+    }
+
+    #[test]
+    fn gate_kinds_truth() {
+        for (kind, table) in [
+            (GateKind::And, [false, false, false, true]),
+            (GateKind::Or, [false, true, true, true]),
+            (GateKind::Nand, [true, true, true, false]),
+            (GateKind::Nor, [true, false, false, false]),
+            (GateKind::Xor, [false, true, true, false]),
+            (GateKind::Xnor, [true, false, false, true]),
+        ] {
+            let mut n = Netlist::new("t");
+            let a = n.input();
+            let b = n.input();
+            let g = n.gate(kind, &[a, b]);
+            n.expose(g);
+            for (i, expect) in table.iter().enumerate() {
+                let a_v = i & 1 != 0;
+                let b_v = i & 2 != 0;
+                assert_eq!(n.eval(&[a_v, b_v]), vec![*expect], "{kind:?} {a_v} {b_v}");
+            }
+        }
+    }
+
+    #[test]
+    fn constants_and_buf_and_not() {
+        let mut n = Netlist::new("t");
+        let one = n.constant(true);
+        let a = n.input();
+        let buf = n.gate(GateKind::Buf, &[a]);
+        let inv = n.not(one);
+        n.expose(buf);
+        n.expose(inv);
+        assert_eq!(n.eval(&[true]), vec![true, false]);
+        assert_eq!(n.eval(&[false]), vec![false, false]);
+    }
+
+    #[test]
+    fn faults_change_outputs() {
+        let n = half_adder();
+        let mut faults = FaultMap::new();
+        // Gate 2 is the XOR producing `sum`.
+        faults.insert(GateId::new(2), FaultKind::StuckAt1);
+        assert_eq!(n.eval_with_faults(&[false, false], &faults), vec![true, false]);
+        faults.insert(GateId::new(2), FaultKind::Flip);
+        assert_eq!(n.eval_with_faults(&[true, false], &faults), vec![false, false]);
+    }
+
+    #[test]
+    fn fault_on_input_gate_overrides_value() {
+        let n = half_adder();
+        let mut faults = FaultMap::new();
+        faults.insert(GateId::new(0), FaultKind::StuckAt0);
+        // a stuck at 0: (a=1,b=1) behaves like (0,1).
+        assert_eq!(n.eval_with_faults(&[true, true], &faults), vec![true, false]);
+    }
+
+    #[test]
+    fn instantiate_copies_behaviour() {
+        let ha = half_adder();
+        let mut n = Netlist::new("wrap");
+        let x = n.input();
+        let y = n.input();
+        let outs = n.instantiate(&ha, &[x, y]);
+        for o in outs {
+            n.expose(o);
+        }
+        for bits in 0..4u8 {
+            let a = bits & 1 != 0;
+            let b = bits & 2 != 0;
+            assert_eq!(n.eval(&[a, b]), ha.eval(&[a, b]));
+        }
+    }
+
+    #[test]
+    fn logic_gate_count_excludes_inputs() {
+        let n = half_adder();
+        assert_eq!(n.gate_count(), 4);
+        assert_eq!(n.logic_gate_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "input arity mismatch")]
+    fn eval_rejects_wrong_arity() {
+        half_adder().eval(&[true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong pin count")]
+    fn gate_rejects_wrong_pins() {
+        let mut n = Netlist::new("t");
+        let a = n.input();
+        n.gate(GateKind::And, &[a]);
+    }
+}

@@ -1,0 +1,230 @@
+//! A2M — Attested Append-Only Memory (Chun et al.).
+//!
+//! A trusted log that can only grow. Certificates bind each appended entry
+//! to its sequence number and the running hash chain, so a malicious host
+//! cannot show different log prefixes to different observers.
+
+use rsoc_crypto::{hmac_sha256, hmac_verify, sha256, MacKey, Tag};
+use std::fmt;
+
+/// A certificate over log entry `seq` of log `log_id`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct A2mCert {
+    /// Device identity.
+    pub device: u32,
+    /// Which log within the device.
+    pub log_id: u32,
+    /// Sequence number of the certified entry (1-based).
+    pub seq: u64,
+    /// Hash chain value after this entry.
+    pub chain: [u8; 32],
+    /// HMAC over `(device, log_id, seq, chain)`.
+    pub tag: Tag,
+}
+
+/// Errors from A2M operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum A2mError {
+    /// No such log.
+    UnknownLog,
+    /// Sequence number out of range.
+    NoSuchEntry,
+}
+
+impl fmt::Display for A2mError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            A2mError::UnknownLog => write!(f, "unknown log id"),
+            A2mError::NoSuchEntry => write!(f, "no such log entry"),
+        }
+    }
+}
+
+impl std::error::Error for A2mError {}
+
+#[derive(Debug, Clone)]
+struct LogState {
+    chain: [u8; 32],
+    entries: Vec<[u8; 32]>, // chain value after each entry
+}
+
+/// The A2M trusted component.
+#[derive(Debug)]
+pub struct A2m {
+    device: u32,
+    key: MacKey,
+    logs: Vec<LogState>,
+}
+
+impl A2m {
+    /// Creates a device with an attestation key.
+    pub fn new(device: u32, key: MacKey) -> Self {
+        A2m { device, key, logs: Vec::new() }
+    }
+
+    /// Allocates a fresh log; returns its id.
+    pub fn create_log(&mut self) -> u32 {
+        let id = self.logs.len() as u32;
+        self.logs.push(LogState { chain: [0; 32], entries: Vec::new() });
+        id
+    }
+
+    /// Appends `value` to `log_id`, returning the certificate for the new
+    /// entry. Appending is the *only* mutation — entries can never be
+    /// replaced or truncated.
+    ///
+    /// # Errors
+    /// [`A2mError::UnknownLog`] for unallocated logs.
+    pub fn append(&mut self, log_id: u32, value: &[u8]) -> Result<A2mCert, A2mError> {
+        let log = self.logs.get_mut(log_id as usize).ok_or(A2mError::UnknownLog)?;
+        let mut h = rsoc_crypto::Sha256::new();
+        h.update(&log.chain);
+        h.update(&sha256(value));
+        log.chain = h.finalize();
+        log.entries.push(log.chain);
+        let seq = log.entries.len() as u64;
+        let chain = log.chain;
+        Ok(self.cert(log_id, seq, chain))
+    }
+
+    /// Certificate for an existing entry (the `lookup` primitive).
+    ///
+    /// # Errors
+    /// [`A2mError::UnknownLog`] / [`A2mError::NoSuchEntry`].
+    pub fn lookup(&self, log_id: u32, seq: u64) -> Result<A2mCert, A2mError> {
+        let log = self.logs.get(log_id as usize).ok_or(A2mError::UnknownLog)?;
+        if seq == 0 || seq as usize > log.entries.len() {
+            return Err(A2mError::NoSuchEntry);
+        }
+        Ok(self.cert(log_id, seq, log.entries[seq as usize - 1]))
+    }
+
+    /// Certificate for the current end of the log (the `end` primitive).
+    /// `seq == 0` with a zero chain for an empty log.
+    ///
+    /// # Errors
+    /// [`A2mError::UnknownLog`].
+    pub fn end(&self, log_id: u32) -> Result<A2mCert, A2mError> {
+        let log = self.logs.get(log_id as usize).ok_or(A2mError::UnknownLog)?;
+        let seq = log.entries.len() as u64;
+        Ok(self.cert(log_id, seq, log.chain))
+    }
+
+    fn cert(&self, log_id: u32, seq: u64, chain: [u8; 32]) -> A2mCert {
+        let tag = hmac_sha256(self.key.as_bytes(), &payload(self.device, log_id, seq, &chain));
+        A2mCert { device: self.device, log_id, seq, chain, tag }
+    }
+
+    /// Verifies a certificate with the device key.
+    pub fn verify(key: &MacKey, cert: &A2mCert) -> bool {
+        hmac_verify(
+            key.as_bytes(),
+            &payload(cert.device, cert.log_id, cert.seq, &cert.chain),
+            &cert.tag,
+        )
+    }
+
+    /// Recomputes the expected chain for a claimed sequence of values and
+    /// checks it against `cert` — detects a host lying about log *content*.
+    pub fn verify_content(key: &MacKey, cert: &A2mCert, values: &[&[u8]]) -> bool {
+        if values.len() as u64 != cert.seq {
+            return false;
+        }
+        let mut chain = [0u8; 32];
+        for v in values {
+            let mut h = rsoc_crypto::Sha256::new();
+            h.update(&chain);
+            h.update(&sha256(v));
+            chain = h.finalize();
+        }
+        chain == cert.chain && Self::verify(key, cert)
+    }
+}
+
+fn payload(device: u32, log_id: u32, seq: u64, chain: &[u8; 32]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(4 + 4 + 8 + 32);
+    p.extend_from_slice(&device.to_le_bytes());
+    p.extend_from_slice(&log_id.to_le_bytes());
+    p.extend_from_slice(&seq.to_le_bytes());
+    p.extend_from_slice(chain);
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> (A2m, MacKey) {
+        let key = MacKey::derive(13, "a2m-0");
+        (A2m::new(0, key.clone()), key)
+    }
+
+    #[test]
+    fn append_lookup_end() {
+        let (mut a, key) = device();
+        let log = a.create_log();
+        let c1 = a.append(log, b"op1").unwrap();
+        let c2 = a.append(log, b"op2").unwrap();
+        assert_eq!(c1.seq, 1);
+        assert_eq!(c2.seq, 2);
+        assert_ne!(c1.chain, c2.chain);
+        assert_eq!(a.lookup(log, 1).unwrap(), c1);
+        assert_eq!(a.end(log).unwrap(), c2);
+        assert!(A2m::verify(&key, &c1));
+        assert!(A2m::verify(&key, &c2));
+    }
+
+    #[test]
+    fn empty_log_end() {
+        let (mut a, key) = device();
+        let log = a.create_log();
+        let c = a.end(log).unwrap();
+        assert_eq!(c.seq, 0);
+        assert_eq!(c.chain, [0; 32]);
+        assert!(A2m::verify(&key, &c));
+    }
+
+    #[test]
+    fn content_verification_detects_lies() {
+        let (mut a, key) = device();
+        let log = a.create_log();
+        a.append(log, b"op1").unwrap();
+        let c2 = a.append(log, b"op2").unwrap();
+        assert!(A2m::verify_content(&key, &c2, &[b"op1", b"op2"]));
+        assert!(!A2m::verify_content(&key, &c2, &[b"op1", b"evil"]));
+        assert!(!A2m::verify_content(&key, &c2, &[b"op1"]));
+    }
+
+    #[test]
+    fn chains_depend_on_order() {
+        let (mut a, _) = device();
+        let l1 = a.create_log();
+        let l2 = a.create_log();
+        let x = a.append(l1, b"x").unwrap();
+        let _ = a.append(l1, b"y").unwrap();
+        let y = a.append(l2, b"y").unwrap();
+        let x2 = a.append(l2, b"x").unwrap();
+        // Same multiset of values, different order → different chains.
+        assert_ne!(a.end(l1).unwrap().chain, a.end(l2).unwrap().chain);
+        let _ = (x, y, x2);
+    }
+
+    #[test]
+    fn tampered_cert_rejected() {
+        let (mut a, key) = device();
+        let log = a.create_log();
+        let mut c = a.append(log, b"op").unwrap();
+        c.seq = 7;
+        assert!(!A2m::verify(&key, &c));
+    }
+
+    #[test]
+    fn errors_for_unknown_ids() {
+        let (mut a, _) = device();
+        assert_eq!(a.append(3, b"x"), Err(A2mError::UnknownLog));
+        assert_eq!(a.lookup(3, 1), Err(A2mError::UnknownLog));
+        let log = a.create_log();
+        assert_eq!(a.lookup(log, 1), Err(A2mError::NoSuchEntry));
+        assert_eq!(a.lookup(log, 0), Err(A2mError::NoSuchEntry));
+    }
+}

@@ -1,0 +1,92 @@
+//! Gate-equivalent complexity accounting — §III's "exactly right
+//! complexity" argument.
+//!
+//! The paper: "We also see the converse effect when the required complexity
+//! of producing a special purpose circuit for a given functionality exceeds
+//! the complexity of a simple core that is able to fetch, decode and
+//! execute software. Once the inherent complexity of such a functionality
+//! exceeds this bound, software implementations become preferable and
+//! hybridization amounts to providing such an isolated core."
+
+/// Gate-equivalents of a compact HMAC-SHA-256 core (datapath + control),
+/// in the ballpark of published compact implementations (~10–20k GE).
+pub const HMAC_CORE_GATES: u64 = 14_000;
+
+/// Gate-equivalents of a minimal in-order scalar core able to fetch,
+/// decode and execute software (e.g., a small RV32I), the §III threshold.
+pub const SIMPLE_CORE_GATES: u64 = 25_000;
+
+/// Complexity breakdown of a hybrid component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ComponentComplexity {
+    /// Storage gate-equivalents (registers, including ECC overhead).
+    pub storage: u64,
+    /// Combinational/crypto datapath gate-equivalents.
+    pub logic: u64,
+}
+
+impl ComponentComplexity {
+    /// Total gate-equivalents.
+    pub fn total(&self) -> u64 {
+        self.storage + self.logic
+    }
+}
+
+/// How a hybrid of a given complexity should be realized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Realization {
+    /// Small enough to implement and verify as a dedicated circuit.
+    HardCircuit,
+    /// Beyond the simple-core bound: run it as software on an isolated core.
+    IsolatedCore,
+}
+
+/// Applies the §III rule: circuits below the simple-core complexity stay in
+/// hardware; above it, an isolated core running verified software is the
+/// better trust anchor.
+///
+/// ```
+/// use rsoc_hybrid::{recommend_realization, Realization};
+/// assert_eq!(recommend_realization(5_000), Realization::HardCircuit);
+/// assert_eq!(recommend_realization(80_000), Realization::IsolatedCore);
+/// ```
+pub fn recommend_realization(gate_equivalents: u64) -> Realization {
+    if gate_equivalents <= SIMPLE_CORE_GATES {
+        Realization::HardCircuit
+    } else {
+        Realization::IsolatedCore
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::usig::{KeyRing, Usig, UsigId};
+    use rsoc_hw::{EccRegister, PlainRegister};
+
+    #[test]
+    fn usig_is_a_hard_circuit_even_with_ecc() {
+        // The paper's middle-ground claim: USIG + ECC stays well under the
+        // simple-core bound, so hardware hybridization is the right call.
+        let ring = KeyRing::provision(3, 1);
+        let plain = Usig::new(UsigId(0), ring.clone(), Box::new(PlainRegister::new(64)));
+        let ecc = Usig::new(UsigId(0), ring, Box::new(EccRegister::new(64)));
+        assert_eq!(recommend_realization(plain.gate_cost()), Realization::HardCircuit);
+        assert_eq!(recommend_realization(ecc.gate_cost()), Realization::HardCircuit);
+        assert!(ecc.gate_cost() > plain.gate_cost());
+        assert!(ecc.gate_cost() < SIMPLE_CORE_GATES);
+    }
+
+    #[test]
+    fn threshold_boundary() {
+        assert_eq!(recommend_realization(SIMPLE_CORE_GATES), Realization::HardCircuit);
+        assert_eq!(recommend_realization(SIMPLE_CORE_GATES + 1), Realization::IsolatedCore);
+    }
+
+    #[test]
+    fn complexity_totals() {
+        let c = ComponentComplexity { storage: 100, logic: 200 };
+        assert_eq!(c.total(), 300);
+        assert_eq!(ComponentComplexity::default().total(), 0);
+    }
+}

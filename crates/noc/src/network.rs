@@ -1,0 +1,401 @@
+//! Cycle-driven packet network over a 2D mesh with link contention and
+//! link faults.
+//!
+//! The model is packet-granular (one packet occupies one link per cycle):
+//! coarser than flit-level wormhole simulation but preserving the
+//! properties E10 measures — contention, path length, and the effect of
+//! dead links under different routing policies.
+
+use crate::router::{route, RouteBlock, Routing};
+use crate::topology::{Direction, LinkId, Mesh2d, NodeId};
+use rsoc_sim::SimRng;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Unique packet identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PacketId(pub u64);
+
+/// Network configuration.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Routing policy.
+    pub routing: Routing,
+    /// Cycles a packet may wait at a single node before being dropped.
+    pub stall_timeout: u32,
+    /// Per-hop traversal latency in cycles (link + router pipeline).
+    pub hop_cycles: u32,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig { routing: Routing::Xy, stall_timeout: 64, hop_cycles: 1 }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Flight {
+    id: PacketId,
+    dst: NodeId,
+    here: NodeId,
+    injected_at: u64,
+    hops: u32,
+    misroutes: u32,
+    stalled: u32,
+}
+
+/// Record of a delivered packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// Which packet.
+    pub packet: PacketId,
+    /// Cycle of delivery.
+    pub at: u64,
+    /// End-to-end latency in cycles.
+    pub latency: u64,
+    /// Hops actually traversed.
+    pub hops: u32,
+}
+
+/// Record of a dropped packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Drop {
+    /// Which packet.
+    pub packet: PacketId,
+    /// Cycle of the drop decision.
+    pub at: u64,
+    /// Whether the drop was due to dead links (vs. stall timeout).
+    pub dead_end: bool,
+}
+
+/// Aggregate network statistics.
+#[derive(Debug, Clone, Default)]
+pub struct NetworkStats {
+    /// Successfully delivered packets.
+    pub delivered: Vec<Delivery>,
+    /// Dropped packets.
+    pub dropped: Vec<Drop>,
+    /// Total link traversals.
+    pub link_traversals: u64,
+}
+
+impl NetworkStats {
+    /// Delivery ratio over all terminated packets.
+    pub fn delivery_ratio(&self) -> f64 {
+        let total = self.delivered.len() + self.dropped.len();
+        if total == 0 {
+            return 1.0;
+        }
+        self.delivered.len() as f64 / total as f64
+    }
+
+    /// Mean delivered latency in cycles (`None` when nothing delivered).
+    pub fn mean_latency(&self) -> Option<f64> {
+        if self.delivered.is_empty() {
+            return None;
+        }
+        Some(
+            self.delivered.iter().map(|d| d.latency as f64).sum::<f64>()
+                / self.delivered.len() as f64,
+        )
+    }
+}
+
+/// The packet network.
+#[derive(Debug)]
+pub struct Network {
+    mesh: Mesh2d,
+    config: NetworkConfig,
+    now: u64,
+    next_packet: u64,
+    flights: Vec<Flight>,
+    dead_links: BTreeSet<LinkId>,
+    stats: NetworkStats,
+}
+
+impl Network {
+    /// Creates a network over `mesh`.
+    pub fn new(mesh: Mesh2d, config: NetworkConfig) -> Self {
+        Network {
+            mesh,
+            config,
+            now: 0,
+            next_packet: 0,
+            flights: Vec::new(),
+            dead_links: BTreeSet::new(),
+            stats: NetworkStats::default(),
+        }
+    }
+
+    /// The topology.
+    pub fn mesh(&self) -> &Mesh2d {
+        &self.mesh
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Packets currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.flights.len()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    /// Marks a directed link dead (router port failure / wire defect).
+    pub fn kill_link(&mut self, link: LinkId) {
+        self.dead_links.insert(link);
+    }
+
+    /// Revives a dead link (e.g., after reconfiguration repaired the port).
+    pub fn revive_link(&mut self, link: LinkId) {
+        self.dead_links.remove(&link);
+    }
+
+    /// Kills each directed link independently with probability `p`.
+    pub fn kill_links_randomly(&mut self, p: f64, rng: &mut SimRng) {
+        for link in self.mesh.links() {
+            if rng.chance(p) {
+                self.dead_links.insert(link);
+            }
+        }
+    }
+
+    /// Number of currently dead links.
+    pub fn dead_link_count(&self) -> usize {
+        self.dead_links.len()
+    }
+
+    /// Injects a packet; it starts moving on the next [`tick`](Self::tick).
+    ///
+    /// Delivery to self is immediate.
+    pub fn inject(&mut self, src: NodeId, dst: NodeId, _payload_words: u32) -> PacketId {
+        let id = PacketId(self.next_packet);
+        self.next_packet += 1;
+        if src == dst {
+            self.stats.delivered.push(Delivery { packet: id, at: self.now, latency: 0, hops: 0 });
+            return id;
+        }
+        self.flights.push(Flight {
+            id,
+            dst,
+            here: src,
+            injected_at: self.now,
+            hops: 0,
+            misroutes: 0,
+            stalled: 0,
+        });
+        id
+    }
+
+    /// Advances one cycle: every in-flight packet attempts one hop.
+    /// At most one packet crosses each directed link per cycle.
+    pub fn tick(&mut self) {
+        self.now += self.config.hop_cycles as u64;
+        let mut used: BTreeMap<LinkId, ()> = BTreeMap::new();
+        let mut finished: Vec<usize> = Vec::new();
+        // Deterministic order: by flight insertion (oldest first), which also
+        // gives older packets priority on contended links.
+        for i in 0..self.flights.len() {
+            let (here, dst, misroutes) = {
+                let f = &self.flights[i];
+                (f.here, f.dst, f.misroutes)
+            };
+            let dead = &self.dead_links;
+            let mesh = self.mesh;
+            let link_ok = |d: Direction| {
+                mesh.neighbor(here, d).is_some()
+                    && !dead.contains(&LinkId { from: here, dir: d.into() })
+            };
+            let used_ref = &used;
+            let link_free =
+                |d: Direction| !used_ref.contains_key(&LinkId { from: here, dir: d.into() });
+            match route(&self.mesh, self.config.routing, here, dst, misroutes, &link_ok, &link_free)
+            {
+                Ok(dir) => {
+                    let link = LinkId { from: here, dir: dir.into() };
+                    used.insert(link, ());
+                    let next = self.mesh.neighbor(here, dir).expect("router checked neighbor");
+                    let f = &mut self.flights[i];
+                    // Count whether this hop reduced distance (else misroute).
+                    let before = self.mesh.hops(here, dst);
+                    let after = self.mesh.hops(next, dst);
+                    if after >= before {
+                        f.misroutes += 1;
+                    }
+                    f.here = next;
+                    f.hops += 1;
+                    f.stalled = 0;
+                    self.stats.link_traversals += 1;
+                    if next == dst {
+                        finished.push(i);
+                    }
+                }
+                Err(RouteBlock::Contention) => {
+                    let f = &mut self.flights[i];
+                    f.stalled += 1;
+                    if f.stalled >= self.config.stall_timeout {
+                        self.stats.dropped.push(Drop { packet: f.id, at: self.now, dead_end: false });
+                        finished.push(i);
+                    }
+                }
+                Err(RouteBlock::Dead) => {
+                    let f = &self.flights[i];
+                    self.stats.dropped.push(Drop { packet: f.id, at: self.now, dead_end: true });
+                    finished.push(i);
+                }
+            }
+        }
+        // Remove finished flights (delivered or dropped), recording deliveries.
+        for &i in finished.iter().rev() {
+            let f = self.flights.swap_remove(i);
+            if f.here == f.dst {
+                self.stats.delivered.push(Delivery {
+                    packet: f.id,
+                    at: self.now,
+                    latency: self.now - f.injected_at,
+                    hops: f.hops,
+                });
+            }
+        }
+    }
+
+    /// Runs ticks until the network drains or `max_cycles` elapse.
+    /// Returns the number of cycles simulated.
+    pub fn drain(&mut self, max_cycles: u64) -> u64 {
+        let start = self.now;
+        while self.in_flight() > 0 && self.now - start < max_cycles {
+            self.tick();
+        }
+        self.now - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(routing: Routing) -> Network {
+        Network::new(Mesh2d::new(4, 4), NetworkConfig { routing, ..Default::default() })
+    }
+
+    #[test]
+    fn delivers_across_mesh_with_minimal_hops() {
+        let mut n = net(Routing::Xy);
+        let src = n.mesh().node_at(0, 0).unwrap();
+        let dst = n.mesh().node_at(3, 3).unwrap();
+        n.inject(src, dst, 1);
+        n.drain(1000);
+        assert_eq!(n.stats().delivered.len(), 1);
+        let d = n.stats().delivered[0];
+        assert_eq!(d.hops, 6);
+        assert_eq!(d.latency, 6);
+    }
+
+    #[test]
+    fn self_delivery_is_instant() {
+        let mut n = net(Routing::Xy);
+        let a = n.mesh().node_at(1, 1).unwrap();
+        n.inject(a, a, 1);
+        assert_eq!(n.stats().delivered.len(), 1);
+        assert_eq!(n.stats().delivered[0].latency, 0);
+    }
+
+    #[test]
+    fn contention_serializes_shared_link() {
+        let mut n = net(Routing::Xy);
+        let src = n.mesh().node_at(0, 0).unwrap();
+        let dst = n.mesh().node_at(2, 0).unwrap();
+        // Two packets on the same row path: the second waits behind the first.
+        n.inject(src, dst, 1);
+        n.inject(src, dst, 1);
+        n.drain(1000);
+        assert_eq!(n.stats().delivered.len(), 2);
+        let mut lats: Vec<u64> = n.stats().delivered.iter().map(|d| d.latency).collect();
+        lats.sort_unstable();
+        assert_eq!(lats[0], 2);
+        assert!(lats[1] > 2, "second packet must stall at least once: {lats:?}");
+    }
+
+    #[test]
+    fn xy_drops_at_dead_link_but_adaptive_survives() {
+        let kill = |n: &mut Network| {
+            let from = n.mesh().node_at(1, 0).unwrap();
+            n.kill_link(LinkId { from, dir: Direction::East.into() });
+        };
+        let src_dst = |n: &Network| {
+            (n.mesh().node_at(0, 0).unwrap(), n.mesh().node_at(3, 0).unwrap())
+        };
+
+        let mut xy = net(Routing::Xy);
+        kill(&mut xy);
+        let (s, d) = src_dst(&xy);
+        xy.inject(s, d, 1);
+        xy.drain(1000);
+        assert_eq!(xy.stats().delivered.len(), 0);
+        assert_eq!(xy.stats().dropped.len(), 1);
+        assert!(xy.stats().dropped[0].dead_end);
+
+        let mut ad = net(Routing::FaultAdaptive { max_misroutes: 8 });
+        kill(&mut ad);
+        ad.inject(s, d, 1);
+        ad.drain(1000);
+        assert_eq!(ad.stats().delivered.len(), 1, "adaptive routes around the fault");
+        assert!(ad.stats().delivered[0].hops > 3, "detour costs extra hops");
+    }
+
+    #[test]
+    fn fully_dead_region_drops_adaptive_too() {
+        let mut n = net(Routing::FaultAdaptive { max_misroutes: 8 });
+        let src = n.mesh().node_at(0, 0).unwrap();
+        // Kill both outgoing links of the source.
+        n.kill_link(LinkId { from: src, dir: Direction::East.into() });
+        n.kill_link(LinkId { from: src, dir: Direction::South.into() });
+        let dst = n.mesh().node_at(3, 3).unwrap();
+        n.inject(src, dst, 1);
+        n.drain(1000);
+        assert_eq!(n.stats().delivered.len(), 0);
+        assert_eq!(n.stats().dropped.len(), 1);
+    }
+
+    #[test]
+    fn revive_link_restores_path() {
+        let mut n = net(Routing::Xy);
+        let from = n.mesh().node_at(0, 0).unwrap();
+        let link = LinkId { from, dir: Direction::East.into() };
+        n.kill_link(link);
+        assert_eq!(n.dead_link_count(), 1);
+        n.revive_link(link);
+        assert_eq!(n.dead_link_count(), 0);
+        let dst = n.mesh().node_at(3, 0).unwrap();
+        n.inject(from, dst, 1);
+        n.drain(100);
+        assert_eq!(n.stats().delivered.len(), 1);
+    }
+
+    #[test]
+    fn stats_ratio_and_latency() {
+        let mut n = net(Routing::Xy);
+        let s = n.mesh().node_at(0, 0).unwrap();
+        let d = n.mesh().node_at(1, 0).unwrap();
+        n.inject(s, d, 1);
+        n.drain(100);
+        assert_eq!(n.stats().delivery_ratio(), 1.0);
+        assert_eq!(n.stats().mean_latency(), Some(1.0));
+    }
+
+    #[test]
+    fn random_link_killing_is_deterministic() {
+        let mut rng1 = SimRng::new(5);
+        let mut rng2 = SimRng::new(5);
+        let mut a = net(Routing::Xy);
+        let mut b = net(Routing::Xy);
+        a.kill_links_randomly(0.2, &mut rng1);
+        b.kill_links_randomly(0.2, &mut rng2);
+        assert_eq!(a.dead_link_count(), b.dead_link_count());
+    }
+}

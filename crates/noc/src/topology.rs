@@ -1,0 +1,257 @@
+//! 2D mesh topology: nodes, coordinates, directed links.
+
+use std::fmt;
+
+/// Identifier of a mesh node (tile attachment point).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u16);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Grid coordinate (x = column, y = row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Coord {
+    /// Column, 0-based from the west edge.
+    pub x: u16,
+    /// Row, 0-based from the north edge.
+    pub y: u16,
+}
+
+impl Coord {
+    /// Manhattan distance to `other` — the minimal hop count in a mesh.
+    pub fn manhattan(self, other: Coord) -> u32 {
+        (self.x.abs_diff(other.x) + self.y.abs_diff(other.y)) as u32
+    }
+}
+
+/// The four mesh directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Toward smaller y.
+    North,
+    /// Toward larger y.
+    South,
+    /// Toward larger x.
+    East,
+    /// Toward smaller x.
+    West,
+}
+
+impl Direction {
+    /// All four directions, in a fixed deterministic order.
+    pub const ALL: [Direction; 4] = [Direction::North, Direction::South, Direction::East, Direction::West];
+
+    /// The opposite direction.
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::North => Direction::South,
+            Direction::South => Direction::North,
+            Direction::East => Direction::West,
+            Direction::West => Direction::East,
+        }
+    }
+}
+
+/// A directed link: the output port of `from` in direction `dir`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId {
+    /// Upstream node.
+    pub from: NodeId,
+    /// Port direction.
+    pub dir: DirectionOrd,
+}
+
+/// `Direction` with derived `Ord` for map keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DirectionOrd {
+    /// See [`Direction::North`].
+    North,
+    /// See [`Direction::South`].
+    South,
+    /// See [`Direction::East`].
+    East,
+    /// See [`Direction::West`].
+    West,
+}
+
+impl From<Direction> for DirectionOrd {
+    fn from(d: Direction) -> Self {
+        match d {
+            Direction::North => DirectionOrd::North,
+            Direction::South => DirectionOrd::South,
+            Direction::East => DirectionOrd::East,
+            Direction::West => DirectionOrd::West,
+        }
+    }
+}
+
+impl From<DirectionOrd> for Direction {
+    fn from(d: DirectionOrd) -> Self {
+        match d {
+            DirectionOrd::North => Direction::North,
+            DirectionOrd::South => Direction::South,
+            DirectionOrd::East => Direction::East,
+            DirectionOrd::West => Direction::West,
+        }
+    }
+}
+
+/// A `width × height` 2D mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mesh2d {
+    width: u16,
+    height: u16,
+}
+
+impl Mesh2d {
+    /// Creates a mesh.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero or the node count exceeds `u16`.
+    pub fn new(width: u16, height: u16) -> Self {
+        assert!(width > 0 && height > 0, "mesh dimensions must be positive");
+        assert!((width as u32) * (height as u32) <= u16::MAX as u32 + 1, "mesh too large");
+        Mesh2d { width, height }
+    }
+
+    /// Mesh width (columns).
+    pub fn width(&self) -> u16 {
+        self.width
+    }
+
+    /// Mesh height (rows).
+    pub fn height(&self) -> u16 {
+        self.height
+    }
+
+    /// Total node count.
+    pub fn node_count(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// Node at `(x, y)`, if in range.
+    pub fn node_at(&self, x: u16, y: u16) -> Option<NodeId> {
+        if x < self.width && y < self.height {
+            Some(NodeId(y * self.width + x))
+        } else {
+            None
+        }
+    }
+
+    /// Coordinate of `node`.
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range.
+    pub fn coord(&self, node: NodeId) -> Coord {
+        assert!((node.0 as usize) < self.node_count(), "node out of range");
+        Coord { x: node.0 % self.width, y: node.0 / self.width }
+    }
+
+    /// All node ids in row-major order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.node_count() as u16).map(NodeId)
+    }
+
+    /// The neighbor of `node` in `dir`, if any.
+    pub fn neighbor(&self, node: NodeId, dir: Direction) -> Option<NodeId> {
+        let c = self.coord(node);
+        let (nx, ny) = match dir {
+            Direction::North => (c.x as i32, c.y as i32 - 1),
+            Direction::South => (c.x as i32, c.y as i32 + 1),
+            Direction::East => (c.x as i32 + 1, c.y as i32),
+            Direction::West => (c.x as i32 - 1, c.y as i32),
+        };
+        if nx < 0 || ny < 0 || nx >= self.width as i32 || ny >= self.height as i32 {
+            None
+        } else {
+            self.node_at(nx as u16, ny as u16)
+        }
+    }
+
+    /// All directed links in the mesh.
+    pub fn links(&self) -> Vec<LinkId> {
+        let mut out = Vec::new();
+        for node in self.nodes() {
+            for dir in Direction::ALL {
+                if self.neighbor(node, dir).is_some() {
+                    out.push(LinkId { from: node, dir: dir.into() });
+                }
+            }
+        }
+        out
+    }
+
+    /// Minimal hop count between two nodes.
+    pub fn hops(&self, a: NodeId, b: NodeId) -> u32 {
+        self.coord(a).manhattan(self.coord(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_roundtrip() {
+        let m = Mesh2d::new(4, 3);
+        assert_eq!(m.node_count(), 12);
+        for node in m.nodes() {
+            let c = m.coord(node);
+            assert_eq!(m.node_at(c.x, c.y), Some(node));
+        }
+    }
+
+    #[test]
+    fn out_of_range_is_none() {
+        let m = Mesh2d::new(4, 3);
+        assert_eq!(m.node_at(4, 0), None);
+        assert_eq!(m.node_at(0, 3), None);
+    }
+
+    #[test]
+    fn neighbors_at_corner_and_center() {
+        let m = Mesh2d::new(3, 3);
+        let corner = m.node_at(0, 0).unwrap();
+        assert_eq!(m.neighbor(corner, Direction::North), None);
+        assert_eq!(m.neighbor(corner, Direction::West), None);
+        assert_eq!(m.neighbor(corner, Direction::East), m.node_at(1, 0));
+        assert_eq!(m.neighbor(corner, Direction::South), m.node_at(0, 1));
+        let center = m.node_at(1, 1).unwrap();
+        for dir in Direction::ALL {
+            assert!(m.neighbor(center, dir).is_some());
+        }
+    }
+
+    #[test]
+    fn link_count_matches_formula() {
+        // Directed links in a w×h mesh: 2*(w-1)*h + 2*w*(h-1).
+        let m = Mesh2d::new(4, 3);
+        assert_eq!(m.links().len(), 2 * 3 * 3 + 2 * 4 * 2);
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        let m = Mesh2d::new(8, 8);
+        let a = m.node_at(0, 0).unwrap();
+        let b = m.node_at(7, 7).unwrap();
+        assert_eq!(m.hops(a, b), 14);
+        assert_eq!(m.hops(a, a), 0);
+    }
+
+    #[test]
+    fn direction_opposites() {
+        for d in Direction::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn rejects_zero_dim() {
+        Mesh2d::new(0, 4);
+    }
+}

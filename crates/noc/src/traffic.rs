@@ -1,0 +1,116 @@
+//! Synthetic traffic patterns for NoC load experiments.
+
+use crate::topology::{Mesh2d, NodeId};
+use rsoc_sim::SimRng;
+
+/// Classic NoC traffic patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficPattern {
+    /// Each source picks a uniformly random destination (≠ itself).
+    UniformRandom,
+    /// Node (x, y) sends to (y, x). Requires a square mesh.
+    Transpose,
+    /// Node (x, y) sends to (w-1-x, h-1-y).
+    BitComplement,
+    /// All nodes send to one hotspot node.
+    Hotspot(NodeId),
+}
+
+impl TrafficPattern {
+    /// Destination for `src` under this pattern.
+    ///
+    /// # Panics
+    /// Panics for [`TrafficPattern::Transpose`] on a non-square mesh.
+    pub fn destination(&self, mesh: &Mesh2d, src: NodeId, rng: &mut SimRng) -> NodeId {
+        match self {
+            TrafficPattern::UniformRandom => loop {
+                let d = NodeId(rng.below(mesh.node_count() as u64) as u16);
+                if d != src {
+                    return d;
+                }
+            },
+            TrafficPattern::Transpose => {
+                assert_eq!(mesh.width(), mesh.height(), "transpose needs a square mesh");
+                let c = mesh.coord(src);
+                mesh.node_at(c.y, c.x).expect("square mesh")
+            }
+            TrafficPattern::BitComplement => {
+                let c = mesh.coord(src);
+                mesh.node_at(mesh.width() - 1 - c.x, mesh.height() - 1 - c.y)
+                    .expect("complement stays in mesh")
+            }
+            TrafficPattern::Hotspot(dst) => *dst,
+        }
+    }
+
+    /// Generates `count` (src, dst) pairs: sources round-robin over the
+    /// mesh, destinations per the pattern.
+    pub fn generate(&self, mesh: &Mesh2d, count: usize, rng: &mut SimRng) -> Vec<(NodeId, NodeId)> {
+        let nodes: Vec<NodeId> = mesh.nodes().collect();
+        (0..count)
+            .map(|i| {
+                let src = nodes[i % nodes.len()];
+                let dst = self.destination(mesh, src, rng);
+                (src, dst)
+            })
+            .filter(|(s, d)| s != d)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_never_self() {
+        let mesh = Mesh2d::new(4, 4);
+        let mut rng = SimRng::new(1);
+        for node in mesh.nodes() {
+            for _ in 0..20 {
+                assert_ne!(TrafficPattern::UniformRandom.destination(&mesh, node, &mut rng), node);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_swaps_coordinates() {
+        let mesh = Mesh2d::new(4, 4);
+        let mut rng = SimRng::new(2);
+        let src = mesh.node_at(1, 3).unwrap();
+        let dst = TrafficPattern::Transpose.destination(&mesh, src, &mut rng);
+        assert_eq!(mesh.coord(dst).x, 3);
+        assert_eq!(mesh.coord(dst).y, 1);
+    }
+
+    #[test]
+    fn complement_mirrors() {
+        let mesh = Mesh2d::new(4, 2);
+        let mut rng = SimRng::new(3);
+        let src = mesh.node_at(0, 0).unwrap();
+        let dst = TrafficPattern::BitComplement.destination(&mesh, src, &mut rng);
+        assert_eq!(mesh.coord(dst).x, 3);
+        assert_eq!(mesh.coord(dst).y, 1);
+    }
+
+    #[test]
+    fn hotspot_targets_fixed_node() {
+        let mesh = Mesh2d::new(3, 3);
+        let hs = mesh.node_at(1, 1).unwrap();
+        let mut rng = SimRng::new(4);
+        let pairs = TrafficPattern::Hotspot(hs).generate(&mesh, 20, &mut rng);
+        assert!(pairs.iter().all(|(_, d)| *d == hs));
+        // The hotspot node itself is filtered out as a source.
+        assert!(pairs.iter().all(|(s, _)| *s != hs));
+    }
+
+    #[test]
+    fn generate_round_robins_sources() {
+        let mesh = Mesh2d::new(2, 2);
+        let mut rng = SimRng::new(5);
+        let pairs = TrafficPattern::UniformRandom.generate(&mesh, 8, &mut rng);
+        assert_eq!(pairs.len(), 8);
+        let firsts: Vec<u16> = pairs.iter().take(4).map(|(s, _)| s.0).collect();
+        assert_eq!(firsts, vec![0, 1, 2, 3]);
+    }
+}

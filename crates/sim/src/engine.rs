@@ -1,0 +1,237 @@
+//! Discrete-event engine.
+//!
+//! The engine owns a priority queue of `(time, sequence, action)` entries and
+//! fires them in deterministic order: primarily by time, with ties broken by
+//! insertion sequence. Actions receive the world state and the engine itself,
+//! so they can schedule follow-up events.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event body: a one-shot closure over the world and the engine.
+pub type Action<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
+
+struct Entry<W> {
+    at: SimTime,
+    seq: u64,
+    action: Action<W>,
+}
+
+impl<W> PartialEq for Entry<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Entry<W> {}
+impl<W> PartialOrd for Entry<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Entry<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest (time, seq) pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic discrete-event engine over world state `W`.
+///
+/// See the [crate-level docs](crate) for an end-to-end example.
+pub struct Engine<W> {
+    now: SimTime,
+    seq: u64,
+    fired: u64,
+    queue: BinaryHeap<Entry<W>>,
+}
+
+impl<W> Default for Engine<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> std::fmt::Debug for Engine<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("fired", &self.fired)
+            .finish()
+    }
+}
+
+impl<W> Engine<W> {
+    /// Creates an empty engine at time zero.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            fired: 0,
+            queue: BinaryHeap::new(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events fired so far.
+    pub fn events_fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `action` at absolute time `at`.
+    ///
+    /// Scheduling in the past is clamped to `now` (the action fires at the
+    /// current instant, after already-queued actions for `now`).
+    pub fn schedule(&mut self, at: SimTime, action: Action<W>) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Entry { at, seq, action });
+    }
+
+    /// Schedules `action` `delay` cycles from now.
+    pub fn schedule_in(&mut self, delay: u64, action: Action<W>) {
+        self.schedule(self.now + delay, action);
+    }
+
+    /// Runs until the queue empties. Returns the final time.
+    pub fn run(&mut self, world: &mut W) -> SimTime {
+        self.run_until(world, SimTime::MAX)
+    }
+
+    /// Runs until the queue empties or the next event would fire after
+    /// `deadline`. Events exactly at `deadline` are fired.
+    pub fn run_until(&mut self, world: &mut W, deadline: SimTime) -> SimTime {
+        while let Some(top) = self.queue.peek() {
+            if top.at > deadline {
+                self.now = deadline;
+                return self.now;
+            }
+            let entry = self.queue.pop().expect("peeked entry must exist");
+            debug_assert!(entry.at >= self.now, "time must be monotonic");
+            self.now = entry.at;
+            self.fired += 1;
+            (entry.action)(world, self);
+        }
+        self.now
+    }
+
+    /// Fires at most one event. Returns `false` when the queue is empty.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        if let Some(entry) = self.queue.pop() {
+            self.now = entry.at;
+            self.fired += 1;
+            (entry.action)(world, self);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Discards all pending events (e.g., on experiment teardown).
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut trace: Vec<u64> = Vec::new();
+        let mut engine: Engine<Vec<u64>> = Engine::new();
+        engine.schedule(SimTime::from_cycles(30), Box::new(|w, _| w.push(30)));
+        engine.schedule(SimTime::from_cycles(10), Box::new(|w, _| w.push(10)));
+        engine.schedule(SimTime::from_cycles(20), Box::new(|w, _| w.push(20)));
+        engine.run(&mut trace);
+        assert_eq!(trace, vec![10, 20, 30]);
+        assert_eq!(engine.now(), SimTime::from_cycles(30));
+        assert_eq!(engine.events_fired(), 3);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut trace: Vec<u64> = Vec::new();
+        let mut engine: Engine<Vec<u64>> = Engine::new();
+        for i in 0..5 {
+            engine.schedule(SimTime::from_cycles(7), Box::new(move |w, _| w.push(i)));
+        }
+        engine.run(&mut trace);
+        assert_eq!(trace, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn cascading_events() {
+        let mut count = 0u32;
+        let mut engine: Engine<u32> = Engine::new();
+        fn tick(w: &mut u32, e: &mut Engine<u32>) {
+            *w += 1;
+            if *w < 10 {
+                e.schedule_in(5, Box::new(tick));
+            }
+        }
+        engine.schedule_in(5, Box::new(tick));
+        engine.run(&mut count);
+        assert_eq!(count, 10);
+        assert_eq!(engine.now(), SimTime::from_cycles(50));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut hits = 0u32;
+        let mut engine: Engine<u32> = Engine::new();
+        for t in [10u64, 20, 30, 40] {
+            engine.schedule(SimTime::from_cycles(t), Box::new(|w, _| *w += 1));
+        }
+        engine.run_until(&mut hits, SimTime::from_cycles(20));
+        assert_eq!(hits, 2, "events at 10 and 20 fire");
+        assert_eq!(engine.now(), SimTime::from_cycles(20));
+        assert_eq!(engine.pending(), 2);
+        engine.run(&mut hits);
+        assert_eq!(hits, 4);
+    }
+
+    #[test]
+    fn scheduling_in_past_clamps_to_now() {
+        let mut trace: Vec<u64> = Vec::new();
+        let mut engine: Engine<Vec<u64>> = Engine::new();
+        engine.schedule(
+            SimTime::from_cycles(100),
+            Box::new(|w, e| {
+                w.push(e.now().cycles());
+                // "Past" event: clamped to now=100.
+                e.schedule(SimTime::from_cycles(1), Box::new(|w, e| w.push(e.now().cycles())));
+            }),
+        );
+        engine.run(&mut trace);
+        assert_eq!(trace, vec![100, 100]);
+    }
+
+    #[test]
+    fn step_and_clear() {
+        let mut n = 0u32;
+        let mut engine: Engine<u32> = Engine::new();
+        engine.schedule_in(1, Box::new(|w, _| *w += 1));
+        engine.schedule_in(2, Box::new(|w, _| *w += 1));
+        assert!(engine.step(&mut n));
+        assert_eq!(n, 1);
+        engine.clear();
+        assert!(!engine.step(&mut n));
+        assert_eq!(engine.pending(), 0);
+    }
+}

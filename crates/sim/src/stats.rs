@@ -1,0 +1,407 @@
+//! Online statistics collectors used by all experiments.
+
+use std::fmt;
+
+/// A named monotonically increasing event counter.
+///
+/// ```
+/// use rsoc_sim::Counter;
+/// let mut c = Counter::new("messages");
+/// c.add(3);
+/// c.incr();
+/// assert_eq!(c.value(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counter {
+    name: String,
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Counter { name: name.into(), value: 0 }
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&mut self, n: u64) {
+        self.value = self.value.saturating_add(n);
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Counter name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.name, self.value)
+    }
+}
+
+/// Numerically stable online mean/variance/min/max (Welford's algorithm).
+///
+/// ```
+/// use rsoc_sim::OnlineStats;
+/// let mut s = OnlineStats::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] { s.push(x); }
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.min(), 1.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 { 0.0 } else { self.mean }
+    }
+
+    /// Population variance (0 when fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 { 0.0 } else { self.m2 / self.n as f64 }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample (`+inf` if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample (`-inf` if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator (parallel Welford combine).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for OnlineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} sd={:.3} min={:.3} max={:.3}",
+            self.n,
+            self.mean(),
+            self.std_dev(),
+            if self.n == 0 { 0.0 } else { self.min },
+            if self.n == 0 { 0.0 } else { self.max },
+        )
+    }
+}
+
+/// Sample reservoir with exact quantiles (stores all samples).
+///
+/// Suitable for experiment-scale sample counts (≤ millions); quantiles are
+/// computed on demand over a sorted copy.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<f64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram { samples: Vec::new() }
+    }
+
+    /// Records a sample.
+    pub fn record(&mut self, x: f64) {
+        self.samples.push(x);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns the `q`-quantile (nearest-rank), `q` in `[0,1]`.
+    ///
+    /// Returns `None` when empty.
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        Some(sorted[rank - 1])
+    }
+
+    /// Median shortcut.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Mean of samples (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+
+    /// Read-only access to raw samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Buckets samples into `bins` equal-width bins over `[lo, hi)`,
+    /// returning counts. Out-of-range samples clamp to the edge bins.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn bucketize(&self, lo: f64, hi: f64, bins: usize) -> Vec<u64> {
+        assert!(bins > 0 && lo < hi, "invalid bucket spec");
+        let mut counts = vec![0u64; bins];
+        let width = (hi - lo) / bins as f64;
+        for &s in &self.samples {
+            let idx = (((s - lo) / width).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+            counts[idx] += 1;
+        }
+        counts
+    }
+}
+
+/// A `(time, value)` series, e.g. threat level or compromised-replica count
+/// over an experiment run.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    points: Vec<(u64, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries { points: Vec::new() }
+    }
+
+    /// Appends a point. Time must be non-decreasing.
+    ///
+    /// # Panics
+    /// Panics in debug builds when time regresses.
+    pub fn push(&mut self, time: u64, value: f64) {
+        debug_assert!(
+            self.points.last().is_none_or(|&(t, _)| t <= time),
+            "time series must be monotonic"
+        );
+        self.points.push((time, value));
+    }
+
+    /// All points.
+    pub fn points(&self) -> &[(u64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Value at or before `time` (step interpolation); `None` before first point.
+    pub fn value_at(&self, time: u64) -> Option<f64> {
+        match self.points.binary_search_by_key(&time, |&(t, _)| t) {
+            Ok(i) => Some(self.points[i].1),
+            Err(0) => None,
+            Err(i) => Some(self.points[i - 1].1),
+        }
+    }
+
+    /// Time-weighted average over `[start, end)` using step interpolation.
+    ///
+    /// Returns `None` when the series has no value at `start`.
+    pub fn time_weighted_mean(&self, start: u64, end: u64) -> Option<f64> {
+        if end <= start {
+            return None;
+        }
+        let mut acc = 0.0;
+        let mut cur = self.value_at(start)?;
+        let mut cur_t = start;
+        for &(t, v) in &self.points {
+            if t <= start {
+                continue;
+            }
+            if t >= end {
+                break;
+            }
+            acc += cur * (t - cur_t) as f64;
+            cur = v;
+            cur_t = t;
+        }
+        acc += cur * (end - cur_t) as f64;
+        Some(acc / (end - start) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new("x");
+        c.incr();
+        c.add(4);
+        assert_eq!(c.value(), 5);
+        assert_eq!(c.name(), "x");
+        assert_eq!(format!("{c}"), "x=5");
+    }
+
+    #[test]
+    fn online_stats_matches_direct_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn online_stats_merge_equals_sequential() {
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        let mut whole = OnlineStats::new();
+        for i in 0..50 {
+            let x = (i as f64).sin() * 10.0;
+            if i % 2 == 0 { a.push(x) } else { b.push(x) }
+            whole.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_sane() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        let mut a = OnlineStats::new();
+        a.merge(&s); // merging empty is a no-op
+        assert_eq!(a.count(), 0);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new();
+        for i in 1..=100 {
+            h.record(i as f64);
+        }
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.median(), Some(50.0));
+        assert_eq!(h.quantile(0.99), Some(99.0));
+        assert_eq!(h.quantile(1.0), Some(100.0));
+        assert_eq!(h.mean(), Some(50.5));
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.median(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = Histogram::new();
+        for x in [0.1, 0.2, 0.5, 0.9, 1.5, -3.0] {
+            h.record(x);
+        }
+        let buckets = h.bucketize(0.0, 1.0, 2);
+        // bin 0 = [0.0,0.5): {0.1, 0.2, clamped -3.0}; bin 1 = [0.5,1.0): {0.5, 0.9, clamped 1.5}.
+        assert_eq!(buckets, vec![3, 3]);
+    }
+
+    #[test]
+    fn time_series_step_semantics() {
+        let mut ts = TimeSeries::new();
+        ts.push(0, 1.0);
+        ts.push(10, 3.0);
+        ts.push(20, 5.0);
+        assert_eq!(ts.value_at(0), Some(1.0));
+        assert_eq!(ts.value_at(9), Some(1.0));
+        assert_eq!(ts.value_at(10), Some(3.0));
+        assert_eq!(ts.value_at(25), Some(5.0));
+        // Average over [0, 20): 1.0 for 10 cycles, 3.0 for 10 cycles.
+        assert_eq!(ts.time_weighted_mean(0, 20), Some(2.0));
+        assert_eq!(ts.time_weighted_mean(5, 5), None);
+        assert_eq!(ts.len(), 3);
+        assert!(!ts.is_empty());
+    }
+}

@@ -1,0 +1,119 @@
+//! Virtual time measured in clock cycles.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, measured in clock cycles since simulation start.
+///
+/// `SimTime` is a newtype over `u64` so that cycle counts cannot be confused
+/// with other integral quantities (sequence numbers, node ids, ...).
+///
+/// ```
+/// use rsoc_sim::SimTime;
+/// let t = SimTime::from_cycles(100) + 20;
+/// assert_eq!(t.cycles(), 120);
+/// assert!(t > SimTime::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The origin of virtual time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant (used as "never").
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a `SimTime` from a raw cycle count.
+    pub const fn from_cycles(cycles: u64) -> Self {
+        SimTime(cycles)
+    }
+
+    /// Returns the raw cycle count.
+    pub const fn cycles(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference in cycles (`self - earlier`, or 0 if earlier is later).
+    pub const fn saturating_since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// Checked addition of a cycle delta.
+    pub fn checked_add(self, delta: u64) -> Option<SimTime> {
+        self.0.checked_add(delta).map(SimTime)
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: u64) -> SimTime {
+        SimTime(self.0.saturating_add(rhs))
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 = self.0.saturating_add(rhs);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = u64;
+    /// Difference in cycles.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `rhs` is later than `self`.
+    fn sub(self, rhs: SimTime) -> u64 {
+        debug_assert!(self >= rhs, "SimTime subtraction underflow");
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+impl From<u64> for SimTime {
+    fn from(v: u64) -> Self {
+        SimTime(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        assert_eq!(SimTime::ZERO.cycles(), 0);
+        assert_eq!(SimTime::from_cycles(42).cycles(), 42);
+        assert_eq!(SimTime::from(7u64), SimTime::from_cycles(7));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_cycles(10);
+        assert_eq!((t + 5).cycles(), 15);
+        let mut u = t;
+        u += 3;
+        assert_eq!(u.cycles(), 13);
+        assert_eq!(u - t, 3);
+        assert_eq!(t.saturating_since(u), 0);
+        assert_eq!(u.saturating_since(t), 3);
+    }
+
+    #[test]
+    fn saturation_at_max() {
+        assert_eq!((SimTime::MAX + 10), SimTime::MAX);
+        assert_eq!(SimTime::MAX.checked_add(1), None);
+        assert_eq!(SimTime::from_cycles(1).checked_add(1), Some(SimTime::from_cycles(2)));
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(SimTime::from_cycles(1) < SimTime::from_cycles(2));
+        assert_eq!(format!("{}", SimTime::from_cycles(9)), "9cy");
+    }
+}

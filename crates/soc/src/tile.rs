@@ -1,0 +1,90 @@
+//! Processing tiles of the manycore SoC.
+
+use rsoc_diversity::VariantId;
+use std::fmt;
+
+/// Tile identifier (dense, row-major over the mesh).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TileId(pub u32);
+
+impl fmt::Display for TileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Health of a tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TileHealth {
+    /// Operating normally.
+    #[default]
+    Healthy,
+    /// Benign fail-stop (aging, overheat, power).
+    Crashed,
+    /// Under adversary control (Byzantine).
+    Compromised,
+}
+
+/// One tile: mesh position, software variant, health.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tile {
+    /// Identity.
+    pub id: TileId,
+    /// Mesh coordinate (x, y).
+    pub coord: (u16, u16),
+    /// Implementation variant currently running.
+    pub variant: VariantId,
+    /// Current health.
+    pub health: TileHealth,
+    /// Epochs since last rejuvenation (aging proxy).
+    pub age: u32,
+}
+
+impl Tile {
+    /// Creates a healthy tile.
+    pub fn new(id: TileId, coord: (u16, u16), variant: VariantId) -> Self {
+        Tile { id, coord, variant, health: TileHealth::Healthy, age: 0 }
+    }
+
+    /// Whether the tile can host a correct replica.
+    pub fn usable(&self) -> bool {
+        self.health == TileHealth::Healthy
+    }
+
+    /// Rejuvenates the tile onto `variant`: health restored, age reset.
+    pub fn rejuvenate(&mut self, variant: VariantId) {
+        self.variant = variant;
+        self.health = TileHealth::Healthy;
+        self.age = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle() {
+        let mut t = Tile::new(TileId(3), (1, 2), VariantId(0));
+        assert!(t.usable());
+        t.health = TileHealth::Compromised;
+        t.age = 9;
+        assert!(!t.usable());
+        t.rejuvenate(VariantId(5));
+        assert!(t.usable());
+        assert_eq!(t.variant, VariantId(5));
+        assert_eq!(t.age, 0);
+    }
+
+    #[test]
+    fn crashed_is_unusable() {
+        let mut t = Tile::new(TileId(0), (0, 0), VariantId(0));
+        t.health = TileHealth::Crashed;
+        assert!(!t.usable());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", TileId(7)), "t7");
+    }
+}

@@ -1,0 +1,82 @@
+//! Threat-adaptive deployment (paper §II-D): a severity detector watching
+//! protocol anomaly signals drives protocol/f switching with hysteresis.
+//!
+//! Demonstrates:
+//! 1. the EWMA detector escalating and (slowly, thanks to hysteresis)
+//!    de-escalating over a noisy anomaly timeline;
+//! 2. the controller's deployment table reacting to each level;
+//! 3. the cost/protection ledger vs static configurations.
+//!
+//! ```sh
+//! cargo run --example adaptive_threat
+//! ```
+
+use manycore_resilience::adapt::controller::TraceSegment;
+use manycore_resilience::adapt::{
+    simulate_adaptation, AdaptPolicy, AdaptiveController, AnomalySample, Deployment,
+    DetectorConfig, ProtocolChoice, ThreatDetector, ThreatLevel,
+};
+
+fn main() {
+    // --- 1. Detector timeline. -------------------------------------------
+    let mut detector = ThreatDetector::new(DetectorConfig::default());
+    let controller = AdaptiveController::default();
+    println!("window  signals                          score   level     deployment");
+    let timeline: Vec<(&str, AnomalySample)> = vec![
+        ("quiet", AnomalySample::default()),
+        ("quiet", AnomalySample::default()),
+        ("seu weather", AnomalySample { seu_events: 3, ..Default::default() }),
+        ("timeouts", AnomalySample { timeouts: 2, seu_events: 1, ..Default::default() }),
+        ("mac failures!", AnomalySample { mac_failures: 3, timeouts: 1, ..Default::default() }),
+        ("equivocation!", AnomalySample { equivocations: 2, mac_failures: 4, ..Default::default() }),
+        ("equivocation!", AnomalySample { equivocations: 3, mac_failures: 5, ..Default::default() }),
+        ("quiet", AnomalySample::default()),
+        ("quiet", AnomalySample::default()),
+        ("quiet", AnomalySample::default()),
+        ("quiet", AnomalySample::default()),
+        ("quiet", AnomalySample::default()),
+    ];
+    for (i, (label, sample)) in timeline.iter().enumerate() {
+        let level = detector.observe(*sample);
+        let dep = controller.deployment_for(level);
+        println!(
+            "{i:>6}  {:<30}  {:>6.2}  {:<8}  {:?} f={} ({} tiles)",
+            label,
+            detector.score(),
+            format!("{level:?}"),
+            dep.protocol,
+            dep.f,
+            dep.replicas(),
+        );
+    }
+    assert!(detector.level() <= ThreatLevel::Elevated, "hysteresis must eventually release");
+
+    // --- 2. Cost/protection ledger over a ground-truth trace. ------------
+    println!("\nledger over a 255k-cycle threat trace:");
+    let trace = vec![
+        TraceSegment { duration: 100_000, byz_faults: 0, detected: ThreatLevel::Low },
+        TraceSegment { duration: 5_000, byz_faults: 1, detected: ThreatLevel::Low },
+        TraceSegment { duration: 20_000, byz_faults: 1, detected: ThreatLevel::High },
+        TraceSegment { duration: 15_000, byz_faults: 2, detected: ThreatLevel::High },
+        TraceSegment { duration: 15_000, byz_faults: 3, detected: ThreatLevel::Critical },
+        TraceSegment { duration: 100_000, byz_faults: 0, detected: ThreatLevel::Low },
+    ];
+    for (name, policy) in [
+        ("static minbft f=1", AdaptPolicy::Static(Deployment { protocol: ProtocolChoice::MinBft, f: 1 })),
+        ("static pbft   f=3", AdaptPolicy::Static(Deployment { protocol: ProtocolChoice::Pbft, f: 3 })),
+        ("adaptive         ", AdaptPolicy::Adaptive(AdaptiveController::default())),
+    ] {
+        let r = simulate_adaptation(&trace, policy);
+        println!(
+            "  {name}: under-protected {:>5.1}% of time, mean {:>4.1} tiles, {} switches",
+            100.0 * r.underprotected_fraction(),
+            r.mean_replicas(),
+            r.switches,
+        );
+    }
+    println!(
+        "\n→ adaptation buys near-large protection at near-small cost; what\n\
+         remains exposed is exactly the detector lag (paper §II-D's call for\n\
+         research on severity detectors)."
+    );
+}

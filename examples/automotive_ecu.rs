@@ -1,0 +1,104 @@
+//! Automotive scenario (paper §II-A/§II-B: "software-defined vehicles"
+//! and the AUTOSAR multi-vendor argument): brake/steering commands
+//! arbitrated by replicated, *diverse* ECUs on one SoC.
+//!
+//! Demonstrates:
+//! 1. protocol choice for a safety-critical SCLF service: PBFT vs MinBFT
+//!    vs passive footprints on the same chip;
+//! 2. deterministic actuator arbitration — identical state digests across
+//!    replicas, stale-command rejection;
+//! 3. vendor diversity — how many distinct exploits an attacker needs
+//!    against a monoculture vs a diverse ECU set.
+//!
+//! ```sh
+//! cargo run --example automotive_ecu
+//! ```
+
+use manycore_resilience::adapt::ProtocolChoice;
+use manycore_resilience::bft::statemachine::ActuatorArbiter;
+use manycore_resilience::bft::StateMachine;
+use manycore_resilience::diversity::{
+    common_mode_exposure, greedy_exploits_to_defeat, PoolConfig, VariantId, VariantPool,
+};
+use manycore_resilience::sim::SimRng;
+use manycore_resilience::soc::{ResilientSoc, SocConfig, TileId};
+
+fn main() {
+    println!("== vehicle SoC: replicated brake-command service ==\n");
+
+    // --- 1. Protocol footprint on the chip. -----------------------------
+    for (name, protocol) in [
+        ("passive ", ProtocolChoice::Passive),
+        ("minbft  ", ProtocolChoice::MinBft),
+        ("pbft    ", ProtocolChoice::Pbft),
+    ] {
+        let mut soc = ResilientSoc::new(SocConfig { mesh_width: 4, mesh_height: 4, seed: 7 });
+        let report = soc.run_workload(protocol, 1, 2, 20);
+        println!(
+            "{name} f=1: {} tiles, {:>5.1} msgs/op, p50 {:>3.0}cy, safety={}",
+            report.n_replicas,
+            report.messages_per_commit(),
+            report.commit_latency.median().unwrap_or(0.0),
+            report.safety_ok,
+        );
+    }
+    println!(
+        "\n→ MinBFT gives Byzantine tolerance at 3 ECU tiles instead of 4 —\n\
+         the paper's hybridization dividend for cost-sensitive vehicles.\n"
+    );
+
+    // --- 2. Deterministic arbitration across diverse replicas. ----------
+    println!("== actuator arbitration (same committed command stream on 3 replicas) ==\n");
+    let commands: &[&[u8]] = &[
+        b"CMD brake 100 engage",
+        b"CMD steer 101 left3deg",
+        b"CMD brake 99 release", // stale timestamp — must be rejected
+        b"CMD brake 102 release",
+        b"CMD steer 102 hold",
+    ];
+    let mut replicas = [ActuatorArbiter::new(), ActuatorArbiter::new(), ActuatorArbiter::new()];
+    for cmd in commands {
+        let results: Vec<String> = replicas
+            .iter_mut()
+            .map(|r| String::from_utf8_lossy(&r.apply(cmd)).to_string())
+            .collect();
+        assert!(results.windows(2).all(|w| w[0] == w[1]), "determinism violated");
+        println!("  {:<28} -> {}", String::from_utf8_lossy(cmd), results[0]);
+    }
+    let digests: Vec<_> = replicas.iter().map(|r| r.state_digest()).collect();
+    assert!(digests.windows(2).all(|w| w[0] == w[1]));
+    println!("\n→ all replicas converged: state digest {:02x?}...\n", &digests[0][..4]);
+
+    // --- 3. Vendor diversity for the ECU fleet. --------------------------
+    println!("== vendor diversity (AUTOSAR-style multi-vendor ECUs) ==\n");
+    let mut rng = SimRng::new(7);
+    let pool = VariantPool::generate(
+        PoolConfig { vuln_universe: 1_000, vendor_base_vulns: 3, variant_vulns: 5, ..Default::default() },
+        &mut rng,
+    );
+    let mono = vec![VariantId(0); 3];
+    let diverse = vec![VariantId(0), VariantId(1), VariantId(2)];
+    for (name, assignment) in [("single-vendor", &mono), ("three-vendor ", &diverse)] {
+        println!(
+            "  {name}: single-exploit exposure {:.4}, exploits needed (greedy) {}",
+            common_mode_exposure(&pool, assignment, 1),
+            greedy_exploits_to_defeat(&pool, assignment, 1)
+                .map(|k| k.to_string())
+                .unwrap_or_else(|| "∞".into()),
+        );
+    }
+    println!(
+        "\n→ a single-vendor ECU triple falls to one zero-day; the diverse\n\
+         fleet forces the attacker to chain distinct exploits (§II-B)."
+    );
+
+    // Keep a realistic tie-in: compromise one ECU tile and show masking.
+    let mut soc = ResilientSoc::new(SocConfig { mesh_width: 4, mesh_height: 4, seed: 7 });
+    soc.compromise_tile(TileId(0));
+    let report = soc.run_workload(ProtocolChoice::MinBft, 1, 1, 10);
+    assert!(report.safety_ok);
+    println!(
+        "\nwith one compromised ECU tile, MinBFT still committed {} commands safely",
+        report.committed
+    );
+}

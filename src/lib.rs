@@ -1,0 +1,50 @@
+//! # manycore-resilience
+//!
+//! Umbrella crate for the reproduction of *"The Path to Fault- and
+//! Intrusion-Resilient Manycore Systems on a Chip"* (Shoker,
+//! Esteves-Verissimo, Völp — DSN 2023). Re-exports every subsystem crate
+//! and hosts the runnable examples (`examples/`) and cross-crate
+//! integration tests (`tests/`).
+//!
+//! See `README.md` for the architecture tour, `DESIGN.md` for the system
+//! inventory and experiment index, and `EXPERIMENTS.md` for
+//! paper-claim-vs-measured results.
+//!
+//! ## Layer map (paper Fig. 1 → crates)
+//!
+//! | layer | crate |
+//! |---|---|
+//! | simulation kernel | [`sim`] |
+//! | gates, ECC, registers, vendor layers | [`hw`] |
+//! | crypto primitives | [`crypto`] |
+//! | trusted hybrids (USIG, TrInc, A2M) | [`hybrid`] |
+//! | network-on-chip | [`noc`] |
+//! | replication protocols | [`bft`] |
+//! | implementation diversity | [`diversity`] |
+//! | rejuvenation vs APTs | [`rejuv`] |
+//! | threat-adaptive control | [`adapt`] |
+//! | FPGA fabric & reconfiguration | [`fpga`] |
+//! | the integrated resilient SoC | [`soc`] |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use manycore_resilience::adapt::ProtocolChoice;
+//! use manycore_resilience::soc::{ResilientSoc, SocConfig};
+//!
+//! let mut soc = ResilientSoc::new(SocConfig::default());
+//! let report = soc.run_workload(ProtocolChoice::MinBft, 1, 1, 3);
+//! assert!(report.safety_ok);
+//! ```
+
+pub use rsoc_adapt as adapt;
+pub use rsoc_bft as bft;
+pub use rsoc_crypto as crypto;
+pub use rsoc_diversity as diversity;
+pub use rsoc_fpga as fpga;
+pub use rsoc_hw as hw;
+pub use rsoc_hybrid as hybrid;
+pub use rsoc_noc as noc;
+pub use rsoc_rejuv as rejuv;
+pub use rsoc_sim as sim;
+pub use rsoc_soc as soc;

@@ -1,0 +1,250 @@
+//! Property-based tests (proptest) over the core invariants:
+//! crypto round-trips, ECC correction, USIG uniqueness/monotonicity,
+//! protocol safety under random fault configurations, NoC delivery.
+
+use manycore_resilience::bft::behavior::Behavior;
+use manycore_resilience::bft::minbft::MinBftCluster;
+use manycore_resilience::bft::pbft::PbftCluster;
+use manycore_resilience::bft::runner::{run, RunConfig};
+use manycore_resilience::bft::ReplicaId;
+use manycore_resilience::crypto::{hmac_sha256, hmac_verify, sha256, MacKey, Sha256};
+use manycore_resilience::hw::ecc::{DecodeOutcome, Hamming};
+use manycore_resilience::hw::{EccRegister, LoadOutcome, RegisterCell};
+use manycore_resilience::bft::broadcast::{run_broadcast, SenderBehavior};
+use manycore_resilience::hybrid::{A2m, KeyRing, TrInc, UiWindow, Usig, UsigId};
+use manycore_resilience::noc::network::{Network, NetworkConfig};
+use manycore_resilience::noc::{Mesh2d, NodeId, Routing};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------------- crypto ----------------
+
+    #[test]
+    fn sha256_incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..512), split in 0usize..512) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    #[test]
+    fn hmac_verifies_iff_untampered(key_seed in any::<u64>(), msg in proptest::collection::vec(any::<u8>(), 1..256), flip_byte in 0usize..256, flip_bit in 0u8..8) {
+        let key = MacKey::derive(key_seed, "prop");
+        let tag = hmac_sha256(key.as_bytes(), &msg);
+        prop_assert!(hmac_verify(key.as_bytes(), &msg, &tag));
+        let mut tampered = msg.clone();
+        let idx = flip_byte % tampered.len();
+        tampered[idx] ^= 1 << flip_bit;
+        prop_assert!(!hmac_verify(key.as_bytes(), &tampered, &tag));
+    }
+
+    // ---------------- ECC ----------------
+
+    #[test]
+    fn hamming_roundtrip_any_width(width in 1u32..=64, raw in any::<u64>()) {
+        let code = Hamming::new(width);
+        let data = if width == 64 { raw } else { raw & ((1u64 << width) - 1) };
+        prop_assert_eq!(code.decode(code.encode(data)), DecodeOutcome::Clean(data));
+    }
+
+    #[test]
+    fn hamming_corrects_any_single_flip(width in 1u32..=64, raw in any::<u64>(), bit in any::<u32>()) {
+        let code = Hamming::new(width);
+        let data = if width == 64 { raw } else { raw & ((1u64 << width) - 1) };
+        let cw = code.encode(data);
+        let bit = bit % code.codeword_bits();
+        match code.decode(cw ^ (1u128 << bit)) {
+            DecodeOutcome::Corrected(v, pos) => {
+                prop_assert_eq!(v, data);
+                prop_assert_eq!(pos, bit);
+            }
+            other => prop_assert!(false, "expected correction, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn hamming_detects_any_double_flip(raw in any::<u64>(), b1 in any::<u32>(), b2 in any::<u32>()) {
+        let code = Hamming::new(32);
+        let data = raw & 0xFFFF_FFFF;
+        let cw = code.encode(data);
+        let b1 = b1 % code.codeword_bits();
+        let b2 = b2 % code.codeword_bits();
+        prop_assume!(b1 != b2);
+        prop_assert_eq!(code.decode(cw ^ (1u128 << b1) ^ (1u128 << b2)), DecodeOutcome::DoubleError);
+    }
+
+    #[test]
+    fn ecc_register_survives_interleaved_single_flips(ops in proptest::collection::vec((any::<u64>(), any::<u32>()), 1..40)) {
+        let mut reg = EccRegister::new(64);
+        reg.store(0);
+        for (value, bit) in ops {
+            reg.store(value);
+            reg.inject_flip(bit % 72);
+            // One flip between stores: always corrected.
+            prop_assert_eq!(reg.load(), LoadOutcome::Value(value));
+        }
+    }
+
+    // ---------------- USIG ----------------
+
+    #[test]
+    fn usig_counters_are_unique_and_sequential(seed in any::<u64>(), msgs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..50)) {
+        let ring = KeyRing::provision(seed, 1);
+        let mut usig = Usig::new(UsigId(0), ring, Box::new(manycore_resilience::hw::PlainRegister::new(64)));
+        let mut window = UiWindow::new();
+        let mut last = 0u64;
+        for msg in &msgs {
+            let ui = usig.create_ui(msg).unwrap();
+            prop_assert_eq!(ui.counter, last + 1);
+            prop_assert!(usig.verify_ui(UsigId(0), &ui, msg));
+            prop_assert!(window.accept(&ui));
+            prop_assert!(!window.accept(&ui), "replay must be rejected");
+            last = ui.counter;
+        }
+    }
+
+    #[test]
+    fn trinc_attestation_intervals_never_overlap(advances in proptest::collection::vec(1u64..100, 1..30)) {
+        let key = MacKey::derive(3, "trinc-prop");
+        let mut t = TrInc::new(0, key.clone());
+        let c = t.create_counter();
+        let mut cursor = 0u64;
+        let mut last_end = 0u64;
+        for (i, step) in advances.iter().enumerate() {
+            cursor += step;
+            let msg = format!("m{i}");
+            let att = t.attest(c, cursor, msg.as_bytes()).unwrap();
+            prop_assert!(att.old >= last_end, "intervals must not overlap");
+            prop_assert_eq!(att.new, cursor);
+            let ok = TrInc::verify(&key, &att, msg.as_bytes());
+            prop_assert!(ok);
+            last_end = att.new;
+        }
+        // Any rollback attempt is refused.
+        prop_assert!(t.attest(c, cursor.saturating_sub(1), b"rollback").is_err());
+    }
+
+    #[test]
+    fn a2m_content_verification_is_exact(values in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 1..20), tamper_idx in 0usize..20) {
+        let key = MacKey::derive(4, "a2m-prop");
+        let mut a2m = A2m::new(0, key.clone());
+        let log = a2m.create_log();
+        for v in &values {
+            a2m.append(log, v).unwrap();
+        }
+        let cert = a2m.end(log).unwrap();
+        let refs: Vec<&[u8]> = values.iter().map(|v| v.as_slice()).collect();
+        prop_assert!(A2m::verify_content(&key, &cert, &refs));
+        // Tampering with any one entry breaks verification.
+        let idx = tamper_idx % values.len();
+        let mut tampered = values.clone();
+        tampered[idx].push(0xFF);
+        let trefs: Vec<&[u8]> = tampered.iter().map(|v| v.as_slice()).collect();
+        prop_assert!(!A2m::verify_content(&key, &cert, &trefs));
+        // Truncation breaks it too.
+        prop_assert!(!A2m::verify_content(&key, &cert, &refs[..refs.len() - 1]));
+    }
+
+    #[test]
+    fn broadcast_is_consistent_under_any_sender_behavior(n in 2u32..8, kind in 0u8..3, k in 0usize..8) {
+        let behavior = match kind {
+            0 => SenderBehavior::Correct,
+            1 => SenderBehavior::PartialSend(k),
+            _ => SenderBehavior::Equivocate,
+        };
+        let report = run_broadcast(n, b"payload", behavior);
+        prop_assert!(report.consistent, "no two correct receivers may disagree");
+        // Anyone who delivered, delivered the genuine payload.
+        for d in report.delivered.iter().flatten() {
+            prop_assert_eq!(d.as_slice(), b"payload");
+        }
+        // Completeness: if any receiver delivered, relays reach everyone.
+        if report.delivered.iter().any(|d| d.is_some()) {
+            prop_assert!(report.complete);
+        }
+    }
+
+    #[test]
+    fn usig_rejects_cross_message_certificates(seed in any::<u64>(), m1 in proptest::collection::vec(any::<u8>(), 1..64), m2 in proptest::collection::vec(any::<u8>(), 1..64)) {
+        prop_assume!(m1 != m2);
+        let ring = KeyRing::provision(seed, 2);
+        let mut u0 = Usig::new(UsigId(0), ring.clone(), Box::new(manycore_resilience::hw::PlainRegister::new(64)));
+        let u1 = Usig::new(UsigId(1), ring, Box::new(manycore_resilience::hw::PlainRegister::new(64)));
+        let ui = u0.create_ui(&m1).unwrap();
+        prop_assert!(u1.verify_ui(UsigId(0), &ui, &m1));
+        prop_assert!(!u1.verify_ui(UsigId(0), &ui, &m2));
+    }
+}
+
+// Protocol safety properties get fewer, heavier cases.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn pbft_safe_under_any_single_fault_config(seed in 1u64..1000, byz_replica in 0u32..4, byz_kind in 0u8..4) {
+        let cfg = RunConfig {
+            f: 1,
+            clients: 1,
+            requests_per_client: 5,
+            seed,
+            max_cycles: 20_000_000,
+            ..Default::default()
+        };
+        let mut cluster = PbftCluster::new(&cfg);
+        let behavior = match byz_kind {
+            0 => Behavior::Crashed,
+            1 => Behavior::Silent,
+            2 => Behavior::Equivocate,
+            _ => Behavior::CrashAt(seed % 400),
+        };
+        cluster.set_behavior(ReplicaId(byz_replica), behavior);
+        let report = run(&mut cluster, &cfg);
+        prop_assert!(report.safety_ok, "seed={} replica={} kind={}", seed, byz_replica, byz_kind);
+        prop_assert_eq!(report.committed, 5);
+    }
+
+    #[test]
+    fn minbft_safe_under_any_single_fault_config(seed in 1u64..1000, byz_replica in 0u32..3, byz_kind in 0u8..4) {
+        let cfg = RunConfig {
+            f: 1,
+            clients: 1,
+            requests_per_client: 5,
+            seed,
+            max_cycles: 20_000_000,
+            ..Default::default()
+        };
+        let mut cluster = MinBftCluster::new(&cfg);
+        let behavior = match byz_kind {
+            0 => Behavior::Crashed,
+            1 => Behavior::Silent,
+            2 => Behavior::ForgeUi,
+            _ => Behavior::CrashAt(seed % 400),
+        };
+        cluster.set_behavior(ReplicaId(byz_replica), behavior);
+        let report = run(&mut cluster, &cfg);
+        prop_assert!(report.safety_ok, "seed={} replica={} kind={}", seed, byz_replica, byz_kind);
+        prop_assert_eq!(report.committed, 5);
+    }
+
+    #[test]
+    fn noc_delivers_everything_on_a_healthy_mesh(seed in any::<u64>(), w in 2u16..8, h in 2u16..8, pkts in 1usize..40) {
+        let mesh = Mesh2d::new(w, h);
+        let mut net = Network::new(mesh, NetworkConfig { routing: Routing::Xy, ..Default::default() });
+        let mut rng = manycore_resilience::sim::SimRng::new(seed);
+        for _ in 0..pkts {
+            let s = NodeId(rng.below(mesh.node_count() as u64) as u16);
+            let d = NodeId(rng.below(mesh.node_count() as u64) as u16);
+            net.inject(s, d, 1);
+        }
+        net.drain(1_000_000);
+        prop_assert_eq!(net.stats().delivered.len(), pkts);
+        prop_assert!(net.stats().dropped.is_empty());
+        // Every delivery takes at least the Manhattan distance.
+        for d in &net.stats().delivered {
+            prop_assert!(d.hops as u64 <= 2 * (w + h) as u64);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Integration: the voted privilege gate in front of the FPGA fabric —
+//! the paper's §II-E / [55] "last line of defense" end to end.
+
+use manycore_resilience::crypto::MacKey;
+use manycore_resilience::fpga::{
+    Bitstream, FpgaFabric, FrameState, Icap, IcapError, Principal, ReconfigEngine, ReconfigError,
+    Region,
+};
+use manycore_resilience::soc::{GateError, PrivilegeGate, PrivilegedOp, Vote};
+
+const WORDS: usize = 4;
+
+fn setup(kernels: u32, threshold: usize) -> (PrivilegeGate, ReconfigEngine, MacKey) {
+    let bs_key = MacKey::derive(0x7E57, "bitstreams");
+    let mut icap = Icap::new(bs_key.clone());
+    icap.allow(PrivilegeGate::GATE_PRINCIPAL, Region::new(0, 16));
+    let engine = ReconfigEngine::new(FpgaFabric::new(4, 4, WORDS), icap);
+    (PrivilegeGate::new(0x7E57, kernels, threshold), engine, bs_key)
+}
+
+fn approve(gate: &PrivilegeGate, op: &PrivilegedOp, kernels: &[u32]) -> Vec<Vote> {
+    kernels
+        .iter()
+        .map(|k| Vote::sign(*k, gate.kernel_key(*k).expect("known kernel"), op))
+        .collect()
+}
+
+#[test]
+fn full_lifecycle_install_relocate_decommission() {
+    let (mut gate, mut engine, key) = setup(3, 2);
+    let home = Region::new(0, 2);
+    let install = PrivilegedOp::Reconfigure {
+        region: home,
+        block: 7,
+        bitstream: Bitstream::for_variant(1, home, WORDS, &key),
+    };
+    let votes = approve(&gate, &install, &[0, 1]);
+    gate.execute(&mut engine, &install, &votes).unwrap();
+    assert_eq!(engine.fabric().block_region(7), Some(home));
+
+    // Relocation through the gate principal.
+    let dest = Region::new(8, 2);
+    engine.relocate(PrivilegeGate::GATE_PRINCIPAL, 7, dest).unwrap();
+    assert_eq!(engine.fabric().block_region(7), Some(dest));
+    for f in home.frames() {
+        assert_eq!(engine.fabric().frame_state(f), FrameState::Empty);
+    }
+
+    // Decommission frees everything.
+    engine.decommission(PrivilegeGate::GATE_PRINCIPAL, 7).unwrap();
+    assert_eq!(engine.fabric().block_region(7), None);
+}
+
+#[test]
+fn minority_cannot_reconfigure_and_cannot_bypass() {
+    let (mut gate, mut engine, key) = setup(5, 3);
+    let region = Region::new(0, 2);
+    let evil = PrivilegedOp::Reconfigure {
+        region,
+        block: 0xBAD,
+        bitstream: Bitstream::for_variant(666, region, WORDS, &key),
+    };
+    // Two compromised kernels of five: below the 3-vote quorum.
+    let votes = approve(&gate, &evil, &[3, 4]);
+    assert_eq!(gate.execute(&mut engine, &evil, &votes), Err(GateError::InsufficientVotes));
+    // Vote stuffing with duplicates doesn't help.
+    let mut stuffed = approve(&gate, &evil, &[3, 4]);
+    stuffed.extend(approve(&gate, &evil, &[3, 3, 4]));
+    assert_eq!(gate.execute(&mut engine, &evil, &stuffed), Err(GateError::InsufficientVotes));
+    // Raw ICAP bypass: denied by ACL.
+    let direct = engine.reconfigure(
+        Principal(3),
+        region,
+        &Bitstream::for_variant(666, region, WORDS, &key),
+        0xBAD,
+    );
+    assert_eq!(direct, Err(ReconfigError::Icap(IcapError::AccessDenied)));
+    assert_eq!(engine.fabric().block_region(0xBAD), None);
+}
+
+#[test]
+fn votes_for_one_op_cannot_be_replayed_for_another() {
+    let (mut gate, mut engine, key) = setup(3, 2);
+    let benign_region = Region::new(0, 2);
+    let benign = PrivilegedOp::Reconfigure {
+        region: benign_region,
+        block: 1,
+        bitstream: Bitstream::for_variant(1, benign_region, WORDS, &key),
+    };
+    let votes = approve(&gate, &benign, &[0, 1]);
+    gate.execute(&mut engine, &benign, &votes).unwrap();
+
+    // Replay the same votes for a different target region.
+    let other_region = Region::new(4, 2);
+    let other = PrivilegedOp::Reconfigure {
+        region: other_region,
+        block: 2,
+        bitstream: Bitstream::for_variant(2, other_region, WORDS, &key),
+    };
+    assert_eq!(
+        gate.execute(&mut engine, &other, &votes),
+        Err(GateError::InsufficientVotes),
+        "votes are bound to the operation digest"
+    );
+}
+
+#[test]
+fn gate_approved_op_can_still_fail_validation() {
+    // The gate checks *authorization*; the ICAP still checks *integrity*.
+    let (mut gate, mut engine, _) = setup(3, 2);
+    let region = Region::new(0, 2);
+    let rogue_key = MacKey::derive(1, "not-the-authority");
+    let op = PrivilegedOp::Reconfigure {
+        region,
+        block: 3,
+        bitstream: Bitstream::for_variant(9, region, WORDS, &rogue_key),
+    };
+    let votes = approve(&gate, &op, &[0, 1]);
+    let result = gate.execute(&mut engine, &op, &votes);
+    assert_eq!(
+        result,
+        Err(GateError::Execution(ReconfigError::Icap(IcapError::InvalidBitstream))),
+        "defense in depth: authorization does not bypass validation"
+    );
+}
+
+#[test]
+fn grants_flow_only_through_the_gate() {
+    let (mut gate, mut engine, key) = setup(3, 2);
+    let user = Principal(7);
+    let region = Region::new(4, 2);
+    assert!(!engine.icap().permits(user, region));
+    let grant = PrivilegedOp::Grant { principal: user, region };
+    let votes = approve(&gate, &grant, &[1, 2]);
+    gate.execute(&mut engine, &grant, &votes).unwrap();
+    assert!(engine.icap().permits(user, region));
+    // Now the delegated user configures its own frames — §II-E's
+    // "the actual configuration of a frame can even be delegated to its
+    // current user".
+    let bs = Bitstream::for_variant(5, region, WORDS, &key);
+    engine.reconfigure(user, region, &bs, 11).unwrap();
+    assert_eq!(engine.fabric().block_region(11), Some(region));
+    // And revocation takes it back.
+    let revoke = PrivilegedOp::Revoke { principal: user, region };
+    let votes = approve(&gate, &revoke, &[0, 2]);
+    gate.execute(&mut engine, &revoke, &votes).unwrap();
+    assert!(!engine.icap().permits(user, region));
+}
