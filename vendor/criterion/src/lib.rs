@@ -1,0 +1,159 @@
+//! Vendored stand-in for `criterion` (the container cannot reach
+//! crates.io). Provides the `criterion_group!`/`criterion_main!` entry
+//! points, benchmark groups, `Bencher::iter`, and `Throughput`, backed by
+//! a simple adaptive timing loop: each benchmark is calibrated to a
+//! target batch duration, then the best-of-N batch mean is reported in
+//! ns/iter (plus derived throughput when configured).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes per iteration.
+    Bytes(u64),
+    /// Abstract elements per iteration.
+    Elements(u64),
+}
+
+/// Top-level benchmark driver, handed to every `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n{name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used for derived rates.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of timed batches per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] whose `iter` closure
+    /// is the measured region.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        // Calibrate: find an iteration count taking roughly 5ms per batch.
+        let mut iters: u64 = 1;
+        loop {
+            let mut bencher = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut bencher);
+            if bencher.elapsed >= Duration::from_millis(5) || iters >= 1 << 24 {
+                break;
+            }
+            iters = iters.saturating_mul(4).max(iters + 1);
+        }
+        // Measure: best batch mean is the least-noise estimate.
+        let batches = self.sample_size.min(20);
+        let mut best_ns_per_iter = f64::INFINITY;
+        for _ in 0..batches {
+            let mut bencher = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut bencher);
+            let ns = bencher.elapsed.as_nanos() as f64 / iters as f64;
+            if ns < best_ns_per_iter {
+                best_ns_per_iter = ns;
+            }
+        }
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(b)) => {
+                let gib_s = b as f64 / best_ns_per_iter / 1.073_741_824;
+                format!("  ({gib_s:.3} GiB/s)")
+            }
+            Some(Throughput::Elements(e)) => {
+                let melem_s = e as f64 * 1e3 / best_ns_per_iter;
+                format!("  ({melem_s:.3} Melem/s)")
+            }
+            None => String::new(),
+        };
+        println!("  {}/{id}: {best_ns_per_iter:.1} ns/iter{rate}", self.name);
+        self
+    }
+
+    /// Ends the group (formatting-only in this shim).
+    pub fn finish(self) {}
+}
+
+/// Times the closure passed to [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `iters` invocations of `f`, keeping results opaque to the
+    /// optimizer via [`black_box`].
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a benchmark group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bencher_counts_all_iterations() {
+        let mut calls = 0u64;
+        let mut bencher = super::Bencher {
+            iters: 37,
+            elapsed: std::time::Duration::ZERO,
+        };
+        bencher.iter(|| calls += 1);
+        assert_eq!(calls, 37);
+        assert!(bencher.elapsed > std::time::Duration::ZERO || calls == 37);
+    }
+}

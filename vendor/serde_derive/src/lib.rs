@@ -1,0 +1,135 @@
+//! Vendored stand-in for `serde_derive` (the container cannot reach
+//! crates.io). Implements `#[derive(Serialize)]` for structs with named
+//! fields by walking the raw token stream — no `syn`/`quote` available.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the shim trait: `serialize_json`) for a
+/// struct with named fields. Tuple structs, unit structs, enums, and
+/// generic structs are rejected with a compile-time panic; the workspace
+/// only derives on plain named-field record structs.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+
+    // Skip outer attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    match &tokens[i] {
+        TokenTree::Ident(id) if id.to_string() == "struct" => {}
+        other => panic!("serde_derive shim: expected `struct`, found `{other}`"),
+    }
+    i += 1;
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected struct name, found `{other}`"),
+    };
+    i += 1;
+
+    let body = match &tokens[i] {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => g.stream(),
+        TokenTree::Punct(p) if p.as_char() == '<' => {
+            panic!("serde_derive shim: generic structs are not supported")
+        }
+        other => panic!(
+            "serde_derive shim: only structs with named fields are supported, found `{other}`"
+        ),
+    };
+
+    let fields = field_names(body);
+    let mut emit = String::new();
+    emit.push_str("out.push('{');");
+    for (idx, field) in fields.iter().enumerate() {
+        if idx > 0 {
+            emit.push_str("out.push(',');");
+        }
+        emit.push_str(&format!("out.push_str(\"\\\"{field}\\\":\");"));
+        emit.push_str(&format!(
+            "::serde::Serialize::serialize_json(&self.{field}, out);"
+        ));
+    }
+    emit.push_str("out.push('}');");
+
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+             fn serialize_json(&self, out: &mut ::std::string::String) {{ {emit} }} \
+         }}"
+    )
+    .parse()
+    .expect("serde_derive shim: generated impl failed to parse")
+}
+
+/// Extracts the field names from the token stream of a named-field struct
+/// body: `[attrs] [vis] name : Type ,` repeated. Commas nested inside
+/// bracketed groups are invisible at this level; commas inside generic
+/// argument lists are skipped by tracking `<`/`>` depth.
+fn field_names(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Skip field attributes and visibility.
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        names.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive shim: expected `:` after field name, found {other:?}"),
+        }
+        // Skip the type: everything up to the next comma at angle depth 0.
+        // The `>` of a `->` return arrow (fn-pointer fields) must not be
+        // counted as closing an angle bracket.
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '-' => {
+                    if let Some(TokenTree::Punct(next)) = tokens.get(i + 1) {
+                        if next.as_char() == '>' {
+                            i += 1; // consume the arrow's `>` too
+                        }
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    names
+}

@@ -1,0 +1,74 @@
+//! Vendored stand-in for `serde_json` (the container cannot reach
+//! crates.io). Covers exactly the `to_string` entry point the workspace
+//! uses; serialization itself lives in the shim `serde::Serialize` trait.
+
+use std::fmt;
+
+/// Serialization error. The shim data model writes JSON directly and
+/// cannot fail, so this is never constructed; it exists to keep the
+/// `Result` signature source-compatible with real serde_json.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json shim error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T>(value: &T) -> Result<String, Error>
+where
+    T: serde::Serialize + ?Sized,
+{
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::Serialize;
+
+    #[derive(Serialize)]
+    struct Rec {
+        name: &'static str,
+        count: u32,
+        ratio: f64,
+        ok: bool,
+    }
+
+    #[test]
+    fn derived_struct_round_trip() {
+        let rec = Rec { name: "tile-0", count: 3, ratio: 0.25, ok: true };
+        assert_eq!(
+            super::to_string(&rec).unwrap(),
+            r#"{"name":"tile-0","count":3,"ratio":0.25,"ok":true}"#
+        );
+    }
+
+    // Regression: the derive's type scanner must not mistake the `>` of a
+    // `->` return arrow for a closing angle bracket, which would silently
+    // drop every later field from the output.
+    #[derive(Serialize)]
+    struct WithFnField {
+        scale: fn(u64) -> u64,
+        after_arrow: u32,
+        items: Vec<u8>,
+        last: bool,
+    }
+
+    #[test]
+    fn fn_pointer_field_does_not_swallow_later_fields() {
+        fn double(x: u64) -> u64 {
+            x * 2
+        }
+        let rec = WithFnField { scale: double, after_arrow: 7, items: vec![1, 2], last: true };
+        assert_eq!(
+            super::to_string(&rec).unwrap(),
+            r#"{"scale":null,"after_arrow":7,"items":[1,2],"last":true}"#
+        );
+    }
+}
