@@ -23,6 +23,19 @@ fn bench_crypto(c: &mut Criterion) {
     g.bench_function("hmac_sha256/1KiB", |b| {
         b.iter(|| hmac_sha256(black_box(key.as_bytes()), black_box(&data_1k)))
     });
+    // Cached key schedule vs the from-scratch reference. The win is the
+    // two skipped pad-block compressions, so it is starkest on the short
+    // certificate-sized messages the consensus hot path authenticates.
+    g.bench_function("hmac_cached_key/1KiB", |b| {
+        b.iter(|| key.mac(black_box(&data_1k)))
+    });
+    let cert = [0x5Au8; 44]; // UI payload size: id + counter + digest
+    g.bench_function("hmac_sha256/44B", |b| {
+        b.iter(|| hmac_sha256(black_box(key.as_bytes()), black_box(&cert)))
+    });
+    g.bench_function("hmac_cached_key/44B", |b| {
+        b.iter(|| key.mac(black_box(&cert)))
+    });
     g.finish();
 }
 
@@ -113,6 +126,33 @@ fn bench_protocols(c: &mut Criterion) {
     g.finish();
 }
 
+/// Batched vs unbatched commit pipeline (wall-clock cost of simulating the
+/// same 64-request workload; the *virtual-time* throughput comparison
+/// lives in `f2_batching`).
+fn bench_commit_batching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("commit");
+    g.sample_size(20);
+    let workload = |batch_size: usize| RunConfig {
+        f: 1,
+        clients: 8,
+        requests_per_client: 8,
+        seed: 7,
+        batch_size,
+        batch_flush: 100,
+        ..Default::default()
+    };
+    for batch in [1usize, 8] {
+        let config = workload(batch);
+        g.bench_function(format!("batch{batch}"), move |b| {
+            b.iter(|| {
+                let mut cluster = MinBftCluster::new(&config);
+                black_box(run(&mut cluster, &config).committed)
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_fpga(c: &mut Criterion) {
     let mut g = c.benchmark_group("fpga");
     let key = MacKey::derive(3, "bs");
@@ -136,6 +176,7 @@ criterion_group!(
     bench_ecc,
     bench_noc,
     bench_protocols,
+    bench_commit_batching,
     bench_fpga
 );
 criterion_main!(benches);

@@ -27,7 +27,7 @@ struct Row {
     gate_cost: u64,
 }
 
-fn make_usig(protection: &str, ring: &KeyRing) -> Usig {
+fn make_usig(protection: &str, ring: &std::sync::Arc<KeyRing>) -> Usig {
     let reg: Box<dyn RegisterCell> = match protection {
         "plain" => Box::new(PlainRegister::new(64)),
         "parity" => Box::new(ParityRegister::new(64)),
@@ -45,7 +45,7 @@ enum Outcome {
     FailStop,  // USIG detected corruption and refused
 }
 
-fn campaign(protection: &str, seu: u32, ring: &KeyRing, rng: &mut SimRng) -> Outcome {
+fn campaign(protection: &str, seu: u32, ring: &std::sync::Arc<KeyRing>, rng: &mut SimRng) -> Outcome {
     let mut usig = make_usig(protection, ring);
     let ops = 50u32;
     let mut seen: BTreeSet<u64> = BTreeSet::new();

@@ -15,6 +15,7 @@
 //! | `e9_fpga_relocation` | relocation vs grid backdoors (§II-C/E) |
 //! | `e10_noc_faults` | routing policies vs link faults (§I) |
 //! | `f1_layered_stack` | full-stack ablation (Fig. 1) |
+//! | `f2_batching` | batched consensus + amortized authentication (writes `BENCH_2.json`) |
 //!
 //! Every binary prints an aligned table to stdout and, with `--json`, one
 //! JSON object per row (machine-readable for EXPERIMENTS.md regeneration).

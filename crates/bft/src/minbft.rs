@@ -16,7 +16,8 @@
 //! re-proposal round by the new primary.
 
 use crate::api::{
-    Cluster, Endpoint, Input, LogEntry, OpId, Outbox, Reply, ReplicaId, ReplicaNode, Request,
+    Batch, BatchDecision, Batcher, Cluster, Endpoint, Input, LogEntry, OpId, Outbox, Reply,
+    ReplicaId, ReplicaNode, Request,
 };
 use crate::behavior::Behavior;
 use crate::runner::RunConfig;
@@ -25,9 +26,12 @@ use rsoc_crypto::Tag;
 use rsoc_hw::{EccRegister, PlainRegister, RegisterCell};
 use rsoc_hybrid::{KeyRing, Usig, UsigId, UI};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// Timer kind: request patience expired.
 const TIMER_REQUEST: u32 = 1;
+/// Timer kind: the primary's partially filled batch waited long enough.
+const TIMER_FLUSH: u32 = 2;
 /// Backup patience before suspecting the primary.
 const REQUEST_PATIENCE: u64 = 1_500;
 
@@ -36,26 +40,26 @@ const REQUEST_PATIENCE: u64 = 1_500;
 pub enum MinBftMsg {
     /// Client request.
     Request(Request),
-    /// Primary's UI-certified ordering proposal.
+    /// Primary's UI-certified ordering proposal: one slot per *batch*.
     Prepare {
         /// View.
         view: u64,
         /// Global sequence number.
         seq: u64,
-        /// Full request.
-        req: Request,
-        /// Primary's USIG certificate over `(view, seq, digest)`.
+        /// Full request batch.
+        batch: Batch,
+        /// Primary's USIG certificate over `(view, seq, batch digest)`.
         ui: UI,
     },
-    /// Backup's UI-certified commit vote (carries the request so replicas
+    /// Backup's UI-certified commit vote (carries the batch so replicas
     /// that missed the PREPARE can still execute on a commit quorum).
     Commit {
         /// View.
         view: u64,
         /// Sequence.
         seq: u64,
-        /// Full request.
-        req: Request,
+        /// Full request batch.
+        batch: Batch,
         /// The primary's UI from the PREPARE (evidence of assignment).
         primary_ui: UI,
         /// Voting replica.
@@ -72,7 +76,7 @@ pub enum MinBftMsg {
         /// Voter.
         from: ReplicaId,
         /// Prepared-but-unexecuted entries that must survive.
-        prepared: Vec<(u64, Request)>,
+        prepared: Vec<(u64, Batch)>,
     },
     /// New primary's installation message (re-proposals follow as normal
     /// UI-certified PREPAREs).
@@ -80,13 +84,13 @@ pub enum MinBftMsg {
         /// Installed view.
         view: u64,
         /// Re-proposed entries.
-        preprepares: Vec<(u64, Request)>,
+        preprepares: Vec<(u64, Batch)>,
     },
 }
 
 #[derive(Debug, Default)]
 struct Slot {
-    req: Option<Request>,
+    batch: Option<Batch>,
     digest: Option<[u8; 32]>,
     prepare_ok: bool,
     commits: BTreeSet<ReplicaId>,
@@ -158,13 +162,16 @@ pub struct MinBftReplica {
     log: Vec<LogEntry>,
     exec_upto: u64,
     machine: KvStore,
-    vc_votes: BTreeMap<u64, BTreeMap<ReplicaId, Vec<(u64, Request)>>>,
+    vc_votes: BTreeMap<u64, BTreeMap<ReplicaId, Vec<(u64, Batch)>>>,
     vc_sent_for: u64,
+    /// Batching front-end (primary only).
+    batcher: Batcher,
 }
 
 impl MinBftReplica {
-    /// Creates replica `id` of an `n = 2f+1` cluster sharing `ring`.
-    pub fn new(id: ReplicaId, f: u32, ring: KeyRing, protection: CounterProtection) -> Self {
+    /// Creates replica `id` of an `n = 2f+1` cluster sharing `ring`
+    /// (a refcount bump, not a key-material copy).
+    pub fn new(id: ReplicaId, f: u32, ring: Arc<KeyRing>, protection: CounterProtection) -> Self {
         MinBftReplica {
             id,
             n: 2 * f + 1,
@@ -186,7 +193,26 @@ impl MinBftReplica {
             machine: KvStore::new(),
             vc_votes: BTreeMap::new(),
             vc_sent_for: 0,
+            batcher: Batcher::new(),
         }
+    }
+
+    /// Configures the batching front-end: seal a batch at `batch_size`
+    /// requests, or after `batch_flush` cycles, whichever comes first.
+    pub fn set_batching(&mut self, batch_size: usize, batch_flush: u64) {
+        self.batcher.configure(batch_size, batch_flush);
+    }
+
+    /// Digest of the replica's current state-machine state (for
+    /// batched-vs-unbatched equivalence checks).
+    pub fn state_digest(&self) -> [u8; 32] {
+        self.machine.state_digest()
+    }
+
+    /// `(created, verified)` USIG certificate counts — the replica's MAC
+    /// operations, for authentication-cost accounting.
+    pub fn mac_ops(&self) -> (u64, u64) {
+        (self.usig.issued(), self.usig.verified())
     }
 
     /// Sets this replica's behaviour.
@@ -281,26 +307,11 @@ impl MinBftReplica {
                 }
                 return;
             }
-            let seq = self.next_seq;
-            self.next_seq += 1;
-            self.assigned.insert(req.op, seq);
-            if self.behavior == Behavior::ForgeUi {
-                self.forge_equivocation(seq, req, out);
-                return;
+            match self.batcher.offer(req) {
+                BatchDecision::Seal => self.flush_batch(out),
+                BatchDecision::ArmTimer => out.arm(self.batcher.flush_cycles(), TIMER_FLUSH, 0),
+                BatchDecision::Wait | BatchDecision::Duplicate => {}
             }
-            let digest = req.digest();
-            let Ok(ui) = self.usig.create_ui(&prepare_bytes(self.view, seq, &digest)) else {
-                return; // fail-stopped USIG: replica can no longer lead
-            };
-            let prep = MinBftMsg::Prepare { view: self.view, seq, req: req.clone(), ui };
-            self.stored_prepares.insert(seq, prep.clone());
-            let slot = self.slots.entry(seq).or_default();
-            slot.req = Some(req);
-            slot.digest = Some(digest);
-            slot.prepare_ok = true;
-            slot.commits.insert(self.id); // the PREPARE is the primary's commit
-            slot.sent_commit = true;
-            out.broadcast(self.n, self.id, prep);
         } else {
             let token = Self::op_token(req.op);
             if !self.pending.contains_key(&token) && !self.executed.contains_key(&req.op) {
@@ -310,17 +321,58 @@ impl MinBftReplica {
         }
     }
 
-    /// Byzantine primary attempting equivocation: a valid PREPARE for `req`
-    /// to half the backups and a *forged* certificate (same counter,
+    /// Seals the accumulated requests into one batch and proposes it under
+    /// a single USIG certificate — MAC creation and verification are
+    /// amortized `1/B` across the batch.
+    fn flush_batch(&mut self, out: &mut Outbox<MinBftMsg>) {
+        // Requests can go stale in the accumulator across a view change.
+        let executed = &self.executed;
+        let assigned = &self.assigned;
+        let reqs = self
+            .batcher
+            .drain(|r| !executed.contains_key(&r.op) && !assigned.contains_key(&r.op));
+        if reqs.is_empty() {
+            return;
+        }
+        let batch = Batch::new(reqs);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        for r in batch.requests() {
+            self.assigned.insert(r.op, seq);
+        }
+        if self.behavior == Behavior::ForgeUi {
+            self.forge_equivocation(seq, batch, out);
+            return;
+        }
+        let digest = batch.digest();
+        let Ok(ui) = self.usig.create_ui(&prepare_bytes(self.view, seq, &digest)) else {
+            return; // fail-stopped USIG: replica can no longer lead
+        };
+        let prep = MinBftMsg::Prepare { view: self.view, seq, batch: batch.clone(), ui };
+        self.stored_prepares.insert(seq, prep.clone());
+        let slot = self.slots.entry(seq).or_default();
+        slot.batch = Some(batch);
+        slot.digest = Some(digest);
+        slot.prepare_ok = true;
+        slot.commits.insert(self.id); // the PREPARE is the primary's commit
+        slot.sent_commit = true;
+        out.broadcast(self.n, self.id, prep);
+    }
+
+    /// Byzantine primary attempting equivocation: a valid PREPARE for the
+    /// batch to half the backups and a *forged* certificate (same counter,
     /// fabricated tag — the USIG refuses to sign twice) for a conflicting
-    /// request to the rest. The hybrid makes the forgery detectable.
-    fn forge_equivocation(&mut self, seq: u64, req: Request, out: &mut Outbox<MinBftMsg>) {
-        let digest = req.digest();
+    /// batch to the rest. The hybrid makes the forgery detectable.
+    fn forge_equivocation(&mut self, seq: u64, batch: Batch, out: &mut Outbox<MinBftMsg>) {
+        let digest = batch.digest();
         let Ok(ui) = self.usig.create_ui(&prepare_bytes(self.view, seq, &digest)) else {
             return;
         };
-        let mut evil = req.clone();
-        evil.payload.reverse();
+        let mut evil_reqs = batch.requests().to_vec();
+        for r in &mut evil_reqs {
+            r.payload.reverse();
+        }
+        let evil = Batch::new(evil_reqs);
         let forged_ui = UI { id: UsigId(self.id.0), counter: ui.counter, tag: Tag([0xEE; 32]) };
         let half = self.n / 2 + 1;
         for i in 0..self.n {
@@ -328,25 +380,30 @@ impl MinBftReplica {
                 continue;
             }
             let msg = if i < half {
-                MinBftMsg::Prepare { view: self.view, seq, req: req.clone(), ui }
+                MinBftMsg::Prepare { view: self.view, seq, batch: batch.clone(), ui }
             } else {
-                MinBftMsg::Prepare { view: self.view, seq, req: evil.clone(), ui: forged_ui }
+                MinBftMsg::Prepare { view: self.view, seq, batch: evil.clone(), ui: forged_ui }
             };
             out.send(Endpoint::Replica(ReplicaId(i)), msg);
         }
         let slot = self.slots.entry(seq).or_default();
-        slot.req = Some(req);
+        slot.batch = Some(batch);
         slot.digest = Some(digest);
         slot.prepare_ok = true;
         slot.commits.insert(self.id);
         slot.sent_commit = true;
     }
 
-    fn handle_prepare(&mut self, view: u64, seq: u64, req: Request, ui: UI, out: &mut Outbox<MinBftMsg>) {
+    fn handle_prepare(&mut self, view: u64, seq: u64, batch: Batch, ui: UI, out: &mut Outbox<MinBftMsg>) {
         if view != self.view {
             return;
         }
-        let digest = req.digest();
+        // One content check per batch: the cached digest (which the UI
+        // certifies) must match the carried requests.
+        if batch.is_empty() || !batch.verify() {
+            return;
+        }
+        let digest = batch.digest();
         let primary = self.primary_of(view);
         let slot = self.slots.entry(seq).or_default();
         if slot.executed {
@@ -357,7 +414,11 @@ impl MinBftReplica {
                 return; // conflicts with already-evidenced assignment
             }
         }
-        slot.req = Some(req.clone());
+        for r in batch.requests() {
+            self.assigned.insert(r.op, seq);
+        }
+        let slot = self.slots.entry(seq).or_default();
+        slot.batch = Some(batch.clone());
         slot.digest = Some(digest);
         slot.prepare_ok = true;
         slot.commits.insert(primary);
@@ -375,7 +436,7 @@ impl MinBftReplica {
                 MinBftMsg::Commit {
                     view,
                     seq,
-                    req,
+                    batch,
                     primary_ui: ui,
                     from: self.id,
                     ui: my_ui,
@@ -385,12 +446,12 @@ impl MinBftReplica {
         self.try_execute(out);
     }
 
-    fn handle_commit(&mut self, view: u64, seq: u64, req: Request, primary_ui: UI, from: ReplicaId, out: &mut Outbox<MinBftMsg>) {
+    fn handle_commit(&mut self, view: u64, seq: u64, batch: Batch, primary_ui: UI, from: ReplicaId, out: &mut Outbox<MinBftMsg>) {
         if view != self.view {
             return;
         }
         // The commit must reference a genuine primary certificate.
-        let digest = req.digest();
+        let digest = batch.digest();
         if !self.usig.verify_ui(
             UsigId(self.primary_of(view).0),
             &primary_ui,
@@ -405,7 +466,14 @@ impl MinBftReplica {
                 return;
             }
         }
-        slot.req.get_or_insert(req);
+        if slot.batch.is_none() {
+            // Adopting content we never saw a PREPARE for: check it against
+            // the certified digest once.
+            if !batch.verify() {
+                return;
+            }
+            slot.batch = Some(batch);
+        }
         slot.digest = Some(digest);
         slot.commits.insert(from);
         slot.commits.insert(primary);
@@ -417,7 +485,7 @@ impl MinBftReplica {
         loop {
             let next = self.exec_upto + 1;
             let ready = match self.slots.get(&next) {
-                Some(s) => !s.executed && s.req.is_some() && s.commits.len() >= quorum,
+                Some(s) => !s.executed && s.batch.is_some() && s.commits.len() >= quorum,
                 None => false,
             };
             if !ready {
@@ -425,26 +493,31 @@ impl MinBftReplica {
             }
             let slot = self.slots.get_mut(&next).expect("checked");
             slot.executed = true;
-            let req = slot.req.clone().expect("checked");
-            let digest = slot.digest.expect("digest follows req");
+            let batch = slot.batch.clone().expect("checked");
+            let digest = slot.digest.expect("digest follows batch");
             self.exec_upto = next;
-            let result = self.machine.apply(&req.payload);
-            self.log.push(LogEntry { seq: next, op: req.op, digest });
-            self.executed.insert(req.op, result.clone());
-            self.pending.remove(&Self::op_token(req.op));
-            self.assigned.insert(req.op, next);
-            out.send(
-                Endpoint::Client(req.op.client),
-                MinBftMsg::Reply(Reply { replica: self.id, op: req.op, result }),
-            );
+            // Per-request log entries (dense global sequence) out of one
+            // agreement slot.
+            for req in batch.requests() {
+                let log_seq = self.log.len() as u64 + 1;
+                let result = self.machine.apply(&req.payload);
+                self.log.push(LogEntry { seq: log_seq, op: req.op, digest });
+                self.executed.insert(req.op, result.clone());
+                self.pending.remove(&Self::op_token(req.op));
+                self.assigned.insert(req.op, next);
+                out.send(
+                    Endpoint::Client(req.op.client),
+                    MinBftMsg::Reply(Reply { replica: self.id, op: req.op, result }),
+                );
+            }
         }
     }
 
-    fn prepared_uncommitted(&self) -> Vec<(u64, Request)> {
+    fn prepared_uncommitted(&self) -> Vec<(u64, Batch)> {
         self.slots
             .iter()
             .filter(|(_, s)| !s.executed && s.prepare_ok)
-            .filter_map(|(seq, s)| s.req.clone().map(|r| (*seq, r)))
+            .filter_map(|(seq, s)| s.batch.clone().map(|b| (*seq, b)))
             .collect()
     }
 
@@ -467,7 +540,7 @@ impl MinBftReplica {
         &mut self,
         new_view: u64,
         from: ReplicaId,
-        prepared: Vec<(u64, Request)>,
+        prepared: Vec<(u64, Batch)>,
         out: &mut Outbox<MinBftMsg>,
     ) {
         if new_view <= self.view {
@@ -491,51 +564,58 @@ impl MinBftReplica {
         if votes.len() < (self.f + 1) as usize || self.primary_of(new_view) != self.id {
             return;
         }
-        let mut repropose: BTreeMap<u64, Request> = BTreeMap::new();
+        let mut repropose: BTreeMap<u64, Batch> = BTreeMap::new();
         for entries in votes.values() {
-            for (seq, req) in entries {
-                repropose.entry(*seq).or_insert_with(|| req.clone());
+            for (seq, batch) in entries {
+                repropose.entry(*seq).or_insert_with(|| batch.clone());
             }
         }
-        for (seq, req) in self.prepared_uncommitted() {
-            repropose.entry(seq).or_insert(req);
+        for (seq, batch) in self.prepared_uncommitted() {
+            repropose.entry(seq).or_insert(batch);
         }
         self.view = new_view;
         let max_seq = repropose.keys().max().copied().unwrap_or(self.exec_upto);
         self.next_seq = self.next_seq.max(max_seq + 1);
-        let covered: BTreeSet<OpId> = repropose.values().map(|r| r.op).collect();
-        let pending: Vec<Request> = self.pending.values().cloned().collect();
-        for req in pending {
-            if covered.contains(&req.op) || self.executed.contains_key(&req.op) {
-                continue;
-            }
+        let covered: BTreeSet<OpId> = repropose
+            .values()
+            .flat_map(|b| b.requests().iter().map(|r| r.op))
+            .collect();
+        let pending: Vec<Request> = self
+            .pending
+            .values()
+            .filter(|r| !covered.contains(&r.op) && !self.executed.contains_key(&r.op))
+            .cloned()
+            .collect();
+        for chunk in pending.chunks(self.batcher.batch_size()) {
             let seq = self.next_seq;
             self.next_seq += 1;
-            repropose.insert(seq, req);
+            repropose.insert(seq, Batch::new(chunk.to_vec()));
         }
-        let preprepares: Vec<(u64, Request)> = repropose.iter().map(|(s, r)| (*s, r.clone())).collect();
+        let preprepares: Vec<(u64, Batch)> = repropose.iter().map(|(s, b)| (*s, b.clone())).collect();
         out.broadcast(self.n, self.id, MinBftMsg::NewView { view: new_view, preprepares });
         // Re-propose everything with fresh UIs as the new primary.
         self.install_as_primary(repropose, out);
         self.replay_future(out);
     }
 
-    fn install_as_primary(&mut self, entries: BTreeMap<u64, Request>, out: &mut Outbox<MinBftMsg>) {
-        for (seq, req) in entries {
+    fn install_as_primary(&mut self, entries: BTreeMap<u64, Batch>, out: &mut Outbox<MinBftMsg>) {
+        for (seq, batch) in entries {
             if self.slots.get(&seq).map(|s| s.executed).unwrap_or(false) {
                 continue;
             }
-            let digest = req.digest();
+            let digest = batch.digest();
             let Ok(ui) = self.usig.create_ui(&prepare_bytes(self.view, seq, &digest)) else {
                 return;
             };
-            let prep = MinBftMsg::Prepare { view: self.view, seq, req: req.clone(), ui };
+            let prep = MinBftMsg::Prepare { view: self.view, seq, batch: batch.clone(), ui };
             self.stored_prepares.insert(seq, prep.clone());
-            self.assigned.insert(req.op, seq);
+            for r in batch.requests() {
+                self.assigned.insert(r.op, seq);
+            }
             let slot = self.slots.entry(seq).or_default();
             // Reset stale votes from the old view.
             slot.commits.clear();
-            slot.req = Some(req);
+            slot.batch = Some(batch);
             slot.digest = Some(digest);
             slot.prepare_ok = true;
             slot.commits.insert(self.id);
@@ -591,31 +671,33 @@ impl MinBftReplica {
     fn dispatch(&mut self, from: Endpoint, msg: MinBftMsg, out: &mut Outbox<MinBftMsg>) {
         match msg {
             MinBftMsg::Request(req) => self.handle_request(req, out),
-            MinBftMsg::Prepare { view, seq, req, ui } => {
+            MinBftMsg::Prepare { view, seq, batch, ui } => {
                 if view > self.view {
                     // The installing NewView may still be in flight. Do NOT
                     // consume the sender's UI counter yet — stash verbatim.
-                    self.future.push(MinBftMsg::Prepare { view, seq, req, ui });
+                    self.future.push(MinBftMsg::Prepare { view, seq, batch, ui });
                     return;
                 }
-                let digest = req.digest();
-                let msg_copy = MinBftMsg::Prepare { view, seq, req: req.clone(), ui };
+                // The cached batch digest is what the UI certifies; content
+                // is checked against it once, in handle_prepare.
+                let digest = batch.digest();
+                let msg_copy = MinBftMsg::Prepare { view, seq, batch: batch.clone(), ui };
                 let sender = self.primary_of(view);
                 if self.ingest_ui(sender, &ui, &prepare_bytes(view, seq, &digest), &msg_copy) {
-                    self.handle_prepare(view, seq, req, ui, out);
+                    self.handle_prepare(view, seq, batch, ui, out);
                     self.drain_ready(out);
                 }
             }
-            MinBftMsg::Commit { view, seq, req, primary_ui, from: voter, ui } => {
+            MinBftMsg::Commit { view, seq, batch, primary_ui, from: voter, ui } => {
                 if view > self.view {
-                    self.future.push(MinBftMsg::Commit { view, seq, req, primary_ui, from: voter, ui });
+                    self.future.push(MinBftMsg::Commit { view, seq, batch, primary_ui, from: voter, ui });
                     return;
                 }
-                let digest = req.digest();
+                let digest = batch.digest();
                 let msg_copy = MinBftMsg::Commit {
                     view,
                     seq,
-                    req: req.clone(),
+                    batch: batch.clone(),
                     primary_ui,
                     from: voter,
                     ui,
@@ -626,7 +708,7 @@ impl MinBftReplica {
                     &commit_bytes(view, seq, &digest, primary_ui.counter),
                     &msg_copy,
                 ) {
-                    self.handle_commit(view, seq, req, primary_ui, voter, out);
+                    self.handle_commit(view, seq, batch, primary_ui, voter, out);
                     self.drain_ready(out);
                 }
             }
@@ -644,12 +726,12 @@ impl MinBftReplica {
     fn drain_ready(&mut self, out: &mut Outbox<MinBftMsg>) {
         while let Some(msg) = self.take_ready() {
             match msg {
-                MinBftMsg::Prepare { view, seq, req, ui } => {
-                    self.handle_prepare(view, seq, req, ui, out)
+                MinBftMsg::Prepare { view, seq, batch, ui } => {
+                    self.handle_prepare(view, seq, batch, ui, out)
                 }
-                MinBftMsg::Commit { view, seq, req, primary_ui, from, ui } => {
+                MinBftMsg::Commit { view, seq, batch, primary_ui, from, ui } => {
                     let _ = ui;
-                    self.handle_commit(view, seq, req, primary_ui, from, out)
+                    self.handle_commit(view, seq, batch, primary_ui, from, out)
                 }
                 _ => {}
             }
@@ -676,6 +758,12 @@ impl ReplicaNode for MinBftReplica {
                     let next = self.view + 1;
                     self.start_view_change(next, &mut staged);
                     staged.arm(REQUEST_PATIENCE, TIMER_REQUEST, token);
+                }
+            }
+            Input::Timer { kind: TIMER_FLUSH, .. } => {
+                self.batcher.on_flush_timer();
+                if self.is_primary() {
+                    self.flush_batch(&mut staged);
                 }
             }
             Input::Timer { .. } => {}
@@ -718,10 +806,17 @@ impl MinBftCluster {
     /// Builds the cluster with an explicit USIG counter protection level.
     pub fn with_protection(config: &RunConfig, protection: CounterProtection) -> Self {
         let n = 2 * config.f + 1;
+        // One provisioning pass (key derivation + HMAC key-schedule
+        // precomputation) shared by every replica via Arc.
         let ring = KeyRing::provision(config.seed, n);
         MinBftCluster {
             nodes: (0..n)
-                .map(|i| MinBftReplica::new(ReplicaId(i), config.f, ring.clone(), protection))
+                .map(|i| {
+                    let mut r =
+                        MinBftReplica::new(ReplicaId(i), config.f, ring.clone(), protection);
+                    r.set_batching(config.batch_size, config.batch_flush);
+                    r
+                })
                 .collect(),
             f: config.f,
         }
@@ -799,6 +894,43 @@ mod tests {
             minbft.messages_per_commit(),
             pbft.messages_per_commit()
         );
+    }
+
+    #[test]
+    fn batching_amortizes_usig_certificates() {
+        let unbatched = config(1, 8, 8, 71);
+        let batched = RunConfig { batch_size: 8, batch_flush: 100, ..unbatched.clone() };
+        let mut c1 = MinBftCluster::new(&unbatched);
+        let r1 = run(&mut c1, &unbatched);
+        let mut c2 = MinBftCluster::new(&batched);
+        let r2 = run(&mut c2, &batched);
+        assert_eq!(r1.committed, 64);
+        assert_eq!(r2.committed, 64);
+        assert!(r1.safety_ok && r2.safety_ok);
+        let macs = |c: &MinBftCluster| -> u64 {
+            c.nodes().iter().map(|n| { let (i, v) = n.mac_ops(); i + v }).sum()
+        };
+        let (m1, m2) = (macs(&c1), macs(&c2));
+        assert!(
+            m2 * 2 < m1,
+            "batch=8 must cut MAC operations by well over half: {m2} vs {m1}"
+        );
+        assert_eq!(c1.nodes()[0].state_digest(), c2.nodes()[0].state_digest());
+    }
+
+    #[test]
+    fn forged_ui_equivocation_is_contained_with_batching() {
+        let cfg = RunConfig {
+            batch_size: 4,
+            batch_flush: 80,
+            max_cycles: 8_000_000,
+            ..config(1, 4, 4, 73)
+        };
+        let mut cluster = MinBftCluster::new(&cfg);
+        cluster.set_behavior(ReplicaId(0), Behavior::ForgeUi);
+        let report = run(&mut cluster, &cfg);
+        assert!(report.safety_ok, "forged batch certificates must not split logs");
+        assert_eq!(report.committed, 16);
     }
 
     #[test]

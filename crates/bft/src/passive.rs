@@ -10,7 +10,8 @@
 //! cost (2 replicas, 2 messages/op) vs the failover unavailability window.
 
 use crate::api::{
-    Cluster, Endpoint, Input, LogEntry, OpId, Outbox, Reply, ReplicaId, ReplicaNode, Request,
+    BatchDecision, Batcher, Cluster, Endpoint, Input, LogEntry, OpId, Outbox, Reply, ReplicaId,
+    ReplicaNode, Request,
 };
 use crate::behavior::Behavior;
 use crate::runner::RunConfig;
@@ -21,22 +22,25 @@ use std::collections::BTreeMap;
 const TIMER_HEARTBEAT: u32 = 1;
 /// Timer kind: backup checks heartbeat freshness.
 const TIMER_DETECT: u32 = 2;
+/// Timer kind: the primary's partially filled batch waited long enough.
+const TIMER_FLUSH: u32 = 3;
 
 /// Passive-replication wire messages.
 #[derive(Debug, Clone)]
 pub enum PassiveMsg {
     /// Client request.
     Request(Request),
-    /// Primary → backup: executed operation and its result.
+    /// Primary → backup: a contiguous run of executed operations and their
+    /// results, shipped as one message (batching amortizes the per-message
+    /// cost; `ops.len() == 1` is the unbatched case).
     StateUpdate {
         /// Epoch of the sending primary.
         epoch: u64,
-        /// Log sequence.
-        seq: u64,
-        /// The executed request.
-        req: Request,
-        /// Execution result (so the backup answers retries identically).
-        result: Vec<u8>,
+        /// Log sequence of `ops[0]`; `ops[i]` has sequence `first_seq + i`.
+        first_seq: u64,
+        /// Executed `(request, result)` pairs in log order (results let the
+        /// backup answer retries identically).
+        ops: Vec<(Request, Vec<u8>)>,
     },
     /// Primary liveness signal.
     Heartbeat {
@@ -68,6 +72,8 @@ pub struct PassiveReplica {
     held_updates: BTreeMap<u64, (Request, Vec<u8>)>,
     /// Count of failovers this replica performed.
     failovers: u32,
+    /// Batching front-end (primary only).
+    batcher: Batcher,
 }
 
 impl PassiveReplica {
@@ -91,7 +97,20 @@ impl PassiveReplica {
             next_seq: 1,
             held_updates: BTreeMap::new(),
             failovers: 0,
+            batcher: Batcher::new(),
         }
+    }
+
+    /// Configures the batching front-end: execute-and-ship a batch at
+    /// `batch_size` requests, or after `batch_flush` cycles.
+    pub fn set_batching(&mut self, batch_size: usize, batch_flush: u64) {
+        self.batcher.configure(batch_size, batch_flush);
+    }
+
+    /// Digest of the replica's current state-machine state (for
+    /// batched-vs-unbatched equivalence checks).
+    pub fn state_digest(&self) -> [u8; 32] {
+        self.machine.state_digest()
     }
 
     /// Sets this replica's behaviour.
@@ -142,31 +161,53 @@ impl PassiveReplica {
         if !self.is_primary() {
             return; // backups ignore requests — the failover gap E4 measures
         }
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        let result = self.machine.apply(&req.payload);
-        self.log.push(LogEntry { seq, op: req.op, digest: req.digest() });
-        self.executed.insert(req.op, result.clone());
+        match self.batcher.offer(req) {
+            BatchDecision::Seal => self.flush_batch(out),
+            BatchDecision::ArmTimer => out.arm(self.batcher.flush_cycles(), TIMER_FLUSH, 0),
+            BatchDecision::Wait | BatchDecision::Duplicate => {}
+        }
+    }
+
+    /// Executes the accumulated requests and ships them to the backup as a
+    /// single state update.
+    fn flush_batch(&mut self, out: &mut Outbox<PassiveMsg>) {
+        let executed = &self.executed;
+        let reqs = self.batcher.drain(|r| !executed.contains_key(&r.op));
+        if reqs.is_empty() {
+            return;
+        }
+        let first_seq = self.next_seq;
+        let mut ops = Vec::with_capacity(reqs.len());
+        for req in reqs {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let result = self.machine.apply(&req.payload);
+            self.log.push(LogEntry { seq, op: req.op, digest: req.digest() });
+            self.executed.insert(req.op, result.clone());
+            out.send(
+                Endpoint::Client(req.op.client),
+                PassiveMsg::Reply(Reply { replica: self.id, op: req.op, result: result.clone() }),
+            );
+            ops.push((req, result));
+        }
         out.send(
             Endpoint::Replica(self.peer()),
-            PassiveMsg::StateUpdate { epoch: self.epoch, seq, req: req.clone(), result: result.clone() },
-        );
-        out.send(
-            Endpoint::Client(req.op.client),
-            PassiveMsg::Reply(Reply { replica: self.id, op: req.op, result }),
+            PassiveMsg::StateUpdate { epoch: self.epoch, first_seq, ops },
         );
     }
 
-    fn handle_state_update(&mut self, epoch: u64, seq: u64, req: Request, result: Vec<u8>) {
+    fn handle_state_update(&mut self, epoch: u64, first_seq: u64, ops: Vec<(Request, Vec<u8>)>) {
         if epoch < self.epoch || self.is_primary() {
             return; // stale update from a deposed primary
         }
-        if self.executed.contains_key(&req.op) {
-            return;
-        }
         // Updates can be reordered by the interconnect; hold back until the
         // predecessor applied so the backup's log mirrors the primary's.
-        self.held_updates.insert(seq, (req, result));
+        for (i, (req, result)) in ops.into_iter().enumerate() {
+            if self.executed.contains_key(&req.op) {
+                continue;
+            }
+            self.held_updates.insert(first_seq + i as u64, (req, result));
+        }
         loop {
             let next = self.log.len() as u64 + 1;
             let Some((req, result)) = self.held_updates.remove(&next) else { break };
@@ -194,8 +235,8 @@ impl ReplicaNode for PassiveReplica {
         match input {
             Input::Message { from: _, msg } => match msg {
                 PassiveMsg::Request(req) => self.handle_request(req, &mut staged),
-                PassiveMsg::StateUpdate { epoch, seq, req, result } => {
-                    self.handle_state_update(epoch, seq, req, result)
+                PassiveMsg::StateUpdate { epoch, first_seq, ops } => {
+                    self.handle_state_update(epoch, first_seq, ops)
                 }
                 PassiveMsg::Heartbeat { epoch, from: _ } => {
                     if epoch >= self.epoch {
@@ -205,6 +246,12 @@ impl ReplicaNode for PassiveReplica {
                 }
                 PassiveMsg::Reply(_) => {}
             },
+            Input::Timer { kind: TIMER_FLUSH, .. } => {
+                self.batcher.on_flush_timer();
+                if self.is_primary() {
+                    self.flush_batch(&mut staged);
+                }
+            }
             Input::Timer { kind: TIMER_HEARTBEAT, .. } => {
                 if self.is_primary() {
                     staged.send(
@@ -264,8 +311,12 @@ pub struct PassiveCluster {
 impl PassiveCluster {
     /// Builds the pair with default detector settings (heartbeat every 200
     /// cycles, suspect after 800).
-    pub fn new(_config: &RunConfig) -> Self {
-        Self::with_detector(200, 800)
+    pub fn new(config: &RunConfig) -> Self {
+        let mut cluster = Self::with_detector(200, 800);
+        for node in &mut cluster.nodes {
+            node.set_batching(config.batch_size, config.batch_flush);
+        }
+        cluster
     }
 
     /// Builds the pair with explicit detector settings.
@@ -343,6 +394,21 @@ mod tests {
         let passive = run(&mut PassiveCluster::new(&cfg), &cfg);
         let minbft = run(&mut crate::minbft::MinBftCluster::new(&cfg), &cfg);
         assert!(passive.messages_per_commit() < minbft.messages_per_commit());
+    }
+
+    #[test]
+    fn batched_state_updates_mirror_the_log() {
+        let cfg = RunConfig { batch_size: 4, batch_flush: 60, ..config(4, 8, 53) };
+        let mut cluster = PassiveCluster::new(&cfg);
+        let report = run(&mut cluster, &cfg);
+        assert_eq!(report.committed, 32);
+        assert!(report.safety_ok);
+        assert_eq!(cluster.nodes()[1].committed_log().len(), 32);
+        assert_eq!(
+            cluster.nodes()[0].state_digest(),
+            cluster.nodes()[1].state_digest(),
+            "backup replays batched updates to the identical state"
+        );
     }
 
     #[test]

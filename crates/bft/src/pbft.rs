@@ -12,7 +12,8 @@
 //! view-change forgery.
 
 use crate::api::{
-    Cluster, Endpoint, Input, LogEntry, OpId, Outbox, Reply, ReplicaId, ReplicaNode, Request,
+    Batch, BatchDecision, Batcher, Cluster, Endpoint, Input, LogEntry, OpId, Outbox, Reply,
+    ReplicaId, ReplicaNode, Request,
 };
 use crate::behavior::Behavior;
 use crate::runner::RunConfig;
@@ -21,6 +22,8 @@ use std::collections::{BTreeMap, BTreeSet};
 
 /// Timer kind: a backup's patience for a pending request ran out.
 const TIMER_REQUEST: u32 = 1;
+/// Timer kind: the primary's partially filled batch waited long enough.
+const TIMER_FLUSH: u32 = 2;
 /// Cycles a backup waits for a request to commit before suspecting the
 /// primary.
 const REQUEST_PATIENCE: u64 = 1_500;
@@ -30,14 +33,14 @@ const REQUEST_PATIENCE: u64 = 1_500;
 pub enum PbftMsg {
     /// Client request (client → all replicas).
     Request(Request),
-    /// Primary's ordering proposal.
+    /// Primary's ordering proposal: one agreement slot per *batch*.
     PrePrepare {
         /// View the proposal belongs to.
         view: u64,
         /// Global sequence number.
         seq: u64,
-        /// The full request.
-        req: Request,
+        /// The full request batch.
+        batch: Batch,
     },
     /// Backup's agreement to the proposal.
     Prepare {
@@ -70,20 +73,20 @@ pub enum PbftMsg {
         /// Voter.
         from: ReplicaId,
         /// Entries prepared at the voter (must survive the view change).
-        prepared: Vec<(u64, Request)>,
+        prepared: Vec<(u64, Batch)>,
     },
     /// New primary's installation message.
     NewView {
         /// The installed view.
         view: u64,
-        /// Re-proposed `(seq, request)` pairs.
-        preprepares: Vec<(u64, Request)>,
+        /// Re-proposed `(seq, batch)` pairs.
+        preprepares: Vec<(u64, Batch)>,
     },
 }
 
 #[derive(Debug, Default)]
 struct Slot {
-    req: Option<Request>,
+    batch: Option<Batch>,
     digest: Option<[u8; 32]>,
     prepares: BTreeSet<ReplicaId>,
     commits: BTreeSet<ReplicaId>,
@@ -108,12 +111,15 @@ pub struct PbftReplica {
     log: Vec<LogEntry>,
     exec_upto: u64,
     machine: KvStore,
-    vc_votes: BTreeMap<u64, BTreeMap<ReplicaId, Vec<(u64, Request)>>>,
+    vc_votes: BTreeMap<u64, BTreeMap<ReplicaId, Vec<(u64, Batch)>>>,
     vc_sent_for: u64,
+    /// Batching front-end (primary only).
+    batcher: Batcher,
 }
 
 impl PbftReplica {
-    /// Creates replica `id` of an `n = 3f+1` cluster.
+    /// Creates replica `id` of an `n = 3f+1` cluster (unbatched; see
+    /// [`Self::set_batching`]).
     pub fn new(id: ReplicaId, f: u32) -> Self {
         PbftReplica {
             id,
@@ -132,7 +138,20 @@ impl PbftReplica {
             machine: KvStore::new(),
             vc_votes: BTreeMap::new(),
             vc_sent_for: 0,
+            batcher: Batcher::new(),
         }
+    }
+
+    /// Configures the batching front-end: seal a batch at `batch_size`
+    /// requests, or after `batch_flush` cycles, whichever comes first.
+    pub fn set_batching(&mut self, batch_size: usize, batch_flush: u64) {
+        self.batcher.configure(batch_size, batch_flush);
+    }
+
+    /// Digest of the replica's current state-machine state (for
+    /// batched-vs-unbatched equivalence checks).
+    pub fn state_digest(&self) -> [u8; 32] {
+        self.machine.state_digest()
     }
 
     /// Sets this replica's (mis)behaviour.
@@ -184,21 +203,11 @@ impl PbftReplica {
                 self.reannounce_commit(seq, out);
                 return;
             }
-            let seq = self.next_seq;
-            self.next_seq += 1;
-            self.assigned.insert(req.op, seq);
-            if self.behavior == Behavior::Equivocate {
-                self.equivocate(seq, req, out);
-                return;
+            match self.batcher.offer(req) {
+                BatchDecision::Seal => self.flush_batch(out),
+                BatchDecision::ArmTimer => out.arm(self.batcher.flush_cycles(), TIMER_FLUSH, 0),
+                BatchDecision::Wait | BatchDecision::Duplicate => {}
             }
-            let digest = req.digest();
-            let slot = self.slots.entry(seq).or_default();
-            slot.req = Some(req.clone());
-            slot.digest = Some(digest);
-            slot.prepares.insert(self.id);
-            let pp = PbftMsg::PrePrepare { view: self.view, seq, req };
-            self.stored_preprepares.insert(seq, pp.clone());
-            out.broadcast(self.n, self.id, pp);
         } else {
             // Backup: remember the request and watch the primary.
             let token = Self::op_token(req.op);
@@ -209,20 +218,58 @@ impl PbftReplica {
         }
     }
 
-    /// Byzantine primary: proposes conflicting requests for the same
+    /// Seals the accumulated requests into one batch and proposes it: one
+    /// agreement round (and one digest computation) for up to `batch_size`
+    /// requests.
+    fn flush_batch(&mut self, out: &mut Outbox<PbftMsg>) {
+        // Requests can go stale in the accumulator across a view change
+        // (proposed by the new primary, then this replica re-elected).
+        let executed = &self.executed;
+        let assigned = &self.assigned;
+        let reqs = self
+            .batcher
+            .drain(|r| !executed.contains_key(&r.op) && !assigned.contains_key(&r.op));
+        if reqs.is_empty() {
+            return;
+        }
+        let batch = Batch::new(reqs);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        for r in batch.requests() {
+            self.assigned.insert(r.op, seq);
+        }
+        if self.behavior == Behavior::Equivocate {
+            self.equivocate(seq, batch, out);
+            return;
+        }
+        let digest = batch.digest();
+        let slot = self.slots.entry(seq).or_default();
+        slot.batch = Some(batch.clone());
+        slot.digest = Some(digest);
+        slot.prepares.insert(self.id);
+        let pp = PbftMsg::PrePrepare { view: self.view, seq, batch };
+        self.stored_preprepares.insert(seq, pp.clone());
+        out.broadcast(self.n, self.id, pp);
+    }
+
+    /// Byzantine primary: proposes conflicting batches for the same
     /// sequence number to two halves of the backups (and votes for both).
-    fn equivocate(&mut self, seq: u64, req: Request, out: &mut Outbox<PbftMsg>) {
-        let mut evil = req.clone();
-        evil.payload.reverse();
+    fn equivocate(&mut self, seq: u64, batch: Batch, out: &mut Outbox<PbftMsg>) {
+        let mut evil_reqs = batch.requests().to_vec();
+        for r in &mut evil_reqs {
+            r.payload.reverse();
+        }
+        let evil = Batch::new(evil_reqs);
         let half = self.n / 2;
         for i in 0..self.n {
             if i == self.id.0 {
                 continue;
             }
-            let (r, d) = if i < half { (&req, req.digest()) } else { (&evil, evil.digest()) };
+            let b = if i < half { &batch } else { &evil };
+            let d = b.digest();
             out.send(
                 Endpoint::Replica(ReplicaId(i)),
-                PbftMsg::PrePrepare { view: self.view, seq, req: r.clone() },
+                PbftMsg::PrePrepare { view: self.view, seq, batch: b.clone() },
             );
             out.send(
                 Endpoint::Replica(ReplicaId(i)),
@@ -235,14 +282,17 @@ impl PbftReplica {
         }
     }
 
-    fn handle_preprepare(&mut self, from: Endpoint, view: u64, seq: u64, req: Request, out: &mut Outbox<PbftMsg>) {
+    fn handle_preprepare(&mut self, from: Endpoint, view: u64, seq: u64, batch: Batch, out: &mut Outbox<PbftMsg>) {
         if view != self.view {
             return;
         }
         if from != Endpoint::Replica(self.primary_of(view)) {
             return; // only the view's primary may pre-prepare
         }
-        let digest = req.digest();
+        if batch.is_empty() || !batch.verify() {
+            return; // content does not match the claimed digest
+        }
+        let digest = batch.digest();
         let primary = self.primary_of(view);
         let me = self.id;
         let slot = self.slots.entry(seq).or_default();
@@ -254,11 +304,14 @@ impl PbftReplica {
         if slot.executed {
             return;
         }
-        slot.req = Some(req.clone());
+        for r in batch.requests() {
+            self.assigned.insert(r.op, seq);
+        }
+        let slot = self.slots.entry(seq).or_default();
+        slot.batch = Some(batch);
         slot.digest = Some(digest);
         slot.prepares.insert(primary);
         slot.prepares.insert(me);
-        self.assigned.insert(req.op, seq);
         out.broadcast(
             self.n,
             self.id,
@@ -334,7 +387,7 @@ impl PbftReplica {
             let ready = match self.slots.get(&next) {
                 Some(slot) => {
                     !slot.executed
-                        && slot.req.is_some()
+                        && slot.batch.is_some()
                         && slot.sent_commit
                         && slot.commits.len() >= quorum
                 }
@@ -345,26 +398,32 @@ impl PbftReplica {
             }
             let slot = self.slots.get_mut(&next).expect("checked");
             slot.executed = true;
-            let req = slot.req.clone().expect("checked");
+            let batch = slot.batch.clone().expect("checked");
             let digest = slot.digest.expect("checked");
             self.exec_upto = next;
-            let result = self.machine.apply(&req.payload);
-            self.log.push(LogEntry { seq: next, op: req.op, digest });
-            self.executed.insert(req.op, result.clone());
-            self.pending.remove(&Self::op_token(req.op));
-            out.send(
-                Endpoint::Client(req.op.client),
-                PbftMsg::Reply(Reply { replica: self.id, op: req.op, result }),
-            );
+            // One agreement slot commits the whole batch; the log stays
+            // per-request (dense global sequence) so latency and safety
+            // accounting remain per-operation.
+            for req in batch.requests() {
+                let log_seq = self.log.len() as u64 + 1;
+                let result = self.machine.apply(&req.payload);
+                self.log.push(LogEntry { seq: log_seq, op: req.op, digest });
+                self.executed.insert(req.op, result.clone());
+                self.pending.remove(&Self::op_token(req.op));
+                out.send(
+                    Endpoint::Client(req.op.client),
+                    PbftMsg::Reply(Reply { replica: self.id, op: req.op, result }),
+                );
+            }
         }
     }
 
-    fn prepared_uncommitted(&self) -> Vec<(u64, Request)> {
+    fn prepared_uncommitted(&self) -> Vec<(u64, Batch)> {
         let quorum = self.quorum();
         self.slots
             .iter()
             .filter(|(_, s)| !s.executed && s.prepares.len() >= quorum)
-            .filter_map(|(seq, s)| s.req.clone().map(|r| (*seq, r)))
+            .filter_map(|(seq, s)| s.batch.clone().map(|b| (*seq, b)))
             .collect()
     }
 
@@ -390,7 +449,7 @@ impl PbftReplica {
         &mut self,
         new_view: u64,
         from: ReplicaId,
-        prepared: Vec<(u64, Request)>,
+        prepared: Vec<(u64, Batch)>,
         out: &mut Outbox<PbftMsg>,
     ) {
         if new_view <= self.view {
@@ -414,31 +473,37 @@ impl PbftReplica {
         }
         // Become primary of the new view: gather every prepared entry and
         // re-propose; pending-but-unprepared requests get fresh sequences.
-        let mut repropose: BTreeMap<u64, Request> = BTreeMap::new();
+        let mut repropose: BTreeMap<u64, Batch> = BTreeMap::new();
         for entries in votes.values() {
-            for (seq, req) in entries {
-                repropose.entry(*seq).or_insert_with(|| req.clone());
+            for (seq, batch) in entries {
+                repropose.entry(*seq).or_insert_with(|| batch.clone());
             }
         }
         // Also re-propose our own prepared-but-unexecuted entries.
-        for (seq, req) in self.prepared_uncommitted() {
-            repropose.entry(seq).or_insert(req);
+        for (seq, batch) in self.prepared_uncommitted() {
+            repropose.entry(seq).or_insert(batch);
         }
         self.view = new_view;
         let max_seq = repropose.keys().max().copied().unwrap_or(self.exec_upto);
         self.next_seq = self.next_seq.max(max_seq + 1);
-        // Pending requests not covered get new slots.
-        let covered: BTreeSet<OpId> = repropose.values().map(|r| r.op).collect();
-        let pending: Vec<Request> = self.pending.values().cloned().collect();
-        for req in pending {
-            if covered.contains(&req.op) || self.executed.contains_key(&req.op) {
-                continue;
-            }
+        // Pending requests not covered get new slots, re-batched at the
+        // configured batch size.
+        let covered: BTreeSet<OpId> = repropose
+            .values()
+            .flat_map(|b| b.requests().iter().map(|r| r.op))
+            .collect();
+        let pending: Vec<Request> = self
+            .pending
+            .values()
+            .filter(|r| !covered.contains(&r.op) && !self.executed.contains_key(&r.op))
+            .cloned()
+            .collect();
+        for chunk in pending.chunks(self.batcher.batch_size()) {
             let seq = self.next_seq;
             self.next_seq += 1;
-            repropose.insert(seq, req);
+            repropose.insert(seq, Batch::new(chunk.to_vec()));
         }
-        let preprepares: Vec<(u64, Request)> =
+        let preprepares: Vec<(u64, Batch)> =
             repropose.into_iter().collect();
         // Install locally.
         self.install_new_view(new_view, &preprepares, out);
@@ -449,7 +514,7 @@ impl PbftReplica {
         );
     }
 
-    fn install_new_view(&mut self, view: u64, preprepares: &[(u64, Request)], out: &mut Outbox<PbftMsg>) {
+    fn install_new_view(&mut self, view: u64, preprepares: &[(u64, Batch)], out: &mut Outbox<PbftMsg>) {
         self.view = view;
         self.vc_sent_for = self.vc_sent_for.max(view);
         // Reset vote state for uncommitted slots; re-run agreement in the new view.
@@ -461,7 +526,7 @@ impl PbftReplica {
                 let _ = seq;
             }
         }
-        for (seq, req) in preprepares {
+        for (seq, batch) in preprepares {
             if self
                 .slots
                 .get(seq)
@@ -470,19 +535,21 @@ impl PbftReplica {
             {
                 continue;
             }
-            let digest = req.digest();
+            let digest = batch.digest();
             let primary = self.primary_of(view);
             let me = self.id;
+            for r in batch.requests() {
+                self.assigned.insert(r.op, *seq);
+            }
             let slot = self.slots.entry(*seq).or_default();
-            slot.req = Some(req.clone());
+            slot.batch = Some(batch.clone());
             slot.digest = Some(digest);
             slot.prepares.insert(primary);
             slot.prepares.insert(me);
-            self.assigned.insert(req.op, *seq);
             if primary == me {
                 self.stored_preprepares.insert(
                     *seq,
-                    PbftMsg::PrePrepare { view, seq: *seq, req: req.clone() },
+                    PbftMsg::PrePrepare { view, seq: *seq, batch: batch.clone() },
                 );
             }
             out.broadcast(
@@ -497,7 +564,7 @@ impl PbftReplica {
         }
     }
 
-    fn handle_new_view(&mut self, view: u64, preprepares: Vec<(u64, Request)>, from: Endpoint, out: &mut Outbox<PbftMsg>) {
+    fn handle_new_view(&mut self, view: u64, preprepares: Vec<(u64, Batch)>, from: Endpoint, out: &mut Outbox<PbftMsg>) {
         if view <= self.view && self.view != 0 {
             return;
         }
@@ -528,8 +595,8 @@ impl ReplicaNode for PbftReplica {
         match input {
             Input::Message { from, msg } => match msg {
                 PbftMsg::Request(req) => self.handle_request(req, &mut staged),
-                PbftMsg::PrePrepare { view, seq, req } => {
-                    self.handle_preprepare(from, view, seq, req, &mut staged)
+                PbftMsg::PrePrepare { view, seq, batch } => {
+                    self.handle_preprepare(from, view, seq, batch, &mut staged)
                 }
                 PbftMsg::Prepare { view, seq, digest, from } => {
                     self.handle_prepare(view, seq, digest, from, &mut staged)
@@ -551,6 +618,12 @@ impl ReplicaNode for PbftReplica {
                     self.start_view_change(next, &mut staged);
                     // Keep watching: if the new view also stalls, escalate.
                     staged.arm(REQUEST_PATIENCE, TIMER_REQUEST, token);
+                }
+            }
+            Input::Timer { kind: TIMER_FLUSH, .. } => {
+                self.batcher.on_flush_timer();
+                if self.is_primary() {
+                    self.flush_batch(&mut staged);
                 }
             }
             Input::Timer { .. } => {}
@@ -590,7 +663,13 @@ impl PbftCluster {
     pub fn new(config: &RunConfig) -> Self {
         let n = 3 * config.f + 1;
         PbftCluster {
-            nodes: (0..n).map(|i| PbftReplica::new(ReplicaId(i), config.f)).collect(),
+            nodes: (0..n)
+                .map(|i| {
+                    let mut r = PbftReplica::new(ReplicaId(i), config.f);
+                    r.set_batching(config.batch_size, config.batch_flush);
+                    r
+                })
+                .collect(),
             f: config.f,
         }
     }
@@ -658,6 +737,53 @@ mod tests {
         for node in cluster.nodes() {
             assert_eq!(node.committed_log().len(), 20);
         }
+    }
+
+    #[test]
+    fn batched_commits_everything_with_fewer_messages() {
+        let unbatched = config(1, 8, 8, 57);
+        let batched = RunConfig { batch_size: 8, batch_flush: 100, ..unbatched.clone() };
+        let mut c1 = PbftCluster::new(&unbatched);
+        let r1 = run(&mut c1, &unbatched);
+        let mut c2 = PbftCluster::new(&batched);
+        let r2 = run(&mut c2, &batched);
+        assert_eq!(r1.committed, 64);
+        assert_eq!(r2.committed, 64);
+        assert!(r1.safety_ok && r2.safety_ok);
+        assert!(
+            r2.messages_per_commit() < r1.messages_per_commit() / 2.0,
+            "batch=8 must amortize protocol messages: {:.1} vs {:.1}",
+            r2.messages_per_commit(),
+            r1.messages_per_commit()
+        );
+        // Same request schedule -> same final state, batched or not.
+        assert_eq!(c1.nodes()[0].state_digest(), c2.nodes()[0].state_digest());
+    }
+
+    #[test]
+    fn partial_batches_flush_on_timeout() {
+        // 3 clients with batch_size 8: batches can never fill, so progress
+        // relies entirely on the flush timer.
+        let cfg = RunConfig { batch_size: 8, batch_flush: 50, ..config(1, 3, 5, 59) };
+        let mut cluster = PbftCluster::new(&cfg);
+        let report = run(&mut cluster, &cfg);
+        assert_eq!(report.committed, 15);
+        assert!(report.safety_ok);
+    }
+
+    #[test]
+    fn equivocating_primary_cannot_break_safety_with_batching() {
+        let cfg = RunConfig {
+            batch_size: 4,
+            batch_flush: 80,
+            max_cycles: 5_000_000,
+            ..config(1, 4, 4, 61)
+        };
+        let mut cluster = PbftCluster::new(&cfg);
+        cluster.set_behavior(ReplicaId(0), Behavior::Equivocate);
+        let report = run(&mut cluster, &cfg);
+        assert!(report.safety_ok, "batched equivocation must not split logs");
+        assert_eq!(report.committed, 16);
     }
 
     #[test]

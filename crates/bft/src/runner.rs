@@ -79,6 +79,18 @@ pub struct RunConfig {
     pub drop_rate: f64,
     /// Payload bytes per request.
     pub payload_size: usize,
+    /// Maximum requests agreed on as one consensus unit (1 = unbatched).
+    /// The primary seals a batch as soon as this many requests accumulate.
+    pub batch_size: usize,
+    /// Cycles a partially filled batch may wait before the primary flushes
+    /// it anyway (bounds batching's latency cost). Must stay well below the
+    /// backups' request-patience and the client timeout.
+    pub batch_flush: u64,
+    /// Cycles a replica's egress port is occupied serializing each outgoing
+    /// message (NoC packetization, header flits, MAC check-in). This is the
+    /// per-message fixed cost that batching amortizes; 0 models infinite
+    /// interface bandwidth (messages are free in virtual time).
+    pub link_occupancy: u64,
 }
 
 impl Default for RunConfig {
@@ -93,6 +105,9 @@ impl Default for RunConfig {
             max_cycles: 2_000_000,
             drop_rate: 0.0,
             payload_size: 16,
+            batch_size: 1,
+            batch_flush: 200,
+            link_occupancy: 0,
         }
     }
 }
@@ -120,6 +135,8 @@ pub struct RunReport {
     pub safety_ok: bool,
     /// Virtual duration of the run.
     pub duration_cycles: u64,
+    /// Batch size the run was configured with (for reports).
+    pub batch_size: usize,
 }
 
 impl RunReport {
@@ -169,6 +186,7 @@ pub fn run<C: Cluster>(cluster: &mut C, config: &RunConfig) -> RunReport {
     let mut slots: BTreeMap<u64, Queued<<C::Node as ReplicaNode>::Msg>> = BTreeMap::new();
     let mut next_slot: u64 = 0;
     let mut now: u64 = 0;
+    let mut egress_free: Vec<u64> = vec![0; n];
 
     let mut messages_total = 0u64;
     let mut messages_protocol = 0u64;
@@ -245,6 +263,7 @@ pub fn run<C: Cluster>(cluster: &mut C, config: &RunConfig) -> RunReport {
                         now,
                         config,
                         &mut rng,
+                        &mut egress_free,
                         &mut messages_total,
                         &mut messages_protocol,
                         &mut |at, ev| {
@@ -301,6 +320,7 @@ pub fn run<C: Cluster>(cluster: &mut C, config: &RunConfig) -> RunReport {
                     now,
                     config,
                     &mut rng,
+                    &mut egress_free,
                     &mut messages_total,
                     &mut messages_protocol,
                     &mut |at, ev| {
@@ -350,6 +370,45 @@ pub fn run<C: Cluster>(cluster: &mut C, config: &RunConfig) -> RunReport {
         }
     }
 
+    // Quiesce: the workload is over, but messages already in flight (e.g.
+    // the final state update or commit round) still reach their replicas,
+    // as do the cascades they trigger. Timers are dropped — no new
+    // workload can start — and `now` stays frozen at the break point so
+    // throughput is measured over the active phase only. Bounded because
+    // without timers every protocol's message cascades are finite.
+    if clients.iter().all(|c| c.done >= c.target) {
+        let mut drained = 0u64;
+        while let Some(Reverse((at, slot))) = queue.pop() {
+            if at > config.max_cycles || drained > 5_000_000 {
+                break;
+            }
+            drained += 1;
+            let ev = slots.remove(&slot).expect("slot present");
+            let Queued::Deliver { from, to: Endpoint::Replica(r), msg } = ev else { continue };
+            let mut out = crate::api::Outbox::new();
+            cluster.nodes_mut()[r.0 as usize].on_input(Input::Message { from, msg }, at, &mut out);
+            route_outbox::<C>(
+                r,
+                out,
+                at,
+                config,
+                &mut rng,
+                &mut egress_free,
+                &mut messages_total,
+                &mut messages_protocol,
+                &mut |at2, ev| {
+                    // Deliveries keep flowing; timers die with the run.
+                    if matches!(ev, Queued::Deliver { .. }) {
+                        let slot = next_slot;
+                        next_slot += 1;
+                        slots.insert(slot, ev);
+                        queue.push(Reverse((at2, slot)));
+                    }
+                },
+            );
+        }
+    }
+
     let requested: u64 = clients.iter().map(|c| c.done + c.outstanding.is_some() as u64).sum();
     let retries = clients.iter().map(|c| c.retries).sum();
     let safety_ok = check_safety(cluster);
@@ -365,6 +424,7 @@ pub fn run<C: Cluster>(cluster: &mut C, config: &RunConfig) -> RunReport {
         client_retries: retries,
         safety_ok,
         duration_cycles: now,
+        batch_size: config.batch_size,
     }
 }
 
@@ -386,9 +446,18 @@ fn client_issue<C: Cluster>(
     }
     let seq = client.next_seq;
     client.next_seq += 1;
+    // Payload filler comes from a PRNG keyed by (seed, client, seq), NOT
+    // the shared run RNG: request contents are then a pure function of the
+    // request's identity, so runs that interleave differently (batched vs
+    // unbatched, different latency models) execute identical commands.
+    let mut payload_rng = SimRng::new(
+        config.seed
+            ^ ((client.id.0 as u64 + 1) << 40)
+            ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    );
     let mut payload = vec![0u8; config.payload_size];
     for b in payload.iter_mut() {
-        *b = rng.next_u32() as u8;
+        *b = payload_rng.next_u32() as u8;
     }
     // Make payloads printable KV sets so state machines do real work.
     let text = format!("SET k{} v{}", client.id.0, seq);
@@ -419,11 +488,24 @@ fn route_outbox<C: Cluster>(
     now: u64,
     config: &RunConfig,
     rng: &mut SimRng,
+    egress_free: &mut [u64],
     messages_total: &mut u64,
     messages_protocol: &mut u64,
     push: &mut dyn FnMut(u64, Queued<<C::Node as ReplicaNode>::Msg>),
 ) {
     for (to, msg) in out.msgs {
+        // Sender-side serialization: each message occupies the replica's
+        // egress port for `link_occupancy` cycles, so a burst departs
+        // back-to-back rather than simultaneously. This charges the
+        // per-message fixed cost that batching amortizes; lost messages
+        // still occupy the port (they were physically sent).
+        let depart = if config.link_occupancy > 0 {
+            let free = egress_free[from.0 as usize].max(now) + config.link_occupancy;
+            egress_free[from.0 as usize] = free;
+            free
+        } else {
+            now
+        };
         if let Endpoint::Replica(_) = to {
             *messages_protocol += 1;
             if rng.chance(config.drop_rate) {
@@ -433,7 +515,7 @@ fn route_outbox<C: Cluster>(
         }
         *messages_total += 1;
         let delay = config.latency.sample(Endpoint::Replica(from), to, rng);
-        push(now + delay, Queued::Deliver { from: Endpoint::Replica(from), to, msg });
+        push(depart + delay, Queued::Deliver { from: Endpoint::Replica(from), to, msg });
     }
     for (delay, kind, token) in out.timers {
         push(now + delay, Queued::ReplicaTimer { replica: from, kind, token });
@@ -451,7 +533,8 @@ pub fn check_safety<C: Cluster>(cluster: &C) -> bool {
             let lb = cluster.nodes()[b.0 as usize].committed_log();
             let common = la.len().min(lb.len());
             for k in 0..common {
-                if la[k].seq != lb[k].seq || la[k].digest != lb[k].digest {
+                if la[k].seq != lb[k].seq || la[k].op != lb[k].op || la[k].digest != lb[k].digest
+                {
                     return false;
                 }
             }

@@ -1,19 +1,50 @@
 //! HMAC-SHA-256 (RFC 2104) and MAC key/tag newtypes.
 
 use crate::sha256::Sha256;
+use std::fmt;
 
 /// A 256-bit MAC key held by a hybrid or the reconfiguration controller.
 ///
-/// The key is deliberately *not* `Copy` and offers no `Display`, modelling
-/// the paper's requirement that hybrid secrets never leave the trusted
-/// perimeter except through explicit sharing at provisioning time.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct MacKey([u8; 32]);
+/// The key is deliberately *not* `Copy`, offers no `Display`, and redacts
+/// its `Debug` output, modelling the paper's requirement that hybrid
+/// secrets never leave the trusted perimeter except through explicit
+/// sharing at provisioning time.
+///
+/// Construction precomputes the HMAC key schedule — the SHA-256
+/// compression states of the key's inner (`⊕ 0x36`) and outer (`⊕ 0x5c`)
+/// pad blocks — so [`MacKey::mac`] / [`MacKey::verify`] pay zero
+/// key-dependent compressions per message instead of two. On the consensus
+/// hot path (one MAC per protocol message per replica) this is the
+/// difference between 4 and 2 compressions for a short message.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct MacKey {
+    key: [u8; 32],
+    /// Compression state after absorbing the inner pad block.
+    inner: [u32; 8],
+    /// Compression state after absorbing the outer pad block.
+    outer: [u32; 8],
+}
+
+impl fmt::Debug for MacKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("MacKey(..)")
+    }
+}
 
 impl MacKey {
-    /// Wraps raw key bytes.
+    /// Wraps raw key bytes and precomputes the pad-block key schedule.
     pub fn from_bytes(bytes: [u8; 32]) -> Self {
-        MacKey(bytes)
+        let mut ipad = [0x36u8; 64];
+        let mut opad = [0x5cu8; 64];
+        for i in 0..32 {
+            ipad[i] ^= bytes[i];
+            opad[i] ^= bytes[i];
+        }
+        let mut hi = Sha256::new();
+        hi.update(&ipad);
+        let mut ho = Sha256::new();
+        ho.update(&opad);
+        MacKey { key: bytes, inner: hi.midstate(), outer: ho.midstate() }
     }
 
     /// Derives a key from a 64-bit provisioning seed and a role label.
@@ -25,12 +56,37 @@ impl MacKey {
         h.update(&seed.to_le_bytes());
         h.update(b"/rsoc-key/");
         h.update(label.as_bytes());
-        MacKey(h.finalize())
+        Self::from_bytes(h.finalize())
     }
 
     /// Raw key material (for the HMAC circuit inside the trusted perimeter).
     pub fn as_bytes(&self) -> &[u8; 32] {
-        &self.0
+        &self.key
+    }
+
+    /// HMAC-SHA-256 over `msg` using the cached key schedule.
+    ///
+    /// Bit-identical to [`hmac_sha256`] with this key, but resumes from the
+    /// precomputed pad midstates instead of re-absorbing both 64-byte pad
+    /// blocks per call.
+    ///
+    /// ```
+    /// let key = rsoc_crypto::MacKey::derive(7, "replica-0");
+    /// let msg = b"prepare view=0 seq=1";
+    /// assert_eq!(key.mac(msg), rsoc_crypto::hmac_sha256(key.as_bytes(), msg));
+    /// ```
+    pub fn mac(&self, msg: &[u8]) -> Tag {
+        let mut h = Sha256::from_midstate(self.inner, 1);
+        h.update(msg);
+        let inner_digest = h.finalize();
+        let mut o = Sha256::from_midstate(self.outer, 1);
+        o.update(&inner_digest);
+        Tag(o.finalize())
+    }
+
+    /// Constant-shape verification against the cached key schedule.
+    pub fn verify(&self, msg: &[u8], tag: &Tag) -> bool {
+        ct_eq(&self.mac(msg).0, &tag.0)
     }
 }
 
@@ -87,10 +143,14 @@ pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> Tag {
 /// Uses a branch-free byte comparison; timing side channels are out of scope
 /// for the simulation but the discipline costs nothing.
 pub fn hmac_verify(key: &[u8], msg: &[u8], tag: &Tag) -> bool {
-    let expect = hmac_sha256(key, msg);
+    ct_eq(&hmac_sha256(key, msg).0, &tag.0)
+}
+
+/// Branch-free 32-byte comparison.
+fn ct_eq(a: &[u8; 32], b: &[u8; 32]) -> bool {
     let mut diff = 0u8;
-    for (a, b) in expect.0.iter().zip(tag.0.iter()) {
-        diff |= a ^ b;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
     }
     diff == 0
 }
@@ -159,6 +219,48 @@ mod tests {
         assert_eq!(MacKey::derive(7, "a"), MacKey::derive(7, "a"));
         assert_ne!(MacKey::derive(7, "a"), MacKey::derive(7, "b"));
         assert_ne!(MacKey::derive(7, "a"), MacKey::derive(8, "a"));
+    }
+
+    #[test]
+    fn cached_schedule_matches_reference_at_all_boundary_lengths() {
+        // Message lengths straddling every padding/block boundary.
+        let key = MacKey::derive(0xC0FFEE, "schedule");
+        for len in [0usize, 1, 31, 32, 55, 56, 63, 64, 65, 127, 128, 129, 1000] {
+            let msg: Vec<u8> = (0..len).map(|i| (i * 131 % 251) as u8).collect();
+            let reference = hmac_sha256(key.as_bytes(), &msg);
+            assert_eq!(key.mac(&msg), reference, "len {len}");
+            assert!(key.verify(&msg, &reference));
+        }
+    }
+
+    #[test]
+    fn cached_schedule_matches_rfc4231_zero_extended() {
+        // RFC 4231 case 2 with the short key zero-extended to 32 bytes
+        // (HMAC pads short keys with zeros, so the tags coincide).
+        let mut key = [0u8; 32];
+        key[..4].copy_from_slice(b"Jefe");
+        let k = MacKey::from_bytes(key);
+        assert_eq!(
+            hex(&k.mac(b"what do ya want for nothing?").0),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn cached_verify_rejects_tampering() {
+        let key = MacKey::derive(9, "v");
+        let tag = key.mac(b"payload");
+        assert!(key.verify(b"payload", &tag));
+        assert!(!key.verify(b"payloae", &tag));
+        let mut bad = tag;
+        bad.0[31] ^= 1;
+        assert!(!key.verify(b"payload", &bad));
+    }
+
+    #[test]
+    fn debug_is_redacted() {
+        let key = MacKey::derive(1, "secret");
+        assert_eq!(format!("{key:?}"), "MacKey(..)");
     }
 
     #[test]

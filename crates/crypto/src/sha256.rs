@@ -46,7 +46,31 @@ impl Sha256 {
         Sha256 { state: H0, buf: [0; 64], buf_len: 0, total_len: 0 }
     }
 
+    /// Resumes hashing from a precomputed compression state after `blocks`
+    /// whole 64-byte blocks have been absorbed.
+    ///
+    /// This is the building block for amortized keyed hashing: HMAC's
+    /// inner/outer pad blocks depend only on the key, so their compression
+    /// states can be computed once per key and resumed per message (see
+    /// [`crate::MacKey`]).
+    pub fn from_midstate(state: [u32; 8], blocks: u64) -> Self {
+        Sha256 { state, buf: [0; 64], buf_len: 0, total_len: blocks * 64 }
+    }
+
+    /// The compression state after the data absorbed so far.
+    ///
+    /// # Panics
+    /// Panics unless the absorbed length is a whole number of 64-byte
+    /// blocks (otherwise the buffered tail would be silently dropped).
+    pub fn midstate(&self) -> [u32; 8] {
+        assert_eq!(self.buf_len, 0, "midstate requires block-aligned input");
+        self.state
+    }
+
     /// Absorbs `data`.
+    ///
+    /// Whole 64-byte blocks are compressed directly from `data`; only a
+    /// sub-block tail is staged through the internal buffer.
     pub fn update(&mut self, data: &[u8]) {
         self.total_len = self.total_len.wrapping_add(data.len() as u64);
         let mut rest = data;
@@ -63,9 +87,7 @@ impl Sha256 {
         }
         while rest.len() >= 64 {
             let (block, tail) = rest.split_at(64);
-            let mut b = [0u8; 64];
-            b.copy_from_slice(block);
-            self.compress(&b);
+            self.compress(block.try_into().expect("64-byte block"));
             rest = tail;
         }
         if !rest.is_empty() {
@@ -234,6 +256,26 @@ mod tests {
             h.update(&data[split..]);
             assert_eq!(h.finalize(), reference, "split at {split}");
         }
+    }
+
+    #[test]
+    fn midstate_roundtrip_resumes_exactly() {
+        // Hash 128 bytes, snapshot after the first two blocks, resume.
+        let data: Vec<u8> = (0..200u16).map(|i| (i % 241) as u8).collect();
+        let mut h = Sha256::new();
+        h.update(&data[..128]);
+        let mid = h.midstate();
+        let mut resumed = Sha256::from_midstate(mid, 2);
+        resumed.update(&data[128..]);
+        assert_eq!(resumed.finalize(), sha256(&data));
+    }
+
+    #[test]
+    #[should_panic(expected = "block-aligned")]
+    fn midstate_rejects_partial_blocks() {
+        let mut h = Sha256::new();
+        h.update(b"short");
+        let _ = h.midstate();
     }
 
     #[test]

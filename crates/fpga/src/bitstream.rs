@@ -6,7 +6,7 @@
 //! of "validating that a correct bitstream is written".
 
 use crate::fabric::Region;
-use rsoc_crypto::{hmac_sha256, hmac_verify, MacKey, Tag};
+use rsoc_crypto::{MacKey, Tag};
 
 /// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) over bytes.
 pub fn crc32(data: &[u8]) -> u32 {
@@ -47,7 +47,7 @@ impl Bitstream {
         );
         let bytes = words_bytes(&words);
         let crc = crc32(&bytes);
-        let tag = hmac_sha256(key.as_bytes(), &signing_payload(region, crc, &bytes));
+        let tag = key.mac(&signing_payload(region, crc, &bytes));
         Bitstream { region, words, crc, tag }
     }
 
@@ -77,7 +77,7 @@ impl Bitstream {
     pub fn retarget(&self, to: Region, key: &MacKey) -> Bitstream {
         assert_eq!(self.region.len, to.len, "relocation requires equal region sizes");
         let bytes = words_bytes(&self.words);
-        let tag = hmac_sha256(key.as_bytes(), &signing_payload(to, self.crc, &bytes));
+        let tag = key.mac(&signing_payload(to, self.crc, &bytes));
         Bitstream { region: to, words: self.words.clone(), crc: self.crc, tag }
     }
 
@@ -92,7 +92,7 @@ impl Bitstream {
         if crc32(&bytes) != self.crc {
             return false;
         }
-        hmac_verify(key.as_bytes(), &signing_payload(self.region, self.crc, &bytes), &self.tag)
+        key.verify(&signing_payload(self.region, self.crc, &bytes), &self.tag)
     }
 }
 

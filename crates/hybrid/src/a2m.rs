@@ -4,7 +4,7 @@
 //! to its sequence number and the running hash chain, so a malicious host
 //! cannot show different log prefixes to different observers.
 
-use rsoc_crypto::{hmac_sha256, hmac_verify, sha256, MacKey, Tag};
+use rsoc_crypto::{MacKey, Tag};
 use std::fmt;
 
 /// A certificate over log entry `seq` of log `log_id`.
@@ -77,10 +77,7 @@ impl A2m {
     /// [`A2mError::UnknownLog`] for unallocated logs.
     pub fn append(&mut self, log_id: u32, value: &[u8]) -> Result<A2mCert, A2mError> {
         let log = self.logs.get_mut(log_id as usize).ok_or(A2mError::UnknownLog)?;
-        let mut h = rsoc_crypto::Sha256::new();
-        h.update(&log.chain);
-        h.update(&sha256(value));
-        log.chain = h.finalize();
+        log.chain = chain_link(&log.chain, value);
         log.entries.push(log.chain);
         let seq = log.entries.len() as u64;
         let chain = log.chain;
@@ -111,17 +108,13 @@ impl A2m {
     }
 
     fn cert(&self, log_id: u32, seq: u64, chain: [u8; 32]) -> A2mCert {
-        let tag = hmac_sha256(self.key.as_bytes(), &payload(self.device, log_id, seq, &chain));
+        let tag = self.key.mac(&payload(self.device, log_id, seq, &chain));
         A2mCert { device: self.device, log_id, seq, chain, tag }
     }
 
     /// Verifies a certificate with the device key.
     pub fn verify(key: &MacKey, cert: &A2mCert) -> bool {
-        hmac_verify(
-            key.as_bytes(),
-            &payload(cert.device, cert.log_id, cert.seq, &cert.chain),
-            &cert.tag,
-        )
+        key.verify(&payload(cert.device, cert.log_id, cert.seq, &cert.chain), &cert.tag)
     }
 
     /// Recomputes the expected chain for a claimed sequence of values and
@@ -132,13 +125,22 @@ impl A2m {
         }
         let mut chain = [0u8; 32];
         for v in values {
-            let mut h = rsoc_crypto::Sha256::new();
-            h.update(&chain);
-            h.update(&sha256(v));
-            chain = h.finalize();
+            chain = chain_link(&chain, v);
         }
         chain == cert.chain && Self::verify(key, cert)
     }
+}
+
+/// Advances the hash chain by one entry in a single incremental pass:
+/// `chain' = H(chain || value)`. The previous link is a fixed 32-byte
+/// prefix, so the encoding is unambiguous without an inner `H(value)` —
+/// which the old implementation computed and then re-hashed, doubling the
+/// compression count per append.
+fn chain_link(chain: &[u8; 32], value: &[u8]) -> [u8; 32] {
+    let mut h = rsoc_crypto::Sha256::new();
+    h.update(chain);
+    h.update(value);
+    h.finalize()
 }
 
 fn payload(device: u32, log_id: u32, seq: u64, chain: &[u8; 32]) -> Vec<u8> {

@@ -29,6 +29,8 @@
 //!
 //! let mut ring = KeyRing::new();
 //! ring.register(UsigId(0), MacKey::derive(1, "usig-0"));
+//! // Clusters share one immutable ring; cloning the Arc is a refcount bump.
+//! let ring = std::sync::Arc::new(ring);
 //! let mut usig = Usig::new(UsigId(0), ring.clone(), Box::new(PlainRegister::new(64)));
 //! let ui1 = usig.create_ui(b"prepare #1").unwrap();
 //! let ui2 = usig.create_ui(b"prepare #2").unwrap();

@@ -6,7 +6,7 @@
 //! two attestations claiming the same interval for different messages —
 //! the primitive behind equivocation-free logs and cheap BFT.
 
-use rsoc_crypto::{hmac_sha256, hmac_verify, sha256, MacKey, Tag};
+use rsoc_crypto::{sha256, MacKey, Tag};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -93,7 +93,8 @@ impl TrInc {
         }
         let old = *current;
         *current = new;
-        let tag = hmac_sha256(self.key.as_bytes(), &payload(self.device, counter_id, old, new, message));
+        // Cached key schedule: the device key's pad states are precomputed.
+        let tag = self.key.mac(&payload(self.device, counter_id, old, new, message));
         Ok(TrIncAttestation { device: self.device, counter_id, old, new, tag })
     }
 
@@ -101,8 +102,7 @@ impl TrInc {
     /// verifiers, as with [`crate::KeyRing`]).
     pub fn verify(key: &MacKey, att: &TrIncAttestation, message: &[u8]) -> bool {
         att.new >= att.old
-            && hmac_verify(
-                key.as_bytes(),
+            && key.verify(
                 &payload(att.device, att.counter_id, att.old, att.new, message),
                 &att.tag,
             )

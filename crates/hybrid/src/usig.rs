@@ -10,10 +10,12 @@
 //! its bits to reproduce §III's observation that "any bitflip in the
 //! counter will have catastrophic effects on the consensus problem".
 
-use rsoc_crypto::{hmac_sha256, hmac_verify, sha256, MacKey, Tag};
+use rsoc_crypto::{sha256, MacKey, Tag};
 use rsoc_hw::{LoadOutcome, RegisterCell};
+use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Identity of a USIG instance (one per replica/tile).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -80,12 +82,17 @@ impl KeyRing {
     }
 
     /// Builds a ring for replicas `0..n` from a provisioning seed.
-    pub fn provision(seed: u64, n: u32) -> Self {
+    ///
+    /// Returns the ring behind an [`Arc`]: every replica of a cluster
+    /// shares the same immutable ring, so handing it out is a refcount
+    /// bump — key derivation (and the HMAC key-schedule precomputation
+    /// inside [`MacKey`]) happens once per cluster, not once per replica.
+    pub fn provision(seed: u64, n: u32) -> Arc<Self> {
         let mut ring = KeyRing::new();
         for i in 0..n {
             ring.register(UsigId(i), MacKey::derive(seed, &format!("usig-{i}")));
         }
-        ring
+        Arc::new(ring)
     }
 
     fn key(&self, id: UsigId) -> Option<&MacKey> {
@@ -97,21 +104,22 @@ impl KeyRing {
 #[derive(Debug)]
 pub struct Usig {
     id: UsigId,
-    ring: KeyRing,
+    ring: Arc<KeyRing>,
     counter: Box<dyn RegisterCell>,
     issued: u64,
+    verified: Cell<u64>,
 }
 
 impl Usig {
-    /// Creates a USIG with the given identity, key ring (which must contain
-    /// this id's key), and counter register backend.
+    /// Creates a USIG with the given identity, shared key ring (which must
+    /// contain this id's key), and counter register backend.
     ///
     /// # Panics
     /// Panics if the ring has no key for `id`.
-    pub fn new(id: UsigId, ring: KeyRing, mut counter: Box<dyn RegisterCell>) -> Self {
+    pub fn new(id: UsigId, ring: Arc<KeyRing>, mut counter: Box<dyn RegisterCell>) -> Self {
         assert!(ring.key(id).is_some(), "key ring must contain own key");
         counter.store(0);
-        Usig { id, ring, counter, issued: 0 }
+        Usig { id, ring, counter, issued: 0, verified: Cell::new(0) }
     }
 
     /// This USIG's identity.
@@ -122,6 +130,12 @@ impl Usig {
     /// Number of `create_ui` calls that succeeded.
     pub fn issued(&self) -> u64 {
         self.issued
+    }
+
+    /// Number of `verify_ui` calls performed (MAC accounting for the
+    /// authentication-cost experiments).
+    pub fn verified(&self) -> u64 {
+        self.verified.get()
     }
 
     /// Creates a certified unique identifier for `message`.
@@ -156,8 +170,9 @@ impl Usig {
             return false;
         }
         let Some(key) = self.ring.key(sender) else { return false };
+        self.verified.set(self.verified.get() + 1);
         let payload = ui_payload(sender, ui.counter, message);
-        hmac_verify(key.as_bytes(), &payload, &ui.tag)
+        key.verify(&payload, &ui.tag)
     }
 
     /// Flips a bit of the counter register (SEU injection for E2).
@@ -186,7 +201,8 @@ fn ui_payload(id: UsigId, counter: u64, message: &[u8]) -> Vec<u8> {
 }
 
 fn certify(key: &MacKey, id: UsigId, counter: u64, message: &[u8]) -> Tag {
-    hmac_sha256(key.as_bytes(), &ui_payload(id, counter, message))
+    // Cached key schedule: no per-call pad-block compressions.
+    key.mac(&ui_payload(id, counter, message))
 }
 
 /// Receiver-side monotonicity window: accepts each sender's UIs only in
@@ -264,7 +280,7 @@ mod tests {
         let ring = KeyRing::provision(7, 2);
         let u0 = Usig::new(UsigId(0), ring, Box::new(PlainRegister::new(64)));
         // Attacker fabricates a tag with a guessed key.
-        let fake_tag = hmac_sha256(MacKey::derive(999, "attacker").as_bytes(), b"whatever");
+        let fake_tag = MacKey::derive(999, "attacker").mac(b"whatever");
         let forged = UI { id: UsigId(0), counter: 1, tag: fake_tag };
         assert!(!u0.verify_ui(UsigId(0), &forged, b"whatever"));
     }
@@ -311,6 +327,16 @@ mod tests {
         assert!(w.accept(&ui3));
         assert!(!w.accept(&ui2), "replay rejected");
         assert_eq!(w.last_accepted(UsigId(0)), 3);
+    }
+
+    #[test]
+    fn verify_calls_are_counted() {
+        let mut u = usig_with(Box::new(PlainRegister::new(64)));
+        let ui = u.create_ui(b"m").unwrap();
+        assert_eq!(u.verified(), 0);
+        assert!(u.verify_ui(UsigId(0), &ui, b"m"));
+        assert!(!u.verify_ui(UsigId(0), &ui, b"x"));
+        assert_eq!(u.verified(), 2, "both MAC checks hit the counter");
     }
 
     #[test]

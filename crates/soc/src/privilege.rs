@@ -14,7 +14,7 @@
 //! direct-grant baseline.
 
 use crate::tile::TileId;
-use rsoc_crypto::{hmac_sha256, hmac_verify, sha256, MacKey, Tag};
+use rsoc_crypto::{sha256, MacKey, Tag};
 use rsoc_fpga::{Bitstream, BlockId, Principal, ReconfigEngine, ReconfigError, Region};
 use rsoc_hybrid::{A2m, A2mCert};
 use std::collections::BTreeMap;
@@ -102,7 +102,7 @@ impl Vote {
     /// Signs an approval of `op` as kernel `kernel` with `key`.
     pub fn sign(kernel: u32, key: &MacKey, op: &PrivilegedOp) -> Vote {
         let digest = op.digest();
-        Vote { kernel, op_digest: digest, tag: hmac_sha256(key.as_bytes(), &payload(kernel, &digest)) }
+        Vote { kernel, op_digest: digest, tag: key.mac(&payload(kernel, &digest)) }
     }
 }
 
@@ -227,7 +227,7 @@ impl PrivilegeGate {
             .filter(|v| {
                 self.keys
                     .get(&v.kernel)
-                    .map(|k| hmac_verify(k.as_bytes(), &payload(v.kernel, &digest), &v.tag))
+                    .map(|k| k.verify(&payload(v.kernel, &digest), &v.tag))
                     .unwrap_or(false)
             })
             .map(|v| v.kernel)

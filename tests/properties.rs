@@ -2,8 +2,10 @@
 //! crypto round-trips, ECC correction, USIG uniqueness/monotonicity,
 //! protocol safety under random fault configurations, NoC delivery.
 
+use manycore_resilience::bft::api::{Cluster, ReplicaNode};
 use manycore_resilience::bft::behavior::Behavior;
 use manycore_resilience::bft::minbft::MinBftCluster;
+use manycore_resilience::bft::passive::PassiveCluster;
 use manycore_resilience::bft::pbft::PbftCluster;
 use manycore_resilience::bft::runner::{run, RunConfig};
 use manycore_resilience::bft::ReplicaId;
@@ -245,6 +247,86 @@ proptest! {
         // Every delivery takes at least the Manhattan distance.
         for d in &net.stats().delivered {
             prop_assert!(d.hops as u64 <= 2 * (w + h) as u64);
+        }
+    }
+}
+
+// ---------------- batching equivalence ----------------
+//
+// The batching tentpole must be a pure performance transform: for any
+// request schedule, a batched run and an unbatched run commit the same
+// operations, keep the safety checker green, and leave every replica's
+// state machine at the identical digest — across all three protocol
+// modes. (Request payloads are a pure function of (seed, client, seq),
+// so differently interleaved runs execute identical commands.)
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn pbft_batching_preserves_state_and_safety(
+        seed in 1u64..5_000, clients in 1u32..=5, reqs in 1u64..=5, batch in 2usize..=8,
+    ) {
+        let base = RunConfig {
+            f: 1, clients, requests_per_client: reqs, seed,
+            max_cycles: 20_000_000, ..Default::default()
+        };
+        let batched_cfg = RunConfig { batch_size: batch, batch_flush: 80, ..base.clone() };
+        let mut plain = PbftCluster::new(&base);
+        let r1 = run(&mut plain, &base);
+        let mut batched = PbftCluster::new(&batched_cfg);
+        let r2 = run(&mut batched, &batched_cfg);
+        prop_assert_eq!(r1.committed, clients as u64 * reqs);
+        prop_assert_eq!(r2.committed, clients as u64 * reqs);
+        prop_assert!(r1.safety_ok && r2.safety_ok, "safety checker must accept both runs");
+        for (a, b) in plain.nodes().iter().zip(batched.nodes()) {
+            prop_assert_eq!(a.state_digest(), b.state_digest(), "replica {} diverged", a.id());
+        }
+    }
+
+    #[test]
+    fn minbft_batching_preserves_state_and_safety(
+        seed in 1u64..5_000, clients in 1u32..=5, reqs in 1u64..=5, batch in 2usize..=8,
+    ) {
+        let base = RunConfig {
+            f: 1, clients, requests_per_client: reqs, seed,
+            max_cycles: 20_000_000, ..Default::default()
+        };
+        let batched_cfg = RunConfig { batch_size: batch, batch_flush: 80, ..base.clone() };
+        let mut plain = MinBftCluster::new(&base);
+        let r1 = run(&mut plain, &base);
+        let mut batched = MinBftCluster::new(&batched_cfg);
+        let r2 = run(&mut batched, &batched_cfg);
+        prop_assert_eq!(r1.committed, clients as u64 * reqs);
+        prop_assert_eq!(r2.committed, clients as u64 * reqs);
+        prop_assert!(r1.safety_ok && r2.safety_ok, "safety checker must accept both runs");
+        for (a, b) in plain.nodes().iter().zip(batched.nodes()) {
+            prop_assert_eq!(a.state_digest(), b.state_digest(), "replica {} diverged", a.id());
+        }
+        // Authentication is amortized, never inflated, by batching.
+        let macs = |c: &MinBftCluster| -> u64 {
+            c.nodes().iter().map(|n| { let (i, v) = n.mac_ops(); i + v }).sum()
+        };
+        prop_assert!(macs(&batched) <= macs(&plain), "batching must not add MAC work");
+    }
+
+    #[test]
+    fn passive_batching_preserves_state_and_safety(
+        seed in 1u64..5_000, clients in 1u32..=5, reqs in 1u64..=5, batch in 2usize..=8,
+    ) {
+        let base = RunConfig {
+            f: 1, clients, requests_per_client: reqs, seed,
+            max_cycles: 20_000_000, ..Default::default()
+        };
+        let batched_cfg = RunConfig { batch_size: batch, batch_flush: 80, ..base.clone() };
+        let mut plain = PassiveCluster::new(&base);
+        let r1 = run(&mut plain, &base);
+        let mut batched = PassiveCluster::new(&batched_cfg);
+        let r2 = run(&mut batched, &batched_cfg);
+        prop_assert_eq!(r1.committed, clients as u64 * reqs);
+        prop_assert_eq!(r2.committed, clients as u64 * reqs);
+        prop_assert!(r1.safety_ok && r2.safety_ok, "safety checker must accept both runs");
+        for (a, b) in plain.nodes().iter().zip(batched.nodes()) {
+            prop_assert_eq!(a.state_digest(), b.state_digest(), "replica {} diverged", a.id());
         }
     }
 }

@@ -19,19 +19,32 @@ pub enum Throughput {
 }
 
 /// Top-level benchmark driver, handed to every `criterion_group!` target.
-#[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    /// Honors real criterion's `--test` CLI flag (`cargo bench -- --test`):
+    /// run every benchmark body exactly once as a smoke test, skipping
+    /// calibration and timing — what CI uses to keep the benches compiling
+    /// and panic-free without paying measurement time.
+    fn default() -> Self {
+        Criterion { test_mode: std::env::args().skip(1).any(|a| a == "--test") }
+    }
+}
 
 impl Criterion {
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
         println!("\n{name}");
+        let test_mode = self.test_mode;
         BenchmarkGroup {
             _criterion: self,
             name,
             sample_size: 10,
             throughput: None,
+            test_mode,
         }
     }
 }
@@ -42,6 +55,7 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
     throughput: Option<Throughput>,
+    test_mode: bool,
 }
 
 impl BenchmarkGroup<'_> {
@@ -64,6 +78,12 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
+        if self.test_mode {
+            let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+            f(&mut bencher);
+            println!("  {}/{id}: test ok", self.name);
+            return self;
+        }
         // Calibrate: find an iteration count taking roughly 5ms per batch.
         let mut iters: u64 = 1;
         loop {

@@ -1,7 +1,10 @@
 //! Vendored stand-in for `serde_json` (the container cannot reach
-//! crates.io). Covers exactly the `to_string` entry point the workspace
-//! uses; serialization itself lives in the shim `serde::Serialize` trait.
+//! crates.io). Covers the `to_string` entry point plus a minimal
+//! dynamically-typed [`Value`] / [`from_str`] parser (enough for perf
+//! tooling to re-read and validate the JSON it emits); serialization
+//! itself lives in the shim `serde::Serialize` trait.
 
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Serialization error. The shim data model writes JSON directly and
@@ -28,6 +31,272 @@ where
     Ok(out)
 }
 
+/// A dynamically-typed JSON value (parse side of the shim).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`, like real serde_json's lossy view).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object (sorted by key).
+    Object(BTreeMap<String, Value>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The object map, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Numeric view.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Integer view (lossy through f64, as with the serialize side).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// True for `null` (including the out-of-range index fallback).
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        match self {
+            Value::Object(o) => o.get(key).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+/// Parses a JSON document into a [`Value`] tree.
+///
+/// # Errors
+/// [`enum@Error`] on any syntax violation or trailing garbage.
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error(()));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), Error> {
+    if *pos < b.len() && b[*pos] == ch {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(Error(()))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(Value::String(parse_string(b, pos)?)),
+        Some(b't') => parse_literal(b, pos, b"true", Value::Bool(true)),
+        Some(b'f') => parse_literal(b, pos, b"false", Value::Bool(false)),
+        Some(b'n') => parse_literal(b, pos, b"null", Value::Null),
+        Some(_) => parse_number(b, pos),
+        None => Err(Error(())),
+    }
+}
+
+fn parse_literal(b: &[u8], pos: &mut usize, lit: &[u8], value: Value) -> Result<Value, Error> {
+    if b.len() - *pos >= lit.len() && &b[*pos..*pos + lit.len()] == lit {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(Error(()))
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    expect(b, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Object(map));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        map.insert(key, value);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Object(map));
+            }
+            _ => return Err(Error(())),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Array(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            _ => return Err(Error(())),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = *b.get(*pos).ok_or(Error(()))?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        if b.len() - *pos < 4 {
+                            return Err(Error(()));
+                        }
+                        let hex = std::str::from_utf8(&b[*pos..*pos + 4])
+                            .map_err(|_| Error(()))?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|_| Error(()))?;
+                        *pos += 4;
+                        // Surrogates are replaced, not paired — enough for
+                        // the ASCII-dominated perf records this shim reads.
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    }
+                    _ => return Err(Error(())),
+                }
+            }
+            _ => {
+                // Collect the full UTF-8 sequence starting at c.
+                let start = *pos - 1;
+                let len = match c {
+                    0x00..=0x7F => 1,
+                    0xC0..=0xDF => 2,
+                    0xE0..=0xEF => 3,
+                    0xF0..=0xF7 => 4,
+                    _ => return Err(Error(())),
+                };
+                if start + len > b.len() {
+                    return Err(Error(()));
+                }
+                let s = std::str::from_utf8(&b[start..start + len]).map_err(|_| Error(()))?;
+                out.push_str(s);
+                *pos = start + len;
+            }
+        }
+    }
+    Err(Error(()))
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len()
+        && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| Error(()))?;
+    text.parse::<f64>().map(Value::Number).map_err(|_| Error(()))
+}
+
 #[cfg(test)]
 mod tests {
     use serde::Serialize;
@@ -38,6 +307,40 @@ mod tests {
         count: u32,
         ratio: f64,
         ok: bool,
+    }
+
+    #[test]
+    fn parse_round_trip_of_emitted_json() {
+        let rec = Rec { name: "tile-0", count: 3, ratio: 0.25, ok: true };
+        let json = super::to_string(&rec).unwrap();
+        let v = super::from_str(&json).unwrap();
+        assert_eq!(v["name"].as_str(), Some("tile-0"));
+        assert_eq!(v["count"].as_u64(), Some(3));
+        assert_eq!(v["ratio"].as_f64(), Some(0.25));
+        assert_eq!(v["ok"].as_bool(), Some(true));
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn parse_nested_arrays_objects_and_escapes() {
+        let v = super::from_str(
+            r#" { "rows": [ {"x": -1.5e2, "s": "a\"b\nA"}, null, [1,2] ], "e": {} } "#,
+        )
+        .unwrap();
+        assert_eq!(v["rows"].as_array().unwrap().len(), 3);
+        assert_eq!(v["rows"][0]["x"].as_f64(), Some(-150.0));
+        assert_eq!(v["rows"][0]["s"].as_str(), Some("a\"b\nA"));
+        assert!(v["rows"][1].is_null());
+        assert_eq!(v["rows"][2][1].as_u64(), Some(2));
+        assert_eq!(v["e"].as_object().unwrap().len(), 0);
+        assert!(v["rows"][99].is_null(), "out-of-range indexes read as null");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "1 2", "\"unterminated", "{]"] {
+            assert!(super::from_str(bad).is_err(), "accepted {bad:?}");
+        }
     }
 
     #[test]
