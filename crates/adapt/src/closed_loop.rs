@@ -120,12 +120,7 @@ pub fn run_closed_loop(
             false_alarms += 1;
         }
     }
-    ClosedLoopReport {
-        ledger,
-        attacks_masked,
-        attacks_missed,
-        false_alarm_windows: false_alarms,
-    }
+    ClosedLoopReport { ledger, attacks_masked, attacks_missed, false_alarm_windows: false_alarms }
 }
 
 #[cfg(test)]

@@ -170,8 +170,7 @@ pub fn simulate_adaptation(trace: &[TraceSegment], policy: AdaptPolicy) -> Adapt
                 if !weaker_masks(seg.byz_faults) {
                     report.underprotected_time += degraded;
                 }
-                report.replica_cycles +=
-                    degraded * current.replicas().max(want.replicas()) as u64;
+                report.replica_cycles += degraded * current.replicas().max(want.replicas()) as u64;
                 current = want;
                 // Remainder of the segment runs the new deployment.
                 let rest = seg.duration - degraded;
@@ -245,33 +244,20 @@ mod tests {
 
     #[test]
     fn adaptive_gets_both() {
-        let r = simulate_adaptation(
-            &trace(),
-            AdaptPolicy::Adaptive(AdaptiveController::default()),
-        );
+        let r = simulate_adaptation(&trace(), AdaptPolicy::Adaptive(AdaptiveController::default()));
         // Under-protection only during switch windows (≤ 2 switches here).
         assert!(r.underprotected_time <= 2 * AdaptiveController::default().switch_cost);
         // Mean cost close to the quiet deployment's 2 replicas.
-        assert!(
-            r.mean_replicas() < 3.0,
-            "adaptation amortizes to cheap: {}",
-            r.mean_replicas()
-        );
+        assert!(r.mean_replicas() < 3.0, "adaptation amortizes to cheap: {}", r.mean_replicas());
         assert!(r.switches >= 2);
     }
 
     #[test]
     fn adaptive_with_lagging_detector_pays_in_protection() {
         // Detector stuck at Low while the attacker is active.
-        let blind = vec![TraceSegment {
-            duration: 10_000,
-            byz_faults: 1,
-            detected: ThreatLevel::Low,
-        }];
-        let r = simulate_adaptation(
-            &blind,
-            AdaptPolicy::Adaptive(AdaptiveController::default()),
-        );
+        let blind =
+            vec![TraceSegment { duration: 10_000, byz_faults: 1, detected: ThreatLevel::Low }];
+        let r = simulate_adaptation(&blind, AdaptPolicy::Adaptive(AdaptiveController::default()));
         assert_eq!(r.underprotected_time, 10_000, "no detection, no protection");
     }
 

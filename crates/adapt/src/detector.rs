@@ -210,10 +210,7 @@ mod tests {
         assert!(peak >= ThreatLevel::High);
         // One quiet window: EWMA decays but hysteresis holds the level.
         let immediately_after = d.observe(quiet());
-        assert!(
-            immediately_after >= ThreatLevel::High,
-            "level must not collapse instantly"
-        );
+        assert!(immediately_after >= ThreatLevel::High, "level must not collapse instantly");
         // Sustained quiet eventually de-escalates fully.
         for _ in 0..60 {
             d.observe(quiet());
@@ -233,9 +230,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "thresholds must increase")]
     fn rejects_bad_thresholds() {
-        ThreatDetector::new(DetectorConfig {
-            thresholds: [5.0, 4.0, 10.0],
-            ..Default::default()
-        });
+        ThreatDetector::new(DetectorConfig { thresholds: [5.0, 4.0, 10.0], ..Default::default() });
     }
 }

@@ -26,16 +26,12 @@ fn bench_crypto(c: &mut Criterion) {
     // Cached key schedule vs the from-scratch reference. The win is the
     // two skipped pad-block compressions, so it is starkest on the short
     // certificate-sized messages the consensus hot path authenticates.
-    g.bench_function("hmac_cached_key/1KiB", |b| {
-        b.iter(|| key.mac(black_box(&data_1k)))
-    });
+    g.bench_function("hmac_cached_key/1KiB", |b| b.iter(|| key.mac(black_box(&data_1k))));
     let cert = [0x5Au8; 44]; // UI payload size: id + counter + digest
     g.bench_function("hmac_sha256/44B", |b| {
         b.iter(|| hmac_sha256(black_box(key.as_bytes()), black_box(&cert)))
     });
-    g.bench_function("hmac_cached_key/44B", |b| {
-        b.iter(|| key.mac(black_box(&cert)))
-    });
+    g.bench_function("hmac_cached_key/44B", |b| b.iter(|| key.mac(black_box(&cert))));
     g.finish();
 }
 
@@ -51,11 +47,8 @@ fn bench_usig(c: &mut Criterion) {
         b.iter(|| ecc.create_ui(black_box(b"prepare view=0 seq=1")).unwrap())
     });
     let verifier = Usig::new(UsigId(0), ring, Box::new(PlainRegister::new(64)));
-    let mut signer = Usig::new(
-        UsigId(1),
-        KeyRing::provision(2, 2),
-        Box::new(PlainRegister::new(64)),
-    );
+    let mut signer =
+        Usig::new(UsigId(1), KeyRing::provision(2, 2), Box::new(PlainRegister::new(64)));
     let ui = signer.create_ui(b"msg").unwrap();
     g.bench_function("verify_ui", |b| {
         b.iter(|| verifier.verify_ui(UsigId(1), black_box(&ui), black_box(b"msg")))
@@ -104,13 +97,8 @@ fn bench_noc(c: &mut Criterion) {
 fn bench_protocols(c: &mut Criterion) {
     let mut g = c.benchmark_group("protocols");
     g.sample_size(20);
-    let config = RunConfig {
-        f: 1,
-        clients: 1,
-        requests_per_client: 10,
-        seed: 7,
-        ..Default::default()
-    };
+    let config =
+        RunConfig { f: 1, clients: 1, requests_per_client: 10, seed: 7, ..Default::default() };
     g.bench_function("pbft_f1_10ops", |b| {
         b.iter(|| {
             let mut cluster = PbftCluster::new(&config);

@@ -1,0 +1,125 @@
+//! Perf-regression gate: compares a freshly generated bench record
+//! against the committed baseline, cell by cell.
+//!
+//! The swept metrics are *deterministic* (virtual-time ops/kcycle from a
+//! seeded simulation), so a quick CI run reproduces the committed
+//! full-run values to within ~2%; the tolerance band exists to absorb
+//! that quick-vs-full trial-count difference plus intentional small
+//! shifts, while any real regression (>15% by default) fails the job.
+//!
+//! ```text
+//! check_regression --baseline BENCH_2.baseline.json --current BENCH_2.json \
+//!     [--metric ops_per_kcycle] [--tolerance 0.15]
+//! ```
+//!
+//! Rows are matched on every identity field present (`protocol`,
+//! `latency_model`, `batch_size`, `client_window`). A baseline row with
+//! no matching current row fails (a silently dropped cell is a
+//! regression too), as does any current row with `safety_ok = false`.
+//! Exit code: 0 clean, 1 regression, 2 usage/parse error.
+
+use serde_json::Value;
+
+/// Fields that identify a swept cell (order fixed for stable output).
+const KEY_FIELDS: [&str; 4] = ["protocol", "latency_model", "batch_size", "client_window"];
+
+fn row_key(row: &Value) -> String {
+    let mut parts = Vec::new();
+    for f in KEY_FIELDS {
+        let v = &row[f];
+        if let Some(s) = v.as_str() {
+            parts.push(format!("{f}={s}"));
+        } else if let Some(n) = v.as_f64() {
+            parts.push(format!("{f}={n}"));
+        }
+    }
+    parts.join(" ")
+}
+
+fn load_rows(path: &str) -> Result<Vec<Value>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let value: Value = serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e:?}"))?;
+    let rows = value["rows"].as_array().ok_or_else(|| format!("{path}: no rows array"))?;
+    Ok(rows.clone())
+}
+
+fn main() {
+    let mut baseline_path = None;
+    let mut current_path = None;
+    let mut metric = "ops_per_kcycle".to_string();
+    let mut tolerance = 0.15f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut take = |name: &str| args.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match a.as_str() {
+            "--baseline" => baseline_path = Some(take("--baseline")),
+            "--current" => current_path = Some(take("--current")),
+            "--metric" => metric = take("--metric"),
+            "--tolerance" => {
+                tolerance = take("--tolerance").parse().expect("--tolerance must be a float")
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (Some(baseline_path), Some(current_path)) = (baseline_path, current_path) else {
+        eprintln!("usage: check_regression --baseline <file> --current <file> [--metric m] [--tolerance t]");
+        std::process::exit(2);
+    };
+
+    let baseline = match load_rows(&baseline_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let current = match load_rows(&current_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut failures = 0u32;
+    println!(
+        "perf gate: {metric}, tolerance {:.0}% ({baseline_path} -> {current_path})",
+        tolerance * 100.0
+    );
+    for base_row in &baseline {
+        let key = row_key(base_row);
+        let Some(cur_row) = current.iter().find(|r| row_key(r) == key) else {
+            println!("  FAIL {key}: cell missing from current run");
+            failures += 1;
+            continue;
+        };
+        if cur_row["safety_ok"].as_bool() == Some(false) {
+            println!("  FAIL {key}: safety violation in current run");
+            failures += 1;
+            continue;
+        }
+        let (Some(base), Some(cur)) =
+            (base_row[metric.as_str()].as_f64(), cur_row[metric.as_str()].as_f64())
+        else {
+            println!("  FAIL {key}: metric {metric} missing");
+            failures += 1;
+            continue;
+        };
+        let ratio = if base > 0.0 { cur / base } else { 1.0 };
+        let verdict = if ratio < 1.0 - tolerance {
+            failures += 1;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!("  {verdict:4} {key}: {base:.3} -> {cur:.3} ({:+.1}%)", (ratio - 1.0) * 100.0);
+    }
+    if failures > 0 {
+        eprintln!("{failures} cell(s) regressed beyond the {:.0}% band", tolerance * 100.0);
+        std::process::exit(1);
+    }
+    println!("all {} cells within band", baseline.len());
+}

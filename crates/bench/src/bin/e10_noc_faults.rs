@@ -96,12 +96,7 @@ fn main() {
             }
             let n = trials as f64;
             table.row(
-                &[
-                    scheme.to_string(),
-                    f3(*rate),
-                    f3(dr_sum / n),
-                    fmt1(lat_sum / n),
-                ],
+                &[scheme.to_string(), f3(*rate), f3(dr_sum / n), fmt1(lat_sum / n)],
                 &Row {
                     scheme: match *scheme {
                         "xy" => "xy",

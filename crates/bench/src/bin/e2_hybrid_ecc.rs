@@ -45,7 +45,12 @@ enum Outcome {
     FailStop,  // USIG detected corruption and refused
 }
 
-fn campaign(protection: &str, seu: u32, ring: &std::sync::Arc<KeyRing>, rng: &mut SimRng) -> Outcome {
+fn campaign(
+    protection: &str,
+    seu: u32,
+    ring: &std::sync::Arc<KeyRing>,
+    rng: &mut SimRng,
+) -> Outcome {
     let mut usig = make_usig(protection, ring);
     let ops = 50u32;
     let mut seen: BTreeSet<u64> = BTreeSet::new();

@@ -78,10 +78,8 @@ fn main() {
         // d distinct variants spread over the 4 replicas, cross-vendor by
         // construction (variant id % vendors = vendor).
         let assignment: Vec<VariantId> = (0..n).map(|i| VariantId((i % d) as u32)).collect();
-        let vendors: std::collections::BTreeSet<u32> = assignment
-            .iter()
-            .map(|v| pool.variant(*v).unwrap().vendor.0)
-            .collect();
+        let vendors: std::collections::BTreeSet<u32> =
+            assignment.iter().map(|v| pool.variant(*v).unwrap().vendor.0).collect();
         let exposure = common_mode_exposure(&pool, &assignment, f);
         let greedy = greedy_exploits_to_defeat(&pool, &assignment, f).unwrap_or(0);
         let max_share = (0..d)

@@ -2,7 +2,7 @@
 //!
 //! Claim: replication+diversity hold only while ≤ f replicas are
 //! compromised; rejuvenation restores the budget, and *diverse*
-//! rejuvenation "reduc[es] the success rate of APTs".
+//! rejuvenation "reduc\[es\] the success rate of APTs".
 //!
 //! Sweep: policies {none, periodic-same, periodic-diverse, reactive-diverse}
 //! × rejuvenation intervals. Metrics: survival rate at horizon, mean time

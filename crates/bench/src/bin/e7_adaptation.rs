@@ -8,10 +8,10 @@
 //! quiet). The detector lags ground truth by one segment to model
 //! detection latency. Policies: static-small, static-large, adaptive.
 
+use rsoc_adapt::controller::TraceSegment;
 use rsoc_adapt::{
     simulate_adaptation, AdaptPolicy, AdaptiveController, Deployment, ProtocolChoice, ThreatLevel,
 };
-use rsoc_adapt::controller::TraceSegment;
 use rsoc_bench::{f3, ExpOptions, Table};
 use serde::Serialize;
 
@@ -54,10 +54,7 @@ fn main() {
             "static pbft f=3".into(),
             AdaptPolicy::Static(Deployment { protocol: ProtocolChoice::Pbft, f: 3 }),
         ),
-        (
-            "adaptive".into(),
-            AdaptPolicy::Adaptive(AdaptiveController::default()),
-        ),
+        ("adaptive".into(), AdaptPolicy::Adaptive(AdaptiveController::default())),
     ];
     for (name, policy) in policies {
         let r = simulate_adaptation(&trace, policy);
@@ -110,7 +107,11 @@ fn main() {
         ("nominal", ObservationModel::default()),
         (
             "noisy-bg",
-            ObservationModel { background_timeouts: 2.0, background_seu: 1.0, ..Default::default() },
+            ObservationModel {
+                background_timeouts: 2.0,
+                background_seu: 1.0,
+                ..Default::default()
+            },
         ),
         (
             "weak-signal",

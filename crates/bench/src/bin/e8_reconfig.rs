@@ -1,5 +1,5 @@
 //! E8 — Resilient reconfiguration: voted vs direct privilege change
-//! (§II-E, paper's citation [55]).
+//! (§II-E, paper's citation \[55\]).
 //!
 //! Claim: "privilege change must remain a trusted operation executed
 //! consensually and enforced by a trusted-trustworthy component."
@@ -76,10 +76,8 @@ fn voted_mode(kernels: u32, compromised: u32) -> (bool, bool) {
         block: 1,
         bitstream: Bitstream::for_variant(1, legit_region, FRAME_WORDS, &key),
     };
-    let votes: Vec<Vote> = correct
-        .iter()
-        .map(|k| Vote::sign(*k, gate.kernel_key(*k).unwrap(), &legit_op))
-        .collect();
+    let votes: Vec<Vote> =
+        correct.iter().map(|k| Vote::sign(*k, gate.kernel_key(*k).unwrap(), &legit_op)).collect();
     let legit_ok = gate.execute(&mut engine, &legit_op, &votes).is_ok();
 
     // Attack: compromised kernels vote for the implant; they also forge
@@ -90,10 +88,8 @@ fn voted_mode(kernels: u32, compromised: u32) -> (bool, bool) {
         block: MALICIOUS_BLOCK,
         bitstream: Bitstream::for_variant(0xBAD0, region, FRAME_WORDS, &key),
     };
-    let mut evil_votes: Vec<Vote> = bad
-        .iter()
-        .map(|k| Vote::sign(*k, gate.kernel_key(*k).unwrap(), &evil_op))
-        .collect();
+    let mut evil_votes: Vec<Vote> =
+        bad.iter().map(|k| Vote::sign(*k, gate.kernel_key(*k).unwrap(), &evil_op)).collect();
     for k in &correct {
         // Forgery attempt with a guessed key.
         evil_votes.push(Vote::sign(*k, &MacKey::derive(999, "guess"), &evil_op));

@@ -88,11 +88,7 @@ fn run_campaign(policy: PolicyKind, density: f64, rng: &mut SimRng) -> (f64, f64
             }
         }
     }
-    (
-        compromised_epochs as f64 / EPOCHS as f64,
-        max_streak as f64,
-        cycles / EPOCHS as f64,
-    )
+    (compromised_epochs as f64 / EPOCHS as f64, max_streak as f64, cycles / EPOCHS as f64)
 }
 
 fn main() {

@@ -82,18 +82,12 @@ fn main() {
             "no adaptation (static minbft f=1)",
             ManagerConfig { enable_adaptation: false, ..Default::default() },
         ),
-        (
-            "no rejuvenation",
-            ManagerConfig { enable_rejuvenation: false, ..Default::default() },
-        ),
+        ("no rejuvenation", ManagerConfig { enable_rejuvenation: false, ..Default::default() }),
         (
             "no diversity (same-variant restarts)",
             ManagerConfig { enable_diversity: false, ..Default::default() },
         ),
-        (
-            "no relocation",
-            ManagerConfig { enable_relocation: false, ..Default::default() },
-        ),
+        ("no relocation", ManagerConfig { enable_relocation: false, ..Default::default() }),
     ];
     for (name, config) in configs {
         let row = run_config(name, config);

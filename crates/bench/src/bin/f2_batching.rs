@@ -142,11 +142,8 @@ fn main() {
         for protocol in ["pbft", "minbft"] {
             for batch in BATCH_SIZES {
                 let n = if protocol == "pbft" { 3 * F + 1 } else { 2 * F + 1 };
-                let latency = if mesh {
-                    mesh_latency(n)
-                } else {
-                    LatencyModel::Uniform { min: 5, max: 15 }
-                };
+                let latency =
+                    if mesh { mesh_latency(n) } else { LatencyModel::Uniform { min: 5, max: 15 } };
                 let seed = 0xF2 + batch as u64;
                 let cfg = config(requests, batch, latency, seed);
                 let (report, macs) = run_cell(protocol, &cfg);
@@ -250,11 +247,7 @@ fn main() {
     // The acceptance gate for the full run; quick runs are too short for a
     // stable ratio but still exercise the pipeline end to end.
     if !options.quick {
-        for s in bench
-            .summaries
-            .iter()
-            .filter(|s| s.latency_model == "mesh")
-        {
+        for s in bench.summaries.iter().filter(|s| s.latency_model == "mesh") {
             assert!(
                 s.speedup_batch8_vs_1 >= 2.0,
                 "{} mesh speedup {:.2} below the 2x target",

@@ -1,0 +1,332 @@
+//! F3 — Simulation-core rework: wall-clock cost of the harness itself,
+//! and client pipelining on the E3 mesh workload.
+//!
+//! PR 3 rebuilt the hot path under every experiment: slab/freelist event
+//! arenas (runner + engine), an indexed next-event-time queue in the NoC,
+//! an `Arc<Batch>` wire format (O(1) broadcast fan-out), a SHA-NI
+//! compression kernel under every MAC, a mask-based SEC-DED codec under
+//! every USIG counter access, and windowed clients (`client_window = k`
+//! outstanding requests) so primaries can fill batches without extra
+//! client tiles.
+//!
+//! This binary measures both dimensions on the E3 mesh placement:
+//!
+//! * **host wall-clock** ns per committed op for each (protocol, batch,
+//!   window) cell — compared, at `window = 1`, against the recorded PR 2
+//!   baseline for the identical cells;
+//! * **virtual-time** ops/kcycle — where pipelined windows must show
+//!   fuller batches (no worse, typically better, than window 1).
+//!
+//! Writes **`BENCH_3.json`** (machine-readable, self-validated by
+//! re-reading) extending the repo's recorded perf trajectory started by
+//! `BENCH_2.json`. Wall-clock numbers are machine-dependent, so the
+//! ≥1.5× speedup check is a loud warning by default and a hard assert
+//! only with `RSOC_STRICT_WALL=1` (used when regenerating the committed
+//! record); the CI perf gate compares the deterministic ops/kcycle
+//! metrics instead (`check_regression`).
+
+use rsoc_bench::{f1, f3, ExpOptions, Table};
+use rsoc_bft::minbft::MinBftCluster;
+use rsoc_bft::pbft::PbftCluster;
+use rsoc_bft::runner::{run, LatencyModel, RunConfig, RunReport};
+use serde::Serialize;
+
+/// Same client population as the F2 baseline sweep.
+const CLIENTS: u32 = 16;
+/// Same egress-serialization cost as F2 (the cost batching amortizes).
+const LINK_OCCUPANCY: u64 = 8;
+/// Same flush patience as F2.
+const BATCH_FLUSH: u64 = 100;
+/// Fault threshold of every swept cell.
+const F: u32 = 1;
+
+const BATCH_SIZES: [usize; 3] = [1, 8, 16];
+/// Windows swept for batched cells. Unbatched (`batch = 1`) runs stay at
+/// window 1: k outstanding requests per client against a serialized
+/// egress port with no batching to amortize it floods the backups'
+/// request patience (the F2 sweep documents the same backlog constraint)
+/// — pipelining is a batching amplifier, not a substitute.
+const WINDOWS: [usize; 3] = [1, 4, 8];
+
+/// Wall-clock ns per committed op measured for the identical
+/// (protocol, batch, window=1) mesh cells on the **PR 2 build**
+/// (commit `4c268e6`, the state before the simulation-core rework) on
+/// the reference dev machine — the recorded "before" side of this PR's
+/// headline. Regenerate by checking out PR 2 and timing `f2_batching`'s
+/// mesh cells (two-run averages).
+const PR2_MESH_WALL_NS_PER_OP: [(&str, usize, f64); 6] = [
+    ("pbft", 1, 26_700.0),
+    ("pbft", 8, 12_000.0),
+    ("pbft", 16, 11_000.0),
+    ("minbft", 1, 37_600.0),
+    ("minbft", 8, 14_900.0),
+    ("minbft", 16, 11_300.0),
+];
+
+#[derive(Serialize, Clone)]
+struct Row {
+    protocol: &'static str,
+    batch_size: usize,
+    client_window: usize,
+    committed: u64,
+    ops_per_kcycle: f64,
+    wall_ns_per_op: f64,
+    p50_latency: f64,
+    p99_latency: f64,
+    safety_ok: bool,
+}
+
+#[derive(Serialize)]
+struct WallSummary {
+    protocol: &'static str,
+    batch_size: usize,
+    pr2_wall_ns_per_op: f64,
+    wall_ns_per_op: f64,
+    wall_speedup_vs_pr2: f64,
+}
+
+#[derive(Serialize)]
+struct WindowSummary {
+    protocol: &'static str,
+    batch_size: usize,
+    ops_per_kcycle_w1: f64,
+    ops_per_kcycle_w8: f64,
+    pipelining_gain: f64,
+}
+
+#[derive(Serialize)]
+struct Bench3 {
+    experiment: &'static str,
+    schema_version: u32,
+    quick: bool,
+    clients: u32,
+    requests_per_client: u64,
+    link_occupancy: u64,
+    batch_flush: u64,
+    pr2_baseline_commit: &'static str,
+    rows: Vec<Row>,
+    wall_summaries: Vec<WallSummary>,
+    window_summaries: Vec<WindowSummary>,
+}
+
+/// The E3 placement: replica i on tile (i % 4, i / 4), clients at the I/O
+/// corner of the mesh (identical to F2's mesh cells).
+fn mesh_latency(n: u32) -> LatencyModel {
+    LatencyModel::MeshHops {
+        replica_at: (0..n).map(|i| ((i % 4) as u16, (i / 4) as u16)).collect(),
+        client_at: (0, 0),
+        per_hop: 1,
+        overhead: 3,
+    }
+}
+
+fn config(requests: u64, batch: usize, window: usize, n: u32, seed: u64) -> RunConfig {
+    RunConfig {
+        f: F,
+        clients: CLIENTS,
+        requests_per_client: requests,
+        seed,
+        latency: mesh_latency(n),
+        max_cycles: 50_000_000,
+        batch_size: batch,
+        batch_flush: BATCH_FLUSH,
+        link_occupancy: LINK_OCCUPANCY,
+        client_window: window,
+        // A window of k multiplies the in-flight population (and thus the
+        // tail commit latency under egress serialization) by ~k; the
+        // retransmit timeout must scale with it or the tail turns into a
+        // retransmission storm that feeds itself. drop_rate is 0 here, so
+        // a generous timeout costs nothing.
+        client_timeout: 4_000 * window.max(1) as u64,
+        request_patience: 1_500 * window.max(1) as u64,
+        ..Default::default()
+    }
+}
+
+fn run_cell(protocol: &'static str, cfg: &RunConfig) -> RunReport {
+    match protocol {
+        "pbft" => run(&mut PbftCluster::new(cfg), cfg),
+        _ => run(&mut MinBftCluster::new(cfg), cfg),
+    }
+}
+
+fn main() {
+    let options = ExpOptions::from_args();
+    let requests = options.trials(100);
+    let strict_wall = std::env::var("RSOC_STRICT_WALL").map(|v| v == "1").unwrap_or(false);
+
+    let mut table = Table::new(
+        "F3 simulation core: wall ns/op and ops/kcycle x protocol x batch x window",
+        &["protocol", "batch", "window", "ops/kcycle", "wall ns/op", "lat_p50", "lat_p99"],
+    );
+    let mut rows: Vec<Row> = Vec::new();
+
+    for protocol in ["pbft", "minbft"] {
+        let n = if protocol == "pbft" { 3 * F + 1 } else { 2 * F + 1 };
+        for batch in BATCH_SIZES {
+            for window in WINDOWS {
+                if batch == 1 && window > 1 {
+                    continue; // see WINDOWS doc: unbatched pipelining floods egress
+                }
+                // Seed formula matches F2's mesh cells so the window=1
+                // rows are the same workload PR 2's baseline timed.
+                let seed = 0xF2 + batch as u64;
+                let cfg = config(requests, batch, window, n, seed);
+                // Wall time is min-of-N (runs are deterministic, so the
+                // repetitions differ only by scheduler/cache noise; the
+                // minimum is the least-perturbed observation).
+                let reps = if options.quick { 1 } else { 5 };
+                let mut best_ns = u128::MAX;
+                let mut report = None;
+                for _ in 0..reps {
+                    let t0 = std::time::Instant::now();
+                    let r = run_cell(protocol, &cfg);
+                    best_ns = best_ns.min(t0.elapsed().as_nanos());
+                    report = Some(r);
+                }
+                let report = report.expect("at least one rep");
+                let wall = best_ns as f64 / report.committed.max(1) as f64;
+                assert!(report.safety_ok, "{protocol} batch={batch} window={window} unsafe");
+                assert_eq!(
+                    report.committed,
+                    CLIENTS as u64 * requests,
+                    "{protocol} batch={batch} window={window} failed to commit the workload"
+                );
+                let row = Row {
+                    protocol,
+                    batch_size: batch,
+                    client_window: window,
+                    committed: report.committed,
+                    ops_per_kcycle: report.throughput_per_kcycle(),
+                    wall_ns_per_op: wall,
+                    p50_latency: report.commit_latency.median().unwrap_or(0.0),
+                    p99_latency: report.commit_latency.quantile(0.99).unwrap_or(0.0),
+                    safety_ok: report.safety_ok,
+                };
+                table.row(
+                    &[
+                        protocol.to_string(),
+                        batch.to_string(),
+                        window.to_string(),
+                        f3(row.ops_per_kcycle),
+                        f1(row.wall_ns_per_op),
+                        f1(row.p50_latency),
+                        f1(row.p99_latency),
+                    ],
+                    &row,
+                );
+                rows.push(row);
+            }
+        }
+    }
+    table.print(&options);
+
+    let cell = |proto: &str, batch: usize, window: usize| -> &Row {
+        rows.iter()
+            .find(|r| r.protocol == proto && r.batch_size == batch && r.client_window == window)
+            .expect("swept cell")
+    };
+
+    // Headline 1: host wall-clock vs the PR 2 build on identical cells.
+    let mut wall_summaries = Vec::new();
+    println!("\n  wall-clock vs PR 2 build (window=1, same mesh workload):");
+    for (proto, batch, pr2) in PR2_MESH_WALL_NS_PER_OP {
+        let now = cell(proto, batch, 1);
+        let speedup = pr2 / now.wall_ns_per_op;
+        println!(
+            "    {proto}/batch={batch}: {:.0} -> {:.0} ns/op ({speedup:.2}x)",
+            pr2, now.wall_ns_per_op
+        );
+        wall_summaries.push(WallSummary {
+            protocol: now.protocol,
+            batch_size: batch,
+            pr2_wall_ns_per_op: pr2,
+            wall_ns_per_op: now.wall_ns_per_op,
+            wall_speedup_vs_pr2: speedup,
+        });
+    }
+
+    // Headline 2: pipelined windows raise virtual-time throughput.
+    let mut window_summaries = Vec::new();
+    for proto in ["pbft", "minbft"] {
+        for batch in BATCH_SIZES.into_iter().filter(|b| *b > 1) {
+            let w1 = cell(proto, batch, 1);
+            let w8 = cell(proto, batch, 8);
+            window_summaries.push(WindowSummary {
+                protocol: w1.protocol,
+                batch_size: batch,
+                ops_per_kcycle_w1: w1.ops_per_kcycle,
+                ops_per_kcycle_w8: w8.ops_per_kcycle,
+                pipelining_gain: w8.ops_per_kcycle / w1.ops_per_kcycle,
+            });
+        }
+    }
+    println!("\n  client pipelining (window=8 vs 1, ops/kcycle):");
+    for s in &window_summaries {
+        println!(
+            "    {}/batch={}: {:.1} -> {:.1} ({:.2}x)",
+            s.protocol, s.batch_size, s.ops_per_kcycle_w1, s.ops_per_kcycle_w8, s.pipelining_gain
+        );
+    }
+
+    let bench = Bench3 {
+        experiment: "f3_simcore",
+        schema_version: 1,
+        quick: options.quick,
+        clients: CLIENTS,
+        requests_per_client: requests,
+        link_occupancy: LINK_OCCUPANCY,
+        batch_flush: BATCH_FLUSH,
+        pr2_baseline_commit: "4c268e6",
+        rows,
+        wall_summaries,
+        window_summaries,
+    };
+    let json = serde_json::to_string(&bench).expect("serialize BENCH_3");
+    std::fs::write("BENCH_3.json", &json).expect("write BENCH_3.json");
+    // Self-validation: the perf record must parse back complete; a
+    // malformed file should fail loudly, not seed the trajectory.
+    let reread = std::fs::read_to_string("BENCH_3.json").expect("re-read BENCH_3.json");
+    let parsed: serde_json::Value = serde_json::from_str(&reread).expect("BENCH_3.json malformed");
+    let row_count = parsed["rows"].as_array().map(|a| a.len()).unwrap_or(0);
+    // Per protocol: one unbatched cell plus a full window sweep per batched size.
+    let expected = 2 * (1 + (BATCH_SIZES.len() - 1) * WINDOWS.len());
+    assert_eq!(row_count, expected, "BENCH_3.json row count");
+    let wall_count = parsed["wall_summaries"].as_array().map(|a| a.len()).unwrap_or(0);
+    assert_eq!(wall_count, PR2_MESH_WALL_NS_PER_OP.len(), "BENCH_3.json wall summaries");
+    println!("\nwrote BENCH_3.json ({row_count} rows, validated)");
+
+    // Quick runs are too short for stable ratios; full runs gate the
+    // virtual-time claims (deterministic) and, under RSOC_STRICT_WALL=1,
+    // the machine-dependent wall-clock headline too.
+    if !options.quick {
+        for s in &bench.window_summaries {
+            assert!(
+                s.pipelining_gain >= 0.99,
+                "{}/batch={} pipelining regressed ops/kcycle: {:.2}x",
+                s.protocol,
+                s.batch_size,
+                s.pipelining_gain
+            );
+        }
+        let worst =
+            bench.wall_summaries.iter().map(|s| s.wall_speedup_vs_pr2).fold(f64::MAX, f64::min);
+        if worst < 1.5 {
+            let msg = format!(
+                "wall-clock speedup vs PR 2 below 1.5x (worst {worst:.2}x) — \
+                 machine-dependent; the committed record was produced on the \
+                 reference machine"
+            );
+            if strict_wall {
+                panic!("{msg}");
+            }
+            eprintln!("WARNING: {msg}");
+        }
+    }
+    println!(
+        "\nExpected shape: wall ns/op drops well below the PR 2 baseline at\n\
+         every window=1 cell (slab arenas + Arc fan-out + SHA-NI + SEC-DED\n\
+         masks); ops/kcycle rises with window at batch >= 8 because pipelined\n\
+         clients actually fill the batches that closed-loop demand cannot."
+    );
+}

@@ -84,8 +84,7 @@ impl Table {
     pub fn row<T: Serialize>(&mut self, cells: &[String], record: &T) {
         assert_eq!(cells.len(), self.headers.len(), "cell/header mismatch");
         self.rows.push(cells.to_vec());
-        self.json_rows
-            .push(serde_json::to_string(record).expect("row serialization"));
+        self.json_rows.push(serde_json::to_string(record).expect("row serialization"));
     }
 
     /// Prints the aligned table (and JSON lines when requested).

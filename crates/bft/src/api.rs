@@ -128,8 +128,9 @@ impl Batch {
 pub enum BatchDecision {
     /// The accumulator reached `batch_size`: seal and propose now.
     Seal,
-    /// First request of a fresh accumulation: arm the flush timer.
-    ArmTimer,
+    /// First request of a fresh accumulation: arm the flush timer, passing
+    /// the carried epoch token back via [`Batcher::on_flush_timer`].
+    ArmTimer(u64),
     /// Waiting for more requests; a flush timer is already armed.
     Wait,
     /// Duplicate of a request already accumulated: drop it.
@@ -145,17 +146,33 @@ pub enum BatchDecision {
 /// The *protocol* owns what sealing means (propose, certify, execute);
 /// this type owns only the accumulate/arm bookkeeping so the three
 /// implementations cannot drift.
+///
+/// # Flush epochs
+///
+/// Every [`drain`](Self::drain) starts a new *epoch*, and flush timers
+/// are tokenized with the epoch they were armed in. A timer that fires
+/// after its accumulation was already sealed (by reaching `batch_size`)
+/// is recognized as stale and ignored, and the next lone request arms a
+/// fresh, full-patience timer of its own. Without this, a request
+/// arriving just after a size-seal would ride whatever remained of the
+/// *previous* accumulation's timer — its flush deadline would depend on
+/// arrival interleaving, which under pipelined clients (many requests in
+/// flight per client) made partial-batch flush timing an accident of
+/// event order rather than a deterministic function of the accumulation.
 #[derive(Debug)]
 pub struct Batcher {
     accum: Vec<Request>,
-    flush_armed: bool,
+    /// Bumped on every drain; tokens from older epochs are stale.
+    epoch: u64,
+    /// The epoch a flush timer is currently armed for, if any.
+    armed_for: Option<u64>,
     batch_size: usize,
     batch_flush: u64,
 }
 
 impl Default for Batcher {
     fn default() -> Self {
-        Batcher { accum: Vec::new(), flush_armed: false, batch_size: 1, batch_flush: 200 }
+        Batcher { accum: Vec::new(), epoch: 0, armed_for: None, batch_size: 1, batch_flush: 200 }
     }
 }
 
@@ -191,23 +208,33 @@ impl Batcher {
         self.accum.push(req);
         if self.accum.len() >= self.batch_size {
             BatchDecision::Seal
-        } else if !self.flush_armed {
-            self.flush_armed = true;
-            BatchDecision::ArmTimer
+        } else if self.armed_for.is_none() {
+            self.armed_for = Some(self.epoch);
+            BatchDecision::ArmTimer(self.epoch)
         } else {
             BatchDecision::Wait
         }
     }
 
-    /// Acknowledges the flush timer firing; the caller seals whatever has
-    /// accumulated (possibly nothing).
-    pub fn on_flush_timer(&mut self) {
-        self.flush_armed = false;
+    /// Acknowledges a flush timer firing for epoch `token`. Returns `true`
+    /// when the timer is current (the caller should seal what has
+    /// accumulated); `false` for a stale timer from an accumulation that
+    /// was already sealed — ignore it.
+    pub fn on_flush_timer(&mut self, token: u64) -> bool {
+        if self.armed_for == Some(token) && token == self.epoch {
+            self.armed_for = None;
+            true
+        } else {
+            false
+        }
     }
 
     /// Takes the accumulated requests, keeping only those `admit` accepts
     /// (protocols drop requests that went stale across a view change).
+    /// Starts a new flush epoch: any armed timer becomes stale.
     pub fn drain(&mut self, mut admit: impl FnMut(&Request) -> bool) -> Vec<Request> {
+        self.epoch += 1;
+        self.armed_for = None;
         std::mem::take(&mut self.accum).into_iter().filter(|r| admit(r)).collect()
     }
 }
@@ -396,19 +423,46 @@ mod tests {
         assert_eq!(b.batch_size(), 3);
         assert_eq!(b.flush_cycles(), 50);
         // (req(1) is still accumulated from before the reconfigure.)
-        assert_eq!(b.offer(req(2)), BatchDecision::ArmTimer);
+        assert_eq!(b.offer(req(2)), BatchDecision::ArmTimer(0));
         assert_eq!(b.offer(req(2)), BatchDecision::Duplicate);
         assert_eq!(b.offer(req(3)), BatchDecision::Seal);
         let drained = b.drain(|r| r.op.seq != 2);
         assert_eq!(drained.len(), 2, "filter drops stale entries");
-        // Timer acknowledged -> next lone request re-arms.
-        b.on_flush_timer();
-        assert_eq!(b.offer(req(4)), BatchDecision::ArmTimer);
+        // The epoch-0 timer is stale after the drain; a fresh accumulation
+        // arms its own epoch-1 timer, which flushes normally.
+        assert_eq!(b.offer(req(4)), BatchDecision::ArmTimer(1));
+        assert!(!b.on_flush_timer(0), "stale epoch-0 timer is ignored");
+        assert!(b.on_flush_timer(1), "current timer triggers the flush");
         assert_eq!(b.drain(|_| true).len(), 1);
         // Degenerate configs clamp instead of wedging.
         b.configure(0, 0);
         assert_eq!(b.batch_size(), 1);
         assert_eq!(b.flush_cycles(), 1);
+    }
+
+    #[test]
+    fn batcher_flush_timing_is_epoch_deterministic() {
+        // Pipelined-client scenario: a size-seal consumes the accumulation
+        // while its flush timer is still pending. The straggler that
+        // arrives next must get a full-patience timer of its own — its
+        // flush deadline is a function of ITS accumulation epoch, not of
+        // when the previous accumulation happened to arm a timer.
+        let req = |seq| Request { op: OpId { client: ClientId(2), seq }, payload: vec![] };
+        let mut b = Batcher::new();
+        b.configure(2, 100);
+        assert_eq!(b.offer(req(1)), BatchDecision::ArmTimer(0));
+        assert_eq!(b.offer(req(2)), BatchDecision::Seal);
+        assert_eq!(b.drain(|_| true).len(), 2);
+        // Straggler after the seal: new epoch, new timer.
+        assert_eq!(b.offer(req(3)), BatchDecision::ArmTimer(1));
+        // The old epoch-0 timer fires mid-accumulation: no early flush.
+        assert!(!b.on_flush_timer(0));
+        assert!(b.on_flush_timer(1));
+        let flushed = b.drain(|_| true);
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(flushed[0].op.seq, 3);
+        // A re-fire of an already-acknowledged timer is also stale.
+        assert!(!b.on_flush_timer(1));
     }
 
     #[test]
@@ -428,10 +482,7 @@ mod tests {
         let mut out: Outbox<u32> = Outbox::new();
         out.broadcast(4, ReplicaId(2), 7);
         assert_eq!(out.msgs.len(), 3);
-        assert!(out
-            .msgs
-            .iter()
-            .all(|(to, _)| *to != Endpoint::Replica(ReplicaId(2))));
+        assert!(out.msgs.iter().all(|(to, _)| *to != Endpoint::Replica(ReplicaId(2))));
     }
 
     #[test]

@@ -177,7 +177,10 @@ mod tests {
         let report = run_broadcast(4, b"launch checklist", SenderBehavior::Correct);
         assert!(report.complete);
         assert!(report.consistent);
-        assert!(report.delivered.iter().all(|d| d.as_deref() == Some(b"launch checklist".as_ref())));
+        assert!(report
+            .delivered
+            .iter()
+            .all(|d| d.as_deref() == Some(b"launch checklist".as_ref())));
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod pbft;
 pub mod runner;
 pub mod statemachine;
 
-pub use api::{ClientId, LogEntry, OpId, Reply, ReplicaId, Request};
+pub use api::{ClientId, LogEntry, OpId, ReplicaId, Reply, Request};
 pub use behavior::Behavior;
 pub use runner::{run, RunConfig, RunReport};
 pub use statemachine::{CounterMachine, KvStore, StateMachine};

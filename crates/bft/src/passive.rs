@@ -10,8 +10,8 @@
 //! cost (2 replicas, 2 messages/op) vs the failover unavailability window.
 
 use crate::api::{
-    BatchDecision, Batcher, Cluster, Endpoint, Input, LogEntry, OpId, Outbox, Reply, ReplicaId,
-    ReplicaNode, Request,
+    BatchDecision, Batcher, Cluster, Endpoint, Input, LogEntry, OpId, Outbox, ReplicaId,
+    ReplicaNode, Reply, Request,
 };
 use crate::behavior::Behavior;
 use crate::runner::RunConfig;
@@ -163,7 +163,9 @@ impl PassiveReplica {
         }
         match self.batcher.offer(req) {
             BatchDecision::Seal => self.flush_batch(out),
-            BatchDecision::ArmTimer => out.arm(self.batcher.flush_cycles(), TIMER_FLUSH, 0),
+            BatchDecision::ArmTimer(token) => {
+                out.arm(self.batcher.flush_cycles(), TIMER_FLUSH, token)
+            }
             BatchDecision::Wait | BatchDecision::Duplicate => {}
         }
     }
@@ -230,11 +232,47 @@ impl ReplicaNode for PassiveReplica {
         if self.behavior.crashed_at(now) {
             return;
         }
+        if self.behavior == Behavior::Correct {
+            // Fast path: outputs are never gated for a correct replica.
+            self.dispatch_input(input, now, out);
+            return;
+        }
         let mut staged = Outbox::new();
-        self.bootstrap(now, &mut staged);
+        self.dispatch_input(input, now, &mut staged);
+        if self.behavior.sends_at(now) {
+            out.msgs.extend(staged.msgs);
+        }
+        out.timers.extend(staged.timers);
+    }
+
+    fn committed_log(&self) -> &[LogEntry] {
+        &self.log
+    }
+
+    fn make_request(req: Request) -> PassiveMsg {
+        PassiveMsg::Request(req)
+    }
+
+    fn as_reply(msg: &PassiveMsg) -> Option<&Reply> {
+        match msg {
+            PassiveMsg::Reply(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+impl PassiveReplica {
+    /// Routes one input to its handler, emitting effects into `staged`.
+    fn dispatch_input(
+        &mut self,
+        input: Input<PassiveMsg>,
+        now: u64,
+        staged: &mut Outbox<PassiveMsg>,
+    ) {
+        self.bootstrap(now, staged);
         match input {
             Input::Message { from: _, msg } => match msg {
-                PassiveMsg::Request(req) => self.handle_request(req, &mut staged),
+                PassiveMsg::Request(req) => self.handle_request(req, staged),
                 PassiveMsg::StateUpdate { epoch, first_seq, ops } => {
                     self.handle_state_update(epoch, first_seq, ops)
                 }
@@ -246,10 +284,9 @@ impl ReplicaNode for PassiveReplica {
                 }
                 PassiveMsg::Reply(_) => {}
             },
-            Input::Timer { kind: TIMER_FLUSH, .. } => {
-                self.batcher.on_flush_timer();
-                if self.is_primary() {
-                    self.flush_batch(&mut staged);
+            Input::Timer { kind: TIMER_FLUSH, token } => {
+                if self.batcher.on_flush_timer(token) && self.is_primary() {
+                    self.flush_batch(staged);
                 }
             }
             Input::Timer { kind: TIMER_HEARTBEAT, .. } => {
@@ -279,25 +316,6 @@ impl ReplicaNode for PassiveReplica {
                 }
             }
             Input::Timer { .. } => {}
-        }
-        if self.behavior.sends_at(now) {
-            out.msgs.extend(staged.msgs);
-        }
-        out.timers.extend(staged.timers);
-    }
-
-    fn committed_log(&self) -> &[LogEntry] {
-        &self.log
-    }
-
-    fn make_request(req: Request) -> PassiveMsg {
-        PassiveMsg::Request(req)
-    }
-
-    fn as_reply(msg: &PassiveMsg) -> Option<&Reply> {
-        match msg {
-            PassiveMsg::Reply(r) => Some(r),
-            _ => None,
         }
     }
 }
@@ -358,11 +376,7 @@ impl Cluster for PassiveCluster {
     }
 
     fn correct_replicas(&self) -> Vec<ReplicaId> {
-        self.nodes
-            .iter()
-            .filter(|n| !n.behavior().is_byzantine())
-            .map(|n| n.id())
-            .collect()
+        self.nodes.iter().filter(|n| !n.behavior().is_byzantine()).map(|n| n.id()).collect()
     }
 }
 
@@ -433,10 +447,7 @@ mod tests {
         let p_max = report.commit_latency.quantile(1.0).unwrap();
         let p50 = report.commit_latency.median().unwrap();
         // The op in flight during failover pays detector timeout + retries.
-        assert!(
-            p_max > p50 * 10.0,
-            "failover is not seamless: max {p_max} vs median {p50}"
-        );
+        assert!(p_max > p50 * 10.0, "failover is not seamless: max {p_max} vs median {p50}");
         assert!(report.client_retries > 0);
     }
 

@@ -10,23 +10,32 @@
 //! prepared sets without cryptographic proofs, which is sound here because
 //! the harness measures safety against *replica* misbehaviour, not
 //! view-change forgery.
+//!
+//! Wire format: every message that carries request content carries an
+//! [`Arc<Batch>`] — broadcasting a pre-prepare to `n-1` peers bumps a
+//! refcount per peer instead of deep-cloning the batch, so fan-out cost
+//! is O(1) per replica regardless of batch size.
 
 use crate::api::{
-    Batch, BatchDecision, Batcher, Cluster, Endpoint, Input, LogEntry, OpId, Outbox, Reply,
-    ReplicaId, ReplicaNode, Request,
+    Batch, BatchDecision, Batcher, Cluster, Endpoint, Input, LogEntry, OpId, Outbox, ReplicaId,
+    ReplicaNode, Reply, Request,
 };
 use crate::behavior::Behavior;
 use crate::runner::RunConfig;
 use crate::statemachine::{KvStore, StateMachine};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// Timer kind: a backup's patience for a pending request ran out.
 const TIMER_REQUEST: u32 = 1;
 /// Timer kind: the primary's partially filled batch waited long enough.
 const TIMER_FLUSH: u32 = 2;
-/// Cycles a backup waits for a request to commit before suspecting the
-/// primary.
+/// Default cycles a backup waits for a request to commit before
+/// suspecting the primary (see [`RunConfig::request_patience`]).
 const REQUEST_PATIENCE: u64 = 1_500;
+
+/// Prepared-but-unexecuted `(seq, batch)` entries carried by view changes.
+type PreparedSet = Vec<(u64, Arc<Batch>)>;
 
 /// PBFT wire messages.
 #[derive(Debug, Clone)]
@@ -39,8 +48,9 @@ pub enum PbftMsg {
         view: u64,
         /// Global sequence number.
         seq: u64,
-        /// The full request batch.
-        batch: Batch,
+        /// The full request batch (shared, not deep-copied, across the
+        /// broadcast fan-out).
+        batch: Arc<Batch>,
     },
     /// Backup's agreement to the proposal.
     Prepare {
@@ -73,20 +83,20 @@ pub enum PbftMsg {
         /// Voter.
         from: ReplicaId,
         /// Entries prepared at the voter (must survive the view change).
-        prepared: Vec<(u64, Batch)>,
+        prepared: Vec<(u64, Arc<Batch>)>,
     },
     /// New primary's installation message.
     NewView {
         /// The installed view.
         view: u64,
         /// Re-proposed `(seq, batch)` pairs.
-        preprepares: Vec<(u64, Batch)>,
+        preprepares: Vec<(u64, Arc<Batch>)>,
     },
 }
 
 #[derive(Debug, Default)]
 struct Slot {
-    batch: Option<Batch>,
+    batch: Option<Arc<Batch>>,
     digest: Option<[u8; 32]>,
     prepares: BTreeSet<ReplicaId>,
     commits: BTreeSet<ReplicaId>,
@@ -111,10 +121,12 @@ pub struct PbftReplica {
     log: Vec<LogEntry>,
     exec_upto: u64,
     machine: KvStore,
-    vc_votes: BTreeMap<u64, BTreeMap<ReplicaId, Vec<(u64, Batch)>>>,
+    vc_votes: BTreeMap<u64, BTreeMap<ReplicaId, PreparedSet>>,
     vc_sent_for: u64,
     /// Batching front-end (primary only).
     batcher: Batcher,
+    /// Backup patience before suspecting the primary.
+    patience: u64,
 }
 
 impl PbftReplica {
@@ -139,6 +151,7 @@ impl PbftReplica {
             vc_votes: BTreeMap::new(),
             vc_sent_for: 0,
             batcher: Batcher::new(),
+            patience: REQUEST_PATIENCE,
         }
     }
 
@@ -146,6 +159,11 @@ impl PbftReplica {
     /// requests, or after `batch_flush` cycles, whichever comes first.
     pub fn set_batching(&mut self, batch_size: usize, batch_flush: u64) {
         self.batcher.configure(batch_size, batch_flush);
+    }
+
+    /// Sets the backup's request patience (clamped to ≥ 1).
+    pub fn set_patience(&mut self, cycles: u64) {
+        self.patience = cycles.max(1);
     }
 
     /// Digest of the replica's current state-machine state (for
@@ -205,7 +223,9 @@ impl PbftReplica {
             }
             match self.batcher.offer(req) {
                 BatchDecision::Seal => self.flush_batch(out),
-                BatchDecision::ArmTimer => out.arm(self.batcher.flush_cycles(), TIMER_FLUSH, 0),
+                BatchDecision::ArmTimer(token) => {
+                    out.arm(self.batcher.flush_cycles(), TIMER_FLUSH, token)
+                }
                 BatchDecision::Wait | BatchDecision::Duplicate => {}
             }
         } else {
@@ -213,7 +233,7 @@ impl PbftReplica {
             let token = Self::op_token(req.op);
             if !self.pending.contains_key(&token) && !self.executed.contains_key(&req.op) {
                 self.pending.insert(token, req);
-                out.arm(REQUEST_PATIENCE, TIMER_REQUEST, token);
+                out.arm(self.patience, TIMER_REQUEST, token);
             }
         }
     }
@@ -226,13 +246,12 @@ impl PbftReplica {
         // (proposed by the new primary, then this replica re-elected).
         let executed = &self.executed;
         let assigned = &self.assigned;
-        let reqs = self
-            .batcher
-            .drain(|r| !executed.contains_key(&r.op) && !assigned.contains_key(&r.op));
+        let reqs =
+            self.batcher.drain(|r| !executed.contains_key(&r.op) && !assigned.contains_key(&r.op));
         if reqs.is_empty() {
             return;
         }
-        let batch = Batch::new(reqs);
+        let batch = Arc::new(Batch::new(reqs));
         let seq = self.next_seq;
         self.next_seq += 1;
         for r in batch.requests() {
@@ -254,12 +273,12 @@ impl PbftReplica {
 
     /// Byzantine primary: proposes conflicting batches for the same
     /// sequence number to two halves of the backups (and votes for both).
-    fn equivocate(&mut self, seq: u64, batch: Batch, out: &mut Outbox<PbftMsg>) {
+    fn equivocate(&mut self, seq: u64, batch: Arc<Batch>, out: &mut Outbox<PbftMsg>) {
         let mut evil_reqs = batch.requests().to_vec();
         for r in &mut evil_reqs {
             r.payload.reverse();
         }
-        let evil = Batch::new(evil_reqs);
+        let evil = Arc::new(Batch::new(evil_reqs));
         let half = self.n / 2;
         for i in 0..self.n {
             if i == self.id.0 {
@@ -282,7 +301,14 @@ impl PbftReplica {
         }
     }
 
-    fn handle_preprepare(&mut self, from: Endpoint, view: u64, seq: u64, batch: Batch, out: &mut Outbox<PbftMsg>) {
+    fn handle_preprepare(
+        &mut self,
+        from: Endpoint,
+        view: u64,
+        seq: u64,
+        batch: Arc<Batch>,
+        out: &mut Outbox<PbftMsg>,
+    ) {
         if view != self.view {
             return;
         }
@@ -312,11 +338,7 @@ impl PbftReplica {
         slot.digest = Some(digest);
         slot.prepares.insert(primary);
         slot.prepares.insert(me);
-        out.broadcast(
-            self.n,
-            self.id,
-            PbftMsg::Prepare { view, seq, digest, from: self.id },
-        );
+        out.broadcast(self.n, self.id, PbftMsg::Prepare { view, seq, digest, from: self.id });
         self.reannounce_commit(seq, out);
         self.maybe_advance(seq, out);
     }
@@ -336,7 +358,14 @@ impl PbftReplica {
         }
     }
 
-    fn handle_prepare(&mut self, view: u64, seq: u64, digest: [u8; 32], from: ReplicaId, out: &mut Outbox<PbftMsg>) {
+    fn handle_prepare(
+        &mut self,
+        view: u64,
+        seq: u64,
+        digest: [u8; 32],
+        from: ReplicaId,
+        out: &mut Outbox<PbftMsg>,
+    ) {
         if view != self.view {
             return;
         }
@@ -347,7 +376,14 @@ impl PbftReplica {
         self.maybe_advance(seq, out);
     }
 
-    fn handle_commit(&mut self, view: u64, seq: u64, digest: [u8; 32], from: ReplicaId, out: &mut Outbox<PbftMsg>) {
+    fn handle_commit(
+        &mut self,
+        view: u64,
+        seq: u64,
+        digest: [u8; 32],
+        from: ReplicaId,
+        out: &mut Outbox<PbftMsg>,
+    ) {
         if view != self.view {
             return;
         }
@@ -418,7 +454,7 @@ impl PbftReplica {
         }
     }
 
-    fn prepared_uncommitted(&self) -> Vec<(u64, Batch)> {
+    fn prepared_uncommitted(&self) -> Vec<(u64, Arc<Batch>)> {
         let quorum = self.quorum();
         self.slots
             .iter()
@@ -433,15 +469,8 @@ impl PbftReplica {
         }
         self.vc_sent_for = new_view;
         let prepared = self.prepared_uncommitted();
-        self.vc_votes
-            .entry(new_view)
-            .or_default()
-            .insert(self.id, prepared.clone());
-        out.broadcast(
-            self.n,
-            self.id,
-            PbftMsg::ViewChange { new_view, from: self.id, prepared },
-        );
+        self.vc_votes.entry(new_view).or_default().insert(self.id, prepared.clone());
+        out.broadcast(self.n, self.id, PbftMsg::ViewChange { new_view, from: self.id, prepared });
         self.maybe_install_view(new_view, out);
     }
 
@@ -449,7 +478,7 @@ impl PbftReplica {
         &mut self,
         new_view: u64,
         from: ReplicaId,
-        prepared: Vec<(u64, Batch)>,
+        prepared: Vec<(u64, Arc<Batch>)>,
         out: &mut Outbox<PbftMsg>,
     ) {
         if new_view <= self.view {
@@ -473,7 +502,7 @@ impl PbftReplica {
         }
         // Become primary of the new view: gather every prepared entry and
         // re-propose; pending-but-unprepared requests get fresh sequences.
-        let mut repropose: BTreeMap<u64, Batch> = BTreeMap::new();
+        let mut repropose: BTreeMap<u64, Arc<Batch>> = BTreeMap::new();
         for entries in votes.values() {
             for (seq, batch) in entries {
                 repropose.entry(*seq).or_insert_with(|| batch.clone());
@@ -488,10 +517,8 @@ impl PbftReplica {
         self.next_seq = self.next_seq.max(max_seq + 1);
         // Pending requests not covered get new slots, re-batched at the
         // configured batch size.
-        let covered: BTreeSet<OpId> = repropose
-            .values()
-            .flat_map(|b| b.requests().iter().map(|r| r.op))
-            .collect();
+        let covered: BTreeSet<OpId> =
+            repropose.values().flat_map(|b| b.requests().iter().map(|r| r.op)).collect();
         let pending: Vec<Request> = self
             .pending
             .values()
@@ -501,20 +528,20 @@ impl PbftReplica {
         for chunk in pending.chunks(self.batcher.batch_size()) {
             let seq = self.next_seq;
             self.next_seq += 1;
-            repropose.insert(seq, Batch::new(chunk.to_vec()));
+            repropose.insert(seq, Arc::new(Batch::new(chunk.to_vec())));
         }
-        let preprepares: Vec<(u64, Batch)> =
-            repropose.into_iter().collect();
+        let preprepares: Vec<(u64, Arc<Batch>)> = repropose.into_iter().collect();
         // Install locally.
         self.install_new_view(new_view, &preprepares, out);
-        out.broadcast(
-            self.n,
-            self.id,
-            PbftMsg::NewView { view: new_view, preprepares },
-        );
+        out.broadcast(self.n, self.id, PbftMsg::NewView { view: new_view, preprepares });
     }
 
-    fn install_new_view(&mut self, view: u64, preprepares: &[(u64, Batch)], out: &mut Outbox<PbftMsg>) {
+    fn install_new_view(
+        &mut self,
+        view: u64,
+        preprepares: &[(u64, Arc<Batch>)],
+        out: &mut Outbox<PbftMsg>,
+    ) {
         self.view = view;
         self.vc_sent_for = self.vc_sent_for.max(view);
         // Reset vote state for uncommitted slots; re-run agreement in the new view.
@@ -527,12 +554,7 @@ impl PbftReplica {
             }
         }
         for (seq, batch) in preprepares {
-            if self
-                .slots
-                .get(seq)
-                .map(|s| s.executed)
-                .unwrap_or(false)
-            {
+            if self.slots.get(seq).map(|s| s.executed).unwrap_or(false) {
                 continue;
             }
             let digest = batch.digest();
@@ -547,10 +569,8 @@ impl PbftReplica {
             slot.prepares.insert(primary);
             slot.prepares.insert(me);
             if primary == me {
-                self.stored_preprepares.insert(
-                    *seq,
-                    PbftMsg::PrePrepare { view, seq: *seq, batch: batch.clone() },
-                );
+                self.stored_preprepares
+                    .insert(*seq, PbftMsg::PrePrepare { view, seq: *seq, batch: batch.clone() });
             }
             out.broadcast(
                 self.n,
@@ -564,7 +584,13 @@ impl PbftReplica {
         }
     }
 
-    fn handle_new_view(&mut self, view: u64, preprepares: Vec<(u64, Batch)>, from: Endpoint, out: &mut Outbox<PbftMsg>) {
+    fn handle_new_view(
+        &mut self,
+        view: u64,
+        preprepares: Vec<(u64, Arc<Batch>)>,
+        from: Endpoint,
+        out: &mut Outbox<PbftMsg>,
+    ) {
         if view <= self.view && self.view != 0 {
             return;
         }
@@ -575,7 +601,7 @@ impl PbftReplica {
         // Re-arm patience for still-pending requests under the new primary.
         let tokens: Vec<u64> = self.pending.keys().copied().collect();
         for token in tokens {
-            out.arm(REQUEST_PATIENCE, TIMER_REQUEST, token);
+            out.arm(self.patience, TIMER_REQUEST, token);
         }
     }
 }
@@ -591,43 +617,16 @@ impl ReplicaNode for PbftReplica {
         if self.behavior.crashed_at(now) {
             return;
         }
-        let mut staged = Outbox::new();
-        match input {
-            Input::Message { from, msg } => match msg {
-                PbftMsg::Request(req) => self.handle_request(req, &mut staged),
-                PbftMsg::PrePrepare { view, seq, batch } => {
-                    self.handle_preprepare(from, view, seq, batch, &mut staged)
-                }
-                PbftMsg::Prepare { view, seq, digest, from } => {
-                    self.handle_prepare(view, seq, digest, from, &mut staged)
-                }
-                PbftMsg::Commit { view, seq, digest, from } => {
-                    self.handle_commit(view, seq, digest, from, &mut staged)
-                }
-                PbftMsg::ViewChange { new_view, from, prepared } => {
-                    self.handle_view_change(new_view, from, prepared, &mut staged)
-                }
-                PbftMsg::NewView { view, preprepares } => {
-                    self.handle_new_view(view, preprepares, from, &mut staged)
-                }
-                PbftMsg::Reply(_) => {}
-            },
-            Input::Timer { kind: TIMER_REQUEST, token } => {
-                if self.pending.contains_key(&token) {
-                    let next = self.view + 1;
-                    self.start_view_change(next, &mut staged);
-                    // Keep watching: if the new view also stalls, escalate.
-                    staged.arm(REQUEST_PATIENCE, TIMER_REQUEST, token);
-                }
-            }
-            Input::Timer { kind: TIMER_FLUSH, .. } => {
-                self.batcher.on_flush_timer();
-                if self.is_primary() {
-                    self.flush_batch(&mut staged);
-                }
-            }
-            Input::Timer { .. } => {}
+        if self.behavior == Behavior::Correct {
+            // Fast path (the overwhelmingly common case): a correct
+            // replica's outputs are never gated, so handlers write the
+            // caller's outbox directly — no staging buffer, no per-event
+            // re-moves of every queued message.
+            self.dispatch_input(input, now, out);
+            return;
         }
+        let mut staged = Outbox::new();
+        self.dispatch_input(input, now, &mut staged);
         // Behaviour gate on outputs (timers always pass — they are local).
         if self.behavior.sends_at(now) {
             out.msgs.extend(staged.msgs);
@@ -651,6 +650,49 @@ impl ReplicaNode for PbftReplica {
     }
 }
 
+impl PbftReplica {
+    /// Routes one input to its handler, emitting effects into `out`.
+    fn dispatch_input(&mut self, input: Input<PbftMsg>, _now: u64, staged: &mut Outbox<PbftMsg>) {
+        match input {
+            Input::Message { from, msg } => match msg {
+                PbftMsg::Request(req) => self.handle_request(req, staged),
+                PbftMsg::PrePrepare { view, seq, batch } => {
+                    self.handle_preprepare(from, view, seq, batch, staged)
+                }
+                PbftMsg::Prepare { view, seq, digest, from } => {
+                    self.handle_prepare(view, seq, digest, from, staged)
+                }
+                PbftMsg::Commit { view, seq, digest, from } => {
+                    self.handle_commit(view, seq, digest, from, staged)
+                }
+                PbftMsg::ViewChange { new_view, from, prepared } => {
+                    self.handle_view_change(new_view, from, prepared, staged)
+                }
+                PbftMsg::NewView { view, preprepares } => {
+                    self.handle_new_view(view, preprepares, from, staged)
+                }
+                PbftMsg::Reply(_) => {}
+            },
+            Input::Timer { kind: TIMER_REQUEST, token } => {
+                if self.pending.contains_key(&token) {
+                    let next = self.view + 1;
+                    self.start_view_change(next, staged);
+                    // Keep watching: if the new view also stalls, escalate.
+                    staged.arm(self.patience, TIMER_REQUEST, token);
+                }
+            }
+            Input::Timer { kind: TIMER_FLUSH, token } => {
+                // Stale tokens (from accumulations already sealed by size)
+                // are ignored; only the current epoch's timer flushes.
+                if self.batcher.on_flush_timer(token) && self.is_primary() {
+                    self.flush_batch(staged);
+                }
+            }
+            Input::Timer { .. } => {}
+        }
+    }
+}
+
 /// A PBFT cluster of `3f+1` replicas.
 #[derive(Debug)]
 pub struct PbftCluster {
@@ -667,6 +709,7 @@ impl PbftCluster {
                 .map(|i| {
                     let mut r = PbftReplica::new(ReplicaId(i), config.f);
                     r.set_batching(config.batch_size, config.batch_flush);
+                    r.set_patience(config.request_patience);
                     r
                 })
                 .collect(),
@@ -708,11 +751,7 @@ impl Cluster for PbftCluster {
     }
 
     fn correct_replicas(&self) -> Vec<ReplicaId> {
-        self.nodes
-            .iter()
-            .filter(|n| !n.behavior().is_byzantine())
-            .map(|n| n.id())
-            .collect()
+        self.nodes.iter().filter(|n| !n.behavior().is_byzantine()).map(|n| n.id()).collect()
     }
 }
 
@@ -758,6 +797,59 @@ mod tests {
         );
         // Same request schedule -> same final state, batched or not.
         assert_eq!(c1.nodes()[0].state_digest(), c2.nodes()[0].state_digest());
+    }
+
+    #[test]
+    fn pipelined_clients_fill_batches_and_outrun_closed_loop() {
+        // 4 clients against batch_size 8: strictly closed-loop demand can
+        // never fill a batch (at most 4 concurrent requests), so progress
+        // leans on flush timeouts. A window of 4 gives the primary 16
+        // concurrent requests — full batches, higher throughput, same
+        // final state.
+        let base = RunConfig {
+            batch_size: 8,
+            batch_flush: 100,
+            link_occupancy: 8,
+            ..config(1, 4, 16, 67)
+        };
+        let piped_cfg = RunConfig { client_window: 4, ..base.clone() };
+        let mut closed_cluster = PbftCluster::new(&base);
+        let closed = run(&mut closed_cluster, &base);
+        let mut piped_cluster = PbftCluster::new(&piped_cfg);
+        let piped = run(&mut piped_cluster, &piped_cfg);
+        assert_eq!(closed.committed, 64);
+        assert_eq!(piped.committed, 64);
+        assert!(closed.safety_ok && piped.safety_ok);
+        assert!(
+            piped.throughput_per_kcycle() > closed.throughput_per_kcycle(),
+            "window=4 must outrun closed-loop: {:.2} vs {:.2} ops/kcycle",
+            piped.throughput_per_kcycle(),
+            closed.throughput_per_kcycle()
+        );
+        assert_eq!(
+            closed_cluster.nodes()[0].state_digest(),
+            piped_cluster.nodes()[0].state_digest()
+        );
+    }
+
+    #[test]
+    fn pipelined_retransmissions_stay_exactly_once() {
+        // Tiny client timeout + window 3: every outstanding op retransmits
+        // independently; execution must remain exactly-once per op.
+        let cfg = RunConfig {
+            client_timeout: 25,
+            client_window: 3,
+            max_cycles: 5_000_000,
+            ..config(1, 2, 6, 71)
+        };
+        let mut cluster = PbftCluster::new(&cfg);
+        let report = run(&mut cluster, &cfg);
+        assert_eq!(report.committed, 12);
+        assert!(report.safety_ok);
+        for node in cluster.nodes() {
+            assert_eq!(node.committed_log().len(), 12, "exactly-once execution");
+        }
+        assert!(report.client_retries > 0, "test must actually exercise retries");
     }
 
     #[test]

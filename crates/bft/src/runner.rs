@@ -1,10 +1,15 @@
-//! The deterministic protocol harness: closed-loop clients, message
-//! latencies, message accounting, and the cross-replica safety checker.
+//! The deterministic protocol harness: windowed closed-loop clients,
+//! message latencies, message accounting, and the cross-replica safety
+//! checker.
+//!
+//! The event queue is allocation-free on the hot path: event bodies live
+//! in a [`Slab`] arena (freelist reuse, no per-event map nodes) and the
+//! priority heap carries `Copy` keys `(time, event_seq, slot)`. The
+//! monotone `event_seq` — not the reused slot index — is the FIFO
+//! tiebreak, so determinism is independent of slot recycling.
 
-use crate::api::{
-    ClientId, Cluster, Endpoint, Input, OpId, ReplicaId, ReplicaNode, Request,
-};
-use rsoc_sim::{Histogram, SimRng};
+use crate::api::{ClientId, Cluster, Endpoint, Input, OpId, ReplicaId, ReplicaNode, Request};
+use rsoc_sim::{Histogram, SimRng, Slab};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 
@@ -42,10 +47,9 @@ impl LatencyModel {
             LatencyModel::Uniform { min, max } => rng.range(*min, *max + 1),
             LatencyModel::MeshHops { replica_at, client_at, per_hop, overhead } => {
                 let pos = |e: Endpoint| match e {
-                    Endpoint::Replica(r) => replica_at
-                        .get(r.0 as usize)
-                        .copied()
-                        .unwrap_or(*client_at),
+                    Endpoint::Replica(r) => {
+                        replica_at.get(r.0 as usize).copied().unwrap_or(*client_at)
+                    }
                     Endpoint::Client(_) => *client_at,
                 };
                 let (ax, ay) = pos(from);
@@ -91,6 +95,18 @@ pub struct RunConfig {
     /// per-message fixed cost that batching amortizes; 0 models infinite
     /// interface bandwidth (messages are free in virtual time).
     pub link_occupancy: u64,
+    /// Requests each client keeps outstanding (clamped to ≥ 1). At 1 the
+    /// client is strictly closed-loop: it waits for a reply quorum before
+    /// issuing the next request. A window of `k` lets a client pipeline
+    /// `k` requests, so a batching primary sees enough concurrent demand
+    /// to actually fill `batch_size` slots without extra client tiles.
+    pub client_window: usize,
+    /// Cycles a backup waits for a pending request to commit before
+    /// suspecting the primary (view-change trigger). Must exceed the
+    /// steady-state tail commit latency: pipelined windows multiply the
+    /// in-flight population, so deep windows need proportionally more
+    /// patience or correct primaries get deposed in a permanent storm.
+    pub request_patience: u64,
 }
 
 impl Default for RunConfig {
@@ -108,6 +124,8 @@ impl Default for RunConfig {
             batch_size: 1,
             batch_flush: 200,
             link_occupancy: 0,
+            client_window: 1,
+            request_patience: 1_500,
         }
     }
 }
@@ -164,14 +182,24 @@ enum Queued<M> {
     ClientTimer { client: ClientId, op_seq: u64 },
 }
 
+/// One in-flight client operation: the request, when it was first sent
+/// (retransmissions do not reset the latency clock), and the per-result
+/// reply tally.
+struct PendingOp {
+    request: Request,
+    sent_at: u64,
+    replies: BTreeMap<Vec<u8>, Vec<ReplicaId>>,
+}
+
 struct ClientState {
     id: ClientId,
     next_seq: u64,
     done: u64,
     target: u64,
-    outstanding: Option<Request>,
-    sent_at: u64,
-    replies: BTreeMap<Vec<u8>, Vec<ReplicaId>>,
+    /// Maximum concurrently outstanding operations.
+    window: usize,
+    /// Outstanding operations keyed by client sequence number.
+    pending: BTreeMap<u64, PendingOp>,
     retries: u64,
 }
 
@@ -182,9 +210,11 @@ struct ClientState {
 pub fn run<C: Cluster>(cluster: &mut C, config: &RunConfig) -> RunReport {
     let n = cluster.nodes().len();
     let mut rng = SimRng::new(config.seed ^ 0xB07_F00D);
-    let mut queue: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
-    let mut slots: BTreeMap<u64, Queued<<C::Node as ReplicaNode>::Msg>> = BTreeMap::new();
-    let mut next_slot: u64 = 0;
+    // Event bodies in a slab (slot indices reused via freelist), ordering
+    // carried by the heap key (time, monotone event seq, slot).
+    let mut queue: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::new();
+    let mut slots: Slab<Queued<<C::Node as ReplicaNode>::Msg>> = Slab::new();
+    let mut next_event: u64 = 0;
     let mut now: u64 = 0;
     let mut egress_free: Vec<u64> = vec![0; n];
 
@@ -199,9 +229,8 @@ pub fn run<C: Cluster>(cluster: &mut C, config: &RunConfig) -> RunReport {
             next_seq: 1,
             done: 0,
             target: config.requests_per_client,
-            outstanding: None,
-            sent_at: 0,
-            replies: BTreeMap::new(),
+            window: config.client_window.max(1),
+            pending: BTreeMap::new(),
             retries: 0,
         })
         .collect();
@@ -210,44 +239,32 @@ pub fn run<C: Cluster>(cluster: &mut C, config: &RunConfig) -> RunReport {
 
     macro_rules! push_event {
         ($at:expr, $ev:expr) => {{
-            let slot = next_slot;
-            next_slot += 1;
-            slots.insert(slot, $ev);
-            queue.push(Reverse(($at, slot)));
+            let slot = slots.insert($ev);
+            let seq = next_event;
+            next_event += 1;
+            queue.push(Reverse(($at, seq, slot)));
         }};
     }
 
-    // Kick off: every client issues its first request at time ~0.
-    let mut initial_sends: Vec<(u64, Endpoint, Endpoint, <C::Node as ReplicaNode>::Msg)> =
-        Vec::new();
-    for c in &mut clients {
-        if let Some((req, sends)) = client_issue::<C>(c, n, config, &mut rng, 0) {
-            for s in sends {
-                initial_sends.push(s);
+    // Kick off: every client fills its pipeline window at time ~0.
+    for client in clients.iter_mut() {
+        let id = client.id;
+        while let Some((op_seq, sends)) = client_issue::<C>(client, n, config, &mut rng, 0) {
+            for (at, from, to, msg) in sends {
+                messages_total += 1;
+                push_event!(at, Queued::Deliver { from, to, msg });
             }
-            let _ = req;
-        }
-    }
-    for (at, from, to, msg) in initial_sends {
-        messages_total += 1;
-        push_event!(at, Queued::Deliver { from, to, msg });
-    }
-    for c in &clients {
-        if c.outstanding.is_some() {
-            push_event!(
-                config.client_timeout,
-                Queued::ClientTimer { client: c.id, op_seq: c.next_seq - 1 }
-            );
+            push_event!(config.client_timeout, Queued::ClientTimer { client: id, op_seq });
         }
     }
 
-    while let Some(Reverse((at, slot))) = queue.pop() {
+    while let Some(Reverse((at, _, slot))) = queue.pop() {
         if at > config.max_cycles {
             now = config.max_cycles;
             break;
         }
         now = at;
-        let ev = slots.remove(&slot).expect("slot present");
+        let ev = slots.remove(slot).expect("slot present");
         match ev {
             Queued::Deliver { from, to, msg } => match to {
                 Endpoint::Replica(r) => {
@@ -267,34 +284,35 @@ pub fn run<C: Cluster>(cluster: &mut C, config: &RunConfig) -> RunReport {
                         &mut messages_total,
                         &mut messages_protocol,
                         &mut |at, ev| {
-                            let slot = next_slot;
-                            next_slot += 1;
-                            slots.insert(slot, ev);
-                            queue.push(Reverse((at, slot)));
+                            let slot = slots.insert(ev);
+                            let seq = next_event;
+                            next_event += 1;
+                            queue.push(Reverse((at, seq, slot)));
                         },
                     );
                 }
                 Endpoint::Client(c) => {
                     let Some(reply) = C::Node::as_reply(&msg).cloned() else { continue };
                     let client = &mut clients[c.0 as usize];
-                    let Some(outstanding) = &client.outstanding else { continue };
-                    if reply.op != outstanding.op {
+                    let Some(op) = client.pending.get_mut(&reply.op.seq) else { continue };
+                    if reply.op != op.request.op {
                         continue;
                     }
-                    let voters = client.replies.entry(reply.result.clone()).or_default();
+                    let voters = op.replies.entry(reply.result.clone()).or_default();
                     if !voters.contains(&reply.replica) {
                         voters.push(reply.replica);
                     }
                     if voters.len() >= quorum {
                         committed += 1;
-                        commit_latency.record((now - client.sent_at) as f64);
+                        commit_latency.record((now - op.sent_at) as f64);
                         client.done += 1;
-                        client.outstanding = None;
-                        client.replies.clear();
-                        if let Some((_, sends)) =
+                        client.pending.remove(&reply.op.seq);
+                        // A completed op frees one window slot: issue the
+                        // next request immediately (the pipeline stays full
+                        // until the target is exhausted).
+                        if let Some((op_seq, sends)) =
                             client_issue::<C>(client, n, config, &mut rng, now)
                         {
-                            let op_seq = client.next_seq - 1;
                             for (at, from, to, msg) in sends {
                                 messages_total += 1;
                                 push_event!(at, Queued::Deliver { from, to, msg });
@@ -324,23 +342,18 @@ pub fn run<C: Cluster>(cluster: &mut C, config: &RunConfig) -> RunReport {
                     &mut messages_total,
                     &mut messages_protocol,
                     &mut |at, ev| {
-                        let slot = next_slot;
-                        next_slot += 1;
-                        slots.insert(slot, ev);
-                        queue.push(Reverse((at, slot)));
+                        let slot = slots.insert(ev);
+                        let seq = next_event;
+                        next_event += 1;
+                        queue.push(Reverse((at, seq, slot)));
                     },
                 );
             }
             Queued::ClientTimer { client, op_seq } => {
                 let c = &mut clients[client.0 as usize];
-                let still_waiting = c
-                    .outstanding
-                    .as_ref()
-                    .map(|r| r.op.seq == op_seq)
-                    .unwrap_or(false);
-                if still_waiting {
+                if let Some(op) = c.pending.get(&op_seq) {
                     c.retries += 1;
-                    let req = c.outstanding.clone().expect("outstanding");
+                    let req = op.request.clone();
                     for i in 0..n {
                         let delay = config.latency.sample(
                             Endpoint::Client(client),
@@ -378,12 +391,12 @@ pub fn run<C: Cluster>(cluster: &mut C, config: &RunConfig) -> RunReport {
     // without timers every protocol's message cascades are finite.
     if clients.iter().all(|c| c.done >= c.target) {
         let mut drained = 0u64;
-        while let Some(Reverse((at, slot))) = queue.pop() {
+        while let Some(Reverse((at, _, slot))) = queue.pop() {
             if at > config.max_cycles || drained > 5_000_000 {
                 break;
             }
             drained += 1;
-            let ev = slots.remove(&slot).expect("slot present");
+            let ev = slots.remove(slot).expect("slot present");
             let Queued::Deliver { from, to: Endpoint::Replica(r), msg } = ev else { continue };
             let mut out = crate::api::Outbox::new();
             cluster.nodes_mut()[r.0 as usize].on_input(Input::Message { from, msg }, at, &mut out);
@@ -399,17 +412,17 @@ pub fn run<C: Cluster>(cluster: &mut C, config: &RunConfig) -> RunReport {
                 &mut |at2, ev| {
                     // Deliveries keep flowing; timers die with the run.
                     if matches!(ev, Queued::Deliver { .. }) {
-                        let slot = next_slot;
-                        next_slot += 1;
-                        slots.insert(slot, ev);
-                        queue.push(Reverse((at2, slot)));
+                        let slot = slots.insert(ev);
+                        let seq = next_event;
+                        next_event += 1;
+                        queue.push(Reverse((at2, seq, slot)));
                     }
                 },
             );
         }
     }
 
-    let requested: u64 = clients.iter().map(|c| c.done + c.outstanding.is_some() as u64).sum();
+    let requested: u64 = clients.iter().map(|c| c.done + c.pending.len() as u64).sum();
     let retries = clients.iter().map(|c| c.retries).sum();
     let safety_ok = check_safety(cluster);
 
@@ -428,8 +441,9 @@ pub fn run<C: Cluster>(cluster: &mut C, config: &RunConfig) -> RunReport {
     }
 }
 
-/// Issues the next request for `client`, if any remain. Returns the request
-/// and the scheduled send tuples.
+/// Issues the next request for `client`, if the target is not exhausted
+/// and the pipeline window has a free slot. Returns the issued client
+/// sequence number and the scheduled send tuples.
 #[allow(clippy::type_complexity)]
 fn client_issue<C: Cluster>(
     client: &mut ClientState,
@@ -437,11 +451,9 @@ fn client_issue<C: Cluster>(
     config: &RunConfig,
     rng: &mut SimRng,
     now: u64,
-) -> Option<(
-    Request,
-    Vec<(u64, Endpoint, Endpoint, <C::Node as ReplicaNode>::Msg)>,
-)> {
-    if client.done >= client.target {
+) -> Option<(u64, Vec<(u64, Endpoint, Endpoint, <C::Node as ReplicaNode>::Msg)>)> {
+    let issued = client.next_seq - 1;
+    if issued >= client.target || client.pending.len() >= client.window {
         return None;
     }
     let seq = client.next_seq;
@@ -451,25 +463,28 @@ fn client_issue<C: Cluster>(
     // request's identity, so runs that interleave differently (batched vs
     // unbatched, different latency models) execute identical commands.
     let mut payload_rng = SimRng::new(
-        config.seed
-            ^ ((client.id.0 as u64 + 1) << 40)
-            ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        config.seed ^ ((client.id.0 as u64 + 1) << 40) ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15),
     );
     let mut payload = vec![0u8; config.payload_size];
     for b in payload.iter_mut() {
         *b = payload_rng.next_u32() as u8;
     }
     // Make payloads printable KV sets so state machines do real work.
-    let text = format!("SET k{} v{}", client.id.0, seq);
+    // Each op writes its own key (client.seq): ops are independent, so a
+    // windowed client's completions may commit in any order and the final
+    // KV state is still a pure function of the op *set* — which is what
+    // lets the batched-vs-unbatched (and windowed-vs-closed-loop) digest
+    // equivalence checks hold under pipelining.
+    let text = format!("SET k{}.{seq} v{seq}", client.id.0);
     let tlen = text.len().min(payload.len().max(text.len()));
     payload.resize(tlen.max(config.payload_size), b'_');
     let copy_len = text.len().min(payload.len());
     payload[..copy_len].copy_from_slice(&text.as_bytes()[..copy_len]);
 
     let req = Request { op: OpId { client: client.id, seq }, payload };
-    client.outstanding = Some(req.clone());
-    client.sent_at = now;
-    client.replies.clear();
+    client
+        .pending
+        .insert(seq, PendingOp { request: req.clone(), sent_at: now, replies: BTreeMap::new() });
 
     let sends = (0..n)
         .map(|i| {
@@ -478,7 +493,7 @@ fn client_issue<C: Cluster>(
             (now + delay, Endpoint::Client(client.id), to, C::Node::make_request(req.clone()))
         })
         .collect();
-    Some((req, sends))
+    Some((seq, sends))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -533,8 +548,7 @@ pub fn check_safety<C: Cluster>(cluster: &C) -> bool {
             let lb = cluster.nodes()[b.0 as usize].committed_log();
             let common = la.len().min(lb.len());
             for k in 0..common {
-                if la[k].seq != lb[k].seq || la[k].op != lb[k].op || la[k].digest != lb[k].digest
-                {
+                if la[k].seq != lb[k].seq || la[k].op != lb[k].op || la[k].digest != lb[k].digest {
                     return false;
                 }
             }

@@ -138,6 +138,19 @@ impl Sha256 {
     }
 
     fn compress(&mut self, block: &[u8; 64]) {
+        #[cfg(target_arch = "x86_64")]
+        if accel::available() {
+            // SAFETY: the required target features were verified at runtime.
+            unsafe { accel::compress(&mut self.state, block) };
+            return;
+        }
+        self.compress_soft(block);
+    }
+
+    /// Portable scalar compression (FIPS 180-4 reference shape) — the
+    /// fallback when no hardware SHA extension is present, and the
+    /// specification the accelerated path is tested against.
+    fn compress_soft(&mut self, block: &[u8; 64]) {
         let mut w = [0u32; 64];
         for i in 0..16 {
             w[i] = u32::from_be_bytes([
@@ -150,21 +163,14 @@ impl Sha256 {
         for i in 16..64 {
             let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
             let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
+            w[i] = w[i - 16].wrapping_add(s0).wrapping_add(w[i - 7]).wrapping_add(s1);
         }
 
         let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
         for i in 0..64 {
             let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
             let ch = (e & f) ^ ((!e) & g);
-            let temp1 = h
-                .wrapping_add(s1)
-                .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
+            let temp1 = h.wrapping_add(s1).wrapping_add(ch).wrapping_add(K[i]).wrapping_add(w[i]);
             let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
             let maj = (a & b) ^ (a & c) ^ (b & c);
             let temp2 = s0.wrapping_add(maj);
@@ -189,6 +195,83 @@ impl Sha256 {
     }
 }
 
+/// SHA-NI accelerated compression, runtime-detected.
+///
+/// Every MAC on the consensus hot path is 2+ compressions, so the block
+/// function dominates authentication cost; the x86 SHA extension runs a
+/// round quartet per instruction. Detection is cached by the stdlib
+/// feature-detection macro; non-x86 targets (and CPUs without the
+/// extension) use [`Sha256::compress_soft`] unchanged.
+#[cfg(target_arch = "x86_64")]
+mod accel {
+    use super::K;
+    use core::arch::x86_64::*;
+
+    /// Whether the SHA extension (and the SSE levels the kernel below
+    /// uses) is present on this CPU.
+    #[inline]
+    pub fn available() -> bool {
+        std::arch::is_x86_feature_detected!("sha")
+            && std::arch::is_x86_feature_detected!("ssse3")
+            && std::arch::is_x86_feature_detected!("sse4.1")
+    }
+
+    /// Compresses one 64-byte block into `state`.
+    ///
+    /// # Safety
+    /// Callers must have verified [`available`] returns `true`.
+    #[target_feature(enable = "sha,sse2,ssse3,sse4.1")]
+    pub unsafe fn compress(state: &mut [u32; 8], block: &[u8; 64]) {
+        // Byte shuffle turning little-endian loads into big-endian words.
+        let be_mask = _mm_set_epi64x(0x0c0d_0e0f_0809_0a0bu64 as i64, 0x0405_0607_0001_0203);
+
+        // Repack [a,b,c,d]/[e,f,g,h] into the ABEF/CDGH lane layout the
+        // sha256rnds2 instruction expects.
+        let tmp = _mm_loadu_si128(state.as_ptr() as *const __m128i);
+        let tmp = _mm_shuffle_epi32(tmp, 0xB1);
+        let st1 = _mm_loadu_si128(state.as_ptr().add(4) as *const __m128i);
+        let st1 = _mm_shuffle_epi32(st1, 0x1B);
+        let mut state0 = _mm_alignr_epi8(tmp, st1, 8);
+        let mut state1 = _mm_blend_epi16(st1, tmp, 0xF0);
+        let (abef_save, cdgh_save) = (state0, state1);
+
+        // Message schedule ring: msgs[g % 4] holds words w[4g..4g+4].
+        let load = |offset: usize| {
+            let raw = _mm_loadu_si128(block.as_ptr().add(offset * 16) as *const __m128i);
+            _mm_shuffle_epi8(raw, be_mask)
+        };
+        let mut msgs = [load(0), load(1), load(2), load(3)];
+
+        for g in 0..16 {
+            let k = _mm_loadu_si128(K.as_ptr().add(4 * g) as *const __m128i);
+            let wk = _mm_add_epi32(msgs[g % 4], k);
+            state1 = _mm_sha256rnds2_epu32(state1, state0, wk);
+            state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(wk, 0x0E));
+            if (3..15).contains(&g) {
+                // Produce w[4(g+1)..4(g+1)+4] into the oldest ring slot:
+                // w[t] = σ1(w[t-2]) + w[t-7] + σ0(w[t-15]) + w[t-16].
+                let newest = msgs[g % 4];
+                let w_minus_7 = _mm_alignr_epi8(newest, msgs[(g + 3) % 4], 4);
+                let partial = _mm_add_epi32(
+                    _mm_sha256msg1_epu32(msgs[(g + 1) % 4], msgs[(g + 2) % 4]),
+                    w_minus_7,
+                );
+                msgs[(g + 1) % 4] = _mm_sha256msg2_epu32(partial, newest);
+            }
+        }
+
+        let state0 = _mm_add_epi32(state0, abef_save);
+        let state1 = _mm_add_epi32(state1, cdgh_save);
+        // Repack ABEF/CDGH back to [a,b,c,d]/[e,f,g,h].
+        let tmp = _mm_shuffle_epi32(state0, 0x1B);
+        let state1 = _mm_shuffle_epi32(state1, 0xB1);
+        let out0 = _mm_blend_epi16(tmp, state1, 0xF0);
+        let out1 = _mm_alignr_epi8(state1, tmp, 8);
+        _mm_storeu_si128(state.as_mut_ptr() as *mut __m128i, out0);
+        _mm_storeu_si128(state.as_mut_ptr().add(4) as *mut __m128i, out1);
+    }
+}
+
 /// One-shot SHA-256.
 ///
 /// ```
@@ -207,6 +290,30 @@ mod tests {
 
     fn hex(bytes: &[u8]) -> String {
         bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn accelerated_compress_matches_scalar_reference() {
+        if !accel::available() {
+            return; // nothing to cross-check on this CPU
+        }
+        // Pseudo-random blocks and chained states: the SHA-NI kernel must
+        // be bit-identical to the scalar specification everywhere.
+        let mut block = [0u8; 64];
+        let mut seed = 0x1234_5678_9abc_def0u64;
+        let mut fast = Sha256::new();
+        let mut soft = Sha256::new();
+        for _ in 0..200 {
+            for b in block.iter_mut() {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                *b = (seed >> 56) as u8;
+            }
+            // SAFETY: availability checked above.
+            unsafe { accel::compress(&mut fast.state, &block) };
+            soft.compress_soft(&block);
+            assert_eq!(fast.state, soft.state);
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! variants sharing a vulnerability fail together when it is exploited).
 //! Vendor families share base vulnerabilities, capturing the paper's
 //! multi-vendor/COTS argument, and a seeded generator produces fresh
-//! variants on demand ("IP compilers [that] generate diverse versions of
+//! variants on demand ("IP compilers \[that\] generate diverse versions of
 //! identical softcores ... on the fly", §II-B).
 //!
 //! Experiments **E5** (diversity vs common-mode compromise) and **E6**

@@ -27,10 +27,8 @@ pub fn common_mode_exposure(pool: &VariantPool, assignment: &[VariantId], f: usi
     if universe == 0 {
         return 0.0;
     }
-    let fatal = (0..universe)
-        .map(VulnId)
-        .filter(|v| replicas_hit(pool, assignment, *v) > f)
-        .count();
+    let fatal =
+        (0..universe).map(VulnId).filter(|v| replicas_hit(pool, assignment, *v) > f).count();
     fatal as f64 / universe as f64
 }
 
@@ -115,10 +113,7 @@ mod tests {
         let diverse = vec![VariantId(0), VariantId(1), VariantId(2), VariantId(3)];
         let e_mono = common_mode_exposure(&p, &mono, f);
         let e_div = common_mode_exposure(&p, &diverse, f);
-        assert!(
-            e_div < e_mono,
-            "diverse exposure {e_div} must be below monoculture {e_mono}"
-        );
+        assert!(e_div < e_mono, "diverse exposure {e_div} must be below monoculture {e_mono}");
     }
 
     #[test]

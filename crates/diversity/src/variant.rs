@@ -137,12 +137,8 @@ impl VariantPool {
     /// (e.g., variants currently deployed or known-compromised); generates
     /// a fresh one if no registered variant qualifies.
     pub fn diverse_replacement(&mut self, avoid: &[VariantId], rng: &mut SimRng) -> VariantId {
-        let candidates: Vec<VariantId> = self
-            .variants
-            .iter()
-            .map(|v| v.id)
-            .filter(|id| !avoid.contains(id))
-            .collect();
+        let candidates: Vec<VariantId> =
+            self.variants.iter().map(|v| v.id).filter(|id| !avoid.contains(id)).collect();
         match rng.choose(&candidates) {
             Some(id) => *id,
             None => self.fresh_variant(rng),
@@ -173,10 +169,7 @@ mod tests {
         let cfg = p.config();
         assert_eq!(p.variants().len(), cfg.initial_variants as usize);
         for v in p.variants() {
-            assert_eq!(
-                v.vulns.len(),
-                (cfg.vendor_base_vulns + cfg.variant_vulns) as usize
-            );
+            assert_eq!(v.vulns.len(), (cfg.vendor_base_vulns + cfg.variant_vulns) as usize);
         }
     }
 
@@ -226,10 +219,8 @@ mod tests {
         let v = &p.variants()[0];
         let hit = *v.vulns.iter().next().unwrap();
         assert!(v.vulnerable_to(hit));
-        let miss = (0..p.config().vuln_universe)
-            .map(VulnId)
-            .find(|x| !v.vulns.contains(x))
-            .unwrap();
+        let miss =
+            (0..p.config().vuln_universe).map(VulnId).find(|x| !v.vulns.contains(x)).unwrap();
         assert!(!v.vulnerable_to(miss));
     }
 
@@ -238,7 +229,12 @@ mod tests {
     fn rejects_oversized_sets() {
         let mut rng = SimRng::new(1);
         VariantPool::generate(
-            PoolConfig { vuln_universe: 5, vendor_base_vulns: 4, variant_vulns: 4, ..Default::default() },
+            PoolConfig {
+                vuln_universe: 5,
+                vendor_base_vulns: 4,
+                variant_vulns: 4,
+                ..Default::default()
+            },
             &mut rng,
         );
     }

@@ -58,9 +58,7 @@ impl Bitstream {
         let n = region.len as usize * frame_words;
         let words: Vec<u64> = (0..n)
             .map(|i| {
-                let mut x = variant
-                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                    .wrapping_add(i as u64);
+                let mut x = variant.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64);
                 x ^= x >> 31;
                 x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
                 x ^ (x >> 29)

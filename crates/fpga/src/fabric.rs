@@ -82,7 +82,10 @@ impl FpgaFabric {
             rows,
             cols,
             frame_words,
-            frames: vec![Frame { words: vec![0; frame_words], ..Default::default() }; (rows * cols) as usize],
+            frames: vec![
+                Frame { words: vec![0; frame_words], ..Default::default() };
+                (rows * cols) as usize
+            ],
             placements: BTreeMap::new(),
         }
     }
@@ -204,9 +207,7 @@ impl FpgaFabric {
     pub(crate) fn write_words(&mut self, region: Region, words: &[u64]) {
         for (i, f) in region.frames().enumerate() {
             let frame = &mut self.frames[f.0 as usize];
-            frame
-                .words
-                .copy_from_slice(&words[i * self.frame_words..(i + 1) * self.frame_words]);
+            frame.words.copy_from_slice(&words[i * self.frame_words..(i + 1) * self.frame_words]);
         }
     }
 

@@ -189,10 +189,7 @@ mod tests {
         icap.allow(Principal(0), r);
         let mut bs = Bitstream::for_variant(1, r, 4, &key);
         bs.words[0] ^= 0xFF;
-        assert_eq!(
-            icap.write(&mut fabric, Principal(0), r, &bs),
-            Err(IcapError::InvalidBitstream)
-        );
+        assert_eq!(icap.write(&mut fabric, Principal(0), r, &bs), Err(IcapError::InvalidBitstream));
     }
 
     #[test]
@@ -202,10 +199,7 @@ mod tests {
         icap.allow(Principal(0), r);
         // Signed by an attacker's key, not the ICAP's.
         let bs = Bitstream::for_variant(1, r, 4, &MacKey::derive(666, "attacker"));
-        assert_eq!(
-            icap.write(&mut fabric, Principal(0), r, &bs),
-            Err(IcapError::InvalidBitstream)
-        );
+        assert_eq!(icap.write(&mut fabric, Principal(0), r, &bs), Err(IcapError::InvalidBitstream));
     }
 
     #[test]

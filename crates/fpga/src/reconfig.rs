@@ -190,11 +190,7 @@ impl ReconfigEngine {
     }
 
     fn block_at(&self, region: Region) -> Option<BlockId> {
-        self.fabric
-            .placements()
-            .iter()
-            .find(|(_, r)| r.overlaps(&region))
-            .map(|(b, _)| *b)
+        self.fabric.placements().iter().find(|(_, r)| r.overlaps(&region)).map(|(b, _)| *b)
     }
 }
 
@@ -287,8 +283,7 @@ mod tests {
     fn relocation_rejects_bad_destinations() {
         let (mut e, key) = engine();
         let from = Region::new(0, 2);
-        e.reconfigure(Principal(0), from, &Bitstream::for_variant(7, from, 4, &key), 42)
-            .unwrap();
+        e.reconfigure(Principal(0), from, &Bitstream::for_variant(7, from, 4, &key), 42).unwrap();
         assert_eq!(
             e.relocate(Principal(0), 42, Region::new(1, 2)),
             Err(ReconfigError::DestinationUnavailable),
@@ -305,12 +300,8 @@ mod tests {
         );
         // Occupied destination.
         let other = Region::new(8, 2);
-        e.reconfigure(Principal(0), other, &Bitstream::for_variant(1, other, 4, &key), 1)
-            .unwrap();
-        assert_eq!(
-            e.relocate(Principal(0), 42, other),
-            Err(ReconfigError::DestinationUnavailable)
-        );
+        e.reconfigure(Principal(0), other, &Bitstream::for_variant(1, other, 4, &key), 1).unwrap();
+        assert_eq!(e.relocate(Principal(0), 42, other), Err(ReconfigError::DestinationUnavailable));
     }
 
     #[test]

@@ -155,10 +155,7 @@ impl DesignFlaw {
     pub fn sample(logic_gates: usize, rng: &mut SimRng) -> Self {
         assert!(logic_gates > 0, "no gates to flaw");
         let kinds = [FaultKind::StuckAt0, FaultKind::StuckAt1, FaultKind::Flip];
-        DesignFlaw {
-            logic_gate_index: rng.index(logic_gates),
-            kind: kinds[rng.index(3)],
-        }
+        DesignFlaw { logic_gate_index: rng.index(logic_gates), kind: kinds[rng.index(3)] }
     }
 }
 
@@ -275,11 +272,7 @@ mod tests {
     #[test]
     fn flaw_in_any_single_diverse_copy_is_masked() {
         let w = 2;
-        let impls = [
-            ripple_carry_adder(w),
-            ripple_carry_adder_nand(w),
-            ripple_carry_adder_nor(w),
-        ];
+        let impls = [ripple_carry_adder(w), ripple_carry_adder_nand(w), ripple_carry_adder_nor(w)];
         let refs: Vec<&Netlist> = impls.iter().collect();
         let diverse = nmr_diverse(&refs);
         let mut rng = SimRng::new(4);

@@ -46,6 +46,15 @@ impl DecodeOutcome {
 pub struct Hamming {
     data_bits: u32,
     parity_bits: u32,
+    /// Codeword position of payload bit `i` (scatter/gather map).
+    data_pos: [u8; 64],
+    /// Coverage mask per Hamming parity bit: the set of codeword
+    /// positions whose 1-indexed position has bit `p` set. Parity and
+    /// syndrome computations reduce to `count_ones` over these masks —
+    /// the software analogue of the hardware XOR tree — instead of
+    /// per-bit scans (this codec runs on every USIG counter access, so
+    /// it is squarely on the consensus hot path).
+    masks: [u128; 7],
 }
 
 impl Hamming {
@@ -59,7 +68,24 @@ impl Hamming {
         while (1u64 << r) < (data_bits + r + 1) as u64 {
             r += 1;
         }
-        Hamming { data_bits, parity_bits: r }
+        let total = data_bits + r;
+        let mut data_pos = [0u8; 64];
+        let mut idx = 0usize;
+        for pos in 1..=total {
+            if pos & (pos - 1) != 0 {
+                data_pos[idx] = pos as u8;
+                idx += 1;
+            }
+        }
+        let mut masks = [0u128; 7];
+        for (p, mask) in masks.iter_mut().enumerate().take(r as usize) {
+            for pos in 1..=total {
+                if pos & (1u32 << p) != 0 {
+                    *mask |= 1u128 << pos;
+                }
+            }
+        }
+        Hamming { data_bits, parity_bits: r, data_pos, masks }
     }
 
     /// Payload width in bits.
@@ -94,35 +120,24 @@ impl Hamming {
         if self.data_bits < 64 {
             assert!(data < (1u64 << self.data_bits), "payload too wide");
         }
-        let total = self.data_bits + self.parity_bits; // positions 1..=total
+        // Scatter data bits into non-power-of-two positions.
         let mut word: u128 = 0;
-        // Scatter data bits into non-power-of-two positions 1..=total.
-        let mut data_idx = 0;
-        for pos in 1..=total {
-            if pos & (pos - 1) == 0 {
-                continue; // parity position
-            }
-            if (data >> data_idx) & 1 == 1 {
-                word |= 1u128 << pos;
-            }
-            data_idx += 1;
+        let mut rest = data;
+        while rest != 0 {
+            let i = rest.trailing_zeros() as usize;
+            word |= 1u128 << self.data_pos[i];
+            rest &= rest - 1;
         }
-        // Compute Hamming parity bits.
-        for p in 0..self.parity_bits {
-            let pbit = 1u32 << p;
-            let mut parity = false;
-            for pos in 1..=total {
-                if pos & pbit != 0 && (word >> pos) & 1 == 1 {
-                    parity ^= true;
-                }
-            }
-            if parity {
-                word |= 1u128 << pbit;
+        // Each Hamming parity bit is one masked popcount (the XOR tree).
+        // Position `2^p` is still zero in `word`, so including it in the
+        // mask is harmless here and required for the decode syndrome.
+        for p in 0..self.parity_bits as usize {
+            if (word & self.masks[p]).count_ones() & 1 == 1 {
+                word |= 1u128 << (1u32 << p);
             }
         }
         // Overall parity over positions 1..=total, stored at bit 0.
-        let ones = (word >> 1).count_ones(); // counts bits 1..=total only
-        if ones % 2 == 1 {
+        if (word >> 1).count_ones() % 2 == 1 {
             word |= 1;
         }
         word
@@ -132,12 +147,11 @@ impl Hamming {
     /// errors.
     pub fn decode(&self, mut word: u128) -> DecodeOutcome {
         let total = self.data_bits + self.parity_bits;
-        // Syndrome: XOR of positions with a set bit.
+        // Syndrome bit `p` is the parity of the set positions whose index
+        // has bit `p` set — one masked popcount per parity bit.
         let mut syndrome: u32 = 0;
-        for pos in 1..=total {
-            if (word >> pos) & 1 == 1 {
-                syndrome ^= pos;
-            }
+        for p in 0..self.parity_bits as usize {
+            syndrome |= ((word & self.masks[p]).count_ones() & 1) << p;
         }
         // Overall parity check (positions 0..=total).
         let mask = if total + 1 >= 128 { u128::MAX } else { (1u128 << (total + 1)) - 1 };
@@ -157,17 +171,10 @@ impl Hamming {
             return DecodeOutcome::DoubleError;
         };
 
-        // Gather payload.
+        // Gather payload through the scatter map.
         let mut data: u64 = 0;
-        let mut data_idx = 0;
-        for pos in 1..=total {
-            if pos & (pos - 1) == 0 {
-                continue;
-            }
-            if (word >> pos) & 1 == 1 {
-                data |= 1u64 << data_idx;
-            }
-            data_idx += 1;
+        for i in 0..self.data_bits as usize {
+            data |= (((word >> self.data_pos[i]) & 1) as u64) << i;
         }
         match corrected_pos {
             None => DecodeOutcome::Clean(data),

@@ -47,11 +47,7 @@ impl Die {
     /// Builds a die with `n` layers all from one vendor (the monoculture
     /// baseline).
     pub fn monoculture(n: usize, vendor: VendorId, local_defect_rate: f64) -> Self {
-        Die::new(
-            (0..n)
-                .map(|_| Layer { vendor, local_defect_rate })
-                .collect(),
-        )
+        Die::new((0..n).map(|_| Layer { vendor, local_defect_rate }).collect())
     }
 
     /// Builds a die with `n` layers cycling over `vendors`.
@@ -89,9 +85,7 @@ impl Die {
     pub fn survives_mission(&self, vendor_event_rate: f64, rng: &mut SimRng) -> bool {
         let mut vendor_down: BTreeMap<VendorId, bool> = BTreeMap::new();
         for l in &self.layers {
-            vendor_down
-                .entry(l.vendor)
-                .or_insert_with(|| rng.chance(vendor_event_rate));
+            vendor_down.entry(l.vendor).or_insert_with(|| rng.chance(vendor_event_rate));
         }
         let healthy = self
             .layers
@@ -112,9 +106,7 @@ impl Die {
         rng: &mut SimRng,
     ) -> f64 {
         assert!(trials > 0, "need at least one trial");
-        let ok = (0..trials)
-            .filter(|_| self.survives_mission(vendor_event_rate, rng))
-            .count();
+        let ok = (0..trials).filter(|_| self.survives_mission(vendor_event_rate, rng)).count();
         ok as f64 / trials as f64
     }
 }

@@ -40,9 +40,9 @@ pub mod redundancy;
 pub mod register;
 pub mod reliability;
 
+pub use diverse::{nmr_diverse, DesignFlaw};
 pub use ecc::{DecodeOutcome, Hamming};
 pub use faults::{FaultKind, FaultMap, FaultSampler};
 pub use netlist::{GateId, GateKind, Netlist};
-pub use diverse::{nmr_diverse, DesignFlaw};
 pub use redundancy::nmr;
 pub use register::{EccRegister, LoadOutcome, ParityRegister, PlainRegister, RegisterCell};

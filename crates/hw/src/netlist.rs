@@ -265,10 +265,8 @@ impl Netlist {
                     wired
                 }
                 kind => {
-                    let pins: Vec<GateId> = gate.pins[..kind.arity()]
-                        .iter()
-                        .map(|p| map[p.index()])
-                        .collect();
+                    let pins: Vec<GateId> =
+                        gate.pins[..kind.arity()].iter().map(|p| map[p.index()]).collect();
                     self.gate(kind, &pins)
                 }
             };

@@ -102,10 +102,7 @@ impl TrInc {
     /// verifiers, as with [`crate::KeyRing`]).
     pub fn verify(key: &MacKey, att: &TrIncAttestation, message: &[u8]) -> bool {
         att.new >= att.old
-            && key.verify(
-                &payload(att.device, att.counter_id, att.old, att.new, message),
-                &att.tag,
-            )
+            && key.verify(&payload(att.device, att.counter_id, att.old, att.new, message), &att.tag)
     }
 }
 

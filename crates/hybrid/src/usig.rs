@@ -191,12 +191,14 @@ impl Usig {
     }
 }
 
-fn ui_payload(id: UsigId, counter: u64, message: &[u8]) -> Vec<u8> {
+fn ui_payload(id: UsigId, counter: u64, message: &[u8]) -> [u8; 44] {
+    // Fixed-size stack buffer: this runs once per MAC operation on the
+    // consensus hot path, so it must not allocate.
     let digest = sha256(message);
-    let mut payload = Vec::with_capacity(4 + 8 + 32);
-    payload.extend_from_slice(&id.0.to_le_bytes());
-    payload.extend_from_slice(&counter.to_le_bytes());
-    payload.extend_from_slice(&digest);
+    let mut payload = [0u8; 44];
+    payload[..4].copy_from_slice(&id.0.to_le_bytes());
+    payload[4..12].copy_from_slice(&counter.to_le_bytes());
+    payload[12..].copy_from_slice(&digest);
     payload
 }
 

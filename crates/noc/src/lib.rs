@@ -29,6 +29,7 @@
 
 pub mod latency;
 pub mod network;
+pub mod reference;
 pub mod retransmit;
 pub mod router;
 pub mod topology;
@@ -36,6 +37,7 @@ pub mod traffic;
 
 pub use latency::HopLatencyModel;
 pub use network::{Network, NetworkConfig, NetworkStats};
+pub use reference::ReferenceNetwork;
 pub use router::Routing;
 pub use topology::{Coord, Direction, LinkId, Mesh2d, NodeId};
 pub use traffic::TrafficPattern;

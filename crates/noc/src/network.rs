@@ -5,11 +5,32 @@
 //! coarser than flit-level wormhole simulation but preserving the
 //! properties E10 measures — contention, path length, and the effect of
 //! dead links under different routing policies.
+//!
+//! # Engine
+//!
+//! Flights live in a [`Slab`] arena (stable slots, freelist reuse — no
+//! per-packet allocation churn) and are driven by an indexed
+//! next-event-time queue: a binary heap of `(next_attempt_cycle,
+//! injection_order, slot)` keys. [`Network::drain`] pops the queue
+//! instead of rescanning the whole in-flight list every cycle, so its
+//! cost is proportional to hop *attempts* (near-linear in deliveries on
+//! an uncongested mesh) rather than `cycles × flights`, and idle cycles
+//! — e.g. while one long-haul packet crosses a large mesh after the rest
+//! delivered — are skipped outright. Per-cycle link occupancy is a dense
+//! cycle-stamped array indexed by [`Mesh2d::link_index`], replacing the
+//! tree-map the old scan loop rebuilt every cycle.
+//!
+//! Contention priority is by injection order (oldest packet first), and
+//! the heap key makes that explicit. The behaviourally identical
+//! scan-loop specification lives in [`crate::reference`]; a property
+//! test holds the two to the same `(cycle, packet)` delivery/drop
+//! sequence.
 
 use crate::router::{route, RouteBlock, Routing};
 use crate::topology::{Direction, LinkId, Mesh2d, NodeId};
-use rsoc_sim::SimRng;
-use std::collections::{BTreeMap, BTreeSet};
+use rsoc_sim::{SimRng, Slab};
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
 
 /// Unique packet identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -38,6 +59,9 @@ struct Flight {
     dst: NodeId,
     here: NodeId,
     injected_at: u64,
+    /// Injection order — the contention-priority key (never reused, unlike
+    /// the slab slot).
+    order: u64,
     hops: u32,
     misroutes: u32,
     stalled: u32,
@@ -107,8 +131,17 @@ pub struct Network {
     config: NetworkConfig,
     now: u64,
     next_packet: u64,
-    flights: Vec<Flight>,
+    next_order: u64,
+    flights: Slab<Flight>,
+    /// Next-event queue: `(attempt_cycle, injection_order, slot)`, earliest
+    /// first. Every in-flight packet has exactly one pending entry.
+    queue: BinaryHeap<Reverse<(u64, u64, u32)>>,
     dead_links: BTreeSet<LinkId>,
+    /// Dense mirror of `dead_links` for the per-hop check.
+    dead: Vec<bool>,
+    /// Cycle stamp per directed link: a link is occupied for cycle `t`
+    /// iff `link_used_at[idx] == t` (`u64::MAX` = never used).
+    link_used_at: Vec<u64>,
     stats: NetworkStats,
 }
 
@@ -120,8 +153,12 @@ impl Network {
             config,
             now: 0,
             next_packet: 0,
-            flights: Vec::new(),
+            next_order: 0,
+            flights: Slab::new(),
+            queue: BinaryHeap::new(),
             dead_links: BTreeSet::new(),
+            dead: vec![false; mesh.link_index_count()],
+            link_used_at: vec![u64::MAX; mesh.link_index_count()],
             stats: NetworkStats::default(),
         }
     }
@@ -149,18 +186,20 @@ impl Network {
     /// Marks a directed link dead (router port failure / wire defect).
     pub fn kill_link(&mut self, link: LinkId) {
         self.dead_links.insert(link);
+        self.dead[self.mesh.link_index(link)] = true;
     }
 
     /// Revives a dead link (e.g., after reconfiguration repaired the port).
     pub fn revive_link(&mut self, link: LinkId) {
         self.dead_links.remove(&link);
+        self.dead[self.mesh.link_index(link)] = false;
     }
 
     /// Kills each directed link independently with probability `p`.
     pub fn kill_links_randomly(&mut self, p: f64, rng: &mut SimRng) {
         for link in self.mesh.links() {
             if rng.chance(p) {
-                self.dead_links.insert(link);
+                self.kill_link(link);
             }
         }
     }
@@ -180,96 +219,117 @@ impl Network {
             self.stats.delivered.push(Delivery { packet: id, at: self.now, latency: 0, hops: 0 });
             return id;
         }
-        self.flights.push(Flight {
+        let order = self.next_order;
+        self.next_order += 1;
+        let slot = self.flights.insert(Flight {
             id,
             dst,
             here: src,
             injected_at: self.now,
+            order,
             hops: 0,
             misroutes: 0,
             stalled: 0,
         });
+        self.queue.push(Reverse((self.now + self.config.hop_cycles as u64, order, slot)));
         id
     }
 
     /// Advances one cycle: every in-flight packet attempts one hop.
-    /// At most one packet crosses each directed link per cycle.
+    /// At most one packet crosses each directed link per cycle; older
+    /// packets (by injection) win contended links.
     pub fn tick(&mut self) {
         self.now += self.config.hop_cycles as u64;
-        let mut used: BTreeMap<LinkId, ()> = BTreeMap::new();
-        let mut finished: Vec<usize> = Vec::new();
-        // Deterministic order: by flight insertion (oldest first), which also
-        // gives older packets priority on contended links.
-        for i in 0..self.flights.len() {
-            let (here, dst, misroutes) = {
-                let f = &self.flights[i];
-                (f.here, f.dst, f.misroutes)
-            };
-            let dead = &self.dead_links;
-            let mesh = self.mesh;
-            let link_ok = |d: Direction| {
-                mesh.neighbor(here, d).is_some()
-                    && !dead.contains(&LinkId { from: here, dir: d.into() })
-            };
-            let used_ref = &used;
-            let link_free =
-                |d: Direction| !used_ref.contains_key(&LinkId { from: here, dir: d.into() });
-            match route(&self.mesh, self.config.routing, here, dst, misroutes, &link_ok, &link_free)
-            {
-                Ok(dir) => {
-                    let link = LinkId { from: here, dir: dir.into() };
-                    used.insert(link, ());
-                    let next = self.mesh.neighbor(here, dir).expect("router checked neighbor");
-                    let f = &mut self.flights[i];
-                    // Count whether this hop reduced distance (else misroute).
-                    let before = self.mesh.hops(here, dst);
-                    let after = self.mesh.hops(next, dst);
-                    if after >= before {
-                        f.misroutes += 1;
-                    }
-                    f.here = next;
-                    f.hops += 1;
-                    f.stalled = 0;
-                    self.stats.link_traversals += 1;
-                    if next == dst {
-                        finished.push(i);
-                    }
+        self.process_due(self.now);
+    }
+
+    /// Processes every queued hop attempt due at or before `horizon`, in
+    /// `(cycle, injection order)` order.
+    fn process_due(&mut self, horizon: u64) {
+        while let Some(&Reverse((at, _, _))) = self.queue.peek() {
+            if at > horizon {
+                break;
+            }
+            let Reverse((at, _, slot)) = self.queue.pop().expect("peeked entry");
+            self.attempt_hop(at, slot);
+        }
+    }
+
+    /// One hop attempt for the flight in `slot` during cycle `t`.
+    fn attempt_hop(&mut self, t: u64, slot: u32) {
+        let (here, dst, misroutes, order) = {
+            let f = self.flights.get(slot).expect("queued flight present");
+            (f.here, f.dst, f.misroutes, f.order)
+        };
+        let mesh = self.mesh;
+        let dead = &self.dead;
+        let used = &self.link_used_at;
+        let link_ok = |d: Direction| {
+            mesh.neighbor(here, d).is_some()
+                && !dead[mesh.link_index(LinkId { from: here, dir: d.into() })]
+        };
+        let link_free =
+            |d: Direction| used[mesh.link_index(LinkId { from: here, dir: d.into() })] != t;
+        match route(&self.mesh, self.config.routing, here, dst, misroutes, &link_ok, &link_free) {
+            Ok(dir) => {
+                let link = LinkId { from: here, dir: dir.into() };
+                self.link_used_at[self.mesh.link_index(link)] = t;
+                let next = self.mesh.neighbor(here, dir).expect("router checked neighbor");
+                // Count whether this hop reduced distance (else misroute).
+                let before = self.mesh.hops(here, dst);
+                let after = self.mesh.hops(next, dst);
+                let f = self.flights.get_mut(slot).expect("flight present");
+                if after >= before {
+                    f.misroutes += 1;
                 }
-                Err(RouteBlock::Contention) => {
-                    let f = &mut self.flights[i];
-                    f.stalled += 1;
-                    if f.stalled >= self.config.stall_timeout {
-                        self.stats.dropped.push(Drop { packet: f.id, at: self.now, dead_end: false });
-                        finished.push(i);
-                    }
-                }
-                Err(RouteBlock::Dead) => {
-                    let f = &self.flights[i];
-                    self.stats.dropped.push(Drop { packet: f.id, at: self.now, dead_end: true });
-                    finished.push(i);
+                f.here = next;
+                f.hops += 1;
+                f.stalled = 0;
+                self.stats.link_traversals += 1;
+                if next == dst {
+                    let f = self.flights.remove(slot).expect("flight present");
+                    self.stats.delivered.push(Delivery {
+                        packet: f.id,
+                        at: t,
+                        latency: t - f.injected_at,
+                        hops: f.hops,
+                    });
+                } else {
+                    self.queue.push(Reverse((t + self.config.hop_cycles as u64, order, slot)));
                 }
             }
-        }
-        // Remove finished flights (delivered or dropped), recording deliveries.
-        for &i in finished.iter().rev() {
-            let f = self.flights.swap_remove(i);
-            if f.here == f.dst {
-                self.stats.delivered.push(Delivery {
-                    packet: f.id,
-                    at: self.now,
-                    latency: self.now - f.injected_at,
-                    hops: f.hops,
-                });
+            Err(RouteBlock::Contention) => {
+                let f = self.flights.get_mut(slot).expect("flight present");
+                f.stalled += 1;
+                if f.stalled >= self.config.stall_timeout {
+                    let f = self.flights.remove(slot).expect("flight present");
+                    self.stats.dropped.push(Drop { packet: f.id, at: t, dead_end: false });
+                } else {
+                    self.queue.push(Reverse((t + self.config.hop_cycles as u64, order, slot)));
+                }
+            }
+            Err(RouteBlock::Dead) => {
+                let f = self.flights.remove(slot).expect("flight present");
+                self.stats.dropped.push(Drop { packet: f.id, at: t, dead_end: true });
             }
         }
     }
 
-    /// Runs ticks until the network drains or `max_cycles` elapse.
-    /// Returns the number of cycles simulated.
+    /// Runs until the network drains or `max_cycles` elapse, jumping
+    /// straight between event times instead of rescanning flights every
+    /// cycle. Returns the number of cycles simulated.
+    ///
+    /// Budget semantics match the reference tick loop exactly: a "tick"
+    /// (one batch of hop attempts) executes iff the budget was not yet
+    /// exhausted when it started, so with `hop_cycles > 1` the final
+    /// tick may overshoot `max_cycles`, just as the scan-loop model's
+    /// `while now - start < max_cycles { tick() }` does.
     pub fn drain(&mut self, max_cycles: u64) -> u64 {
         let start = self.now;
         while self.in_flight() > 0 && self.now - start < max_cycles {
-            self.tick();
+            let Some(&Reverse((at, _, _))) = self.queue.peek() else { break };
+            self.now = at;
+            self.process_due(at);
         }
         self.now - start
     }
@@ -278,6 +338,7 @@ impl Network {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::topology::Direction;
 
     fn net(routing: Routing) -> Network {
         Network::new(Mesh2d::new(4, 4), NetworkConfig { routing, ..Default::default() })
@@ -322,14 +383,27 @@ mod tests {
     }
 
     #[test]
+    fn older_packet_wins_contended_link() {
+        let mut n = net(Routing::Xy);
+        let src = n.mesh().node_at(0, 0).unwrap();
+        let dst = n.mesh().node_at(3, 0).unwrap();
+        let first = n.inject(src, dst, 1);
+        let second = n.inject(src, dst, 1);
+        n.drain(1000);
+        let lat = |p: PacketId| {
+            n.stats().delivered.iter().find(|d| d.packet == p).expect("delivered").latency
+        };
+        assert!(lat(first) < lat(second), "injection order is contention priority");
+    }
+
+    #[test]
     fn xy_drops_at_dead_link_but_adaptive_survives() {
         let kill = |n: &mut Network| {
             let from = n.mesh().node_at(1, 0).unwrap();
             n.kill_link(LinkId { from, dir: Direction::East.into() });
         };
-        let src_dst = |n: &Network| {
-            (n.mesh().node_at(0, 0).unwrap(), n.mesh().node_at(3, 0).unwrap())
-        };
+        let src_dst =
+            |n: &Network| (n.mesh().node_at(0, 0).unwrap(), n.mesh().node_at(3, 0).unwrap());
 
         let mut xy = net(Routing::Xy);
         kill(&mut xy);
@@ -397,5 +471,58 @@ mod tests {
         a.kill_links_randomly(0.2, &mut rng1);
         b.kill_links_randomly(0.2, &mut rng2);
         assert_eq!(a.dead_link_count(), b.dead_link_count());
+    }
+
+    #[test]
+    fn drain_skips_idle_cycles_but_reports_elapsed_time() {
+        // hop_cycles > 1 leaves gaps between attempt times; the event
+        // queue must jump them while reporting the same elapsed span the
+        // tick loop would.
+        let mut n = Network::new(
+            Mesh2d::new(4, 1),
+            NetworkConfig { routing: Routing::Xy, stall_timeout: 64, hop_cycles: 5 },
+        );
+        let s = n.mesh().node_at(0, 0).unwrap();
+        let d = n.mesh().node_at(3, 0).unwrap();
+        n.inject(s, d, 1);
+        let elapsed = n.drain(10_000);
+        assert_eq!(elapsed, 15, "3 hops x 5 cycles each");
+        assert_eq!(n.stats().delivered[0].latency, 15);
+        assert_eq!(n.now(), 15);
+    }
+
+    #[test]
+    fn drain_budget_matches_reference_with_multi_cycle_hops() {
+        // The budget-crossing tick still executes (reference semantics):
+        // with hop_cycles = 5 and a 3-cycle budget, the scan-loop model
+        // ticks once (now 0 -> 5) because the budget was unspent when the
+        // tick started. The event queue must do the same hop, not skip it.
+        let config = NetworkConfig { routing: Routing::Xy, stall_timeout: 64, hop_cycles: 5 };
+        let mesh = Mesh2d::new(4, 1);
+        let s = mesh.node_at(0, 0).unwrap();
+        let d = mesh.node_at(1, 0).unwrap();
+        let mut fast = Network::new(mesh, config.clone());
+        let mut reference = crate::reference::ReferenceNetwork::new(mesh, config);
+        fast.inject(s, d, 1);
+        reference.inject(s, d, 1);
+        let fast_elapsed = fast.drain(3);
+        let ref_elapsed = reference.drain(3);
+        assert_eq!(fast_elapsed, ref_elapsed, "budget overshoot must match");
+        assert_eq!(fast_elapsed, 5, "the started tick completes");
+        assert_eq!(fast.stats().delivered.len(), 1, "one-hop packet delivered");
+        assert_eq!(reference.delivered.len(), 1);
+    }
+
+    #[test]
+    fn drain_respects_cycle_budget() {
+        let mut n = net(Routing::Xy);
+        let s = n.mesh().node_at(0, 0).unwrap();
+        let d = n.mesh().node_at(3, 3).unwrap();
+        n.inject(s, d, 1);
+        let elapsed = n.drain(3);
+        assert_eq!(elapsed, 3, "budget pins the elapsed span");
+        assert_eq!(n.in_flight(), 1, "packet still traveling");
+        n.drain(100);
+        assert_eq!(n.stats().delivered.len(), 1);
     }
 }

@@ -1,0 +1,205 @@
+//! Scan-loop reference model for the packet network — the executable
+//! specification of [`crate::network::Network`].
+//!
+//! This is the pre-optimization formulation: every cycle, walk the whole
+//! in-flight list in injection order and let each packet attempt one hop
+//! (`cycles × flights` work, a fresh per-cycle link-occupancy set). It is
+//! deliberately simple and obviously correct; the production engine in
+//! [`crate::network`] replaces the scan with a slab arena plus an indexed
+//! next-event-time queue and must stay *observably identical* — the
+//! `noc_event_queue_matches_reference_model` property test in the
+//! top-level suite holds both models to the same `(cycle, packet)`
+//! delivery and drop sequences. Keep this model dumb: its only job is to
+//! be trustworthy.
+
+use crate::network::{Delivery, Drop, NetworkConfig, PacketId};
+use crate::router::{route, RouteBlock};
+use crate::topology::{Direction, LinkId, Mesh2d, NodeId};
+use std::collections::BTreeSet;
+
+#[derive(Debug, Clone)]
+struct Flight {
+    id: PacketId,
+    dst: NodeId,
+    here: NodeId,
+    injected_at: u64,
+    hops: u32,
+    misroutes: u32,
+    stalled: u32,
+    done: bool,
+}
+
+/// The retain-loop packet network: same configuration, same observable
+/// records, naive per-cycle execution.
+#[derive(Debug)]
+pub struct ReferenceNetwork {
+    mesh: Mesh2d,
+    config: NetworkConfig,
+    now: u64,
+    next_packet: u64,
+    flights: Vec<Flight>,
+    dead_links: BTreeSet<LinkId>,
+    /// Delivered packets, in delivery order.
+    pub delivered: Vec<Delivery>,
+    /// Dropped packets, in drop order.
+    pub dropped: Vec<Drop>,
+}
+
+impl ReferenceNetwork {
+    /// Creates the reference network over `mesh`.
+    pub fn new(mesh: Mesh2d, config: NetworkConfig) -> Self {
+        ReferenceNetwork {
+            mesh,
+            config,
+            now: 0,
+            next_packet: 0,
+            flights: Vec::new(),
+            dead_links: BTreeSet::new(),
+            delivered: Vec::new(),
+            dropped: Vec::new(),
+        }
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Packets currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.flights.len()
+    }
+
+    /// Marks a directed link dead.
+    pub fn kill_link(&mut self, link: LinkId) {
+        self.dead_links.insert(link);
+    }
+
+    /// Injects a packet (self-delivery is immediate), mirroring
+    /// [`crate::network::Network::inject`].
+    pub fn inject(&mut self, src: NodeId, dst: NodeId, _payload_words: u32) -> PacketId {
+        let id = PacketId(self.next_packet);
+        self.next_packet += 1;
+        if src == dst {
+            self.delivered.push(Delivery { packet: id, at: self.now, latency: 0, hops: 0 });
+            return id;
+        }
+        self.flights.push(Flight {
+            id,
+            dst,
+            here: src,
+            injected_at: self.now,
+            hops: 0,
+            misroutes: 0,
+            stalled: 0,
+            done: false,
+        });
+        id
+    }
+
+    /// Advances one cycle: every in-flight packet attempts one hop, in
+    /// injection order (older packets win contended links).
+    pub fn tick(&mut self) {
+        self.now += self.config.hop_cycles as u64;
+        let mut used: BTreeSet<LinkId> = BTreeSet::new();
+        for i in 0..self.flights.len() {
+            let (here, dst, misroutes) = {
+                let f = &self.flights[i];
+                (f.here, f.dst, f.misroutes)
+            };
+            let mesh = self.mesh;
+            let dead = &self.dead_links;
+            let link_ok = |d: Direction| {
+                mesh.neighbor(here, d).is_some()
+                    && !dead.contains(&LinkId { from: here, dir: d.into() })
+            };
+            let used_ref = &used;
+            let link_free =
+                |d: Direction| !used_ref.contains(&LinkId { from: here, dir: d.into() });
+            match route(&self.mesh, self.config.routing, here, dst, misroutes, &link_ok, &link_free)
+            {
+                Ok(dir) => {
+                    used.insert(LinkId { from: here, dir: dir.into() });
+                    let next = self.mesh.neighbor(here, dir).expect("router checked neighbor");
+                    let before = self.mesh.hops(here, dst);
+                    let after = self.mesh.hops(next, dst);
+                    let f = &mut self.flights[i];
+                    if after >= before {
+                        f.misroutes += 1;
+                    }
+                    f.here = next;
+                    f.hops += 1;
+                    f.stalled = 0;
+                    if next == dst {
+                        f.done = true;
+                        self.delivered.push(Delivery {
+                            packet: f.id,
+                            at: self.now,
+                            latency: self.now - f.injected_at,
+                            hops: f.hops,
+                        });
+                    }
+                }
+                Err(RouteBlock::Contention) => {
+                    let f = &mut self.flights[i];
+                    f.stalled += 1;
+                    if f.stalled >= self.config.stall_timeout {
+                        f.done = true;
+                        self.dropped.push(Drop { packet: f.id, at: self.now, dead_end: false });
+                    }
+                }
+                Err(RouteBlock::Dead) => {
+                    let f = &mut self.flights[i];
+                    f.done = true;
+                    self.dropped.push(Drop { packet: f.id, at: self.now, dead_end: true });
+                }
+            }
+        }
+        // The namesake retain: drop finished flights, preserving injection
+        // order for the survivors.
+        self.flights.retain(|f| !f.done);
+    }
+
+    /// Ticks until the network drains or `max_cycles` elapse.
+    pub fn drain(&mut self, max_cycles: u64) -> u64 {
+        let start = self.now;
+        while self.in_flight() > 0 && self.now - start < max_cycles {
+            self.tick();
+        }
+        self.now - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::Routing;
+
+    #[test]
+    fn reference_delivers_like_the_real_network() {
+        let mesh = Mesh2d::new(4, 4);
+        let mut r = ReferenceNetwork::new(mesh, NetworkConfig::default());
+        let s = mesh.node_at(0, 0).unwrap();
+        let d = mesh.node_at(3, 3).unwrap();
+        r.inject(s, d, 1);
+        r.inject(d, s, 1);
+        r.drain(100);
+        assert_eq!(r.delivered.len(), 2);
+        assert!(r.delivered.iter().all(|del| del.hops == 6));
+    }
+
+    #[test]
+    fn reference_respects_dead_links() {
+        let mesh = Mesh2d::new(4, 1);
+        let mut r = ReferenceNetwork::new(
+            mesh,
+            NetworkConfig { routing: Routing::Xy, ..Default::default() },
+        );
+        let s = mesh.node_at(0, 0).unwrap();
+        r.kill_link(LinkId { from: mesh.node_at(1, 0).unwrap(), dir: Direction::East.into() });
+        r.inject(s, mesh.node_at(3, 0).unwrap(), 1);
+        r.drain(100);
+        assert_eq!(r.dropped.len(), 1);
+        assert!(r.dropped[0].dead_end);
+    }
+}

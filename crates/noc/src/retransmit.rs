@@ -107,10 +107,8 @@ impl Retransmitter {
             }
         }
         // New drops → immediate retry (the "ack channel" reports loss).
-        let drops: Vec<PacketId> = net.stats().dropped[self.processed_drops..]
-            .iter()
-            .map(|d| d.packet)
-            .collect();
+        let drops: Vec<PacketId> =
+            net.stats().dropped[self.processed_drops..].iter().map(|d| d.packet).collect();
         self.processed_drops = net.stats().dropped.len();
         for packet in drops {
             if let Some(message) = self.packet_to_message.remove(&packet) {

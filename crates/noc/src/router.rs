@@ -5,8 +5,7 @@ use crate::topology::{Coord, Direction, LinkId, Mesh2d, NodeId};
 use std::collections::BTreeSet;
 
 /// Routing algorithm selector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Routing {
     /// Dimension-ordered: resolve X first, then Y. Deadlock-free, but a
     /// single dead link on the unique path stalls all traffic through it.
@@ -21,7 +20,6 @@ pub enum Routing {
         max_misroutes: u32,
     },
 }
-
 
 /// Why a router could not forward a packet this cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,8 +80,7 @@ pub fn route(
             // Misroute if allowed: any live link that is not anti-productive
             // beyond budget. Deterministic order for reproducibility.
             if misroutes < max_misroutes {
-                let productive_set: BTreeSet<u8> =
-                    productive.iter().map(|d| dir_tag(*d)).collect();
+                let productive_set: BTreeSet<u8> = productive.iter().map(|d| dir_tag(*d)).collect();
                 for dir in Direction::ALL {
                     if productive_set.contains(&dir_tag(dir)) {
                         continue;
@@ -108,7 +105,11 @@ pub fn route(
 /// The unique XY direction from `here` toward `dst`.
 fn xy_direction(hc: Coord, dc: Coord) -> Direction {
     if dc.x != hc.x {
-        if dc.x > hc.x { Direction::East } else { Direction::West }
+        if dc.x > hc.x {
+            Direction::East
+        } else {
+            Direction::West
+        }
     } else if dc.y > hc.y {
         Direction::South
     } else {
@@ -182,16 +183,9 @@ mod tests {
         let m = Mesh2d::new(4, 4);
         let src = m.node_at(1, 1).unwrap();
         let dst = m.node_at(3, 3).unwrap();
-        let r = route(
-            &m,
-            Routing::FaultAdaptive { max_misroutes: 4 },
-            src,
-            dst,
-            0,
-            &all_ok,
-            &all_ok,
-        )
-        .unwrap();
+        let r =
+            route(&m, Routing::FaultAdaptive { max_misroutes: 4 }, src, dst, 0, &all_ok, &all_ok)
+                .unwrap();
         assert_eq!(r, Direction::East);
     }
 
@@ -237,15 +231,10 @@ mod tests {
         let m = Mesh2d::new(4, 4);
         let src = m.node_at(1, 1).unwrap();
         let dst = m.node_at(3, 3).unwrap();
-        let r = route(
-            &m,
-            Routing::FaultAdaptive { max_misroutes: 0 },
-            src,
-            dst,
-            0,
-            &all_ok,
-            &|_| false,
-        );
+        let r =
+            route(&m, Routing::FaultAdaptive { max_misroutes: 0 }, src, dst, 0, &all_ok, &|_| {
+                false
+            });
         assert_eq!(r, Err(RouteBlock::Contention));
     }
 }

@@ -43,7 +43,8 @@ pub enum Direction {
 
 impl Direction {
     /// All four directions, in a fixed deterministic order.
-    pub const ALL: [Direction; 4] = [Direction::North, Direction::South, Direction::East, Direction::West];
+    pub const ALL: [Direction; 4] =
+        [Direction::North, Direction::South, Direction::East, Direction::West];
 
     /// The opposite direction.
     pub fn opposite(self) -> Direction {
@@ -188,6 +189,25 @@ impl Mesh2d {
     /// Minimal hop count between two nodes.
     pub fn hops(&self, a: NodeId, b: NodeId) -> u32 {
         self.coord(a).manhattan(self.coord(b))
+    }
+
+    /// Dense index of a directed link in `0..self.link_index_count()`,
+    /// for array-backed per-link state (occupancy stamps, fault masks)
+    /// instead of tree-map lookups on the per-hop hot path.
+    pub fn link_index(&self, link: LinkId) -> usize {
+        link.from.0 as usize * 4
+            + match link.dir {
+                DirectionOrd::North => 0,
+                DirectionOrd::South => 1,
+                DirectionOrd::East => 2,
+                DirectionOrd::West => 3,
+            }
+    }
+
+    /// Size of the dense link-index space (includes edge ports that have
+    /// no neighbor; those indices are simply never used).
+    pub fn link_index_count(&self) -> usize {
+        self.node_count() * 4
     }
 }
 

@@ -154,7 +154,9 @@ pub fn simulate(config: &AptConfig, policy: Policy, rng: &mut SimRng) -> RejuvRe
                     *counts.entry(v).or_insert(0) += 1;
                 }
             }
-            if let Some((&best, _)) = counts.iter().max_by_key(|(v, c)| (**c, std::cmp::Reverse(v.0))) {
+            if let Some((&best, _)) =
+                counts.iter().max_by_key(|(v, c)| (**c, std::cmp::Reverse(v.0)))
+            {
                 let deadline = now + rng.exponential(config.mean_exploit_time).ceil() as u64 + 1;
                 campaign = Some((best, deadline));
             }
@@ -193,8 +195,9 @@ pub fn simulate(config: &AptConfig, policy: Policy, rng: &mut SimRng) -> RejuvRe
                     let due = now >= phase && (now - phase) % interval < step;
                     if due && !matches!(state[i], ReplicaState::Rejuvenating { .. }) {
                         rejuvenations += 1;
-                        state[i] =
-                            ReplicaState::Rejuvenating { until: now + config.rejuvenation_downtime };
+                        state[i] = ReplicaState::Rejuvenating {
+                            until: now + config.rejuvenation_downtime,
+                        };
                         if matches!(policy, Policy::PeriodicDiverse { .. }) {
                             let avoid: Vec<VariantId> = assignment
                                 .iter()
@@ -229,10 +232,7 @@ pub fn simulate(config: &AptConfig, policy: Policy, rng: &mut SimRng) -> RejuvRe
 
         // 5. Bookkeeping.
         let compromised = state.iter().filter(|s| **s == ReplicaState::Compromised).count();
-        let unavailable = state
-            .iter()
-            .filter(|s| !matches!(s, ReplicaState::Healthy))
-            .count();
+        let unavailable = state.iter().filter(|s| !matches!(s, ReplicaState::Healthy)).count();
         if compromised > config.f && survived {
             survived = false;
             time_to_failure = now;
@@ -257,12 +257,7 @@ pub fn simulate(config: &AptConfig, policy: Policy, rng: &mut SimRng) -> RejuvRe
 }
 
 /// Convenience: mean time-to-failure over `trials` independent campaigns.
-pub fn mean_time_to_failure(
-    config: &AptConfig,
-    policy: Policy,
-    trials: u32,
-    rng: &SimRng,
-) -> f64 {
+pub fn mean_time_to_failure(config: &AptConfig, policy: Policy, trials: u32, rng: &SimRng) -> f64 {
     assert!(trials > 0, "need at least one trial");
     (0..trials)
         .map(|t| {
@@ -332,12 +327,8 @@ mod tests {
         let cfg = fast_config();
         let rng = SimRng::new(5);
         let mttf_none = mean_time_to_failure(&cfg, Policy::None, 30, &rng);
-        let mttf_div = mean_time_to_failure(
-            &cfg,
-            Policy::PeriodicDiverse { interval: 1_500 },
-            30,
-            &rng,
-        );
+        let mttf_div =
+            mean_time_to_failure(&cfg, Policy::PeriodicDiverse { interval: 1_500 }, 30, &rng);
         assert!(
             mttf_div > mttf_none * 1.2,
             "diverse rejuvenation must clearly extend survival: {mttf_div} vs {mttf_none}"
@@ -367,10 +358,7 @@ mod tests {
         let div = AptConfig { initial_diverse: true, horizon: 2_000_000, ..fast_config() };
         let mttf_mono = mean_time_to_failure(&mono, Policy::None, 30, &rng);
         let mttf_div = mean_time_to_failure(&div, Policy::None, 30, &rng);
-        assert!(
-            mttf_div > mttf_mono,
-            "one exploit kills a monoculture: {mttf_div} vs {mttf_mono}"
-        );
+        assert!(mttf_div > mttf_mono, "one exploit kills a monoculture: {mttf_div} vs {mttf_mono}");
     }
 
     #[test]
@@ -415,11 +403,7 @@ mod tests {
         // of the analytic expectation for both extremes.
         let rng = SimRng::new(42);
         let horizon = 10_000_000; // effectively unbounded
-        let mono = AptConfig {
-            initial_diverse: false,
-            horizon,
-            ..fast_config()
-        };
+        let mono = AptConfig { initial_diverse: false, horizon, ..fast_config() };
         let sim_mono = mean_time_to_failure(&mono, Policy::None, 300, &rng);
         let ana_mono = analytic_mttf_no_rejuvenation(&mono);
         assert!(

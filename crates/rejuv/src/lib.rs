@@ -32,4 +32,6 @@
 
 pub mod apt;
 
-pub use apt::{analytic_mttf_no_rejuvenation, mean_time_to_failure, simulate, AptConfig, Policy, RejuvReport};
+pub use apt::{
+    analytic_mttf_no_rejuvenation, mean_time_to_failure, simulate, AptConfig, Policy, RejuvReport,
+};

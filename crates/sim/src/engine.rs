@@ -1,10 +1,18 @@
 //! Discrete-event engine.
 //!
-//! The engine owns a priority queue of `(time, sequence, action)` entries and
-//! fires them in deterministic order: primarily by time, with ties broken by
-//! insertion sequence. Actions receive the world state and the engine itself,
-//! so they can schedule follow-up events.
+//! The engine owns a priority queue of `(time, sequence)` keys over a
+//! [`Slab`] arena of event bodies, and fires them in deterministic order:
+//! primarily by time, with ties broken by insertion sequence. Actions
+//! receive the world state and the engine itself, so they can schedule
+//! follow-up events.
+//!
+//! The split — `Copy` keys in the heap, closures in the arena — keeps the
+//! heap's sift operations moving 24-byte keys instead of whole entries,
+//! and the arena's freelist recycles event slots so steady-state
+//! scheduling performs no queue-side heap allocation (the boxed closure
+//! itself remains the caller's one allocation per event).
 
+use crate::slab::Slab;
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -12,30 +20,25 @@ use std::collections::BinaryHeap;
 /// An event body: a one-shot closure over the world and the engine.
 pub type Action<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
 
-struct Entry<W> {
+/// Heap key: total order carried by (time, insertion sequence); `slot`
+/// addresses the action in the arena. Slots are reused, so `seq` — never
+/// `slot` — is the tiebreak.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Key {
     at: SimTime,
     seq: u64,
-    action: Action<W>,
+    slot: u32,
 }
 
-impl<W> PartialEq for Entry<W> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<W> Eq for Entry<W> {}
-impl<W> PartialOrd for Entry<W> {
+impl PartialOrd for Key {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<W> Ord for Entry<W> {
+impl Ord for Key {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so earliest (time, seq) pops first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -46,7 +49,8 @@ pub struct Engine<W> {
     now: SimTime,
     seq: u64,
     fired: u64,
-    queue: BinaryHeap<Entry<W>>,
+    queue: BinaryHeap<Key>,
+    arena: Slab<Action<W>>,
 }
 
 impl<W> Default for Engine<W> {
@@ -73,6 +77,7 @@ impl<W> Engine<W> {
             seq: 0,
             fired: 0,
             queue: BinaryHeap::new(),
+            arena: Slab::new(),
         }
     }
 
@@ -99,7 +104,8 @@ impl<W> Engine<W> {
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Entry { at, seq, action });
+        let slot = self.arena.insert(action);
+        self.queue.push(Key { at, seq, slot });
     }
 
     /// Schedules `action` `delay` cycles from now.
@@ -120,21 +126,23 @@ impl<W> Engine<W> {
                 self.now = deadline;
                 return self.now;
             }
-            let entry = self.queue.pop().expect("peeked entry must exist");
-            debug_assert!(entry.at >= self.now, "time must be monotonic");
-            self.now = entry.at;
+            let key = self.queue.pop().expect("peeked entry must exist");
+            debug_assert!(key.at >= self.now, "time must be monotonic");
+            self.now = key.at;
             self.fired += 1;
-            (entry.action)(world, self);
+            let action = self.arena.remove(key.slot).expect("queued action present");
+            action(world, self);
         }
         self.now
     }
 
     /// Fires at most one event. Returns `false` when the queue is empty.
     pub fn step(&mut self, world: &mut W) -> bool {
-        if let Some(entry) = self.queue.pop() {
-            self.now = entry.at;
+        if let Some(key) = self.queue.pop() {
+            self.now = key.at;
             self.fired += 1;
-            (entry.action)(world, self);
+            let action = self.arena.remove(key.slot).expect("queued action present");
+            action(world, self);
             true
         } else {
             false
@@ -144,6 +152,7 @@ impl<W> Engine<W> {
     /// Discards all pending events (e.g., on experiment teardown).
     pub fn clear(&mut self) {
         self.queue.clear();
+        self.arena.clear();
     }
 }
 
@@ -220,6 +229,54 @@ mod tests {
         );
         engine.run(&mut trace);
         assert_eq!(trace, vec![100, 100]);
+    }
+
+    #[test]
+    fn slot_reuse_preserves_event_ordering() {
+        // Cascading events recycle arena slots aggressively; ordering must
+        // stay (time, insertion-seq) even when a later event reuses the
+        // slot index of an earlier one.
+        let mut trace: Vec<(u64, u64)> = Vec::new();
+        let mut engine: Engine<Vec<(u64, u64)>> = Engine::new();
+        for i in 0..4u64 {
+            engine.schedule(
+                SimTime::from_cycles(10 + i),
+                Box::new(move |w, e: &mut Engine<Vec<(u64, u64)>>| {
+                    w.push((e.now().cycles(), i));
+                    // Two follow-ups: one at a shared tick (tie-break test),
+                    // one interleaved between original events.
+                    e.schedule(
+                        SimTime::from_cycles(50),
+                        Box::new(
+                            move |w: &mut Vec<(u64, u64)>, e: &mut Engine<Vec<(u64, u64)>>| {
+                                w.push((e.now().cycles(), 100 + i))
+                            },
+                        ),
+                    );
+                    e.schedule_in(
+                        1,
+                        Box::new(
+                            move |w: &mut Vec<(u64, u64)>, e: &mut Engine<Vec<(u64, u64)>>| {
+                                w.push((e.now().cycles(), 200 + i))
+                            },
+                        ),
+                    );
+                }),
+            );
+        }
+        engine.run(&mut trace);
+        let times: Vec<u64> = trace.iter().map(|(t, _)| *t).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted, "monotone firing times: {trace:?}");
+        // Ties at t=50 fire in insertion order (by scheduling parent).
+        let at50: Vec<u64> = trace.iter().filter(|(t, _)| *t == 50).map(|(_, k)| *k).collect();
+        assert_eq!(at50, vec![100, 101, 102, 103]);
+        // Interleaved follow-ups land between their neighbours.
+        assert_eq!(trace[0], (10, 0));
+        assert_eq!(trace[1], (11, 1), "t=11: original event 1 precedes follow-up 200+0 by seq");
+        assert_eq!(trace[2], (11, 200));
+        assert_eq!(engine.pending(), 0);
     }
 
     #[test]

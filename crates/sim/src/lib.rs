@@ -28,10 +28,12 @@
 
 pub mod engine;
 pub mod rng;
+pub mod slab;
 pub mod stats;
 pub mod time;
 
 pub use engine::{Action, Engine};
 pub use rng::SimRng;
+pub use slab::Slab;
 pub use stats::{Counter, Histogram, OnlineStats, TimeSeries};
 pub use time::SimTime;

@@ -39,12 +39,8 @@ impl SimRng {
     /// Creates a generator from a 64-bit seed via SplitMix64 expansion.
     pub fn new(seed: u64) -> Self {
         let mut sm = seed;
-        let s = [
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-        ];
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
         SimRng { s }
     }
 
@@ -54,13 +50,10 @@ impl SimRng {
     /// created in any order without perturbing each other.
     pub fn fork(&self, stream: u64) -> SimRng {
         // Mix the current state with the stream id through SplitMix64.
-        let mut sm = self.s[0] ^ self.s[3].rotate_left(17) ^ stream.wrapping_mul(0xA24B_AED4_963E_E407);
-        let s = [
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-        ];
+        let mut sm =
+            self.s[0] ^ self.s[3].rotate_left(17) ^ stream.wrapping_mul(0xA24B_AED4_963E_E407);
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
         SimRng { s }
     }
 
@@ -315,8 +308,7 @@ mod tests {
         assert_eq!(rng.geometric(1.0), 0);
         assert_eq!(rng.geometric(0.0), u64::MAX);
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|_| rng.geometric(0.25) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| rng.geometric(0.25) as f64).sum::<f64>() / n as f64;
         // Mean failures before success = (1-p)/p = 3.
         assert!((mean - 3.0).abs() < 0.2, "mean={mean}");
     }

@@ -91,12 +91,20 @@ impl OnlineStats {
 
     /// Sample mean (0 for an empty accumulator).
     pub fn mean(&self) -> f64 {
-        if self.n == 0 { 0.0 } else { self.mean }
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
     }
 
     /// Population variance (0 when fewer than two samples).
     pub fn variance(&self) -> f64 {
-        if self.n < 2 { 0.0 } else { self.m2 / self.n as f64 }
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
     }
 
     /// Population standard deviation.
@@ -337,7 +345,11 @@ mod tests {
         let mut whole = OnlineStats::new();
         for i in 0..50 {
             let x = (i as f64).sin() * 10.0;
-            if i % 2 == 0 { a.push(x) } else { b.push(x) }
+            if i % 2 == 0 {
+                a.push(x)
+            } else {
+                b.push(x)
+            }
             whole.push(x);
         }
         a.merge(&b);

@@ -19,7 +19,7 @@
 //!
 //! * [`Tile`] — a processing tile with health, variant, and mesh position;
 //! * [`PrivilegeGate`] — the trusted-trustworthy vote checker of Gouveia
-//!   et al. (the paper's [55]): privileged operations (reconfigure, grant,
+//!   et al. (the paper's \[55\]): privileged operations (reconfigure, grant,
 //!   rejuvenate) execute only with a quorum of kernel-replica votes;
 //! * [`ResilientSoc`] — tile inventory + replica placement + protocol runs
 //!   over NoC-derived latencies;

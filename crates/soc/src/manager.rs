@@ -10,9 +10,9 @@ use rsoc_adapt::{
     ThreatLevel,
 };
 use rsoc_bft::runner::RunReport;
+use rsoc_crypto::MacKey;
 use rsoc_diversity::VariantId;
 use rsoc_fpga::{Bitstream, FpgaFabric, Icap, ReconfigEngine, Region};
-use rsoc_crypto::MacKey;
 
 /// Frames each tile's softcore occupies on the fabric.
 const FRAMES_PER_TILE: u32 = 2;
@@ -151,7 +151,10 @@ impl SocManager {
 
     /// Collects votes from all (correct) kernels and executes through the
     /// gate.
-    fn approve_and_execute(&mut self, op: &PrivilegedOp) -> Result<(), crate::privilege::GateError> {
+    fn approve_and_execute(
+        &mut self,
+        op: &PrivilegedOp,
+    ) -> Result<(), crate::privilege::GateError> {
         let votes: Vec<Vote> = (0..self.config.kernels)
             .map(|k| Vote::sign(k, self.gate.kernel_key(k).expect("provisioned"), op))
             .collect();
@@ -178,12 +181,8 @@ impl SocManager {
         // 2. Monitors feed the detector: compromised replicas reveal
         //    themselves through failed certificate verifications and
         //    equivocation attempts during the workload.
-        let visible_compromised = self
-            .soc
-            .tiles()
-            .iter()
-            .filter(|t| t.health == TileHealth::Compromised)
-            .count() as u32;
+        let visible_compromised =
+            self.soc.tiles().iter().filter(|t| t.health == TileHealth::Compromised).count() as u32;
         let crashed = threat.crash.len() as u32;
         let level = self.detector.observe(AnomalySample {
             equivocations: visible_compromised,
@@ -200,12 +199,8 @@ impl SocManager {
         };
 
         // 4. Workload.
-        let run = self.soc.run_workload(
-            deployment.protocol,
-            deployment.f,
-            clients,
-            requests_per_client,
-        );
+        let run =
+            self.soc.run_workload(deployment.protocol, deployment.f, clients, requests_per_client);
 
         // 5. Rejuvenation + relocation through the gate.
         let mut rejuvenated = Vec::new();
@@ -239,14 +234,10 @@ impl SocManager {
                     // Pick the destination *before* freeing the old site so
                     // the block genuinely moves to a different grid location.
                     let fresh = self.engine.fabric().find_free_region(FRAMES_PER_TILE);
-                    let _ = self
-                        .engine
-                        .decommission(PrivilegeGate::GATE_PRINCIPAL, block);
+                    let _ = self.engine.decommission(PrivilegeGate::GATE_PRINCIPAL, block);
                     fresh.or_else(|| self.engine.fabric().find_free_region(FRAMES_PER_TILE))
                 } else {
-                    let _ = self
-                        .engine
-                        .decommission(PrivilegeGate::GATE_PRINCIPAL, block);
+                    let _ = self.engine.decommission(PrivilegeGate::GATE_PRINCIPAL, block);
                     old_region
                 };
                 if let Some(region) = target {
@@ -286,10 +277,7 @@ mod tests {
     use super::*;
 
     fn manager(seed: u64) -> SocManager {
-        SocManager::new(
-            SocConfig { mesh_width: 4, mesh_height: 4, seed },
-            ManagerConfig::default(),
-        )
+        SocManager::new(SocConfig { mesh_width: 4, mesh_height: 4, seed }, ManagerConfig::default())
     }
 
     #[test]
@@ -321,10 +309,7 @@ mod tests {
             1,
             2,
         );
-        let attack = EpochThreat {
-            compromise: vec![TileId(5)],
-            ..Default::default()
-        };
+        let attack = EpochThreat { compromise: vec![TileId(5)], ..Default::default() };
         let report = mgr.run_epoch(&attack, 1, 4);
         assert!(report.level >= ThreatLevel::Elevated, "detector must notice");
         assert!(report.run.safety_ok, "the deployment masks the Byzantine tile");
@@ -350,10 +335,8 @@ mod tests {
 
     #[test]
     fn diversity_toggle_controls_variant_change() {
-        let mut with = SocManager::new(
-            SocConfig { seed: 5, ..Default::default() },
-            ManagerConfig::default(),
-        );
+        let mut with =
+            SocManager::new(SocConfig { seed: 5, ..Default::default() }, ManagerConfig::default());
         let mut without = SocManager::new(
             SocConfig { seed: 5, ..Default::default() },
             ManagerConfig { enable_diversity: false, ..Default::default() },

@@ -1,4 +1,4 @@
-//! The voted privilege gate — the paper's citation [55] (Gouveia et al.,
+//! The voted privilege gate — the paper's citation \[55\] (Gouveia et al.,
 //! *Behind the last line of defense: Surviving SoC faults and intrusions*).
 //!
 //! §II-E: "privilege change must remain a trusted operation executed
@@ -163,9 +163,8 @@ impl PrivilegeGate {
     /// Panics if `threshold` is zero or exceeds the kernel count.
     pub fn new(seed: u64, kernels: u32, threshold: usize) -> Self {
         assert!(threshold >= 1 && threshold <= kernels as usize, "bad threshold");
-        let keys = (0..kernels)
-            .map(|k| (k, MacKey::derive(seed, &format!("kernel-vote-{k}"))))
-            .collect();
+        let keys =
+            (0..kernels).map(|k| (k, MacKey::derive(seed, &format!("kernel-vote-{k}")))).collect();
         let audit_key = MacKey::derive(seed, "gate-audit");
         let mut audit = A2m::new(0xA0D1, audit_key.clone());
         let audit_log = audit.create_log();
@@ -254,9 +253,7 @@ impl PrivilegeGate {
         }
         self.approved += 1;
         let digest = op.digest();
-        self.audit
-            .append(self.audit_log, &digest)
-            .expect("gate audit log always exists");
+        self.audit.append(self.audit_log, &digest).expect("gate audit log always exists");
         self.audit_digests.push(digest);
         match op {
             PrivilegedOp::Reconfigure { region, block, bitstream } => engine
@@ -304,9 +301,8 @@ mod tests {
     fn quorum_approves_and_executes() {
         let (mut gate, mut engine, bs_key) = setup(3, 2);
         let op = reconf_op(&bs_key);
-        let votes: Vec<Vote> = (0..2)
-            .map(|k| Vote::sign(k, gate.kernel_key(k).unwrap(), &op))
-            .collect();
+        let votes: Vec<Vote> =
+            (0..2).map(|k| Vote::sign(k, gate.kernel_key(k).unwrap(), &op)).collect();
         gate.execute(&mut engine, &op, &votes).unwrap();
         assert_eq!(engine.fabric().block_region(7), Some(Region::new(0, 2)));
         assert_eq!(gate.stats(), (1, 0));
@@ -318,10 +314,7 @@ mod tests {
         let op = reconf_op(&bs_key);
         // One kernel (even with its real key) is below the quorum.
         let votes = vec![Vote::sign(0, gate.kernel_key(0).unwrap(), &op)];
-        assert_eq!(
-            gate.execute(&mut engine, &op, &votes),
-            Err(GateError::InsufficientVotes)
-        );
+        assert_eq!(gate.execute(&mut engine, &op, &votes), Err(GateError::InsufficientVotes));
         assert_eq!(engine.fabric().block_region(7), None);
         assert_eq!(gate.stats(), (0, 1));
     }
@@ -351,9 +344,8 @@ mod tests {
         let (gate, _, bs_key) = setup(3, 2);
         let op_a = reconf_op(&bs_key);
         let op_b = PrivilegedOp::RejuvenateTile { tile: TileId(1) };
-        let votes: Vec<Vote> = (0..2)
-            .map(|k| Vote::sign(k, gate.kernel_key(k).unwrap(), &op_a))
-            .collect();
+        let votes: Vec<Vote> =
+            (0..2).map(|k| Vote::sign(k, gate.kernel_key(k).unwrap(), &op_a)).collect();
         assert!(gate.check(&op_a, &votes));
         assert!(!gate.check(&op_b, &votes), "votes for A must not approve B");
     }

@@ -157,9 +157,8 @@ impl ResilientSoc {
         requests_per_client: u64,
     ) -> RunReport {
         let n = protocol.replicas_for(f) as usize;
-        let placement = self
-            .select_replica_tiles(n)
-            .expect("not enough usable tiles for deployment");
+        let placement =
+            self.select_replica_tiles(n).expect("not enough usable tiles for deployment");
         let seed = self.rng.next_u64();
         let config = RunConfig {
             f,

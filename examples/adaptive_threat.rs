@@ -28,8 +28,14 @@ fn main() {
         ("seu weather", AnomalySample { seu_events: 3, ..Default::default() }),
         ("timeouts", AnomalySample { timeouts: 2, seu_events: 1, ..Default::default() }),
         ("mac failures!", AnomalySample { mac_failures: 3, timeouts: 1, ..Default::default() }),
-        ("equivocation!", AnomalySample { equivocations: 2, mac_failures: 4, ..Default::default() }),
-        ("equivocation!", AnomalySample { equivocations: 3, mac_failures: 5, ..Default::default() }),
+        (
+            "equivocation!",
+            AnomalySample { equivocations: 2, mac_failures: 4, ..Default::default() },
+        ),
+        (
+            "equivocation!",
+            AnomalySample { equivocations: 3, mac_failures: 5, ..Default::default() },
+        ),
         ("quiet", AnomalySample::default()),
         ("quiet", AnomalySample::default()),
         ("quiet", AnomalySample::default()),
@@ -62,8 +68,14 @@ fn main() {
         TraceSegment { duration: 100_000, byz_faults: 0, detected: ThreatLevel::Low },
     ];
     for (name, policy) in [
-        ("static minbft f=1", AdaptPolicy::Static(Deployment { protocol: ProtocolChoice::MinBft, f: 1 })),
-        ("static pbft   f=3", AdaptPolicy::Static(Deployment { protocol: ProtocolChoice::Pbft, f: 3 })),
+        (
+            "static minbft f=1",
+            AdaptPolicy::Static(Deployment { protocol: ProtocolChoice::MinBft, f: 1 }),
+        ),
+        (
+            "static pbft   f=3",
+            AdaptPolicy::Static(Deployment { protocol: ProtocolChoice::Pbft, f: 3 }),
+        ),
         ("adaptive         ", AdaptPolicy::Adaptive(AdaptiveController::default())),
     ] {
         let r = simulate_adaptation(&trace, policy);

@@ -73,7 +73,12 @@ fn main() {
     println!("== vendor diversity (AUTOSAR-style multi-vendor ECUs) ==\n");
     let mut rng = SimRng::new(7);
     let pool = VariantPool::generate(
-        PoolConfig { vuln_universe: 1_000, vendor_base_vulns: 3, variant_vulns: 5, ..Default::default() },
+        PoolConfig {
+            vuln_universe: 1_000,
+            vendor_base_vulns: 3,
+            variant_vulns: 5,
+            ..Default::default()
+        },
         &mut rng,
     );
     let mono = vec![VariantId(0); 3];

@@ -14,9 +14,7 @@
 //! ```
 
 use manycore_resilience::crypto::MacKey;
-use manycore_resilience::fpga::{
-    Bitstream, FpgaFabric, Icap, Principal, ReconfigEngine, Region,
-};
+use manycore_resilience::fpga::{Bitstream, FpgaFabric, Icap, Principal, ReconfigEngine, Region};
 use manycore_resilience::rejuv::{simulate, AptConfig, Policy};
 use manycore_resilience::sim::SimRng;
 use manycore_resilience::soc::{PrivilegeGate, PrivilegedOp, Vote};
@@ -47,7 +45,11 @@ fn main() {
     let votes: Vec<Vote> =
         (0..2).map(|k| Vote::sign(k, gate.kernel_key(k).unwrap(), &op)).collect();
     gate.execute(&mut engine, &op, &votes).expect("install");
-    println!("softcore installed at frames {}..{} via voted reconfiguration", home.start, home.start + home.len);
+    println!(
+        "softcore installed at frames {}..{} via voted reconfiguration",
+        home.start,
+        home.start + home.len
+    );
 
     // --- 2. A compromised kernel attacks. --------------------------------
     let evil_region = Region::new(8, 4);
@@ -89,9 +91,7 @@ fn main() {
         );
         let free = engine.fabric().free_regions(4);
         if let Some(dest) = rng.choose(&free).copied() {
-            engine
-                .relocate(PrivilegeGate::GATE_PRINCIPAL, 1, dest)
-                .expect("relocation");
+            engine.relocate(PrivilegeGate::GATE_PRINCIPAL, 1, dest).expect("relocation");
         }
     }
     println!("  compromised {compromised_epochs}/8 epochs (fixed placement would be 0/8 or 8/8)");

@@ -18,11 +18,7 @@ fn main() {
         soc.tiles().len(),
         soc.mesh().width(),
         soc.mesh().height(),
-        soc.tiles()
-            .iter()
-            .map(|t| t.variant)
-            .collect::<std::collections::BTreeSet<_>>()
-            .len(),
+        soc.tiles().iter().map(|t| t.variant).collect::<std::collections::BTreeSet<_>>().len(),
     );
 
     let clean = soc.run_workload(ProtocolChoice::MinBft, 1, 2, 10);

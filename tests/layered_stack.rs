@@ -2,9 +2,7 @@
 //! rejuvenation) across multi-epoch campaigns — the Fig. 1 vertical slice.
 
 use manycore_resilience::adapt::{ProtocolChoice, ThreatLevel};
-use manycore_resilience::soc::{
-    EpochThreat, ManagerConfig, SocConfig, SocManager, TileId,
-};
+use manycore_resilience::soc::{EpochThreat, ManagerConfig, SocConfig, SocManager, TileId};
 
 fn manager(seed: u64, config: ManagerConfig) -> SocManager {
     SocManager::new(SocConfig { mesh_width: 4, mesh_height: 4, seed }, config)
@@ -44,10 +42,7 @@ fn adaptation_scales_deployment_with_threat() {
     let quiet = mgr.run_epoch(&EpochThreat::default(), 1, 3);
     assert_eq!(quiet.level, ThreatLevel::Low);
     assert_eq!(quiet.deployment.protocol, ProtocolChoice::Passive);
-    let attack = EpochThreat {
-        compromise: vec![TileId(3), TileId(5)],
-        ..Default::default()
-    };
+    let attack = EpochThreat { compromise: vec![TileId(3), TileId(5)], ..Default::default() };
     let hot = mgr.run_epoch(&attack, 1, 3);
     assert!(hot.level >= ThreatLevel::High);
     assert!(hot.deployment.replicas() > quiet.deployment.replicas());
@@ -64,7 +59,8 @@ fn rejuvenation_restores_the_fault_budget_across_epochs() {
         EpochThreat { compromise: vec![TileId(3)], ..Default::default() },
     ];
     let mut with = manager(3, ManagerConfig::default());
-    let mut without = manager(3, ManagerConfig { enable_rejuvenation: false, ..Default::default() });
+    let mut without =
+        manager(3, ManagerConfig { enable_rejuvenation: false, ..Default::default() });
     let mut with_max = 0usize;
     let mut without_max = 0usize;
     for threat in &attack_sequence {
@@ -90,11 +86,7 @@ fn diverse_rejuvenation_retires_compromised_variants() {
     let mut mgr = manager(4, ManagerConfig::default());
     let victim = TileId(5);
     let old_variant = mgr.soc().tiles()[victim.0 as usize].variant;
-    mgr.run_epoch(
-        &EpochThreat { compromise: vec![victim], ..Default::default() },
-        1,
-        2,
-    );
+    mgr.run_epoch(&EpochThreat { compromise: vec![victim], ..Default::default() }, 1, 2);
     let new_variant = mgr.soc().tiles()[victim.0 as usize].variant;
     assert_ne!(new_variant, old_variant, "the broken variant must not return");
 }
@@ -103,11 +95,8 @@ fn diverse_rejuvenation_retires_compromised_variants() {
 fn fabric_relocation_happens_through_the_gate_only() {
     let mut mgr = manager(5, ManagerConfig::default());
     let before = mgr.engine().fabric().block_region(3).unwrap();
-    let report = mgr.run_epoch(
-        &EpochThreat { compromise: vec![TileId(3)], ..Default::default() },
-        1,
-        2,
-    );
+    let report =
+        mgr.run_epoch(&EpochThreat { compromise: vec![TileId(3)], ..Default::default() }, 1, 2);
     assert_eq!(report.relocations, 1);
     let after = mgr.engine().fabric().block_region(3).unwrap();
     assert_ne!(before, after);

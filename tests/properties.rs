@@ -4,6 +4,7 @@
 
 use manycore_resilience::bft::api::{Cluster, ReplicaNode};
 use manycore_resilience::bft::behavior::Behavior;
+use manycore_resilience::bft::broadcast::{run_broadcast, SenderBehavior};
 use manycore_resilience::bft::minbft::MinBftCluster;
 use manycore_resilience::bft::passive::PassiveCluster;
 use manycore_resilience::bft::pbft::PbftCluster;
@@ -12,7 +13,6 @@ use manycore_resilience::bft::ReplicaId;
 use manycore_resilience::crypto::{hmac_sha256, hmac_verify, sha256, MacKey, Sha256};
 use manycore_resilience::hw::ecc::{DecodeOutcome, Hamming};
 use manycore_resilience::hw::{EccRegister, LoadOutcome, RegisterCell};
-use manycore_resilience::bft::broadcast::{run_broadcast, SenderBehavior};
 use manycore_resilience::hybrid::{A2m, KeyRing, TrInc, UiWindow, Usig, UsigId};
 use manycore_resilience::noc::network::{Network, NetworkConfig};
 use manycore_resilience::noc::{Mesh2d, NodeId, Routing};
@@ -232,6 +232,74 @@ proptest! {
     }
 
     #[test]
+    fn noc_event_queue_matches_reference_model(
+        seed in any::<u64>(), w in 2u16..8, h in 2u16..8, pkts in 1usize..60,
+        fault_permille in 0u32..150, adaptive in any::<bool>(),
+        hop_cycles in 1u32..4, tight_budget in 1u64..30,
+    ) {
+        let fault_rate = fault_permille as f64 / 1000.0;
+        // The slab + next-event-time queue engine must be observably
+        // identical to the retain-loop specification: same packets
+        // delivered and dropped, at the same cycles, in the same order,
+        // with the same hop counts — under contention, dead links, and
+        // staggered injection.
+        let mesh = Mesh2d::new(w, h);
+        let routing = if adaptive { Routing::FaultAdaptive { max_misroutes: 8 } } else { Routing::Xy };
+        let config = NetworkConfig { routing, hop_cycles, ..Default::default() };
+        let mut fast = Network::new(mesh, config.clone());
+        let mut reference = manycore_resilience::noc::ReferenceNetwork::new(mesh, config);
+        let mut rng = manycore_resilience::sim::SimRng::new(seed);
+        for link in mesh.links() {
+            if rng.chance(fault_rate) {
+                fast.kill_link(link);
+                reference.kill_link(link);
+            }
+        }
+        // Staggered injection: half up front, a few ticks, then the rest —
+        // exercises slot reuse against fresh injections.
+        let pairs: Vec<(NodeId, NodeId)> = (0..pkts)
+            .map(|_| {
+                let s = NodeId(rng.below(mesh.node_count() as u64) as u16);
+                let d = NodeId(rng.below(mesh.node_count() as u64) as u16);
+                (s, d)
+            })
+            .collect();
+        let (first, second) = pairs.split_at(pkts / 2);
+        for &(s, d) in first {
+            fast.inject(s, d, 1);
+            reference.inject(s, d, 1);
+        }
+        for _ in 0..3 {
+            fast.tick();
+            reference.tick();
+        }
+        for &(s, d) in second {
+            fast.inject(s, d, 1);
+            reference.inject(s, d, 1);
+        }
+        // A tight budget first: the budget-crossing tick must behave
+        // identically in both models (it executes iff it started within
+        // budget), then drain to completion.
+        let fast_elapsed = fast.drain(tight_budget);
+        let ref_elapsed = reference.drain(tight_budget);
+        prop_assert_eq!(fast_elapsed, ref_elapsed, "budget semantics diverged");
+        prop_assert_eq!(fast.in_flight(), reference.in_flight(), "post-budget population");
+        fast.drain(100_000);
+        reference.drain(100_000);
+        let fast_deliveries: Vec<(u64, u64, u32)> =
+            fast.stats().delivered.iter().map(|d| (d.at, d.packet.0, d.hops)).collect();
+        let ref_deliveries: Vec<(u64, u64, u32)> =
+            reference.delivered.iter().map(|d| (d.at, d.packet.0, d.hops)).collect();
+        prop_assert_eq!(fast_deliveries, ref_deliveries, "delivery sequences diverged");
+        let fast_drops: Vec<(u64, u64, bool)> =
+            fast.stats().dropped.iter().map(|d| (d.at, d.packet.0, d.dead_end)).collect();
+        let ref_drops: Vec<(u64, u64, bool)> =
+            reference.dropped.iter().map(|d| (d.at, d.packet.0, d.dead_end)).collect();
+        prop_assert_eq!(fast_drops, ref_drops, "drop sequences diverged");
+        prop_assert_eq!(fast.in_flight(), reference.in_flight());
+    }
+
+    #[test]
     fn noc_delivers_everything_on_a_healthy_mesh(seed in any::<u64>(), w in 2u16..8, h in 2u16..8, pkts in 1usize..40) {
         let mesh = Mesh2d::new(w, h);
         let mut net = Network::new(mesh, NetworkConfig { routing: Routing::Xy, ..Default::default() });
@@ -251,30 +319,44 @@ proptest! {
     }
 }
 
-// ---------------- batching equivalence ----------------
+// ---------------- batching / pipelining equivalence ----------------
 //
-// The batching tentpole must be a pure performance transform: for any
-// request schedule, a batched run and an unbatched run commit the same
-// operations, keep the safety checker green, and leave every replica's
-// state machine at the identical digest — across all three protocol
-// modes. (Request payloads are a pure function of (seed, client, seq),
-// so differently interleaved runs execute identical commands.)
+// Batching and client pipelining must be pure performance transforms:
+// for any request schedule, a batched+windowed run and an unbatched
+// closed-loop run commit the same operations, keep the safety checker
+// green, and leave every replica's state machine at the identical digest
+// — across all three protocol modes. (Request payloads are a pure
+// function of (seed, client, seq) and each op writes its own key, so
+// differently interleaved runs execute the same op set to the same final
+// state.) The batched run is executed twice with the epoch-tokenized
+// flush timers: the repeat must be bit-identical, pinning down that
+// partial-batch flush timing is deterministic under pipelined clients.
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
     #[test]
     fn pbft_batching_preserves_state_and_safety(
         seed in 1u64..5_000, clients in 1u32..=5, reqs in 1u64..=5, batch in 2usize..=8,
+        window in 1usize..=4,
     ) {
         let base = RunConfig {
             f: 1, clients, requests_per_client: reqs, seed,
             max_cycles: 20_000_000, ..Default::default()
         };
-        let batched_cfg = RunConfig { batch_size: batch, batch_flush: 80, ..base.clone() };
+        let batched_cfg = RunConfig {
+            batch_size: batch, batch_flush: 80, client_window: window, ..base.clone()
+        };
         let mut plain = PbftCluster::new(&base);
         let r1 = run(&mut plain, &base);
         let mut batched = PbftCluster::new(&batched_cfg);
         let r2 = run(&mut batched, &batched_cfg);
+        // Flush-timing determinism: an identical batched+windowed run
+        // reproduces the exact trace (duration, messages, commits).
+        let mut batched_again = PbftCluster::new(&batched_cfg);
+        let r2b = run(&mut batched_again, &batched_cfg);
+        prop_assert_eq!(r2.committed, r2b.committed);
+        prop_assert_eq!(r2.messages_total, r2b.messages_total);
+        prop_assert_eq!(r2.duration_cycles, r2b.duration_cycles);
         prop_assert_eq!(r1.committed, clients as u64 * reqs);
         prop_assert_eq!(r2.committed, clients as u64 * reqs);
         prop_assert!(r1.safety_ok && r2.safety_ok, "safety checker must accept both runs");
@@ -286,16 +368,26 @@ proptest! {
     #[test]
     fn minbft_batching_preserves_state_and_safety(
         seed in 1u64..5_000, clients in 1u32..=5, reqs in 1u64..=5, batch in 2usize..=8,
+        window in 1usize..=4,
     ) {
         let base = RunConfig {
             f: 1, clients, requests_per_client: reqs, seed,
             max_cycles: 20_000_000, ..Default::default()
         };
-        let batched_cfg = RunConfig { batch_size: batch, batch_flush: 80, ..base.clone() };
+        let batched_cfg = RunConfig {
+            batch_size: batch, batch_flush: 80, client_window: window, ..base.clone()
+        };
         let mut plain = MinBftCluster::new(&base);
         let r1 = run(&mut plain, &base);
         let mut batched = MinBftCluster::new(&batched_cfg);
         let r2 = run(&mut batched, &batched_cfg);
+        // Flush-timing determinism: an identical batched+windowed run
+        // reproduces the exact trace (duration, messages, commits).
+        let mut batched_again = MinBftCluster::new(&batched_cfg);
+        let r2b = run(&mut batched_again, &batched_cfg);
+        prop_assert_eq!(r2.committed, r2b.committed);
+        prop_assert_eq!(r2.messages_total, r2b.messages_total);
+        prop_assert_eq!(r2.duration_cycles, r2b.duration_cycles);
         prop_assert_eq!(r1.committed, clients as u64 * reqs);
         prop_assert_eq!(r2.committed, clients as u64 * reqs);
         prop_assert!(r1.safety_ok && r2.safety_ok, "safety checker must accept both runs");
@@ -312,16 +404,26 @@ proptest! {
     #[test]
     fn passive_batching_preserves_state_and_safety(
         seed in 1u64..5_000, clients in 1u32..=5, reqs in 1u64..=5, batch in 2usize..=8,
+        window in 1usize..=4,
     ) {
         let base = RunConfig {
             f: 1, clients, requests_per_client: reqs, seed,
             max_cycles: 20_000_000, ..Default::default()
         };
-        let batched_cfg = RunConfig { batch_size: batch, batch_flush: 80, ..base.clone() };
+        let batched_cfg = RunConfig {
+            batch_size: batch, batch_flush: 80, client_window: window, ..base.clone()
+        };
         let mut plain = PassiveCluster::new(&base);
         let r1 = run(&mut plain, &base);
         let mut batched = PassiveCluster::new(&batched_cfg);
         let r2 = run(&mut batched, &batched_cfg);
+        // Flush-timing determinism: an identical batched+windowed run
+        // reproduces the exact trace (duration, messages, commits).
+        let mut batched_again = PassiveCluster::new(&batched_cfg);
+        let r2b = run(&mut batched_again, &batched_cfg);
+        prop_assert_eq!(r2.committed, r2b.committed);
+        prop_assert_eq!(r2.messages_total, r2b.messages_total);
+        prop_assert_eq!(r2.duration_cycles, r2b.duration_cycles);
         prop_assert_eq!(r1.committed, clients as u64 * reqs);
         prop_assert_eq!(r2.committed, clients as u64 * reqs);
         prop_assert!(r1.safety_ok && r2.safety_ok, "safety checker must accept both runs");

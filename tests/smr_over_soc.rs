@@ -73,10 +73,7 @@ fn far_apart_replicas_pay_noc_latency() {
     let far = large.run_workload(ProtocolChoice::MinBft, 1, 1, 10);
     let near_lat = near.commit_latency.median().unwrap();
     let far_lat = far.commit_latency.median().unwrap();
-    assert!(
-        far_lat > near_lat,
-        "distance must cost cycles: near {near_lat} vs far {far_lat}"
-    );
+    assert!(far_lat > near_lat, "distance must cost cycles: near {near_lat} vs far {far_lat}");
 }
 
 #[test]

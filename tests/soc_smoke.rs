@@ -17,11 +17,7 @@ fn run(
 ) -> manycore_resilience::bft::runner::RunReport {
     let mut soc = ResilientSoc::new(SocConfig::default());
     let report = soc.run_workload(protocol, f, clients, requests_per_client);
-    assert!(
-        report.safety_ok,
-        "{}: correct replicas' logs diverged",
-        report.protocol
-    );
+    assert!(report.safety_ok, "{}: correct replicas' logs diverged", report.protocol);
     assert_eq!(
         report.committed,
         u64::from(clients) * requests_per_client,

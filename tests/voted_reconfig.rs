@@ -19,10 +19,7 @@ fn setup(kernels: u32, threshold: usize) -> (PrivilegeGate, ReconfigEngine, MacK
 }
 
 fn approve(gate: &PrivilegeGate, op: &PrivilegedOp, kernels: &[u32]) -> Vec<Vote> {
-    kernels
-        .iter()
-        .map(|k| Vote::sign(*k, gate.kernel_key(*k).expect("known kernel"), op))
-        .collect()
+    kernels.iter().map(|k| Vote::sign(*k, gate.kernel_key(*k).expect("known kernel"), op)).collect()
 }
 
 #[test]

@@ -39,13 +39,7 @@ impl Criterion {
         let name = name.into();
         println!("\n{name}");
         let test_mode = self.test_mode;
-        BenchmarkGroup {
-            _criterion: self,
-            name,
-            sample_size: 10,
-            throughput: None,
-            test_mode,
-        }
+        BenchmarkGroup { _criterion: self, name, sample_size: 10, throughput: None, test_mode }
     }
 }
 
@@ -168,10 +162,7 @@ mod tests {
     #[test]
     fn bencher_counts_all_iterations() {
         let mut calls = 0u64;
-        let mut bencher = super::Bencher {
-            iters: 37,
-            elapsed: std::time::Duration::ZERO,
-        };
+        let mut bencher = super::Bencher { iters: 37, elapsed: std::time::Duration::ZERO };
         bencher.iter(|| calls += 1);
         assert_eq!(calls, 37);
         assert!(bencher.elapsed > std::time::Duration::ZERO || calls == 37);

@@ -116,7 +116,7 @@ pub mod strategy {
         )*};
     }
 
-    tuple_strategy!((A) (A, B) (A, B, C) (A, B, C, D) (A, B, C, D, E));
+    tuple_strategy!((A)(A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E));
 }
 
 pub mod collection {
@@ -242,7 +242,7 @@ pub mod test_runner {
 
     /// Drives one property: draws inputs and runs the case body until
     /// `config.cases` cases pass, panicking on the first failure with the
-    /// offending inputs. Called by the generated code of [`proptest!`].
+    /// offending inputs. Called by the generated code of [`proptest!`](macro@crate::proptest).
     pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut case: F)
     where
         F: FnMut(&mut TestRng) -> Result<(), (TestCaseError, String)>,

@@ -59,9 +59,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             emit.push_str("out.push(',');");
         }
         emit.push_str(&format!("out.push_str(\"\\\"{field}\\\":\");"));
-        emit.push_str(&format!(
-            "::serde::Serialize::serialize_json(&self.{field}, out);"
-        ));
+        emit.push_str(&format!("::serde::Serialize::serialize_json(&self.{field}, out);"));
     }
     emit.push_str("out.push('}');");
 

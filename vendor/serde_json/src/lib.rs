@@ -128,7 +128,7 @@ impl std::ops::Index<usize> for Value {
 /// Parses a JSON document into a [`Value`] tree.
 ///
 /// # Errors
-/// [`enum@Error`] on any syntax violation or trailing garbage.
+/// [`struct@Error`] on any syntax violation or trailing garbage.
 pub fn from_str(input: &str) -> Result<Value, Error> {
     let bytes = input.as_bytes();
     let mut pos = 0usize;
@@ -250,8 +250,7 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
                         if b.len() - *pos < 4 {
                             return Err(Error(()));
                         }
-                        let hex = std::str::from_utf8(&b[*pos..*pos + 4])
-                            .map_err(|_| Error(()))?;
+                        let hex = std::str::from_utf8(&b[*pos..*pos + 4]).map_err(|_| Error(()))?;
                         let code = u32::from_str_radix(hex, 16).map_err(|_| Error(()))?;
                         *pos += 4;
                         // Surrogates are replaced, not paired — enough for
@@ -288,9 +287,7 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
     if b.get(*pos) == Some(&b'-') {
         *pos += 1;
     }
-    while *pos < b.len()
-        && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
-    {
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
         *pos += 1;
     }
     let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| Error(()))?;
