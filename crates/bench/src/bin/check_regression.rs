@@ -9,13 +9,20 @@
 //!
 //! ```text
 //! check_regression --baseline BENCH_2.baseline.json --current BENCH_2.json \
-//!     [--metric ops_per_kcycle] [--tolerance 0.15]
+//!     [--metric ops_per_kcycle] [--tolerance 0.15] [--lower-metric macs_per_op]
 //! ```
 //!
 //! Rows are matched on every identity field present (`protocol`,
 //! `latency_model`, `batch_size`, `client_window`). A baseline row with
 //! no matching current row fails (a silently dropped cell is a
 //! regression too), as does any current row with `safety_ok = false`.
+//!
+//! `--metric` is higher-is-better (throughput); a cell fails when it
+//! drops below `baseline × (1 − tolerance)`. `--lower-metric` names an
+//! additional lower-is-better metric (e.g. `macs_per_op`, so
+//! authentication amortization can't silently rot): a cell fails when it
+//! *rises* above `baseline × (1 + tolerance)`. Rows lacking the
+//! lower-metric field in the baseline are skipped for that check.
 //! Exit code: 0 clean, 1 regression, 2 usage/parse error.
 
 use serde_json::Value;
@@ -47,6 +54,7 @@ fn main() {
     let mut baseline_path = None;
     let mut current_path = None;
     let mut metric = "ops_per_kcycle".to_string();
+    let mut lower_metric: Option<String> = None;
     let mut tolerance = 0.15f64;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -55,6 +63,7 @@ fn main() {
             "--baseline" => baseline_path = Some(take("--baseline")),
             "--current" => current_path = Some(take("--current")),
             "--metric" => metric = take("--metric"),
+            "--lower-metric" => lower_metric = Some(take("--lower-metric")),
             "--tolerance" => {
                 tolerance = take("--tolerance").parse().expect("--tolerance must be a float")
             }
@@ -65,7 +74,10 @@ fn main() {
         }
     }
     let (Some(baseline_path), Some(current_path)) = (baseline_path, current_path) else {
-        eprintln!("usage: check_regression --baseline <file> --current <file> [--metric m] [--tolerance t]");
+        eprintln!(
+            "usage: check_regression --baseline <file> --current <file> \
+             [--metric m] [--tolerance t] [--lower-metric m]"
+        );
         std::process::exit(2);
     };
 
@@ -116,6 +128,27 @@ fn main() {
             "ok"
         };
         println!("  {verdict:4} {key}: {base:.3} -> {cur:.3} ({:+.1}%)", (ratio - 1.0) * 100.0);
+
+        // Lower-is-better companion metric: fail on a rise beyond band.
+        if let Some(lm) = &lower_metric {
+            let (Some(lbase), Some(lcur)) =
+                (base_row[lm.as_str()].as_f64(), cur_row[lm.as_str()].as_f64())
+            else {
+                continue; // metric truly absent for this cell
+            };
+            // A zero baseline records "this cost does not exist here"
+            // (e.g. the MAC-free pbft model): ANY appearance is a
+            // regression, not a free pass.
+            let regressed = if lbase > 0.0 { lcur / lbase > 1.0 + tolerance } else { lcur > 0.0 };
+            let lverdict = if regressed {
+                failures += 1;
+                "FAIL"
+            } else {
+                "ok"
+            };
+            let delta = if lbase > 0.0 { (lcur / lbase - 1.0) * 100.0 } else { 0.0 };
+            println!("  {lverdict:4} {key} [{lm}]: {lbase:.3} -> {lcur:.3} ({delta:+.1}%)");
+        }
     }
     if failures > 0 {
         eprintln!("{failures} cell(s) regressed beyond the {:.0}% band", tolerance * 100.0);

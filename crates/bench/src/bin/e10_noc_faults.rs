@@ -78,37 +78,43 @@ fn main() {
         "E10 8x8 mesh, uniform traffic: delivery under dead links",
         &["scheme", "fault_rate", "delivery", "mean_latency"],
     );
-    for (fi, rate) in [0.0f64, 0.01, 0.02, 0.05, 0.10].iter().enumerate() {
-        for (si, scheme) in ["xy", "xy+retx", "adaptive"].iter().enumerate() {
-            let mut dr_sum = 0.0;
-            let mut lat_sum = 0.0;
-            for t in 0..trials {
-                let mut rng = root.fork((fi * 10 + si) as u64 * 100_000 + t);
-                let (dr, lat) = match *scheme {
-                    "xy" => run_plain(Routing::Xy, *rate, &mut rng),
-                    "adaptive" => {
-                        run_plain(Routing::FaultAdaptive { max_misroutes: 12 }, *rate, &mut rng)
-                    }
-                    _ => run_retransmit(*rate, &mut rng),
-                };
-                dr_sum += dr;
-                lat_sum += lat;
-            }
-            let n = trials as f64;
-            table.row(
-                &[scheme.to_string(), f3(*rate), f3(dr_sum / n), fmt1(lat_sum / n)],
-                &Row {
-                    scheme: match *scheme {
-                        "xy" => "xy",
-                        "adaptive" => "adaptive",
-                        _ => "xy+retx",
-                    },
-                    link_fault_rate: *rate,
-                    delivery_ratio: dr_sum / n,
-                    mean_latency: lat_sum / n,
-                },
-            );
+    // Cell grid: fault rate × routing scheme; trial RNG streams fork by
+    // cell indices, so the sweep fans out across threads.
+    let cells: Vec<(usize, f64, usize, &'static str)> = [0.0f64, 0.01, 0.02, 0.05, 0.10]
+        .iter()
+        .enumerate()
+        .flat_map(|(fi, r)| {
+            ["xy", "xy+retx", "adaptive"].iter().enumerate().map(move |(si, s)| (fi, *r, si, *s))
+        })
+        .collect();
+    let sums = rsoc_bench::run_cells(&cells, options.jobs, |&(fi, rate, si, scheme)| {
+        let mut dr_sum = 0.0;
+        let mut lat_sum = 0.0;
+        for t in 0..trials {
+            let mut rng = root.fork((fi * 10 + si) as u64 * 100_000 + t);
+            let (dr, lat) = match scheme {
+                "xy" => run_plain(Routing::Xy, rate, &mut rng),
+                "adaptive" => {
+                    run_plain(Routing::FaultAdaptive { max_misroutes: 12 }, rate, &mut rng)
+                }
+                _ => run_retransmit(rate, &mut rng),
+            };
+            dr_sum += dr;
+            lat_sum += lat;
         }
+        (dr_sum, lat_sum)
+    });
+    for (&(_, rate, _, scheme), &(dr_sum, lat_sum)) in cells.iter().zip(&sums) {
+        let n = trials as f64;
+        table.row(
+            &[scheme.to_string(), f3(rate), f3(dr_sum / n), fmt1(lat_sum / n)],
+            &Row {
+                scheme,
+                link_fault_rate: rate,
+                delivery_ratio: dr_sum / n,
+                mean_latency: lat_sum / n,
+            },
+        );
     }
     table.print(&options);
     println!(

@@ -39,16 +39,25 @@ fn main() {
         "E1 rca8: correct-output probability vs per-gate fault rate",
         &["p_fault", "simplex", "tmr", "5mr", "tmr(gate-voter)", "tmr_area"],
     );
-    for (i, p) in [1e-4f64, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1].iter().enumerate() {
-        let sampler = FaultSampler::new(*p);
+    // One cell per fault-rate point; the per-cell RNG streams fork from
+    // the root by cell index, so the sweep fans out across threads.
+    let cells: Vec<(usize, f64)> =
+        [1e-4f64, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1].iter().copied().enumerate().collect();
+    let estimates = rsoc_bench::run_cells(&cells, options.jobs, |&(i, p)| {
+        let sampler = FaultSampler::new(p);
         let mut r1 = root.fork(i as u64 * 10 + 1);
         let mut r2 = root.fork(i as u64 * 10 + 2);
         let mut r3 = root.fork(i as u64 * 10 + 3);
         let mut r4 = root.fork(i as u64 * 10 + 4);
-        let simplex = estimate_reliability(&module, &sampler, trials, &mut r1);
-        let tmr = estimate_nmr_ideal_voter(&module, 3, &sampler, trials, &mut r2);
-        let fivemr = estimate_nmr_ideal_voter(&module, 5, &sampler, trials, &mut r3);
-        let tmr_gv = estimate_reliability(&tmr_gate, &sampler, trials, &mut r4);
+        (
+            estimate_reliability(&module, &sampler, trials, &mut r1),
+            estimate_nmr_ideal_voter(&module, 3, &sampler, trials, &mut r2),
+            estimate_nmr_ideal_voter(&module, 5, &sampler, trials, &mut r3),
+            estimate_reliability(&tmr_gate, &sampler, trials, &mut r4),
+        )
+    });
+    for (&(_, p), (simplex, tmr, fivemr, tmr_gv)) in cells.iter().zip(&estimates) {
+        let p = &p;
         table.row(
             &[
                 format!("{p:.0e}"),

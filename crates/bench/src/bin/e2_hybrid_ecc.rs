@@ -89,19 +89,33 @@ fn main() {
         "E2 USIG counter under SEUs: violation (undetected) / fail-stop (detected) rates",
         &["protection", "seu", "violation", "failstop", "clean", "gates"],
     );
-    for (pi, protection) in ["plain", "parity", "secded"].iter().enumerate() {
-        let cost = make_usig(protection, &ring).gate_cost();
-        for (si, seu) in [0u32, 1, 2, 4, 8].iter().enumerate() {
-            let mut violations = 0u64;
-            let mut failstops = 0u64;
-            for t in 0..trials {
-                let mut rng = root.fork((pi * 100 + si * 10) as u64 * 1_000_000 + t);
-                match campaign(protection, *seu, &ring, &mut rng) {
-                    Outcome::Clean => {}
-                    Outcome::Violation => violations += 1,
-                    Outcome::FailStop => failstops += 1,
-                }
+    // Cell grid: protection × SEU count. Per-trial RNG streams fork from
+    // the root by a pure function of the cell indices, so cells are
+    // independent and fan out across worker threads.
+    let cells: Vec<(usize, &'static str, usize, u32)> = ["plain", "parity", "secded"]
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, p)| {
+            [0u32, 1, 2, 4, 8].iter().enumerate().map(move |(si, s)| (pi, *p, si, *s))
+        })
+        .collect();
+    let tallies = rsoc_bench::run_cells(&cells, options.jobs, |&(pi, protection, si, seu)| {
+        let mut violations = 0u64;
+        let mut failstops = 0u64;
+        for t in 0..trials {
+            let mut rng = root.fork((pi * 100 + si * 10) as u64 * 1_000_000 + t);
+            match campaign(protection, seu, &ring, &mut rng) {
+                Outcome::Clean => {}
+                Outcome::Violation => violations += 1,
+                Outcome::FailStop => failstops += 1,
             }
+        }
+        (violations, failstops)
+    });
+    for (&(_, protection, _, seu), &(violations, failstops)) in cells.iter().zip(&tallies) {
+        let cost = make_usig(protection, &ring).gate_cost();
+        {
+            let seu = &seu;
             let v = violations as f64 / trials as f64;
             let fs = failstops as f64 / trials as f64;
             table.row(

@@ -43,47 +43,51 @@ fn main() {
         "E3 protocol cost vs fault threshold f",
         &["protocol", "f", "replicas", "msg/op", "lat_p50", "lat_p99", "ops/kcycle"],
     );
-    for f in 1..=4u32 {
-        for protocol in ["pbft", "minbft"] {
-            let n = if protocol == "pbft" { 3 * f + 1 } else { 2 * f + 1 };
-            let config = RunConfig {
-                f,
-                clients: 4,
-                requests_per_client: requests,
-                seed: 0xE3 + f as u64,
-                latency: mesh_latency(n),
-                max_cycles: 200_000_000,
-                ..Default::default()
-            };
-            let report = match protocol {
-                "pbft" => run(&mut PbftCluster::new(&config), &config),
-                _ => run(&mut MinBftCluster::new(&config), &config),
-            };
-            assert!(report.safety_ok, "{protocol} f={f} violated safety");
-            let p50 = report.commit_latency.median().unwrap_or(0.0);
-            let p99 = report.commit_latency.quantile(0.99).unwrap_or(0.0);
-            table.row(
-                &[
-                    protocol.to_string(),
-                    f.to_string(),
-                    report.n_replicas.to_string(),
-                    f1(report.messages_per_commit()),
-                    f1(p50),
-                    f1(p99),
-                    f3(report.throughput_per_kcycle()),
-                ],
-                &Row {
-                    protocol: if protocol == "pbft" { "pbft" } else { "minbft" },
-                    f,
-                    replicas: report.n_replicas,
-                    msgs_per_commit: report.messages_per_commit(),
-                    median_latency: p50,
-                    p99_latency: p99,
-                    throughput_per_kcycle: report.throughput_per_kcycle(),
-                    committed: report.committed,
-                },
-            );
+    // Canonical cell grid; each cell is a pure function of (f, protocol),
+    // so the sweep fans out across worker threads.
+    let cells: Vec<(u32, &'static str)> =
+        (1..=4u32).flat_map(|f| [(f, "pbft"), (f, "minbft")]).collect();
+    let reports = rsoc_bench::run_cells(&cells, options.jobs, |&(f, protocol)| {
+        let n = if protocol == "pbft" { 3 * f + 1 } else { 2 * f + 1 };
+        let config = RunConfig {
+            f,
+            clients: 4,
+            requests_per_client: requests,
+            seed: 0xE3 + f as u64,
+            latency: mesh_latency(n),
+            max_cycles: 200_000_000,
+            ..Default::default()
+        };
+        match protocol {
+            "pbft" => run(&mut PbftCluster::new(&config), &config),
+            _ => run(&mut MinBftCluster::new(&config), &config),
         }
+    });
+    for (&(f, protocol), report) in cells.iter().zip(&reports) {
+        assert!(report.safety_ok, "{protocol} f={f} violated safety");
+        let p50 = report.commit_latency.median().unwrap_or(0.0);
+        let p99 = report.commit_latency.quantile(0.99).unwrap_or(0.0);
+        table.row(
+            &[
+                protocol.to_string(),
+                f.to_string(),
+                report.n_replicas.to_string(),
+                f1(report.messages_per_commit()),
+                f1(p50),
+                f1(p99),
+                f3(report.throughput_per_kcycle()),
+            ],
+            &Row {
+                protocol,
+                f,
+                replicas: report.n_replicas,
+                msgs_per_commit: report.messages_per_commit(),
+                median_latency: p50,
+                p99_latency: p99,
+                throughput_per_kcycle: report.throughput_per_kcycle(),
+                committed: report.committed,
+            },
+        );
     }
     table.print(&options);
     println!(

@@ -37,8 +37,20 @@ fn main() {
         &["scheme", "detect_to", "replicas", "msg/op", "lat_p50", "lat_max", "committed"],
     );
 
-    // Passive with a detector-timeout sweep.
-    for detect in [400u64, 800, 1600, 3200] {
+    /// One swept scenario: the passive pair at a detector timeout, or a
+    /// MinBFT cluster crashing a backup / the primary.
+    #[derive(Clone, Copy)]
+    enum Cell {
+        Passive { detect: u64 },
+        MinBft { crash_primary: bool },
+    }
+    let cells: Vec<Cell> = [400u64, 800, 1600, 3200]
+        .into_iter()
+        .map(|detect| Cell::Passive { detect })
+        .chain([Cell::MinBft { crash_primary: false }, Cell::MinBft { crash_primary: true }])
+        .collect();
+
+    let reports = rsoc_bench::run_cells(&cells, options.jobs, |cell| {
         let config = RunConfig {
             f: 1,
             clients: 1,
@@ -48,15 +60,39 @@ fn main() {
             max_cycles: 400_000_000,
             ..Default::default()
         };
-        let mut cluster = PassiveCluster::with_detector(detect / 4, detect);
-        cluster.set_behavior(ReplicaId(0), Behavior::CrashAt(crash_at));
-        let report = run(&mut cluster, &config);
+        match *cell {
+            Cell::Passive { detect } => {
+                let mut cluster = PassiveCluster::with_detector(detect / 4, detect);
+                cluster.set_behavior(ReplicaId(0), Behavior::CrashAt(crash_at));
+                run(&mut cluster, &config)
+            }
+            Cell::MinBft { crash_primary } => {
+                let mut cluster = MinBftCluster::new(&config);
+                // A crashed backup is pure masking; a crashed primary is
+                // a view change bounded by the request patience.
+                let victim = if crash_primary { ReplicaId(0) } else { ReplicaId(2) };
+                cluster.set_behavior(victim, Behavior::CrashAt(crash_at));
+                run(&mut cluster, &config)
+            }
+        }
+    });
+
+    for (cell, report) in cells.iter().zip(&reports) {
+        let (label, scheme, detect) = match *cell {
+            Cell::Passive { detect } => ("passive".to_string(), "passive", detect),
+            Cell::MinBft { crash_primary: false } => {
+                ("minbft(backup↓)".to_string(), "minbft-backup-crash", 0)
+            }
+            Cell::MinBft { crash_primary: true } => {
+                ("minbft(primary↓)".to_string(), "minbft-primary-crash", 0)
+            }
+        };
         let p50 = report.commit_latency.median().unwrap_or(0.0);
         let max = report.commit_latency.quantile(1.0).unwrap_or(0.0);
         table.row(
             &[
-                "passive".into(),
-                detect.to_string(),
+                label,
+                if detect > 0 { detect.to_string() } else { "-".into() },
                 report.n_replicas.to_string(),
                 f1(report.messages_per_commit()),
                 f1(p50),
@@ -64,7 +100,7 @@ fn main() {
                 report.committed.to_string(),
             ],
             &Row {
-                scheme: "passive".into(),
+                scheme: scheme.into(),
                 detect_timeout: detect,
                 replicas: report.n_replicas,
                 msgs_per_commit: report.messages_per_commit(),
@@ -74,69 +110,6 @@ fn main() {
             },
         );
     }
-
-    // Active (MinBFT) with the same crash.
-    let config = RunConfig {
-        f: 1,
-        clients: 1,
-        requests_per_client: requests,
-        seed: 0xE4,
-        client_timeout: 300,
-        max_cycles: 400_000_000,
-        ..Default::default()
-    };
-    let mut cluster = MinBftCluster::new(&config);
-    // Crash a backup (not the primary) first for the pure-masking case...
-    cluster.set_behavior(ReplicaId(2), Behavior::CrashAt(crash_at));
-    let report = run(&mut cluster, &config);
-    let p50 = report.commit_latency.median().unwrap_or(0.0);
-    let max = report.commit_latency.quantile(1.0).unwrap_or(0.0);
-    table.row(
-        &[
-            "minbft(backup↓)".into(),
-            "-".into(),
-            report.n_replicas.to_string(),
-            f1(report.messages_per_commit()),
-            f1(p50),
-            f1(max),
-            report.committed.to_string(),
-        ],
-        &Row {
-            scheme: "minbft-backup-crash".into(),
-            detect_timeout: 0,
-            replicas: report.n_replicas,
-            msgs_per_commit: report.messages_per_commit(),
-            lat_p50: p50,
-            lat_max: max,
-            committed: report.committed,
-        },
-    );
-    // ... and the primary-crash case (view change, bounded by patience).
-    let mut cluster = MinBftCluster::new(&config);
-    cluster.set_behavior(ReplicaId(0), Behavior::CrashAt(crash_at));
-    let report = run(&mut cluster, &config);
-    let p50 = report.commit_latency.median().unwrap_or(0.0);
-    let max = report.commit_latency.quantile(1.0).unwrap_or(0.0);
-    table.row(
-        &[
-            "minbft(primary↓)".into(),
-            "-".into(),
-            report.n_replicas.to_string(),
-            f1(report.messages_per_commit()),
-            f1(p50),
-            f1(max),
-            report.committed.to_string(),
-        ],
-        &Row {
-            scheme: "minbft-primary-crash".into(),
-            detect_timeout: 0,
-            replicas: report.n_replicas,
-            msgs_per_commit: report.messages_per_commit(),
-            lat_p50: p50,
-            lat_max: max,
-            committed: report.committed,
-        },
-    );
     table.print(&options);
     println!(
         "\nExpected shape (paper §II-A): passive is cheapest per op but its\n\

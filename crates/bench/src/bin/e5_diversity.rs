@@ -74,7 +74,19 @@ fn main() {
         "E5 diversity degree vs common-mode compromise (n=4, f=1)",
         &["distinct_variants", "max_share", "vendors", "exposure", "greedy_k", "mc_mean_k"],
     );
-    for d in 1..=4usize {
+    // One cell per diversity degree; Monte-Carlo streams fork from the
+    // root by (degree, trial), so cells fan out across threads.
+    let cells: Vec<usize> = (1..=4).collect();
+    let mc_means = rsoc_bench::run_cells(&cells, options.jobs, |&d| {
+        let assignment: Vec<VariantId> = (0..n).map(|i| VariantId((i % d) as u32)).collect();
+        let mut mc_sum = 0.0;
+        for t in 0..trials {
+            let mut rng = root.fork(1_000 + d as u64 * trials + t);
+            mc_sum += mc_exploits(&pool, &assignment, f, &mut rng);
+        }
+        mc_sum / trials as f64
+    });
+    for (&d, &mc_mean) in cells.iter().zip(&mc_means) {
         // d distinct variants spread over the 4 replicas, cross-vendor by
         // construction (variant id % vendors = vendor).
         let assignment: Vec<VariantId> = (0..n).map(|i| VariantId((i % d) as u32)).collect();
@@ -86,12 +98,6 @@ fn main() {
             .map(|v| assignment.iter().filter(|a| a.0 == v as u32).count())
             .max()
             .unwrap_or(0);
-        let mut mc_sum = 0.0;
-        for t in 0..trials {
-            let mut rng = root.fork(1_000 + d as u64 * trials + t);
-            mc_sum += mc_exploits(&pool, &assignment, f, &mut rng);
-        }
-        let mc_mean = mc_sum / trials as f64;
         table.row(
             &[
                 d.to_string(),

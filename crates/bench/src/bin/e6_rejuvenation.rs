@@ -52,13 +52,16 @@ fn main() {
             Policy::ReactiveDiverse { check_interval: 500, detection_prob: 0.5 },
         ),
     ];
-    for (pi, (name, interval, policy)) in policies.iter().enumerate() {
+    // One cell per policy; campaign RNG streams fork from the root by
+    // (policy index, trial), so cells fan out across threads.
+    let indexed: Vec<(usize, (String, u64, Policy))> = policies.into_iter().enumerate().collect();
+    let tallies = rsoc_bench::run_cells(&indexed, options.jobs, |(pi, (_, _, policy))| {
         let mut survived = 0u64;
         let mut ttf_sum = 0.0;
         let mut avail_sum = 0.0;
         let mut rejuv_sum = 0.0;
         for t in 0..trials {
-            let mut rng = root.fork((pi as u64) * 1_000_000 + t + 1);
+            let mut rng = root.fork((*pi as u64) * 1_000_000 + t + 1);
             let r = simulate(&config, *policy, &mut rng);
             if r.survived {
                 survived += 1;
@@ -67,6 +70,11 @@ fn main() {
             avail_sum += r.availability;
             rejuv_sum += r.rejuvenations as f64;
         }
+        (survived, ttf_sum, avail_sum, rejuv_sum)
+    });
+    for ((_, (name, interval, _)), &(survived, ttf_sum, avail_sum, rejuv_sum)) in
+        indexed.iter().zip(&tallies)
+    {
         let n = trials as f64;
         table.row(
             &[

@@ -45,19 +45,25 @@ fn main() {
         "E7 static vs adaptive deployments over a threat trace",
         &["policy", "underprot_frac", "mean_replicas", "switches"],
     );
-    let policies: Vec<(String, AdaptPolicy)> = vec![
-        (
-            "static minbft f=1".into(),
-            AdaptPolicy::Static(Deployment { protocol: ProtocolChoice::MinBft, f: 1 }),
-        ),
-        (
-            "static pbft f=3".into(),
-            AdaptPolicy::Static(Deployment { protocol: ProtocolChoice::Pbft, f: 3 }),
-        ),
-        ("adaptive".into(), AdaptPolicy::Adaptive(AdaptiveController::default())),
-    ];
-    for (name, policy) in policies {
-        let r = simulate_adaptation(&trace, policy);
+    // Policies are built inside each cell (the controller holds state),
+    // so cells stay independent and fan out across threads.
+    let policy_for = |name: &str| -> AdaptPolicy {
+        match name {
+            "static minbft f=1" => {
+                AdaptPolicy::Static(Deployment { protocol: ProtocolChoice::MinBft, f: 1 })
+            }
+            "static pbft f=3" => {
+                AdaptPolicy::Static(Deployment { protocol: ProtocolChoice::Pbft, f: 3 })
+            }
+            _ => AdaptPolicy::Adaptive(AdaptiveController::default()),
+        }
+    };
+    let cells: Vec<&'static str> = vec!["static minbft f=1", "static pbft f=3", "adaptive"];
+    let results = rsoc_bench::run_cells(&cells, options.jobs, |name| {
+        simulate_adaptation(&trace, policy_for(name))
+    });
+    for (name, r) in cells.iter().zip(&results) {
+        let name = name.to_string();
         table.row(
             &[
                 name.clone(),
@@ -103,7 +109,7 @@ fn main() {
         "E7b closed loop (detector observes noisy signals, no oracle)",
         &["noise", "attacks_masked", "attacks_missed", "false_alarms", "mean_replicas"],
     );
-    for (name, model) in [
+    let loop_cells: Vec<(&'static str, ObservationModel)> = vec![
         ("nominal", ObservationModel::default()),
         (
             "noisy-bg",
@@ -121,15 +127,19 @@ fn main() {
                 ..Default::default()
             },
         ),
-    ] {
+    ];
+    let loop_results = rsoc_bench::run_cells(&loop_cells, options.jobs, |(_, model)| {
+        // Each cell owns its RNG (fixed seed): cells are independent.
         let mut rng = SimRng::new(0xE7B);
-        let r = run_closed_loop(
+        run_closed_loop(
             &truth,
             DetectorConfig::default(),
             AdaptiveController::default(),
-            model,
+            *model,
             &mut rng,
-        );
+        )
+    });
+    for ((name, _), r) in loop_cells.iter().zip(&loop_results) {
         loop_table.row(
             &[
                 name.to_string(),

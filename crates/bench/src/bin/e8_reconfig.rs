@@ -109,25 +109,33 @@ fn main() {
         "E8 malicious reconfiguration: direct grants vs voted privilege gate",
         &["mode", "kernels", "compromised", "contaminated", "legit_ok"],
     );
-    for kernels in [3u32, 5] {
-        for compromised in 0..=(kernels / 2) {
-            for (mode, f) in [
-                ("direct", direct_mode as fn(u32, u32) -> (bool, bool)),
-                ("voted", voted_mode as fn(u32, u32) -> (bool, bool)),
-            ] {
-                let (contaminated, legit_ok) = f(kernels, compromised);
-                table.row(
-                    &[
-                        mode.to_string(),
-                        kernels.to_string(),
-                        compromised.to_string(),
-                        contaminated.to_string(),
-                        legit_ok.to_string(),
-                    ],
-                    &Row { mode, kernels, compromised, contaminated, legit_ops_ok: legit_ok },
-                );
-            }
-        }
+    // Deterministic scenario grid: kernels × compromised × mode.
+    type ModeFn = fn(u32, u32) -> (bool, bool);
+    let cells: Vec<(u32, u32, &'static str, ModeFn)> = [3u32, 5]
+        .into_iter()
+        .flat_map(|kernels| {
+            (0..=(kernels / 2)).flat_map(move |compromised| {
+                [("direct", direct_mode as ModeFn), ("voted", voted_mode as ModeFn)]
+                    .into_iter()
+                    .map(move |(mode, f)| (kernels, compromised, mode, f))
+            })
+        })
+        .collect();
+    let outcomes = rsoc_bench::run_cells(&cells, options.jobs, |&(kernels, compromised, _, f)| {
+        f(kernels, compromised)
+    });
+    for (&(kernels, compromised, mode, _), &(contaminated, legit_ok)) in cells.iter().zip(&outcomes)
+    {
+        table.row(
+            &[
+                mode.to_string(),
+                kernels.to_string(),
+                compromised.to_string(),
+                contaminated.to_string(),
+                legit_ok.to_string(),
+            ],
+            &Row { mode, kernels, compromised, contaminated, legit_ops_ok: legit_ok },
+        );
     }
     table.print(&options);
     let _ = f3(0.0);

@@ -100,43 +100,54 @@ fn main() {
         "E9 softcore on a backdoored grid: placement policy vs compromised-epoch fraction",
         &["policy", "density", "compromised_frac", "max_streak", "reconf_cyc/epoch"],
     );
-    for (di, density) in [0.02f64, 0.05, 0.10, 0.20].iter().enumerate() {
-        for (pi, (name, policy)) in [
-            ("fixed", PolicyKind::Fixed),
-            ("random-reloc", PolicyKind::Random),
-            ("avoidance-reloc", PolicyKind::Avoidance),
-        ]
+    // Cell grid: density × policy, with per-trial RNG streams forked from
+    // the root by cell indices — independent, so the sweep fans out.
+    let policies = [
+        ("fixed", PolicyKind::Fixed),
+        ("random-reloc", PolicyKind::Random),
+        ("avoidance-reloc", PolicyKind::Avoidance),
+    ];
+    let cells: Vec<(usize, f64, usize, &'static str, PolicyKind)> = [0.02f64, 0.05, 0.10, 0.20]
         .iter()
         .enumerate()
-        {
-            let mut frac_sum = 0.0;
-            let mut streak_sum = 0.0;
-            let mut cyc_sum = 0.0;
-            for t in 0..trials {
-                let mut rng = root.fork((di * 10 + pi) as u64 * 1_000_000 + t);
-                let (frac, streak, cyc) = run_campaign(*policy, *density, &mut rng);
-                frac_sum += frac;
-                streak_sum += streak;
-                cyc_sum += cyc;
-            }
-            let n = trials as f64;
-            table.row(
-                &[
-                    name.to_string(),
-                    f3(*density),
-                    f3(frac_sum / n),
-                    format!("{:.1}", streak_sum / n),
-                    format!("{:.0}", cyc_sum / n),
-                ],
-                &Row {
-                    policy: name,
-                    backdoor_density: *density,
-                    compromised_epoch_frac: frac_sum / n,
-                    max_compromised_streak: streak_sum / n,
-                    reconfig_cycles_per_epoch: cyc_sum / n,
-                },
-            );
+        .flat_map(|(di, d)| {
+            policies
+                .iter()
+                .enumerate()
+                .map(move |(pi, (name, policy))| (di, *d, pi, *name, *policy))
+        })
+        .collect();
+    let sums = rsoc_bench::run_cells(&cells, options.jobs, |&(di, density, pi, _, policy)| {
+        let mut frac_sum = 0.0;
+        let mut streak_sum = 0.0;
+        let mut cyc_sum = 0.0;
+        for t in 0..trials {
+            let mut rng = root.fork((di * 10 + pi) as u64 * 1_000_000 + t);
+            let (frac, streak, cyc) = run_campaign(policy, density, &mut rng);
+            frac_sum += frac;
+            streak_sum += streak;
+            cyc_sum += cyc;
         }
+        (frac_sum, streak_sum, cyc_sum)
+    });
+    for (&(_, density, _, name, _), &(frac_sum, streak_sum, cyc_sum)) in cells.iter().zip(&sums) {
+        let n = trials as f64;
+        table.row(
+            &[
+                name.to_string(),
+                f3(density),
+                f3(frac_sum / n),
+                format!("{:.1}", streak_sum / n),
+                format!("{:.0}", cyc_sum / n),
+            ],
+            &Row {
+                policy: name,
+                backdoor_density: density,
+                compromised_epoch_frac: frac_sum / n,
+                max_compromised_streak: streak_sum / n,
+                reconfig_cycles_per_epoch: cyc_sum / n,
+            },
+        );
     }
     table.print(&options);
     println!(

@@ -89,8 +89,10 @@ fn main() {
         ),
         ("no relocation", ManagerConfig { enable_relocation: false, ..Default::default() }),
     ];
-    for (name, config) in configs {
-        let row = run_config(name, config);
+    // Each configuration's campaign is an independent, seeded cell.
+    let rows =
+        rsoc_bench::run_cells(&configs, options.jobs, |(name, config)| run_config(name, *config));
+    for row in rows {
         table.row(
             &[
                 row.configuration.clone(),

@@ -138,49 +138,59 @@ fn main() {
     );
     let mut rows: Vec<Row> = Vec::new();
 
-    for (latency_name, mesh) in [("mesh", true), ("uniform", false)] {
-        for protocol in ["pbft", "minbft"] {
-            for batch in BATCH_SIZES {
-                let n = if protocol == "pbft" { 3 * F + 1 } else { 2 * F + 1 };
-                let latency =
-                    if mesh { mesh_latency(n) } else { LatencyModel::Uniform { min: 5, max: 15 } };
-                let seed = 0xF2 + batch as u64;
-                let cfg = config(requests, batch, latency, seed);
-                let (report, macs) = run_cell(protocol, &cfg);
-                assert!(report.safety_ok, "{protocol} batch={batch} violated safety");
-                assert_eq!(
-                    report.committed,
-                    CLIENTS as u64 * requests,
-                    "{protocol} batch={batch} failed to commit the workload"
-                );
-                let row = Row {
-                    protocol: if protocol == "pbft" { "pbft" } else { "minbft" },
-                    latency_model: latency_name,
-                    batch_size: report.batch_size,
-                    committed: report.committed,
-                    ops_per_kcycle: report.throughput_per_kcycle(),
-                    macs_per_op: macs as f64 / report.committed as f64,
-                    msgs_per_op: report.messages_per_commit(),
-                    p50_latency: report.commit_latency.median().unwrap_or(0.0),
-                    p99_latency: report.commit_latency.quantile(0.99).unwrap_or(0.0),
-                    safety_ok: report.safety_ok,
-                };
-                table.row(
-                    &[
-                        row.protocol.to_string(),
-                        latency_name.to_string(),
-                        batch.to_string(),
-                        f3(row.ops_per_kcycle),
-                        f1(row.macs_per_op),
-                        f1(row.msgs_per_op),
-                        f1(row.p50_latency),
-                        f1(row.p99_latency),
-                    ],
-                    &row,
-                );
-                rows.push(row);
-            }
-        }
+    // Canonical cell grid (latency model × protocol × batch); every cell
+    // derives its seed from its own parameters, so the sweep fans out
+    // across worker threads and merges in this exact order.
+    let cells: Vec<(&'static str, bool, &'static str, usize)> =
+        [("mesh", true), ("uniform", false)]
+            .into_iter()
+            .flat_map(|(ln, mesh)| {
+                ["pbft", "minbft"]
+                    .into_iter()
+                    .flat_map(move |p| BATCH_SIZES.into_iter().map(move |b| (ln, mesh, p, b)))
+            })
+            .collect();
+    let results = rsoc_bench::run_cells(&cells, options.jobs, |&(_, mesh, protocol, batch)| {
+        let n = if protocol == "pbft" { 3 * F + 1 } else { 2 * F + 1 };
+        let latency =
+            if mesh { mesh_latency(n) } else { LatencyModel::Uniform { min: 5, max: 15 } };
+        let seed = 0xF2 + batch as u64;
+        let cfg = config(requests, batch, latency, seed);
+        run_cell(protocol, &cfg)
+    });
+    for (&(latency_name, _, protocol, batch), (report, macs)) in cells.iter().zip(&results) {
+        assert!(report.safety_ok, "{protocol} batch={batch} violated safety");
+        assert_eq!(
+            report.committed,
+            CLIENTS as u64 * requests,
+            "{protocol} batch={batch} failed to commit the workload"
+        );
+        let row = Row {
+            protocol: if protocol == "pbft" { "pbft" } else { "minbft" },
+            latency_model: latency_name,
+            batch_size: report.batch_size,
+            committed: report.committed,
+            ops_per_kcycle: report.throughput_per_kcycle(),
+            macs_per_op: *macs as f64 / report.committed as f64,
+            msgs_per_op: report.messages_per_commit(),
+            p50_latency: report.commit_latency.median().unwrap_or(0.0),
+            p99_latency: report.commit_latency.quantile(0.99).unwrap_or(0.0),
+            safety_ok: report.safety_ok,
+        };
+        table.row(
+            &[
+                row.protocol.to_string(),
+                latency_name.to_string(),
+                batch.to_string(),
+                f3(row.ops_per_kcycle),
+                f1(row.macs_per_op),
+                f1(row.msgs_per_op),
+                f1(row.p50_latency),
+                f1(row.p99_latency),
+            ],
+            &row,
+        );
+        rows.push(row);
     }
     table.print(&options);
 

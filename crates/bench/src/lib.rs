@@ -23,23 +23,45 @@
 
 use serde::Serialize;
 
+pub mod parallel;
+pub use parallel::{default_jobs, run_cells};
+
 /// Shared command-line options for experiment binaries.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct ExpOptions {
     /// Emit one JSON object per row after the table.
     pub json: bool,
     /// Reduce trial counts for a fast smoke run.
     pub quick: bool,
+    /// Worker threads for the parallel sweep runner (`--jobs N`; defaults
+    /// to the machine's available parallelism). Results are merged in
+    /// canonical cell order, so output is identical for any value.
+    pub jobs: usize,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions { json: false, quick: false, jobs: default_jobs() }
+    }
 }
 
 impl ExpOptions {
-    /// Parses `--json` / `--quick` from `std::env::args`.
+    /// Parses `--json` / `--quick` / `--jobs N` from `std::env::args`.
     pub fn from_args() -> Self {
         let mut o = ExpOptions::default();
-        for a in std::env::args().skip(1) {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
             match a.as_str() {
                 "--json" => o.json = true,
                 "--quick" => o.quick = true,
+                "--jobs" => {
+                    let v = args.next().unwrap_or_default();
+                    o.jobs = v.parse().unwrap_or_else(|_| {
+                        eprintln!("--jobs needs a positive integer, got {v:?}");
+                        std::process::exit(2);
+                    });
+                    o.jobs = o.jobs.max(1);
+                }
                 other => eprintln!("ignoring unknown argument: {other}"),
             }
         }
@@ -140,13 +162,13 @@ mod tests {
     fn table_roundtrip() {
         let mut t = Table::new("demo", &["x", "y"]);
         t.row(&["1".into(), "2".into()], &Rec { a: 1 });
-        t.print(&ExpOptions { json: true, quick: false });
+        t.print(&ExpOptions { json: true, quick: false, jobs: 1 });
         assert_eq!(t.rows.len(), 1);
     }
 
     #[test]
     fn quick_scales_trials() {
-        let q = ExpOptions { json: false, quick: true };
+        let q = ExpOptions { json: false, quick: true, jobs: 1 };
         assert_eq!(q.trials(1000), 100);
         assert_eq!(q.trials(5), 1);
         let f = ExpOptions::default();

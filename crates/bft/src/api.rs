@@ -1,7 +1,15 @@
 //! Common SMR types shared by all protocols.
+//!
+//! The message plane is allocation-free end to end: client requests travel
+//! as [`Arc<Request>`] (issuing a request allocates its payload exactly
+//! once — every fan-out send, retransmission, batch slot, and pending-map
+//! entry afterwards is a refcount bump), batches as [`Arc<Batch>`]
+//! (PR 3), and execution results as `Arc<Vec<u8>>` shared between the
+//! exactly-once dedup index and every [`Reply`] that carries them.
 
 use rsoc_crypto::{sha256, Sha256};
 use std::fmt;
+use std::sync::Arc;
 
 /// Replica identity (0-based, dense).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -68,24 +76,26 @@ impl Request {
 /// the cached digest against the content before trusting it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Batch {
-    requests: Vec<Request>,
+    requests: Vec<Arc<Request>>,
     digest: [u8; 32],
 }
 
 impl Batch {
-    /// Seals `requests` into a batch, computing the cached digest.
-    pub fn new(requests: Vec<Request>) -> Self {
+    /// Seals `requests` into a batch, computing the cached digest. The
+    /// requests are shared, not copied: sealing a batch of B requests
+    /// performs zero payload allocations.
+    pub fn new(requests: Vec<Arc<Request>>) -> Self {
         let digest = Self::compute_digest(&requests);
         Batch { requests, digest }
     }
 
     /// A batch of one (the unbatched fast path).
-    pub fn single(req: Request) -> Self {
+    pub fn single(req: Arc<Request>) -> Self {
         Self::new(vec![req])
     }
 
     /// The requests, in execution order.
-    pub fn requests(&self) -> &[Request] {
+    pub fn requests(&self) -> &[Arc<Request>] {
         &self.requests
     }
 
@@ -110,7 +120,7 @@ impl Batch {
         Self::compute_digest(&self.requests) == self.digest
     }
 
-    fn compute_digest(requests: &[Request]) -> [u8; 32] {
+    fn compute_digest(requests: &[Arc<Request>]) -> [u8; 32] {
         let mut h = Sha256::new();
         h.update(&(requests.len() as u64).to_le_bytes());
         for r in requests {
@@ -161,7 +171,7 @@ pub enum BatchDecision {
 /// event order rather than a deterministic function of the accumulation.
 #[derive(Debug)]
 pub struct Batcher {
-    accum: Vec<Request>,
+    accum: Vec<Arc<Request>>,
     /// Bumped on every drain; tokens from older epochs are stale.
     epoch: u64,
     /// The epoch a flush timer is currently armed for, if any.
@@ -200,8 +210,9 @@ impl Batcher {
         self.batch_size
     }
 
-    /// Admits `req`, returning what the caller must do next.
-    pub fn offer(&mut self, req: Request) -> BatchDecision {
+    /// Admits `req` (a refcount bump, not a payload copy), returning what
+    /// the caller must do next.
+    pub fn offer(&mut self, req: Arc<Request>) -> BatchDecision {
         if self.accum.iter().any(|r| r.op == req.op) {
             return BatchDecision::Duplicate;
         }
@@ -232,7 +243,7 @@ impl Batcher {
     /// Takes the accumulated requests, keeping only those `admit` accepts
     /// (protocols drop requests that went stale across a view change).
     /// Starts a new flush epoch: any armed timer becomes stale.
-    pub fn drain(&mut self, mut admit: impl FnMut(&Request) -> bool) -> Vec<Request> {
+    pub fn drain(&mut self, mut admit: impl FnMut(&Request) -> bool) -> Vec<Arc<Request>> {
         self.epoch += 1;
         self.armed_for = None;
         std::mem::take(&mut self.accum).into_iter().filter(|r| admit(r)).collect()
@@ -246,8 +257,9 @@ pub struct Reply {
     pub replica: ReplicaId,
     /// Operation being answered.
     pub op: OpId,
-    /// State-machine result.
-    pub result: Vec<u8>,
+    /// State-machine result — shared with the replica's exactly-once
+    /// dedup index, so answering a retry clones a refcount, not bytes.
+    pub result: Arc<Vec<u8>>,
 }
 
 /// One committed slot of a replica's totally-ordered log.
@@ -331,6 +343,14 @@ impl<M> Outbox<M> {
     pub fn arm(&mut self, delay: u64, kind: u32, token: u64) {
         self.timers.push((delay, kind, token));
     }
+
+    /// Empties both queues, keeping their capacity — the harness reuses
+    /// one outbox across every delivered event, so the steady state does
+    /// not allocate per event.
+    pub fn clear(&mut self) {
+        self.msgs.clear();
+        self.timers.clear();
+    }
 }
 
 /// The protocol-node interface the harness drives.
@@ -350,8 +370,10 @@ pub trait ReplicaNode {
     /// The committed log so far (dense, in sequence order).
     fn committed_log(&self) -> &[LogEntry];
 
-    /// Wraps a client request into a protocol message.
-    fn make_request(req: Request) -> Self::Msg;
+    /// Wraps a client request into a protocol message. The `Arc` makes
+    /// client fan-out (n sends per issue, plus every retransmission)
+    /// allocation-free: each wire copy shares the one payload buffer.
+    fn make_request(req: Arc<Request>) -> Self::Msg;
 
     /// Extracts a reply if `msg` is one (used by the client harness).
     fn as_reply(msg: &Self::Msg) -> Option<&Reply>;
@@ -397,8 +419,10 @@ mod tests {
 
     #[test]
     fn batch_digest_is_cached_order_sensitive_and_framed() {
-        let r1 = Request { op: OpId { client: ClientId(1), seq: 1 }, payload: b"ab".to_vec() };
-        let r2 = Request { op: OpId { client: ClientId(1), seq: 2 }, payload: b"c".to_vec() };
+        let r1 =
+            Arc::new(Request { op: OpId { client: ClientId(1), seq: 1 }, payload: b"ab".to_vec() });
+        let r2 =
+            Arc::new(Request { op: OpId { client: ClientId(1), seq: 2 }, payload: b"c".to_vec() });
         let b12 = Batch::new(vec![r1.clone(), r2.clone()]);
         let b21 = Batch::new(vec![r2.clone(), r1.clone()]);
         assert_ne!(b12.digest(), b21.digest(), "order is part of identity");
@@ -406,16 +430,21 @@ mod tests {
         assert_eq!(b12.len(), 2);
         // Length framing: moving a byte across a request boundary changes
         // the digest even though the concatenation is identical.
-        let r1b = Request { op: OpId { client: ClientId(1), seq: 1 }, payload: b"a".to_vec() };
-        let r2b = Request { op: OpId { client: ClientId(1), seq: 2 }, payload: b"bc".to_vec() };
+        let r1b =
+            Arc::new(Request { op: OpId { client: ClientId(1), seq: 1 }, payload: b"a".to_vec() });
+        let r2b =
+            Arc::new(Request { op: OpId { client: ClientId(1), seq: 2 }, payload: b"bc".to_vec() });
         assert_ne!(b12.digest(), Batch::new(vec![r1b, r2b]).digest());
-        // Singleton helper.
-        assert_eq!(Batch::single(r1.clone()).requests(), &[r1]);
+        // Singleton helper shares the request, never copies it.
+        let singleton = Batch::single(r1.clone());
+        assert!(Arc::ptr_eq(&singleton.requests()[0], &r1));
     }
 
     #[test]
     fn batcher_seals_arms_and_dedups() {
-        let req = |seq| Request { op: OpId { client: ClientId(1), seq }, payload: vec![seq as u8] };
+        let req = |seq| {
+            Arc::new(Request { op: OpId { client: ClientId(1), seq }, payload: vec![seq as u8] })
+        };
         let mut b = Batcher::new();
         // Unbatched default: every request seals immediately.
         assert_eq!(b.offer(req(1)), BatchDecision::Seal);
@@ -447,7 +476,8 @@ mod tests {
         // arrives next must get a full-patience timer of its own — its
         // flush deadline is a function of ITS accumulation epoch, not of
         // when the previous accumulation happened to arm a timer.
-        let req = |seq| Request { op: OpId { client: ClientId(2), seq }, payload: vec![] };
+        let req =
+            |seq| Arc::new(Request { op: OpId { client: ClientId(2), seq }, payload: vec![] });
         let mut b = Batcher::new();
         b.configure(2, 100);
         assert_eq!(b.offer(req(1)), BatchDecision::ArmTimer(0));
@@ -467,12 +497,13 @@ mod tests {
 
     #[test]
     fn tampered_batch_fails_verification() {
-        let r = Request { op: OpId { client: ClientId(2), seq: 9 }, payload: b"x".to_vec() };
+        let r =
+            Arc::new(Request { op: OpId { client: ClientId(2), seq: 9 }, payload: b"x".to_vec() });
         let good = Batch::new(vec![r.clone()]);
-        let mut evil = r;
+        let mut evil = Request::clone(&r);
         evil.payload = b"y".to_vec();
         // Splice a lying digest next to different content.
-        let forged = Batch { requests: vec![evil], digest: good.digest() };
+        let forged = Batch { requests: vec![Arc::new(evil)], digest: good.digest() };
         assert!(!forged.verify());
         assert!(good.verify());
     }

@@ -43,6 +43,7 @@
 pub mod api;
 pub mod behavior;
 pub mod broadcast;
+pub mod dense;
 pub mod minbft;
 pub mod passive;
 pub mod pbft;

@@ -23,6 +23,7 @@ use crate::api::{
     ReplicaNode, Reply, Request,
 };
 use crate::behavior::Behavior;
+use crate::dense::{op_token, token_op, OpIndex, ReplicaSet, SeqWindow};
 use crate::runner::RunConfig;
 use crate::statemachine::{KvStore, StateMachine};
 use rsoc_crypto::Tag;
@@ -45,8 +46,8 @@ type PreparedSet = Vec<(u64, Arc<Batch>)>;
 /// MinBFT wire messages.
 #[derive(Debug, Clone)]
 pub enum MinBftMsg {
-    /// Client request.
-    Request(Request),
+    /// Client request (shared across the fan-out).
+    Request(Arc<Request>),
     /// Primary's UI-certified ordering proposal: one slot per *batch*.
     Prepare {
         /// View.
@@ -95,32 +96,45 @@ pub enum MinBftMsg {
     },
 }
 
+/// One agreement slot; executed slots are *retired* from the window
+/// instead of flagged (see [`SeqWindow::retire_below`]).
 #[derive(Debug, Default)]
 struct Slot {
     batch: Option<Arc<Batch>>,
     digest: Option<[u8; 32]>,
     prepare_ok: bool,
-    commits: BTreeSet<ReplicaId>,
+    commits: ReplicaSet,
     sent_commit: bool,
-    executed: bool,
 }
 
-fn prepare_bytes(view: u64, seq: u64, digest: &[u8; 32]) -> Vec<u8> {
-    let mut b = Vec::with_capacity(8 + 8 + 8 + 32);
-    b.extend_from_slice(b"PREPARE|");
-    b.extend_from_slice(&view.to_le_bytes());
-    b.extend_from_slice(&seq.to_le_bytes());
-    b.extend_from_slice(digest);
+/// Votes of one in-progress view change, indexed by voter id.
+#[derive(Debug)]
+struct VcRound {
+    view: u64,
+    votes: Vec<Option<PreparedSet>>,
+    count: usize,
+}
+
+/// The UI-signed PREPARE statement, on the stack: certificates are
+/// created and verified on every protocol message, so this must not
+/// allocate.
+fn prepare_bytes(view: u64, seq: u64, digest: &[u8; 32]) -> [u8; 56] {
+    let mut b = [0u8; 56];
+    b[..8].copy_from_slice(b"PREPARE|");
+    b[8..16].copy_from_slice(&view.to_le_bytes());
+    b[16..24].copy_from_slice(&seq.to_le_bytes());
+    b[24..].copy_from_slice(digest);
     b
 }
 
-fn commit_bytes(view: u64, seq: u64, digest: &[u8; 32], primary_counter: u64) -> Vec<u8> {
-    let mut b = Vec::with_capacity(8 + 8 + 8 + 8 + 32);
-    b.extend_from_slice(b"COMMIT|");
-    b.extend_from_slice(&view.to_le_bytes());
-    b.extend_from_slice(&seq.to_le_bytes());
-    b.extend_from_slice(&primary_counter.to_le_bytes());
-    b.extend_from_slice(digest);
+/// The UI-signed COMMIT statement, on the stack (see [`prepare_bytes`]).
+fn commit_bytes(view: u64, seq: u64, digest: &[u8; 32], primary_counter: u64) -> [u8; 63] {
+    let mut b = [0u8; 63];
+    b[..7].copy_from_slice(b"COMMIT|");
+    b[7..15].copy_from_slice(&view.to_le_bytes());
+    b[15..23].copy_from_slice(&seq.to_le_bytes());
+    b[23..31].copy_from_slice(&primary_counter.to_le_bytes());
+    b[31..].copy_from_slice(digest);
     b
 }
 
@@ -153,23 +167,27 @@ pub struct MinBftReplica {
     view: u64,
     behavior: Behavior,
     usig: Usig,
-    /// Hold-back ingress: per-sender buffered UI-bearing messages.
-    ingress: BTreeMap<u32, BTreeMap<u64, MinBftMsg>>,
+    /// Hold-back ingress: per-sender buffered UI-bearing messages, each a
+    /// counter-keyed window anchored just past the accepted counter.
+    ingress: Vec<SeqWindow<MinBftMsg>>,
     /// Messages for views we have not installed yet (a NewView may still be
     /// in flight); re-dispatched on installation.
     future: Vec<MinBftMsg>,
-    /// Last accepted USIG counter per sender.
-    accepted: BTreeMap<u32, u64>,
+    /// Last accepted USIG counter per sender (dense by replica id).
+    accepted: Vec<u64>,
     next_seq: u64,
-    slots: BTreeMap<u64, Slot>,
-    assigned: BTreeMap<OpId, u64>,
-    stored_prepares: BTreeMap<u64, MinBftMsg>,
-    executed: BTreeMap<OpId, Vec<u8>>,
-    pending: BTreeMap<u64, Request>,
+    /// Agreement slots, watermarked at `exec_upto + 1`.
+    slots: SeqWindow<Slot>,
+    assigned: OpIndex<u64>,
+    stored_prepares: SeqWindow<MinBftMsg>,
+    /// Exactly-once dedup: op → shared execution result.
+    executed: OpIndex<Arc<Vec<u8>>>,
+    /// Backup watchlist: requests awaiting commit, with patience timers.
+    pending: OpIndex<Arc<Request>>,
     log: Vec<LogEntry>,
     exec_upto: u64,
     machine: KvStore,
-    vc_votes: BTreeMap<u64, BTreeMap<ReplicaId, PreparedSet>>,
+    vc_votes: Vec<VcRound>,
     vc_sent_for: u64,
     /// Batching front-end (primary only).
     batcher: Batcher,
@@ -188,19 +206,19 @@ impl MinBftReplica {
             view: 0,
             behavior: Behavior::Correct,
             usig: Usig::new(UsigId(id.0), ring, protection.build()),
-            ingress: BTreeMap::new(),
+            ingress: (0..2 * f + 1).map(|_| SeqWindow::with_base(1)).collect(),
             future: Vec::new(),
-            accepted: BTreeMap::new(),
+            accepted: vec![0; (2 * f + 1) as usize],
             next_seq: 1,
-            slots: BTreeMap::new(),
-            assigned: BTreeMap::new(),
-            stored_prepares: BTreeMap::new(),
-            executed: BTreeMap::new(),
-            pending: BTreeMap::new(),
+            slots: SeqWindow::with_base(1),
+            assigned: OpIndex::new(),
+            stored_prepares: SeqWindow::with_base(1),
+            executed: OpIndex::new(),
+            pending: OpIndex::new(),
             log: Vec::new(),
             exec_upto: 0,
             machine: KvStore::new(),
-            vc_votes: BTreeMap::new(),
+            vc_votes: Vec::new(),
             vc_sent_for: 0,
             batcher: Batcher::new(),
             patience: REQUEST_PATIENCE,
@@ -262,10 +280,6 @@ impl MinBftReplica {
         (self.f + 1) as usize
     }
 
-    fn op_token(op: OpId) -> u64 {
-        ((op.client.0 as u64) << 32) | (op.seq & 0xFFFF_FFFF)
-    }
-
     /// Verifies a UI and enforces per-sender counter contiguity, buffering
     /// out-of-order arrivals. Returns `true` when `msg` should be processed
     /// now; queued messages are drained by the caller via
@@ -274,36 +288,37 @@ impl MinBftReplica {
         if !self.usig.verify_ui(UsigId(sender.0), ui, signed) {
             return false; // forged or corrupted certificate
         }
-        let last = self.accepted.entry(sender.0).or_insert(0);
-        match ui.counter.cmp(&(*last + 1)) {
+        let s = sender.0 as usize;
+        let last = self.accepted[s];
+        match ui.counter.cmp(&(last + 1)) {
             std::cmp::Ordering::Equal => {
-                *last = ui.counter;
+                self.accepted[s] = ui.counter;
+                self.ingress[s].retire_below(ui.counter + 1);
                 true
             }
             std::cmp::Ordering::Greater => {
-                self.ingress.entry(sender.0).or_default().insert(ui.counter, msg.clone());
+                self.ingress[s].insert(ui.counter, msg.clone());
                 false
             }
             std::cmp::Ordering::Less => false, // replay / duplicate counter
         }
     }
 
-    /// Pops the next contiguous buffered message from any sender, if ready.
+    /// Pops the next contiguous buffered message from any sender, if ready
+    /// (ascending sender order, matching the old map-keyed scan).
     fn take_ready(&mut self) -> Option<MinBftMsg> {
-        let senders: Vec<u32> = self.ingress.keys().copied().collect();
-        for s in senders {
-            let next = self.accepted.get(&s).copied().unwrap_or(0) + 1;
-            if let Some(buf) = self.ingress.get_mut(&s) {
-                if let Some(msg) = buf.remove(&next) {
-                    *self.accepted.entry(s).or_insert(0) = next;
-                    return Some(msg);
-                }
+        for s in 0..self.ingress.len() {
+            let next = self.accepted[s] + 1;
+            if let Some(msg) = self.ingress[s].remove(next) {
+                self.accepted[s] = next;
+                self.ingress[s].retire_below(next + 1);
+                return Some(msg);
             }
         }
         None
     }
 
-    fn handle_request(&mut self, req: Request, out: &mut Outbox<MinBftMsg>) {
+    fn handle_request(&mut self, req: Arc<Request>, out: &mut Outbox<MinBftMsg>) {
         if let Some(result) = self.executed.get(&req.op) {
             out.send(
                 Endpoint::Client(req.op.client),
@@ -314,7 +329,7 @@ impl MinBftReplica {
         if self.is_primary() {
             if let Some(seq) = self.assigned.get(&req.op).copied() {
                 // Retransmit the stored PREPARE (heals backups with counter gaps).
-                if let Some(prep) = self.stored_prepares.get(&seq).cloned() {
+                if let Some(prep) = self.stored_prepares.get(seq).cloned() {
                     out.broadcast(self.n, self.id, prep);
                 }
                 return;
@@ -327,9 +342,9 @@ impl MinBftReplica {
                 BatchDecision::Wait | BatchDecision::Duplicate => {}
             }
         } else {
-            let token = Self::op_token(req.op);
-            if !self.pending.contains_key(&token) && !self.executed.contains_key(&req.op) {
-                self.pending.insert(token, req);
+            if !self.pending.contains_key(&req.op) && !self.executed.contains_key(&req.op) {
+                let token = op_token(req.op);
+                self.pending.insert(req.op, req);
                 out.arm(self.patience, TIMER_REQUEST, token);
             }
         }
@@ -363,11 +378,12 @@ impl MinBftReplica {
         };
         let prep = MinBftMsg::Prepare { view: self.view, seq, batch: batch.clone(), ui };
         self.stored_prepares.insert(seq, prep.clone());
-        let slot = self.slots.entry(seq).or_default();
+        let me = self.id;
+        let slot = self.slots.get_or_insert_default(seq).expect("fresh seq is above watermark");
         slot.batch = Some(batch);
         slot.digest = Some(digest);
         slot.prepare_ok = true;
-        slot.commits.insert(self.id); // the PREPARE is the primary's commit
+        slot.commits.insert(me); // the PREPARE is the primary's commit
         slot.sent_commit = true;
         out.broadcast(self.n, self.id, prep);
     }
@@ -381,10 +397,15 @@ impl MinBftReplica {
         let Ok(ui) = self.usig.create_ui(&prepare_bytes(self.view, seq, &digest)) else {
             return;
         };
-        let mut evil_reqs = batch.requests().to_vec();
-        for r in &mut evil_reqs {
-            r.payload.reverse();
-        }
+        let evil_reqs: Vec<Arc<Request>> = batch
+            .requests()
+            .iter()
+            .map(|r| {
+                let mut e = Request::clone(r);
+                e.payload.reverse();
+                Arc::new(e)
+            })
+            .collect();
         let evil = Arc::new(Batch::new(evil_reqs));
         let forged_ui = UI { id: UsigId(self.id.0), counter: ui.counter, tag: Tag([0xEE; 32]) };
         let half = self.n / 2 + 1;
@@ -399,11 +420,12 @@ impl MinBftReplica {
             };
             out.send(Endpoint::Replica(ReplicaId(i)), msg);
         }
-        let slot = self.slots.entry(seq).or_default();
+        let me = self.id;
+        let slot = self.slots.get_or_insert_default(seq).expect("fresh seq is above watermark");
         slot.batch = Some(batch);
         slot.digest = Some(digest);
         slot.prepare_ok = true;
-        slot.commits.insert(self.id);
+        slot.commits.insert(me);
         slot.sent_commit = true;
     }
 
@@ -425,10 +447,9 @@ impl MinBftReplica {
         }
         let digest = batch.digest();
         let primary = self.primary_of(view);
-        let slot = self.slots.entry(seq).or_default();
-        if slot.executed {
-            return;
-        }
+        let me = self.id;
+        // Below the watermark = already executed: rejected, not resurrected.
+        let Some(slot) = self.slots.get_or_insert_default(seq) else { return };
         if let Some(d) = slot.digest {
             if d != digest {
                 return; // conflicts with already-evidenced assignment
@@ -437,14 +458,14 @@ impl MinBftReplica {
         for r in batch.requests() {
             self.assigned.insert(r.op, seq);
         }
-        let slot = self.slots.entry(seq).or_default();
+        let slot = self.slots.get_mut(seq).expect("slot just ensured");
         slot.batch = Some(batch.clone());
         slot.digest = Some(digest);
         slot.prepare_ok = true;
         slot.commits.insert(primary);
         if !slot.sent_commit {
             slot.sent_commit = true;
-            slot.commits.insert(self.id);
+            slot.commits.insert(me);
             let Ok(my_ui) = self.usig.create_ui(&commit_bytes(view, seq, &digest, ui.counter))
             else {
                 return;
@@ -480,7 +501,7 @@ impl MinBftReplica {
             return;
         }
         let primary = self.primary_of(view);
-        let slot = self.slots.entry(seq).or_default();
+        let Some(slot) = self.slots.get_or_insert_default(seq) else { return };
         if let Some(d) = slot.digest {
             if d != digest {
                 return;
@@ -504,26 +525,27 @@ impl MinBftReplica {
         let quorum = self.commit_quorum();
         loop {
             let next = self.exec_upto + 1;
-            let ready = match self.slots.get(&next) {
-                Some(s) => !s.executed && s.batch.is_some() && s.commits.len() >= quorum,
+            let ready = match self.slots.get(next) {
+                Some(s) => s.batch.is_some() && s.commits.len() >= quorum,
                 None => false,
             };
             if !ready {
                 break;
             }
-            let slot = self.slots.get_mut(&next).expect("checked");
-            slot.executed = true;
-            let batch = slot.batch.clone().expect("checked");
+            // Execution consumes the slot; the watermark retirement below
+            // makes the sequence number permanently dead.
+            let slot = self.slots.remove(next).expect("checked");
+            let batch = slot.batch.expect("checked");
             let digest = slot.digest.expect("digest follows batch");
             self.exec_upto = next;
             // Per-request log entries (dense global sequence) out of one
             // agreement slot.
             for req in batch.requests() {
                 let log_seq = self.log.len() as u64 + 1;
-                let result = self.machine.apply(&req.payload);
+                let result = Arc::new(self.machine.apply(&req.payload));
                 self.log.push(LogEntry { seq: log_seq, op: req.op, digest });
                 self.executed.insert(req.op, result.clone());
-                self.pending.remove(&Self::op_token(req.op));
+                self.pending.remove(&req.op);
                 self.assigned.insert(req.op, next);
                 out.send(
                     Endpoint::Client(req.op.client),
@@ -531,14 +553,40 @@ impl MinBftReplica {
                 );
             }
         }
+        self.slots.retire_below(self.exec_upto + 1);
+        self.stored_prepares.retire_below(self.exec_upto + 1);
     }
 
     fn prepared_uncommitted(&self) -> Vec<(u64, Arc<Batch>)> {
+        // Every slot still in the window is unexecuted (execution retires).
         self.slots
             .iter()
-            .filter(|(_, s)| !s.executed && s.prepare_ok)
-            .filter_map(|(seq, s)| s.batch.clone().map(|b| (*seq, b)))
+            .filter(|(_, s)| s.prepare_ok)
+            .filter_map(|(seq, s)| s.batch.clone().map(|b| (seq, b)))
             .collect()
+    }
+
+    /// The vote round for `view`, created on first use (linear scan: view
+    /// changes are rare and the live round count is tiny).
+    fn vc_round_mut(&mut self, view: u64) -> &mut VcRound {
+        let n = self.n as usize;
+        let idx = match self.vc_votes.iter().position(|r| r.view == view) {
+            Some(i) => i,
+            None => {
+                self.vc_votes.push(VcRound { view, votes: vec![None; n], count: 0 });
+                self.vc_votes.len() - 1
+            }
+        };
+        &mut self.vc_votes[idx]
+    }
+
+    fn record_vc_vote(&mut self, view: u64, from: ReplicaId, prepared: PreparedSet) {
+        let round = self.vc_round_mut(view);
+        let slot = &mut round.votes[from.0 as usize];
+        if slot.is_none() {
+            round.count += 1;
+        }
+        *slot = Some(prepared);
     }
 
     fn start_view_change(&mut self, new_view: u64, out: &mut Outbox<MinBftMsg>) {
@@ -547,7 +595,7 @@ impl MinBftReplica {
         }
         self.vc_sent_for = new_view;
         let prepared = self.prepared_uncommitted();
-        self.vc_votes.entry(new_view).or_default().insert(self.id, prepared.clone());
+        self.record_vc_vote(new_view, self.id, prepared.clone());
         out.broadcast(
             self.n,
             self.id,
@@ -566,26 +614,25 @@ impl MinBftReplica {
         if new_view <= self.view {
             return;
         }
-        self.vc_votes.entry(new_view).or_default().insert(from, prepared);
-        if !self.vc_votes[&new_view].is_empty() {
-            // In MinBFT a single valid suspicion suffices to join, because
-            // UI certificates make false accusations non-amplifiable; we
-            // require our own patience timer OR f+1 votes, matching the
-            // conservative reading:
-            if self.vc_votes[&new_view].len() >= (self.f + 1) as usize {
-                self.start_view_change(new_view, out);
-            }
+        self.record_vc_vote(new_view, from, prepared);
+        // In MinBFT a single valid suspicion suffices to join, because
+        // UI certificates make false accusations non-amplifiable; we
+        // require our own patience timer OR f+1 votes, matching the
+        // conservative reading:
+        if self.vc_round_mut(new_view).count >= (self.f + 1) as usize {
+            self.start_view_change(new_view, out);
         }
         self.maybe_install_view(new_view, out);
     }
 
     fn maybe_install_view(&mut self, new_view: u64, out: &mut Outbox<MinBftMsg>) {
-        let Some(votes) = self.vc_votes.get(&new_view) else { return };
-        if votes.len() < (self.f + 1) as usize || self.primary_of(new_view) != self.id {
+        let Some(round) = self.vc_votes.iter().find(|r| r.view == new_view) else { return };
+        if round.count < (self.f + 1) as usize || self.primary_of(new_view) != self.id {
             return;
         }
+        // Votes merge in voter-id order (canonical and deterministic).
         let mut repropose: BTreeMap<u64, Arc<Batch>> = BTreeMap::new();
-        for entries in votes.values() {
+        for entries in round.votes.iter().flatten() {
             for (seq, batch) in entries {
                 repropose.entry(*seq).or_insert_with(|| batch.clone());
             }
@@ -594,13 +641,16 @@ impl MinBftReplica {
             repropose.entry(seq).or_insert(batch);
         }
         self.view = new_view;
+        self.vc_votes.retain(|r| r.view > new_view);
         let max_seq = repropose.keys().max().copied().unwrap_or(self.exec_upto);
         self.next_seq = self.next_seq.max(max_seq + 1);
         let covered: BTreeSet<OpId> =
             repropose.values().flat_map(|b| b.requests().iter().map(|r| r.op)).collect();
-        let pending: Vec<Request> = self
+        let pending: Vec<Arc<Request>> = self
             .pending
-            .values()
+            .iter_canonical()
+            .into_iter()
+            .map(|(_, r)| r)
             .filter(|r| !covered.contains(&r.op) && !self.executed.contains_key(&r.op))
             .cloned()
             .collect();
@@ -623,8 +673,8 @@ impl MinBftReplica {
         out: &mut Outbox<MinBftMsg>,
     ) {
         for (seq, batch) in entries {
-            if self.slots.get(&seq).map(|s| s.executed).unwrap_or(false) {
-                continue;
+            if self.slots.is_retired(seq) {
+                continue; // already executed: dead, not resurrectable
             }
             let digest = batch.digest();
             let Ok(ui) = self.usig.create_ui(&prepare_bytes(self.view, seq, &digest)) else {
@@ -635,13 +685,14 @@ impl MinBftReplica {
             for r in batch.requests() {
                 self.assigned.insert(r.op, seq);
             }
-            let slot = self.slots.entry(seq).or_default();
+            let me = self.id;
+            let slot = self.slots.get_or_insert_default(seq).expect("not retired");
             // Reset stale votes from the old view.
             slot.commits.clear();
             slot.batch = Some(batch);
             slot.digest = Some(digest);
             slot.prepare_ok = true;
-            slot.commits.insert(self.id);
+            slot.commits.insert(me);
             slot.sent_commit = true;
             out.broadcast(self.n, self.id, prep);
         }
@@ -659,14 +710,14 @@ impl MinBftReplica {
         // PREPAREs (which carry verifiable UIs). Clear stale votes.
         self.view = view;
         self.vc_sent_for = self.vc_sent_for.max(view);
+        self.vc_votes.retain(|r| r.view > view);
         for slot in self.slots.values_mut() {
-            if !slot.executed {
-                slot.commits.clear();
-                slot.prepare_ok = false;
-                slot.sent_commit = false;
-            }
+            slot.commits.clear();
+            slot.prepare_ok = false;
+            slot.sent_commit = false;
         }
-        let tokens: Vec<u64> = self.pending.keys().copied().collect();
+        let tokens: Vec<u64> =
+            self.pending.iter_canonical().into_iter().map(|(op, _)| op_token(op)).collect();
         for token in tokens {
             out.arm(self.patience, TIMER_REQUEST, token);
         }
@@ -758,7 +809,7 @@ impl MinBftReplica {
         match input {
             Input::Message { from, msg } => self.dispatch(from, msg, staged),
             Input::Timer { kind: TIMER_REQUEST, token } => {
-                if self.pending.contains_key(&token) {
+                if self.pending.contains_key(&token_op(token)) {
                     let next = self.view + 1;
                     self.start_view_change(next, staged);
                     staged.arm(self.patience, TIMER_REQUEST, token);
@@ -818,7 +869,7 @@ impl ReplicaNode for MinBftReplica {
         &self.log
     }
 
-    fn make_request(req: Request) -> MinBftMsg {
+    fn make_request(req: Arc<Request>) -> MinBftMsg {
         MinBftMsg::Request(req)
     }
 

@@ -10,13 +10,14 @@
 //! cost (2 replicas, 2 messages/op) vs the failover unavailability window.
 
 use crate::api::{
-    BatchDecision, Batcher, Cluster, Endpoint, Input, LogEntry, OpId, Outbox, ReplicaId,
-    ReplicaNode, Reply, Request,
+    BatchDecision, Batcher, Cluster, Endpoint, Input, LogEntry, Outbox, ReplicaId, ReplicaNode,
+    Reply, Request,
 };
 use crate::behavior::Behavior;
+use crate::dense::{OpIndex, SeqWindow};
 use crate::runner::RunConfig;
 use crate::statemachine::{KvStore, StateMachine};
-use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Timer kind: primary sends its next heartbeat.
 const TIMER_HEARTBEAT: u32 = 1;
@@ -28,8 +29,8 @@ const TIMER_FLUSH: u32 = 3;
 /// Passive-replication wire messages.
 #[derive(Debug, Clone)]
 pub enum PassiveMsg {
-    /// Client request.
-    Request(Request),
+    /// Client request (shared across the fan-out).
+    Request(Arc<Request>),
     /// Primary → backup: a contiguous run of executed operations and their
     /// results, shipped as one message (batching amortizes the per-message
     /// cost; `ops.len() == 1` is the unbatched case).
@@ -39,8 +40,8 @@ pub enum PassiveMsg {
         /// Log sequence of `ops[0]`; `ops[i]` has sequence `first_seq + i`.
         first_seq: u64,
         /// Executed `(request, result)` pairs in log order (results let the
-        /// backup answer retries identically).
-        ops: Vec<(Request, Vec<u8>)>,
+        /// backup answer retries identically) — both shared, not copied.
+        ops: Vec<(Arc<Request>, Arc<Vec<u8>>)>,
     },
     /// Primary liveness signal.
     Heartbeat {
@@ -65,11 +66,13 @@ pub struct PassiveReplica {
     heartbeat_interval: u64,
     detect_timeout: u64,
     log: Vec<LogEntry>,
-    executed: BTreeMap<OpId, Vec<u8>>,
+    /// Exactly-once dedup: op → shared execution result.
+    executed: OpIndex<Arc<Vec<u8>>>,
     machine: KvStore,
     next_seq: u64,
-    /// Out-of-order state updates held back until their predecessors apply.
-    held_updates: BTreeMap<u64, (Request, Vec<u8>)>,
+    /// Out-of-order state updates held back until their predecessors
+    /// apply; the window watermark tracks the applied log prefix.
+    held_updates: SeqWindow<(Arc<Request>, Arc<Vec<u8>>)>,
     /// Count of failovers this replica performed.
     failovers: u32,
     /// Batching front-end (primary only).
@@ -92,10 +95,10 @@ impl PassiveReplica {
             heartbeat_interval,
             detect_timeout,
             log: Vec::new(),
-            executed: BTreeMap::new(),
+            executed: OpIndex::new(),
             machine: KvStore::new(),
             next_seq: 1,
-            held_updates: BTreeMap::new(),
+            held_updates: SeqWindow::with_base(1),
             failovers: 0,
             batcher: Batcher::new(),
         }
@@ -150,7 +153,7 @@ impl PassiveReplica {
         }
     }
 
-    fn handle_request(&mut self, req: Request, out: &mut Outbox<PassiveMsg>) {
+    fn handle_request(&mut self, req: Arc<Request>, out: &mut Outbox<PassiveMsg>) {
         if let Some(result) = self.executed.get(&req.op) {
             out.send(
                 Endpoint::Client(req.op.client),
@@ -183,7 +186,7 @@ impl PassiveReplica {
         for req in reqs {
             let seq = self.next_seq;
             self.next_seq += 1;
-            let result = self.machine.apply(&req.payload);
+            let result = Arc::new(self.machine.apply(&req.payload));
             self.log.push(LogEntry { seq, op: req.op, digest: req.digest() });
             self.executed.insert(req.op, result.clone());
             out.send(
@@ -198,12 +201,19 @@ impl PassiveReplica {
         );
     }
 
-    fn handle_state_update(&mut self, epoch: u64, first_seq: u64, ops: Vec<(Request, Vec<u8>)>) {
+    fn handle_state_update(
+        &mut self,
+        epoch: u64,
+        first_seq: u64,
+        ops: Vec<(Arc<Request>, Arc<Vec<u8>>)>,
+    ) {
         if epoch < self.epoch || self.is_primary() {
             return; // stale update from a deposed primary
         }
         // Updates can be reordered by the interconnect; hold back until the
         // predecessor applied so the backup's log mirrors the primary's.
+        // Re-deliveries of already-applied sequences fall below the window
+        // watermark and are rejected outright.
         for (i, (req, result)) in ops.into_iter().enumerate() {
             if self.executed.contains_key(&req.op) {
                 continue;
@@ -212,12 +222,13 @@ impl PassiveReplica {
         }
         loop {
             let next = self.log.len() as u64 + 1;
-            let Some((req, result)) = self.held_updates.remove(&next) else { break };
+            let Some((req, result)) = self.held_updates.remove(next) else { break };
             self.machine.apply(&req.payload);
             self.log.push(LogEntry { seq: next, op: req.op, digest: req.digest() });
             self.executed.insert(req.op, result);
             self.next_seq = self.next_seq.max(next + 1);
         }
+        self.held_updates.retire_below(self.log.len() as u64 + 1);
     }
 }
 
@@ -249,7 +260,7 @@ impl ReplicaNode for PassiveReplica {
         &self.log
     }
 
-    fn make_request(req: Request) -> PassiveMsg {
+    fn make_request(req: Arc<Request>) -> PassiveMsg {
         PassiveMsg::Request(req)
     }
 

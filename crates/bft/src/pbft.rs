@@ -14,13 +14,23 @@
 //! Wire format: every message that carries request content carries an
 //! [`Arc<Batch>`] — broadcasting a pre-prepare to `n-1` peers bumps a
 //! refcount per peer instead of deep-cloning the batch, so fan-out cost
-//! is O(1) per replica regardless of batch size.
+//! is O(1) per replica regardless of batch size. Client requests travel
+//! as `Arc<Request>` and execution results as `Arc<Vec<u8>>` (see
+//! [`crate::api`]), so the steady-state message plane performs no payload
+//! copies at all.
+//!
+//! Replica state is *dense* (see [`crate::dense`]): agreement slots live
+//! in a [`SeqWindow`] anchored at the execution watermark (executed slots
+//! are retired — garbage-collected and structurally unresurrectable),
+//! per-op dedup/assignment in open-addressed [`OpIndex`]es, and quorum
+//! tallies in [`ReplicaSet`] bitmasks.
 
 use crate::api::{
     Batch, BatchDecision, Batcher, Cluster, Endpoint, Input, LogEntry, OpId, Outbox, ReplicaId,
     ReplicaNode, Reply, Request,
 };
 use crate::behavior::Behavior;
+use crate::dense::{op_token, token_op, OpIndex, ReplicaSet, SeqWindow};
 use crate::runner::RunConfig;
 use crate::statemachine::{KvStore, StateMachine};
 use std::collections::{BTreeMap, BTreeSet};
@@ -40,8 +50,8 @@ type PreparedSet = Vec<(u64, Arc<Batch>)>;
 /// PBFT wire messages.
 #[derive(Debug, Clone)]
 pub enum PbftMsg {
-    /// Client request (client → all replicas).
-    Request(Request),
+    /// Client request (client → all replicas; shared across the fan-out).
+    Request(Arc<Request>),
     /// Primary's ordering proposal: one agreement slot per *batch*.
     PrePrepare {
         /// View the proposal belongs to.
@@ -94,14 +104,24 @@ pub enum PbftMsg {
     },
 }
 
+/// One agreement slot. Slots live in the [`SeqWindow`]; execution removes
+/// and retires them, so an "executed" slot is simply one below the window
+/// watermark — no flag needed.
 #[derive(Debug, Default)]
 struct Slot {
     batch: Option<Arc<Batch>>,
     digest: Option<[u8; 32]>,
-    prepares: BTreeSet<ReplicaId>,
-    commits: BTreeSet<ReplicaId>,
+    prepares: ReplicaSet,
+    commits: ReplicaSet,
     sent_commit: bool,
-    executed: bool,
+}
+
+/// Votes of one in-progress view change, indexed by voter id.
+#[derive(Debug)]
+struct VcRound {
+    view: u64,
+    votes: Vec<Option<PreparedSet>>,
+    count: usize,
 }
 
 /// One PBFT replica.
@@ -113,15 +133,20 @@ pub struct PbftReplica {
     view: u64,
     behavior: Behavior,
     next_seq: u64,
-    slots: BTreeMap<u64, Slot>,
-    assigned: BTreeMap<OpId, u64>,
-    executed: BTreeMap<OpId, Vec<u8>>,
-    pending: BTreeMap<u64, Request>,
-    stored_preprepares: BTreeMap<u64, PbftMsg>,
+    /// Agreement slots, watermarked at `exec_upto + 1` (sequence 0 is
+    /// never used, so the window starts at base 1).
+    slots: SeqWindow<Slot>,
+    /// Op → agreement slot, for duplicate-proposal suppression.
+    assigned: OpIndex<u64>,
+    /// Exactly-once dedup: op → shared execution result.
+    executed: OpIndex<Arc<Vec<u8>>>,
+    /// Backup watchlist: requests awaiting commit, with patience timers.
+    pending: OpIndex<Arc<Request>>,
+    stored_preprepares: SeqWindow<PbftMsg>,
     log: Vec<LogEntry>,
     exec_upto: u64,
     machine: KvStore,
-    vc_votes: BTreeMap<u64, BTreeMap<ReplicaId, PreparedSet>>,
+    vc_votes: Vec<VcRound>,
     vc_sent_for: u64,
     /// Batching front-end (primary only).
     batcher: Batcher,
@@ -140,15 +165,15 @@ impl PbftReplica {
             view: 0,
             behavior: Behavior::Correct,
             next_seq: 1,
-            slots: BTreeMap::new(),
-            assigned: BTreeMap::new(),
-            executed: BTreeMap::new(),
-            pending: BTreeMap::new(),
-            stored_preprepares: BTreeMap::new(),
+            slots: SeqWindow::with_base(1),
+            assigned: OpIndex::new(),
+            executed: OpIndex::new(),
+            pending: OpIndex::new(),
+            stored_preprepares: SeqWindow::with_base(1),
             log: Vec::new(),
             exec_upto: 0,
             machine: KvStore::new(),
-            vc_votes: BTreeMap::new(),
+            vc_votes: Vec::new(),
             vc_sent_for: 0,
             batcher: Batcher::new(),
             patience: REQUEST_PATIENCE,
@@ -199,11 +224,7 @@ impl PbftReplica {
         (2 * self.f + 1) as usize
     }
 
-    fn op_token(op: OpId) -> u64 {
-        ((op.client.0 as u64) << 32) | (op.seq & 0xFFFF_FFFF)
-    }
-
-    fn handle_request(&mut self, req: Request, out: &mut Outbox<PbftMsg>) {
+    fn handle_request(&mut self, req: Arc<Request>, out: &mut Outbox<PbftMsg>) {
         if let Some(result) = self.executed.get(&req.op) {
             out.send(
                 Endpoint::Client(req.op.client),
@@ -215,7 +236,7 @@ impl PbftReplica {
             if let Some(seq) = self.assigned.get(&req.op).copied() {
                 // Client retry for an in-flight op: re-announce so replicas
                 // that discarded messages during a view change catch up.
-                if let Some(pp) = self.stored_preprepares.get(&seq).cloned() {
+                if let Some(pp) = self.stored_preprepares.get(seq).cloned() {
                     out.broadcast(self.n, self.id, pp);
                 }
                 self.reannounce_commit(seq, out);
@@ -230,9 +251,9 @@ impl PbftReplica {
             }
         } else {
             // Backup: remember the request and watch the primary.
-            let token = Self::op_token(req.op);
-            if !self.pending.contains_key(&token) && !self.executed.contains_key(&req.op) {
-                self.pending.insert(token, req);
+            if !self.pending.contains_key(&req.op) && !self.executed.contains_key(&req.op) {
+                let token = op_token(req.op);
+                self.pending.insert(req.op, req);
                 out.arm(self.patience, TIMER_REQUEST, token);
             }
         }
@@ -262,10 +283,11 @@ impl PbftReplica {
             return;
         }
         let digest = batch.digest();
-        let slot = self.slots.entry(seq).or_default();
+        let me = self.id;
+        let slot = self.slots.get_or_insert_default(seq).expect("fresh seq is above watermark");
         slot.batch = Some(batch.clone());
         slot.digest = Some(digest);
-        slot.prepares.insert(self.id);
+        slot.prepares.insert(me);
         let pp = PbftMsg::PrePrepare { view: self.view, seq, batch };
         self.stored_preprepares.insert(seq, pp.clone());
         out.broadcast(self.n, self.id, pp);
@@ -274,10 +296,15 @@ impl PbftReplica {
     /// Byzantine primary: proposes conflicting batches for the same
     /// sequence number to two halves of the backups (and votes for both).
     fn equivocate(&mut self, seq: u64, batch: Arc<Batch>, out: &mut Outbox<PbftMsg>) {
-        let mut evil_reqs = batch.requests().to_vec();
-        for r in &mut evil_reqs {
-            r.payload.reverse();
-        }
+        let evil_reqs: Vec<Arc<Request>> = batch
+            .requests()
+            .iter()
+            .map(|r| {
+                let mut e = Request::clone(r);
+                e.payload.reverse();
+                Arc::new(e)
+            })
+            .collect();
         let evil = Arc::new(Batch::new(evil_reqs));
         let half = self.n / 2;
         for i in 0..self.n {
@@ -321,19 +348,18 @@ impl PbftReplica {
         let digest = batch.digest();
         let primary = self.primary_of(view);
         let me = self.id;
-        let slot = self.slots.entry(seq).or_default();
+        // Below the watermark = already executed: rejected, never
+        // resurrected (the window refuses to store it).
+        let Some(slot) = self.slots.get_or_insert_default(seq) else { return };
         if let Some(existing) = slot.digest {
             if existing != digest {
                 return; // conflicting proposal for the slot: keep the first
             }
         }
-        if slot.executed {
-            return;
-        }
         for r in batch.requests() {
             self.assigned.insert(r.op, seq);
         }
-        let slot = self.slots.entry(seq).or_default();
+        let slot = self.slots.get_mut(seq).expect("slot just ensured");
         slot.batch = Some(batch);
         slot.digest = Some(digest);
         slot.prepares.insert(primary);
@@ -349,8 +375,10 @@ impl PbftReplica {
         let view = self.view;
         let me = self.id;
         let n = self.n;
-        if let Some(slot) = self.slots.get(&seq) {
-            if slot.sent_commit && !slot.executed {
+        // Executed slots are retired from the window, so a bare `get`
+        // already excludes them.
+        if let Some(slot) = self.slots.get(seq) {
+            if slot.sent_commit {
                 if let Some(digest) = slot.digest {
                     out.broadcast(n, me, PbftMsg::Commit { view, seq, digest, from: me });
                 }
@@ -369,7 +397,7 @@ impl PbftReplica {
         if view != self.view {
             return;
         }
-        let slot = self.slots.entry(seq).or_default();
+        let Some(slot) = self.slots.get_or_insert_default(seq) else { return };
         if slot.digest.is_none_or(|d| d == digest) {
             slot.prepares.insert(from);
         }
@@ -387,7 +415,7 @@ impl PbftReplica {
         if view != self.view {
             return;
         }
-        let slot = self.slots.entry(seq).or_default();
+        let Some(slot) = self.slots.get_or_insert_default(seq) else { return };
         if slot.digest.is_none_or(|d| d == digest) {
             slot.commits.insert(from);
         }
@@ -398,7 +426,7 @@ impl PbftReplica {
     fn maybe_advance(&mut self, seq: u64, out: &mut Outbox<PbftMsg>) {
         let quorum = self.quorum();
         let (send_commit, view, digest) = {
-            let Some(slot) = self.slots.get_mut(&seq) else { return };
+            let Some(slot) = self.slots.get_mut(seq) else { return };
             if slot.digest.is_none() {
                 return;
             }
@@ -420,21 +448,19 @@ impl PbftReplica {
         let quorum = self.quorum();
         loop {
             let next = self.exec_upto + 1;
-            let ready = match self.slots.get(&next) {
+            let ready = match self.slots.get(next) {
                 Some(slot) => {
-                    !slot.executed
-                        && slot.batch.is_some()
-                        && slot.sent_commit
-                        && slot.commits.len() >= quorum
+                    slot.batch.is_some() && slot.sent_commit && slot.commits.len() >= quorum
                 }
                 None => false,
             };
             if !ready {
                 break;
             }
-            let slot = self.slots.get_mut(&next).expect("checked");
-            slot.executed = true;
-            let batch = slot.batch.clone().expect("checked");
+            // Execution consumes the slot; retiring the watermark below
+            // makes the sequence number permanently dead.
+            let slot = self.slots.remove(next).expect("checked");
+            let batch = slot.batch.expect("checked");
             let digest = slot.digest.expect("checked");
             self.exec_upto = next;
             // One agreement slot commits the whole batch; the log stays
@@ -442,25 +468,51 @@ impl PbftReplica {
             // accounting remain per-operation.
             for req in batch.requests() {
                 let log_seq = self.log.len() as u64 + 1;
-                let result = self.machine.apply(&req.payload);
+                let result = Arc::new(self.machine.apply(&req.payload));
                 self.log.push(LogEntry { seq: log_seq, op: req.op, digest });
                 self.executed.insert(req.op, result.clone());
-                self.pending.remove(&Self::op_token(req.op));
+                self.pending.remove(&req.op);
                 out.send(
                     Endpoint::Client(req.op.client),
                     PbftMsg::Reply(Reply { replica: self.id, op: req.op, result }),
                 );
             }
         }
+        self.slots.retire_below(self.exec_upto + 1);
+        self.stored_preprepares.retire_below(self.exec_upto + 1);
     }
 
     fn prepared_uncommitted(&self) -> Vec<(u64, Arc<Batch>)> {
         let quorum = self.quorum();
+        // Every slot still in the window is unexecuted (execution retires).
         self.slots
             .iter()
-            .filter(|(_, s)| !s.executed && s.prepares.len() >= quorum)
-            .filter_map(|(seq, s)| s.batch.clone().map(|b| (*seq, b)))
+            .filter(|(_, s)| s.prepares.len() >= quorum)
+            .filter_map(|(seq, s)| s.batch.clone().map(|b| (seq, b)))
             .collect()
+    }
+
+    /// The vote round for `view`, created on first use (linear scan: view
+    /// changes are rare and the live round count is tiny).
+    fn vc_round_mut(&mut self, view: u64) -> &mut VcRound {
+        let n = self.n as usize;
+        let idx = match self.vc_votes.iter().position(|r| r.view == view) {
+            Some(i) => i,
+            None => {
+                self.vc_votes.push(VcRound { view, votes: vec![None; n], count: 0 });
+                self.vc_votes.len() - 1
+            }
+        };
+        &mut self.vc_votes[idx]
+    }
+
+    fn record_vc_vote(&mut self, view: u64, from: ReplicaId, prepared: PreparedSet) {
+        let round = self.vc_round_mut(view);
+        let slot = &mut round.votes[from.0 as usize];
+        if slot.is_none() {
+            round.count += 1;
+        }
+        *slot = Some(prepared);
     }
 
     fn start_view_change(&mut self, new_view: u64, out: &mut Outbox<PbftMsg>) {
@@ -469,7 +521,7 @@ impl PbftReplica {
         }
         self.vc_sent_for = new_view;
         let prepared = self.prepared_uncommitted();
-        self.vc_votes.entry(new_view).or_default().insert(self.id, prepared.clone());
+        self.record_vc_vote(new_view, self.id, prepared.clone());
         out.broadcast(self.n, self.id, PbftMsg::ViewChange { new_view, from: self.id, prepared });
         self.maybe_install_view(new_view, out);
     }
@@ -484,9 +536,8 @@ impl PbftReplica {
         if new_view <= self.view {
             return;
         }
-        let votes = self.vc_votes.entry(new_view).or_default();
-        votes.insert(from, prepared);
-        let count = votes.len();
+        self.record_vc_vote(new_view, from, prepared);
+        let count = self.vc_round_mut(new_view).count;
         // Join the view change once f+1 replicas demand it.
         if count >= (self.f + 1) as usize {
             self.start_view_change(new_view, out);
@@ -496,14 +547,15 @@ impl PbftReplica {
 
     fn maybe_install_view(&mut self, new_view: u64, out: &mut Outbox<PbftMsg>) {
         let quorum = self.quorum();
-        let Some(votes) = self.vc_votes.get(&new_view) else { return };
-        if votes.len() < quorum || self.primary_of(new_view) != self.id {
+        let Some(round) = self.vc_votes.iter().find(|r| r.view == new_view) else { return };
+        if round.count < quorum || self.primary_of(new_view) != self.id {
             return;
         }
         // Become primary of the new view: gather every prepared entry and
         // re-propose; pending-but-unprepared requests get fresh sequences.
+        // Votes are merged in voter-id order (canonical and deterministic).
         let mut repropose: BTreeMap<u64, Arc<Batch>> = BTreeMap::new();
-        for entries in votes.values() {
+        for entries in round.votes.iter().flatten() {
             for (seq, batch) in entries {
                 repropose.entry(*seq).or_insert_with(|| batch.clone());
             }
@@ -516,12 +568,15 @@ impl PbftReplica {
         let max_seq = repropose.keys().max().copied().unwrap_or(self.exec_upto);
         self.next_seq = self.next_seq.max(max_seq + 1);
         // Pending requests not covered get new slots, re-batched at the
-        // configured batch size.
+        // configured batch size. The pending index is order-canonicalized
+        // (sorted by op id) so re-batching is deterministic.
         let covered: BTreeSet<OpId> =
             repropose.values().flat_map(|b| b.requests().iter().map(|r| r.op)).collect();
-        let pending: Vec<Request> = self
+        let pending: Vec<Arc<Request>> = self
             .pending
-            .values()
+            .iter_canonical()
+            .into_iter()
+            .map(|(_, r)| r)
             .filter(|r| !covered.contains(&r.op) && !self.executed.contains_key(&r.op))
             .cloned()
             .collect();
@@ -544,18 +599,18 @@ impl PbftReplica {
     ) {
         self.view = view;
         self.vc_sent_for = self.vc_sent_for.max(view);
-        // Reset vote state for uncommitted slots; re-run agreement in the new view.
-        for (seq, slot) in self.slots.iter_mut() {
-            if !slot.executed {
-                slot.prepares.clear();
-                slot.commits.clear();
-                slot.sent_commit = false;
-                let _ = seq;
-            }
+        // Stale rounds for installed views can never fire again.
+        self.vc_votes.retain(|r| r.view > view);
+        // Reset vote state for uncommitted slots (everything still in the
+        // window); re-run agreement in the new view.
+        for slot in self.slots.values_mut() {
+            slot.prepares.clear();
+            slot.commits.clear();
+            slot.sent_commit = false;
         }
         for (seq, batch) in preprepares {
-            if self.slots.get(seq).map(|s| s.executed).unwrap_or(false) {
-                continue;
+            if self.slots.is_retired(*seq) {
+                continue; // already executed: dead, not resurrectable
             }
             let digest = batch.digest();
             let primary = self.primary_of(view);
@@ -563,7 +618,7 @@ impl PbftReplica {
             for r in batch.requests() {
                 self.assigned.insert(r.op, *seq);
             }
-            let slot = self.slots.entry(*seq).or_default();
+            let slot = self.slots.get_or_insert_default(*seq).expect("not retired");
             slot.batch = Some(batch.clone());
             slot.digest = Some(digest);
             slot.prepares.insert(primary);
@@ -598,8 +653,10 @@ impl PbftReplica {
             return;
         }
         self.install_new_view(view, &preprepares, out);
-        // Re-arm patience for still-pending requests under the new primary.
-        let tokens: Vec<u64> = self.pending.keys().copied().collect();
+        // Re-arm patience for still-pending requests under the new primary
+        // (canonical order keeps the timer schedule deterministic).
+        let tokens: Vec<u64> =
+            self.pending.iter_canonical().into_iter().map(|(op, _)| op_token(op)).collect();
         for token in tokens {
             out.arm(self.patience, TIMER_REQUEST, token);
         }
@@ -638,7 +695,7 @@ impl ReplicaNode for PbftReplica {
         &self.log
     }
 
-    fn make_request(req: Request) -> PbftMsg {
+    fn make_request(req: Arc<Request>) -> PbftMsg {
         PbftMsg::Request(req)
     }
 
@@ -674,7 +731,7 @@ impl PbftReplica {
                 PbftMsg::Reply(_) => {}
             },
             Input::Timer { kind: TIMER_REQUEST, token } => {
-                if self.pending.contains_key(&token) {
+                if self.pending.contains_key(&token_op(token)) {
                     let next = self.view + 1;
                     self.start_view_change(next, staged);
                     // Keep watching: if the new view also stalls, escalate.

@@ -2,16 +2,23 @@
 //! message latencies, message accounting, and the cross-replica safety
 //! checker.
 //!
-//! The event queue is allocation-free on the hot path: event bodies live
-//! in a [`Slab`] arena (freelist reuse, no per-event map nodes) and the
-//! priority heap carries `Copy` keys `(time, event_seq, slot)`. The
-//! monotone `event_seq` — not the reused slot index — is the FIFO
-//! tiebreak, so determinism is independent of slot recycling.
+//! The event queue is allocation-free *and* O(1) on the hot path: events
+//! live in a [`TimingWheel`] — bodies in a freelist arena, ordering in
+//! cycle-indexed FIFO buckets — so a message pays a bucket append and a
+//! bucket unlink instead of two O(log n) heap sifts, while pop order
+//! stays exactly `(delivery time, push order)`.
+//!
+//! The message plane is allocation-free too: each client op allocates its
+//! [`Request`] exactly once and every send — the n-way fan-out *and*
+//! every retransmission — shares it through an `Arc`; one [`Outbox`] is
+//! reused across all delivered events (cleared, never reallocated).
 
-use crate::api::{ClientId, Cluster, Endpoint, Input, OpId, ReplicaId, ReplicaNode, Request};
-use rsoc_sim::{Histogram, SimRng, Slab};
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use crate::api::{
+    ClientId, Cluster, Endpoint, Input, OpId, Outbox, ReplicaId, ReplicaNode, Request,
+};
+use rsoc_sim::{Histogram, SimRng, TimingWheel};
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Message latency models for the on-chip interconnect.
 #[derive(Debug, Clone)]
@@ -182,13 +189,16 @@ enum Queued<M> {
     ClientTimer { client: ClientId, op_seq: u64 },
 }
 
-/// One in-flight client operation: the request, when it was first sent
+/// One in-flight client operation: the request (shared with every wire
+/// copy, including retransmissions), when it was first sent
 /// (retransmissions do not reset the latency clock), and the per-result
-/// reply tally.
+/// reply tally — a tiny linear-scan list (distinct results per op are
+/// almost always 1) with voter *bitmasks*, so recording a reply allocates
+/// nothing and shares the replica's result buffer.
 struct PendingOp {
-    request: Request,
+    request: Arc<Request>,
     sent_at: u64,
-    replies: BTreeMap<Vec<u8>, Vec<ReplicaId>>,
+    replies: Vec<(Arc<Vec<u8>>, u64)>,
 }
 
 struct ClientState {
@@ -210,11 +220,8 @@ struct ClientState {
 pub fn run<C: Cluster>(cluster: &mut C, config: &RunConfig) -> RunReport {
     let n = cluster.nodes().len();
     let mut rng = SimRng::new(config.seed ^ 0xB07_F00D);
-    // Event bodies in a slab (slot indices reused via freelist), ordering
-    // carried by the heap key (time, monotone event seq, slot).
-    let mut queue: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::new();
-    let mut slots: Slab<Queued<<C::Node as ReplicaNode>::Msg>> = Slab::new();
-    let mut next_event: u64 = 0;
+    // Cycle-indexed wheel: O(1) push/pop, (time, push-order) pop order.
+    let mut queue: TimingWheel<Queued<<C::Node as ReplicaNode>::Msg>> = TimingWheel::new();
     let mut now: u64 = 0;
     let mut egress_free: Vec<u64> = vec![0; n];
 
@@ -239,10 +246,7 @@ pub fn run<C: Cluster>(cluster: &mut C, config: &RunConfig) -> RunReport {
 
     macro_rules! push_event {
         ($at:expr, $ev:expr) => {{
-            let slot = slots.insert($ev);
-            let seq = next_event;
-            next_event += 1;
-            queue.push(Reverse(($at, seq, slot)));
+            queue.push($at, $ev);
         }};
     }
 
@@ -258,17 +262,20 @@ pub fn run<C: Cluster>(cluster: &mut C, config: &RunConfig) -> RunReport {
         }
     }
 
-    while let Some(Reverse((at, _, slot))) = queue.pop() {
+    // One outbox reused for every delivered event: cleared (capacity
+    // kept), so the steady state allocates nothing per event.
+    let mut out: Outbox<<C::Node as ReplicaNode>::Msg> = Outbox::new();
+
+    while let Some((at, ev)) = queue.pop() {
         if at > config.max_cycles {
             now = config.max_cycles;
             break;
         }
         now = at;
-        let ev = slots.remove(slot).expect("slot present");
         match ev {
             Queued::Deliver { from, to, msg } => match to {
                 Endpoint::Replica(r) => {
-                    let mut out = crate::api::Outbox::new();
+                    out.clear();
                     cluster.nodes_mut()[r.0 as usize].on_input(
                         Input::Message { from, msg },
                         now,
@@ -276,33 +283,32 @@ pub fn run<C: Cluster>(cluster: &mut C, config: &RunConfig) -> RunReport {
                     );
                     route_outbox::<C>(
                         r,
-                        out,
+                        &mut out,
                         now,
                         config,
                         &mut rng,
                         &mut egress_free,
                         &mut messages_total,
                         &mut messages_protocol,
-                        &mut |at, ev| {
-                            let slot = slots.insert(ev);
-                            let seq = next_event;
-                            next_event += 1;
-                            queue.push(Reverse((at, seq, slot)));
-                        },
+                        &mut |at, ev| queue.push(at, ev),
                     );
                 }
                 Endpoint::Client(c) => {
-                    let Some(reply) = C::Node::as_reply(&msg).cloned() else { continue };
+                    let Some(reply) = C::Node::as_reply(&msg) else { continue };
                     let client = &mut clients[c.0 as usize];
                     let Some(op) = client.pending.get_mut(&reply.op.seq) else { continue };
                     if reply.op != op.request.op {
                         continue;
                     }
-                    let voters = op.replies.entry(reply.result.clone()).or_default();
-                    if !voters.contains(&reply.replica) {
-                        voters.push(reply.replica);
-                    }
-                    if voters.len() >= quorum {
+                    let voters = match op.replies.iter_mut().find(|(r, _)| *r == reply.result) {
+                        Some((_, v)) => v,
+                        None => {
+                            op.replies.push((reply.result.clone(), 0));
+                            &mut op.replies.last_mut().expect("just pushed").1
+                        }
+                    };
+                    *voters |= 1u64 << (reply.replica.0 & 63);
+                    if voters.count_ones() as usize >= quorum {
                         committed += 1;
                         commit_latency.record((now - op.sent_at) as f64);
                         client.done += 1;
@@ -326,7 +332,7 @@ pub fn run<C: Cluster>(cluster: &mut C, config: &RunConfig) -> RunReport {
                 }
             },
             Queued::ReplicaTimer { replica, kind, token } => {
-                let mut out = crate::api::Outbox::new();
+                out.clear();
                 cluster.nodes_mut()[replica.0 as usize].on_input(
                     Input::Timer { kind, token },
                     now,
@@ -334,25 +340,22 @@ pub fn run<C: Cluster>(cluster: &mut C, config: &RunConfig) -> RunReport {
                 );
                 route_outbox::<C>(
                     replica,
-                    out,
+                    &mut out,
                     now,
                     config,
                     &mut rng,
                     &mut egress_free,
                     &mut messages_total,
                     &mut messages_protocol,
-                    &mut |at, ev| {
-                        let slot = slots.insert(ev);
-                        let seq = next_event;
-                        next_event += 1;
-                        queue.push(Reverse((at, seq, slot)));
-                    },
+                    &mut |at, ev| queue.push(at, ev),
                 );
             }
             Queued::ClientTimer { client, op_seq } => {
                 let c = &mut clients[client.0 as usize];
                 if let Some(op) = c.pending.get(&op_seq) {
                     c.retries += 1;
+                    // Retransmissions reuse the op's one Arc'd request —
+                    // a refcount bump per wire copy, no payload clone.
                     let req = op.request.clone();
                     for i in 0..n {
                         let delay = config.latency.sample(
@@ -391,18 +394,17 @@ pub fn run<C: Cluster>(cluster: &mut C, config: &RunConfig) -> RunReport {
     // without timers every protocol's message cascades are finite.
     if clients.iter().all(|c| c.done >= c.target) {
         let mut drained = 0u64;
-        while let Some(Reverse((at, _, slot))) = queue.pop() {
+        while let Some((at, ev)) = queue.pop() {
             if at > config.max_cycles || drained > 5_000_000 {
                 break;
             }
             drained += 1;
-            let ev = slots.remove(slot).expect("slot present");
             let Queued::Deliver { from, to: Endpoint::Replica(r), msg } = ev else { continue };
-            let mut out = crate::api::Outbox::new();
+            out.clear();
             cluster.nodes_mut()[r.0 as usize].on_input(Input::Message { from, msg }, at, &mut out);
             route_outbox::<C>(
                 r,
-                out,
+                &mut out,
                 at,
                 config,
                 &mut rng,
@@ -412,10 +414,7 @@ pub fn run<C: Cluster>(cluster: &mut C, config: &RunConfig) -> RunReport {
                 &mut |at2, ev| {
                     // Deliveries keep flowing; timers die with the run.
                     if matches!(ev, Queued::Deliver { .. }) {
-                        let slot = slots.insert(ev);
-                        let seq = next_event;
-                        next_event += 1;
-                        queue.push(Reverse((at2, seq, slot)));
+                        queue.push(at2, ev);
                     }
                 },
             );
@@ -458,6 +457,7 @@ fn client_issue<C: Cluster>(
     }
     let seq = client.next_seq;
     client.next_seq += 1;
+    let client_id = client.id;
     // Payload filler comes from a PRNG keyed by (seed, client, seq), NOT
     // the shared run RNG: request contents are then a pure function of the
     // request's identity, so runs that interleave differently (batched vs
@@ -481,16 +481,18 @@ fn client_issue<C: Cluster>(
     let copy_len = text.len().min(payload.len());
     payload[..copy_len].copy_from_slice(&text.as_bytes()[..copy_len]);
 
-    let req = Request { op: OpId { client: client.id, seq }, payload };
+    // The op's single allocation: every wire copy below (and every later
+    // retransmission) shares this Arc.
+    let req = Arc::new(Request { op: OpId { client: client_id, seq }, payload });
     client
         .pending
-        .insert(seq, PendingOp { request: req.clone(), sent_at: now, replies: BTreeMap::new() });
+        .insert(seq, PendingOp { request: req.clone(), sent_at: now, replies: Vec::new() });
 
     let sends = (0..n)
         .map(|i| {
             let to = Endpoint::Replica(ReplicaId(i as u32));
-            let delay = config.latency.sample(Endpoint::Client(client.id), to, rng);
-            (now + delay, Endpoint::Client(client.id), to, C::Node::make_request(req.clone()))
+            let delay = config.latency.sample(Endpoint::Client(client_id), to, rng);
+            (now + delay, Endpoint::Client(client_id), to, C::Node::make_request(req.clone()))
         })
         .collect();
     Some((seq, sends))
@@ -499,7 +501,7 @@ fn client_issue<C: Cluster>(
 #[allow(clippy::too_many_arguments)]
 fn route_outbox<C: Cluster>(
     from: ReplicaId,
-    out: crate::api::Outbox<<C::Node as ReplicaNode>::Msg>,
+    out: &mut Outbox<<C::Node as ReplicaNode>::Msg>,
     now: u64,
     config: &RunConfig,
     rng: &mut SimRng,
@@ -508,7 +510,7 @@ fn route_outbox<C: Cluster>(
     messages_protocol: &mut u64,
     push: &mut dyn FnMut(u64, Queued<<C::Node as ReplicaNode>::Msg>),
 ) {
-    for (to, msg) in out.msgs {
+    for (to, msg) in out.msgs.drain(..) {
         // Sender-side serialization: each message occupies the replica's
         // egress port for `link_occupancy` cycles, so a burst departs
         // back-to-back rather than simultaneously. This charges the
@@ -532,7 +534,7 @@ fn route_outbox<C: Cluster>(
         let delay = config.latency.sample(Endpoint::Replica(from), to, rng);
         push(depart + delay, Queued::Deliver { from: Endpoint::Replica(from), to, msg });
     }
-    for (delay, kind, token) in out.timers {
+    for (delay, kind, token) in out.timers.drain(..) {
         push(now + delay, Queued::ReplicaTimer { replica: from, kind, token });
     }
 }

@@ -34,7 +34,9 @@ pub struct UI {
     pub id: UsigId,
     /// The (claimed) monotonic counter value.
     pub counter: u64,
-    /// HMAC over `(id, counter, H(message))`.
+    /// HMAC over `(id, counter, message)` — short messages are MACed
+    /// directly, long ones through their SHA-256 digest (see
+    /// `ui_payload`).
     pub tag: Tag,
 }
 
@@ -171,8 +173,8 @@ impl Usig {
         }
         let Some(key) = self.ring.key(sender) else { return false };
         self.verified.set(self.verified.get() + 1);
-        let payload = ui_payload(sender, ui.counter, message);
-        key.verify(&payload, &ui.tag)
+        let (payload, len) = ui_payload(sender, ui.counter, message);
+        key.verify(&payload[..len], &ui.tag)
     }
 
     /// Flips a bit of the counter register (SEU injection for E2).
@@ -191,20 +193,33 @@ impl Usig {
     }
 }
 
-fn ui_payload(id: UsigId, counter: u64, message: &[u8]) -> [u8; 44] {
+fn ui_payload(id: UsigId, counter: u64, message: &[u8]) -> ([u8; 85], usize) {
     // Fixed-size stack buffer: this runs once per MAC operation on the
-    // consensus hot path, so it must not allocate.
-    let digest = sha256(message);
-    let mut payload = [0u8; 44];
-    payload[..4].copy_from_slice(&id.0.to_le_bytes());
-    payload[4..12].copy_from_slice(&counter.to_le_bytes());
-    payload[12..].copy_from_slice(&digest);
-    payload
+    // consensus hot path, so it must not allocate. Short messages (every
+    // PREPARE/COMMIT statement the protocols certify) are MACed directly
+    // — pre-hashing them cost two extra SHA-256 compressions per
+    // certificate for nothing; long messages still compress to a digest.
+    // The leading form byte (0x01 raw / 0x02 hashed) plus the explicit
+    // length keep the two encodings unambiguous.
+    let mut payload = [0u8; 85];
+    payload[1..5].copy_from_slice(&id.0.to_le_bytes());
+    payload[5..13].copy_from_slice(&counter.to_le_bytes());
+    if message.len() <= 64 {
+        payload[0] = 0x01;
+        payload[13..21].copy_from_slice(&(message.len() as u64).to_le_bytes());
+        payload[21..21 + message.len()].copy_from_slice(message);
+        (payload, 21 + message.len())
+    } else {
+        payload[0] = 0x02;
+        payload[13..45].copy_from_slice(&sha256(message));
+        (payload, 45)
+    }
 }
 
 fn certify(key: &MacKey, id: UsigId, counter: u64, message: &[u8]) -> Tag {
     // Cached key schedule: no per-call pad-block compressions.
-    key.mac(&ui_payload(id, counter, message))
+    let (payload, len) = ui_payload(id, counter, message);
+    key.mac(&payload[..len])
 }
 
 /// Receiver-side monotonicity window: accepts each sender's UIs only in

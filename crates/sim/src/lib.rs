@@ -31,9 +31,11 @@ pub mod rng;
 pub mod slab;
 pub mod stats;
 pub mod time;
+pub mod wheel;
 
 pub use engine::{Action, Engine};
 pub use rng::SimRng;
 pub use slab::Slab;
 pub use stats::{Counter, Histogram, OnlineStats, TimeSeries};
 pub use time::SimTime;
+pub use wheel::TimingWheel;

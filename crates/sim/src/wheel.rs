@@ -1,0 +1,335 @@
+//! A cycle-indexed timing wheel — the O(1) event queue under the BFT
+//! protocol harness.
+//!
+//! PR 3 moved event *bodies* out of `BTreeMap` nodes into a
+//! [`Slab`](crate::Slab)
+//! arena, but ordering still went through a `BinaryHeap`: every message
+//! paid an O(log n) sift over 24-byte keys on both push and pop, which
+//! profiling for PR 4 left as one of the largest per-message costs (a
+//! mesh-cell op is ~30–40 queue round-trips). This wheel replaces the
+//! heap with a bucket array indexed by delivery cycle:
+//!
+//! * **push** appends to the target cycle's intrusive FIFO list — O(1),
+//!   no allocation in steady state (freed arena slots are reused);
+//! * **pop** drains the cursor cycle's list, then advances the cursor.
+//!   The total cursor scan over a run is bounded by the run's virtual
+//!   duration, so the amortized per-event cost is O(1 + Δt/events);
+//! * events beyond the wheel horizon (2^16 cycles) go to a small
+//!   overflow heap that is consulted when its head cycle arrives.
+//!
+//! # Ordering contract
+//!
+//! Pop order is exactly `(delivery_cycle, push_order)` — identical to the
+//! `BinaryHeap<Reverse<(time, seq, slot)>>` it replaces, so swapping the
+//! queue implementation is invisible to any deterministic simulation
+//! (asserted by a randomized equivalence test against a heap model):
+//!
+//! * within one cycle, wheel entries drain in push order (FIFO append);
+//! * overflow entries for a cycle drain *before* that cycle's wheel
+//!   entries — correct because an event can only land in overflow while
+//!   the cycle is ≥ horizon away, i.e. strictly earlier in push order
+//!   than any same-cycle event pushed near enough to use the wheel.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Wheel horizon: events scheduled less than this many cycles ahead use
+/// the O(1) bucket path. Covers every delay the harness produces (NoC
+/// latencies, egress serialization, request patience, client timeouts at
+/// deep pipeline windows); anything farther rides the overflow heap.
+const HORIZON: u64 = 1 << 16;
+
+/// Arena entry: a queued value threaded into its cycle's FIFO list, or a
+/// link in the freelist.
+#[derive(Debug)]
+enum Entry<T> {
+    Occupied { value: T, next: u32 },
+    Free { next: u32 },
+}
+
+/// A timing wheel holding values of type `T` scheduled at absolute cycle
+/// times.
+///
+/// # Example
+/// ```
+/// use rsoc_sim::TimingWheel;
+/// let mut w: TimingWheel<&str> = TimingWheel::new();
+/// w.push(5, "later");
+/// w.push(2, "sooner");
+/// w.push(5, "later-still");
+/// assert_eq!(w.pop(), Some((2, "sooner")));
+/// assert_eq!(w.pop(), Some((5, "later")));
+/// assert_eq!(w.pop(), Some((5, "later-still")));
+/// assert_eq!(w.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct TimingWheel<T> {
+    /// Arena of event bodies (slots reused via the freelist).
+    entries: Vec<Entry<T>>,
+    free_head: u32,
+    /// Per-cycle FIFO lists, `(head, tail)` indices into `entries`.
+    buckets: Vec<(u32, u32)>,
+    /// Events at or beyond the horizon: `(cycle, push_seq, slot)`.
+    overflow: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    /// The cycle the next pop starts scanning from. Monotone.
+    cursor: u64,
+    /// Global push counter (the FIFO tiebreak for the overflow heap).
+    next_seq: u64,
+    /// Live events, total.
+    len: usize,
+    /// Live events in the bucket array (excluses overflow).
+    wheel_len: usize,
+}
+
+const NIL: u32 = u32::MAX;
+
+impl<T> Default for TimingWheel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TimingWheel<T> {
+    /// An empty wheel with its cursor at cycle 0.
+    pub fn new() -> Self {
+        TimingWheel {
+            entries: Vec::new(),
+            free_head: NIL,
+            buckets: vec![(NIL, NIL); HORIZON as usize],
+            overflow: BinaryHeap::new(),
+            cursor: 0,
+            next_seq: 0,
+            len: 0,
+            wheel_len: 0,
+        }
+    }
+
+    /// Live event count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no events are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The cycle the queue has drained up to (the last popped time).
+    pub fn cursor(&self) -> u64 {
+        self.cursor
+    }
+
+    fn alloc(&mut self, value: T) -> u32 {
+        if self.free_head != NIL {
+            let slot = self.free_head;
+            match self.entries[slot as usize] {
+                Entry::Free { next } => self.free_head = next,
+                Entry::Occupied { .. } => unreachable!("freelist points at live entry"),
+            }
+            self.entries[slot as usize] = Entry::Occupied { value, next: NIL };
+            slot
+        } else {
+            let slot = self.entries.len() as u32;
+            assert!(slot != NIL, "timing wheel arena exhausted");
+            self.entries.push(Entry::Occupied { value, next: NIL });
+            slot
+        }
+    }
+
+    fn release(&mut self, slot: u32) -> T {
+        let old = std::mem::replace(
+            &mut self.entries[slot as usize],
+            Entry::Free { next: self.free_head },
+        );
+        self.free_head = slot;
+        match old {
+            Entry::Occupied { value, .. } => value,
+            Entry::Free { .. } => unreachable!("released a free slot"),
+        }
+    }
+
+    /// Schedules `value` at absolute cycle `at`. Times before the cursor
+    /// are clamped to it (the past cannot be scheduled).
+    pub fn push(&mut self, at: u64, value: T) {
+        let at = at.max(self.cursor);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let slot = self.alloc(value);
+        self.len += 1;
+        if at - self.cursor < HORIZON {
+            let b = (at % HORIZON) as usize;
+            let (head, tail) = self.buckets[b];
+            if head == NIL {
+                self.buckets[b] = (slot, slot);
+            } else {
+                match &mut self.entries[tail as usize] {
+                    Entry::Occupied { next, .. } => *next = slot,
+                    Entry::Free { .. } => unreachable!("bucket tail is free"),
+                }
+                self.buckets[b] = (head, slot);
+            }
+            self.wheel_len += 1;
+        } else {
+            self.overflow.push(Reverse((at, seq, slot)));
+        }
+    }
+
+    /// Removes and returns the earliest event as `(cycle, value)`; ties
+    /// break by push order.
+    pub fn pop(&mut self) -> Option<(u64, T)> {
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            // Overflow first: for any given cycle, overflow entries are
+            // strictly older pushes than wheel entries (see module docs).
+            if let Some(&Reverse((t, _, slot))) = self.overflow.peek() {
+                if t <= self.cursor {
+                    self.overflow.pop();
+                    self.len -= 1;
+                    return Some((t, self.release(slot)));
+                }
+                if self.wheel_len == 0 {
+                    // Nothing in the bucket array: jump straight to the
+                    // overflow head instead of scanning empty cycles.
+                    self.cursor = t;
+                    continue;
+                }
+            }
+            let b = (self.cursor % HORIZON) as usize;
+            let (head, tail) = self.buckets[b];
+            if head != NIL {
+                let next = match &self.entries[head as usize] {
+                    Entry::Occupied { next, .. } => *next,
+                    Entry::Free { .. } => unreachable!("bucket head is free"),
+                };
+                self.buckets[b] = if next == NIL { (NIL, NIL) } else { (next, tail) };
+                self.wheel_len -= 1;
+                self.len -= 1;
+                return Some((self.cursor, self.release(head)));
+            }
+            self.cursor += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    #[test]
+    fn pops_in_time_then_fifo_order() {
+        let mut w: TimingWheel<u32> = TimingWheel::new();
+        w.push(10, 1);
+        w.push(5, 2);
+        w.push(10, 3);
+        w.push(5, 4);
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.pop(), Some((5, 2)));
+        assert_eq!(w.pop(), Some((5, 4)));
+        assert_eq!(w.pop(), Some((10, 1)));
+        assert_eq!(w.pop(), Some((10, 3)));
+        assert_eq!(w.pop(), None);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn same_cycle_pushes_during_drain_stay_fifo() {
+        let mut w: TimingWheel<u32> = TimingWheel::new();
+        w.push(3, 1);
+        assert_eq!(w.pop(), Some((3, 1)));
+        // Cursor now at 3; a same-cycle push drains before later cycles.
+        w.push(3, 2);
+        w.push(4, 3);
+        assert_eq!(w.pop(), Some((3, 2)));
+        assert_eq!(w.pop(), Some((4, 3)));
+    }
+
+    #[test]
+    fn past_times_clamp_to_cursor() {
+        let mut w: TimingWheel<u32> = TimingWheel::new();
+        w.push(100, 1);
+        assert_eq!(w.pop(), Some((100, 1)));
+        w.push(7, 2); // before the cursor: clamped to 100
+        assert_eq!(w.pop(), Some((100, 2)));
+    }
+
+    #[test]
+    fn far_events_ride_the_overflow_and_return() {
+        let mut w: TimingWheel<u32> = TimingWheel::new();
+        w.push(HORIZON * 3 + 17, 1); // far: overflow
+        w.push(2, 2); // near: wheel
+        assert_eq!(w.pop(), Some((2, 2)));
+        // Wheel empty: the cursor jumps, no 200k-cycle scan.
+        assert_eq!(w.pop(), Some((HORIZON * 3 + 17, 1)));
+        assert_eq!(w.cursor(), HORIZON * 3 + 17);
+    }
+
+    #[test]
+    fn overflow_drains_before_wheel_at_same_cycle() {
+        let mut w: TimingWheel<u32> = TimingWheel::new();
+        let t = HORIZON + 5;
+        w.push(t, 1); // beyond horizon: overflow (earlier push order)
+                      // Advance the cursor so `t` comes within the horizon.
+        w.push(6, 0);
+        assert_eq!(w.pop(), Some((6, 0)));
+        w.push(t, 2); // now within horizon: wheel (later push order)
+        assert_eq!(w.pop(), Some((t, 1)), "older overflow entry first");
+        assert_eq!(w.pop(), Some((t, 2)));
+    }
+
+    #[test]
+    fn arena_slots_are_reused() {
+        let mut w: TimingWheel<u64> = TimingWheel::new();
+        for round in 0..100u64 {
+            for i in 0..8 {
+                w.push(round * 10 + i % 3, i);
+            }
+            for _ in 0..8 {
+                w.pop().unwrap();
+            }
+        }
+        assert!(w.entries.len() <= 8, "arena grew past the high-water mark");
+    }
+
+    /// The wheel must reproduce a `BinaryHeap<Reverse<(time, seq)>>`
+    /// reference model event-for-event under randomized traffic.
+    #[test]
+    fn equivalent_to_heap_reference_model() {
+        let mut rng = SimRng::new(0x57EE_10E1);
+        let mut wheel: TimingWheel<u64> = TimingWheel::new();
+        let mut model: std::collections::BinaryHeap<Reverse<(u64, u64, u64)>> =
+            std::collections::BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        let mut id = 0u64;
+        for step in 0..20_000u64 {
+            let burst = rng.below(4);
+            for _ in 0..burst {
+                // Mixed near/far delays, including occasional horizon hops.
+                let delay = match rng.below(10) {
+                    0 => rng.below(3),
+                    1..=7 => rng.below(40),
+                    8 => 4_000 + rng.below(30_000),
+                    _ => HORIZON + rng.below(HORIZON * 2),
+                };
+                wheel.push(now + delay, id);
+                model.push(Reverse((now + delay, seq, id)));
+                seq += 1;
+                id += 1;
+            }
+            if step % 3 != 0 || model.is_empty() {
+                continue;
+            }
+            let (wt, wid) = wheel.pop().expect("wheel has events");
+            let Reverse((mt, _, mid)) = model.pop().expect("model has events");
+            assert_eq!((wt, wid), (mt, mid), "divergence at step {step}");
+            now = wt;
+        }
+        while let Some(Reverse((mt, _, mid))) = model.pop() {
+            assert_eq!(wheel.pop(), Some((mt, mid)));
+        }
+        assert!(wheel.is_empty());
+    }
+}

@@ -432,3 +432,171 @@ proptest! {
         }
     }
 }
+
+// ---------------- dense-state slot GC (PR 4) ----------------
+//
+// The dense rework anchors each replica's agreement slots in a window at
+// the execution watermark: executed sequence numbers are *retired* — a
+// late or replayed message for one must be rejected outright, never
+// resurrected into a fresh-looking slot (which would re-enter agreement,
+// pollute the op→slot index, and emit spurious votes). These properties
+// complement the digest-equivalence suites above (which pin that the
+// dense engines commit the same operations to the same state as before):
+// here a completed cluster is poked directly with below-watermark
+// messages and must stay silent and unchanged — across all three
+// protocols.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn pbft_retired_slots_reject_stale_proposals(
+        seed in 1u64..5_000, clients in 1u32..=4, reqs in 1u64..=5, batch in 1usize..=4,
+        stale_seq in 1u64..=3,
+    ) {
+        use manycore_resilience::bft::api::{Batch, ClientId, Endpoint, Input, OpId, Outbox, Request};
+        use manycore_resilience::bft::pbft::PbftMsg;
+        use std::sync::Arc;
+
+        let cfg = RunConfig {
+            f: 1, clients, requests_per_client: reqs, seed, batch_size: batch,
+            batch_flush: 80, max_cycles: 20_000_000, ..Default::default()
+        };
+        let mut cluster = PbftCluster::new(&cfg);
+        let report = run(&mut cluster, &cfg);
+        prop_assert_eq!(report.committed, clients as u64 * reqs);
+        let stale_seq = stale_seq.min(reqs); // an agreement slot that executed
+        let digests: Vec<[u8; 32]> = cluster.nodes().iter().map(|n| n.state_digest()).collect();
+        let logs: Vec<usize> = cluster.nodes().iter().map(|n| n.committed_log().len()).collect();
+
+        // Replay a proposal for the executed slot at a backup (replica 1),
+        // from the legitimate primary endpoint, in the current view (0:
+        // the run was fault-free). A resurrected slot would accept the
+        // digest and broadcast a Prepare; a retired slot stays silent.
+        let evil_batch = Arc::new(Batch::new(vec![Arc::new(Request {
+            op: OpId { client: ClientId(0), seq: 1 },
+            payload: b"SET k0.1 hijacked".to_vec(),
+        })]));
+        let backup = &mut cluster.nodes_mut()[1];
+        let mut out = Outbox::new();
+        backup.on_input(
+            Input::Message {
+                from: Endpoint::Replica(ReplicaId(0)),
+                msg: PbftMsg::PrePrepare { view: 0, seq: stale_seq, batch: evil_batch.clone() },
+            },
+            1, &mut out,
+        );
+        prop_assert!(out.msgs.is_empty(), "stale pre-prepare must be rejected silently");
+        // Stale votes for the retired slot are equally inert.
+        let mut out = Outbox::new();
+        backup.on_input(
+            Input::Message {
+                from: Endpoint::Replica(ReplicaId(2)),
+                msg: PbftMsg::Prepare {
+                    view: 0, seq: stale_seq, digest: evil_batch.digest(), from: ReplicaId(2),
+                },
+            },
+            2, &mut out,
+        );
+        backup.on_input(
+            Input::Message {
+                from: Endpoint::Replica(ReplicaId(2)),
+                msg: PbftMsg::Commit {
+                    view: 0, seq: stale_seq, digest: evil_batch.digest(), from: ReplicaId(2),
+                },
+            },
+            3, &mut out,
+        );
+        prop_assert!(out.msgs.is_empty(), "stale votes must be rejected silently");
+        for (node, (d, l)) in cluster.nodes().iter().zip(digests.iter().zip(&logs)) {
+            prop_assert_eq!(&node.state_digest(), d, "state mutated by stale messages");
+            prop_assert_eq!(&node.committed_log().len(), l, "log grew from stale messages");
+        }
+    }
+
+    #[test]
+    fn minbft_executed_ops_answer_from_dedup_not_reagreement(
+        seed in 1u64..5_000, clients in 1u32..=4, reqs in 1u64..=5, batch in 1usize..=4,
+    ) {
+        use manycore_resilience::bft::api::{ClientId, Endpoint, Input, OpId, Outbox, Request};
+        use manycore_resilience::bft::minbft::MinBftMsg;
+        use std::sync::Arc;
+
+        let cfg = RunConfig {
+            f: 1, clients, requests_per_client: reqs, seed, batch_size: batch,
+            batch_flush: 80, max_cycles: 20_000_000, ..Default::default()
+        };
+        let mut cluster = MinBftCluster::new(&cfg);
+        let report = run(&mut cluster, &cfg);
+        prop_assert_eq!(report.committed, clients as u64 * reqs);
+        let log_before = cluster.nodes()[0].committed_log().len();
+        let digest_before = cluster.nodes()[0].state_digest();
+
+        // A client retry for an executed op must be answered from the
+        // exactly-once dedup index (one Reply, shared result) without
+        // re-entering agreement — the retired slot cannot be reused.
+        let op = OpId { client: ClientId(0), seq: 1 };
+        let primary = &mut cluster.nodes_mut()[0];
+        let mut out = Outbox::new();
+        primary.on_input(
+            Input::Message {
+                from: Endpoint::Client(ClientId(0)),
+                msg: MinBftMsg::Request(Arc::new(Request { op, payload: b"retry".to_vec() })),
+            },
+            1, &mut out,
+        );
+        prop_assert_eq!(out.msgs.len(), 1, "exactly one cached reply, no re-proposal");
+        match &out.msgs[0] {
+            (Endpoint::Client(c), MinBftMsg::Reply(r)) => {
+                prop_assert_eq!(*c, ClientId(0));
+                prop_assert_eq!(r.op, op);
+            }
+            other => prop_assert!(false, "expected a cached Reply, got {other:?}"),
+        }
+        prop_assert_eq!(cluster.nodes()[0].committed_log().len(), log_before);
+        prop_assert_eq!(cluster.nodes()[0].state_digest(), digest_before);
+    }
+
+    #[test]
+    fn passive_backup_rejects_replayed_state_updates(
+        seed in 1u64..5_000, clients in 1u32..=4, reqs in 1u64..=5, batch in 1usize..=4,
+    ) {
+        use manycore_resilience::bft::api::{ClientId, Endpoint, Input, OpId, Outbox, Request};
+        use manycore_resilience::bft::passive::PassiveMsg;
+        use std::sync::Arc;
+
+        let cfg = RunConfig {
+            f: 1, clients, requests_per_client: reqs, seed, batch_size: batch,
+            batch_flush: 80, max_cycles: 20_000_000, ..Default::default()
+        };
+        let mut cluster = PassiveCluster::new(&cfg);
+        let report = run(&mut cluster, &cfg);
+        prop_assert_eq!(report.committed, clients as u64 * reqs);
+        let log_before = cluster.nodes()[1].committed_log().len();
+        let digest_before = cluster.nodes()[1].state_digest();
+
+        // Replay a state update for log sequence 1 (long applied) with
+        // *different* content: the held-back window watermark must reject
+        // it — re-applying would corrupt the mirrored log.
+        let backup = &mut cluster.nodes_mut()[1];
+        let mut out = Outbox::new();
+        backup.on_input(
+            Input::Message {
+                from: Endpoint::Replica(ReplicaId(0)),
+                msg: PassiveMsg::StateUpdate {
+                    epoch: 0,
+                    first_seq: 1,
+                    ops: vec![(
+                        Arc::new(Request {
+                            op: OpId { client: ClientId(9), seq: 999 },
+                            payload: b"SET k9.999 forged".to_vec(),
+                        }),
+                        Arc::new(b"forged".to_vec()),
+                    )],
+                },
+            },
+            1, &mut out,
+        );
+        prop_assert_eq!(cluster.nodes()[1].committed_log().len(), log_before);
+        prop_assert_eq!(cluster.nodes()[1].state_digest(), digest_before);
+    }
+}
