@@ -1,0 +1,544 @@
+//! Composable, time-phased fault and intrusion scripts — the adversarial
+//! scenario engine behind the F5 campaign.
+//!
+//! The flat [`Behavior`] enum could express six
+//! hard-coded misbehaviours, each interpreted ad hoc inside one protocol.
+//! A resilience *campaign* (the paper's §I claim: accidental faults *and*
+//! targeted intrusions) needs faults that compose and evolve over virtual
+//! time: a primary that crashes and recovers, a link that degrades for a
+//! window, a partition that heals, a client-side flood that subsides. This
+//! module provides three layers:
+//!
+//! * [`ReplicaScript`] — per-replica, time-phased fault windows: crash /
+//!   recover, silence, equivocation, UI forgery, delayed / duplicated /
+//!   reordered sends, and stale-message replay. Replicas interpret only the
+//!   *content* attacks (equivocation, forgery — those need protocol
+//!   knowledge to fabricate conflicting messages); every transport-level
+//!   window is interpreted uniformly by the
+//!   [runner](crate::runner::run_scenario), not per protocol.
+//! * [`Scenario`] — a whole-run script: replica scripts plus network-level
+//!   faults (replica-set partitions over a cycle window, per-source link
+//!   degradation with drop/delay, DoS-rate client floods).
+//! * [`ScenarioOracle`] — the pass/fail judge run after every scenario:
+//!   **safety always** (no two correct replicas commit conflicting ops at a
+//!   sequence; state digests of equally-advanced correct replicas agree at
+//!   quiesce) and **liveness once faults heal** (every op from a correct
+//!   client commits within the run's patience bound).
+//!
+//! All scripts are plain data (`Clone + Debug`), deterministic to
+//! interpret, and **free when disabled**: an empty scenario leaves the
+//! runner's virtual-time trace bit-identical to the unscripted path (the
+//! BENCH_2/3/4 records regenerate unchanged — asserted in CI).
+
+use crate::api::{Cluster, ReplicaNode};
+use crate::behavior::Behavior;
+use crate::runner::RunReport;
+use rsoc_sim::PulseTrain;
+// The time-phasing primitive is shared with the NoC's `LinkScript` via
+// `rsoc_sim`, so window-containment semantics cannot drift between the
+// message-plane and packet-plane fault interpreters.
+pub use rsoc_sim::Window;
+
+/// A stale-message replay schedule: while the window is active, every
+/// `period` cycles the network re-injects up to `burst` of the replica's
+/// oldest recorded protocol sends (stale views, consumed USIG counters,
+/// already-applied state updates — the receiver must reject them all).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplaySpec {
+    /// When the replay attack runs.
+    pub window: Window,
+    /// Cycles between injection bursts (clamped to ≥ 1).
+    pub period: u64,
+    /// Recorded messages re-sent per burst.
+    pub burst: usize,
+}
+
+impl ReplaySpec {
+    /// The burst schedule as a scripted event source.
+    pub fn train(&self) -> PulseTrain {
+        PulseTrain::new(self.window.from, self.window.until, self.period)
+    }
+}
+
+/// A composable, time-phased fault script for one replica.
+///
+/// Each fault class holds independent windows, so scripts compose freely:
+/// a replica can equivocate early, fall silent for a window, then crash
+/// for good. The [`Behavior`] presets convert losslessly via `From`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplicaScript {
+    crash: Vec<Window>,
+    silence: Vec<Window>,
+    equivocate: Vec<Window>,
+    forge_ui: Vec<Window>,
+    delay: Vec<(Window, u64)>,
+    duplicate: Vec<Window>,
+    reorder: Vec<Window>,
+    replay: Vec<ReplaySpec>,
+}
+
+impl ReplicaScript {
+    /// A script with no faults (the correct replica).
+    pub fn correct() -> Self {
+        Self::default()
+    }
+
+    /// Adds a crash window: inputs are ignored while it is active; the
+    /// replica resumes with its pre-crash state afterwards (fail-recover).
+    pub fn crash(mut self, w: Window) -> Self {
+        self.crash.push(w);
+        self
+    }
+
+    /// Adds a silence window: the replica receives but sends nothing
+    /// (omission fault / kill-switch).
+    pub fn silence(mut self, w: Window) -> Self {
+        self.silence.push(w);
+        self
+    }
+
+    /// Adds an equivocation window (PBFT-style conflicting proposals).
+    pub fn equivocate(mut self, w: Window) -> Self {
+        self.equivocate.push(w);
+        self
+    }
+
+    /// Adds a UI-forgery window (MinBFT-style fabricated certificates).
+    pub fn forge_ui(mut self, w: Window) -> Self {
+        self.forge_ui.push(w);
+        self
+    }
+
+    /// Adds a send-delay window: every message this replica sends during
+    /// it arrives `extra` cycles late (slow/aging egress link).
+    pub fn delay_sends(mut self, w: Window, extra: u64) -> Self {
+        self.delay.push((w, extra));
+        self
+    }
+
+    /// Adds a duplication window: every send is delivered twice.
+    pub fn duplicate_sends(mut self, w: Window) -> Self {
+        self.duplicate.push(w);
+        self
+    }
+
+    /// Adds a reorder window: each outbox burst departs in reversed order.
+    pub fn reorder_sends(mut self, w: Window) -> Self {
+        self.reorder.push(w);
+        self
+    }
+
+    /// Adds a stale-replay schedule (see [`ReplaySpec`]).
+    pub fn replay_sends(mut self, spec: ReplaySpec) -> Self {
+        self.replay.push(spec);
+        self
+    }
+
+    /// True when the script has no faults at all — the hot-path flag the
+    /// protocols use to skip the staging outbox entirely.
+    pub fn unconstrained(&self) -> bool {
+        self.crash.is_empty()
+            && self.silence.is_empty()
+            && self.equivocate.is_empty()
+            && self.forge_ui.is_empty()
+            && self.delay.is_empty()
+            && self.duplicate.is_empty()
+            && self.reorder.is_empty()
+            && self.replay.is_empty()
+    }
+
+    /// Whether the replica ignores inputs at `now` (inside a crash window).
+    pub fn crashed_at(&self, now: u64) -> bool {
+        self.crash.iter().any(|w| w.contains(now))
+    }
+
+    /// Whether the replica's sends leave the tile at `now`.
+    pub fn sends_at(&self, now: u64) -> bool {
+        !self.crashed_at(now) && !self.silence.iter().any(|w| w.contains(now))
+    }
+
+    /// Whether an equivocation window is active at `now`.
+    pub fn equivocates_at(&self, now: u64) -> bool {
+        self.equivocate.iter().any(|w| w.contains(now))
+    }
+
+    /// Whether a UI-forgery window is active at `now`.
+    pub fn forges_ui_at(&self, now: u64) -> bool {
+        self.forge_ui.iter().any(|w| w.contains(now))
+    }
+
+    /// Extra send latency at `now` (sums overlapping delay windows).
+    pub fn send_delay_at(&self, now: u64) -> u64 {
+        self.delay.iter().filter(|(w, _)| w.contains(now)).map(|(_, e)| e).sum()
+    }
+
+    /// Whether sends are duplicated at `now`.
+    pub fn duplicates_at(&self, now: u64) -> bool {
+        self.duplicate.iter().any(|w| w.contains(now))
+    }
+
+    /// Whether outbox bursts are reordered at `now`.
+    pub fn reorders_at(&self, now: u64) -> bool {
+        self.reorder.iter().any(|w| w.contains(now))
+    }
+
+    /// The replay schedules of this script.
+    pub fn replays(&self) -> &[ReplaySpec] {
+        &self.replay
+    }
+
+    /// Whether the script mounts a *content* attack (equivocation or UI
+    /// forgery) at any time. Such replicas are excluded from cross-replica
+    /// safety checks — their logs and state are attacker-controlled.
+    /// Transport-level faults (crash, silence, delay, duplication,
+    /// reordering, replay) leave the replica's *state* honest, so it stays
+    /// in the checked set.
+    pub fn is_byzantine(&self) -> bool {
+        !self.equivocate.is_empty() || !self.forge_ui.is_empty()
+    }
+
+    /// The first cycle by which every windowed fault of this script is
+    /// over (`u64::MAX` when any window never heals).
+    pub fn heals_by(&self) -> u64 {
+        let untils = self
+            .crash
+            .iter()
+            .chain(&self.silence)
+            .chain(&self.equivocate)
+            .chain(&self.forge_ui)
+            .map(|w| w.until)
+            .chain(self.delay.iter().map(|(w, _)| w.until))
+            .chain(self.duplicate.iter().map(|w| w.until))
+            .chain(self.reorder.iter().map(|w| w.until))
+            .chain(self.replay.iter().map(|r| r.window.until));
+        untils.max().unwrap_or(0)
+    }
+}
+
+impl From<Behavior> for ReplicaScript {
+    /// Every legacy preset is a one-window script; `set_behavior` keeps
+    /// working unchanged on top of the script engine.
+    fn from(b: Behavior) -> Self {
+        let s = ReplicaScript::correct();
+        match b {
+            Behavior::Correct => s,
+            Behavior::Crashed => s.crash(Window::ALWAYS),
+            Behavior::CrashAt(t) => s.crash(Window::from(t)),
+            Behavior::Silent => s.silence(Window::ALWAYS),
+            Behavior::Equivocate => s.equivocate(Window::ALWAYS),
+            Behavior::ForgeUi => s.forge_ui(Window::ALWAYS),
+        }
+    }
+}
+
+/// A replica-set partition over a cycle window: while active, every
+/// protocol message crossing the boundary between `members` and the rest
+/// of the cluster is lost. Clients sit at the I/O tile and stay reachable
+/// (the partition models inter-tile NoC links, not the client port).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Replica ids on the severed side.
+    pub members: Vec<u32>,
+    /// When the partition holds.
+    pub window: Window,
+}
+
+/// Windowed degradation of one replica's egress links (or all replicas'
+/// when `source` is `None`): probabilistic drops plus a fixed extra delay,
+/// optionally narrowed to one destination replica.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkFault {
+    /// Source replica (`None` = every replica's egress).
+    pub source: Option<u32>,
+    /// Destination replica (`None` = any destination).
+    pub dest: Option<u32>,
+    /// When the fault is active.
+    pub window: Window,
+    /// Probability a crossing message is lost (drawn from the fault RNG).
+    pub drop_rate: f64,
+    /// Extra cycles added to every crossing message.
+    pub extra_delay: u64,
+}
+
+/// A DoS-rate client flood: a non-workload attacker client injects one
+/// well-formed request every `period` cycles while the window is active.
+/// Replicas must order and execute them like any request; the oracle
+/// counts only the *workload* clients for liveness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flood {
+    /// When the flood runs.
+    pub window: Window,
+    /// Cycles between injected requests (clamped to ≥ 1).
+    pub period: u64,
+    /// Payload bytes per flood request.
+    pub payload_size: usize,
+}
+
+impl Flood {
+    /// The injection schedule as a scripted event source.
+    pub fn train(&self) -> PulseTrain {
+        PulseTrain::new(self.window.from, self.window.until, self.period)
+    }
+}
+
+/// A whole-run adversarial scenario: per-replica scripts plus
+/// network-level faults, interpreted uniformly by
+/// [`run_scenario`](crate::runner::run_scenario).
+#[derive(Debug, Clone, Default)]
+pub struct Scenario {
+    /// Per-replica fault scripts (replica id, script).
+    pub replicas: Vec<(u32, ReplicaScript)>,
+    /// Replica-set partitions.
+    pub partitions: Vec<Partition>,
+    /// Link degradations on the message plane.
+    pub links: Vec<LinkFault>,
+    /// DoS-rate client floods.
+    pub floods: Vec<Flood>,
+}
+
+impl Scenario {
+    /// The empty (fault-free) scenario.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Adds a replica script.
+    pub fn script(mut self, replica: u32, script: ReplicaScript) -> Self {
+        self.replicas.push((replica, script));
+        self
+    }
+
+    /// Adds a partition isolating `members` during `window`.
+    pub fn partition(mut self, members: Vec<u32>, window: Window) -> Self {
+        self.partitions.push(Partition { members, window });
+        self
+    }
+
+    /// Adds a link fault.
+    pub fn link_fault(mut self, fault: LinkFault) -> Self {
+        self.links.push(fault);
+        self
+    }
+
+    /// Adds a client flood.
+    pub fn flood(mut self, flood: Flood) -> Self {
+        self.floods.push(flood);
+        self
+    }
+
+    /// True when the scenario contains no faults at all. The runner uses
+    /// this to keep the unscripted hot path branch-predictable: one load
+    /// and test per event, no per-message scenario scans.
+    pub fn is_empty(&self) -> bool {
+        self.replicas.iter().all(|(_, s)| s.unconstrained())
+            && self.partitions.is_empty()
+            && self.links.is_empty()
+            && self.floods.is_empty()
+    }
+
+    /// The first cycle by which every fault in the scenario is over
+    /// (`u64::MAX` when anything never heals). Permanent *crash* windows
+    /// are tolerated faults, not healing ones — liveness expectations stay
+    /// with the caller, which knows the protocol's fault threshold.
+    pub fn heals_by(&self) -> u64 {
+        let replica_heal = self.replicas.iter().map(|(_, s)| s.heals_by()).max().unwrap_or(0);
+        let partition_heal = self.partitions.iter().map(|p| p.window.until).max().unwrap_or(0);
+        let link_heal = self.links.iter().map(|l| l.window.until).max().unwrap_or(0);
+        let flood_heal = self.floods.iter().map(|f| f.window.until).max().unwrap_or(0);
+        replica_heal.max(partition_heal).max(link_heal).max(flood_heal)
+    }
+
+    /// The script for `replica`, if any (merging is not supported: one
+    /// script per replica, last one wins).
+    pub fn script_for(&self, replica: u32) -> Option<&ReplicaScript> {
+        self.replicas.iter().rev().find(|(r, _)| *r == replica).map(|(_, s)| s)
+    }
+}
+
+/// The verdict of one [`ScenarioOracle`] judgement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleVerdict {
+    /// No two correct replicas committed conflicting entries (from the
+    /// runner's cross-replica log check).
+    pub safety_ok: bool,
+    /// All equally-advanced correct replicas hold identical state-machine
+    /// digests at quiesce.
+    pub digests_ok: bool,
+    /// Every workload-client op reached its reply quorum.
+    pub liveness_ok: bool,
+    /// Whether liveness was required for this scenario (faults within the
+    /// protocol's tolerance, or healed before the patience bound).
+    pub liveness_expected: bool,
+}
+
+impl OracleVerdict {
+    /// Overall pass: safety and digest agreement always; liveness when
+    /// expected.
+    pub fn pass(&self) -> bool {
+        self.safety_ok && self.digests_ok && (self.liveness_ok || !self.liveness_expected)
+    }
+}
+
+/// The safety/liveness judge run after every scenario cell.
+///
+/// Safety is judged unconditionally: Byzantine faults may *never* split
+/// the correct replicas, healed or not. Liveness is judged against the
+/// caller-declared expectation, because only the caller knows whether the
+/// scripted faults stay inside the protocol's tolerance (f crashes for
+/// 3f+1 PBFT is tolerated; the same script against a 2-replica passive
+/// pair is not).
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioOracle {
+    /// Whether all workload ops must commit for the cell to pass.
+    pub expect_liveness: bool,
+}
+
+impl ScenarioOracle {
+    /// An oracle that requires liveness.
+    pub fn expecting_liveness() -> Self {
+        ScenarioOracle { expect_liveness: true }
+    }
+
+    /// An oracle for scenarios where stalling is acceptable (safety-only).
+    pub fn safety_only() -> Self {
+        ScenarioOracle { expect_liveness: false }
+    }
+
+    /// Judges one finished run: `expected_ops` is the workload total
+    /// (clients × requests per client, floods excluded).
+    pub fn judge<C: Cluster>(
+        &self,
+        cluster: &C,
+        report: &RunReport,
+        expected_ops: u64,
+    ) -> OracleVerdict {
+        let correct = cluster.correct_replicas();
+        let nodes = cluster.nodes();
+        // Digest agreement at quiesce: correct replicas at the same log
+        // length must hold the same state. Laggards (a partitioned or
+        // recovering replica still catching up) are compared only against
+        // peers at their own length — their log prefix is already covered
+        // by the safety check.
+        let mut digests_ok = true;
+        for (i, &a) in correct.iter().enumerate() {
+            for &b in &correct[i + 1..] {
+                let (na, nb) = (&nodes[a.0 as usize], &nodes[b.0 as usize]);
+                if na.committed_log().len() == nb.committed_log().len()
+                    && na.state_digest() != nb.state_digest()
+                {
+                    digests_ok = false;
+                }
+            }
+        }
+        OracleVerdict {
+            safety_ok: report.safety_ok,
+            digests_ok,
+            liveness_ok: report.committed >= expected_ops,
+            liveness_expected: self.expect_liveness,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn behavior_presets_convert_losslessly() {
+        let correct = ReplicaScript::from(Behavior::Correct);
+        assert!(correct.unconstrained());
+        assert!(!correct.crashed_at(0) && correct.sends_at(u64::MAX - 1));
+
+        let crashed = ReplicaScript::from(Behavior::Crashed);
+        assert!(crashed.crashed_at(0) && !crashed.sends_at(0));
+
+        let crash_at = ReplicaScript::from(Behavior::CrashAt(10));
+        assert!(!crash_at.crashed_at(9));
+        assert!(crash_at.crashed_at(10));
+
+        let silent = ReplicaScript::from(Behavior::Silent);
+        assert!(!silent.crashed_at(5), "silent receives");
+        assert!(!silent.sends_at(5), "silent never sends");
+
+        assert!(ReplicaScript::from(Behavior::Equivocate).equivocates_at(123));
+        assert!(ReplicaScript::from(Behavior::Equivocate).is_byzantine());
+        assert!(ReplicaScript::from(Behavior::ForgeUi).forges_ui_at(123));
+        assert!(ReplicaScript::from(Behavior::ForgeUi).is_byzantine());
+        assert!(!ReplicaScript::from(Behavior::Crashed).is_byzantine());
+    }
+
+    #[test]
+    fn scripts_compose_phases() {
+        // Equivocate early, silent in the middle, crashed at the end —
+        // each phase queried independently.
+        let s = ReplicaScript::correct()
+            .equivocate(Window::new(0, 100))
+            .silence(Window::new(200, 300))
+            .crash(Window::from(400));
+        assert!(s.equivocates_at(50) && !s.equivocates_at(150));
+        assert!(s.sends_at(150));
+        assert!(!s.sends_at(250) && !s.crashed_at(250));
+        assert!(s.crashed_at(400) && !s.sends_at(400));
+        assert!(s.is_byzantine());
+        assert_eq!(s.heals_by(), u64::MAX);
+        assert!(!s.unconstrained());
+    }
+
+    #[test]
+    fn transport_fault_queries() {
+        let s = ReplicaScript::correct()
+            .delay_sends(Window::new(10, 20), 7)
+            .delay_sends(Window::new(15, 30), 3)
+            .duplicate_sends(Window::new(5, 6))
+            .reorder_sends(Window::new(8, 9))
+            .replay_sends(ReplaySpec { window: Window::new(40, 50), period: 5, burst: 2 });
+        assert_eq!(s.send_delay_at(12), 7);
+        assert_eq!(s.send_delay_at(17), 10, "overlapping delay windows sum");
+        assert_eq!(s.send_delay_at(25), 3);
+        assert_eq!(s.send_delay_at(30), 0);
+        assert!(s.duplicates_at(5) && !s.duplicates_at(6));
+        assert!(s.reorders_at(8) && !s.reorders_at(9));
+        assert_eq!(s.replays().len(), 1);
+        assert!(!s.is_byzantine(), "transport faults keep state honest");
+        assert_eq!(s.heals_by(), 50);
+    }
+
+    #[test]
+    fn scenario_emptiness_and_heal_time() {
+        assert!(Scenario::none().is_empty());
+        assert_eq!(Scenario::none().heals_by(), 0);
+        let sc = Scenario::none()
+            .script(0, ReplicaScript::correct().crash(Window::new(100, 200)))
+            .partition(vec![3], Window::new(50, 400))
+            .link_fault(LinkFault {
+                source: Some(1),
+                dest: None,
+                window: Window::new(10, 600),
+                drop_rate: 0.5,
+                extra_delay: 0,
+            })
+            .flood(Flood { window: Window::new(0, 300), period: 40, payload_size: 16 });
+        assert!(!sc.is_empty());
+        assert_eq!(sc.heals_by(), 600);
+        assert!(sc.script_for(0).is_some());
+        assert!(sc.script_for(1).is_none());
+        // A scenario whose only script is unconstrained is still empty.
+        let noop = Scenario::none().script(2, ReplicaScript::correct());
+        assert!(noop.is_empty());
+    }
+
+    #[test]
+    fn verdict_pass_rules() {
+        let v = |safety, digests, live, expected| OracleVerdict {
+            safety_ok: safety,
+            digests_ok: digests,
+            liveness_ok: live,
+            liveness_expected: expected,
+        };
+        assert!(v(true, true, true, true).pass());
+        assert!(v(true, true, false, false).pass(), "stall allowed when not expected live");
+        assert!(!v(true, true, false, true).pass());
+        assert!(!v(false, true, true, false).pass(), "safety is unconditional");
+        assert!(!v(true, false, true, false).pass(), "digest agreement is unconditional");
+    }
+}

@@ -250,6 +250,74 @@ impl Batcher {
     }
 }
 
+/// The reserved client id of no-op filler requests (never a real client;
+/// the harness drops replies addressed to it).
+pub const NOOP_CLIENT: u32 = u32::MAX;
+
+/// A no-op filler batch for sequence `seq`: executing it leaves the state
+/// machine untouched (`NOOP` is not a KvStore command) and its reply goes
+/// to [`NOOP_CLIENT`], which the harness ignores. New primaries use it to
+/// fill sequence holes left by proposals that died unprepared below a
+/// prepared neighbour (the checkpoint-less analogue of PBFT's null
+/// requests) — shared here so PBFT and MinBFT cannot drift on the
+/// sentinel or the payload format.
+pub fn noop_batch(seq: u64) -> Arc<Batch> {
+    Arc::new(Batch::single(Arc::new(Request {
+        op: OpId { client: ClientId(NOOP_CLIENT), seq },
+        payload: b"NOOP".to_vec(),
+    })))
+}
+
+/// Prepared-but-unexecuted `(seq, batch)` entries carried by one
+/// view-change vote.
+pub(crate) type PreparedEntries = Vec<(u64, Arc<Batch>)>;
+
+/// Votes of one in-progress view change, indexed by voter id — shared by
+/// PBFT and MinBFT so the hole-filling floor rule cannot drift between
+/// them.
+///
+/// # Trust boundary
+///
+/// Like the prepared sets they ride with, `executed_upto` claims are
+/// **unauthenticated and trusted as honest**: this model measures
+/// resilience against replica misbehaviour in the agreement path
+/// (equivocation, forgery, crashes, omission, transport faults), not
+/// against forged view-change content — a Byzantine voter could equally
+/// inject a fabricated prepared entry at an absurd sequence. Defending
+/// the view change itself requires certified checkpoints (Castro–Liskov)
+/// or USIG-signed view-change messages (Veronese et al.), which the
+/// ROADMAP lists as a next step.
+#[derive(Debug)]
+pub(crate) struct VcRound {
+    /// The view this round votes for.
+    pub view: u64,
+    /// Per-voter prepared sets (`None` until the voter is heard).
+    pub votes: Vec<Option<PreparedEntries>>,
+    /// Distinct voters recorded.
+    pub count: usize,
+    /// Highest execution watermark any recorded voter reported — the
+    /// floor above which sequence holes may be no-op-filled, and the
+    /// bound fresh proposals must start above.
+    pub exec_floor: u64,
+}
+
+impl VcRound {
+    /// An empty round for `view` in a cluster of `n` replicas.
+    pub fn new(view: u64, n: usize) -> Self {
+        VcRound { view, votes: vec![None; n], count: 0, exec_floor: 0 }
+    }
+
+    /// Records one voter's prepared set and watermark claim.
+    pub fn record(&mut self, from: ReplicaId, prepared: PreparedEntries, executed_upto: u64) {
+        let slot = &mut self.votes[from.0 as usize];
+        if slot.is_none() {
+            self.count += 1;
+        }
+        *slot = Some(prepared);
+        self.exec_floor = self.exec_floor.max(executed_upto);
+    }
+}
+
 /// A reply from a replica to a client.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Reply {
@@ -377,6 +445,15 @@ pub trait ReplicaNode {
 
     /// Extracts a reply if `msg` is one (used by the client harness).
     fn as_reply(msg: &Self::Msg) -> Option<&Reply>;
+
+    /// SHA-256 digest of the replica's state-machine state. The scenario
+    /// oracle compares equally-advanced correct replicas at quiesce.
+    fn state_digest(&self) -> [u8; 32];
+
+    /// Monotone view/epoch marker (0 in the initial configuration). Each
+    /// increment is one detection-and-recovery round — a PBFT/MinBFT view
+    /// change or a passive failover — which the campaign records per cell.
+    fn current_view(&self) -> u64;
 }
 
 /// A cluster: the set of nodes plus protocol-level metadata the harness
@@ -397,9 +474,17 @@ pub trait Cluster {
     /// Human-readable protocol name for reports.
     fn protocol_name(&self) -> &'static str;
 
-    /// Ids of replicas considered *correct* (crash/Byzantine ones excluded
-    /// from safety checking).
+    /// Ids of replicas considered *correct* (Byzantine ones — content
+    /// attackers — excluded from safety checking; benign crash/omission
+    /// faults keep a replica's state honest, so it stays in the set).
     fn correct_replicas(&self) -> Vec<ReplicaId>;
+
+    /// Installs a fault script on one replica (the scenario engine's
+    /// uniform entry point; presets go through the same path).
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    fn set_script(&mut self, id: ReplicaId, script: crate::adversary::ReplicaScript);
 }
 
 #[cfg(test)]

@@ -1,9 +1,16 @@
 //! Faulty replica behaviours (§I: benign *and* malicious/Byzantine faults).
 //!
-//! Behaviours are interpreted inside each protocol's replica logic, so an
+//! [`Behavior`] is the *preset* layer: six named one-fault configurations
+//! kept for ergonomic cluster setup (`cluster.set_behavior(id, ...)`) and
+//! API compatibility. Since PR 5 every preset lowers to a one-window
+//! [`ReplicaScript`](crate::adversary::ReplicaScript) — the composable,
+//! time-phased fault scripts of the adversarial scenario engine — via
+//! `From<Behavior>`; the protocols interpret only scripts. Content attacks
+//! (equivocation, UI forgery) are still realized per protocol — an
 //! "equivocating" PBFT primary actually sends conflicting pre-prepares,
 //! and a MinBFT attacker actually fabricates USIG certificates (which then
-//! fail verification — the hybrid at work).
+//! fail verification — the hybrid at work) — while every transport-level
+//! fault is interpreted uniformly by the runner.
 
 /// What kind of (mis)behaviour a replica exhibits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

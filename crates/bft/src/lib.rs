@@ -17,10 +17,14 @@
 //!   anchored in the [`rsoc_hybrid::Usig`] trusted component;
 //! * [`passive`] — primary-backup (passive) replication with a heartbeat
 //!   failure detector — cheap but with a visible failover window;
-//! * [`behavior`] — pluggable faulty behaviours (crash, silence,
-//!   equivocation, UI forgery);
+//! * [`behavior`] — named one-fault presets (crash, silence, equivocation,
+//!   UI forgery);
+//! * [`adversary`] — composable, time-phased fault scripts (crash/recover
+//!   windows, partitions, link degradation, DoS floods, stale replay) and
+//!   the safety/liveness [`adversary::ScenarioOracle`];
 //! * [`runner`] — the closed-loop client harness, latency models, message
-//!   accounting, and the cross-replica safety checker.
+//!   accounting, the cross-replica safety checker, and the scenario
+//!   interpreter ([`runner::run_scenario`]).
 //!
 //! Experiments **E3** (replica/message cost), **E4** (passive vs active)
 //! and the protocol halves of **E5–E7** run on this crate.
@@ -40,6 +44,7 @@
 //! assert_eq!(report.committed, 10);
 //! ```
 
+pub mod adversary;
 pub mod api;
 pub mod behavior;
 pub mod broadcast;
@@ -50,7 +55,11 @@ pub mod pbft;
 pub mod runner;
 pub mod statemachine;
 
+pub use adversary::{
+    Flood, LinkFault, OracleVerdict, Partition, ReplaySpec, ReplicaScript, Scenario,
+    ScenarioOracle, Window,
+};
 pub use api::{ClientId, LogEntry, OpId, ReplicaId, Reply, Request};
 pub use behavior::Behavior;
-pub use runner::{run, RunConfig, RunReport};
+pub use runner::{run, run_scenario, RunConfig, RunReport, ScenarioOutcome};
 pub use statemachine::{CounterMachine, KvStore, StateMachine};

@@ -18,9 +18,10 @@
 //! Wire format: PREPARE and COMMIT carry [`Arc<Batch>`] — the broadcast
 //! fan-out bumps a refcount per peer instead of deep-cloning the batch.
 
+use crate::adversary::ReplicaScript;
 use crate::api::{
-    Batch, BatchDecision, Batcher, Cluster, Endpoint, Input, LogEntry, OpId, Outbox, ReplicaId,
-    ReplicaNode, Reply, Request,
+    noop_batch, Batch, BatchDecision, Batcher, Cluster, Endpoint, Input, LogEntry, OpId, Outbox,
+    ReplicaId, ReplicaNode, Reply, Request, VcRound,
 };
 use crate::behavior::Behavior;
 use crate::dense::{op_token, token_op, OpIndex, ReplicaSet, SeqWindow};
@@ -85,6 +86,9 @@ pub enum MinBftMsg {
         from: ReplicaId,
         /// Prepared-but-unexecuted entries that must survive.
         prepared: Vec<(u64, Arc<Batch>)>,
+        /// The voter's execution watermark (the hole-filling floor — see
+        /// the PBFT `ViewChange` twin).
+        executed_upto: u64,
     },
     /// New primary's installation message (re-proposals follow as normal
     /// UI-certified PREPAREs).
@@ -93,6 +97,25 @@ pub enum MinBftMsg {
         view: u64,
         /// Re-proposed entries.
         preprepares: Vec<(u64, Arc<Batch>)>,
+    },
+    /// Reliable-FIFO-channel emulation: `from` asks `sender` to resend its
+    /// UI-certified messages with counters in `[from_counter, upto]`.
+    ///
+    /// MinBFT's system model assumes eventually-reliable channels; a
+    /// dropped PREPARE/COMMIT otherwise poisons the sender's counter
+    /// stream at the receiver forever (the contiguity hold-back can never
+    /// advance, and USIGs cannot re-sign old counters). The F5 drop-storm
+    /// scenario exposed exactly that wedge. Resends are the *original*
+    /// stored messages, so their UIs re-verify unchanged.
+    FillGap {
+        /// Whose counter stream has the gap.
+        sender: ReplicaId,
+        /// First missing counter.
+        from_counter: u64,
+        /// Last missing counter (inclusive; responders cap the burst).
+        upto: u64,
+        /// The requesting replica (resends go only to it).
+        from: ReplicaId,
     },
 }
 
@@ -107,13 +130,16 @@ struct Slot {
     sent_commit: bool,
 }
 
-/// Votes of one in-progress view change, indexed by voter id.
-#[derive(Debug)]
-struct VcRound {
-    view: u64,
-    votes: Vec<Option<PreparedSet>>,
-    count: usize,
-}
+/// How many of its own UI-certified sends a replica keeps for gap-fill
+/// resends (older counters have long been accepted everywhere in any
+/// realistic window; a gap below the retention horizon stays a laggard,
+/// which quorums already tolerate).
+const SENT_RETENTION: u64 = 512;
+/// Cycles between gap-fill requests for the same sender (the request or
+/// the resend can itself be lost — re-ask, but do not spam every packet).
+const GAP_REQ_BACKOFF: u64 = 100;
+/// Maximum counters resent per gap-fill request.
+const GAP_FILL_BURST: u64 = 32;
 
 /// The UI-signed PREPARE statement, on the stack: certificates are
 /// created and verified on every protocol message, so this must not
@@ -165,7 +191,9 @@ pub struct MinBftReplica {
     n: u32,
     f: u32,
     view: u64,
-    behavior: Behavior,
+    script: ReplicaScript,
+    /// Virtual time of the input being handled (scripts are time-phased).
+    now: u64,
     usig: Usig,
     /// Hold-back ingress: per-sender buffered UI-bearing messages, each a
     /// counter-keyed window anchored just past the accepted counter.
@@ -175,6 +203,11 @@ pub struct MinBftReplica {
     future: Vec<MinBftMsg>,
     /// Last accepted USIG counter per sender (dense by replica id).
     accepted: Vec<u64>,
+    /// This replica's own UI-certified sends, keyed by counter — the
+    /// resend store behind [`MinBftMsg::FillGap`] (bounded retention).
+    sent_ui: SeqWindow<MinBftMsg>,
+    /// Per-sender time of the last gap-fill request (rate limiter).
+    gap_req_at: Vec<u64>,
     next_seq: u64,
     /// Agreement slots, watermarked at `exec_upto + 1`.
     slots: SeqWindow<Slot>,
@@ -189,6 +222,11 @@ pub struct MinBftReplica {
     machine: KvStore,
     vc_votes: Vec<VcRound>,
     vc_sent_for: u64,
+    /// When `vc_sent_for` was last raised — the escalation rate limiter.
+    vc_demanded_at: u64,
+    /// Set while a crash window swallows inputs; the first input after
+    /// recovery re-arms the per-op patience chains killed in the outage.
+    in_outage: bool,
     /// Batching front-end (primary only).
     batcher: Batcher,
     /// Backup patience before suspecting the primary.
@@ -204,11 +242,14 @@ impl MinBftReplica {
             n: 2 * f + 1,
             f,
             view: 0,
-            behavior: Behavior::Correct,
+            script: ReplicaScript::correct(),
+            now: 0,
             usig: Usig::new(UsigId(id.0), ring, protection.build()),
             ingress: (0..2 * f + 1).map(|_| SeqWindow::with_base(1)).collect(),
             future: Vec::new(),
             accepted: vec![0; (2 * f + 1) as usize],
+            sent_ui: SeqWindow::with_base(1),
+            gap_req_at: vec![0; (2 * f + 1) as usize],
             next_seq: 1,
             slots: SeqWindow::with_base(1),
             assigned: OpIndex::new(),
@@ -220,6 +261,8 @@ impl MinBftReplica {
             machine: KvStore::new(),
             vc_votes: Vec::new(),
             vc_sent_for: 0,
+            vc_demanded_at: 0,
+            in_outage: false,
             batcher: Batcher::new(),
             patience: REQUEST_PATIENCE,
         }
@@ -248,14 +291,19 @@ impl MinBftReplica {
         (self.usig.issued(), self.usig.verified())
     }
 
-    /// Sets this replica's behaviour.
+    /// Sets this replica's behaviour from a one-fault preset.
     pub fn set_behavior(&mut self, behavior: Behavior) {
-        self.behavior = behavior;
+        self.script = behavior.into();
     }
 
-    /// Current behaviour.
-    pub fn behavior(&self) -> Behavior {
-        self.behavior
+    /// Installs a composable, time-phased fault script.
+    pub fn set_script(&mut self, script: ReplicaScript) {
+        self.script = script;
+    }
+
+    /// The active fault script.
+    pub fn script(&self) -> &ReplicaScript {
+        &self.script
     }
 
     /// Current view.
@@ -280,11 +328,29 @@ impl MinBftReplica {
         (self.f + 1) as usize
     }
 
+    /// Remembers one of this replica's own UI-certified sends so a peer
+    /// with a counter gap can ask for a verbatim resend.
+    fn record_sent(&mut self, counter: u64, msg: MinBftMsg) {
+        self.sent_ui.insert(counter, msg);
+        if counter > SENT_RETENTION {
+            self.sent_ui.retire_below(counter - SENT_RETENTION);
+        }
+    }
+
     /// Verifies a UI and enforces per-sender counter contiguity, buffering
     /// out-of-order arrivals. Returns `true` when `msg` should be processed
     /// now; queued messages are drained by the caller via
-    /// [`Self::take_ready`].
-    fn ingest_ui(&mut self, sender: ReplicaId, ui: &UI, signed: &[u8], msg: &MinBftMsg) -> bool {
+    /// [`Self::take_ready`]. Buffering a counter gap emits a rate-limited
+    /// [`MinBftMsg::FillGap`] so a *lost* message (the channels are not
+    /// reliable) cannot poison the sender's stream forever.
+    fn ingest_ui(
+        &mut self,
+        sender: ReplicaId,
+        ui: &UI,
+        signed: &[u8],
+        msg: &MinBftMsg,
+        out: &mut Outbox<MinBftMsg>,
+    ) -> bool {
         if !self.usig.verify_ui(UsigId(sender.0), ui, signed) {
             return false; // forged or corrupted certificate
         }
@@ -298,6 +364,18 @@ impl MinBftReplica {
             }
             std::cmp::Ordering::Greater => {
                 self.ingress[s].insert(ui.counter, msg.clone());
+                if self.now >= self.gap_req_at[s].saturating_add(GAP_REQ_BACKOFF) {
+                    self.gap_req_at[s] = self.now;
+                    out.send(
+                        Endpoint::Replica(sender),
+                        MinBftMsg::FillGap {
+                            sender,
+                            from_counter: last + 1,
+                            upto: ui.counter - 1,
+                            from: self.id,
+                        },
+                    );
+                }
                 false
             }
             std::cmp::Ordering::Less => false, // replay / duplicate counter
@@ -368,7 +446,7 @@ impl MinBftReplica {
         for r in batch.requests() {
             self.assigned.insert(r.op, seq);
         }
-        if self.behavior == Behavior::ForgeUi {
+        if self.script.forges_ui_at(self.now) {
             self.forge_equivocation(seq, batch, out);
             return;
         }
@@ -378,6 +456,7 @@ impl MinBftReplica {
         };
         let prep = MinBftMsg::Prepare { view: self.view, seq, batch: batch.clone(), ui };
         self.stored_prepares.insert(seq, prep.clone());
+        self.record_sent(ui.counter, prep.clone());
         let me = self.id;
         let slot = self.slots.get_or_insert_default(seq).expect("fresh seq is above watermark");
         slot.batch = Some(batch);
@@ -470,11 +549,10 @@ impl MinBftReplica {
             else {
                 return;
             };
-            out.broadcast(
-                self.n,
-                self.id,
-                MinBftMsg::Commit { view, seq, batch, primary_ui: ui, from: self.id, ui: my_ui },
-            );
+            let commit =
+                MinBftMsg::Commit { view, seq, batch, primary_ui: ui, from: self.id, ui: my_ui };
+            self.record_sent(my_ui.counter, commit.clone());
+            out.broadcast(self.n, self.id, commit);
         }
         self.try_execute(out);
     }
@@ -573,20 +651,21 @@ impl MinBftReplica {
         let idx = match self.vc_votes.iter().position(|r| r.view == view) {
             Some(i) => i,
             None => {
-                self.vc_votes.push(VcRound { view, votes: vec![None; n], count: 0 });
+                self.vc_votes.push(VcRound::new(view, n));
                 self.vc_votes.len() - 1
             }
         };
         &mut self.vc_votes[idx]
     }
 
-    fn record_vc_vote(&mut self, view: u64, from: ReplicaId, prepared: PreparedSet) {
-        let round = self.vc_round_mut(view);
-        let slot = &mut round.votes[from.0 as usize];
-        if slot.is_none() {
-            round.count += 1;
-        }
-        *slot = Some(prepared);
+    fn record_vc_vote(
+        &mut self,
+        view: u64,
+        from: ReplicaId,
+        prepared: PreparedSet,
+        executed_upto: u64,
+    ) {
+        self.vc_round_mut(view).record(from, prepared, executed_upto);
     }
 
     fn start_view_change(&mut self, new_view: u64, out: &mut Outbox<MinBftMsg>) {
@@ -594,12 +673,18 @@ impl MinBftReplica {
             return;
         }
         self.vc_sent_for = new_view;
+        self.vc_demanded_at = self.now;
         let prepared = self.prepared_uncommitted();
-        self.record_vc_vote(new_view, self.id, prepared.clone());
+        self.record_vc_vote(new_view, self.id, prepared.clone(), self.exec_upto);
         out.broadcast(
             self.n,
             self.id,
-            MinBftMsg::ReqViewChange { new_view, from: self.id, prepared },
+            MinBftMsg::ReqViewChange {
+                new_view,
+                from: self.id,
+                prepared,
+                executed_upto: self.exec_upto,
+            },
         );
         self.maybe_install_view(new_view, out);
     }
@@ -609,12 +694,13 @@ impl MinBftReplica {
         new_view: u64,
         from: ReplicaId,
         prepared: Vec<(u64, Arc<Batch>)>,
+        executed_upto: u64,
         out: &mut Outbox<MinBftMsg>,
     ) {
         if new_view <= self.view {
             return;
         }
-        self.record_vc_vote(new_view, from, prepared);
+        self.record_vc_vote(new_view, from, prepared, executed_upto);
         // In MinBFT a single valid suspicion suffices to join, because
         // UI certificates make false accusations non-amplifiable; we
         // require our own patience timer OR f+1 votes, matching the
@@ -640,10 +726,23 @@ impl MinBftReplica {
         for (seq, batch) in self.prepared_uncommitted() {
             repropose.entry(seq).or_insert(batch);
         }
+        // Fill sequence holes with no-op batches above the vote quorum's
+        // execution floor (see the PBFT twin for the argument; watermark
+        // claims are trusted as honest per [`VcRound`]'s trust boundary —
+        // with MinBFT's f+1 quorums, full defense of the view change
+        // itself needs the USIG-signed view-change messages of the
+        // original protocol, a ROADMAP next step).
+        let floor = round.exec_floor.max(self.exec_upto);
+        let max_seq = repropose.keys().max().copied().unwrap_or(self.exec_upto);
+        for seq in floor.saturating_add(1)..max_seq {
+            repropose.entry(seq).or_insert_with(|| noop_batch(seq));
+        }
         self.view = new_view;
         self.vc_votes.retain(|r| r.view > new_view);
-        let max_seq = repropose.keys().max().copied().unwrap_or(self.exec_upto);
-        self.next_seq = self.next_seq.max(max_seq + 1);
+        // Fresh proposals start above both the re-proposed entries and the
+        // quorum's execution floor (see the PBFT twin: a laggard primary
+        // proposing below its peers' watermarks stalls every pending op).
+        self.next_seq = self.next_seq.max(max_seq + 1).max(floor.saturating_add(1));
         let covered: BTreeSet<OpId> =
             repropose.values().flat_map(|b| b.requests().iter().map(|r| r.op)).collect();
         let pending: Vec<Arc<Request>> = self
@@ -682,6 +781,7 @@ impl MinBftReplica {
             };
             let prep = MinBftMsg::Prepare { view: self.view, seq, batch: batch.clone(), ui };
             self.stored_prepares.insert(seq, prep.clone());
+            self.record_sent(ui.counter, prep.clone());
             for r in batch.requests() {
                 self.assigned.insert(r.op, seq);
             }
@@ -757,7 +857,7 @@ impl MinBftReplica {
                 let digest = batch.digest();
                 let msg_copy = MinBftMsg::Prepare { view, seq, batch: batch.clone(), ui };
                 let sender = self.primary_of(view);
-                if self.ingest_ui(sender, &ui, &prepare_bytes(view, seq, &digest), &msg_copy) {
+                if self.ingest_ui(sender, &ui, &prepare_bytes(view, seq, &digest), &msg_copy, out) {
                     self.handle_prepare(view, seq, batch, ui, out);
                     self.drain_ready(out);
                 }
@@ -788,17 +888,31 @@ impl MinBftReplica {
                     &ui,
                     &commit_bytes(view, seq, &digest, primary_ui.counter),
                     &msg_copy,
+                    out,
                 ) {
                     self.handle_commit(view, seq, batch, primary_ui, voter, out);
                     self.drain_ready(out);
                 }
             }
-            MinBftMsg::ReqViewChange { new_view, from: voter, prepared } => {
-                self.handle_req_view_change(new_view, voter, prepared, out)
+            MinBftMsg::ReqViewChange { new_view, from: voter, prepared, executed_upto } => {
+                self.handle_req_view_change(new_view, voter, prepared, executed_upto, out)
             }
             MinBftMsg::NewView { view, preprepares } => {
                 let _ = preprepares; // re-proposals arrive as fresh PREPAREs
                 self.handle_new_view(view, from, out)
+            }
+            MinBftMsg::FillGap { sender, from_counter, upto, from: requester } => {
+                // Serve only gaps in OUR stream, with a bounded burst; the
+                // resends are the original UI-certified messages, which the
+                // requester re-verifies and ingests in counter order.
+                if sender == self.id && requester != self.id {
+                    let hi = upto.min(from_counter.saturating_add(GAP_FILL_BURST - 1));
+                    for counter in from_counter..=hi {
+                        if let Some(m) = self.sent_ui.get(counter) {
+                            out.send(Endpoint::Replica(requester), m.clone());
+                        }
+                    }
+                }
             }
             MinBftMsg::Reply(_) => {}
         }
@@ -810,8 +924,16 @@ impl MinBftReplica {
             Input::Message { from, msg } => self.dispatch(from, msg, staged),
             Input::Timer { kind: TIMER_REQUEST, token } => {
                 if self.pending.contains_key(&token_op(token)) {
-                    let next = self.view + 1;
-                    self.start_view_change(next, staged);
+                    // Demand at most one new view per full patience period,
+                    // escalating past a demanded-but-never-installed one
+                    // (see the PBFT twin of this branch for the full
+                    // rationale: the escalation un-wedges a CrashAt firing
+                    // mid view-change; the rate limit prevents the per-op
+                    // timers from outrunning installation entirely).
+                    if self.now >= self.vc_demanded_at.saturating_add(self.patience) {
+                        let next = self.view.max(self.vc_sent_for) + 1;
+                        self.start_view_change(next, staged);
+                    }
                     staged.arm(self.patience, TIMER_REQUEST, token);
                 }
             }
@@ -848,10 +970,22 @@ impl ReplicaNode for MinBftReplica {
     }
 
     fn on_input(&mut self, input: Input<MinBftMsg>, now: u64, out: &mut Outbox<MinBftMsg>) {
-        if self.behavior.crashed_at(now) {
+        self.now = now;
+        if self.script.crashed_at(now) {
+            self.in_outage = true;
             return;
         }
-        if self.behavior == Behavior::Correct {
+        if self.in_outage {
+            // Fail-recover: revive the per-op patience chains killed while
+            // the outage swallowed their firings (see the PBFT twin).
+            self.in_outage = false;
+            let tokens: Vec<u64> =
+                self.pending.iter_canonical().into_iter().map(|(op, _)| op_token(op)).collect();
+            for token in tokens {
+                out.arm(self.patience, TIMER_REQUEST, token);
+            }
+        }
+        if self.script.unconstrained() {
             // Fast path: a correct replica's outputs are never gated, so
             // handlers write the caller's outbox directly.
             self.dispatch_input(input, out);
@@ -859,7 +993,7 @@ impl ReplicaNode for MinBftReplica {
         }
         let mut staged = Outbox::new();
         self.dispatch_input(input, &mut staged);
-        if self.behavior.sends_at(now) {
+        if self.script.sends_at(now) {
             out.msgs.extend(staged.msgs);
         }
         out.timers.extend(staged.timers);
@@ -878,6 +1012,14 @@ impl ReplicaNode for MinBftReplica {
             MinBftMsg::Reply(r) => Some(r),
             _ => None,
         }
+    }
+
+    fn state_digest(&self) -> [u8; 32] {
+        self.machine.state_digest()
+    }
+
+    fn current_view(&self) -> u64 {
+        self.view
     }
 }
 
@@ -948,7 +1090,11 @@ impl Cluster for MinBftCluster {
     }
 
     fn correct_replicas(&self) -> Vec<ReplicaId> {
-        self.nodes.iter().filter(|n| !n.behavior().is_byzantine()).map(|n| n.id()).collect()
+        self.nodes.iter().filter(|n| !n.script().is_byzantine()).map(|n| n.id()).collect()
+    }
+
+    fn set_script(&mut self, id: ReplicaId, script: ReplicaScript) {
+        self.nodes[id.0 as usize].set_script(script);
     }
 }
 
@@ -1079,6 +1225,35 @@ mod tests {
         assert_eq!(report.committed, 8);
         assert!(report.safety_ok);
         assert!(cluster.nodes()[1].view() >= 1, "view advanced past the dead primary");
+    }
+
+    #[test]
+    fn crash_at_mid_view_change_still_elects_and_commits() {
+        // Same cascading-failure regression as PBFT's: the view-0 primary
+        // crashes, then the view-1 primary's CrashAt fires mid view-change.
+        // With f=2 (n=5) the remaining f+1=3 replicas are exactly a commit
+        // quorum: view 2 must install and the pending batches must commit.
+        let cfg = RunConfig {
+            batch_size: 4,
+            batch_flush: 80,
+            max_cycles: 30_000_000,
+            ..config(2, 4, 4, 85)
+        };
+        let mut cluster = MinBftCluster::new(&cfg);
+        // Crash the primary *during* the proposal burst (cycle 40) so
+        // batches are genuinely pending when the failover chain starts.
+        cluster.set_behavior(ReplicaId(0), Behavior::CrashAt(40));
+        cluster.set_behavior(ReplicaId(1), Behavior::CrashAt(1525));
+        let report = run(&mut cluster, &cfg);
+        assert_eq!(report.committed, 16, "pending batches must commit after the double failover");
+        assert!(report.safety_ok);
+        for id in 2..5usize {
+            assert!(
+                cluster.nodes()[id].view() >= 2,
+                "replica {id} stuck at view {}",
+                cluster.nodes()[id].view()
+            );
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! quiet. Experiment E4 measures exactly the paper's trade-off: steady-state
 //! cost (2 replicas, 2 messages/op) vs the failover unavailability window.
 
+use crate::adversary::ReplicaScript;
 use crate::api::{
     BatchDecision, Batcher, Cluster, Endpoint, Input, LogEntry, Outbox, ReplicaId, ReplicaNode,
     Reply, Request,
@@ -43,22 +44,48 @@ pub enum PassiveMsg {
         /// backup answer retries identically) — both shared, not copied.
         ops: Vec<(Arc<Request>, Arc<Vec<u8>>)>,
     },
-    /// Primary liveness signal.
+    /// Primary liveness signal, advertising the primary's log length so a
+    /// recovering backup can detect that it missed state updates.
     Heartbeat {
         /// Sender's epoch.
         epoch: u64,
         /// Sender.
+        from: ReplicaId,
+        /// Sender's committed-log length.
+        log_len: u64,
+    },
+    /// Backup → primary: resend state updates from `from_seq` (the backup
+    /// detected a gap — it crashed through, or the network lost, some
+    /// updates; without a resync a later failover would promote a stale
+    /// log, diverging committed history).
+    SyncRequest {
+        /// First missing log sequence.
+        from_seq: u64,
+        /// The requesting replica.
         from: ReplicaId,
     },
     /// Execution result (replica → client).
     Reply(Reply),
 }
 
+/// How many shipped `(request, result)` pairs the primary retains for
+/// backup resync (beyond this horizon a gapped backup stays a laggard).
+const SHIP_RETENTION: u64 = 512;
+/// Cycles between a gapped backup's sync requests (request or response
+/// can be lost — re-ask, but do not spam).
+const SYNC_REQ_BACKOFF: u64 = 100;
+/// Maximum operations resent per sync request.
+const SYNC_BURST: u64 = 64;
+
 /// One passive-replication replica (two per cluster).
 #[derive(Debug)]
 pub struct PassiveReplica {
     id: ReplicaId,
-    behavior: Behavior,
+    script: ReplicaScript,
+    /// Set while a crash window swallows inputs; the first input after
+    /// recovery re-arms the heartbeat/detector chains (self-re-arming
+    /// timers die when their firing lands inside the outage).
+    in_outage: bool,
     /// Current primary epoch; primary is `epoch % 2`.
     epoch: u64,
     bootstrapped: bool,
@@ -75,6 +102,10 @@ pub struct PassiveReplica {
     held_updates: SeqWindow<(Arc<Request>, Arc<Vec<u8>>)>,
     /// Count of failovers this replica performed.
     failovers: u32,
+    /// Shipped updates retained for backup resync, keyed by log sequence.
+    shipped: SeqWindow<(Arc<Request>, Arc<Vec<u8>>)>,
+    /// When this backup last asked for a resync (rate limiter).
+    sync_req_at: u64,
     /// Batching front-end (primary only).
     batcher: Batcher,
 }
@@ -88,7 +119,8 @@ impl PassiveReplica {
         assert!(id.0 < 2, "passive replication uses exactly two replicas");
         PassiveReplica {
             id,
-            behavior: Behavior::Correct,
+            script: ReplicaScript::correct(),
+            in_outage: false,
             epoch: 0,
             bootstrapped: false,
             last_heartbeat: 0,
@@ -100,6 +132,8 @@ impl PassiveReplica {
             next_seq: 1,
             held_updates: SeqWindow::with_base(1),
             failovers: 0,
+            shipped: SeqWindow::with_base(1),
+            sync_req_at: 0,
             batcher: Batcher::new(),
         }
     }
@@ -116,14 +150,23 @@ impl PassiveReplica {
         self.machine.state_digest()
     }
 
-    /// Sets this replica's behaviour.
+    /// Sets this replica's behaviour from a one-fault preset.
     pub fn set_behavior(&mut self, behavior: Behavior) {
-        self.behavior = behavior;
+        self.script = behavior.into();
     }
 
-    /// Current behaviour.
-    pub fn behavior(&self) -> Behavior {
-        self.behavior
+    /// Installs a composable, time-phased fault script. Content-attack
+    /// windows (equivocation, UI forgery) are inert here: passive
+    /// replication has no votes or certificates to forge — a compromised
+    /// tile manifests as silence or crash (see
+    /// [`rsoc_soc`-level mapping](crate::behavior)).
+    pub fn set_script(&mut self, script: ReplicaScript) {
+        self.script = script;
+    }
+
+    /// The active fault script.
+    pub fn script(&self) -> &ReplicaScript {
+        &self.script
     }
 
     /// Whether this replica currently believes it is the primary.
@@ -195,10 +238,28 @@ impl PassiveReplica {
             );
             ops.push((req, result));
         }
+        for (i, op) in ops.iter().enumerate() {
+            self.shipped.insert(first_seq + i as u64, op.clone());
+        }
+        if self.next_seq > SHIP_RETENTION {
+            self.shipped.retire_below(self.next_seq - SHIP_RETENTION);
+        }
         out.send(
             Endpoint::Replica(self.peer()),
             PassiveMsg::StateUpdate { epoch: self.epoch, first_seq, ops },
         );
+    }
+
+    /// Emits a rate-limited resync request when this backup's applied log
+    /// is behind what the primary has shipped/advertised.
+    fn maybe_request_sync(&mut self, now: u64, out: &mut Outbox<PassiveMsg>) {
+        if now >= self.sync_req_at.saturating_add(SYNC_REQ_BACKOFF) {
+            self.sync_req_at = now;
+            out.send(
+                Endpoint::Replica(self.peer()),
+                PassiveMsg::SyncRequest { from_seq: self.log.len() as u64 + 1, from: self.id },
+            );
+        }
     }
 
     fn handle_state_update(
@@ -206,6 +267,8 @@ impl PassiveReplica {
         epoch: u64,
         first_seq: u64,
         ops: Vec<(Arc<Request>, Arc<Vec<u8>>)>,
+        now: u64,
+        out: &mut Outbox<PassiveMsg>,
     ) {
         if epoch < self.epoch || self.is_primary() {
             return; // stale update from a deposed primary
@@ -229,6 +292,12 @@ impl PassiveReplica {
             self.next_seq = self.next_seq.max(next + 1);
         }
         self.held_updates.retire_below(self.log.len() as u64 + 1);
+        // A gap below the held-back updates means earlier updates were
+        // lost (network drop, or this backup crashed through them): ask
+        // the primary to replay from our log head.
+        if first_seq > self.log.len() as u64 + 1 {
+            self.maybe_request_sync(now, out);
+        }
     }
 }
 
@@ -240,17 +309,33 @@ impl ReplicaNode for PassiveReplica {
     }
 
     fn on_input(&mut self, input: Input<PassiveMsg>, now: u64, out: &mut Outbox<PassiveMsg>) {
-        if self.behavior.crashed_at(now) {
+        if self.script.crashed_at(now) {
+            self.in_outage = true;
             return;
         }
-        if self.behavior == Behavior::Correct {
+        if self.in_outage {
+            // Fail-recover: timer firings swallowed during the outage
+            // killed their chains — restart them (a duplicate chain from a
+            // timer that survived the window is harmless: each fire
+            // re-arms exactly one successor). `last_heartbeat` is bumped
+            // so a recovered backup grants the primary one fresh detection
+            // period instead of failing over on pre-outage staleness.
+            self.in_outage = false;
+            self.last_heartbeat = now;
+            if self.is_primary() {
+                out.arm(self.heartbeat_interval, TIMER_HEARTBEAT, 0);
+            } else {
+                out.arm(self.detect_timeout, TIMER_DETECT, 0);
+            }
+        }
+        if self.script.unconstrained() {
             // Fast path: outputs are never gated for a correct replica.
             self.dispatch_input(input, now, out);
             return;
         }
         let mut staged = Outbox::new();
         self.dispatch_input(input, now, &mut staged);
-        if self.behavior.sends_at(now) {
+        if self.script.sends_at(now) {
             out.msgs.extend(staged.msgs);
         }
         out.timers.extend(staged.timers);
@@ -270,6 +355,14 @@ impl ReplicaNode for PassiveReplica {
             _ => None,
         }
     }
+
+    fn state_digest(&self) -> [u8; 32] {
+        self.machine.state_digest()
+    }
+
+    fn current_view(&self) -> u64 {
+        self.epoch
+    }
 }
 
 impl PassiveReplica {
@@ -285,12 +378,42 @@ impl PassiveReplica {
             Input::Message { from: _, msg } => match msg {
                 PassiveMsg::Request(req) => self.handle_request(req, staged),
                 PassiveMsg::StateUpdate { epoch, first_seq, ops } => {
-                    self.handle_state_update(epoch, first_seq, ops)
+                    self.handle_state_update(epoch, first_seq, ops, now, staged)
                 }
-                PassiveMsg::Heartbeat { epoch, from: _ } => {
+                PassiveMsg::Heartbeat { epoch, from: _, log_len } => {
                     if epoch >= self.epoch {
                         self.epoch = epoch;
                         self.last_heartbeat = now;
+                        // The advertised log length exposes updates this
+                        // backup never saw (e.g. lost during its own crash
+                        // window) — resync before any failover promotes a
+                        // stale log into committed history.
+                        if !self.is_primary() && log_len > self.log.len() as u64 {
+                            self.maybe_request_sync(now, staged);
+                        }
+                    }
+                }
+                PassiveMsg::SyncRequest { from_seq, from: requester } => {
+                    if self.is_primary() && requester != self.id {
+                        // Replay the retained contiguous run from the
+                        // requested sequence (bounded burst).
+                        let mut ops = Vec::new();
+                        for seq in from_seq..from_seq.saturating_add(SYNC_BURST) {
+                            match self.shipped.get(seq) {
+                                Some(op) => ops.push(op.clone()),
+                                None => break,
+                            }
+                        }
+                        if !ops.is_empty() {
+                            staged.send(
+                                Endpoint::Replica(requester),
+                                PassiveMsg::StateUpdate {
+                                    epoch: self.epoch,
+                                    first_seq: from_seq,
+                                    ops,
+                                },
+                            );
+                        }
                     }
                 }
                 PassiveMsg::Reply(_) => {}
@@ -304,7 +427,11 @@ impl PassiveReplica {
                 if self.is_primary() {
                     staged.send(
                         Endpoint::Replica(self.peer()),
-                        PassiveMsg::Heartbeat { epoch: self.epoch, from: self.id },
+                        PassiveMsg::Heartbeat {
+                            epoch: self.epoch,
+                            from: self.id,
+                            log_len: self.log.len() as u64,
+                        },
                     );
                     staged.arm(self.heartbeat_interval, TIMER_HEARTBEAT, 0);
                 }
@@ -318,7 +445,11 @@ impl PassiveReplica {
                         debug_assert!(self.is_primary());
                         staged.send(
                             Endpoint::Replica(self.peer()),
-                            PassiveMsg::Heartbeat { epoch: self.epoch, from: self.id },
+                            PassiveMsg::Heartbeat {
+                                epoch: self.epoch,
+                                from: self.id,
+                                log_len: self.log.len() as u64,
+                            },
                         );
                         staged.arm(self.heartbeat_interval, TIMER_HEARTBEAT, 0);
                     } else {
@@ -387,7 +518,11 @@ impl Cluster for PassiveCluster {
     }
 
     fn correct_replicas(&self) -> Vec<ReplicaId> {
-        self.nodes.iter().filter(|n| !n.behavior().is_byzantine()).map(|n| n.id()).collect()
+        self.nodes.iter().filter(|n| !n.script().is_byzantine()).map(|n| n.id()).collect()
+    }
+
+    fn set_script(&mut self, id: ReplicaId, script: ReplicaScript) {
+        self.nodes[id.0 as usize].set_script(script);
     }
 }
 

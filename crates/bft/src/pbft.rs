@@ -25,9 +25,10 @@
 //! per-op dedup/assignment in open-addressed [`OpIndex`]es, and quorum
 //! tallies in [`ReplicaSet`] bitmasks.
 
+use crate::adversary::ReplicaScript;
 use crate::api::{
-    Batch, BatchDecision, Batcher, Cluster, Endpoint, Input, LogEntry, OpId, Outbox, ReplicaId,
-    ReplicaNode, Reply, Request,
+    noop_batch, Batch, BatchDecision, Batcher, Cluster, Endpoint, Input, LogEntry, OpId, Outbox,
+    ReplicaId, ReplicaNode, Reply, Request, VcRound,
 };
 use crate::behavior::Behavior;
 use crate::dense::{op_token, token_op, OpIndex, ReplicaSet, SeqWindow};
@@ -94,6 +95,11 @@ pub enum PbftMsg {
         from: ReplicaId,
         /// Entries prepared at the voter (must survive the view change).
         prepared: Vec<(u64, Arc<Batch>)>,
+        /// The voter's execution watermark — the quorum's maximum is the
+        /// floor above which sequence holes may be safely no-op-filled
+        /// (the checkpoint-less stand-in for PBFT's stable-checkpoint
+        /// `min-s`).
+        executed_upto: u64,
     },
     /// New primary's installation message.
     NewView {
@@ -116,14 +122,6 @@ struct Slot {
     sent_commit: bool,
 }
 
-/// Votes of one in-progress view change, indexed by voter id.
-#[derive(Debug)]
-struct VcRound {
-    view: u64,
-    votes: Vec<Option<PreparedSet>>,
-    count: usize,
-}
-
 /// One PBFT replica.
 #[derive(Debug)]
 pub struct PbftReplica {
@@ -131,7 +129,9 @@ pub struct PbftReplica {
     n: u32,
     f: u32,
     view: u64,
-    behavior: Behavior,
+    script: ReplicaScript,
+    /// Virtual time of the input being handled (scripts are time-phased).
+    now: u64,
     next_seq: u64,
     /// Agreement slots, watermarked at `exec_upto + 1` (sequence 0 is
     /// never used, so the window starts at base 1).
@@ -148,6 +148,11 @@ pub struct PbftReplica {
     machine: KvStore,
     vc_votes: Vec<VcRound>,
     vc_sent_for: u64,
+    /// When `vc_sent_for` was last raised — the escalation rate limiter.
+    vc_demanded_at: u64,
+    /// Set while a crash window swallows inputs; the first input after
+    /// recovery re-arms the per-op patience chains killed in the outage.
+    in_outage: bool,
     /// Batching front-end (primary only).
     batcher: Batcher,
     /// Backup patience before suspecting the primary.
@@ -163,7 +168,8 @@ impl PbftReplica {
             n: 3 * f + 1,
             f,
             view: 0,
-            behavior: Behavior::Correct,
+            script: ReplicaScript::correct(),
+            now: 0,
             next_seq: 1,
             slots: SeqWindow::with_base(1),
             assigned: OpIndex::new(),
@@ -175,6 +181,8 @@ impl PbftReplica {
             machine: KvStore::new(),
             vc_votes: Vec::new(),
             vc_sent_for: 0,
+            vc_demanded_at: 0,
+            in_outage: false,
             batcher: Batcher::new(),
             patience: REQUEST_PATIENCE,
         }
@@ -197,14 +205,19 @@ impl PbftReplica {
         self.machine.state_digest()
     }
 
-    /// Sets this replica's (mis)behaviour.
+    /// Sets this replica's (mis)behaviour from a one-fault preset.
     pub fn set_behavior(&mut self, behavior: Behavior) {
-        self.behavior = behavior;
+        self.script = behavior.into();
     }
 
-    /// Current behaviour.
-    pub fn behavior(&self) -> Behavior {
-        self.behavior
+    /// Installs a composable, time-phased fault script.
+    pub fn set_script(&mut self, script: ReplicaScript) {
+        self.script = script;
+    }
+
+    /// The active fault script.
+    pub fn script(&self) -> &ReplicaScript {
+        &self.script
     }
 
     /// Current view.
@@ -278,7 +291,7 @@ impl PbftReplica {
         for r in batch.requests() {
             self.assigned.insert(r.op, seq);
         }
-        if self.behavior == Behavior::Equivocate {
+        if self.script.equivocates_at(self.now) {
             self.equivocate(seq, batch, out);
             return;
         }
@@ -499,20 +512,21 @@ impl PbftReplica {
         let idx = match self.vc_votes.iter().position(|r| r.view == view) {
             Some(i) => i,
             None => {
-                self.vc_votes.push(VcRound { view, votes: vec![None; n], count: 0 });
+                self.vc_votes.push(VcRound::new(view, n));
                 self.vc_votes.len() - 1
             }
         };
         &mut self.vc_votes[idx]
     }
 
-    fn record_vc_vote(&mut self, view: u64, from: ReplicaId, prepared: PreparedSet) {
-        let round = self.vc_round_mut(view);
-        let slot = &mut round.votes[from.0 as usize];
-        if slot.is_none() {
-            round.count += 1;
-        }
-        *slot = Some(prepared);
+    fn record_vc_vote(
+        &mut self,
+        view: u64,
+        from: ReplicaId,
+        prepared: PreparedSet,
+        executed_upto: u64,
+    ) {
+        self.vc_round_mut(view).record(from, prepared, executed_upto);
     }
 
     fn start_view_change(&mut self, new_view: u64, out: &mut Outbox<PbftMsg>) {
@@ -520,9 +534,19 @@ impl PbftReplica {
             return;
         }
         self.vc_sent_for = new_view;
+        self.vc_demanded_at = self.now;
         let prepared = self.prepared_uncommitted();
-        self.record_vc_vote(new_view, self.id, prepared.clone());
-        out.broadcast(self.n, self.id, PbftMsg::ViewChange { new_view, from: self.id, prepared });
+        self.record_vc_vote(new_view, self.id, prepared.clone(), self.exec_upto);
+        out.broadcast(
+            self.n,
+            self.id,
+            PbftMsg::ViewChange {
+                new_view,
+                from: self.id,
+                prepared,
+                executed_upto: self.exec_upto,
+            },
+        );
         self.maybe_install_view(new_view, out);
     }
 
@@ -531,12 +555,13 @@ impl PbftReplica {
         new_view: u64,
         from: ReplicaId,
         prepared: Vec<(u64, Arc<Batch>)>,
+        executed_upto: u64,
         out: &mut Outbox<PbftMsg>,
     ) {
         if new_view <= self.view {
             return;
         }
-        self.record_vc_vote(new_view, from, prepared);
+        self.record_vc_vote(new_view, from, prepared, executed_upto);
         let count = self.vc_round_mut(new_view).count;
         // Join the view change once f+1 replicas demand it.
         if count >= (self.f + 1) as usize {
@@ -564,9 +589,30 @@ impl PbftReplica {
         for (seq, batch) in self.prepared_uncommitted() {
             repropose.entry(seq).or_insert(batch);
         }
-        self.view = new_view;
+        // Fill sequence holes with no-op batches. A proposal can die
+        // *unprepared* at seq s (its pre-prepare lost to drops) while s+1
+        // prepared and survives the view change — execution is strictly
+        // in-order, so without a filler every replica wedges at s forever,
+        // view change after view change. Filling is safe only above the
+        // vote quorum's execution floor: if ANY correct replica executed
+        // seq s, then s gathered a commit quorum, whose prepared-set
+        // holders intersect every view-change quorum — so s is in
+        // `repropose` and is not a hole (the checkpoint-less analogue of
+        // PBFT's null requests above the stable checkpoint). Watermark
+        // claims are trusted as honest — see [`VcRound`]'s trust boundary.
+        let floor = round.exec_floor.max(self.exec_upto);
         let max_seq = repropose.keys().max().copied().unwrap_or(self.exec_upto);
-        self.next_seq = self.next_seq.max(max_seq + 1);
+        for seq in floor.saturating_add(1)..max_seq {
+            repropose.entry(seq).or_insert_with(|| noop_batch(seq));
+        }
+        self.view = new_view;
+        // Fresh proposals must start above BOTH the highest re-proposed
+        // entry and the quorum's execution floor: a laggard primary that
+        // ignored `floor` would re-batch pending requests at sequences its
+        // peers already executed and retired — proposals that can never
+        // prepare (the watermark rejects them), stalling every pending op
+        // until a caught-up replica rotates in.
+        self.next_seq = self.next_seq.max(max_seq + 1).max(floor.saturating_add(1));
         // Pending requests not covered get new slots, re-batched at the
         // configured batch size. The pending index is order-canonicalized
         // (sorted by op id) so re-batching is deterministic.
@@ -671,10 +717,25 @@ impl ReplicaNode for PbftReplica {
     }
 
     fn on_input(&mut self, input: Input<PbftMsg>, now: u64, out: &mut Outbox<PbftMsg>) {
-        if self.behavior.crashed_at(now) {
+        self.now = now;
+        if self.script.crashed_at(now) {
+            self.in_outage = true;
             return;
         }
-        if self.behavior == Behavior::Correct {
+        if self.in_outage {
+            // Fail-recover: per-op patience timers whose firing landed
+            // inside the outage are dead chains (retransmissions do not
+            // re-arm an already-pending op) — revive them once, in
+            // canonical order, so the recovered backup keeps watching its
+            // pending ops.
+            self.in_outage = false;
+            let tokens: Vec<u64> =
+                self.pending.iter_canonical().into_iter().map(|(op, _)| op_token(op)).collect();
+            for token in tokens {
+                out.arm(self.patience, TIMER_REQUEST, token);
+            }
+        }
+        if self.script.unconstrained() {
             // Fast path (the overwhelmingly common case): a correct
             // replica's outputs are never gated, so handlers write the
             // caller's outbox directly — no staging buffer, no per-event
@@ -684,8 +745,8 @@ impl ReplicaNode for PbftReplica {
         }
         let mut staged = Outbox::new();
         self.dispatch_input(input, now, &mut staged);
-        // Behaviour gate on outputs (timers always pass — they are local).
-        if self.behavior.sends_at(now) {
+        // Script gate on outputs (timers always pass — they are local).
+        if self.script.sends_at(now) {
             out.msgs.extend(staged.msgs);
         }
         out.timers.extend(staged.timers);
@@ -705,11 +766,19 @@ impl ReplicaNode for PbftReplica {
             _ => None,
         }
     }
+
+    fn state_digest(&self) -> [u8; 32] {
+        self.machine.state_digest()
+    }
+
+    fn current_view(&self) -> u64 {
+        self.view
+    }
 }
 
 impl PbftReplica {
     /// Routes one input to its handler, emitting effects into `out`.
-    fn dispatch_input(&mut self, input: Input<PbftMsg>, _now: u64, staged: &mut Outbox<PbftMsg>) {
+    fn dispatch_input(&mut self, input: Input<PbftMsg>, now: u64, staged: &mut Outbox<PbftMsg>) {
         match input {
             Input::Message { from, msg } => match msg {
                 PbftMsg::Request(req) => self.handle_request(req, staged),
@@ -722,8 +791,8 @@ impl PbftReplica {
                 PbftMsg::Commit { view, seq, digest, from } => {
                     self.handle_commit(view, seq, digest, from, staged)
                 }
-                PbftMsg::ViewChange { new_view, from, prepared } => {
-                    self.handle_view_change(new_view, from, prepared, staged)
+                PbftMsg::ViewChange { new_view, from, prepared, executed_upto } => {
+                    self.handle_view_change(new_view, from, prepared, executed_upto, staged)
                 }
                 PbftMsg::NewView { view, preprepares } => {
                     self.handle_new_view(view, preprepares, from, staged)
@@ -732,8 +801,21 @@ impl PbftReplica {
             },
             Input::Timer { kind: TIMER_REQUEST, token } => {
                 if self.pending.contains_key(&token_op(token)) {
-                    let next = self.view + 1;
-                    self.start_view_change(next, staged);
+                    // Demand at most one new view per full patience period
+                    // (`vc_demanded_at` is stamped on every demand, own or
+                    // joined). The escalation target skips past a
+                    // demanded-but-never-installed view, so a CrashAt
+                    // firing *mid view-change* — killing the incoming
+                    // primary — escalates to a live one instead of wedging
+                    // the cluster on a view nobody can install. The rate
+                    // limit matters as much as the escalation: every
+                    // pending op runs its own patience timer, and demanding
+                    // per fire outruns any installation (a view-change
+                    // livelock storm that starves re-proposals forever).
+                    if now >= self.vc_demanded_at.saturating_add(self.patience) {
+                        let next = self.view.max(self.vc_sent_for) + 1;
+                        self.start_view_change(next, staged);
+                    }
                     // Keep watching: if the new view also stalls, escalate.
                     staged.arm(self.patience, TIMER_REQUEST, token);
                 }
@@ -808,7 +890,11 @@ impl Cluster for PbftCluster {
     }
 
     fn correct_replicas(&self) -> Vec<ReplicaId> {
-        self.nodes.iter().filter(|n| !n.behavior().is_byzantine()).map(|n| n.id()).collect()
+        self.nodes.iter().filter(|n| !n.script().is_byzantine()).map(|n| n.id()).collect()
+    }
+
+    fn set_script(&mut self, id: ReplicaId, script: ReplicaScript) {
+        self.nodes[id.0 as usize].set_script(script);
     }
 }
 
@@ -978,6 +1064,44 @@ mod tests {
         assert!(report.safety_ok);
         // Surviving replicas moved past view 0.
         assert!(cluster.nodes()[1].view() >= 1);
+    }
+
+    #[test]
+    fn crash_at_mid_view_change_still_elects_and_commits() {
+        // Regression for the cascading-failure class: the primary of view 0
+        // crashes, and while the view change to view 1 is in flight the
+        // *incoming* primary crashes too (CrashAt fires mid view-change).
+        // The surviving 2f+1 quorum must escalate to view 2, re-propose,
+        // and commit every pending batch — not wedge on the half-installed
+        // view. f=2 (n=7) so two crashes stay within tolerance.
+        let cfg = RunConfig {
+            batch_size: 4,
+            batch_flush: 80,
+            max_cycles: 30_000_000,
+            ..config(2, 4, 4, 83)
+        };
+        let mut cluster = PbftCluster::new(&cfg);
+        cluster.set_behavior(ReplicaId(0), Behavior::CrashAt(150));
+        // Patience (1500) fires the first view change around cycle ~1510;
+        // replica 1 dies while installing/leading view 1.
+        cluster.set_behavior(ReplicaId(1), Behavior::CrashAt(1525));
+        let report = run(&mut cluster, &cfg);
+        assert_eq!(report.committed, 16, "pending batches must commit after the double failover");
+        assert!(report.safety_ok);
+        // The survivors moved past both dead primaries.
+        for id in 2..7u32 {
+            assert!(
+                cluster.nodes()[id as usize].view() >= 2,
+                "replica {id} stuck at view {}",
+                cluster.nodes()[id as usize].view()
+            );
+        }
+        // Survivors executed identical full logs.
+        let len = cluster.nodes()[2].committed_log().len();
+        assert_eq!(len, 16);
+        for id in 3..7usize {
+            assert_eq!(cluster.nodes()[id].committed_log().len(), len);
+        }
     }
 
     #[test]

@@ -12,13 +12,34 @@
 //! [`Request`] exactly once and every send — the n-way fan-out *and*
 //! every retransmission — shares it through an `Arc`; one [`Outbox`] is
 //! reused across all delivered events (cleared, never reallocated).
+//!
+//! # Scenario interpretation
+//!
+//! [`run_scenario`] drives the same event loop under an adversarial
+//! [`Scenario`]: replica fault scripts are installed on the cluster
+//! (crash/silence/content-attack windows are interpreted where the
+//! replica's behaviour lives), while every *transport-level* fault is
+//! interpreted uniformly here — partitions sever replica↔replica
+//! deliveries, link faults drop and delay crossing messages, per-replica
+//! send scripts delay/duplicate/reorder outbox bursts, replay schedules
+//! re-inject recorded stale messages, and DoS floods synthesize attacker
+//! client traffic. All scenario randomness comes from a dedicated fault
+//! RNG stream, so an **empty scenario leaves the virtual-time trace
+//! bit-identical** to the unscripted path (the committed BENCH records
+//! regenerate unchanged).
 
+use crate::adversary::Scenario;
 use crate::api::{
     ClientId, Cluster, Endpoint, Input, OpId, Outbox, ReplicaId, ReplicaNode, Request,
 };
 use rsoc_sim::{Histogram, SimRng, TimingWheel};
 use std::collections::BTreeMap;
 use std::sync::Arc;
+
+/// Messages per replica kept for stale-replay injection (oldest kept:
+/// early-run messages are the interesting stale ones — old views, consumed
+/// USIG counters, already-applied state updates).
+const REPLAY_RECORD_CAP: usize = 64;
 
 /// Message latency models for the on-chip interconnect.
 #[derive(Debug, Clone)]
@@ -184,9 +205,95 @@ impl RunReport {
 
 #[derive(Debug)]
 enum Queued<M> {
-    Deliver { from: Endpoint, to: Endpoint, msg: M },
-    ReplicaTimer { replica: ReplicaId, kind: u32, token: u64 },
-    ClientTimer { client: ClientId, op_seq: u64 },
+    Deliver {
+        from: Endpoint,
+        to: Endpoint,
+        msg: M,
+    },
+    ReplicaTimer {
+        replica: ReplicaId,
+        kind: u32,
+        token: u64,
+    },
+    ClientTimer {
+        client: ClientId,
+        op_seq: u64,
+    },
+    /// Scenario: the next injection of flood `flood` (k requests sent so
+    /// far). Never queued by the fault-free path.
+    FloodTick {
+        flood: u32,
+        k: u64,
+    },
+    /// Scenario: the next stale-replay burst of `replica`'s schedule
+    /// `spec` (k bursts injected so far).
+    ReplayTick {
+        replica: u32,
+        spec: u32,
+        k: u64,
+    },
+}
+
+/// Runtime state of one scenario interpretation: the dense per-replica
+/// scripts, the replay recording rings, the dedicated fault RNG stream,
+/// and the attack counters reported in [`ScenarioOutcome`].
+struct FaultCtx<'a, M> {
+    scenario: &'a Scenario,
+    /// False for the empty scenario: every hook short-circuits on this.
+    active: bool,
+    /// Scenario randomness — a separate stream so the main RNG's draw
+    /// sequence (and with it the whole fault-free trace) is untouched.
+    rng: SimRng,
+    /// Per-replica scripts, dense by id (unconstrained when unscripted).
+    scripts: Vec<crate::adversary::ReplicaScript>,
+    /// Per-replica recorded protocol sends for stale replay.
+    recorded: Vec<Vec<(Endpoint, M)>>,
+    flood_requests: u64,
+    script_drops: u64,
+    duplicates: u64,
+    replays: u64,
+}
+
+impl<'a, M: Clone> FaultCtx<'a, M> {
+    fn new(scenario: &'a Scenario, n: usize, seed: u64) -> Self {
+        FaultCtx {
+            scenario,
+            active: !scenario.is_empty(),
+            rng: SimRng::new(seed ^ 0xADD_FA017),
+            scripts: (0..n as u32)
+                .map(|i| scenario.script_for(i).cloned().unwrap_or_default())
+                .collect(),
+            recorded: (0..n).map(|_| Vec::new()).collect(),
+            flood_requests: 0,
+            script_drops: 0,
+            duplicates: 0,
+            replays: 0,
+        }
+    }
+
+    /// Whether an active partition severs `a` from `b` at cycle `at`.
+    fn severed(&self, at: u64, a: ReplicaId, b: ReplicaId) -> bool {
+        self.scenario.partitions.iter().any(|p| {
+            p.window.contains(at) && (p.members.contains(&a.0) != p.members.contains(&b.0))
+        })
+    }
+}
+
+/// Outcome of a scripted run: the plain report plus the scenario's attack
+/// accounting (how much adversarial traffic the run actually absorbed —
+/// a scenario that injected nothing proves nothing).
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// The measured run report (workload clients only).
+    pub report: RunReport,
+    /// Flood requests injected by attacker clients.
+    pub flood_requests: u64,
+    /// Messages lost to partitions and link-fault drops.
+    pub script_drops: u64,
+    /// Extra copies injected by duplication windows.
+    pub duplicates: u64,
+    /// Stale messages re-injected by replay schedules.
+    pub replays: u64,
 }
 
 /// One in-flight client operation: the request (shared with every wire
@@ -216,9 +323,34 @@ struct ClientState {
 /// Runs `cluster` under `config`, returning the measured report.
 ///
 /// Deterministic: identical `(cluster initial state, config)` gives an
-/// identical report.
+/// identical report. Equivalent to [`run_scenario`] with the empty
+/// [`Scenario`] — and bit-identical to the pre-scenario harness, because
+/// every scenario hook short-circuits on an inactive context.
 pub fn run<C: Cluster>(cluster: &mut C, config: &RunConfig) -> RunReport {
+    run_scenario(cluster, config, &Scenario::none()).report
+}
+
+/// Runs `cluster` under `config` while interpreting `scenario`: replica
+/// fault scripts are installed on the cluster, transport faults
+/// (partitions, link degradation, send delay/duplication/reordering,
+/// stale replay, DoS floods) are interpreted here, uniformly for every
+/// protocol.
+///
+/// Scenario replica ids beyond the cluster size are ignored, so one
+/// scenario can target protocols with different replica counts.
+pub fn run_scenario<C: Cluster>(
+    cluster: &mut C,
+    config: &RunConfig,
+    scenario: &Scenario,
+) -> ScenarioOutcome {
     let n = cluster.nodes().len();
+    for (r, s) in &scenario.replicas {
+        if (*r as usize) < n {
+            cluster.set_script(ReplicaId(*r), s.clone());
+        }
+    }
+    let mut fault: FaultCtx<<C::Node as ReplicaNode>::Msg> =
+        FaultCtx::new(scenario, n, config.seed);
     let mut rng = SimRng::new(config.seed ^ 0xB07_F00D);
     // Cycle-indexed wheel: O(1) push/pop, (time, push-order) pop order.
     let mut queue: TimingWheel<Queued<<C::Node as ReplicaNode>::Msg>> = TimingWheel::new();
@@ -262,6 +394,28 @@ pub fn run<C: Cluster>(cluster: &mut C, config: &RunConfig) -> RunReport {
         }
     }
 
+    // Scenario kick-off: arm the first tick of every flood and replay
+    // schedule. The empty scenario schedules nothing — the event stream
+    // (and every wheel push sequence number) stays exactly the fault-free
+    // one.
+    if fault.active {
+        for (i, f) in scenario.floods.iter().enumerate() {
+            if let Some(at) = f.train().first() {
+                push_event!(at, Queued::FloodTick { flood: i as u32, k: 0 });
+            }
+        }
+        for (r, script) in fault.scripts.iter().enumerate() {
+            for (si, spec) in script.replays().iter().enumerate() {
+                if let Some(at) = spec.train().first() {
+                    push_event!(
+                        at,
+                        Queued::ReplayTick { replica: r as u32, spec: si as u32, k: 0 }
+                    );
+                }
+            }
+        }
+    }
+
     // One outbox reused for every delivered event: cleared (capacity
     // kept), so the steady state allocates nothing per event.
     let mut out: Outbox<<C::Node as ReplicaNode>::Msg> = Outbox::new();
@@ -290,12 +444,15 @@ pub fn run<C: Cluster>(cluster: &mut C, config: &RunConfig) -> RunReport {
                         &mut egress_free,
                         &mut messages_total,
                         &mut messages_protocol,
+                        &mut fault,
                         &mut |at, ev| queue.push(at, ev),
                     );
                 }
                 Endpoint::Client(c) => {
                     let Some(reply) = C::Node::as_reply(&msg) else { continue };
-                    let client = &mut clients[c.0 as usize];
+                    // Flood (attacker) clients have no state: replies to
+                    // them fall outside the workload population.
+                    let Some(client) = clients.get_mut(c.0 as usize) else { continue };
                     let Some(op) = client.pending.get_mut(&reply.op.seq) else { continue };
                     if reply.op != op.request.op {
                         continue;
@@ -347,6 +504,7 @@ pub fn run<C: Cluster>(cluster: &mut C, config: &RunConfig) -> RunReport {
                     &mut egress_free,
                     &mut messages_total,
                     &mut messages_protocol,
+                    &mut fault,
                     &mut |at, ev| queue.push(at, ev),
                 );
             }
@@ -377,6 +535,64 @@ pub fn run<C: Cluster>(cluster: &mut C, config: &RunConfig) -> RunReport {
                         now + config.client_timeout,
                         Queued::ClientTimer { client, op_seq }
                     );
+                }
+            }
+            Queued::FloodTick { flood, k } => {
+                let f = fault.scenario.floods[flood as usize];
+                if f.window.contains(now) {
+                    // A well-formed request from a non-workload client id:
+                    // replicas order and execute it like any other (that is
+                    // the attack — it consumes agreement and egress
+                    // capacity), but no reply quorum is tallied for it.
+                    let seq = k + 1;
+                    let client = ClientId(config.clients + flood);
+                    let text = format!("SET f{flood}.{seq} v{seq}");
+                    let mut payload = text.into_bytes();
+                    payload.resize(payload.len().max(f.payload_size), b'_');
+                    let req = Arc::new(Request { op: OpId { client, seq }, payload });
+                    for i in 0..n {
+                        let to = Endpoint::Replica(ReplicaId(i as u32));
+                        let delay =
+                            config.latency.sample(Endpoint::Client(client), to, &mut fault.rng);
+                        messages_total += 1;
+                        push_event!(
+                            now + delay,
+                            Queued::Deliver {
+                                from: Endpoint::Client(client),
+                                to,
+                                msg: C::Node::make_request(req.clone()),
+                            }
+                        );
+                    }
+                    fault.flood_requests += 1;
+                    if let Some(next) = f.train().next_after(now) {
+                        push_event!(next, Queued::FloodTick { flood, k: seq });
+                    }
+                }
+            }
+            Queued::ReplayTick { replica, spec, k } => {
+                let s = fault.scripts[replica as usize].replays()[spec as usize];
+                if s.window.contains(now) {
+                    let burst = s.burst.max(1);
+                    let rec_len = fault.recorded[replica as usize].len();
+                    let from = Endpoint::Replica(ReplicaId(replica));
+                    // Cycle through the recorded ring, oldest first: stale
+                    // views, consumed USIG counters, and already-applied
+                    // state updates come back from the network's past.
+                    for j in 0..burst.min(rec_len) {
+                        let idx = (k as usize * burst + j) % rec_len;
+                        let (to, msg) = fault.recorded[replica as usize][idx].clone();
+                        let delay = config.latency.sample(from, to, &mut fault.rng);
+                        messages_total += 1;
+                        if matches!(to, Endpoint::Replica(_)) {
+                            messages_protocol += 1;
+                        }
+                        fault.replays += 1;
+                        push_event!(now + delay, Queued::Deliver { from, to, msg });
+                    }
+                    if let Some(next) = s.train().next_after(now) {
+                        push_event!(next, Queued::ReplayTick { replica, spec, k: k + 1 });
+                    }
                 }
             }
         }
@@ -411,6 +627,7 @@ pub fn run<C: Cluster>(cluster: &mut C, config: &RunConfig) -> RunReport {
                 &mut egress_free,
                 &mut messages_total,
                 &mut messages_protocol,
+                &mut fault,
                 &mut |at2, ev| {
                     // Deliveries keep flowing; timers die with the run.
                     if matches!(ev, Queued::Deliver { .. }) {
@@ -425,18 +642,24 @@ pub fn run<C: Cluster>(cluster: &mut C, config: &RunConfig) -> RunReport {
     let retries = clients.iter().map(|c| c.retries).sum();
     let safety_ok = check_safety(cluster);
 
-    RunReport {
-        protocol: cluster.protocol_name(),
-        n_replicas: n,
-        committed,
-        requested,
-        commit_latency,
-        messages_total,
-        messages_protocol,
-        client_retries: retries,
-        safety_ok,
-        duration_cycles: now,
-        batch_size: config.batch_size,
+    ScenarioOutcome {
+        report: RunReport {
+            protocol: cluster.protocol_name(),
+            n_replicas: n,
+            committed,
+            requested,
+            commit_latency,
+            messages_total,
+            messages_protocol,
+            client_retries: retries,
+            safety_ok,
+            duration_cycles: now,
+            batch_size: config.batch_size,
+        },
+        flood_requests: fault.flood_requests,
+        script_drops: fault.script_drops,
+        duplicates: fault.duplicates,
+        replays: fault.replays,
     }
 }
 
@@ -508,35 +731,153 @@ fn route_outbox<C: Cluster>(
     egress_free: &mut [u64],
     messages_total: &mut u64,
     messages_protocol: &mut u64,
+    fault: &mut FaultCtx<<C::Node as ReplicaNode>::Msg>,
     push: &mut dyn FnMut(u64, Queued<<C::Node as ReplicaNode>::Msg>),
 ) {
-    for (to, msg) in out.msgs.drain(..) {
-        // Sender-side serialization: each message occupies the replica's
-        // egress port for `link_occupancy` cycles, so a burst departs
-        // back-to-back rather than simultaneously. This charges the
-        // per-message fixed cost that batching amortizes; lost messages
-        // still occupy the port (they were physically sent).
-        let depart = if config.link_occupancy > 0 {
-            let free = egress_free[from.0 as usize].max(now) + config.link_occupancy;
-            egress_free[from.0 as usize] = free;
-            free
-        } else {
-            now
-        };
-        if let Endpoint::Replica(_) = to {
-            *messages_protocol += 1;
-            if rng.chance(config.drop_rate) {
-                *messages_total += 1; // sent but lost
-                continue;
-            }
+    // A reorder window flips the departure order of this whole burst —
+    // later-queued messages grab the egress port (and their latency
+    // samples) first. Only taken when a scenario scripts it.
+    if fault.active && fault.scripts[from.0 as usize].reorders_at(now) {
+        let mut msgs: Vec<_> = out.msgs.drain(..).collect();
+        msgs.reverse();
+        for (to, msg) in msgs {
+            route_one::<C>(
+                from,
+                to,
+                msg,
+                now,
+                config,
+                rng,
+                egress_free,
+                messages_total,
+                messages_protocol,
+                fault,
+                push,
+            );
         }
-        *messages_total += 1;
-        let delay = config.latency.sample(Endpoint::Replica(from), to, rng);
-        push(depart + delay, Queued::Deliver { from: Endpoint::Replica(from), to, msg });
+    } else {
+        for (to, msg) in out.msgs.drain(..) {
+            route_one::<C>(
+                from,
+                to,
+                msg,
+                now,
+                config,
+                rng,
+                egress_free,
+                messages_total,
+                messages_protocol,
+                fault,
+                push,
+            );
+        }
     }
     for (delay, kind, token) in out.timers.drain(..) {
         push(now + delay, Queued::ReplicaTimer { replica: from, kind, token });
     }
+}
+
+/// Routes one outgoing message: egress serialization, baseline loss, then
+/// — only under an active scenario — partition severing, link-fault
+/// drop/delay, per-replica send delay, duplication, and replay recording.
+/// The fault-free tail is exactly the pre-scenario harness (same main-RNG
+/// draws in the same order).
+#[allow(clippy::too_many_arguments)]
+fn route_one<C: Cluster>(
+    from: ReplicaId,
+    to: Endpoint,
+    msg: <C::Node as ReplicaNode>::Msg,
+    now: u64,
+    config: &RunConfig,
+    rng: &mut SimRng,
+    egress_free: &mut [u64],
+    messages_total: &mut u64,
+    messages_protocol: &mut u64,
+    fault: &mut FaultCtx<<C::Node as ReplicaNode>::Msg>,
+    push: &mut dyn FnMut(u64, Queued<<C::Node as ReplicaNode>::Msg>),
+) {
+    // Sender-side serialization: each message occupies the replica's
+    // egress port for `link_occupancy` cycles, so a burst departs
+    // back-to-back rather than simultaneously. This charges the
+    // per-message fixed cost that batching amortizes; lost messages
+    // still occupy the port (they were physically sent).
+    let depart = if config.link_occupancy > 0 {
+        let free = egress_free[from.0 as usize].max(now) + config.link_occupancy;
+        egress_free[from.0 as usize] = free;
+        free
+    } else {
+        now
+    };
+    if let Endpoint::Replica(_) = to {
+        *messages_protocol += 1;
+        if rng.chance(config.drop_rate) {
+            *messages_total += 1; // sent but lost
+            return;
+        }
+    }
+    if fault.active {
+        let script = &fault.scripts[from.0 as usize];
+        // Record protocol sends for stale-replay schedules (oldest kept).
+        if !script.replays().is_empty()
+            && matches!(to, Endpoint::Replica(_))
+            && fault.recorded[from.0 as usize].len() < REPLAY_RECORD_CAP
+        {
+            fault.recorded[from.0 as usize].push((to, msg.clone()));
+        }
+        // Partition severing, judged at departure time: the message was
+        // sent (and charged) but never crosses the boundary.
+        if let Endpoint::Replica(dst) = to {
+            if fault.severed(depart, from, dst) {
+                fault.script_drops += 1;
+                *messages_total += 1;
+                return;
+            }
+        }
+        // Link faults: probabilistic drops plus fixed extra delay on
+        // matching (source, dest) pairs. All randomness from the fault
+        // stream — the main RNG's draw order is scenario-independent.
+        let mut extra = script.send_delay_at(now);
+        for l in &fault.scenario.links {
+            let src_match = l.source.is_none_or(|s| s == from.0);
+            let dst_match = match (l.dest, to) {
+                (None, _) => true,
+                (Some(d), Endpoint::Replica(r)) => d == r.0,
+                (Some(_), Endpoint::Client(_)) => false,
+            };
+            if src_match && dst_match && l.window.contains(depart) {
+                if l.drop_rate > 0.0 && fault.rng.chance(l.drop_rate) {
+                    fault.script_drops += 1;
+                    *messages_total += 1;
+                    return;
+                }
+                extra += l.extra_delay;
+            }
+        }
+        *messages_total += 1;
+        let delay = config.latency.sample(Endpoint::Replica(from), to, rng);
+        push(
+            depart + delay + extra,
+            Queued::Deliver { from: Endpoint::Replica(from), to, msg: msg.clone() },
+        );
+        if script.duplicates_at(now) {
+            // The copy takes its own (fault-stream) latency draw: the two
+            // arrivals interleave arbitrarily with other traffic.
+            let dup_delay = config.latency.sample(Endpoint::Replica(from), to, &mut fault.rng);
+            *messages_total += 1;
+            if matches!(to, Endpoint::Replica(_)) {
+                *messages_protocol += 1;
+            }
+            fault.duplicates += 1;
+            push(
+                depart + dup_delay + extra,
+                Queued::Deliver { from: Endpoint::Replica(from), to, msg },
+            );
+        }
+        return;
+    }
+    *messages_total += 1;
+    let delay = config.latency.sample(Endpoint::Replica(from), to, rng);
+    push(depart + delay, Queued::Deliver { from: Endpoint::Replica(from), to, msg });
 }
 
 /// Checks that all correct replicas' committed logs agree: for every pair,

@@ -36,7 +36,7 @@ pub mod topology;
 pub mod traffic;
 
 pub use latency::HopLatencyModel;
-pub use network::{Network, NetworkConfig, NetworkStats};
+pub use network::{LinkFaultWindow, LinkScript, Network, NetworkConfig, NetworkStats};
 pub use reference::ReferenceNetwork;
 pub use router::Routing;
 pub use topology::{Coord, Direction, LinkId, Mesh2d, NodeId};

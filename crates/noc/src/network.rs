@@ -25,10 +25,22 @@
 //! scan-loop specification lives in [`crate::reference`]; a property
 //! test holds the two to the same `(cycle, packet)` delivery/drop
 //! sequence.
+//!
+//! # Link fault scripts
+//!
+//! Beyond binary dead links ([`Network::kill_link`]), a [`LinkScript`]
+//! degrades chosen directed links over cycle *windows*: probabilistic
+//! packet drops, payload corruption (the packet still delivers — catching
+//! it is the MAC layer's job — but is recorded in
+//! [`NetworkStats::corrupted`]), and extra per-hop delay. Faults are
+//! evaluated in the indexed next-event queue path at the moment a packet
+//! crosses the scripted link, from a dedicated script RNG — an empty
+//! script leaves the engine's behaviour (and the reference-model
+//! equivalence) untouched.
 
 use crate::router::{route, RouteBlock, Routing};
 use crate::topology::{Direction, LinkId, Mesh2d, NodeId};
-use rsoc_sim::{SimRng, Slab};
+use rsoc_sim::{SimRng, Slab, Window};
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap};
 
@@ -65,6 +77,59 @@ struct Flight {
     hops: u32,
     misroutes: u32,
     stalled: u32,
+    /// Whether a scripted link fault corrupted the payload in transit.
+    corrupted: bool,
+    /// Attempt cycle a scripted extra delay has already been served for
+    /// (the re-attempt at this cycle crosses without being re-delayed).
+    delay_served: u64,
+}
+
+/// One windowed fault on a directed mesh link: while `window` is active,
+/// packets crossing `link` are dropped with `drop_rate`, corrupted with
+/// `corrupt_rate`, and delayed by `extra_delay` cycles. The window type
+/// is shared with the BFT scenario engine via [`rsoc_sim::Window`].
+#[derive(Debug, Clone, Copy)]
+pub struct LinkFaultWindow {
+    /// The degraded directed link.
+    pub link: LinkId,
+    /// When the fault is active.
+    pub window: Window,
+    /// Probability a crossing packet is lost on the link.
+    pub drop_rate: f64,
+    /// Probability a crossing packet's payload is corrupted (it still
+    /// delivers; [`NetworkStats::corrupted`] records it).
+    pub corrupt_rate: f64,
+    /// Extra cycles the hop takes while the fault is active.
+    pub extra_delay: u32,
+}
+
+/// A deterministic, windowed link-degradation script (see module docs).
+#[derive(Debug, Clone, Default)]
+pub struct LinkScript {
+    faults: Vec<LinkFaultWindow>,
+}
+
+impl LinkScript {
+    /// An empty script (no degradation).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one windowed link fault.
+    pub fn fault(mut self, fault: LinkFaultWindow) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// True when the script degrades nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Number of scripted faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
 }
 
 /// Record of a delivered packet.
@@ -98,6 +163,9 @@ pub struct NetworkStats {
     pub delivered: Vec<Delivery>,
     /// Dropped packets.
     pub dropped: Vec<Drop>,
+    /// Delivered packets whose payload a scripted link fault corrupted in
+    /// transit (in delivery order; the MAC layer above must catch these).
+    pub corrupted: Vec<PacketId>,
     /// Total link traversals.
     pub link_traversals: u64,
 }
@@ -142,6 +210,10 @@ pub struct Network {
     /// Cycle stamp per directed link: a link is occupied for cycle `t`
     /// iff `link_used_at[idx] == t` (`u64::MAX` = never used).
     link_used_at: Vec<u64>,
+    /// Windowed link degradation (empty = no hook in the hop path).
+    script: LinkScript,
+    /// Script randomness, independent of any caller RNG.
+    script_rng: SimRng,
     stats: NetworkStats,
 }
 
@@ -159,8 +231,17 @@ impl Network {
             dead_links: BTreeSet::new(),
             dead: vec![false; mesh.link_index_count()],
             link_used_at: vec![u64::MAX; mesh.link_index_count()],
+            script: LinkScript::new(),
+            script_rng: SimRng::new(0),
             stats: NetworkStats::default(),
         }
+    }
+
+    /// Installs a windowed link-degradation script, with its own RNG
+    /// stream derived from `seed`. Replaces any previous script.
+    pub fn set_link_script(&mut self, script: LinkScript, seed: u64) {
+        self.script = script;
+        self.script_rng = SimRng::new(seed ^ 0x11FA_0171);
     }
 
     /// The topology.
@@ -230,6 +311,8 @@ impl Network {
             hops: 0,
             misroutes: 0,
             stalled: 0,
+            corrupted: false,
+            delay_served: u64::MAX,
         });
         self.queue.push(Reverse((self.now + self.config.hop_cycles as u64, order, slot)));
         id
@@ -273,7 +356,50 @@ impl Network {
         match route(&self.mesh, self.config.routing, here, dst, misroutes, &link_ok, &link_free) {
             Ok(dir) => {
                 let link = LinkId { from: here, dir: dir.into() };
+                // A scripted extra delay stalls the packet at the link for
+                // the fault's duration *before* it crosses: the attempt is
+                // re-queued (once — the re-attempt is marked served), so
+                // occupancy, drop/corrupt judgement, and the delivery
+                // timestamp all happen at the true crossing cycle and the
+                // stats stay chronological.
+                if !self.script.is_empty()
+                    && self.flights.get(slot).expect("flight").delay_served != t
+                {
+                    let extra: u64 = self
+                        .script
+                        .faults
+                        .iter()
+                        .filter(|fw| fw.link == link && fw.window.contains(t))
+                        .map(|fw| fw.extra_delay as u64)
+                        .sum();
+                    if extra > 0 {
+                        let f = self.flights.get_mut(slot).expect("flight present");
+                        f.delay_served = t + extra;
+                        self.queue.push(Reverse((t + extra, f.order, slot)));
+                        return;
+                    }
+                }
                 self.link_used_at[self.mesh.link_index(link)] = t;
+                // Drop/corrupt degradation, judged as the packet crosses
+                // the link (the link was already occupied — a dropped
+                // packet physically entered it and died there).
+                let mut corrupt_hit = false;
+                if !self.script.is_empty() {
+                    for i in 0..self.script.faults.len() {
+                        let fw = self.script.faults[i];
+                        if fw.link != link || !fw.window.contains(t) {
+                            continue;
+                        }
+                        if fw.drop_rate > 0.0 && self.script_rng.chance(fw.drop_rate) {
+                            let f = self.flights.remove(slot).expect("flight present");
+                            self.stats.dropped.push(Drop { packet: f.id, at: t, dead_end: false });
+                            return;
+                        }
+                        if fw.corrupt_rate > 0.0 && self.script_rng.chance(fw.corrupt_rate) {
+                            corrupt_hit = true;
+                        }
+                    }
+                }
                 let next = self.mesh.neighbor(here, dir).expect("router checked neighbor");
                 // Count whether this hop reduced distance (else misroute).
                 let before = self.mesh.hops(here, dst);
@@ -285,9 +411,13 @@ impl Network {
                 f.here = next;
                 f.hops += 1;
                 f.stalled = 0;
+                f.corrupted |= corrupt_hit;
                 self.stats.link_traversals += 1;
                 if next == dst {
                     let f = self.flights.remove(slot).expect("flight present");
+                    if f.corrupted {
+                        self.stats.corrupted.push(f.id);
+                    }
                     self.stats.delivered.push(Delivery {
                         packet: f.id,
                         at: t,
@@ -511,6 +641,107 @@ mod tests {
         assert_eq!(fast_elapsed, 5, "the started tick completes");
         assert_eq!(fast.stats().delivered.len(), 1, "one-hop packet delivered");
         assert_eq!(reference.delivered.len(), 1);
+    }
+
+    #[test]
+    fn link_script_drop_window_is_time_phased() {
+        // The same (src, dst) pair before, during, and after the drop
+        // window: only the in-window packet dies, and it dies as a drop
+        // (the link is not dead — the fault is transient).
+        let src_dst =
+            |n: &Network| (n.mesh().node_at(0, 0).unwrap(), n.mesh().node_at(1, 0).unwrap());
+        let mut n = net(Routing::Xy);
+        let (s, d) = src_dst(&n);
+        let from = s;
+        n.set_link_script(
+            LinkScript::new().fault(LinkFaultWindow {
+                link: LinkId { from, dir: Direction::East.into() },
+                window: Window::new(10, 20),
+                drop_rate: 1.0,
+                corrupt_rate: 0.0,
+                extra_delay: 0,
+            }),
+            7,
+        );
+        n.inject(s, d, 1); // crosses at cycle 1: before the window
+        n.drain(5);
+        assert_eq!(n.stats().delivered.len(), 1);
+        while n.now() < 14 {
+            n.tick(); // advance into the window
+        }
+        n.inject(s, d, 1); // crosses at cycle 15: inside the window
+        n.drain(3);
+        assert_eq!(n.stats().dropped.len(), 1);
+        assert!(!n.stats().dropped[0].dead_end, "scripted loss is not a dead end");
+        while n.now() < 25 {
+            n.tick(); // window over
+        }
+        n.inject(s, d, 1);
+        n.drain(5);
+        assert_eq!(n.stats().delivered.len(), 2, "healed link delivers again");
+    }
+
+    #[test]
+    fn link_script_corruption_delivers_but_is_recorded() {
+        let mut n = net(Routing::Xy);
+        let s = n.mesh().node_at(0, 0).unwrap();
+        let d = n.mesh().node_at(2, 0).unwrap();
+        n.set_link_script(
+            LinkScript::new().fault(LinkFaultWindow {
+                link: LinkId { from: s, dir: Direction::East.into() },
+                window: Window::ALWAYS,
+                drop_rate: 0.0,
+                corrupt_rate: 1.0,
+                extra_delay: 0,
+            }),
+            7,
+        );
+        let p = n.inject(s, d, 1);
+        n.drain(100);
+        assert_eq!(n.stats().delivered.len(), 1, "corruption does not stop delivery");
+        assert_eq!(n.stats().corrupted, vec![p], "the MAC layer must see this packet flagged");
+    }
+
+    #[test]
+    fn link_script_extra_delay_slows_the_scripted_link_only() {
+        let path = |script: Option<LinkScript>| {
+            let mut n = net(Routing::Xy);
+            let s = n.mesh().node_at(0, 0).unwrap();
+            let d = n.mesh().node_at(3, 0).unwrap();
+            if let Some(sc) = script {
+                n.set_link_script(sc, 7);
+            }
+            n.inject(s, d, 1);
+            n.drain(1000);
+            n.stats().delivered[0].latency
+        };
+        let clean = path(None);
+        let mid = Mesh2d::new(4, 4).node_at(1, 0).unwrap();
+        let slowed = path(Some(LinkScript::new().fault(LinkFaultWindow {
+            link: LinkId { from: mid, dir: Direction::East.into() },
+            window: Window::ALWAYS,
+            drop_rate: 0.0,
+            corrupt_rate: 0.0,
+            extra_delay: 9,
+        })));
+        assert_eq!(slowed, clean + 9, "one degraded hop adds exactly its extra delay");
+    }
+
+    #[test]
+    fn empty_link_script_changes_nothing() {
+        let run = |with_empty_script: bool| {
+            let mut n = net(Routing::Xy);
+            let s = n.mesh().node_at(0, 0).unwrap();
+            let d = n.mesh().node_at(3, 3).unwrap();
+            if with_empty_script {
+                n.set_link_script(LinkScript::new(), 99);
+            }
+            n.inject(s, d, 1);
+            n.inject(s, d, 1);
+            n.drain(1000);
+            n.stats().delivered.iter().map(|x| (x.packet.0, x.at, x.hops)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true), "disabled hooks must be invisible");
     }
 
     #[test]

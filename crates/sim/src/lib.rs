@@ -28,6 +28,7 @@
 
 pub mod engine;
 pub mod rng;
+pub mod script;
 pub mod slab;
 pub mod stats;
 pub mod time;
@@ -35,6 +36,7 @@ pub mod wheel;
 
 pub use engine::{Action, Engine};
 pub use rng::SimRng;
+pub use script::{PulseTrain, Window};
 pub use slab::Slab;
 pub use stats::{Counter, Histogram, OnlineStats, TimeSeries};
 pub use time::SimTime;

@@ -1,0 +1,190 @@
+//! Scripted event sources: deterministic, windowed pulse trains.
+//!
+//! Fault campaigns need event schedules that are *data*, not code — a DoS
+//! flood injecting every `period` cycles over a window, a replay attack
+//! firing bursts on a fixed cadence, a rejuvenation policy waking on a
+//! schedule. [`PulseTrain`] is the shared primitive: a half-open cycle
+//! window `[start, until)` ticked every `period` cycles, queryable both
+//! as an iterator of absolute times and point-wise (`first` /
+//! `next_after`) for event-driven engines that chain one wakeup at a
+//! time. Pure arithmetic, no RNG: the same train always yields the same
+//! schedule, which is what lets scenario sweeps run byte-identical under
+//! any `--jobs` count.
+
+/// A half-open cycle window `[from, until)` — the shared time-phasing
+/// primitive of every fault script (replica scripts, message-plane link
+/// faults, and the NoC's `LinkScript` all interpret windows through this
+/// one type, so their containment semantics cannot drift).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    /// First cycle the window is active.
+    pub from: u64,
+    /// First cycle the window is over (`u64::MAX` = never heals).
+    pub until: u64,
+}
+
+impl Window {
+    /// The always-active window.
+    pub const ALWAYS: Window = Window { from: 0, until: u64::MAX };
+
+    /// A window spanning `[from, until)`.
+    pub fn new(from: u64, until: u64) -> Self {
+        Window { from, until }
+    }
+
+    /// A window active from `from` onwards, never healing.
+    pub fn from(from: u64) -> Self {
+        Window { from, until: u64::MAX }
+    }
+
+    /// Whether `now` falls inside the window.
+    pub fn contains(&self, now: u64) -> bool {
+        now >= self.from && now < self.until
+    }
+
+    /// Whether the window is over by `now` (a `u64::MAX` window never is).
+    pub fn healed_by(&self, now: u64) -> bool {
+        self.until <= now
+    }
+}
+
+/// A deterministic pulse schedule: ticks at `start`, `start + period`,
+/// `start + 2·period`, … while strictly below `until`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PulseTrain {
+    /// First tick.
+    pub start: u64,
+    /// First cycle past the schedule (`u64::MAX` = unbounded).
+    pub until: u64,
+    /// Cycles between ticks (clamped to ≥ 1 on construction).
+    pub period: u64,
+}
+
+impl PulseTrain {
+    /// A train ticking every `period` cycles in `[start, until)`.
+    /// `period` is clamped to at least 1.
+    pub fn new(start: u64, until: u64, period: u64) -> Self {
+        PulseTrain { start, until, period: period.max(1) }
+    }
+
+    /// The first tick, if the window is non-empty.
+    pub fn first(&self) -> Option<u64> {
+        (self.start < self.until).then_some(self.start)
+    }
+
+    /// The earliest tick strictly after `t`, if any.
+    pub fn next_after(&self, t: u64) -> Option<u64> {
+        let next = if t < self.start {
+            self.start
+        } else {
+            // First multiple of `period` past `t`, anchored at `start`.
+            let elapsed = t - self.start;
+            self.start + (elapsed / self.period + 1) * self.period
+        };
+        (next < self.until).then_some(next)
+    }
+
+    /// Number of ticks the train fires in total.
+    pub fn len(&self) -> u64 {
+        if self.start >= self.until {
+            return 0;
+        }
+        (self.until - 1 - self.start) / self.period + 1
+    }
+
+    /// True when the train never fires.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.until
+    }
+
+    /// Iterates all tick times in order.
+    pub fn iter(&self) -> PulseIter {
+        PulseIter { train: *self, next: self.first() }
+    }
+}
+
+impl IntoIterator for PulseTrain {
+    type Item = u64;
+    type IntoIter = PulseIter;
+
+    fn into_iter(self) -> PulseIter {
+        self.iter()
+    }
+}
+
+/// Iterator over a [`PulseTrain`]'s tick times.
+#[derive(Debug, Clone)]
+pub struct PulseIter {
+    train: PulseTrain,
+    next: Option<u64>,
+}
+
+impl Iterator for PulseIter {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        let cur = self.next?;
+        self.next = self.train.next_after(cur);
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_contain_and_heal() {
+        let w = Window::new(10, 20);
+        assert!(!w.contains(9));
+        assert!(w.contains(10));
+        assert!(w.contains(19));
+        assert!(!w.contains(20));
+        assert!(!w.healed_by(19));
+        assert!(w.healed_by(20));
+        assert!(Window::ALWAYS.contains(u64::MAX - 1));
+        assert!(!Window::ALWAYS.healed_by(u64::MAX - 1));
+        assert!(Window::from(5).contains(5));
+        assert!(!Window::from(5).contains(4));
+    }
+
+    #[test]
+    fn ticks_cover_the_window() {
+        let t = PulseTrain::new(10, 50, 15);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![10, 25, 40]);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn point_queries_match_iteration() {
+        let t = PulseTrain::new(7, 100, 9);
+        let all: Vec<u64> = t.iter().collect();
+        assert_eq!(t.first(), Some(7));
+        for pair in all.windows(2) {
+            assert_eq!(t.next_after(pair[0]), Some(pair[1]));
+            // Any time strictly inside the gap resolves to the same tick.
+            assert_eq!(t.next_after(pair[1] - 1), Some(pair[1]));
+        }
+        assert_eq!(t.next_after(*all.last().unwrap()), None);
+        assert_eq!(t.next_after(0), Some(7), "before the window: first tick");
+        assert_eq!(all.len() as u64, t.len());
+    }
+
+    #[test]
+    fn empty_and_degenerate_windows() {
+        assert!(PulseTrain::new(5, 5, 10).is_empty());
+        assert_eq!(PulseTrain::new(5, 5, 10).first(), None);
+        assert_eq!(PulseTrain::new(9, 2, 1).len(), 0);
+        // period 0 clamps to 1 instead of looping forever.
+        let t = PulseTrain::new(0, 3, 0);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn single_tick_window() {
+        let t = PulseTrain::new(42, 43, 100);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![42]);
+        assert_eq!(t.next_after(42), None);
+    }
+}

@@ -280,6 +280,38 @@ mod tests {
     }
 
     #[test]
+    fn overflow_horizon_spill_keeps_time_then_push_seq_order() {
+        // Events scheduled beyond the 2^16-cycle horizon must spill to the
+        // overflow heap and still pop in exact (time, push-seq) order as
+        // the cursor crosses the horizon boundary — including events that
+        // straddle it (HORIZON - 1 rides the wheel, HORIZON and beyond
+        // ride the heap) and same-cycle pairs split across both paths.
+        let mut w: TimingWheel<u32> = TimingWheel::new();
+        // Interleave near and far pushes so push order and time order
+        // disagree everywhere around the boundary.
+        w.push(HORIZON + 1, 0); // overflow
+        w.push(HORIZON - 1, 1); // wheel (just inside)
+        w.push(2 * HORIZON + 3, 2); // overflow, far
+        w.push(HORIZON, 3); // overflow (exactly at the boundary)
+        w.push(1, 4); // wheel, earliest
+        w.push(HORIZON + 1, 5); // overflow, same cycle as id 0: FIFO by seq
+        assert_eq!(w.len(), 6);
+        assert_eq!(w.pop(), Some((1, 4)));
+        assert_eq!(w.pop(), Some((HORIZON - 1, 1)), "inside the horizon: wheel path");
+        assert_eq!(w.pop(), Some((HORIZON, 3)), "boundary cycle comes from the heap");
+        assert_eq!(w.pop(), Some((HORIZON + 1, 0)), "same-cycle overflow: push order");
+        assert_eq!(w.pop(), Some((HORIZON + 1, 5)));
+        // After crossing the boundary the cursor has advanced; a formerly
+        // far cycle is now near and lands on the wheel, behind the older
+        // overflow entry for the same cycle.
+        w.push(2 * HORIZON + 3, 6); // now within horizon of the cursor: wheel
+        assert_eq!(w.pop(), Some((2 * HORIZON + 3, 2)), "overflow entry is the older push");
+        assert_eq!(w.pop(), Some((2 * HORIZON + 3, 6)));
+        assert_eq!(w.pop(), None);
+        assert!(w.is_empty());
+    }
+
+    #[test]
     fn arena_slots_are_reused() {
         let mut w: TimingWheel<u64> = TimingWheel::new();
         for round in 0..100u64 {

@@ -1,0 +1,300 @@
+//! Integration tests for the adversarial scenario engine: composable
+//! time-phased fault scripts interpreted uniformly by the runner, judged
+//! by the safety/liveness oracle — the machinery under the `f5_scenarios`
+//! campaign, exercised here through the public facade.
+
+use manycore_resilience::bft::adversary::{
+    Flood, LinkFault, ReplaySpec, ReplicaScript, Scenario, ScenarioOracle, Window,
+};
+use manycore_resilience::bft::api::{Cluster, ReplicaNode};
+use manycore_resilience::bft::minbft::MinBftCluster;
+use manycore_resilience::bft::passive::PassiveCluster;
+use manycore_resilience::bft::pbft::PbftCluster;
+use manycore_resilience::bft::runner::{run, run_scenario, RunConfig};
+
+fn config(f: u32, clients: u32, reqs: u64, seed: u64) -> RunConfig {
+    RunConfig {
+        f,
+        clients,
+        requests_per_client: reqs,
+        seed,
+        max_cycles: 30_000_000,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn empty_scenario_is_bit_identical_to_plain_run() {
+    // The scenario hooks must be free when disabled: same committed count,
+    // same message count, same virtual duration — the whole trace.
+    let cfg = RunConfig { batch_size: 4, batch_flush: 80, ..config(1, 4, 8, 901) };
+    let plain = run(&mut PbftCluster::new(&cfg), &cfg);
+    let scripted = run_scenario(&mut PbftCluster::new(&cfg), &cfg, &Scenario::none());
+    assert_eq!(plain.committed, scripted.report.committed);
+    assert_eq!(plain.messages_total, scripted.report.messages_total);
+    assert_eq!(plain.messages_protocol, scripted.report.messages_protocol);
+    assert_eq!(plain.duration_cycles, scripted.report.duration_cycles);
+    assert_eq!(scripted.flood_requests + scripted.script_drops + scripted.replays, 0);
+}
+
+#[test]
+fn crash_recover_window_fails_over_and_passes_oracle() {
+    // The primary crashes for a window and comes back: the view change
+    // must depose it, the workload must finish, and the recovered replica
+    // must do no harm. Works identically for PBFT and MinBFT.
+    let cfg = config(1, 2, 6, 903);
+    let scenario =
+        Scenario::none().script(0, ReplicaScript::correct().crash(Window::new(100, 6_000)));
+
+    let mut pbft = PbftCluster::new(&cfg);
+    let out = run_scenario(&mut pbft, &cfg, &scenario);
+    let verdict = ScenarioOracle::expecting_liveness().judge(&pbft, &out.report, 12);
+    assert!(verdict.pass(), "pbft: {verdict:?}");
+    assert!(pbft.nodes()[1].view() >= 1, "crash window must trigger a view change");
+
+    let mut minbft = MinBftCluster::new(&cfg);
+    let out = run_scenario(&mut minbft, &cfg, &scenario);
+    let verdict = ScenarioOracle::expecting_liveness().judge(&minbft, &out.report, 12);
+    assert!(verdict.pass(), "minbft: {verdict:?}");
+}
+
+#[test]
+fn passive_failover_from_scripted_crash_window() {
+    let cfg = config(1, 1, 8, 905);
+    let scenario = Scenario::none().script(0, ReplicaScript::correct().crash(Window::from(120)));
+    let mut cluster = PassiveCluster::new(&cfg);
+    let out = run_scenario(&mut cluster, &cfg, &scenario);
+    let verdict = ScenarioOracle::expecting_liveness().judge(&cluster, &out.report, 8);
+    assert!(verdict.pass(), "{verdict:?}");
+    assert!(cluster.nodes()[1].is_primary(), "backup must have promoted itself");
+}
+
+#[test]
+fn recovered_backup_can_still_fail_over() {
+    // Composition regression: the backup's detector timer fires *inside*
+    // its own crash window (chain swallowed), and the primary dies later.
+    // Recovery must revive the self-re-arming detector chain, or the
+    // composed scenario — each fault individually tolerated — loses
+    // liveness forever.
+    let cfg = config(1, 1, 100, 923);
+    let scenario = Scenario::none()
+        .script(1, ReplicaScript::correct().crash(Window::new(300, 900)))
+        .script(0, ReplicaScript::correct().crash(Window::from(1_200)));
+    let mut cluster = PassiveCluster::new(&cfg);
+    let out = run_scenario(&mut cluster, &cfg, &scenario);
+    let verdict = ScenarioOracle::expecting_liveness().judge(&cluster, &out.report, 100);
+    assert!(verdict.pass(), "{verdict:?}");
+    assert_eq!(cluster.nodes()[1].failovers(), 1, "revived detector must promote the backup");
+    assert!(cluster.nodes()[1].is_primary());
+}
+
+#[test]
+fn healed_partition_restores_liveness_and_keeps_prefix_safety() {
+    // Isolate one PBFT backup for a window: the quorum keeps committing,
+    // the isolated replica's log stays a (possibly shorter) prefix, and
+    // the oracle passes with liveness expected.
+    let cfg = config(1, 2, 8, 907);
+    let scenario = Scenario::none().partition(vec![3], Window::new(300, 4_000));
+    let mut cluster = PbftCluster::new(&cfg);
+    let out = run_scenario(&mut cluster, &cfg, &scenario);
+    assert!(out.script_drops > 0, "the partition must actually sever traffic");
+    let verdict = ScenarioOracle::expecting_liveness().judge(&cluster, &out.report, 16);
+    assert!(verdict.pass(), "{verdict:?}");
+    let full = cluster.nodes()[0].committed_log().len();
+    assert_eq!(full, 16);
+    assert!(cluster.nodes()[3].committed_log().len() <= full);
+}
+
+#[test]
+fn dos_flood_consumes_capacity_but_workload_commits() {
+    let cfg = RunConfig { batch_size: 4, batch_flush: 80, ..config(1, 2, 6, 909) };
+    let scenario = Scenario::none().flood(Flood {
+        window: Window::new(100, 2_000),
+        period: 50,
+        payload_size: 16,
+    });
+    for protocol in 0..3u8 {
+        let (verdict, flood_requests, digests_agree) = match protocol {
+            0 => {
+                let mut c = PbftCluster::new(&cfg);
+                let out = run_scenario(&mut c, &cfg, &scenario);
+                let v = ScenarioOracle::expecting_liveness().judge(&c, &out.report, 12);
+                let d = c.nodes()[0].state_digest() == c.nodes()[1].state_digest();
+                (v, out.flood_requests, d)
+            }
+            1 => {
+                let mut c = MinBftCluster::new(&cfg);
+                let out = run_scenario(&mut c, &cfg, &scenario);
+                let v = ScenarioOracle::expecting_liveness().judge(&c, &out.report, 12);
+                let d = c.nodes()[0].state_digest() == c.nodes()[1].state_digest();
+                (v, out.flood_requests, d)
+            }
+            _ => {
+                let mut c = PassiveCluster::new(&cfg);
+                let out = run_scenario(&mut c, &cfg, &scenario);
+                let v = ScenarioOracle::expecting_liveness().judge(&c, &out.report, 12);
+                let d = c.nodes()[0].state_digest() == c.nodes()[1].state_digest();
+                (v, out.flood_requests, d)
+            }
+        };
+        assert!(verdict.pass(), "protocol {protocol}: {verdict:?}");
+        assert!(flood_requests >= 5, "protocol {protocol}: flood too small ({flood_requests})");
+        assert!(digests_agree, "protocol {protocol}: flood ops must replicate identically");
+    }
+}
+
+#[test]
+fn duplicated_sends_stay_exactly_once() {
+    let cfg = config(1, 2, 6, 911);
+    let all_duplicating = |n: u32| {
+        let mut s = Scenario::none();
+        for r in 0..n {
+            s = s.script(r, ReplicaScript::correct().duplicate_sends(Window::ALWAYS));
+        }
+        s
+    };
+    let mut cluster = MinBftCluster::new(&cfg);
+    let out = run_scenario(&mut cluster, &cfg, &all_duplicating(3));
+    assert!(out.duplicates > 0);
+    let verdict = ScenarioOracle::expecting_liveness().judge(&cluster, &out.report, 12);
+    assert!(verdict.pass(), "{verdict:?}");
+    for node in cluster.nodes() {
+        assert_eq!(node.committed_log().len(), 12, "exactly-once under duplication");
+    }
+}
+
+#[test]
+fn reordered_bursts_are_absorbed_by_holdback() {
+    // Reverse every outbox burst of every replica: MinBFT's per-sender
+    // USIG contiguity window must reorder them back; PBFT's vote tallies
+    // are order-insensitive.
+    let cfg = config(1, 2, 6, 913);
+    for pbft in [true, false] {
+        let mut s = Scenario::none();
+        let n = if pbft { 4 } else { 3 };
+        for r in 0..n {
+            s = s.script(r, ReplicaScript::correct().reorder_sends(Window::ALWAYS));
+        }
+        let verdict = if pbft {
+            let mut c = PbftCluster::new(&cfg);
+            let out = run_scenario(&mut c, &cfg, &s);
+            ScenarioOracle::expecting_liveness().judge(&c, &out.report, 12)
+        } else {
+            let mut c = MinBftCluster::new(&cfg);
+            let out = run_scenario(&mut c, &cfg, &s);
+            ScenarioOracle::expecting_liveness().judge(&c, &out.report, 12)
+        };
+        assert!(verdict.pass(), "pbft={pbft}: {verdict:?}");
+    }
+}
+
+#[test]
+fn stale_replay_is_rejected_by_every_protocol() {
+    let cfg = RunConfig { batch_size: 2, batch_flush: 60, ..config(1, 2, 8, 915) };
+    // The window must open while the workload is still running (a batch=2
+    // run of 16 ops lasts ~600 cycles) or nothing gets replayed.
+    let replay = ReplicaScript::correct().replay_sends(ReplaySpec {
+        window: Window::new(250, 3_000),
+        period: 40,
+        burst: 3,
+    });
+    // PBFT: replayed pre-prepares/commits for retired slots are inert.
+    let mut pbft = PbftCluster::new(&cfg);
+    let out = run_scenario(&mut pbft, &cfg, &Scenario::none().script(0, replay.clone()));
+    assert!(out.replays > 0, "the attack must actually inject stale messages");
+    let verdict = ScenarioOracle::expecting_liveness().judge(&pbft, &out.report, 16);
+    assert!(verdict.pass(), "pbft: {verdict:?}");
+    for node in pbft.nodes() {
+        assert_eq!(node.committed_log().len(), 16, "replay must not re-execute");
+    }
+    // MinBFT: replayed (consumed) USIG counters are dropped at ingest.
+    let mut minbft = MinBftCluster::new(&cfg);
+    let out = run_scenario(&mut minbft, &cfg, &Scenario::none().script(0, replay.clone()));
+    assert!(out.replays > 0);
+    let verdict = ScenarioOracle::expecting_liveness().judge(&minbft, &out.report, 16);
+    assert!(verdict.pass(), "minbft: {verdict:?}");
+    for node in minbft.nodes() {
+        assert_eq!(node.committed_log().len(), 16);
+    }
+    // Passive: replayed state updates fall below the backup's watermark.
+    let mut passive = PassiveCluster::new(&cfg);
+    let out = run_scenario(&mut passive, &cfg, &Scenario::none().script(0, replay));
+    let verdict = ScenarioOracle::expecting_liveness().judge(&passive, &out.report, 16);
+    assert!(verdict.pass(), "passive: {verdict:?}");
+    assert_eq!(passive.nodes()[1].committed_log().len(), 16);
+}
+
+#[test]
+fn degraded_links_slow_but_do_not_stall() {
+    let cfg = config(1, 2, 6, 917);
+    let scenario = Scenario::none().link_fault(LinkFault {
+        source: Some(0),
+        dest: None,
+        window: Window::new(100, 2_500),
+        drop_rate: 0.2,
+        extra_delay: 120,
+    });
+    let mut cluster = PbftCluster::new(&cfg);
+    let out = run_scenario(&mut cluster, &cfg, &scenario);
+    let verdict = ScenarioOracle::expecting_liveness().judge(&cluster, &out.report, 12);
+    assert!(verdict.pass(), "{verdict:?}");
+    assert!(out.script_drops > 0, "the fault must actually drop messages");
+    let healthy = run(&mut PbftCluster::new(&cfg), &cfg);
+    assert!(
+        out.report.duration_cycles > healthy.duration_cycles,
+        "degradation must cost virtual time: {} vs {}",
+        out.report.duration_cycles,
+        healthy.duration_cycles
+    );
+}
+
+#[test]
+fn byzantine_window_is_judged_safe_and_live() {
+    // An equivocation window on the initial primary: safety must hold,
+    // the view change restores liveness, and the oracle's digest check
+    // compares only the correct replicas.
+    let cfg = config(1, 2, 6, 919);
+    let scenario = Scenario::none().script(
+        0,
+        ReplicaScript::correct().equivocate(Window::new(0, 2_000)).forge_ui(Window::new(0, 2_000)),
+    );
+    let mut pbft = PbftCluster::new(&cfg);
+    let out = run_scenario(&mut pbft, &cfg, &scenario.clone());
+    let verdict = ScenarioOracle::expecting_liveness().judge(&pbft, &out.report, 12);
+    assert!(verdict.pass(), "pbft: {verdict:?}");
+    assert_eq!(pbft.correct_replicas().len(), 3, "the attacker is excluded from checks");
+
+    let mut minbft = MinBftCluster::new(&cfg);
+    let out = run_scenario(&mut minbft, &cfg, &scenario);
+    let verdict = ScenarioOracle::expecting_liveness().judge(&minbft, &out.report, 12);
+    assert!(verdict.pass(), "minbft: {verdict:?}");
+    assert_eq!(minbft.correct_replicas().len(), 2);
+}
+
+#[test]
+fn scenario_runs_are_deterministic() {
+    let cfg = RunConfig { batch_size: 4, batch_flush: 80, ..config(1, 4, 6, 921) };
+    let scenario = Scenario::none()
+        .script(0, ReplicaScript::correct().crash(Window::new(200, 3_000)))
+        .partition(vec![2], Window::new(500, 2_500))
+        .flood(Flood { window: Window::new(100, 1_500), period: 70, payload_size: 16 })
+        .link_fault(LinkFault {
+            source: None,
+            dest: Some(1),
+            window: Window::new(50, 4_000),
+            drop_rate: 0.1,
+            extra_delay: 15,
+        });
+    let run_once = || {
+        let mut c = PbftCluster::new(&cfg);
+        let out = run_scenario(&mut c, &cfg, &scenario);
+        (
+            out.report.committed,
+            out.report.messages_total,
+            out.report.duration_cycles,
+            out.flood_requests,
+            out.script_drops,
+        )
+    };
+    assert_eq!(run_once(), run_once(), "identical scenario, identical trace");
+}

@@ -433,6 +433,94 @@ proptest! {
     }
 }
 
+// ---------------- dense-state churn equivalence (PR 5) ----------------
+//
+// The open-addressed `OpIndex` must behave exactly like a `BTreeMap`
+// reference model under *adversarial churn*: random interleavings of
+// insert / overwrite / remove / lookup, including the regimes the
+// PR 4 unit tests only probe pointwise — probe chains running through
+// tombstones, tombstone graves being reused by later inserts, and a
+// growth rehash landing while graves are still outstanding
+// (tombstone-reuse-then-rehash). After every batch the full canonical
+// view and every individual lookup must agree with the model.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn op_index_churn_matches_btreemap_reference(
+        ops in proptest::collection::vec((any::<u8>(), any::<u32>(), any::<u64>()), 1..400),
+        rehash_burst in 0usize..200,
+    ) {
+        use manycore_resilience::bft::api::{ClientId, OpId};
+        use manycore_resilience::bft::dense::OpIndex;
+        use std::collections::BTreeMap;
+
+        let key = |c: u32, s: u64| OpId { client: ClientId(c % 7), seq: s % 97 };
+        let mut dense: OpIndex<u64> = OpIndex::new();
+        let mut model: BTreeMap<(u32, u64), u64> = BTreeMap::new();
+
+        let check_key = |dense: &OpIndex<u64>, model: &BTreeMap<(u32, u64), u64>, k: OpId| {
+            let m = model.get(&(k.client.0, k.seq)).copied();
+            prop_assert_eq!(dense.get(&k).copied(), m, "lookup diverged at {:?}", k);
+            prop_assert_eq!(dense.contains_key(&k), m.is_some());
+            Ok(())
+        };
+
+        for (i, &(kind, c, s)) in ops.iter().enumerate() {
+            let k = key(c, s);
+            match kind % 4 {
+                // Insert / overwrite (reuses the first grave on the chain).
+                0 | 1 => {
+                    let old_dense = dense.insert(k, i as u64);
+                    let old_model = model.insert((k.client.0, k.seq), i as u64);
+                    prop_assert_eq!(old_dense, old_model, "displaced value diverged");
+                }
+                // Remove (leaves a tombstone in the dense table).
+                2 => {
+                    let got = dense.remove(&k);
+                    let want = model.remove(&(k.client.0, k.seq));
+                    prop_assert_eq!(got, want, "removed value diverged");
+                }
+                // Lookup-only step.
+                _ => check_key(&dense, &model, k)?,
+            }
+            prop_assert_eq!(dense.len(), model.len(), "len diverged at step {}", i);
+        }
+
+        // Tombstone-reuse-then-rehash interleaving: carve graves into the
+        // current table, refill some (grave reuse), then slam in a burst
+        // large enough to force a growth rehash while graves remain.
+        let keys: Vec<OpId> = model.keys().map(|&(c, s)| OpId { client: ClientId(c), seq: s }).collect();
+        for (j, k) in keys.iter().enumerate() {
+            if j % 3 == 0 {
+                prop_assert_eq!(dense.remove(k).is_some(), model.remove(&(k.client.0, k.seq)).is_some());
+            }
+        }
+        for (j, k) in keys.iter().enumerate() {
+            if j % 6 == 0 {
+                dense.insert(*k, 7_000 + j as u64);
+                model.insert((k.client.0, k.seq), 7_000 + j as u64);
+            }
+        }
+        for j in 0..rehash_burst {
+            let k = OpId { client: ClientId(1_000 + (j % 5) as u32), seq: j as u64 };
+            dense.insert(k, j as u64);
+            model.insert((k.client.0, k.seq), j as u64);
+        }
+
+        // Full-state equivalence: canonical iteration equals the model's
+        // sorted order, and every key (live or dead) resolves identically.
+        let canon: Vec<(u32, u64, u64)> =
+            dense.iter_canonical().iter().map(|(k, v)| (k.client.0, k.seq, **v)).collect();
+        let want: Vec<(u32, u64, u64)> = model.iter().map(|(&(c, s), &v)| (c, s, v)).collect();
+        prop_assert_eq!(canon, want, "canonical views diverged after churn");
+        for k in keys {
+            check_key(&dense, &model, k)?;
+        }
+        prop_assert_eq!(dense.len(), model.len());
+    }
+}
+
 // ---------------- dense-state slot GC (PR 4) ----------------
 //
 // The dense rework anchors each replica's agreement slots in a window at
