@@ -50,6 +50,14 @@ fn load_rows(path: &str) -> Result<Vec<Value>, String> {
     Ok(rows.clone())
 }
 
+/// Usage errors are reported on stderr with exit 2 — never a panic: the
+/// gate's exit codes are part of its CI contract (a panic's 101 would be
+/// indistinguishable from a crash).
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
 fn main() {
     let mut baseline_path = None;
     let mut current_path = None;
@@ -58,19 +66,20 @@ fn main() {
     let mut tolerance = 0.15f64;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        let mut take = |name: &str| args.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        let mut take = |name: &str| {
+            args.next().unwrap_or_else(|| usage_error(&format!("{name} needs a value")))
+        };
         match a.as_str() {
             "--baseline" => baseline_path = Some(take("--baseline")),
             "--current" => current_path = Some(take("--current")),
             "--metric" => metric = take("--metric"),
             "--lower-metric" => lower_metric = Some(take("--lower-metric")),
             "--tolerance" => {
-                tolerance = take("--tolerance").parse().expect("--tolerance must be a float")
+                tolerance = take("--tolerance")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--tolerance must be a float"))
             }
-            other => {
-                eprintln!("unknown argument: {other}");
-                std::process::exit(2);
-            }
+            other => usage_error(&format!("unknown argument: {other}")),
         }
     }
     let (Some(baseline_path), Some(current_path)) = (baseline_path, current_path) else {
@@ -155,4 +164,52 @@ fn main() {
         std::process::exit(1);
     }
     println!("all {} cells within band", baseline.len());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("check_regression_{}_{name}", std::process::id()));
+        std::fs::write(&path, contents).expect("write temp fixture");
+        path
+    }
+
+    #[test]
+    fn truncated_json_is_an_error_not_a_panic() {
+        // A partially written record (interrupted bench run, truncated
+        // artifact download) must surface as Err so main exits 2.
+        let path = write_temp("truncated.json", r#"{"rows": [{"protocol": "pbft", "ops_per"#);
+        let err = load_rows(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("parse"), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_rows_array_is_an_error() {
+        let path = write_temp("norows.json", r#"{"meta": "no rows here"}"#);
+        let err = load_rows(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("no rows array"), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn unreadable_path_is_an_error() {
+        let err = load_rows("/nonexistent/definitely_missing.json").unwrap_err();
+        assert!(err.contains("read"), "{err}");
+    }
+
+    #[test]
+    fn well_formed_record_loads_rows() {
+        let path = write_temp(
+            "good.json",
+            r#"{"rows": [{"protocol": "pbft", "batch_size": 8, "ops_per_kcycle": 1.5}]}"#,
+        );
+        let rows = load_rows(path.to_str().unwrap()).expect("well-formed record");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(row_key(&rows[0]), "protocol=pbft batch_size=8");
+        std::fs::remove_file(path).ok();
+    }
 }

@@ -9,7 +9,8 @@
 //! steady-state cost, median latency, and worst-case (failover) latency.
 
 use rsoc_bench::{f1, ExpOptions, Table};
-use rsoc_bft::behavior::Behavior;
+use rsoc_bft::adversary::Behavior;
+use rsoc_bft::api::Cluster;
 use rsoc_bft::minbft::MinBftCluster;
 use rsoc_bft::passive::PassiveCluster;
 use rsoc_bft::runner::{run, RunConfig};
@@ -63,7 +64,7 @@ fn main() {
         match *cell {
             Cell::Passive { detect } => {
                 let mut cluster = PassiveCluster::with_detector(detect / 4, detect);
-                cluster.set_behavior(ReplicaId(0), Behavior::CrashAt(crash_at));
+                cluster.set_script(ReplicaId(0), Behavior::CrashAt(crash_at).into());
                 run(&mut cluster, &config)
             }
             Cell::MinBft { crash_primary } => {
@@ -71,7 +72,7 @@ fn main() {
                 // A crashed backup is pure masking; a crashed primary is
                 // a view change bounded by the request patience.
                 let victim = if crash_primary { ReplicaId(0) } else { ReplicaId(2) };
-                cluster.set_behavior(victim, Behavior::CrashAt(crash_at));
+                cluster.set_script(victim, Behavior::CrashAt(crash_at).into());
                 run(&mut cluster, &config)
             }
         }

@@ -31,13 +31,44 @@
 //! BENCH_2/3/4 records regenerate unchanged — asserted in CI).
 
 use crate::api::{Cluster, ReplicaNode};
-use crate::behavior::Behavior;
 use crate::runner::RunReport;
 use rsoc_sim::PulseTrain;
 // The time-phasing primitive is shared with the NoC's `LinkScript` via
 // `rsoc_sim`, so window-containment semantics cannot drift between the
 // message-plane and packet-plane fault interpreters.
 pub use rsoc_sim::Window;
+
+/// Named one-fault presets (§I: benign *and* malicious/Byzantine faults)
+/// kept for ergonomic scenario setup. Each preset lowers to a one-window
+/// [`ReplicaScript`] via `From`, and the protocols interpret only
+/// scripts — install one with
+/// [`Cluster::set_script`]`(id, Behavior::Silent.into())`. Content
+/// attacks (equivocation, UI forgery) are still realized per protocol:
+/// an "equivocating" PBFT primary actually sends conflicting
+/// pre-prepares, and a MinBFT attacker actually fabricates USIG
+/// certificates (which then fail verification — the hybrid at work).
+///
+/// (Folded in from the former `behavior` module: the preset enum now
+/// lives next to the script engine it lowers onto, and the deprecated
+/// `set_behavior` cluster shim is gone.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Behavior {
+    /// Follows the protocol.
+    #[default]
+    Correct,
+    /// Crashed from the start: ignores everything, sends nothing.
+    Crashed,
+    /// Crashes at the given virtual time (benign fail-stop).
+    CrashAt(u64),
+    /// Receives but never sends (omission fault / kill-switch silence).
+    Silent,
+    /// Byzantine: when primary, sends conflicting proposals to different
+    /// backups; when backup, votes for bogus digests.
+    Equivocate,
+    /// Byzantine (MinBFT-specific): attempts to reuse a USIG counter by
+    /// forging a certificate for a second conflicting message.
+    ForgeUi,
+}
 
 /// A stale-message replay schedule: while the window is active, every
 /// `period` cycles the network re-injects up to `burst` of the replica's
@@ -216,8 +247,8 @@ impl ReplicaScript {
 }
 
 impl From<Behavior> for ReplicaScript {
-    /// Every legacy preset is a one-window script; `set_behavior` keeps
-    /// working unchanged on top of the script engine.
+    /// Every preset is a one-window script; the lowering is lossless, so
+    /// preset-driven runs are bit-identical to their scripted spelling.
     fn from(b: Behavior) -> Self {
         let s = ReplicaScript::correct();
         match b {

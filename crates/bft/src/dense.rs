@@ -118,6 +118,9 @@ impl<T> SeqWindow<T> {
         !self.ring.is_empty() && seq >= self.base && seq - self.base < self.ring.len() as u64
     }
 
+    // The window probe path runs once per protocol message; `rsoc_lint`
+    // keeps it allocation-free (growth lives in `grow_for`, off-path).
+    // lint: hot-path
     /// Shared-ref lookup; `None` for vacant or retired keys.
     pub fn get(&self, seq: u64) -> Option<&T> {
         if !self.in_window(seq) {
@@ -187,6 +190,7 @@ impl<T> SeqWindow<T> {
         }
         slot.as_mut()
     }
+    // lint: end
 
     /// Advances the watermark to `new_base`, dropping every entry below it.
     /// A watermark never moves backwards.
@@ -328,6 +332,9 @@ impl<V> OpIndex<V> {
         }
     }
 
+    // The probe chains run once per request lookup; `rsoc_lint` keeps
+    // them allocation-free (growth lives in `rehash_to`, off-path).
+    // lint: hot-path
     /// Index of `op`'s bucket if present.
     fn find(&self, op: OpId) -> Option<usize> {
         if self.buckets.is_empty() {
@@ -412,6 +419,8 @@ impl<V> OpIndex<V> {
             _ => unreachable!("find returns full buckets"),
         }
     }
+
+    // lint: end
 
     /// Iterates live `(OpId, &V)` entries in *table* order — deterministic
     /// for a given operation history, but NOT canonical. Callers whose

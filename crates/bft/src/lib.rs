@@ -17,11 +17,10 @@
 //!   anchored in the [`rsoc_hybrid::Usig`] trusted component;
 //! * [`passive`] — primary-backup (passive) replication with a heartbeat
 //!   failure detector — cheap but with a visible failover window;
-//! * [`behavior`] — named one-fault presets (crash, silence, equivocation,
-//!   UI forgery);
 //! * [`adversary`] — composable, time-phased fault scripts (crash/recover
-//!   windows, partitions, link degradation, DoS floods, stale replay) and
-//!   the safety/liveness [`adversary::ScenarioOracle`];
+//!   windows, partitions, link degradation, DoS floods, stale replay),
+//!   the named one-fault [`adversary::Behavior`] presets that lower onto
+//!   them, and the safety/liveness [`adversary::ScenarioOracle`];
 //! * [`runner`] — the closed-loop client harness, latency models, message
 //!   accounting, the cross-replica safety checker, and the scenario
 //!   interpreter ([`runner::run_scenario`]).
@@ -32,13 +31,14 @@
 //! ## Example: MinBFT committing under a Byzantine backup
 //!
 //! ```
-//! use rsoc_bft::behavior::Behavior;
+//! use rsoc_bft::adversary::Behavior;
+//! use rsoc_bft::api::Cluster;
 //! use rsoc_bft::minbft::MinBftCluster;
 //! use rsoc_bft::runner::{RunConfig, run};
 //!
 //! let config = RunConfig { f: 1, clients: 2, requests_per_client: 5, seed: 42, ..Default::default() };
 //! let mut cluster = MinBftCluster::new(&config);
-//! cluster.set_behavior(rsoc_bft::api::ReplicaId(2), Behavior::Silent);
+//! cluster.set_script(rsoc_bft::api::ReplicaId(2), Behavior::Silent.into());
 //! let report = run(&mut cluster, &config);
 //! assert!(report.safety_ok);
 //! assert_eq!(report.committed, 10);
@@ -46,7 +46,6 @@
 
 pub mod adversary;
 pub mod api;
-pub mod behavior;
 pub mod broadcast;
 pub mod dense;
 pub mod minbft;
@@ -56,10 +55,9 @@ pub mod runner;
 pub mod statemachine;
 
 pub use adversary::{
-    Flood, LinkFault, OracleVerdict, Partition, ReplaySpec, ReplicaScript, Scenario,
+    Behavior, Flood, LinkFault, OracleVerdict, Partition, ReplaySpec, ReplicaScript, Scenario,
     ScenarioOracle, Window,
 };
 pub use api::{ClientId, LogEntry, OpId, ReplicaId, Reply, Request};
-pub use behavior::Behavior;
 pub use runner::{run, run_scenario, RunConfig, RunReport, ScenarioOutcome};
 pub use statemachine::{CounterMachine, KvStore, StateMachine};

@@ -23,7 +23,6 @@ use crate::api::{
     noop_batch, Batch, BatchDecision, Batcher, Cluster, Endpoint, Input, LogEntry, OpId, Outbox,
     ReplicaId, ReplicaNode, Reply, Request, VcRound,
 };
-use crate::behavior::Behavior;
 use crate::dense::{op_token, token_op, OpIndex, ReplicaSet, SeqWindow};
 use crate::runner::RunConfig;
 use crate::statemachine::{KvStore, StateMachine};
@@ -291,11 +290,6 @@ impl MinBftReplica {
         (self.usig.issued(), self.usig.verified())
     }
 
-    /// Sets this replica's behaviour from a one-fault preset.
-    pub fn set_behavior(&mut self, behavior: Behavior) {
-        self.script = behavior.into();
-    }
-
     /// Installs a composable, time-phased fault script.
     pub fn set_script(&mut self, script: ReplicaScript) {
         self.script = script;
@@ -343,6 +337,11 @@ impl MinBftReplica {
     /// [`Self::take_ready`]. Buffering a counter gap emits a rate-limited
     /// [`MinBftMsg::FillGap`] so a *lost* message (the channels are not
     /// reliable) cannot poison the sender's stream forever.
+    // Everything below is reachable from adversarial input: a Byzantine
+    // peer (or a forged client) picks the message contents, so a panic
+    // here is a remote crash. `rsoc_lint` enforces the no-panic contract;
+    // the reasoned allows mark invariants the window/USIG layer holds.
+    // lint: ingress
     fn ingest_ui(
         &mut self,
         sender: ReplicaId,
@@ -355,16 +354,21 @@ impl MinBftReplica {
             return false; // forged or corrupted certificate
         }
         let s = sender.0 as usize;
+        // bounds: verify_ui above rejects senders without a ring key, so
+        // s < n for every line that indexes the per-sender arrays here.
         let last = self.accepted[s];
         match ui.counter.cmp(&(last + 1)) {
             std::cmp::Ordering::Equal => {
-                self.accepted[s] = ui.counter;
-                self.ingress[s].retire_below(ui.counter + 1);
+                self.accepted[s] = ui.counter; // bounds: s < n (verify_ui)
+                self.ingress[s].retire_below(ui.counter + 1); // bounds: s < n (verify_ui)
                 true
             }
             std::cmp::Ordering::Greater => {
+                // bounds: s < n (verify_ui)
                 self.ingress[s].insert(ui.counter, msg.clone());
+                // bounds: s < n (verify_ui)
                 if self.now >= self.gap_req_at[s].saturating_add(GAP_REQ_BACKOFF) {
+                    // bounds: s < n (verify_ui)
                     self.gap_req_at[s] = self.now;
                     out.send(
                         Endpoint::Replica(sender),
@@ -386,9 +390,13 @@ impl MinBftReplica {
     /// (ascending sender order, matching the old map-keyed scan).
     fn take_ready(&mut self) -> Option<MinBftMsg> {
         for s in 0..self.ingress.len() {
+            // bounds: s iterates 0..len; accepted/ingress share length n
             let next = self.accepted[s] + 1;
+            // bounds: s iterates 0..len
             if let Some(msg) = self.ingress[s].remove(next) {
+                // bounds: s iterates 0..len
                 self.accepted[s] = next;
+                // bounds: s iterates 0..len
                 self.ingress[s].retire_below(next + 1);
                 return Some(msg);
             }
@@ -458,6 +466,7 @@ impl MinBftReplica {
         self.stored_prepares.insert(seq, prep.clone());
         self.record_sent(ui.counter, prep.clone());
         let me = self.id;
+        // lint: allow(ingress-expect) -- seq is freshly drawn from next_seq, strictly above exec_upto
         let slot = self.slots.get_or_insert_default(seq).expect("fresh seq is above watermark");
         slot.batch = Some(batch);
         slot.digest = Some(digest);
@@ -500,6 +509,7 @@ impl MinBftReplica {
             out.send(Endpoint::Replica(ReplicaId(i)), msg);
         }
         let me = self.id;
+        // lint: allow(ingress-expect) -- seq is freshly drawn from next_seq, strictly above exec_upto
         let slot = self.slots.get_or_insert_default(seq).expect("fresh seq is above watermark");
         slot.batch = Some(batch);
         slot.digest = Some(digest);
@@ -537,6 +547,7 @@ impl MinBftReplica {
         for r in batch.requests() {
             self.assigned.insert(r.op, seq);
         }
+        // lint: allow(ingress-expect) -- get_or_insert_default above returned Some for this seq
         let slot = self.slots.get_mut(seq).expect("slot just ensured");
         slot.batch = Some(batch.clone());
         slot.digest = Some(digest);
@@ -612,8 +623,11 @@ impl MinBftReplica {
             }
             // Execution consumes the slot; the watermark retirement below
             // makes the sequence number permanently dead.
+            // lint: allow(ingress-expect) -- `ready` above proved the slot exists in the window
             let slot = self.slots.remove(next).expect("checked");
+            // lint: allow(ingress-expect) -- `ready` above proved batch.is_some()
             let batch = slot.batch.expect("checked");
+            // lint: allow(ingress-expect) -- the digest is stored alongside the batch, never alone
             let digest = slot.digest.expect("digest follows batch");
             self.exec_upto = next;
             // Per-request log entries (dense global sequence) out of one
@@ -655,6 +669,7 @@ impl MinBftReplica {
                 self.vc_votes.len() - 1
             }
         };
+        // bounds: idx is either a position() hit or the just-pushed last element
         &mut self.vc_votes[idx]
     }
 
@@ -786,6 +801,7 @@ impl MinBftReplica {
                 self.assigned.insert(r.op, seq);
             }
             let me = self.id;
+            // lint: allow(ingress-expect) -- is_retired() continued the loop just above
             let slot = self.slots.get_or_insert_default(seq).expect("not retired");
             // Reset stale votes from the old view.
             slot.commits.clear();
@@ -960,8 +976,11 @@ impl MinBftReplica {
             }
         }
     }
+    // lint: end
 }
 
+// The node-facing input surface: every simulator event enters here.
+// lint: ingress
 impl ReplicaNode for MinBftReplica {
     type Msg = MinBftMsg;
 
@@ -1022,6 +1041,7 @@ impl ReplicaNode for MinBftReplica {
         self.view
     }
 }
+// lint: end
 
 /// A MinBFT cluster of `2f+1` replicas sharing a provisioned key ring.
 #[derive(Debug)]
@@ -1054,14 +1074,6 @@ impl MinBftCluster {
                 .collect(),
             f: config.f,
         }
-    }
-
-    /// Overrides one replica's behaviour.
-    ///
-    /// # Panics
-    /// Panics if `id` is out of range.
-    pub fn set_behavior(&mut self, id: ReplicaId, behavior: Behavior) {
-        self.nodes[id.0 as usize].set_behavior(behavior);
     }
 
     /// Fault threshold.
@@ -1101,6 +1113,7 @@ impl Cluster for MinBftCluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::adversary::Behavior;
     use crate::runner::{run, RunConfig};
 
     fn config(f: u32, clients: u32, reqs: u64, seed: u64) -> RunConfig {
@@ -1200,7 +1213,7 @@ mod tests {
             ..config(1, 4, 4, 73)
         };
         let mut cluster = MinBftCluster::new(&cfg);
-        cluster.set_behavior(ReplicaId(0), Behavior::ForgeUi);
+        cluster.set_script(ReplicaId(0), Behavior::ForgeUi.into());
         let report = run(&mut cluster, &cfg);
         assert!(report.safety_ok, "forged batch certificates must not split logs");
         assert_eq!(report.committed, 16);
@@ -1210,7 +1223,7 @@ mod tests {
     fn tolerates_silent_backup() {
         let cfg = config(1, 1, 10, 25);
         let mut cluster = MinBftCluster::new(&cfg);
-        cluster.set_behavior(ReplicaId(2), Behavior::Silent);
+        cluster.set_script(ReplicaId(2), Behavior::Silent.into());
         let report = run(&mut cluster, &cfg);
         assert_eq!(report.committed, 10);
         assert!(report.safety_ok);
@@ -1220,7 +1233,7 @@ mod tests {
     fn primary_crash_recovers_via_view_change() {
         let cfg = RunConfig { max_cycles: 8_000_000, ..config(1, 1, 8, 27) };
         let mut cluster = MinBftCluster::new(&cfg);
-        cluster.set_behavior(ReplicaId(0), Behavior::CrashAt(150));
+        cluster.set_script(ReplicaId(0), Behavior::CrashAt(150).into());
         let report = run(&mut cluster, &cfg);
         assert_eq!(report.committed, 8);
         assert!(report.safety_ok);
@@ -1242,8 +1255,8 @@ mod tests {
         let mut cluster = MinBftCluster::new(&cfg);
         // Crash the primary *during* the proposal burst (cycle 40) so
         // batches are genuinely pending when the failover chain starts.
-        cluster.set_behavior(ReplicaId(0), Behavior::CrashAt(40));
-        cluster.set_behavior(ReplicaId(1), Behavior::CrashAt(1525));
+        cluster.set_script(ReplicaId(0), Behavior::CrashAt(40).into());
+        cluster.set_script(ReplicaId(1), Behavior::CrashAt(1525).into());
         let report = run(&mut cluster, &cfg);
         assert_eq!(report.committed, 16, "pending batches must commit after the double failover");
         assert!(report.safety_ok);
@@ -1260,7 +1273,7 @@ mod tests {
     fn forged_ui_equivocation_is_contained() {
         let cfg = RunConfig { max_cycles: 8_000_000, ..config(1, 2, 6, 29) };
         let mut cluster = MinBftCluster::new(&cfg);
-        cluster.set_behavior(ReplicaId(0), Behavior::ForgeUi);
+        cluster.set_script(ReplicaId(0), Behavior::ForgeUi.into());
         let report = run(&mut cluster, &cfg);
         assert!(report.safety_ok, "forged certificates must not split the log");
         assert_eq!(report.committed, 12, "correct replicas still make progress");
@@ -1279,7 +1292,7 @@ mod tests {
     fn f2_scales_to_five_replicas() {
         let cfg = config(2, 1, 6, 33);
         let mut cluster = MinBftCluster::new(&cfg);
-        cluster.set_behavior(ReplicaId(4), Behavior::Crashed);
+        cluster.set_script(ReplicaId(4), Behavior::Crashed.into());
         let report = run(&mut cluster, &cfg);
         assert_eq!(report.n_replicas, 5);
         assert_eq!(report.committed, 6);

@@ -14,7 +14,6 @@ use crate::api::{
     BatchDecision, Batcher, Cluster, Endpoint, Input, LogEntry, Outbox, ReplicaId, ReplicaNode,
     Reply, Request,
 };
-use crate::behavior::Behavior;
 use crate::dense::{OpIndex, SeqWindow};
 use crate::runner::RunConfig;
 use crate::statemachine::{KvStore, StateMachine};
@@ -150,16 +149,11 @@ impl PassiveReplica {
         self.machine.state_digest()
     }
 
-    /// Sets this replica's behaviour from a one-fault preset.
-    pub fn set_behavior(&mut self, behavior: Behavior) {
-        self.script = behavior.into();
-    }
-
     /// Installs a composable, time-phased fault script. Content-attack
     /// windows (equivocation, UI forgery) are inert here: passive
     /// replication has no votes or certificates to forge — a compromised
-    /// tile manifests as silence or crash (see
-    /// [`rsoc_soc`-level mapping](crate::behavior)).
+    /// tile manifests as silence or crash (see the
+    /// [`rsoc_soc`-level mapping](crate::adversary::Behavior)).
     pub fn set_script(&mut self, script: ReplicaScript) {
         self.script = script;
     }
@@ -196,6 +190,10 @@ impl PassiveReplica {
         }
     }
 
+    // Everything below is reachable from adversarial input: the scenario
+    // engine can forge clients and replay/reorder replica traffic, so a
+    // panic here is a remote crash (`rsoc_lint` enforces the contract).
+    // lint: ingress
     fn handle_request(&mut self, req: Arc<Request>, out: &mut Outbox<PassiveMsg>) {
         if let Some(result) = self.executed.get(&req.op) {
             out.send(
@@ -461,6 +459,7 @@ impl PassiveReplica {
         }
     }
 }
+// lint: end
 
 /// A primary-backup pair.
 #[derive(Debug)]
@@ -487,14 +486,6 @@ impl PassiveCluster {
                 PassiveReplica::new(ReplicaId(1), heartbeat_interval, detect_timeout),
             ],
         }
-    }
-
-    /// Overrides one replica's behaviour.
-    ///
-    /// # Panics
-    /// Panics if `id` is out of range.
-    pub fn set_behavior(&mut self, id: ReplicaId, behavior: Behavior) {
-        self.nodes[id.0 as usize].set_behavior(behavior);
     }
 }
 
@@ -529,6 +520,7 @@ impl Cluster for PassiveCluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::adversary::Behavior;
     use crate::runner::{run, RunConfig};
 
     fn config(clients: u32, reqs: u64, seed: u64) -> RunConfig {
@@ -575,7 +567,7 @@ mod tests {
     fn primary_crash_fails_over_to_backup() {
         let cfg = RunConfig { max_cycles: 10_000_000, ..config(1, 10, 45) };
         let mut cluster = PassiveCluster::new(&cfg);
-        cluster.set_behavior(ReplicaId(0), Behavior::CrashAt(100));
+        cluster.set_script(ReplicaId(0), Behavior::CrashAt(100).into());
         let report = run(&mut cluster, &cfg);
         assert_eq!(report.committed, 10, "backup finishes the workload");
         assert!(report.safety_ok);
@@ -587,7 +579,7 @@ mod tests {
     fn failover_window_visible_in_latency_tail() {
         let cfg = RunConfig { max_cycles: 10_000_000, client_timeout: 500, ..config(1, 10, 47) };
         let mut cluster = PassiveCluster::new(&cfg);
-        cluster.set_behavior(ReplicaId(0), Behavior::CrashAt(100));
+        cluster.set_script(ReplicaId(0), Behavior::CrashAt(100).into());
         let report = run(&mut cluster, &cfg);
         assert_eq!(report.committed, 10);
         let p_max = report.commit_latency.quantile(1.0).unwrap();

@@ -30,7 +30,6 @@ use crate::api::{
     noop_batch, Batch, BatchDecision, Batcher, Cluster, Endpoint, Input, LogEntry, OpId, Outbox,
     ReplicaId, ReplicaNode, Reply, Request, VcRound,
 };
-use crate::behavior::Behavior;
 use crate::dense::{op_token, token_op, OpIndex, ReplicaSet, SeqWindow};
 use crate::runner::RunConfig;
 use crate::statemachine::{KvStore, StateMachine};
@@ -205,11 +204,6 @@ impl PbftReplica {
         self.machine.state_digest()
     }
 
-    /// Sets this replica's (mis)behaviour from a one-fault preset.
-    pub fn set_behavior(&mut self, behavior: Behavior) {
-        self.script = behavior.into();
-    }
-
     /// Installs a composable, time-phased fault script.
     pub fn set_script(&mut self, script: ReplicaScript) {
         self.script = script;
@@ -237,6 +231,11 @@ impl PbftReplica {
         (2 * self.f + 1) as usize
     }
 
+    // Everything below is reachable from adversarial input: a Byzantine
+    // peer (or a forged client) picks the message contents, so a panic
+    // here is a remote crash. `rsoc_lint` enforces the no-panic contract;
+    // the reasoned allows mark invariants the window/state machine holds.
+    // lint: ingress
     fn handle_request(&mut self, req: Arc<Request>, out: &mut Outbox<PbftMsg>) {
         if let Some(result) = self.executed.get(&req.op) {
             out.send(
@@ -297,6 +296,7 @@ impl PbftReplica {
         }
         let digest = batch.digest();
         let me = self.id;
+        // lint: allow(ingress-expect) -- seq is freshly drawn from next_seq, strictly above exec_upto
         let slot = self.slots.get_or_insert_default(seq).expect("fresh seq is above watermark");
         slot.batch = Some(batch.clone());
         slot.digest = Some(digest);
@@ -372,6 +372,7 @@ impl PbftReplica {
         for r in batch.requests() {
             self.assigned.insert(r.op, seq);
         }
+        // lint: allow(ingress-expect) -- get_or_insert_default above returned Some for this seq
         let slot = self.slots.get_mut(seq).expect("slot just ensured");
         slot.batch = Some(batch);
         slot.digest = Some(digest);
@@ -449,6 +450,7 @@ impl PbftReplica {
                 slot.sent_commit = true;
                 slot.commits.insert(self.id);
             }
+            // lint: allow(ingress-expect) -- is_none() early-returned two branches up
             (send_commit, self.view, slot.digest.expect("digest set"))
         };
         if send_commit {
@@ -472,8 +474,11 @@ impl PbftReplica {
             }
             // Execution consumes the slot; retiring the watermark below
             // makes the sequence number permanently dead.
+            // lint: allow(ingress-expect) -- `ready` above proved the slot exists in the window
             let slot = self.slots.remove(next).expect("checked");
+            // lint: allow(ingress-expect) -- `ready` above proved batch.is_some()
             let batch = slot.batch.expect("checked");
+            // lint: allow(ingress-expect) -- sent_commit is only set after the digest is stored
             let digest = slot.digest.expect("checked");
             self.exec_upto = next;
             // One agreement slot commits the whole batch; the log stays
@@ -516,6 +521,7 @@ impl PbftReplica {
                 self.vc_votes.len() - 1
             }
         };
+        // bounds: idx is either a position() hit or the just-pushed last element
         &mut self.vc_votes[idx]
     }
 
@@ -664,6 +670,7 @@ impl PbftReplica {
             for r in batch.requests() {
                 self.assigned.insert(r.op, *seq);
             }
+            // lint: allow(ingress-expect) -- is_retired() continued the loop just above
             let slot = self.slots.get_or_insert_default(*seq).expect("not retired");
             slot.batch = Some(batch.clone());
             slot.digest = Some(digest);
@@ -707,8 +714,11 @@ impl PbftReplica {
             out.arm(self.patience, TIMER_REQUEST, token);
         }
     }
+    // lint: end
 }
 
+// The node-facing input surface: every simulator event enters here.
+// lint: ingress
 impl ReplicaNode for PbftReplica {
     type Msg = PbftMsg;
 
@@ -831,6 +841,7 @@ impl PbftReplica {
         }
     }
 }
+// lint: end
 
 /// A PBFT cluster of `3f+1` replicas.
 #[derive(Debug)]
@@ -854,14 +865,6 @@ impl PbftCluster {
                 .collect(),
             f: config.f,
         }
-    }
-
-    /// Overrides one replica's behaviour.
-    ///
-    /// # Panics
-    /// Panics if `id` is out of range.
-    pub fn set_behavior(&mut self, id: ReplicaId, behavior: Behavior) {
-        self.nodes[id.0 as usize].set_behavior(behavior);
     }
 
     /// Fault threshold.
@@ -901,6 +904,7 @@ impl Cluster for PbftCluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::adversary::Behavior;
     use crate::runner::{run, RunConfig};
 
     fn config(f: u32, clients: u32, reqs: u64, seed: u64) -> RunConfig {
@@ -1015,7 +1019,7 @@ mod tests {
             ..config(1, 4, 4, 61)
         };
         let mut cluster = PbftCluster::new(&cfg);
-        cluster.set_behavior(ReplicaId(0), Behavior::Equivocate);
+        cluster.set_script(ReplicaId(0), Behavior::Equivocate.into());
         let report = run(&mut cluster, &cfg);
         assert!(report.safety_ok, "batched equivocation must not split logs");
         assert_eq!(report.committed, 16);
@@ -1035,7 +1039,7 @@ mod tests {
     fn tolerates_f_silent_replicas() {
         let cfg = config(1, 1, 10, 3);
         let mut cluster = PbftCluster::new(&cfg);
-        cluster.set_behavior(ReplicaId(3), Behavior::Silent);
+        cluster.set_script(ReplicaId(3), Behavior::Silent.into());
         let report = run(&mut cluster, &cfg);
         assert_eq!(report.committed, 10);
         assert!(report.safety_ok);
@@ -1045,8 +1049,8 @@ mod tests {
     fn f2_cluster_tolerates_two_crashes() {
         let cfg = config(2, 1, 6, 5);
         let mut cluster = PbftCluster::new(&cfg);
-        cluster.set_behavior(ReplicaId(5), Behavior::Crashed);
-        cluster.set_behavior(ReplicaId(6), Behavior::Crashed);
+        cluster.set_script(ReplicaId(5), Behavior::Crashed.into());
+        cluster.set_script(ReplicaId(6), Behavior::Crashed.into());
         let report = run(&mut cluster, &cfg);
         assert_eq!(report.n_replicas, 7);
         assert_eq!(report.committed, 6);
@@ -1058,7 +1062,7 @@ mod tests {
         let cfg = RunConfig { max_cycles: 5_000_000, ..config(1, 1, 8, 11) };
         let mut cluster = PbftCluster::new(&cfg);
         // Primary of view 0 is replica 0; crash it mid-run.
-        cluster.set_behavior(ReplicaId(0), Behavior::CrashAt(150));
+        cluster.set_script(ReplicaId(0), Behavior::CrashAt(150).into());
         let report = run(&mut cluster, &cfg);
         assert_eq!(report.committed, 8, "all requests commit despite failover");
         assert!(report.safety_ok);
@@ -1081,10 +1085,10 @@ mod tests {
             ..config(2, 4, 4, 83)
         };
         let mut cluster = PbftCluster::new(&cfg);
-        cluster.set_behavior(ReplicaId(0), Behavior::CrashAt(150));
+        cluster.set_script(ReplicaId(0), Behavior::CrashAt(150).into());
         // Patience (1500) fires the first view change around cycle ~1510;
         // replica 1 dies while installing/leading view 1.
-        cluster.set_behavior(ReplicaId(1), Behavior::CrashAt(1525));
+        cluster.set_script(ReplicaId(1), Behavior::CrashAt(1525).into());
         let report = run(&mut cluster, &cfg);
         assert_eq!(report.committed, 16, "pending batches must commit after the double failover");
         assert!(report.safety_ok);
@@ -1108,7 +1112,7 @@ mod tests {
     fn equivocating_primary_cannot_break_safety() {
         let cfg = RunConfig { max_cycles: 5_000_000, ..config(1, 2, 6, 13) };
         let mut cluster = PbftCluster::new(&cfg);
-        cluster.set_behavior(ReplicaId(0), Behavior::Equivocate);
+        cluster.set_script(ReplicaId(0), Behavior::Equivocate.into());
         let report = run(&mut cluster, &cfg);
         assert!(report.safety_ok, "equivocation must never split correct logs");
         assert_eq!(report.committed, 12, "liveness via view change");

@@ -3,7 +3,7 @@
 
 use crate::netlist::{GateId, Netlist};
 use rsoc_sim::SimRng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// How a faulty gate misbehaves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -16,8 +16,10 @@ pub enum FaultKind {
     Flip,
 }
 
-/// A set of gate faults applied during one evaluation.
-pub type FaultMap = HashMap<GateId, FaultKind>;
+/// A set of gate faults applied during one evaluation. A `BTreeMap` so
+/// iteration order is a pure function of content (the determinism
+/// contract `rsoc_lint` enforces), not of a per-process hash seed.
+pub type FaultMap = BTreeMap<GateId, FaultKind>;
 
 /// Samples random fault maps for Monte-Carlo reliability runs (E1).
 ///

@@ -1,0 +1,450 @@
+//! A small self-contained Rust lexer — just enough syntax awareness for
+//! the lint rules, with zero external parser dependencies (the vendored
+//! workspace cannot pull in `syn`).
+//!
+//! The lexer splits a source file into two parallel streams:
+//!
+//! * [`Token`]s — identifiers, punctuation, and opaque literals, each
+//!   tagged with its 1-based line. String/char/byte/raw-string literals
+//!   are consumed as single [`Tok::Literal`] tokens so their *content*
+//!   can never trigger an identifier rule (a doc string mentioning
+//!   `HashMap` is not a determinism violation).
+//! * [`Comment`]s — line and block comments with their text, starting
+//!   line, and whether code precedes them on the same line (trailing vs
+//!   standalone — the distinction the suppression scoping rules need).
+//!
+//! It handles the constructs that would otherwise desynchronize a naive
+//! scanner: raw strings (`r#"…"#`, any hash depth), byte and raw-byte
+//! strings, raw identifiers (`r#match`), char literals vs lifetimes
+//! (`'a'` vs `'a`), escapes, and *nested* block comments.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`unsafe`, `HashMap`, `clone`, …).
+    Ident(String),
+    /// A lifetime (`'a`, `'static`) — kept distinct so char-literal
+    /// handling cannot eat a following token.
+    Lifetime(String),
+    /// A single punctuation character (`.`, `!`, `[`, …).
+    Punct(char),
+    /// Any literal (string, raw string, char, byte, number). Content is
+    /// deliberately discarded: literals can never trip identifier rules.
+    Literal,
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A comment (line or block) with enough context for region and
+/// suppression parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment text *without* the `//` / `/*` delimiters, untrimmed.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// True when a non-whitespace token precedes the comment on its line
+    /// (a trailing comment annotates its own line; a standalone comment
+    /// annotates the next code line).
+    pub trailing: bool,
+}
+
+/// The output of [`lex`]: token and comment streams for one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src` into tokens and comments. Unterminated constructs are
+/// tolerated (consumed to end of input) — the linter must never panic on
+/// the code it audits.
+pub fn lex(src: &str) -> Lexed {
+    Lexer { src: src.as_bytes(), pos: 0, line: 1, line_had_code: false, out: Lexed::default() }
+        .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    /// Whether a code token has been emitted on the current line.
+    line_had_code: bool,
+    out: Lexed,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.line_had_code = false;
+                    self.pos += 1;
+                }
+                c if c.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                b'r' | b'b' if self.string_prefix() => {}
+                c if c == b'_' || c.is_ascii_alphabetic() => self.ident(),
+                c if c.is_ascii_digit() => self.number(),
+                c => {
+                    self.emit(Tok::Punct(c as char));
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn emit(&mut self, tok: Tok) {
+        self.out.tokens.push(Token { tok, line: self.line });
+        self.line_had_code = true;
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos + 2;
+        let trailing = self.line_had_code;
+        let line = self.line;
+        while self.peek(0).is_some_and(|c| c != b'\n') {
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.out.comments.push(Comment { text, line, trailing });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let trailing = self.line_had_code;
+        self.pos += 2;
+        let start = self.pos;
+        let mut depth = 1usize;
+        let mut end = self.src.len();
+        while let Some(c) = self.peek(0) {
+            if c == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if c == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                if depth == 0 {
+                    end = self.pos;
+                    self.pos += 2;
+                    break;
+                }
+                self.pos += 2;
+            } else {
+                if c == b'\n' {
+                    self.line += 1;
+                    self.line_had_code = false;
+                }
+                self.pos += 1;
+            }
+        }
+        let end = end.min(self.src.len());
+        let text = String::from_utf8_lossy(&self.src[start..end]).into_owned();
+        self.out.comments.push(Comment { text, line, trailing });
+    }
+
+    /// Consumes a normal (escaped) string or byte-string body starting at
+    /// the opening quote.
+    fn string(&mut self) {
+        self.emit(Tok::Literal);
+        self.pos += 1;
+        while let Some(c) = self.peek(0) {
+            match c {
+                b'\\' => self.pos += 2,
+                b'"' => {
+                    self.pos += 1;
+                    return;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.line_had_code = false;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Consumes a raw (or raw-byte) string: `pos` is at the first `#` or
+    /// the opening quote; terminates on `"` followed by `hashes` hashes.
+    fn raw_string(&mut self) {
+        self.emit(Tok::Literal);
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote
+        while let Some(c) = self.peek(0) {
+            if c == b'\n' {
+                self.line += 1;
+                self.line_had_code = false;
+                self.pos += 1;
+                continue;
+            }
+            if c == b'"' && (1..=hashes).all(|i| self.peek(i) == Some(b'#')) {
+                self.pos += 1 + hashes;
+                return;
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Detects `r"`, `r#"`, `b"`, `b'`, `br"`/`br#"` prefixes (and raw
+    /// identifiers `r#ident`). Returns true when it consumed something.
+    fn string_prefix(&mut self) -> bool {
+        let c = self.peek(0).unwrap_or(0);
+        match (c, self.peek(1)) {
+            (b'r', Some(b'"')) => {
+                self.pos += 1;
+                self.raw_string();
+                true
+            }
+            (b'r', Some(b'#')) => {
+                // Raw string (`r#"…"#`) or raw identifier (`r#match`).
+                let mut i = 1;
+                while self.peek(i) == Some(b'#') {
+                    i += 1;
+                }
+                if self.peek(i) == Some(b'"') {
+                    self.pos += 1;
+                    self.raw_string();
+                } else {
+                    self.pos += 2; // skip `r#`, lex the ident normally
+                    self.ident();
+                }
+                true
+            }
+            (b'b', Some(b'"')) => {
+                self.pos += 1;
+                self.string();
+                true
+            }
+            (b'b', Some(b'\'')) => {
+                self.pos += 1;
+                self.char_literal();
+                true
+            }
+            (b'b', Some(b'r')) if matches!(self.peek(2), Some(b'"') | Some(b'#')) => {
+                self.pos += 2;
+                self.raw_string();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// At a `'`: disambiguates char literals from lifetimes.
+    fn char_or_lifetime(&mut self) {
+        let next = self.peek(1);
+        let is_ident_start = next.is_some_and(|c| c == b'_' || c.is_ascii_alphabetic());
+        // `'a'` is a char; `'a` / `'static` are lifetimes. An escape or a
+        // non-identifier char (`'\n'`, `'('`) is always a char literal.
+        if is_ident_start && self.peek(2) != Some(b'\'') {
+            self.pos += 1;
+            let start = self.pos;
+            while self.peek(0).is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric()) {
+                self.pos += 1;
+            }
+            let name = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+            self.emit(Tok::Lifetime(name));
+        } else {
+            self.char_literal();
+        }
+    }
+
+    /// Consumes a char literal starting at the opening `'`.
+    fn char_literal(&mut self) {
+        self.emit(Tok::Literal);
+        self.pos += 1;
+        while let Some(c) = self.peek(0) {
+            match c {
+                b'\\' => self.pos += 2,
+                b'\'' => {
+                    self.pos += 1;
+                    return;
+                }
+                b'\n' => return, // unterminated; don't swallow the file
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        while self.peek(0).is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric()) {
+            self.pos += 1;
+        }
+        let name = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.emit(Tok::Ident(name));
+    }
+
+    fn number(&mut self) {
+        self.emit(Tok::Literal);
+        // Digits, `_`, type suffixes, hex letters; one fractional part
+        // (careful: `1..2` is a range, not a float).
+        while self.peek(0).is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric()) {
+            self.pos += 1;
+        }
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+            while self.peek(0).is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric()) {
+                self.pos += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<(String, u32)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some((s, t.line)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tracks_lines_and_idents() {
+        let src = "let a = 1;\nlet bb = a;\n";
+        assert_eq!(
+            idents(src),
+            vec![
+                ("let".into(), 1),
+                ("a".into(), 1),
+                ("let".into(), 2),
+                ("bb".into(), 2),
+                ("a".into(), 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_content() {
+        let src = "let s = \"HashMap uses unsafe\"; let t = r#\"Instant \" quote\"#;";
+        let names: Vec<String> = idents(src).into_iter().map(|(n, _)| n).collect();
+        assert!(!names.contains(&"HashMap".to_string()));
+        assert!(!names.contains(&"Instant".to_string()));
+        assert!(names.contains(&"t".to_string()), "lexer resynced after the raw string");
+    }
+
+    #[test]
+    fn raw_string_with_embedded_escape_resyncs() {
+        // In a raw string `\` is literal: a naive scanner would treat `\"`
+        // as an escape and miss the terminator.
+        let src = "let s = r\"back\\\"; let HashMap = 1;";
+        let names: Vec<String> = idents(src).into_iter().map(|(n, _)| n).collect();
+        assert!(names.contains(&"HashMap".to_string()));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let lexed = lex("fn f<'a>(x: &'a u8) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<String> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Lifetime(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lifetimes, vec!["a".to_string(), "a".to_string()]);
+        let literals = lexed.tokens.iter().filter(|t| t.tok == Tok::Literal).count();
+        assert_eq!(literals, 2, "two char literals");
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let src = "let a = b\"x\\\"y\"; let b = br#\"raw \" inner\"#; let c = b'q'; done";
+        let names: Vec<String> = idents(src).into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names.last().map(String::as_str), Some("done"));
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let names: Vec<String> = idents("let r#match = 1;").into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["let".to_string(), "match".to_string()]);
+    }
+
+    #[test]
+    fn comments_are_captured_with_position() {
+        let src = "let a = 1; // trailing note\n// standalone\n/* block\nspans */ let b = 2;\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 3);
+        assert_eq!(lexed.comments[0].text, " trailing note");
+        assert!(lexed.comments[0].trailing);
+        assert_eq!(lexed.comments[1].line, 2);
+        assert!(!lexed.comments[1].trailing);
+        assert_eq!(lexed.comments[2].line, 3);
+        assert!(!lexed.comments[2].trailing);
+        assert!(lexed.comments[2].text.contains("spans"));
+        // Code resumes on line 4 after the block comment.
+        let b = lexed.tokens.iter().find(|t| t.tok == Tok::Ident("b".into())).unwrap();
+        assert_eq!(b.line, 4);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ let x = 1;";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("still comment"));
+        let names: Vec<String> = lexed
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names, vec!["let".to_string(), "x".to_string()]);
+    }
+
+    #[test]
+    fn numbers_are_opaque() {
+        // `1..2` must not eat the range dots; `0x2e` and `1.5e3` lex as one
+        // literal each.
+        let lexed = lex("a[1..2]; let h = 0x2e; let f = 1.5;");
+        let puncts: Vec<char> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match t.tok {
+                Tok::Punct(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(puncts.iter().filter(|c| **c == '.').count(), 2, "range dots survive");
+    }
+
+    #[test]
+    fn tolerates_unterminated_constructs() {
+        // Must not panic or loop forever.
+        lex("let s = \"unterminated");
+        lex("/* unterminated");
+        lex("let c = 'x");
+        lex("let r = r#\"unterminated");
+    }
+}

@@ -1,0 +1,27 @@
+//! `rsoc_lint` — the workspace-aware static-analysis pass that enforces
+//! the contracts every result in this reproduction rests on:
+//!
+//! * **determinism** — no seeded-per-process containers, wall clocks, or
+//!   OS randomness in protocol-core crates (bit-identical replay of the
+//!   scenario oracle and sweep JSON is asserted in CI);
+//! * **panic safety** — handlers reachable from adversarial input
+//!   (marked `// lint: ingress`) must not contain a remote panic;
+//! * **hot-path allocation discipline** — kernels marked
+//!   `// lint: hot-path` stay allocation-free;
+//! * **unsafe audit** — every `unsafe` carries an adjacent `// SAFETY:`
+//!   justification.
+//!
+//! The pass is three small layers with no external dependencies (the
+//! vendored workspace cannot pull in `syn`): a hand-written Rust
+//! [lexer], a workspace [walker](walk) that
+//! classifies crates by tier, and the [rule engine](rules) with
+//! region annotations and reasoned `lint: allow(<rule>) -- <reason>`
+//! suppressions. See the README "Static analysis" section for the full
+//! rule catalog.
+
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+pub use rules::{known_rule, lint_source, Finding, Tier, RULES};
+pub use walk::{classify, collect, SourceFile, PROTOCOL_CORE_CRATES};

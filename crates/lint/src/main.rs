@@ -1,0 +1,103 @@
+//! CLI for the workspace lint pass.
+//!
+//! ```text
+//! cargo run -p rsoc_lint [--release] -- [--root DIR] [--tier TIER] [--github]
+//! ```
+//!
+//! With no arguments the current directory (the workspace root in CI) is
+//! walked and every finding printed as `file:line: [rule] message`.
+//! `--tier protocol-core|harness` overrides per-crate classification —
+//! CI uses it to prove the rules still fire on the deliberately-bad
+//! fixture tree. `--github` additionally emits grouped `::error::`
+//! workflow annotations.
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+use rsoc_lint::{collect, lint_source, Tier};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    tier: Option<Tier>,
+    github: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { root: PathBuf::from("."), tier: None, github: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+            }
+            "--tier" => match it.next().as_deref() {
+                Some("protocol-core") => args.tier = Some(Tier::ProtocolCore),
+                Some("harness") => args.tier = Some(Tier::Harness),
+                other => {
+                    return Err(format!("--tier needs `protocol-core` or `harness`, got {other:?}"))
+                }
+            },
+            "--github" => args.github = true,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("rsoc_lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let files = match collect(&args.root, args.tier) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("rsoc_lint: cannot walk {}: {e}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut total = 0usize;
+    let mut audited = 0usize;
+    for file in &files {
+        let abs = args.root.join(&file.path);
+        let src = match std::fs::read_to_string(&abs) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("rsoc_lint: cannot read {}: {e}", abs.display());
+                return ExitCode::from(2);
+            }
+        };
+        audited += 1;
+        let findings = lint_source(&src, file.tier);
+        if findings.is_empty() {
+            continue;
+        }
+        let shown = file.path.display();
+        if args.github {
+            println!("::group::{shown} ({} findings)", findings.len());
+        }
+        for f in &findings {
+            println!("{shown}:{}: [{}] {}", f.line, f.rule, f.msg);
+            if args.github {
+                println!("::error file={shown},line={}::[{}] {}", f.line, f.rule, f.msg);
+            }
+        }
+        if args.github {
+            println!("::endgroup::");
+        }
+        total += findings.len();
+    }
+
+    if total == 0 {
+        eprintln!("rsoc_lint: {audited} files audited, no findings");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("rsoc_lint: {total} finding(s) across {audited} files");
+        ExitCode::from(1)
+    }
+}

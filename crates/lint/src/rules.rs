@@ -1,0 +1,517 @@
+//! The lint rule engine: per-tier rule catalogs, region tracking, and
+//! reasoned suppressions, applied to one lexed source file at a time.
+//!
+//! # Tiers
+//!
+//! * [`Tier::ProtocolCore`] — crates on the deterministic-replay path
+//!   (`bft`, `hybrid`, `crypto`, `sim`, `noc`, `hw`). All rules apply,
+//!   including the determinism catalog.
+//! * [`Tier::Harness`] — experiment harnesses and tooling (`bench`,
+//!   `soc`, the umbrella crate, this linter). Wall-clock timing and std
+//!   hash maps are legitimate there; only the region rules and the
+//!   unsafe audit apply.
+//!
+//! # Region annotations
+//!
+//! Regions are opened by a line comment and closed by `lint: end`:
+//!
+//! ```text
+//! // lint: ingress
+//! fn handle_prepare(&mut self, ...) { ... }
+//! // lint: end
+//! ```
+//!
+//! `ingress` regions mark handlers reachable from adversarial input: no
+//! `unwrap`/`expect`/`panic!`, and every indexing expression needs a
+//! justifying comment on its own or the preceding line. `hot-path`
+//! regions mark allocation-free kernels: no `to_vec`/`.clone()`/
+//! `Vec::new`/`format!`.
+//!
+//! # Suppressions
+//!
+//! `lint: allow(<rule>) -- <reason>` silences `<rule>` on the annotated
+//! line (trailing comment) or the next code line (standalone comment).
+//! The reason string is mandatory: an allow without one is itself a
+//! finding (`allow-no-reason`), as is an allow for a rule that does not
+//! exist (`allow-unknown-rule`).
+
+use crate::lexer::{lex, Comment, Tok};
+use std::collections::BTreeSet;
+
+/// Which rule catalog applies to a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Deterministic protocol/simulation code: every rule applies.
+    ProtocolCore,
+    /// Harness/tooling code: region rules and the unsafe audit only.
+    Harness,
+}
+
+/// One diagnostic produced by the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule identifier (e.g. `det-hashmap`).
+    pub rule: &'static str,
+    /// 1-based line of the offending token or directive.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub msg: String,
+}
+
+/// Every suppressible rule the engine knows, with a one-line description
+/// (the README rule catalog is generated from the same table).
+pub const RULES: &[(&str, &str)] = &[
+    ("det-hashmap", "std HashMap iteration order is seeded per process; use BTreeMap/OpIndex"),
+    ("det-hashset", "std HashSet iteration order is seeded per process; use BTreeSet/ReplicaSet"),
+    ("det-systemtime", "wall-clock time in protocol code breaks bit-identical replay"),
+    ("det-instant", "monotonic wall-clock time in protocol code breaks bit-identical replay"),
+    ("det-thread-rng", "OS-seeded randomness in protocol code breaks bit-identical replay"),
+    ("det-ptr-key", "pointer values vary across runs; never use them as keys or hash input"),
+    ("ingress-unwrap", "unwrap() reachable from adversarial input is a remote panic"),
+    ("ingress-expect", "expect() reachable from adversarial input is a remote panic"),
+    ("ingress-panic", "panic!() reachable from adversarial input is a remote panic"),
+    ("ingress-index", "indexing in an ingress path needs a bounds-justifying comment"),
+    ("hot-to-vec", "to_vec() allocates; hot-path regions are allocation-free"),
+    ("hot-clone", ".clone() in a hot-path region (Arc refcounts excepted via allow)"),
+    ("hot-vec-new", "Vec::new() in a hot-path region; hoist the allocation out"),
+    ("hot-format", "format! allocates; hot-path regions are allocation-free"),
+    ("unsafe-no-safety", "every unsafe block needs an adjacent `// SAFETY:` comment"),
+];
+
+/// True when `rule` is a known suppressible rule id.
+pub fn known_rule(rule: &str) -> bool {
+    RULES.iter().any(|(id, _)| *id == rule)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RegionKind {
+    Ingress,
+    HotPath,
+}
+
+#[derive(Debug)]
+enum Directive {
+    Open(RegionKind),
+    End,
+    Allow { rule: String, reason_ok: bool },
+    Malformed(String),
+}
+
+/// Parses the directive in a comment, if any. Only comments whose
+/// trimmed text *starts with* `lint:` are directives; doc text merely
+/// mentioning the syntax does not qualify.
+fn parse_directive(text: &str) -> Option<Directive> {
+    let rest = text.trim().strip_prefix("lint:")?.trim();
+    if rest == "ingress" {
+        return Some(Directive::Open(RegionKind::Ingress));
+    }
+    if rest == "hot-path" {
+        return Some(Directive::Open(RegionKind::HotPath));
+    }
+    if rest == "end" {
+        return Some(Directive::End);
+    }
+    if let Some(body) = rest.strip_prefix("allow(") {
+        let Some(close) = body.find(')') else {
+            return Some(Directive::Malformed(rest.to_string()));
+        };
+        let rule = body[..close].trim().to_string();
+        let tail = body[close + 1..].trim();
+        let reason_ok = tail.strip_prefix("--").is_some_and(|r| !r.trim().is_empty());
+        return Some(Directive::Allow { rule, reason_ok });
+    }
+    Some(Directive::Malformed(rest.to_string()))
+}
+
+/// A closed (or dangling-open) region.
+#[derive(Debug)]
+struct Region {
+    kind: RegionKind,
+    /// First line *after* the opening directive.
+    from: u32,
+    /// Last line before the closing directive (inclusive).
+    until: u32,
+}
+
+/// Identifier keywords that can legitimately precede a `[` without the
+/// bracket being an index expression (`for x in [..]`, `return [..]`).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "as", "box", "break", "const", "continue", "dyn", "else", "enum", "fn", "for", "if", "impl",
+    "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref", "return", "static", "struct",
+    "trait", "type", "unsafe", "use", "where", "while", "yield",
+];
+
+/// Runs every applicable rule over `src`, returning findings sorted by
+/// line. `src` is lexed internally; the engine never panics on malformed
+/// input (the linter must survive any file it audits).
+pub fn lint_source(src: &str, tier: Tier) -> Vec<Finding> {
+    let lexed = lex(src);
+    let lines: Vec<&str> = src.lines().collect();
+    let code_lines: BTreeSet<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut regions: Vec<Region> = Vec::new();
+    let mut open: Vec<(RegionKind, u32)> = Vec::new();
+    // (line, rule) pairs silenced by a reasoned allow.
+    let mut allows: BTreeSet<(u32, String)> = BTreeSet::new();
+
+    for c in &lexed.comments {
+        match parse_directive(&c.text) {
+            None => {}
+            Some(Directive::Open(kind)) => open.push((kind, c.line + 1)),
+            Some(Directive::End) => match open.pop() {
+                Some((kind, from)) => {
+                    regions.push(Region { kind, from, until: c.line.saturating_sub(1) })
+                }
+                None => findings.push(Finding {
+                    rule: "lint-directive",
+                    line: c.line,
+                    msg: "`lint: end` without an open region".to_string(),
+                }),
+            },
+            Some(Directive::Allow { rule, reason_ok }) => {
+                if !known_rule(&rule) {
+                    findings.push(Finding {
+                        rule: "allow-unknown-rule",
+                        line: c.line,
+                        msg: format!("allow for unknown rule `{rule}`"),
+                    });
+                } else if !reason_ok {
+                    findings.push(Finding {
+                        rule: "allow-no-reason",
+                        line: c.line,
+                        msg: format!(
+                            "allow({rule}) needs a reason: `lint: allow({rule}) -- <why>`"
+                        ),
+                    });
+                } else {
+                    let target = if c.trailing {
+                        Some(c.line)
+                    } else {
+                        // Standalone: annotates the next code line.
+                        code_lines.range(c.line + 1..).next().copied()
+                    };
+                    if let Some(line) = target {
+                        allows.insert((line, rule));
+                    }
+                }
+            }
+            Some(Directive::Malformed(what)) => findings.push(Finding {
+                rule: "lint-directive",
+                line: c.line,
+                msg: format!("unrecognized lint directive `{what}`"),
+            }),
+        }
+    }
+    for (kind, from) in open {
+        regions.push(Region { kind, from, until: u32::MAX });
+        findings.push(Finding {
+            rule: "lint-directive",
+            line: from.saturating_sub(1),
+            msg: "region is never closed with `lint: end`".to_string(),
+        });
+    }
+
+    let in_region = |line: u32, kind: RegionKind| {
+        regions.iter().any(|r| r.kind == kind && line >= r.from && line <= r.until)
+    };
+    let mut emit = |rule: &'static str, line: u32, msg: String| {
+        if !allows.contains(&(line, rule.to_string())) {
+            findings.push(Finding { rule, line, msg });
+        }
+    };
+
+    let toks = &lexed.tokens;
+    let ident_at = |i: usize| match toks.get(i).map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    };
+    let punct_at = |i: usize| match toks.get(i).map(|t| &t.tok) {
+        Some(Tok::Punct(c)) => Some(*c),
+        _ => None,
+    };
+
+    for (i, t) in toks.iter().enumerate() {
+        let line = t.line;
+        match &t.tok {
+            Tok::Ident(name) => {
+                if tier == Tier::ProtocolCore {
+                    let det = match name.as_str() {
+                        "HashMap" => Some("det-hashmap"),
+                        "HashSet" => Some("det-hashset"),
+                        "SystemTime" => Some("det-systemtime"),
+                        "Instant" => Some("det-instant"),
+                        "thread_rng" => Some("det-thread-rng"),
+                        _ => None,
+                    };
+                    if let Some(rule) = det {
+                        emit(rule, line, format!("`{name}` in protocol-core code: {}", doc(rule)));
+                    }
+                    // `as_ptr() as <integer>` turns an address into a
+                    // value; `as *const T` (re-typing for an intrinsic)
+                    // stays a pointer and is fine.
+                    if name == "as_ptr"
+                        && punct_at(i + 1) == Some('(')
+                        && punct_at(i + 2) == Some(')')
+                        && ident_at(i + 3) == Some("as")
+                        && matches!(
+                            ident_at(i + 4),
+                            Some("usize" | "u64" | "u32" | "u128" | "isize" | "i64")
+                        )
+                    {
+                        emit(
+                            "det-ptr-key",
+                            line,
+                            "pointer cast to an integer in protocol-core code".to_string(),
+                        );
+                    }
+                }
+                if name == "unsafe" && !has_safety_comment(&lines, line) {
+                    emit(
+                        "unsafe-no-safety",
+                        line,
+                        "`unsafe` without an adjacent `// SAFETY:` comment".to_string(),
+                    );
+                }
+                let dotted = punct_at(i.wrapping_sub(1)) == Some('.') && i > 0;
+                if in_region(line, RegionKind::Ingress) {
+                    if dotted && name == "unwrap" {
+                        emit("ingress-unwrap", line, "unwrap() in an ingress path".to_string());
+                    }
+                    if dotted && name == "expect" {
+                        emit("ingress-expect", line, "expect() in an ingress path".to_string());
+                    }
+                    if name == "panic" && punct_at(i + 1) == Some('!') {
+                        emit("ingress-panic", line, "panic!() in an ingress path".to_string());
+                    }
+                }
+                if in_region(line, RegionKind::HotPath) {
+                    if dotted && name == "to_vec" {
+                        emit("hot-to-vec", line, "to_vec() in a hot-path region".to_string());
+                    }
+                    if dotted && name == "clone" {
+                        emit("hot-clone", line, ".clone() in a hot-path region".to_string());
+                    }
+                    if name == "Vec"
+                        && punct_at(i + 1) == Some(':')
+                        && punct_at(i + 2) == Some(':')
+                        && ident_at(i + 3) == Some("new")
+                    {
+                        emit("hot-vec-new", line, "Vec::new() in a hot-path region".to_string());
+                    }
+                    if name == "format" && punct_at(i + 1) == Some('!') {
+                        emit("hot-format", line, "format! in a hot-path region".to_string());
+                    }
+                }
+            }
+            Tok::Punct('[') if in_region(line, RegionKind::Ingress) && i > 0 => {
+                let indexes = match &toks[i - 1].tok {
+                    Tok::Ident(prev) => !NON_INDEX_KEYWORDS.contains(&prev.as_str()),
+                    Tok::Punct(')') | Tok::Punct(']') => true,
+                    _ => false,
+                };
+                if indexes && !has_justifying_comment(&lexed.comments, line) {
+                    emit(
+                        "ingress-index",
+                        line,
+                        "indexing in an ingress path without a justifying comment".to_string(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+fn doc(rule: &str) -> &'static str {
+    RULES.iter().find(|(id, _)| *id == rule).map(|(_, d)| *d).unwrap_or("")
+}
+
+/// True when the indexing expression on `line` carries a comment on the
+/// same line or on the line directly above it (which is how the
+/// bounds justification is written). Lint directives themselves are not
+/// justification.
+fn has_justifying_comment(comments: &[Comment], line: u32) -> bool {
+    comments
+        .iter()
+        .filter(|c| parse_directive(&c.text).is_none())
+        .any(|c| c.line == line || (!c.trailing && c.line + 1 == line))
+}
+
+/// True when an `unsafe` on `line` (1-based) has a SAFETY comment on the
+/// same line or within the contiguous comment/attribute block above it.
+/// `/// # Safety` doc headings count: rustdoc already standardizes them
+/// for unsafe fns, and the audit accepts either spelling.
+fn has_safety_comment(lines: &[&str], line: u32) -> bool {
+    let here = lines.get(line as usize - 1).copied().unwrap_or("");
+    if here.to_ascii_lowercase().contains("safety") {
+        return true;
+    }
+    // Scan upward through comments, attributes, and blanks (bounded so a
+    // pathological file cannot make this quadratic).
+    let mut l = line as usize - 1;
+    for _ in 0..24 {
+        if l == 0 {
+            break;
+        }
+        l -= 1;
+        let t = lines.get(l).copied().unwrap_or("").trim_start();
+        let comment_ish = t.is_empty()
+            || t.starts_with("//")
+            || t.starts_with("/*")
+            || t.starts_with('*')
+            || t.starts_with('#')
+            || t.starts_with(')')
+            || t.starts_with(']');
+        if !comment_ish {
+            return false;
+        }
+        if t.to_ascii_lowercase().contains("safety") {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(findings: &[Finding]) -> Vec<(&'static str, u32)> {
+        findings.iter().map(|f| (f.rule, f.line)).collect()
+    }
+
+    #[test]
+    fn determinism_rules_fire_only_in_protocol_core() {
+        let src = "use std::collections::HashMap;\nlet t = Instant::now();\n";
+        let core = lint_source(src, Tier::ProtocolCore);
+        assert_eq!(rules_of(&core), vec![("det-hashmap", 1), ("det-instant", 2)]);
+        assert!(lint_source(src, Tier::Harness).is_empty(), "harness tier may use wall clocks");
+    }
+
+    #[test]
+    fn mentions_in_strings_and_comments_do_not_fire() {
+        let src = "// HashMap would be wrong here\nlet s = \"Instant::now()\";\n";
+        assert!(lint_source(src, Tier::ProtocolCore).is_empty());
+    }
+
+    #[test]
+    fn ptr_key_needs_the_integer_cast() {
+        let flagged = "let k = v.as_ptr() as usize;\n";
+        assert_eq!(rules_of(&lint_source(flagged, Tier::ProtocolCore)), vec![("det-ptr-key", 1)]);
+        // Passing a pointer to an intrinsic is not key material.
+        let ok = "let p = unsafe { load(block.as_ptr()) }; // SAFETY: len checked\n";
+        assert!(lint_source(ok, Tier::ProtocolCore).is_empty());
+        // Re-typing a pointer keeps it a pointer; only integer casts leak
+        // address identity into values.
+        let retype = "// SAFETY: block is 16 bytes\nlet p = unsafe { loadu(block.as_ptr() as *const M128) };\n";
+        assert!(lint_source(retype, Tier::ProtocolCore).is_empty());
+    }
+
+    #[test]
+    fn ingress_rules_only_inside_regions() {
+        let outside = "fn setup() { x.unwrap(); }\n";
+        assert!(lint_source(outside, Tier::ProtocolCore).is_empty());
+        let inside = "// lint: ingress\nfn h(&mut self) {\n  x.unwrap();\n  y.expect(\"m\");\n  panic!(\"boom\");\n}\n// lint: end\nfn after() { z.unwrap(); }\n";
+        assert_eq!(
+            rules_of(&lint_source(inside, Tier::ProtocolCore)),
+            vec![("ingress-unwrap", 3), ("ingress-expect", 4), ("ingress-panic", 5)]
+        );
+    }
+
+    #[test]
+    fn ingress_indexing_needs_a_comment() {
+        let bare = "// lint: ingress\nfn h() { let v = slots[i]; }\n// lint: end\n";
+        assert_eq!(rules_of(&lint_source(bare, Tier::ProtocolCore)), vec![("ingress-index", 2)]);
+        let trailing =
+            "// lint: ingress\nfn h() { let v = slots[i]; } // bounds: i < n checked above\n// lint: end\n";
+        assert!(lint_source(trailing, Tier::ProtocolCore).is_empty());
+        let above =
+            "// lint: ingress\nfn h() {\n  // bounds: i validated by caller\n  let v = slots[i];\n}\n// lint: end\n";
+        assert!(lint_source(above, Tier::ProtocolCore).is_empty());
+        // Macro brackets and array types are not index expressions.
+        let benign = "// lint: ingress\nfn h() -> [u8; 4] { vec![1, 2]; for _x in [1, 2] {} [0; 4] }\n// lint: end\n";
+        assert!(lint_source(benign, Tier::ProtocolCore).is_empty());
+    }
+
+    #[test]
+    fn hot_path_rules() {
+        let src = "// lint: hot-path\nfn k(&mut self) {\n  let a = xs.to_vec();\n  let b = m.clone();\n  let c: Vec<u8> = Vec::new();\n  let d = format!(\"{a}\");\n}\n// lint: end\n";
+        assert_eq!(
+            rules_of(&lint_source(src, Tier::ProtocolCore)),
+            vec![("hot-to-vec", 3), ("hot-clone", 4), ("hot-vec-new", 5), ("hot-format", 6)]
+        );
+        // Vec::with_capacity is the sanctioned spelling.
+        let ok =
+            "// lint: hot-path\nfn k() { let v: Vec<u8> = Vec::with_capacity(8); }\n// lint: end\n";
+        assert!(lint_source(ok, Tier::ProtocolCore).is_empty());
+    }
+
+    #[test]
+    fn unsafe_audit_accepts_adjacent_safety_comments() {
+        let bad = "fn f() { unsafe { core::hint::unreachable_unchecked() } }\n";
+        assert_eq!(rules_of(&lint_source(bad, Tier::Harness)), vec![("unsafe-no-safety", 1)]);
+        let good = "// SAFETY: checked above\nunsafe { go() }\n";
+        assert!(lint_source(good, Tier::Harness).is_empty());
+        // Doc-style `# Safety` heading above attributes also counts.
+        let doc = "/// Does things.\n///\n/// # Safety\n/// Caller must check CPU features.\n#[target_feature(enable = \"sha\")]\npub unsafe fn compress() {}\n";
+        assert!(lint_source(doc, Tier::ProtocolCore).is_empty());
+        // A SAFETY comment does not leak past intervening code.
+        let stale = "// SAFETY: for the first block\nlet a = 1;\nfn g() { unsafe { go() } }\n";
+        assert_eq!(rules_of(&lint_source(stale, Tier::Harness)), vec![("unsafe-no-safety", 3)]);
+    }
+
+    #[test]
+    fn reasoned_allows_silence_standalone_and_trailing() {
+        let trailing = "use std::collections::HashMap; // lint: allow(det-hashmap) -- build-time only, iteration never observed\n";
+        assert!(lint_source(trailing, Tier::ProtocolCore).is_empty());
+        let standalone = "// lint: allow(det-hashmap) -- build-time only, iteration never observed\nuse std::collections::HashMap;\n";
+        assert!(lint_source(standalone, Tier::ProtocolCore).is_empty());
+        // The allow is line-scoped: a second violation still fires.
+        let second = "// lint: allow(det-hashmap) -- first use only\nuse std::collections::HashMap;\ntype M = HashMap<u32, u32>;\n";
+        assert_eq!(rules_of(&lint_source(second, Tier::ProtocolCore)), vec![("det-hashmap", 3)]);
+    }
+
+    #[test]
+    fn allows_require_reason_and_known_rule() {
+        let no_reason = "x.unwrap(); // lint: allow(ingress-unwrap)\n";
+        assert_eq!(rules_of(&lint_source(no_reason, Tier::Harness)), vec![("allow-no-reason", 1)]);
+        let dashes_only = "x.unwrap(); // lint: allow(ingress-unwrap) --\n";
+        assert_eq!(
+            rules_of(&lint_source(dashes_only, Tier::Harness)),
+            vec![("allow-no-reason", 1)]
+        );
+        let unknown = "// lint: allow(no-such-rule) -- because\nlet a = 1;\n";
+        assert_eq!(rules_of(&lint_source(unknown, Tier::Harness)), vec![("allow-unknown-rule", 1)]);
+    }
+
+    #[test]
+    fn malformed_directives_are_reported() {
+        let src = "// lint: ingress\nfn f() {}\n// lint: done\n";
+        let f = lint_source(src, Tier::Harness);
+        assert!(f.iter().any(|f| f.rule == "lint-directive" && f.line == 3), "{f:?}");
+        assert!(f.iter().any(|f| f.msg.contains("never closed")), "{f:?}");
+        let stray = "// lint: end\n";
+        assert_eq!(rules_of(&lint_source(stray, Tier::Harness)), vec![("lint-directive", 1)]);
+    }
+
+    #[test]
+    fn doc_text_mentioning_directives_is_inert() {
+        let src =
+            "//! Regions open with `// lint: ingress` and close with `// lint: end`.\nfn f() {}\n";
+        assert!(lint_source(src, Tier::Harness).is_empty());
+    }
+
+    #[test]
+    fn rule_table_is_consistent() {
+        assert!(known_rule("det-hashmap"));
+        assert!(!known_rule("det-hash"));
+        let mut ids: Vec<&str> = RULES.iter().map(|(id, _)| *id).collect();
+        let n = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "duplicate rule ids");
+    }
+}

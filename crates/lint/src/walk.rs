@@ -1,0 +1,116 @@
+//! Workspace walker: finds the `.rs` files to audit and classifies each
+//! by [`Tier`].
+//!
+//! * `crates/{bft,hybrid,crypto,sim,noc,hw}/**` — protocol-core (the
+//!   deterministic-replay contract applies).
+//! * every other workspace `.rs` file (`crates/bench`, `crates/soc`,
+//!   the umbrella `src/`+`tests/`, this linter) — harness.
+//! * `vendor/`, `target/`, `.git/`, and lint fixture trees are skipped
+//!   entirely: vendored shims are third-party API surface, and fixtures
+//!   are *deliberately* violating.
+
+use crate::rules::Tier;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crates whose code is on the deterministic protocol/replay path.
+pub const PROTOCOL_CORE_CRATES: &[&str] = &["bft", "crypto", "hw", "hybrid", "noc", "sim"];
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["vendor", "target", ".git", "lint_fixtures"];
+
+/// One file scheduled for linting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceFile {
+    /// Path relative to the walk root (stable diagnostic prefix).
+    pub path: PathBuf,
+    /// Which rule catalog applies.
+    pub tier: Tier,
+}
+
+/// Collects every auditable `.rs` file under `root`, classified by tier.
+/// When `force_tier` is set, classification is overridden (used to lint
+/// fixture trees as protocol-core). Results are sorted by path so runs
+/// are byte-reproducible.
+pub fn collect(root: &Path, force_tier: Option<Tier>) -> io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    descend(root, root, &mut files)?;
+    files.sort();
+    Ok(files
+        .into_iter()
+        .map(|path| {
+            let tier = force_tier.unwrap_or_else(|| classify(&path));
+            SourceFile { path, tier }
+        })
+        .collect())
+}
+
+fn descend(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            descend(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Tier of a root-relative path: `crates/<name>/…` consults the
+/// protocol-core list; everything else is harness.
+pub fn classify(rel: &Path) -> Tier {
+    let mut parts = rel.components().map(|c| c.as_os_str().to_string_lossy());
+    if parts.next().as_deref() == Some("crates") {
+        if let Some(krate) = parts.next() {
+            if PROTOCOL_CORE_CRATES.contains(&krate.as_ref()) {
+                return Tier::ProtocolCore;
+            }
+        }
+    }
+    Tier::Harness
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_by_crate() {
+        assert_eq!(classify(Path::new("crates/bft/src/pbft.rs")), Tier::ProtocolCore);
+        assert_eq!(classify(Path::new("crates/sim/src/lib.rs")), Tier::ProtocolCore);
+        assert_eq!(classify(Path::new("crates/bench/src/bin/f1.rs")), Tier::Harness);
+        assert_eq!(classify(Path::new("crates/lint/src/main.rs")), Tier::Harness);
+        assert_eq!(classify(Path::new("src/lib.rs")), Tier::Harness);
+        assert_eq!(classify(Path::new("tests/properties.rs")), Tier::Harness);
+    }
+
+    #[test]
+    fn walk_skips_vendor_and_fixtures() {
+        // Walk this crate's own tree: fixtures must be excluded.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let files = collect(root, None).unwrap();
+        assert!(!files.is_empty());
+        assert!(files.iter().all(|f| !f.path.to_string_lossy().contains("lint_fixtures")));
+        assert!(files.iter().any(|f| f.path.ends_with("src/lexer.rs")));
+        let sorted: Vec<_> = files.iter().map(|f| f.path.clone()).collect();
+        let mut resorted = sorted.clone();
+        resorted.sort();
+        assert_eq!(sorted, resorted, "deterministic order");
+    }
+
+    #[test]
+    fn forced_tier_overrides_classification() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+        let files = collect(&root, Some(Tier::ProtocolCore)).unwrap();
+        assert!(files.iter().all(|f| f.tier == Tier::ProtocolCore));
+    }
+}

@@ -1,0 +1,11 @@
+// Fixture: every determinism rule, one per line (tier: protocol-core).
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::time::SystemTime;
+use std::time::Instant;
+
+fn seeded() -> u64 {
+    let rng = rand::thread_rng();
+    let key = rng.as_ptr() as usize;
+    key as u64
+}

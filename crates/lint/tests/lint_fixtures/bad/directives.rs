@@ -1,0 +1,14 @@
+// Fixture: the directive meta-rules.
+// lint: allow(ingress-unwrap)
+fn reasonless(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+// lint: allow(no-such-rule) -- a reason for a rule that does not exist
+fn unknown() {}
+
+// lint: frobnicate
+fn malformed() {}
+
+// lint: end
+fn stray() {}

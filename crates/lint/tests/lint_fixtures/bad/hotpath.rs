@@ -1,0 +1,14 @@
+// Fixture: every hot-path rule fires inside the region, none outside.
+fn setup(xs: &[u8]) -> Vec<u8> {
+    xs.to_vec()
+}
+
+// lint: hot-path
+fn kernel(xs: &[u8], m: &State) -> usize {
+    let a = xs.to_vec();
+    let b = m.clone();
+    let c: Vec<u8> = Vec::new();
+    let d = format!("{}", xs.len());
+    a.len() + b.len() + c.len() + d.len()
+}
+// lint: end

@@ -1,0 +1,4 @@
+// Fixture: an unsafe block with no adjacent SAFETY comment.
+fn undocumented(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,10 @@
+// Fixture: region rules stay scoped — the same calls outside any region
+// (or in literals and doc text) are clean.
+//! Doc text may mention `// lint: ingress` or HashMap without firing.
+
+fn outside(x: Option<u32>, xs: &[u8]) -> Vec<u8> {
+    let _ = x.unwrap();
+    let s = "use std::collections::HashMap; Instant::now()";
+    let _ = format!("{s}");
+    xs.to_vec()
+}

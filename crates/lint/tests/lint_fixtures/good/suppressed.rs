@@ -1,0 +1,26 @@
+// Fixture: every violation from the bad/ set, silenced the sanctioned way.
+// lint: allow(det-hashmap) -- build-time table, iteration order never observed
+use std::collections::HashMap;
+
+// lint: ingress
+fn handle(xs: &[u32], x: Option<u32>, i: usize) -> u32 {
+    // lint: allow(ingress-unwrap) -- caller checked is_some() on this arm
+    let a = x.unwrap();
+    let b = x.expect("present"); // lint: allow(ingress-expect) -- invariant: set during init
+    // bounds: i comes from enumerate() over xs
+    let c = xs[i];
+    a + b + c
+}
+// lint: end
+
+// lint: hot-path
+fn kernel(arc: &Handle) -> Handle {
+    // lint: allow(hot-clone) -- Arc refcount bump, not a deep copy
+    arc.clone()
+}
+// lint: end
+
+fn documented(p: *const u8) -> u8 {
+    // SAFETY: p is non-null and aligned; the caller upholds the contract.
+    unsafe { *p }
+}

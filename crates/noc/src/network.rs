@@ -328,6 +328,9 @@ impl Network {
 
     /// Processes every queued hop attempt due at or before `horizon`, in
     /// `(cycle, injection order)` order.
+    // The per-hop kernel runs once per link traversal; `rsoc_lint` keeps
+    // it free of per-hop heap churn (flights live in the slab arena).
+    // lint: hot-path
     fn process_due(&mut self, horizon: u64) {
         while let Some(&Reverse((at, _, _))) = self.queue.peek() {
             if at > horizon {
@@ -444,6 +447,7 @@ impl Network {
             }
         }
     }
+    // lint: end
 
     /// Runs until the network drains or `max_cycles` elapse, jumping
     /// straight between event times instead of rescanning flights every

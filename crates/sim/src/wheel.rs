@@ -119,6 +119,9 @@ impl<T> TimingWheel<T> {
         self.cursor
     }
 
+    // The schedule/fire path runs once per simulated event; `rsoc_lint`
+    // keeps it free of per-event heap churn (the arena amortizes growth).
+    // lint: hot-path
     fn alloc(&mut self, value: T) -> u32 {
         if self.free_head != NIL {
             let slot = self.free_head;
@@ -211,6 +214,7 @@ impl<T> TimingWheel<T> {
             self.cursor += 1;
         }
     }
+    // lint: end
 }
 
 #[cfg(test)]

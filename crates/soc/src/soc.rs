@@ -2,7 +2,8 @@
 
 use crate::tile::{Tile, TileHealth, TileId};
 use rsoc_adapt::ProtocolChoice;
-use rsoc_bft::behavior::Behavior;
+use rsoc_bft::adversary::Behavior;
+use rsoc_bft::api::Cluster;
 use rsoc_bft::minbft::MinBftCluster;
 use rsoc_bft::passive::PassiveCluster;
 use rsoc_bft::pbft::PbftCluster;
@@ -180,14 +181,14 @@ impl ResilientSoc {
             ProtocolChoice::Pbft => {
                 let mut cluster = PbftCluster::new(&config);
                 for r in &byz {
-                    cluster.set_behavior(*r, Behavior::Equivocate);
+                    cluster.set_script(*r, Behavior::Equivocate.into());
                 }
                 run(&mut cluster, &config)
             }
             ProtocolChoice::MinBft => {
                 let mut cluster = MinBftCluster::new(&config);
                 for r in &byz {
-                    cluster.set_behavior(*r, Behavior::ForgeUi);
+                    cluster.set_script(*r, Behavior::ForgeUi.into());
                 }
                 run(&mut cluster, &config)
             }
@@ -197,7 +198,7 @@ impl ResilientSoc {
                 // as silent (it cannot forge the absent MACs profitably in
                 // this model, but it withholds service).
                 for r in &byz {
-                    cluster.set_behavior(*r, Behavior::Silent);
+                    cluster.set_script(*r, Behavior::Silent.into());
                 }
                 run(&mut cluster, &config)
             }

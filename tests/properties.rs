@@ -2,8 +2,8 @@
 //! crypto round-trips, ECC correction, USIG uniqueness/monotonicity,
 //! protocol safety under random fault configurations, NoC delivery.
 
+use manycore_resilience::bft::adversary::Behavior;
 use manycore_resilience::bft::api::{Cluster, ReplicaNode};
-use manycore_resilience::bft::behavior::Behavior;
 use manycore_resilience::bft::broadcast::{run_broadcast, SenderBehavior};
 use manycore_resilience::bft::minbft::MinBftCluster;
 use manycore_resilience::bft::passive::PassiveCluster;
@@ -202,7 +202,7 @@ proptest! {
             2 => Behavior::Equivocate,
             _ => Behavior::CrashAt(seed % 400),
         };
-        cluster.set_behavior(ReplicaId(byz_replica), behavior);
+        cluster.set_script(ReplicaId(byz_replica), behavior.into());
         let report = run(&mut cluster, &cfg);
         prop_assert!(report.safety_ok, "seed={} replica={} kind={}", seed, byz_replica, byz_kind);
         prop_assert_eq!(report.committed, 5);
@@ -225,7 +225,7 @@ proptest! {
             2 => Behavior::ForgeUi,
             _ => Behavior::CrashAt(seed % 400),
         };
-        cluster.set_behavior(ReplicaId(byz_replica), behavior);
+        cluster.set_script(ReplicaId(byz_replica), behavior.into());
         let report = run(&mut cluster, &cfg);
         prop_assert!(report.safety_ok, "seed={} replica={} kind={}", seed, byz_replica, byz_kind);
         prop_assert_eq!(report.committed, 5);
