@@ -106,6 +106,9 @@ pub struct ReplicaScript {
     duplicate: Vec<Window>,
     reorder: Vec<Window>,
     replay: Vec<ReplaySpec>,
+    rejuvenate: Vec<u64>,
+    corrupt_snapshot: Vec<Window>,
+    forge_checkpoint: Vec<Window>,
 }
 
 impl ReplicaScript {
@@ -165,6 +168,30 @@ impl ReplicaScript {
         self
     }
 
+    /// Schedules a rejuvenation at virtual time `at`: the runner wipes the
+    /// replica's volatile state (see [`ReplicaNode::wipe`]) and it must
+    /// re-join through certificate-verified state transfer.
+    pub fn rejuvenate_at(mut self, at: u64) -> Self {
+        self.rejuvenate.push(at);
+        self
+    }
+
+    /// Adds a snapshot-corruption window: state-transfer snapshots this
+    /// replica *serves* during it are tampered with (the requester's
+    /// certificate cross-check must reject them).
+    pub fn corrupt_snapshots(mut self, w: Window) -> Self {
+        self.corrupt_snapshot.push(w);
+        self
+    }
+
+    /// Adds a checkpoint-forgery window: instead of honest vouchers, the
+    /// replica broadcasts vouchers over a fabricated state digest (one
+    /// with a garbage MAC, one properly keyed — neither may certify).
+    pub fn forge_checkpoints(mut self, w: Window) -> Self {
+        self.forge_checkpoint.push(w);
+        self
+    }
+
     /// True when the script has no faults at all — the hot-path flag the
     /// protocols use to skip the staging outbox entirely.
     pub fn unconstrained(&self) -> bool {
@@ -176,6 +203,9 @@ impl ReplicaScript {
             && self.duplicate.is_empty()
             && self.reorder.is_empty()
             && self.replay.is_empty()
+            && self.rejuvenate.is_empty()
+            && self.corrupt_snapshot.is_empty()
+            && self.forge_checkpoint.is_empty()
     }
 
     /// Whether the replica ignores inputs at `now` (inside a crash window).
@@ -218,14 +248,32 @@ impl ReplicaScript {
         &self.replay
     }
 
-    /// Whether the script mounts a *content* attack (equivocation or UI
-    /// forgery) at any time. Such replicas are excluded from cross-replica
-    /// safety checks — their logs and state are attacker-controlled.
-    /// Transport-level faults (crash, silence, delay, duplication,
-    /// reordering, replay) leave the replica's *state* honest, so it stays
-    /// in the checked set.
+    /// The scheduled rejuvenation times of this script.
+    pub fn rejuvenations(&self) -> &[u64] {
+        &self.rejuvenate
+    }
+
+    /// Whether a snapshot-corruption window is active at `now`.
+    pub fn corrupts_snapshot_at(&self, now: u64) -> bool {
+        self.corrupt_snapshot.iter().any(|w| w.contains(now))
+    }
+
+    /// Whether a checkpoint-forgery window is active at `now`.
+    pub fn forges_checkpoint_at(&self, now: u64) -> bool {
+        self.forge_checkpoint.iter().any(|w| w.contains(now))
+    }
+
+    /// Whether the script mounts a *content* attack (equivocation, UI
+    /// forgery, checkpoint forgery, snapshot corruption) at any time. Such
+    /// replicas are excluded from cross-replica safety checks — their logs
+    /// and state are attacker-controlled. Transport-level faults (crash,
+    /// silence, delay, duplication, reordering, replay) and rejuvenation
+    /// leave the replica's *state* honest, so it stays in the checked set.
     pub fn is_byzantine(&self) -> bool {
-        !self.equivocate.is_empty() || !self.forge_ui.is_empty()
+        !self.equivocate.is_empty()
+            || !self.forge_ui.is_empty()
+            || !self.corrupt_snapshot.is_empty()
+            || !self.forge_checkpoint.is_empty()
     }
 
     /// The first cycle by which every windowed fault of this script is
@@ -237,11 +285,16 @@ impl ReplicaScript {
             .chain(&self.silence)
             .chain(&self.equivocate)
             .chain(&self.forge_ui)
+            .chain(&self.corrupt_snapshot)
+            .chain(&self.forge_checkpoint)
             .map(|w| w.until)
             .chain(self.delay.iter().map(|(w, _)| w.until))
             .chain(self.duplicate.iter().map(|w| w.until))
             .chain(self.reorder.iter().map(|w| w.until))
-            .chain(self.replay.iter().map(|r| r.window.until));
+            .chain(self.replay.iter().map(|r| r.window.until))
+            // A rejuvenation is instantaneous: the fault is "over" the
+            // cycle after the wipe (recovery itself is the protocol's job).
+            .chain(self.rejuvenate.iter().map(|t| t.saturating_add(1)));
         untils.max().unwrap_or(0)
     }
 }
@@ -445,16 +498,20 @@ impl ScenarioOracle {
     ) -> OracleVerdict {
         let correct = cluster.correct_replicas();
         let nodes = cluster.nodes();
-        // Digest agreement at quiesce: correct replicas at the same log
-        // length must hold the same state. Laggards (a partitioned or
-        // recovering replica still catching up) are compared only against
-        // peers at their own length — their log prefix is already covered
-        // by the safety check.
+        // Digest agreement at quiesce: correct replicas at the same total
+        // committed progress must hold the same state. Progress is
+        // `committed_seq()`, not retained-log length — with checkpointing
+        // enabled the log truncates below the stable watermark (and a
+        // state-transferred replica holds only a suffix), so equally
+        // advanced replicas can retain different entry counts. Laggards (a
+        // partitioned or recovering replica still catching up) are compared
+        // only against peers at their own progress — their log overlap is
+        // already covered by the safety check.
         let mut digests_ok = true;
         for (i, &a) in correct.iter().enumerate() {
             for &b in &correct[i + 1..] {
                 let (na, nb) = (&nodes[a.0 as usize], &nodes[b.0 as usize]);
-                if na.committed_log().len() == nb.committed_log().len()
+                if na.committed_seq() == nb.committed_seq()
                     && na.state_digest() != nb.state_digest()
                 {
                     digests_ok = false;

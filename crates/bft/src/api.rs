@@ -278,15 +278,20 @@ pub(crate) type PreparedEntries = Vec<(u64, Arc<Batch>)>;
 ///
 /// # Trust boundary
 ///
-/// Like the prepared sets they ride with, `executed_upto` claims are
-/// **unauthenticated and trusted as honest**: this model measures
-/// resilience against replica misbehaviour in the agreement path
-/// (equivocation, forgery, crashes, omission, transport faults), not
-/// against forged view-change content — a Byzantine voter could equally
-/// inject a fabricated prepared entry at an absurd sequence. Defending
-/// the view change itself requires certified checkpoints (Castro–Liskov)
-/// or USIG-signed view-change messages (Veronese et al.), which the
-/// ROADMAP lists as a next step.
+/// `executed_upto` claims and prepared sets are **unauthenticated and
+/// trusted as honest**: this model measures resilience against replica
+/// misbehaviour in the agreement path (equivocation, forgery, crashes,
+/// omission, transport faults), not against arbitrarily forged
+/// view-change content. Since PR 7 the boundary is partially defended by
+/// certified checkpoints (Castro–Liskov): votes carry the sender's stable
+/// [`CheckpointCert`](crate::checkpoint::CheckpointCert), the receiver
+/// verifies it (f+1 MAC'd vouchers) before it counts, and the verified
+/// `cert_floor` caps the round from below — prepared entries and
+/// watermark claims **at or below the stable checkpoint are discarded**,
+/// so a fabricated prepared set cannot rewrite certified history. Claims
+/// *above* the stable checkpoint remain trusted; USIG-signing the
+/// view-change messages themselves (Veronese et al.) is the remaining
+/// step, recorded in the ROADMAP.
 #[derive(Debug)]
 pub(crate) struct VcRound {
     /// The view this round votes for.
@@ -299,22 +304,35 @@ pub(crate) struct VcRound {
     /// floor above which sequence holes may be no-op-filled, and the
     /// bound fresh proposals must start above.
     pub exec_floor: u64,
+    /// Highest **verified** stable-checkpoint watermark carried by any
+    /// vote. Unlike `exec_floor` this floor is authenticated: prepared
+    /// entries at or below it are certified history and are dropped.
+    pub cert_floor: u64,
 }
 
 impl VcRound {
     /// An empty round for `view` in a cluster of `n` replicas.
     pub fn new(view: u64, n: usize) -> Self {
-        VcRound { view, votes: vec![None; n], count: 0, exec_floor: 0 }
+        VcRound { view, votes: vec![None; n], count: 0, exec_floor: 0, cert_floor: 0 }
     }
 
-    /// Records one voter's prepared set and watermark claim.
-    pub fn record(&mut self, from: ReplicaId, prepared: PreparedEntries, executed_upto: u64) {
+    /// Records one voter's prepared set and watermark claims. `cert_seq`
+    /// is the voter's stable-checkpoint watermark, **already verified by
+    /// the caller** (0 when the vote carried no certificate).
+    pub fn record(
+        &mut self,
+        from: ReplicaId,
+        prepared: PreparedEntries,
+        executed_upto: u64,
+        cert_seq: u64,
+    ) {
         let slot = &mut self.votes[from.0 as usize];
         if slot.is_none() {
             self.count += 1;
         }
         *slot = Some(prepared);
         self.exec_floor = self.exec_floor.max(executed_upto);
+        self.cert_floor = self.cert_floor.max(cert_seq);
     }
 }
 
@@ -454,6 +472,35 @@ pub trait ReplicaNode {
     /// increment is one detection-and-recovery round — a PBFT/MinBFT view
     /// change or a passive failover — which the campaign records per cell.
     fn current_view(&self) -> u64;
+
+    /// Total committed operations. With checkpointing enabled the
+    /// committed log truncates below the stable watermark, so this is
+    /// `truncated prefix + committed_log().len()`, **not** the retained
+    /// suffix length. The default covers untruncated logs (entry seqs are
+    /// dense and 1-based, so the last seq is the count).
+    fn committed_seq(&self) -> u64 {
+        self.committed_log().last().map(|e| e.seq).unwrap_or(0)
+    }
+
+    /// Rejuvenation: discard all volatile protocol and application state
+    /// (log, state machine, agreement slots, dedup indices) while keeping
+    /// identity and trusted-component state (keys, USIG counter, stable
+    /// checkpoint certificate). A wiped replica re-joins through state
+    /// transfer. Default: no-op, for protocols without a recovery path.
+    fn wipe(&mut self) {}
+
+    /// Checkpoint/state-transfer counters for campaign rows. Default:
+    /// zeros, for protocols without checkpointing.
+    fn checkpoint_stats(&self) -> crate::checkpoint::CheckpointStats {
+        crate::checkpoint::CheckpointStats::default()
+    }
+
+    /// Certificates formed or adopted this run, in order (`(seq, digest)`
+    /// pairs — the boundaries the checkpoint-agreement proptest compares
+    /// across replicas). Default: empty.
+    fn checkpoint_history(&self) -> &[(u64, [u8; 32])] {
+        &[]
+    }
 }
 
 /// A cluster: the set of nodes plus protocol-level metadata the harness

@@ -1,0 +1,678 @@
+//! Certified checkpoints and collaborative state transfer (CST).
+//!
+//! The paper's resilience story depends on replicas being able to *leave
+//! and come back*: rejuvenated or long-crashed tiles must re-join the
+//! quorum with **verified** state, not be trusted or abandoned. This
+//! module is the shared half of that machinery, used identically by all
+//! three protocols so the certificate format cannot drift:
+//!
+//! * **Certified checkpoints** (Castro–Liskov): every `interval` executed
+//!   watermark units (agreement slots for PBFT/MinBFT, log entries for
+//!   passive) a replica digests its state machine and broadcasts a MAC'd
+//!   [`CheckpointVoucher`]. `quorum` (= f+1) matching vouchers from
+//!   distinct replicas form a [`CheckpointCert`] — proof that at least
+//!   one *correct* replica vouches for that state.
+//! * **Collaborative state transfer** (the febft CST shape): a replica
+//!   that learns of a stable certificate ahead of its own execution
+//!   requests `cert + snapshot + log suffix` from its peers, cross-checks
+//!   `sha256(snapshot) == cert.digest` **before** installing, replays the
+//!   suffix, and rejoins live agreement.
+//! * **Log truncation**: once a checkpoint is stable, everything below it
+//!   is recoverable via CST, so retention rings (MinBFT `sent_ui`,
+//!   passive `shipped`, the per-request replay ring) and the committed
+//!   log itself retire below the watermark — replica memory is bounded
+//!   by inter-checkpoint traffic instead of run length.
+//!
+//! With `interval == 0` the subsystem is **disabled** and byte-invisible:
+//! no messages, no timers, no RNG draws, no report changes — the
+//! fault-free benches (BENCH_2/4/5) stay byte-identical to the
+//! checkpoint-less build.
+//!
+//! # Trust boundary
+//!
+//! Vouchers are HMAC'd under per-replica keys provisioned from the run
+//! seed ([`CkptKeys`]) — the same trusted key-distribution model as the
+//! USIG [`rsoc_hybrid::KeyRing`]. A Byzantine replica cannot forge
+//! another replica's voucher (no key), and a lone colluder vouching for a
+//! fabricated digest never reaches the f+1 quorum. The post-checkpoint
+//! *log suffix* of a transfer, however, is taken from a single responder:
+//! the snapshot below the watermark is certificate-verified, the suffix
+//! above it is trusted as honest (carrying per-entry commit certificates
+//! is the remaining step, recorded in the ROADMAP).
+
+use crate::api::{LogEntry, ReplicaId, Request};
+use rsoc_crypto::{sha256, MacKey, Tag};
+use std::sync::Arc;
+
+/// Cycles a recovering replica waits between state-transfer requests
+/// (mirrors the MinBFT `FillGap` backoff: one outstanding round per
+/// backoff window, not a request per received message).
+pub const CST_BACKOFF: u64 = 200;
+
+/// Domain-separated MAC input for a checkpoint voucher: the watermark and
+/// the state digest. The voucher's sender is bound by *which* key MACs it
+/// (per-replica keys), not by the payload.
+fn voucher_bytes(seq: u64, digest: &[u8; 32]) -> [u8; 48] {
+    let mut b = [0u8; 48];
+    b[..8].copy_from_slice(b"CKPTVCH\0");
+    b[8..16].copy_from_slice(&seq.to_le_bytes());
+    b[16..48].copy_from_slice(digest);
+    b
+}
+
+/// Per-replica checkpoint MAC keys, provisioned from the run seed at
+/// cluster construction — the trusted-key-distribution model shared with
+/// the USIG key ring (a real SoC would hold these in the tile's trusted
+/// perimeter).
+#[derive(Debug)]
+pub struct CkptKeys {
+    keys: Vec<MacKey>,
+}
+
+impl CkptKeys {
+    /// Derives one key per replica from `seed`.
+    pub fn provision(seed: u64, n: usize) -> Arc<Self> {
+        let keys =
+            (0..n).map(|i| MacKey::derive(seed ^ ((i as u64) << 17), "rsoc-ckpt-key")).collect();
+        Arc::new(CkptKeys { keys })
+    }
+
+    /// Signs a voucher as replica `from`. (The simulator holds all keys in
+    /// one ring; honest replicas only ever sign as themselves.)
+    pub fn sign(&self, from: ReplicaId, seq: u64, digest: [u8; 32]) -> CheckpointVoucher {
+        let tag = self.keys[from.0 as usize].mac(&voucher_bytes(seq, &digest));
+        CheckpointVoucher { seq, digest, from, tag }
+    }
+
+    /// Verifies a voucher against its claimed sender's key.
+    pub fn verify(&self, v: &CheckpointVoucher) -> bool {
+        match self.keys.get(v.from.0 as usize) {
+            Some(key) => key.verify(&voucher_bytes(v.seq, &v.digest), &v.tag),
+            None => false,
+        }
+    }
+}
+
+/// One replica's MAC'd claim "my state machine digested to `digest` after
+/// executing watermark `seq`".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointVoucher {
+    /// Watermark in the protocol's agreement domain (slot seq for
+    /// PBFT/MinBFT, log seq for passive).
+    pub seq: u64,
+    /// State-machine digest at the watermark.
+    pub digest: [u8; 32],
+    /// Vouching replica.
+    pub from: ReplicaId,
+    /// HMAC over `(seq, digest)` under the sender's checkpoint key.
+    pub tag: Tag,
+}
+
+/// `quorum` matching vouchers from distinct replicas: the stable-checkpoint
+/// certificate. Verifiable by anyone holding [`CkptKeys`], including a
+/// freshly wiped replica — which is what makes certificate-gated re-join
+/// possible after rejuvenation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointCert {
+    /// Certified watermark.
+    pub seq: u64,
+    /// Certified state digest.
+    pub digest: [u8; 32],
+    /// The matching vouchers (distinct senders).
+    pub vouchers: Vec<CheckpointVoucher>,
+}
+
+/// One peer's answer to a state-transfer request: the stable certificate,
+/// the snapshot it certifies, and the committed tail above it.
+#[derive(Debug, Clone)]
+pub struct StateTransfer {
+    /// The stable checkpoint certificate the snapshot is checked against.
+    pub cert: CheckpointCert,
+    /// KV snapshot; `sha256(snapshot)` must equal `cert.digest`.
+    pub snapshot: Arc<Vec<u8>>,
+    /// Committed log length at the certificate watermark — the suffix
+    /// covers log sequences `log_base + 1 ..`.
+    pub log_base: u64,
+    /// Committed requests above the watermark, in log order, each with the
+    /// log-entry digest it committed under (replayed after the snapshot
+    /// installs; carrying the original digests keeps the installed log
+    /// byte-identical to the peers' for the safety checker).
+    pub suffix: Arc<Vec<(Arc<Request>, [u8; 32])>>,
+    /// Responder's execution watermark in its agreement-seq domain.
+    pub exec_upto: u64,
+    /// Responder's current view/epoch, adopted on install.
+    pub view: u64,
+    /// Responding replica.
+    pub from: ReplicaId,
+}
+
+/// Counters the campaign rows record per replica.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Highest stable (certified) watermark known.
+    pub stable_seq: u64,
+    /// Completed state-transfer installs.
+    pub transfers: u64,
+    /// Vouchers/certificates/snapshots rejected by verification.
+    pub rejected: u64,
+}
+
+/// Own snapshot taken at a watermark, retained until a certificate forms
+/// (then only the stable one is kept, for serving transfers).
+#[derive(Debug)]
+struct LocalCheckpoint {
+    seq: u64,
+    log_len: u64,
+    snapshot: Arc<Vec<u8>>,
+}
+
+/// Vouchers collected for one not-yet-stable watermark, grouped by the
+/// digest they vouch for (honest replicas produce one group; a colluder
+/// vouching for a fabricated digest sits alone in its own group).
+#[derive(Debug)]
+struct PendingCheckpoint {
+    seq: u64,
+    groups: Vec<([u8; 32], Vec<CheckpointVoucher>)>,
+}
+
+/// Per-replica checkpoint state: voucher collection, certificate
+/// formation, own-snapshot retention, and the transfer-request backoff.
+/// Shared by all three protocols.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    me: ReplicaId,
+    /// Vouchers needed for a certificate (f+1; 2-of-2 for passive).
+    quorum: usize,
+    /// Watermark units between checkpoints; 0 disables the subsystem.
+    interval: u64,
+    keys: Arc<CkptKeys>,
+    pending: Vec<PendingCheckpoint>,
+    local: Vec<LocalCheckpoint>,
+    stable: Option<CheckpointCert>,
+    /// Certificates formed/adopted this run, in order: `(seq, digest)`.
+    history: Vec<(u64, [u8; 32])>,
+    transfers: u64,
+    rejected: u64,
+    /// Next cycle a state-transfer request may be sent.
+    transfer_req_at: u64,
+}
+
+impl CheckpointStore {
+    /// A store for replica `me`; `interval == 0` makes every operation a
+    /// no-op (the disabled, byte-invisible configuration).
+    pub fn new(me: ReplicaId, quorum: usize, interval: u64, keys: Arc<CkptKeys>) -> Self {
+        CheckpointStore {
+            me,
+            quorum: quorum.max(1),
+            interval,
+            keys,
+            pending: Vec::new(),
+            local: Vec::new(),
+            stable: None,
+            history: Vec::new(),
+            transfers: 0,
+            rejected: 0,
+            transfer_req_at: 0,
+        }
+    }
+
+    /// Whether checkpointing is enabled at all.
+    pub fn enabled(&self) -> bool {
+        self.interval > 0
+    }
+
+    /// True when execution just crossed a watermark boundary.
+    pub fn due(&self, exec_seq: u64) -> bool {
+        self.interval > 0 && exec_seq > 0 && exec_seq.is_multiple_of(self.interval)
+    }
+
+    /// The stable certificate, if any.
+    pub fn stable(&self) -> Option<&CheckpointCert> {
+        self.stable.as_ref()
+    }
+
+    /// Stable watermark (0 before the first certificate).
+    pub fn stable_seq(&self) -> u64 {
+        self.stable.as_ref().map(|c| c.seq).unwrap_or(0)
+    }
+
+    /// Certificates formed or adopted this run, in order.
+    pub fn history(&self) -> &[(u64, [u8; 32])] {
+        &self.history
+    }
+
+    /// Campaign counters.
+    pub fn stats(&self) -> CheckpointStats {
+        CheckpointStats {
+            stable_seq: self.stable_seq(),
+            transfers: self.transfers,
+            rejected: self.rejected,
+        }
+    }
+
+    /// Records this replica's own checkpoint at `seq`: retains the
+    /// snapshot (for serving transfers once certified) and returns the
+    /// signed voucher to broadcast. The caller also feeds the voucher back
+    /// through [`record`](Self::record) to count itself.
+    pub fn record_local(
+        &mut self,
+        seq: u64,
+        digest: [u8; 32],
+        log_len: u64,
+        snapshot: Arc<Vec<u8>>,
+    ) -> CheckpointVoucher {
+        self.local.retain(|l| l.seq != seq);
+        self.local.push(LocalCheckpoint { seq, log_len, snapshot });
+        self.keys.sign(self.me, seq, digest)
+    }
+
+    // lint: ingress
+    /// Ingests one voucher (adversarial input: sender, watermark, and tag
+    /// are all attacker-controlled). Returns the newly stable watermark
+    /// when this voucher completes a certificate.
+    pub fn record(&mut self, v: &CheckpointVoucher) -> Option<u64> {
+        if !self.enabled() {
+            return None;
+        }
+        if !self.keys.verify(v) {
+            self.rejected += 1;
+            return None;
+        }
+        if v.seq <= self.stable_seq() {
+            return None; // already covered by a stable certificate
+        }
+        let pending = match self.pending.iter_mut().find(|p| p.seq == v.seq) {
+            Some(p) => p,
+            None => {
+                self.pending.push(PendingCheckpoint { seq: v.seq, groups: Vec::new() });
+                // lint: allow(ingress-expect) -- entry pushed on the line above
+                self.pending.last_mut().expect("just pushed")
+            }
+        };
+        let group = match pending.groups.iter_mut().find(|(d, _)| *d == v.digest) {
+            Some((_, g)) => g,
+            None => {
+                pending.groups.push((v.digest, Vec::new()));
+                // lint: allow(ingress-expect) -- entry pushed on the line above
+                &mut pending.groups.last_mut().expect("just pushed").1
+            }
+        };
+        if group.iter().any(|existing| existing.from == v.from) {
+            return None; // one voucher per replica per watermark
+        }
+        group.push(v.clone());
+        if group.len() >= self.quorum {
+            let cert =
+                CheckpointCert { seq: v.seq, digest: v.digest, vouchers: std::mem::take(group) };
+            self.make_stable(cert);
+            return Some(self.stable_seq());
+        }
+        None
+    }
+
+    /// Verifies a full certificate: `quorum` vouchers from distinct
+    /// senders, each MAC-valid and matching the certificate's watermark
+    /// and digest. This is what makes a certificate self-contained — a
+    /// wiped replica can validate one with nothing but its keys.
+    pub fn verify_cert(&self, cert: &CheckpointCert) -> bool {
+        if !self.enabled() {
+            return false;
+        }
+        let mut seen = 0u64;
+        let mut distinct = 0usize;
+        for v in &cert.vouchers {
+            if v.seq != cert.seq || v.digest != cert.digest || !self.keys.verify(v) {
+                return false;
+            }
+            if v.from.0 >= 64 {
+                return false;
+            }
+            let bit = 1u64 << v.from.0;
+            if seen & bit == 0 {
+                seen |= bit;
+                distinct += 1;
+            }
+        }
+        distinct >= self.quorum
+    }
+
+    /// Adopts a certificate learned from a peer (FillGap answers, view
+    /// changes, transfer responses). Verified before adoption; a bad
+    /// certificate bumps `rejected`. Returns `true` if it advanced the
+    /// stable watermark.
+    pub fn adopt_cert(&mut self, cert: &CheckpointCert) -> bool {
+        if cert.seq <= self.stable_seq() {
+            return false;
+        }
+        if !self.verify_cert(cert) {
+            if self.enabled() {
+                self.rejected += 1;
+            }
+            return false;
+        }
+        self.make_stable(cert.clone());
+        true
+    }
+    // lint: end
+
+    fn make_stable(&mut self, cert: CheckpointCert) {
+        let seq = cert.seq;
+        self.history.push((seq, cert.digest));
+        self.stable = Some(cert);
+        self.pending.retain(|p| p.seq > seq);
+        // Keep the snapshot the certificate covers (if we took one) plus
+        // any newer ones still awaiting their own certificates — those are
+        // exactly the snapshots future `make_stable` calls will need.
+        self.local.retain(|l| l.seq >= seq);
+    }
+
+    /// Log length at the stable watermark, known only if this replica took
+    /// that checkpoint itself — the bound its committed log and retention
+    /// rings truncate below.
+    pub fn stable_log_len(&self) -> Option<u64> {
+        let stable = self.stable.as_ref()?;
+        self.local.iter().find(|l| l.seq == stable.seq).map(|l| l.log_len)
+    }
+
+    /// The transfer a peer can serve: stable certificate plus the snapshot
+    /// it certifies. `None` while no certificate is stable or the snapshot
+    /// predates this replica's own participation (post-wipe).
+    pub fn serve(&self) -> Option<(&CheckpointCert, u64, Arc<Vec<u8>>)> {
+        let stable = self.stable.as_ref()?;
+        let local = self.local.iter().find(|l| l.seq == stable.seq)?;
+        Some((stable, local.log_len, Arc::clone(&local.snapshot)))
+    }
+
+    /// Whether this replica is behind the stable checkpoint — committed
+    /// material below the watermark has been truncated cluster-wide, so
+    /// only state transfer can close the gap.
+    pub fn behind(&self, exec_seq: u64) -> bool {
+        self.stable_seq() > exec_seq
+    }
+
+    /// Rate limit for state-transfer requests: at most one broadcast per
+    /// [`CST_BACKOFF`] window.
+    pub fn may_request(&mut self, now: u64) -> bool {
+        if now >= self.transfer_req_at {
+            self.transfer_req_at = now.saturating_add(CST_BACKOFF);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Counts a completed snapshot install.
+    pub fn note_transfer(&mut self) {
+        self.transfers += 1;
+    }
+
+    /// Counts a rejected snapshot/certificate (verification failure on an
+    /// ingress path that lives outside [`record`](Self::record)).
+    pub fn note_rejected(&mut self) {
+        self.rejected += 1;
+    }
+
+    /// Rejuvenation wipe: volatile collection state is cleared. The stable
+    /// certificate and the run counters survive — the certificate because
+    /// it is self-verifying (re-checked from `CkptKeys` on every use) and
+    /// in a real tile would live in the trusted persistent store, the
+    /// counters because they are measurement, not protocol state. Keeping
+    /// the certificate is what tells a wiped replica it is behind and must
+    /// transfer *before* trusting its empty log.
+    pub fn wipe(&mut self) {
+        self.pending.clear();
+        self.local.clear();
+        self.transfer_req_at = 0;
+    }
+}
+
+/// Checks a transfer's snapshot against its certificate:
+/// `sha256(snapshot) == cert.digest`. The one line between "collaborative
+/// state transfer" and "installing whatever a peer sent".
+pub fn snapshot_matches(cert: &CheckpointCert, snapshot: &[u8]) -> bool {
+    sha256(snapshot) == cert.digest
+}
+
+/// A committed log that can truncate below the stable checkpoint: the
+/// retained entries are a contiguous *suffix* of the full history,
+/// `base` counts the truncated prefix. `committed()` (= base + retained)
+/// is the replica's total progress; the safety checker aligns replicas by
+/// entry `seq`, so truncation at different watermarks stays comparable.
+#[derive(Debug, Default)]
+pub struct CommittedLog {
+    base: u64,
+    entries: Vec<LogEntry>,
+}
+
+impl CommittedLog {
+    /// An empty, untruncated log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the next committed entry (entry seqs are dense, 1-based).
+    pub fn push(&mut self, entry: LogEntry) {
+        debug_assert_eq!(entry.seq, self.committed() + 1, "log seqs must stay dense");
+        self.entries.push(entry);
+    }
+
+    /// Total committed operations, including the truncated prefix.
+    pub fn committed(&self) -> u64 {
+        self.base + self.entries.len() as u64
+    }
+
+    /// Sequence number of the first retained entry (== base + 1), or
+    /// `committed() + 1` when no suffix is retained.
+    pub fn first_retained(&self) -> u64 {
+        self.base + 1
+    }
+
+    /// The retained suffix, in sequence order.
+    pub fn entries(&self) -> &[LogEntry] {
+        &self.entries
+    }
+
+    /// Drops entries with `seq <= watermark` (no-op for watermarks at or
+    /// below the current base; never truncates above what is committed).
+    pub fn truncate_below(&mut self, watermark: u64) {
+        let watermark = watermark.min(self.committed());
+        if watermark <= self.base {
+            return;
+        }
+        let drop = (watermark - self.base) as usize;
+        self.entries.drain(..drop);
+        self.base = watermark;
+    }
+
+    /// Resets to a transferred base: the snapshot covers everything up to
+    /// `base`; the caller replays the suffix via [`push`](Self::push).
+    pub fn reset_to(&mut self, base: u64) {
+        self.entries.clear();
+        self.base = base;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{ClientId, OpId};
+
+    fn entry(seq: u64) -> LogEntry {
+        LogEntry { seq, op: OpId { client: ClientId(1), seq }, digest: sha256(&seq.to_le_bytes()) }
+    }
+
+    fn store(me: u32, quorum: usize, interval: u64, keys: &Arc<CkptKeys>) -> CheckpointStore {
+        CheckpointStore::new(ReplicaId(me), quorum, interval, Arc::clone(keys))
+    }
+
+    #[test]
+    fn quorum_of_matching_vouchers_forms_a_certificate() {
+        let keys = CkptKeys::provision(7, 4);
+        let mut s = store(0, 2, 4, &keys);
+        let digest = sha256(b"state");
+        assert!(s.record(&keys.sign(ReplicaId(1), 4, digest)).is_none());
+        assert_eq!(s.record(&keys.sign(ReplicaId(2), 4, digest)), Some(4));
+        assert_eq!(s.stable_seq(), 4);
+        assert_eq!(s.history(), &[(4, digest)]);
+        // The formed certificate verifies as self-contained.
+        let cert = s.stable().unwrap().clone();
+        assert!(s.verify_cert(&cert));
+    }
+
+    #[test]
+    fn duplicate_and_stale_vouchers_do_not_count() {
+        let keys = CkptKeys::provision(7, 4);
+        let mut s = store(0, 2, 4, &keys);
+        let digest = sha256(b"state");
+        let v = keys.sign(ReplicaId(1), 4, digest);
+        assert!(s.record(&v).is_none());
+        assert!(s.record(&v).is_none(), "same replica cannot vouch twice");
+        assert_eq!(s.record(&keys.sign(ReplicaId(3), 4, digest)), Some(4));
+        // Vouchers at or below the stable watermark are ignored.
+        assert!(s.record(&keys.sign(ReplicaId(2), 4, digest)).is_none());
+    }
+
+    #[test]
+    fn forged_vouchers_are_rejected_and_counted() {
+        let keys = CkptKeys::provision(7, 4);
+        let mut s = store(0, 2, 4, &keys);
+        let digest = sha256(b"state");
+        let mut forged = keys.sign(ReplicaId(1), 4, digest);
+        forged.tag = Tag([0xEE; 32]);
+        assert!(s.record(&forged).is_none());
+        assert_eq!(s.stats().rejected, 1);
+        // A colluder's properly-MAC'd voucher for a *different* digest
+        // lands in its own group and never reaches quorum alone.
+        let lie = keys.sign(ReplicaId(1), 4, sha256(b"fabricated"));
+        assert!(s.record(&lie).is_none());
+        assert!(s.record(&keys.sign(ReplicaId(2), 4, digest)).is_none());
+        assert_eq!(s.record(&keys.sign(ReplicaId(3), 4, digest)), Some(4));
+        assert_eq!(s.stable().unwrap().digest, digest, "honest digest wins");
+    }
+
+    #[test]
+    fn forged_certificates_are_rejected() {
+        let keys = CkptKeys::provision(7, 4);
+        let mut s = store(0, 2, 4, &keys);
+        let digest = sha256(b"state");
+        let good = CheckpointCert {
+            seq: 8,
+            digest,
+            vouchers: vec![keys.sign(ReplicaId(1), 8, digest), keys.sign(ReplicaId(2), 8, digest)],
+        };
+        assert!(s.adopt_cert(&good));
+        assert_eq!(s.stable_seq(), 8);
+        // Same voucher twice: not distinct senders.
+        let dup = CheckpointCert {
+            seq: 12,
+            digest,
+            vouchers: vec![
+                keys.sign(ReplicaId(1), 12, digest),
+                keys.sign(ReplicaId(1), 12, digest),
+            ],
+        };
+        assert!(!s.adopt_cert(&dup));
+        // Garbage MACs.
+        let mut bad = keys.sign(ReplicaId(1), 12, digest);
+        bad.tag = Tag([0; 32]);
+        let forged = CheckpointCert {
+            seq: 12,
+            digest,
+            vouchers: vec![bad, keys.sign(ReplicaId(2), 12, digest)],
+        };
+        assert!(!s.adopt_cert(&forged));
+        assert_eq!(s.stable_seq(), 8, "stable watermark unchanged by forgeries");
+        assert_eq!(s.stats().rejected, 2);
+    }
+
+    #[test]
+    fn serving_requires_the_certified_snapshot() {
+        let keys = CkptKeys::provision(7, 4);
+        let mut s = store(1, 2, 4, &keys);
+        let digest = sha256(b"state");
+        assert!(s.serve().is_none());
+        let snapshot = Arc::new(b"snapshot-bytes".to_vec());
+        let v = s.record_local(4, digest, 4, Arc::clone(&snapshot));
+        s.record(&v);
+        assert!(s.serve().is_none(), "no certificate yet");
+        s.record(&keys.sign(ReplicaId(2), 4, digest));
+        let (cert, log_len, served) = s.serve().expect("stable + local snapshot");
+        assert_eq!((cert.seq, log_len), (4, 4));
+        assert!(Arc::ptr_eq(&served, &snapshot));
+        // A replica that adopted a cert it never checkpointed (post-wipe)
+        // has nothing to serve.
+        let mut wiped = store(3, 2, 4, &keys);
+        assert!(wiped.adopt_cert(&cert.clone()));
+        assert!(wiped.serve().is_none());
+        assert!(wiped.behind(0));
+    }
+
+    #[test]
+    fn wipe_keeps_the_stable_certificate() {
+        let keys = CkptKeys::provision(7, 4);
+        let mut s = store(0, 2, 4, &keys);
+        let digest = sha256(b"state");
+        let v = s.record_local(4, digest, 4, Arc::new(vec![1]));
+        s.record(&v);
+        s.record(&keys.sign(ReplicaId(2), 4, digest));
+        s.wipe();
+        assert_eq!(s.stable_seq(), 4, "certificate survives rejuvenation");
+        assert!(s.serve().is_none(), "snapshot does not");
+        assert!(s.behind(0));
+    }
+
+    #[test]
+    fn request_backoff_limits_to_one_per_window() {
+        let keys = CkptKeys::provision(7, 4);
+        let mut s = store(0, 2, 4, &keys);
+        assert!(s.may_request(0));
+        assert!(!s.may_request(CST_BACKOFF - 1));
+        assert!(s.may_request(CST_BACKOFF));
+    }
+
+    #[test]
+    fn disabled_store_is_inert() {
+        let keys = CkptKeys::provision(7, 4);
+        let mut s = store(0, 2, 0, &keys);
+        assert!(!s.enabled());
+        assert!(!s.due(8));
+        assert!(s.record(&keys.sign(ReplicaId(1), 4, sha256(b"x"))).is_none());
+        assert_eq!(s.stats(), CheckpointStats::default());
+    }
+
+    #[test]
+    fn committed_log_truncates_and_stays_seq_aligned() {
+        let mut log = CommittedLog::new();
+        for seq in 1..=10 {
+            log.push(entry(seq));
+        }
+        assert_eq!(log.committed(), 10);
+        assert_eq!(log.first_retained(), 1);
+        log.truncate_below(4);
+        assert_eq!(log.committed(), 10);
+        assert_eq!(log.first_retained(), 5);
+        assert_eq!(log.entries().first().map(|e| e.seq), Some(5));
+        // Truncating below the base or above the head is clamped.
+        log.truncate_below(2);
+        assert_eq!(log.first_retained(), 5);
+        log.truncate_below(99);
+        assert_eq!(log.committed(), 10);
+        assert!(log.entries().is_empty());
+        log.push(entry(11));
+        assert_eq!(log.committed(), 11);
+        // Transfer install: base jumps, suffix replays on top.
+        log.reset_to(20);
+        assert_eq!(log.committed(), 20);
+        log.push(entry(21));
+        assert_eq!(log.committed(), 21);
+        assert_eq!(log.entries().len(), 1);
+    }
+
+    #[test]
+    fn snapshot_cross_check() {
+        let bytes = b"framed snapshot".to_vec();
+        let cert = CheckpointCert { seq: 1, digest: sha256(&bytes), vouchers: vec![] };
+        assert!(snapshot_matches(&cert, &bytes));
+        assert!(!snapshot_matches(&cert, b"corrupted"));
+    }
+}

@@ -17,6 +17,10 @@
 //!   anchored in the [`rsoc_hybrid::Usig`] trusted component;
 //! * [`passive`] — primary-backup (passive) replication with a heartbeat
 //!   failure detector — cheap but with a visible failover window;
+//! * [`checkpoint`] — certified checkpoints (f+1 MAC'd vouchers),
+//!   collaborative state transfer, and checkpoint-keyed log truncation,
+//!   shared by all three protocols (enabled via
+//!   [`runner::RunConfig::checkpoint_interval`]);
 //! * [`adversary`] — composable, time-phased fault scripts (crash/recover
 //!   windows, partitions, link degradation, DoS floods, stale replay),
 //!   the named one-fault [`adversary::Behavior`] presets that lower onto
@@ -47,6 +51,7 @@
 pub mod adversary;
 pub mod api;
 pub mod broadcast;
+pub mod checkpoint;
 pub mod dense;
 pub mod minbft;
 pub mod passive;
@@ -59,5 +64,6 @@ pub use adversary::{
     ScenarioOracle, Window,
 };
 pub use api::{ClientId, LogEntry, OpId, ReplicaId, Reply, Request};
+pub use checkpoint::{CheckpointCert, CheckpointStats, CheckpointVoucher, CkptKeys};
 pub use runner::{run, run_scenario, RunConfig, RunReport, ScenarioOutcome};
 pub use statemachine::{CounterMachine, KvStore, StateMachine};

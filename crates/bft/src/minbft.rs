@@ -23,6 +23,10 @@ use crate::api::{
     noop_batch, Batch, BatchDecision, Batcher, Cluster, Endpoint, Input, LogEntry, OpId, Outbox,
     ReplicaId, ReplicaNode, Reply, Request, VcRound,
 };
+use crate::checkpoint::{
+    snapshot_matches, CheckpointCert, CheckpointStats, CheckpointStore, CheckpointVoucher,
+    CkptKeys, CommittedLog, StateTransfer,
+};
 use crate::dense::{op_token, token_op, OpIndex, ReplicaSet, SeqWindow};
 use crate::runner::RunConfig;
 use crate::statemachine::{KvStore, StateMachine};
@@ -88,6 +92,9 @@ pub enum MinBftMsg {
         /// The voter's execution watermark (the hole-filling floor — see
         /// the PBFT `ViewChange` twin).
         executed_upto: u64,
+        /// The voter's stable checkpoint certificate, if any: the new
+        /// primary verifies it and refuses to re-propose below it.
+        cert: Option<CheckpointCert>,
     },
     /// New primary's installation message (re-proposals follow as normal
     /// UI-certified PREPAREs).
@@ -116,6 +123,33 @@ pub enum MinBftMsg {
         /// The requesting replica (resends go only to it).
         from: ReplicaId,
     },
+    /// FillGap answer for counters already retired from the resend ring:
+    /// the responder cannot resend (USIGs never re-sign old counters), so
+    /// it hands over its stable checkpoint certificate instead. The
+    /// requester adopts the certificate, resyncs the responder's counter
+    /// stream at `ring_base`, and escalates to state transfer — the only
+    /// path that can close a gap older than `SENT_RETENTION`.
+    CheckpointHint {
+        /// The responder's stable checkpoint certificate (f+1 vouchers).
+        cert: CheckpointCert,
+        /// Lowest counter still in the responder's resend ring; the
+        /// requester fast-forwards `accepted[from]` to just below it.
+        ring_base: u64,
+        /// The responder (whose counter stream the requester resyncs).
+        from: ReplicaId,
+    },
+    /// A replica's MAC'd vouch for its state digest at a watermark.
+    Checkpoint(CheckpointVoucher),
+    /// A laggard asks peers for the latest certified state.
+    StateRequest {
+        /// The requester's execution watermark.
+        have: u64,
+        /// The requester.
+        from: ReplicaId,
+    },
+    /// Certificate + certified snapshot + committed suffix (see
+    /// [`StateTransfer`]).
+    StateResponse(StateTransfer),
 }
 
 /// One agreement slot; executed slots are *retired* from the window
@@ -216,9 +250,15 @@ pub struct MinBftReplica {
     executed: OpIndex<Arc<Vec<u8>>>,
     /// Backup watchlist: requests awaiting commit, with patience timers.
     pending: OpIndex<Arc<Request>>,
-    log: Vec<LogEntry>,
+    log: CommittedLog,
     exec_upto: u64,
     machine: KvStore,
+    /// Certified checkpoints + state-transfer bookkeeping (disabled at
+    /// interval 0 — the byte-identical legacy configuration).
+    ckpt: CheckpointStore,
+    /// Requests by log seq, retained above the stable checkpoint — the
+    /// replay source for serving state-transfer suffixes.
+    replay_ring: SeqWindow<Arc<Request>>,
     vc_votes: Vec<VcRound>,
     vc_sent_for: u64,
     /// When `vc_sent_for` was last raised — the escalation rate limiter.
@@ -255,9 +295,11 @@ impl MinBftReplica {
             stored_prepares: SeqWindow::with_base(1),
             executed: OpIndex::new(),
             pending: OpIndex::new(),
-            log: Vec::new(),
+            log: CommittedLog::new(),
             exec_upto: 0,
             machine: KvStore::new(),
+            ckpt: CheckpointStore::new(id, (f + 1) as usize, 0, CkptKeys::provision(0, 1)),
+            replay_ring: SeqWindow::with_base(1),
             vc_votes: Vec::new(),
             vc_sent_for: 0,
             vc_demanded_at: 0,
@@ -276,6 +318,13 @@ impl MinBftReplica {
     /// Sets the backup's request patience (clamped to ≥ 1).
     pub fn set_patience(&mut self, cycles: u64) {
         self.patience = cycles.max(1);
+    }
+
+    /// Enables certified checkpoints every `interval` executed slots
+    /// (0 disables — the default, byte-identical to the legacy protocol).
+    /// MinBFT's f+1 matching vouchers certify a watermark.
+    pub fn set_checkpointing(&mut self, interval: u64, keys: Arc<CkptKeys>) {
+        self.ckpt = CheckpointStore::new(self.id, (self.f + 1) as usize, interval, keys);
     }
 
     /// Digest of the replica's current state-machine state (for
@@ -633,9 +682,12 @@ impl MinBftReplica {
             // Per-request log entries (dense global sequence) out of one
             // agreement slot.
             for req in batch.requests() {
-                let log_seq = self.log.len() as u64 + 1;
+                let log_seq = self.log.committed() + 1;
                 let result = Arc::new(self.machine.apply(&req.payload));
                 self.log.push(LogEntry { seq: log_seq, op: req.op, digest });
+                if self.ckpt.enabled() {
+                    self.replay_ring.insert(log_seq, req.clone());
+                }
                 self.executed.insert(req.op, result.clone());
                 self.pending.remove(&req.op);
                 self.assigned.insert(req.op, next);
@@ -644,9 +696,199 @@ impl MinBftReplica {
                     MinBftMsg::Reply(Reply { replica: self.id, op: req.op, result }),
                 );
             }
+            self.maybe_checkpoint(next, out);
         }
         self.slots.retire_below(self.exec_upto + 1);
         self.stored_prepares.retire_below(self.exec_upto + 1);
+    }
+
+    /// Takes a certified checkpoint when execution crosses a watermark
+    /// boundary (see the PBFT twin; MinBFT needs only f+1 matching
+    /// vouchers, mirroring its commit quorum).
+    fn maybe_checkpoint(&mut self, exec_seq: u64, out: &mut Outbox<MinBftMsg>) {
+        if !self.ckpt.due(exec_seq) {
+            return;
+        }
+        if self.script.forges_checkpoint_at(self.now) {
+            // Byzantine: one outsider forgery (garbage MAC) and one
+            // properly MAC'd lie (isolated in its own digest group).
+            let lie = rsoc_crypto::sha256(b"forged-checkpoint-state");
+            let mut garbage = CheckpointVoucher {
+                seq: exec_seq,
+                digest: lie,
+                from: self.id,
+                tag: Tag([0xEE; 32]),
+            };
+            out.broadcast(self.n, self.id, MinBftMsg::Checkpoint(garbage.clone()));
+            garbage = self.ckpt.record_local(
+                exec_seq,
+                lie,
+                self.log.committed(),
+                Arc::new(self.machine.snapshot()),
+            );
+            out.broadcast(self.n, self.id, MinBftMsg::Checkpoint(garbage));
+            return;
+        }
+        let digest = self.machine.state_digest();
+        let snapshot = Arc::new(self.machine.snapshot());
+        let voucher = self.ckpt.record_local(exec_seq, digest, self.log.committed(), snapshot);
+        out.broadcast(self.n, self.id, MinBftMsg::Checkpoint(voucher.clone()));
+        if self.ckpt.record(&voucher).is_some() {
+            self.apply_truncation();
+        }
+    }
+
+    /// Truncates the log and replay ring below the stable checkpoint
+    /// (no-op while this replica has no locally recorded watermark).
+    fn apply_truncation(&mut self) {
+        if let Some(log_len) = self.ckpt.stable_log_len() {
+            self.log.truncate_below(log_len);
+            self.replay_ring.retire_below(log_len + 1);
+        }
+    }
+
+    /// Ingests a peer's checkpoint voucher (MAC-verified by the store).
+    fn handle_checkpoint(&mut self, voucher: CheckpointVoucher, out: &mut Outbox<MinBftMsg>) {
+        if self.ckpt.record(&voucher).is_some() {
+            self.apply_truncation();
+        }
+        self.maybe_request_transfer(out);
+    }
+
+    /// Broadcasts a state-transfer request if the stable certificate is
+    /// ahead of local execution (rate-limited by the CST backoff).
+    fn maybe_request_transfer(&mut self, out: &mut Outbox<MinBftMsg>) {
+        if self.ckpt.behind(self.exec_upto) && self.ckpt.may_request(self.now) {
+            out.broadcast(
+                self.n,
+                self.id,
+                MinBftMsg::StateRequest { have: self.exec_upto, from: self.id },
+            );
+        }
+    }
+
+    /// Serves a state-transfer request: stable certificate + certified
+    /// snapshot + the committed suffix above it (see the PBFT twin).
+    fn handle_state_request(&mut self, have: u64, from: ReplicaId, out: &mut Outbox<MinBftMsg>) {
+        let Some((cert, log_base, snapshot)) = self.ckpt.serve() else { return };
+        if cert.seq <= have {
+            return; // requester is not behind our certificate
+        }
+        let mut suffix = Vec::new();
+        for entry in self.log.entries() {
+            if entry.seq <= log_base {
+                continue;
+            }
+            match self.replay_ring.get(entry.seq) {
+                Some(req) => suffix.push((req.clone(), entry.digest)),
+                None => return, // suffix gap (mid-install): let another peer serve
+            }
+        }
+        let mut snapshot = snapshot;
+        if self.script.corrupts_snapshot_at(self.now) {
+            // Byzantine responder: the requester's digest cross-check
+            // against the certificate must catch the flipped byte.
+            let mut bytes = (*snapshot).clone();
+            match bytes.first_mut() {
+                Some(b) => *b ^= 0xFF,
+                None => bytes.push(0xFF),
+            }
+            snapshot = Arc::new(bytes);
+        }
+        let transfer = StateTransfer {
+            cert: cert.clone(),
+            snapshot,
+            log_base,
+            suffix: Arc::new(suffix),
+            exec_upto: self.exec_upto,
+            view: self.view,
+            from: self.id,
+        };
+        out.send(Endpoint::Replica(from), MinBftMsg::StateResponse(transfer));
+    }
+
+    /// Installs a transferred state if it checks out: certificate
+    /// verifies, snapshot digest matches, snapshot parses. Everything in
+    /// the response is adversarial input until those checks pass.
+    fn handle_state_response(&mut self, st: StateTransfer, out: &mut Outbox<MinBftMsg>) {
+        if !self.ckpt.enabled() || st.cert.seq <= self.exec_upto {
+            return; // not ahead of us: nothing to install
+        }
+        if !self.ckpt.verify_cert(&st.cert) {
+            self.ckpt.note_rejected();
+            return;
+        }
+        if !snapshot_matches(&st.cert, &st.snapshot) {
+            self.ckpt.note_rejected();
+            return; // corrupted snapshot: digest does not match the cert
+        }
+        let Some(machine) = KvStore::install_snapshot(&st.snapshot) else {
+            self.ckpt.note_rejected();
+            return;
+        };
+        self.ckpt.adopt_cert(&st.cert);
+        self.machine = machine;
+        self.log.reset_to(st.log_base);
+        self.replay_ring = SeqWindow::with_base(st.log_base + 1);
+        // Replay the committed suffix above the snapshot (trusted as
+        // honest — see the checkpoint module's trust boundary).
+        for (req, digest) in st.suffix.iter() {
+            let log_seq = self.log.committed() + 1;
+            let result = Arc::new(self.machine.apply(&req.payload));
+            self.log.push(LogEntry { seq: log_seq, op: req.op, digest: *digest });
+            self.replay_ring.insert(log_seq, req.clone());
+            self.executed.insert(req.op, result);
+            self.pending.remove(&req.op);
+        }
+        self.exec_upto = self.exec_upto.max(st.exec_upto).max(st.cert.seq);
+        self.slots.retire_below(self.exec_upto + 1);
+        self.stored_prepares.retire_below(self.exec_upto + 1);
+        self.next_seq = self.next_seq.max(self.exec_upto + 1);
+        if st.view > self.view {
+            // The cluster moved on while we were down; join its view.
+            self.view = st.view;
+            self.vc_sent_for = self.vc_sent_for.max(st.view);
+            self.vc_votes.retain(|r| r.view > st.view);
+        }
+        self.ckpt.note_transfer();
+        let tokens: Vec<u64> =
+            self.pending.iter_canonical().into_iter().map(|(op, _)| op_token(op)).collect();
+        for token in tokens {
+            out.arm(self.patience, TIMER_REQUEST, token);
+        }
+        self.try_execute(out);
+    }
+
+    /// Ingests a [`MinBftMsg::CheckpointHint`] — the FillGap escalation
+    /// for counters older than the resend ring. A verified certificate is
+    /// adopted (state transfer chases it from the dispatch tail) and the
+    /// responder's counter stream is resynced at its ring base; lying
+    /// about one's own `ring_base` only disrupts one's own stream.
+    fn handle_checkpoint_hint(
+        &mut self,
+        from: Endpoint,
+        cert: CheckpointCert,
+        ring_base: u64,
+        sender: ReplicaId,
+    ) {
+        if from != Endpoint::Replica(sender) {
+            return; // a replica may resync only its own stream
+        }
+        if self.ckpt.adopt_cert(&cert) {
+            self.apply_truncation();
+        } else if !self.ckpt.verify_cert(&cert) {
+            return; // forged hint (adopt_cert counted the rejection)
+        }
+        let s = sender.0 as usize;
+        let Some(accepted) = self.accepted.get_mut(s) else { return };
+        if ring_base > 0 && *accepted + 1 < ring_base {
+            // Counters below the ring can never be resent; skip to the
+            // resendable range so the stream un-wedges. The certificate
+            // (plus state transfer) covers what those counters ordered.
+            *accepted = ring_base - 1;
+            // bounds: accepted and ingress share length n; s indexed accepted above
+            self.ingress[s].retire_below(ring_base);
+        }
     }
 
     fn prepared_uncommitted(&self) -> Vec<(u64, Arc<Batch>)> {
@@ -679,8 +921,9 @@ impl MinBftReplica {
         from: ReplicaId,
         prepared: PreparedSet,
         executed_upto: u64,
+        cert_seq: u64,
     ) {
-        self.vc_round_mut(view).record(from, prepared, executed_upto);
+        self.vc_round_mut(view).record(from, prepared, executed_upto, cert_seq);
     }
 
     fn start_view_change(&mut self, new_view: u64, out: &mut Outbox<MinBftMsg>) {
@@ -690,7 +933,13 @@ impl MinBftReplica {
         self.vc_sent_for = new_view;
         self.vc_demanded_at = self.now;
         let prepared = self.prepared_uncommitted();
-        self.record_vc_vote(new_view, self.id, prepared.clone(), self.exec_upto);
+        self.record_vc_vote(
+            new_view,
+            self.id,
+            prepared.clone(),
+            self.exec_upto,
+            self.ckpt.stable_seq(),
+        );
         out.broadcast(
             self.n,
             self.id,
@@ -699,6 +948,7 @@ impl MinBftReplica {
                 from: self.id,
                 prepared,
                 executed_upto: self.exec_upto,
+                cert: self.ckpt.stable().cloned(),
             },
         );
         self.maybe_install_view(new_view, out);
@@ -710,12 +960,29 @@ impl MinBftReplica {
         from: ReplicaId,
         prepared: Vec<(u64, Arc<Batch>)>,
         executed_upto: u64,
+        cert: Option<CheckpointCert>,
         out: &mut Outbox<MinBftMsg>,
     ) {
         if new_view <= self.view {
             return;
         }
-        self.record_vc_vote(new_view, from, prepared, executed_upto);
+        // A carried certificate is verified before it influences anything
+        // (see the PBFT twin): fresh-and-valid is adopted, valid-but-stale
+        // still floors at its seq, forged contributes 0.
+        let cert_seq = match cert {
+            Some(c) => {
+                if self.ckpt.adopt_cert(&c) {
+                    self.apply_truncation();
+                    c.seq
+                } else if self.ckpt.verify_cert(&c) {
+                    c.seq
+                } else {
+                    0
+                }
+            }
+            None => 0,
+        };
+        self.record_vc_vote(new_view, from, prepared, executed_upto, cert_seq);
         // In MinBFT a single valid suspicion suffices to join, because
         // UI certificates make false accusations non-amplifiable; we
         // require our own patience timer OR f+1 votes, matching the
@@ -746,8 +1013,14 @@ impl MinBftReplica {
         // claims are trusted as honest per [`VcRound`]'s trust boundary —
         // with MinBFT's f+1 quorums, full defense of the view change
         // itself needs the USIG-signed view-change messages of the
-        // original protocol, a ROADMAP next step).
-        let floor = round.exec_floor.max(self.exec_upto);
+        // original protocol, a ROADMAP next step). The *certified* floor
+        // is proven, though: prepared entries at or below a verified
+        // checkpoint certificate are certified history and are discarded.
+        let cert_floor = round.cert_floor;
+        if cert_floor > 0 {
+            repropose.retain(|seq, _| *seq > cert_floor);
+        }
+        let floor = round.exec_floor.max(self.exec_upto).max(cert_floor);
         let max_seq = repropose.keys().max().copied().unwrap_or(self.exec_upto);
         for seq in floor.saturating_add(1)..max_seq {
             repropose.entry(seq).or_insert_with(|| noop_batch(seq));
@@ -910,8 +1183,8 @@ impl MinBftReplica {
                     self.drain_ready(out);
                 }
             }
-            MinBftMsg::ReqViewChange { new_view, from: voter, prepared, executed_upto } => {
-                self.handle_req_view_change(new_view, voter, prepared, executed_upto, out)
+            MinBftMsg::ReqViewChange { new_view, from: voter, prepared, executed_upto, cert } => {
+                self.handle_req_view_change(new_view, voter, prepared, executed_upto, cert, out)
             }
             MinBftMsg::NewView { view, preprepares } => {
                 let _ = preprepares; // re-proposals arrive as fresh PREPAREs
@@ -922,6 +1195,23 @@ impl MinBftReplica {
                 // resends are the original UI-certified messages, which the
                 // requester re-verifies and ingests in counter order.
                 if sender == self.id && requester != self.id {
+                    if from_counter < self.sent_ui.base() {
+                        // The gap starts below the resend ring: those
+                        // counters are gone and USIGs never re-sign them.
+                        // Hand over the stable certificate (if any) so the
+                        // requester resyncs and escalates to state
+                        // transfer instead of backing off forever.
+                        if let Some(cert) = self.ckpt.stable() {
+                            out.send(
+                                Endpoint::Replica(requester),
+                                MinBftMsg::CheckpointHint {
+                                    cert: cert.clone(),
+                                    ring_base: self.sent_ui.base(),
+                                    from: self.id,
+                                },
+                            );
+                        }
+                    }
                     let hi = upto.min(from_counter.saturating_add(GAP_FILL_BURST - 1));
                     for counter in from_counter..=hi {
                         if let Some(m) = self.sent_ui.get(counter) {
@@ -930,6 +1220,14 @@ impl MinBftReplica {
                     }
                 }
             }
+            MinBftMsg::CheckpointHint { cert, ring_base, from: sender } => {
+                self.handle_checkpoint_hint(from, cert, ring_base, sender)
+            }
+            MinBftMsg::Checkpoint(voucher) => self.handle_checkpoint(voucher, out),
+            MinBftMsg::StateRequest { have, from: requester } => {
+                self.handle_state_request(have, requester, out)
+            }
+            MinBftMsg::StateResponse(st) => self.handle_state_response(st, out),
             MinBftMsg::Reply(_) => {}
         }
     }
@@ -959,6 +1257,12 @@ impl MinBftReplica {
                 }
             }
             Input::Timer { .. } => {}
+        }
+        if self.ckpt.enabled() {
+            // Any input may have revealed a stable certificate ahead of us
+            // (post-wipe, or crashed past retention): chase it,
+            // rate-limited by the CST backoff.
+            self.maybe_request_transfer(staged);
         }
     }
 
@@ -1019,7 +1323,52 @@ impl ReplicaNode for MinBftReplica {
     }
 
     fn committed_log(&self) -> &[LogEntry] {
-        &self.log
+        self.log.entries()
+    }
+
+    fn committed_seq(&self) -> u64 {
+        self.log.committed()
+    }
+
+    fn wipe(&mut self) {
+        // Rejuvenation: volatile protocol + application state goes; the
+        // replica's identity, keys, fault script, the stable certificate
+        // (trusted persistent store), and — crucially — the USIG stay.
+        // The trusted counter is hardware-monotonic: it survives software
+        // rejuvenation, and resuming it (rather than resetting) is what
+        // keeps the replica's counter stream acceptable to peers.
+        self.view = 0;
+        self.ingress = (0..self.n).map(|_| SeqWindow::with_base(1)).collect();
+        self.future = Vec::new();
+        self.accepted = vec![0; self.n as usize];
+        self.sent_ui = SeqWindow::with_base(1);
+        self.gap_req_at = vec![0; self.n as usize];
+        self.next_seq = 1;
+        self.slots = SeqWindow::with_base(1);
+        self.assigned = OpIndex::new();
+        self.stored_prepares = SeqWindow::with_base(1);
+        self.executed = OpIndex::new();
+        self.pending = OpIndex::new();
+        self.log = CommittedLog::new();
+        self.exec_upto = 0;
+        self.machine = KvStore::new();
+        self.replay_ring = SeqWindow::with_base(1);
+        self.vc_votes.clear();
+        self.vc_sent_for = 0;
+        self.vc_demanded_at = 0;
+        self.in_outage = false;
+        let (size, flush) = (self.batcher.batch_size(), self.batcher.flush_cycles());
+        self.batcher = Batcher::new();
+        self.batcher.configure(size, flush);
+        self.ckpt.wipe();
+    }
+
+    fn checkpoint_stats(&self) -> CheckpointStats {
+        self.ckpt.stats()
+    }
+
+    fn checkpoint_history(&self) -> &[(u64, [u8; 32])] {
+        self.ckpt.history()
     }
 
     fn make_request(req: Arc<Request>) -> MinBftMsg {
@@ -1062,6 +1411,7 @@ impl MinBftCluster {
         // One provisioning pass (key derivation + HMAC key-schedule
         // precomputation) shared by every replica via Arc.
         let ring = KeyRing::provision(config.seed, n);
+        let keys = CkptKeys::provision(config.seed, n as usize);
         MinBftCluster {
             nodes: (0..n)
                 .map(|i| {
@@ -1069,6 +1419,7 @@ impl MinBftCluster {
                         MinBftReplica::new(ReplicaId(i), config.f, ring.clone(), protection);
                     r.set_batching(config.batch_size, config.batch_flush);
                     r.set_patience(config.request_patience);
+                    r.set_checkpointing(config.checkpoint_interval, Arc::clone(&keys));
                     r
                 })
                 .collect(),
@@ -1297,6 +1648,93 @@ mod tests {
         assert_eq!(report.n_replicas, 5);
         assert_eq!(report.committed, 6);
         assert!(report.safety_ok);
+    }
+
+    #[test]
+    fn fillgap_below_ring_escalates_via_checkpoint_hint() {
+        // Satellite path of the checkpoint subsystem: a FillGap for
+        // counters older than the resend ring cannot be served (USIGs
+        // never re-sign), so the responder hands over its stable
+        // certificate and the requester resyncs the stream and escalates
+        // to state transfer. The ring never ages out in short runs, so
+        // the retirement is staged white-box here.
+        let cfg = RunConfig { checkpoint_interval: 3, ..config(1, 2, 12, 29) };
+        let mut cluster = MinBftCluster::new(&cfg);
+        let report = run(&mut cluster, &cfg);
+        assert_eq!(report.committed, 24);
+
+        // Responder side: age replica 1's ring past its early counters
+        // and ask for a gap entirely below the new base.
+        let ring_base = 5;
+        let requester = ReplicaId(2);
+        let responder = &mut cluster.nodes_mut()[1];
+        responder.sent_ui.retire_below(ring_base);
+        let mut out = Outbox::new();
+        responder.on_input(
+            Input::Message {
+                from: Endpoint::Replica(requester),
+                msg: MinBftMsg::FillGap {
+                    sender: ReplicaId(1),
+                    from_counter: 1,
+                    upto: 4,
+                    from: requester,
+                },
+            },
+            10_000,
+            &mut out,
+        );
+        let hint = out
+            .msgs
+            .iter()
+            .find_map(|(to, m)| match m {
+                MinBftMsg::CheckpointHint { cert, ring_base: rb, from } => {
+                    Some((*to, cert.clone(), *rb, *from))
+                }
+                _ => None,
+            })
+            .expect("a gap below the ring must answer with a checkpoint hint");
+        let (to, cert, rb, from) = hint;
+        assert_eq!(to, Endpoint::Replica(requester));
+        assert_eq!(from, ReplicaId(1));
+        assert_eq!(rb, ring_base);
+        assert!(cert.seq > 0, "the hint must carry the stable certificate");
+
+        // Requester side: a freshly wiped replica ingests the hint — it
+        // must resync the responder's stream at the ring base and chase
+        // the certificate with a state-transfer request.
+        let node = &mut cluster.nodes_mut()[2];
+        node.wipe();
+        let mut out = Outbox::new();
+        node.on_input(
+            Input::Message {
+                from: Endpoint::Replica(ReplicaId(1)),
+                msg: MinBftMsg::CheckpointHint {
+                    cert: cert.clone(),
+                    ring_base,
+                    from: ReplicaId(1),
+                },
+            },
+            10_001,
+            &mut out,
+        );
+        assert_eq!(node.accepted[1], ring_base - 1, "stream resynced at the ring base");
+        assert!(
+            out.msgs.iter().any(|(_, m)| matches!(m, MinBftMsg::StateRequest { .. })),
+            "the adopted certificate must trigger a state-transfer request"
+        );
+
+        // A spoofed hint (relayed for someone else's stream) is inert.
+        let accepted_before = node.accepted[0];
+        let mut out = Outbox::new();
+        node.on_input(
+            Input::Message {
+                from: Endpoint::Replica(ReplicaId(1)),
+                msg: MinBftMsg::CheckpointHint { cert, ring_base: 400, from: ReplicaId(0) },
+            },
+            10_002,
+            &mut out,
+        );
+        assert_eq!(node.accepted[0], accepted_before, "only the sender may resync its stream");
     }
 
     #[test]

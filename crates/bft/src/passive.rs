@@ -14,6 +14,10 @@ use crate::api::{
     BatchDecision, Batcher, Cluster, Endpoint, Input, LogEntry, Outbox, ReplicaId, ReplicaNode,
     Reply, Request,
 };
+use crate::checkpoint::{
+    snapshot_matches, CheckpointStats, CheckpointStore, CheckpointVoucher, CkptKeys, CommittedLog,
+    StateTransfer,
+};
 use crate::dense::{OpIndex, SeqWindow};
 use crate::runner::RunConfig;
 use crate::statemachine::{KvStore, StateMachine};
@@ -65,6 +69,21 @@ pub enum PassiveMsg {
     },
     /// Execution result (replica → client).
     Reply(Reply),
+    /// A replica's MAC'd vouch for its state digest at a log watermark
+    /// (passive checkpoints are per log sequence — the two domains
+    /// coincide here).
+    Checkpoint(CheckpointVoucher),
+    /// A laggard asks its peer for the latest certified state (emitted
+    /// when a sync gap exceeds the shipped-window retention).
+    StateRequest {
+        /// The requester's committed-log length.
+        have: u64,
+        /// The requester.
+        from: ReplicaId,
+    },
+    /// Certificate + certified snapshot + committed suffix (see
+    /// [`StateTransfer`]).
+    StateResponse(StateTransfer),
 }
 
 /// How many shipped `(request, result)` pairs the primary retains for
@@ -91,11 +110,18 @@ pub struct PassiveReplica {
     last_heartbeat: u64,
     heartbeat_interval: u64,
     detect_timeout: u64,
-    log: Vec<LogEntry>,
+    log: CommittedLog,
     /// Exactly-once dedup: op → shared execution result.
     executed: OpIndex<Arc<Vec<u8>>>,
     machine: KvStore,
     next_seq: u64,
+    /// Certified checkpoints + state-transfer bookkeeping (disabled at
+    /// interval 0 — the byte-identical legacy configuration). Both
+    /// replicas must vouch: passive has no spare quorum to outvote a lie.
+    ckpt: CheckpointStore,
+    /// Requests by log seq, retained above the stable checkpoint — the
+    /// replay source for serving state-transfer suffixes.
+    replay_ring: SeqWindow<Arc<Request>>,
     /// Out-of-order state updates held back until their predecessors
     /// apply; the window watermark tracks the applied log prefix.
     held_updates: SeqWindow<(Arc<Request>, Arc<Vec<u8>>)>,
@@ -125,10 +151,12 @@ impl PassiveReplica {
             last_heartbeat: 0,
             heartbeat_interval,
             detect_timeout,
-            log: Vec::new(),
+            log: CommittedLog::new(),
             executed: OpIndex::new(),
             machine: KvStore::new(),
             next_seq: 1,
+            ckpt: CheckpointStore::new(id, 2, 0, CkptKeys::provision(0, 1)),
+            replay_ring: SeqWindow::with_base(1),
             held_updates: SeqWindow::with_base(1),
             failovers: 0,
             shipped: SeqWindow::with_base(1),
@@ -141,6 +169,13 @@ impl PassiveReplica {
     /// `batch_size` requests, or after `batch_flush` cycles.
     pub fn set_batching(&mut self, batch_size: usize, batch_flush: u64) {
         self.batcher.configure(batch_size, batch_flush);
+    }
+
+    /// Enables certified checkpoints every `interval` committed log
+    /// sequences (0 disables — the default, byte-identical to the legacy
+    /// protocol). Both replicas must vouch for a watermark to stabilize.
+    pub fn set_checkpointing(&mut self, interval: u64, keys: Arc<CkptKeys>) {
+        self.ckpt = CheckpointStore::new(self.id, 2, interval, keys);
     }
 
     /// Digest of the replica's current state-machine state (for
@@ -229,12 +264,16 @@ impl PassiveReplica {
             self.next_seq += 1;
             let result = Arc::new(self.machine.apply(&req.payload));
             self.log.push(LogEntry { seq, op: req.op, digest: req.digest() });
+            if self.ckpt.enabled() {
+                self.replay_ring.insert(seq, req.clone());
+            }
             self.executed.insert(req.op, result.clone());
             out.send(
                 Endpoint::Client(req.op.client),
                 PassiveMsg::Reply(Reply { replica: self.id, op: req.op, result: result.clone() }),
             );
             ops.push((req, result));
+            self.maybe_checkpoint(seq, out);
         }
         for (i, op) in ops.iter().enumerate() {
             self.shipped.insert(first_seq + i as u64, op.clone());
@@ -248,6 +287,124 @@ impl PassiveReplica {
         );
     }
 
+    /// Takes a certified checkpoint when the committed log crosses a
+    /// watermark boundary (per log sequence — passive's execution and log
+    /// domains coincide). Content-attack scripts are inert here (no votes
+    /// to forge), so there is no Byzantine voucher path.
+    fn maybe_checkpoint(&mut self, seq: u64, out: &mut Outbox<PassiveMsg>) {
+        if !self.ckpt.due(seq) {
+            return;
+        }
+        let digest = self.machine.state_digest();
+        let snapshot = Arc::new(self.machine.snapshot());
+        let voucher = self.ckpt.record_local(seq, digest, self.log.committed(), snapshot);
+        out.send(Endpoint::Replica(self.peer()), PassiveMsg::Checkpoint(voucher.clone()));
+        if self.ckpt.record(&voucher).is_some() {
+            self.apply_truncation();
+        }
+    }
+
+    /// Truncates the log, replay ring, and shipped window below the
+    /// stable checkpoint — the shipped-window retention is keyed off the
+    /// certified watermark, because below it [`PassiveMsg::SyncRequest`]
+    /// replay is superseded by state transfer.
+    fn apply_truncation(&mut self) {
+        if let Some(log_len) = self.ckpt.stable_log_len() {
+            self.log.truncate_below(log_len);
+            self.replay_ring.retire_below(log_len + 1);
+            self.shipped.retire_below(log_len + 1);
+        }
+    }
+
+    /// Ingests the peer's checkpoint voucher (MAC-verified by the store).
+    fn handle_checkpoint(&mut self, voucher: CheckpointVoucher) {
+        if self.ckpt.record(&voucher).is_some() {
+            self.apply_truncation();
+        }
+    }
+
+    /// Sends a state-transfer request if the stable certificate is ahead
+    /// of the committed log (rate-limited by the CST backoff).
+    fn maybe_request_transfer(&mut self, now: u64, out: &mut Outbox<PassiveMsg>) {
+        if self.ckpt.behind(self.log.committed()) && self.ckpt.may_request(now) {
+            out.send(
+                Endpoint::Replica(self.peer()),
+                PassiveMsg::StateRequest { have: self.log.committed(), from: self.id },
+            );
+        }
+    }
+
+    /// Serves a state-transfer request: stable certificate + certified
+    /// snapshot + the committed suffix above it (see the PBFT twin).
+    fn handle_state_request(&mut self, have: u64, from: ReplicaId, out: &mut Outbox<PassiveMsg>) {
+        let Some((cert, log_base, snapshot)) = self.ckpt.serve() else { return };
+        if cert.seq <= have {
+            return; // requester is not behind our certificate
+        }
+        let mut suffix = Vec::new();
+        for entry in self.log.entries() {
+            if entry.seq <= log_base {
+                continue;
+            }
+            match self.replay_ring.get(entry.seq) {
+                Some(req) => suffix.push((req.clone(), entry.digest)),
+                None => return, // suffix gap (mid-install)
+            }
+        }
+        let transfer = StateTransfer {
+            cert: cert.clone(),
+            snapshot,
+            log_base,
+            suffix: Arc::new(suffix),
+            exec_upto: self.log.committed(),
+            view: self.epoch,
+            from: self.id,
+        };
+        out.send(Endpoint::Replica(from), PassiveMsg::StateResponse(transfer));
+    }
+
+    /// Installs a transferred state if it checks out — certificate,
+    /// snapshot digest, snapshot framing. Promotion is gated on this
+    /// completing: a backup behind the certified watermark refuses to
+    /// fail over until the transfer lands (see the `TIMER_DETECT` arm).
+    fn handle_state_response(&mut self, st: StateTransfer, now: u64) {
+        if !self.ckpt.enabled() || st.cert.seq <= self.log.committed() {
+            return; // not ahead of us: nothing to install
+        }
+        if !self.ckpt.verify_cert(&st.cert) {
+            self.ckpt.note_rejected();
+            return;
+        }
+        if !snapshot_matches(&st.cert, &st.snapshot) {
+            self.ckpt.note_rejected();
+            return; // corrupted snapshot: digest does not match the cert
+        }
+        let Some(machine) = KvStore::install_snapshot(&st.snapshot) else {
+            self.ckpt.note_rejected();
+            return;
+        };
+        self.ckpt.adopt_cert(&st.cert);
+        self.machine = machine;
+        self.log.reset_to(st.log_base);
+        self.replay_ring = SeqWindow::with_base(st.log_base + 1);
+        for (req, digest) in st.suffix.iter() {
+            let log_seq = self.log.committed() + 1;
+            let result = Arc::new(self.machine.apply(&req.payload));
+            self.log.push(LogEntry { seq: log_seq, op: req.op, digest: *digest });
+            self.replay_ring.insert(log_seq, req.clone());
+            self.executed.insert(req.op, result);
+        }
+        self.held_updates = SeqWindow::with_base(self.log.committed() + 1);
+        self.next_seq = self.next_seq.max(self.log.committed() + 1);
+        if st.view > self.epoch {
+            // The peer's epoch moved on while we were down; adopt it so
+            // role accounting (primary = epoch % 2) stays coherent.
+            self.epoch = st.view;
+        }
+        self.last_heartbeat = now;
+        self.ckpt.note_transfer();
+    }
+
     /// Emits a rate-limited resync request when this backup's applied log
     /// is behind what the primary has shipped/advertised.
     fn maybe_request_sync(&mut self, now: u64, out: &mut Outbox<PassiveMsg>) {
@@ -255,7 +412,7 @@ impl PassiveReplica {
             self.sync_req_at = now;
             out.send(
                 Endpoint::Replica(self.peer()),
-                PassiveMsg::SyncRequest { from_seq: self.log.len() as u64 + 1, from: self.id },
+                PassiveMsg::SyncRequest { from_seq: self.log.committed() + 1, from: self.id },
             );
         }
     }
@@ -282,18 +439,22 @@ impl PassiveReplica {
             self.held_updates.insert(first_seq + i as u64, (req, result));
         }
         loop {
-            let next = self.log.len() as u64 + 1;
+            let next = self.log.committed() + 1;
             let Some((req, result)) = self.held_updates.remove(next) else { break };
             self.machine.apply(&req.payload);
             self.log.push(LogEntry { seq: next, op: req.op, digest: req.digest() });
+            if self.ckpt.enabled() {
+                self.replay_ring.insert(next, req.clone());
+            }
             self.executed.insert(req.op, result);
             self.next_seq = self.next_seq.max(next + 1);
+            self.maybe_checkpoint(next, out);
         }
-        self.held_updates.retire_below(self.log.len() as u64 + 1);
+        self.held_updates.retire_below(self.log.committed() + 1);
         // A gap below the held-back updates means earlier updates were
         // lost (network drop, or this backup crashed through them): ask
         // the primary to replay from our log head.
-        if first_seq > self.log.len() as u64 + 1 {
+        if first_seq > self.log.committed() + 1 {
             self.maybe_request_sync(now, out);
         }
     }
@@ -340,7 +501,43 @@ impl ReplicaNode for PassiveReplica {
     }
 
     fn committed_log(&self) -> &[LogEntry] {
-        &self.log
+        self.log.entries()
+    }
+
+    fn committed_seq(&self) -> u64 {
+        self.log.committed()
+    }
+
+    fn wipe(&mut self) {
+        // Rejuvenation: volatile protocol + application state goes; the
+        // replica's identity, keys, detector configuration, fault script,
+        // and the stable checkpoint certificate (trusted persistent
+        // store) stay. Re-bootstrap re-arms the timer chains, and the
+        // first heartbeat re-teaches us the epoch.
+        self.in_outage = false;
+        self.epoch = 0;
+        self.bootstrapped = false;
+        self.last_heartbeat = 0;
+        self.log = CommittedLog::new();
+        self.executed = OpIndex::new();
+        self.machine = KvStore::new();
+        self.next_seq = 1;
+        self.held_updates = SeqWindow::with_base(1);
+        self.shipped = SeqWindow::with_base(1);
+        self.sync_req_at = 0;
+        self.replay_ring = SeqWindow::with_base(1);
+        let (size, flush) = (self.batcher.batch_size(), self.batcher.flush_cycles());
+        self.batcher = Batcher::new();
+        self.batcher.configure(size, flush);
+        self.ckpt.wipe();
+    }
+
+    fn checkpoint_stats(&self) -> CheckpointStats {
+        self.ckpt.stats()
+    }
+
+    fn checkpoint_history(&self) -> &[(u64, [u8; 32])] {
+        self.ckpt.history()
     }
 
     fn make_request(req: Arc<Request>) -> PassiveMsg {
@@ -386,13 +583,28 @@ impl PassiveReplica {
                         // backup never saw (e.g. lost during its own crash
                         // window) — resync before any failover promotes a
                         // stale log into committed history.
-                        if !self.is_primary() && log_len > self.log.len() as u64 {
+                        if !self.is_primary() && log_len > self.log.committed() {
                             self.maybe_request_sync(now, staged);
                         }
                     }
                 }
                 PassiveMsg::SyncRequest { from_seq, from: requester } => {
                     if self.is_primary() && requester != self.id {
+                        if from_seq < self.shipped.base() {
+                            // The gap starts below the shipped-window
+                            // retention: those updates are gone, and a
+                            // partial replay from `shipped.base()` would
+                            // leave the backup with a hole it can never
+                            // fill (it would silently stay promotable with
+                            // a shorter log). Serve a full state transfer
+                            // instead — the certificate-checked path.
+                            self.handle_state_request(
+                                from_seq.saturating_sub(1),
+                                requester,
+                                staged,
+                            );
+                            return;
+                        }
                         // Replay the retained contiguous run from the
                         // requested sequence (bounded burst).
                         let mut ops = Vec::new();
@@ -414,6 +626,11 @@ impl PassiveReplica {
                         }
                     }
                 }
+                PassiveMsg::Checkpoint(voucher) => self.handle_checkpoint(voucher),
+                PassiveMsg::StateRequest { have, from: requester } => {
+                    self.handle_state_request(have, requester, staged)
+                }
+                PassiveMsg::StateResponse(st) => self.handle_state_response(st, now),
                 PassiveMsg::Reply(_) => {}
             },
             Input::Timer { kind: TIMER_FLUSH, token } => {
@@ -428,7 +645,7 @@ impl PassiveReplica {
                         PassiveMsg::Heartbeat {
                             epoch: self.epoch,
                             from: self.id,
-                            log_len: self.log.len() as u64,
+                            log_len: self.log.committed(),
                         },
                     );
                     staged.arm(self.heartbeat_interval, TIMER_HEARTBEAT, 0);
@@ -437,6 +654,19 @@ impl PassiveReplica {
             Input::Timer { kind: TIMER_DETECT, .. } => {
                 if !self.is_primary() {
                     if now.saturating_sub(self.last_heartbeat) > self.detect_timeout {
+                        if self.ckpt.stable_seq() > self.log.committed() {
+                            // Promotion gate: a certified checkpoint ahead
+                            // of our log proves committed history we do
+                            // not hold — promoting now would install a
+                            // shorter log as the new committed prefix.
+                            // Chase the transfer and keep detecting. (If
+                            // the only snapshot holder is dead, the pair
+                            // stays safely unavailable — the documented
+                            // 2-replica residual.)
+                            self.maybe_request_transfer(now, staged);
+                            staged.arm(self.detect_timeout, TIMER_DETECT, 0);
+                            return;
+                        }
                         // Failure detected: promote self.
                         self.epoch += 1;
                         self.failovers += 1;
@@ -446,7 +676,7 @@ impl PassiveReplica {
                             PassiveMsg::Heartbeat {
                                 epoch: self.epoch,
                                 from: self.id,
-                                log_len: self.log.len() as u64,
+                                log_len: self.log.committed(),
                             },
                         );
                         staged.arm(self.heartbeat_interval, TIMER_HEARTBEAT, 0);
@@ -456,6 +686,12 @@ impl PassiveReplica {
                 }
             }
             Input::Timer { .. } => {}
+        }
+        if self.ckpt.enabled() {
+            // Any input may have revealed a stable certificate ahead of us
+            // (post-wipe, or gapped past the shipped window): chase it,
+            // rate-limited by the CST backoff.
+            self.maybe_request_transfer(now, staged);
         }
     }
 }
@@ -472,8 +708,10 @@ impl PassiveCluster {
     /// cycles, suspect after 800).
     pub fn new(config: &RunConfig) -> Self {
         let mut cluster = Self::with_detector(200, 800);
+        let keys = CkptKeys::provision(config.seed, 2);
         for node in &mut cluster.nodes {
             node.set_batching(config.batch_size, config.batch_flush);
+            node.set_checkpointing(config.checkpoint_interval, Arc::clone(&keys));
         }
         cluster
     }

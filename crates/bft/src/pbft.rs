@@ -5,11 +5,18 @@
 //!
 //! Implemented message-precisely for the steady state (pre-prepare /
 //! prepare / commit with 2f+1 quorums) plus an operational view change
-//! (request timeouts → VIEW-CHANGE → NEW-VIEW re-proposal). Checkpoints and
-//! log GC are out of scope (runs are finite); the view change carries
-//! prepared sets without cryptographic proofs, which is sound here because
-//! the harness measures safety against *replica* misbehaviour, not
-//! view-change forgery.
+//! (request timeouts → VIEW-CHANGE → NEW-VIEW re-proposal). With
+//! [`RunConfig::checkpoint_interval`] set, replicas additionally take
+//! **certified checkpoints** every `interval` executed slots (f+1 MAC'd
+//! [`CheckpointVoucher`]s form a certificate), truncate their logs and
+//! retention rings below the stable watermark, recover long-crashed or
+//! rejuvenated peers through **collaborative state transfer**
+//! (certificate plus snapshot plus log suffix, the snapshot
+//! cross-checked against the certificate before install), and carry the
+//! stable certificate in view changes — a verified certificate floors
+//! the new view, so forged prepared sets at or below certified history
+//! are rejected (see [`crate::checkpoint`]). View-change content
+//! *above* the stable checkpoint remains trusted as honest.
 //!
 //! Wire format: every message that carries request content carries an
 //! [`Arc<Batch>`] — broadcasting a pre-prepare to `n-1` peers bumps a
@@ -29,6 +36,10 @@ use crate::adversary::ReplicaScript;
 use crate::api::{
     noop_batch, Batch, BatchDecision, Batcher, Cluster, Endpoint, Input, LogEntry, OpId, Outbox,
     ReplicaId, ReplicaNode, Reply, Request, VcRound,
+};
+use crate::checkpoint::{
+    snapshot_matches, CheckpointCert, CheckpointStats, CheckpointStore, CheckpointVoucher,
+    CkptKeys, CommittedLog, StateTransfer,
 };
 use crate::dense::{op_token, token_op, OpIndex, ReplicaSet, SeqWindow};
 use crate::runner::RunConfig;
@@ -99,6 +110,10 @@ pub enum PbftMsg {
         /// (the checkpoint-less stand-in for PBFT's stable-checkpoint
         /// `min-s`).
         executed_upto: u64,
+        /// The voter's stable checkpoint certificate, if any. Verified by
+        /// the receiver; the certified watermark floors the new view, so
+        /// prepared entries at or below certified history are discarded.
+        cert: Option<CheckpointCert>,
     },
     /// New primary's installation message.
     NewView {
@@ -107,6 +122,19 @@ pub enum PbftMsg {
         /// Re-proposed `(seq, batch)` pairs.
         preprepares: Vec<(u64, Arc<Batch>)>,
     },
+    /// Periodic checkpoint voucher: "my state digested to `digest` after
+    /// executing slot `seq`" (MAC'd; f+1 matching form a certificate).
+    Checkpoint(CheckpointVoucher),
+    /// A recovering replica asks peers for the latest certificate +
+    /// snapshot + log suffix (`have` = its execution watermark).
+    StateRequest {
+        /// Requester's execution watermark.
+        have: u64,
+        /// Requesting replica.
+        from: ReplicaId,
+    },
+    /// A peer's state-transfer answer (see [`StateTransfer`]).
+    StateResponse(StateTransfer),
 }
 
 /// One agreement slot. Slots live in the [`SeqWindow`]; execution removes
@@ -142,9 +170,18 @@ pub struct PbftReplica {
     /// Backup watchlist: requests awaiting commit, with patience timers.
     pending: OpIndex<Arc<Request>>,
     stored_preprepares: SeqWindow<PbftMsg>,
-    log: Vec<LogEntry>,
+    /// Committed log; truncates below the stable checkpoint watermark.
+    log: CommittedLog,
     exec_upto: u64,
     machine: KvStore,
+    /// Checkpoint vouchers/certificates and the transfer backoff
+    /// (inert when the interval is 0).
+    ckpt: CheckpointStore,
+    /// Executed requests above the stable checkpoint, keyed by log seq —
+    /// the suffix served with state transfers. Only populated while
+    /// checkpointing is enabled; retired below the watermark when a
+    /// certificate forms.
+    replay_ring: SeqWindow<Arc<Request>>,
     vc_votes: Vec<VcRound>,
     vc_sent_for: u64,
     /// When `vc_sent_for` was last raised — the escalation rate limiter.
@@ -175,9 +212,11 @@ impl PbftReplica {
             executed: OpIndex::new(),
             pending: OpIndex::new(),
             stored_preprepares: SeqWindow::with_base(1),
-            log: Vec::new(),
+            log: CommittedLog::new(),
             exec_upto: 0,
             machine: KvStore::new(),
+            ckpt: CheckpointStore::new(id, (f + 1) as usize, 0, CkptKeys::provision(0, 1)),
+            replay_ring: SeqWindow::with_base(1),
             vc_votes: Vec::new(),
             vc_sent_for: 0,
             vc_demanded_at: 0,
@@ -196,6 +235,13 @@ impl PbftReplica {
     /// Sets the backup's request patience (clamped to ≥ 1).
     pub fn set_patience(&mut self, cycles: u64) {
         self.patience = cycles.max(1);
+    }
+
+    /// Enables certified checkpoints every `interval` executed slots under
+    /// the cluster-shared `keys` (0 disables — the default, byte-invisible
+    /// configuration).
+    pub fn set_checkpointing(&mut self, interval: u64, keys: Arc<CkptKeys>) {
+        self.ckpt = CheckpointStore::new(self.id, (self.f + 1) as usize, interval, keys);
     }
 
     /// Digest of the replica's current state-machine state (for
@@ -485,9 +531,12 @@ impl PbftReplica {
             // per-request (dense global sequence) so latency and safety
             // accounting remain per-operation.
             for req in batch.requests() {
-                let log_seq = self.log.len() as u64 + 1;
+                let log_seq = self.log.committed() + 1;
                 let result = Arc::new(self.machine.apply(&req.payload));
                 self.log.push(LogEntry { seq: log_seq, op: req.op, digest });
+                if self.ckpt.enabled() {
+                    self.replay_ring.insert(log_seq, req.clone());
+                }
                 self.executed.insert(req.op, result.clone());
                 self.pending.remove(&req.op);
                 out.send(
@@ -495,9 +544,179 @@ impl PbftReplica {
                     PbftMsg::Reply(Reply { replica: self.id, op: req.op, result }),
                 );
             }
+            self.maybe_checkpoint(next, out);
         }
         self.slots.retire_below(self.exec_upto + 1);
         self.stored_preprepares.retire_below(self.exec_upto + 1);
+    }
+
+    /// Takes a certified checkpoint when execution crosses a watermark
+    /// boundary: snapshot + digest the machine, retain the snapshot for
+    /// serving transfers, broadcast the MAC'd voucher, and count our own.
+    fn maybe_checkpoint(&mut self, exec_seq: u64, out: &mut Outbox<PbftMsg>) {
+        if !self.ckpt.due(exec_seq) {
+            return;
+        }
+        if self.script.forges_checkpoint_at(self.now) {
+            // Byzantine: vouch for fabricated state instead. One voucher
+            // with a garbage MAC (an outsider forgery — rejected by key
+            // verification) and one properly MAC'd over a lying digest (a
+            // colluder — isolated in its own digest group, never quorate).
+            let lie = rsoc_crypto::sha256(b"forged-checkpoint-state");
+            let mut garbage = CheckpointVoucher {
+                seq: exec_seq,
+                digest: lie,
+                from: self.id,
+                tag: rsoc_crypto::Tag([0xEE; 32]),
+            };
+            out.broadcast(self.n, self.id, PbftMsg::Checkpoint(garbage.clone()));
+            garbage = self.ckpt.record_local(
+                exec_seq,
+                lie,
+                self.log.committed(),
+                Arc::new(self.machine.snapshot()),
+            );
+            out.broadcast(self.n, self.id, PbftMsg::Checkpoint(garbage));
+            return;
+        }
+        let digest = self.machine.state_digest();
+        let snapshot = Arc::new(self.machine.snapshot());
+        let voucher = self.ckpt.record_local(exec_seq, digest, self.log.committed(), snapshot);
+        out.broadcast(self.n, self.id, PbftMsg::Checkpoint(voucher.clone()));
+        if self.ckpt.record(&voucher).is_some() {
+            self.apply_truncation();
+        }
+    }
+
+    /// Truncates the log and replay ring below the stable checkpoint
+    /// (no-op while this replica has no locally recorded watermark — a
+    /// laggard keeps its suffix until state transfer resets it).
+    fn apply_truncation(&mut self) {
+        if let Some(log_len) = self.ckpt.stable_log_len() {
+            self.log.truncate_below(log_len);
+            self.replay_ring.retire_below(log_len + 1);
+        }
+    }
+
+    /// Ingests a peer's checkpoint voucher (adversarial: MAC-verified by
+    /// the store) and, if this replica turns out to be behind the newly
+    /// stable watermark, starts state transfer.
+    fn handle_checkpoint(&mut self, voucher: CheckpointVoucher, out: &mut Outbox<PbftMsg>) {
+        if self.ckpt.record(&voucher).is_some() {
+            self.apply_truncation();
+        }
+        self.maybe_request_transfer(out);
+    }
+
+    /// Broadcasts a state-transfer request if the stable certificate is
+    /// ahead of local execution (rate-limited; peers below the watermark
+    /// have truncated, so only transfer can close the gap).
+    fn maybe_request_transfer(&mut self, out: &mut Outbox<PbftMsg>) {
+        if self.ckpt.behind(self.exec_upto) && self.ckpt.may_request(self.now) {
+            out.broadcast(
+                self.n,
+                self.id,
+                PbftMsg::StateRequest { have: self.exec_upto, from: self.id },
+            );
+        }
+    }
+
+    /// Serves a state-transfer request: stable certificate + the snapshot
+    /// it certifies + the committed suffix above it. Only answered when we
+    /// hold the certified snapshot ourselves and it would actually advance
+    /// the requester.
+    fn handle_state_request(&mut self, have: u64, from: ReplicaId, out: &mut Outbox<PbftMsg>) {
+        let Some((cert, log_base, snapshot)) = self.ckpt.serve() else { return };
+        if cert.seq <= have {
+            return; // requester is not behind our certificate
+        }
+        let mut suffix = Vec::new();
+        for entry in self.log.entries() {
+            if entry.seq <= log_base {
+                continue;
+            }
+            match self.replay_ring.get(entry.seq) {
+                Some(req) => suffix.push((req.clone(), entry.digest)),
+                None => return, // suffix gap (mid-install): let another peer serve
+            }
+        }
+        let mut snapshot = snapshot;
+        if self.script.corrupts_snapshot_at(self.now) {
+            // Byzantine responder: flip a snapshot byte (or fabricate one
+            // for an empty snapshot). The requester's digest cross-check
+            // against the certificate must catch this.
+            let mut bytes = (*snapshot).clone();
+            match bytes.first_mut() {
+                Some(b) => *b ^= 0xFF,
+                None => bytes.push(0xFF),
+            }
+            snapshot = Arc::new(bytes);
+        }
+        let transfer = StateTransfer {
+            cert: cert.clone(),
+            snapshot,
+            log_base,
+            suffix: Arc::new(suffix),
+            exec_upto: self.exec_upto,
+            view: self.view,
+            from: self.id,
+        };
+        out.send(Endpoint::Replica(from), PbftMsg::StateResponse(transfer));
+    }
+
+    /// Installs a transferred state if it checks out: certificate verifies,
+    /// snapshot digest matches the certificate, snapshot parses. Everything
+    /// in the response is adversarial input until those checks pass.
+    fn handle_state_response(&mut self, st: StateTransfer, out: &mut Outbox<PbftMsg>) {
+        if !self.ckpt.enabled() || st.cert.seq <= self.exec_upto {
+            return; // not ahead of us: nothing to install
+        }
+        if !self.ckpt.verify_cert(&st.cert) {
+            self.ckpt.note_rejected();
+            return;
+        }
+        if !snapshot_matches(&st.cert, &st.snapshot) {
+            self.ckpt.note_rejected();
+            return; // corrupted snapshot: digest does not match the cert
+        }
+        let Some(machine) = KvStore::install_snapshot(&st.snapshot) else {
+            self.ckpt.note_rejected();
+            return; // digest collision is out of scope; malformed framing is not
+        };
+        self.ckpt.adopt_cert(&st.cert);
+        self.machine = machine;
+        self.log.reset_to(st.log_base);
+        self.replay_ring = SeqWindow::with_base(st.log_base + 1);
+        // Replay the committed suffix above the snapshot (trusted as
+        // honest — see the module-level trust boundary).
+        for (req, digest) in st.suffix.iter() {
+            let log_seq = self.log.committed() + 1;
+            let result = Arc::new(self.machine.apply(&req.payload));
+            self.log.push(LogEntry { seq: log_seq, op: req.op, digest: *digest });
+            self.replay_ring.insert(log_seq, req.clone());
+            self.executed.insert(req.op, result);
+            self.pending.remove(&req.op);
+        }
+        self.exec_upto = self.exec_upto.max(st.exec_upto).max(st.cert.seq);
+        self.slots.retire_below(self.exec_upto + 1);
+        self.stored_preprepares.retire_below(self.exec_upto + 1);
+        self.next_seq = self.next_seq.max(self.exec_upto + 1);
+        if st.view > self.view {
+            // The cluster moved on while we were down; join its view so the
+            // current primary's proposals are accepted.
+            self.view = st.view;
+            self.vc_sent_for = self.vc_sent_for.max(st.view);
+            self.vc_votes.retain(|r| r.view > st.view);
+        }
+        self.ckpt.note_transfer();
+        // Re-arm patience for requests still pending after the replay, and
+        // resume normal execution for anything already quorate.
+        let tokens: Vec<u64> =
+            self.pending.iter_canonical().into_iter().map(|(op, _)| op_token(op)).collect();
+        for token in tokens {
+            out.arm(self.patience, TIMER_REQUEST, token);
+        }
+        self.try_execute(out);
     }
 
     fn prepared_uncommitted(&self) -> Vec<(u64, Arc<Batch>)> {
@@ -531,8 +750,9 @@ impl PbftReplica {
         from: ReplicaId,
         prepared: PreparedSet,
         executed_upto: u64,
+        cert_seq: u64,
     ) {
-        self.vc_round_mut(view).record(from, prepared, executed_upto);
+        self.vc_round_mut(view).record(from, prepared, executed_upto, cert_seq);
     }
 
     fn start_view_change(&mut self, new_view: u64, out: &mut Outbox<PbftMsg>) {
@@ -542,7 +762,13 @@ impl PbftReplica {
         self.vc_sent_for = new_view;
         self.vc_demanded_at = self.now;
         let prepared = self.prepared_uncommitted();
-        self.record_vc_vote(new_view, self.id, prepared.clone(), self.exec_upto);
+        self.record_vc_vote(
+            new_view,
+            self.id,
+            prepared.clone(),
+            self.exec_upto,
+            self.ckpt.stable_seq(),
+        );
         out.broadcast(
             self.n,
             self.id,
@@ -551,6 +777,7 @@ impl PbftReplica {
                 from: self.id,
                 prepared,
                 executed_upto: self.exec_upto,
+                cert: self.ckpt.stable().cloned(),
             },
         );
         self.maybe_install_view(new_view, out);
@@ -562,12 +789,30 @@ impl PbftReplica {
         from: ReplicaId,
         prepared: Vec<(u64, Arc<Batch>)>,
         executed_upto: u64,
+        cert: Option<CheckpointCert>,
         out: &mut Outbox<PbftMsg>,
     ) {
         if new_view <= self.view {
             return;
         }
-        self.record_vc_vote(new_view, from, prepared, executed_upto);
+        // A carried certificate is verified before it influences anything:
+        // a fresh valid one is adopted (our stable watermark catches up and
+        // we truncate), a valid-but-stale one still floors at its seq, and
+        // a forged one contributes 0 (`adopt_cert` counts the rejection).
+        let cert_seq = match cert {
+            Some(c) => {
+                if self.ckpt.adopt_cert(&c) {
+                    self.apply_truncation();
+                    c.seq
+                } else if self.ckpt.verify_cert(&c) {
+                    c.seq
+                } else {
+                    0
+                }
+            }
+            None => 0,
+        };
+        self.record_vc_vote(new_view, from, prepared, executed_upto, cert_seq);
         let count = self.vc_round_mut(new_view).count;
         // Join the view change once f+1 replicas demand it.
         if count >= (self.f + 1) as usize {
@@ -604,9 +849,16 @@ impl PbftReplica {
         // seq s, then s gathered a commit quorum, whose prepared-set
         // holders intersect every view-change quorum — so s is in
         // `repropose` and is not a hole (the checkpoint-less analogue of
-        // PBFT's null requests above the stable checkpoint). Watermark
-        // claims are trusted as honest — see [`VcRound`]'s trust boundary.
-        let floor = round.exec_floor.max(self.exec_upto);
+        // PBFT's null requests above the stable checkpoint). Un-certified
+        // watermark claims are trusted as honest — see [`VcRound`]'s trust
+        // boundary — but the *certified* floor is proven: prepared entries
+        // at or below a verified checkpoint certificate are certified
+        // history a forger is trying to rewrite, and are discarded.
+        let cert_floor = round.cert_floor;
+        if cert_floor > 0 {
+            repropose.retain(|seq, _| *seq > cert_floor);
+        }
+        let floor = round.exec_floor.max(self.exec_upto).max(cert_floor);
         let max_seq = repropose.keys().max().copied().unwrap_or(self.exec_upto);
         for seq in floor.saturating_add(1)..max_seq {
             repropose.entry(seq).or_insert_with(|| noop_batch(seq));
@@ -763,7 +1015,44 @@ impl ReplicaNode for PbftReplica {
     }
 
     fn committed_log(&self) -> &[LogEntry] {
-        &self.log
+        self.log.entries()
+    }
+
+    fn committed_seq(&self) -> u64 {
+        self.log.committed()
+    }
+
+    fn wipe(&mut self) {
+        // Rejuvenation: volatile protocol + application state goes; the
+        // replica's identity, keys, fault script, and the self-verifying
+        // stable checkpoint certificate (trusted persistent store) stay.
+        self.next_seq = 1;
+        self.slots = SeqWindow::with_base(1);
+        self.assigned = OpIndex::new();
+        self.executed = OpIndex::new();
+        self.pending = OpIndex::new();
+        self.stored_preprepares = SeqWindow::with_base(1);
+        self.log = CommittedLog::new();
+        self.exec_upto = 0;
+        self.machine = KvStore::new();
+        self.replay_ring = SeqWindow::with_base(1);
+        self.vc_votes.clear();
+        self.vc_sent_for = 0;
+        self.vc_demanded_at = 0;
+        self.in_outage = false;
+        self.view = 0;
+        let (size, flush) = (self.batcher.batch_size(), self.batcher.flush_cycles());
+        self.batcher = Batcher::new();
+        self.batcher.configure(size, flush);
+        self.ckpt.wipe();
+    }
+
+    fn checkpoint_stats(&self) -> CheckpointStats {
+        self.ckpt.stats()
+    }
+
+    fn checkpoint_history(&self) -> &[(u64, [u8; 32])] {
+        self.ckpt.history()
     }
 
     fn make_request(req: Arc<Request>) -> PbftMsg {
@@ -801,12 +1090,17 @@ impl PbftReplica {
                 PbftMsg::Commit { view, seq, digest, from } => {
                     self.handle_commit(view, seq, digest, from, staged)
                 }
-                PbftMsg::ViewChange { new_view, from, prepared, executed_upto } => {
-                    self.handle_view_change(new_view, from, prepared, executed_upto, staged)
+                PbftMsg::ViewChange { new_view, from, prepared, executed_upto, cert } => {
+                    self.handle_view_change(new_view, from, prepared, executed_upto, cert, staged)
                 }
                 PbftMsg::NewView { view, preprepares } => {
                     self.handle_new_view(view, preprepares, from, staged)
                 }
+                PbftMsg::Checkpoint(voucher) => self.handle_checkpoint(voucher, staged),
+                PbftMsg::StateRequest { have, from } => {
+                    self.handle_state_request(have, from, staged)
+                }
+                PbftMsg::StateResponse(st) => self.handle_state_response(st, staged),
                 PbftMsg::Reply(_) => {}
             },
             Input::Timer { kind: TIMER_REQUEST, token } => {
@@ -839,6 +1133,12 @@ impl PbftReplica {
             }
             Input::Timer { .. } => {}
         }
+        if self.ckpt.enabled() {
+            // Any input may have revealed a stable certificate ahead of us
+            // (post-wipe, or crashed past retention): chase it, rate-limited
+            // by the CST backoff.
+            self.maybe_request_transfer(staged);
+        }
     }
 }
 // lint: end
@@ -854,12 +1154,14 @@ impl PbftCluster {
     /// Builds the cluster for `config.f`.
     pub fn new(config: &RunConfig) -> Self {
         let n = 3 * config.f + 1;
+        let keys = CkptKeys::provision(config.seed, n as usize);
         PbftCluster {
             nodes: (0..n)
                 .map(|i| {
                     let mut r = PbftReplica::new(ReplicaId(i), config.f);
                     r.set_batching(config.batch_size, config.batch_flush);
                     r.set_patience(config.request_patience);
+                    r.set_checkpointing(config.checkpoint_interval, Arc::clone(&keys));
                     r
                 })
                 .collect(),

@@ -135,6 +135,12 @@ pub struct RunConfig {
     /// in-flight population, so deep windows need proportionally more
     /// patience or correct primaries get deposed in a permanent storm.
     pub request_patience: u64,
+    /// Executed watermark units between certified checkpoints (agreement
+    /// slots for PBFT/MinBFT, log entries for passive). 0 — the default —
+    /// disables the checkpoint/state-transfer subsystem entirely and is
+    /// byte-invisible: no checkpoint messages, timers, or RNG draws, so
+    /// fault-free traces match the checkpoint-less build exactly.
+    pub checkpoint_interval: u64,
 }
 
 impl Default for RunConfig {
@@ -154,6 +160,7 @@ impl Default for RunConfig {
             link_occupancy: 0,
             client_window: 1,
             request_patience: 1_500,
+            checkpoint_interval: 0,
         }
     }
 }
@@ -232,6 +239,11 @@ enum Queued<M> {
         spec: u32,
         k: u64,
     },
+    /// Scenario: rejuvenate (wipe) `replica` — it re-joins through state
+    /// transfer. Never queued by the fault-free path.
+    RejuvTick {
+        replica: u32,
+    },
 }
 
 /// Runtime state of one scenario interpretation: the dense per-replica
@@ -252,6 +264,7 @@ struct FaultCtx<'a, M> {
     script_drops: u64,
     duplicates: u64,
     replays: u64,
+    rejuvenations: u64,
 }
 
 impl<'a, M: Clone> FaultCtx<'a, M> {
@@ -268,6 +281,7 @@ impl<'a, M: Clone> FaultCtx<'a, M> {
             script_drops: 0,
             duplicates: 0,
             replays: 0,
+            rejuvenations: 0,
         }
     }
 
@@ -294,6 +308,8 @@ pub struct ScenarioOutcome {
     pub duplicates: u64,
     /// Stale messages re-injected by replay schedules.
     pub replays: u64,
+    /// Rejuvenation wipes performed (leave/wipe/re-join cycles).
+    pub rejuvenations: u64,
 }
 
 /// One in-flight client operation: the request (shared with every wire
@@ -412,6 +428,9 @@ pub fn run_scenario<C: Cluster>(
                         Queued::ReplayTick { replica: r as u32, spec: si as u32, k: 0 }
                     );
                 }
+            }
+            for &at in script.rejuvenations() {
+                push_event!(at, Queued::RejuvTick { replica: r as u32 });
             }
         }
     }
@@ -595,6 +614,14 @@ pub fn run_scenario<C: Cluster>(
                     }
                 }
             }
+            Queued::RejuvTick { replica } => {
+                // Leave/wipe/re-join: all volatile state goes; the replica
+                // discovers it is behind (its kept stable certificate, or a
+                // peer's next checkpoint/view-change) and re-joins through
+                // state transfer.
+                cluster.nodes_mut()[replica as usize].wipe();
+                fault.rejuvenations += 1;
+            }
         }
         // Early exit when all clients have finished.
         if clients.iter().all(|c| c.done >= c.target) {
@@ -660,6 +687,7 @@ pub fn run_scenario<C: Cluster>(
         script_drops: fault.script_drops,
         duplicates: fault.duplicates,
         replays: fault.replays,
+        rejuvenations: fault.rejuvenations,
     }
 }
 
@@ -881,17 +909,29 @@ fn route_one<C: Cluster>(
 }
 
 /// Checks that all correct replicas' committed logs agree: for every pair,
-/// entries at the same sequence number have the same digest (prefix
-/// compatibility — one replica may simply be behind).
+/// entries at the same sequence number have the same op and digest (prefix
+/// compatibility — one replica may simply be behind). Comparison is
+/// **sequence-aligned**, not index-aligned: with checkpointing enabled a
+/// log is a contiguous suffix of history (truncated below the stable
+/// watermark, at possibly different watermarks per replica), so only the
+/// overlap of the retained ranges is comparable.
 pub fn check_safety<C: Cluster>(cluster: &C) -> bool {
     let correct = cluster.correct_replicas();
     for (i, &a) in correct.iter().enumerate() {
         for &b in &correct[i + 1..] {
             let la = cluster.nodes()[a.0 as usize].committed_log();
             let lb = cluster.nodes()[b.0 as usize].committed_log();
-            let common = la.len().min(lb.len());
-            for k in 0..common {
-                if la[k].seq != lb[k].seq || la[k].op != lb[k].op || la[k].digest != lb[k].digest {
+            let (Some(fa), Some(fb)) = (la.first(), lb.first()) else { continue };
+            // Retained entries are dense in seq, so the overlap range maps
+            // to index offsets directly.
+            let lo = fa.seq.max(fb.seq);
+            let hi = (fa.seq + la.len() as u64 - 1).min(fb.seq + lb.len() as u64 - 1);
+            for seq in lo..=hi {
+                // bounds: lo..=hi is the intersection of both retained ranges
+                let ea = &la[(seq - fa.seq) as usize];
+                // bounds: lo..=hi is the intersection of both retained ranges
+                let eb = &lb[(seq - fb.seq) as usize];
+                if ea.seq != eb.seq || ea.op != eb.op || ea.digest != eb.digest {
                     return false;
                 }
             }

@@ -40,6 +40,58 @@ impl KvStore {
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }
+
+    /// Serializes the store for state transfer. The framing is **exactly**
+    /// the byte stream [`state_digest`](StateMachine::state_digest) hashes
+    /// (length-framed `(key, value)` pairs in `BTreeMap` order), so
+    /// `sha256(snapshot) == state_digest()` — a checkpoint certificate
+    /// over the digest certifies the snapshot bytes directly, with no
+    /// second serialization format to keep in sync.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        for (k, v) in &self.map {
+            bytes.extend_from_slice(&(k.len() as u64).to_le_bytes());
+            bytes.extend_from_slice(k);
+            bytes.extend_from_slice(&(v.len() as u64).to_le_bytes());
+            bytes.extend_from_slice(v);
+        }
+        bytes
+    }
+
+    // lint: ingress
+    /// Parses a transferred snapshot (adversarial input: the bytes come
+    /// from a peer). Returns `None` for any malformed framing — truncated
+    /// lengths, trailing bytes, or keys out of order (order is part of the
+    /// digest contract, so an honest snapshot is always sorted).
+    pub fn install_snapshot(bytes: &[u8]) -> Option<KvStore> {
+        let mut map = BTreeMap::new();
+        let mut at = 0usize;
+        let mut prev_key: Option<Vec<u8>> = None;
+        let read_chunk = |at: &mut usize| -> Option<Vec<u8>> {
+            let len_end = at.checked_add(8)?;
+            let len_bytes = bytes.get(*at..len_end)?;
+            // lint: allow(ingress-expect) -- get() above proved the slice is 8 bytes
+            let len = u64::from_le_bytes(len_bytes.try_into().expect("8-byte slice"));
+            let len = usize::try_from(len).ok()?;
+            let end = len_end.checked_add(len)?;
+            let chunk = bytes.get(len_end..end)?.to_vec();
+            *at = end;
+            Some(chunk)
+        };
+        while at < bytes.len() {
+            let key = read_chunk(&mut at)?;
+            let value = read_chunk(&mut at)?;
+            if let Some(prev) = &prev_key {
+                if *prev >= key {
+                    return None; // unsorted or duplicate: not digest framing
+                }
+            }
+            prev_key = Some(key.clone());
+            map.insert(key, value);
+        }
+        Some(KvStore { map })
+    }
+    // lint: end
 }
 
 impl StateMachine for KvStore {
@@ -203,6 +255,51 @@ mod tests {
         assert_eq!(kv1.state_digest(), kv2.state_digest());
         kv2.apply(b"SET d 4");
         assert_ne!(kv1.state_digest(), kv2.state_digest());
+    }
+
+    #[test]
+    fn snapshot_roundtrips_and_matches_the_digest() {
+        let mut kv = KvStore::new();
+        kv.apply(b"SET a 1");
+        kv.apply(b"SET msg hello world");
+        kv.apply(b"SET b 2");
+        kv.apply(b"DEL a");
+        let snap = kv.snapshot();
+        // The snapshot IS the digest pre-image: a certificate over the
+        // state digest certifies the snapshot bytes.
+        assert_eq!(rsoc_crypto::sha256(&snap), kv.state_digest());
+        let restored = KvStore::install_snapshot(&snap).expect("well-formed");
+        assert_eq!(restored.state_digest(), kv.state_digest());
+        assert_eq!(restored.len(), kv.len());
+        // Empty store: empty snapshot, still round-trips.
+        let empty = KvStore::new();
+        assert_eq!(empty.snapshot(), Vec::<u8>::new());
+        assert!(KvStore::install_snapshot(&[]).is_some());
+    }
+
+    #[test]
+    fn malformed_snapshots_are_rejected() {
+        let mut kv = KvStore::new();
+        kv.apply(b"SET a 1");
+        kv.apply(b"SET b 2");
+        let snap = kv.snapshot();
+        assert!(KvStore::install_snapshot(&snap[..snap.len() - 1]).is_none(), "truncated value");
+        assert!(KvStore::install_snapshot(&snap[..9]).is_none(), "truncated key length");
+        let mut trailing = snap.clone();
+        trailing.push(0);
+        assert!(KvStore::install_snapshot(&trailing).is_none(), "trailing bytes");
+        let mut absurd = snap.clone();
+        absurd[..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(KvStore::install_snapshot(&absurd).is_none(), "absurd length field");
+        // Out-of-order pairs can't have come from digest framing.
+        let mut unsorted = Vec::new();
+        for key in [b"b", b"a"] {
+            unsorted.extend_from_slice(&1u64.to_le_bytes());
+            unsorted.extend_from_slice(key);
+            unsorted.extend_from_slice(&1u64.to_le_bytes());
+            unsorted.extend_from_slice(b"x");
+        }
+        assert!(KvStore::install_snapshot(&unsorted).is_none(), "unsorted keys");
     }
 
     #[test]

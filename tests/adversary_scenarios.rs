@@ -298,3 +298,70 @@ fn scenario_runs_are_deterministic() {
     };
     assert_eq!(run_once(), run_once(), "identical scenario, identical trace");
 }
+
+#[test]
+fn corrupted_transfer_snapshots_are_rejected_never_installed() {
+    // A rejuvenated replica asks for state transfer and every serving
+    // replica corrupts the snapshot bytes. The certificate digest check
+    // must reject every response — the wiped replica would rather stay
+    // behind than install state it cannot prove. The rest of the cluster
+    // keeps the workload live.
+    let cfg = RunConfig { checkpoint_interval: 3, ..config(1, 4, 12, 931) };
+    let mut scenario = Scenario::none().script(3, ReplicaScript::correct().rejuvenate_at(150));
+    for r in 0..3 {
+        scenario = scenario
+            .script(r, ReplicaScript::correct().corrupt_snapshots(Window::new(0, 1_000_000)));
+    }
+    let mut cluster = PbftCluster::new(&cfg);
+    let out = run_scenario(&mut cluster, &cfg, &scenario);
+    let verdict = ScenarioOracle::expecting_liveness().judge(&cluster, &out.report, 48);
+    assert!(verdict.pass(), "{verdict:?}");
+    assert_eq!(out.rejuvenations, 1, "the wipe must fire");
+    let rejected: u64 = cluster.nodes().iter().map(|n| n.checkpoint_stats().rejected).sum();
+    let transfers: u64 = cluster.nodes().iter().map(|n| n.checkpoint_stats().transfers).sum();
+    assert!(rejected >= 1, "corrupt snapshots must be rejected, got {rejected}");
+    assert_eq!(transfers, 0, "a corrupted snapshot must never install");
+    // The wiped replica stayed behind rather than installing garbage.
+    let stable = cluster.nodes()[0].checkpoint_stats().stable_seq;
+    assert!(
+        cluster.nodes()[3].committed_seq() < stable,
+        "the re-joiner cannot have caught up without a genuine transfer"
+    );
+}
+
+#[test]
+fn forged_checkpoint_certificates_never_certify() {
+    // A Byzantine replica broadcasts forged checkpoint vouchers: garbage
+    // MACs (rejected outright) and properly-MAC'd lies about its state
+    // digest (isolated in their own digest group, never reaching quorum).
+    // Honest replicas still certify the true digests on schedule.
+    let cfg = RunConfig { checkpoint_interval: 3, ..config(1, 4, 12, 933) };
+    let scenario = Scenario::none()
+        .script(1, ReplicaScript::correct().forge_checkpoints(Window::new(0, 1_000_000)));
+    let lie = manycore_resilience::crypto::sha256(b"forged-checkpoint-state");
+
+    let mut pbft = PbftCluster::new(&cfg);
+    let out = run_scenario(&mut pbft, &cfg, &scenario);
+    let verdict = ScenarioOracle::expecting_liveness().judge(&pbft, &out.report, 48);
+    assert!(verdict.pass(), "pbft: {verdict:?}");
+    let rejected: u64 = pbft.nodes().iter().map(|n| n.checkpoint_stats().rejected).sum();
+    assert!(rejected >= 1, "forged vouchers must bump the rejection counter");
+    for node in pbft.nodes() {
+        assert!(node.checkpoint_stats().stable_seq > 0, "real certificates must still form");
+        for (seq, digest) in node.checkpoint_history() {
+            assert_ne!(digest, &lie, "forged digest certified at watermark {seq}");
+        }
+    }
+
+    let mut minbft = MinBftCluster::new(&cfg);
+    let out = run_scenario(&mut minbft, &cfg, &scenario);
+    let verdict = ScenarioOracle::expecting_liveness().judge(&minbft, &out.report, 48);
+    assert!(verdict.pass(), "minbft: {verdict:?}");
+    let rejected: u64 = minbft.nodes().iter().map(|n| n.checkpoint_stats().rejected).sum();
+    assert!(rejected >= 1, "forged vouchers must bump the rejection counter");
+    for node in minbft.nodes() {
+        for (seq, digest) in node.checkpoint_history() {
+            assert_ne!(digest, &lie, "forged digest certified at watermark {seq}");
+        }
+    }
+}

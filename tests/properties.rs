@@ -521,6 +521,77 @@ proptest! {
     }
 }
 
+// ---------------- certified checkpoints (PR 7) ----------------
+//
+// Checkpoint digests are the protocols' *common knowledge*: at every
+// certificate boundary, all correct replicas that crossed it must have
+// vouched for byte-identical state digests — otherwise certificates
+// could never form (the quorum groups by digest), and a state transfer
+// could install a snapshot some replicas would dispute. For any
+// fault-free schedule, any protocol, and any batch regime, every pair of
+// replicas must agree on the digest at every watermark both reached.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn checkpoint_digests_agree_at_every_boundary(
+        seed in 1u64..5_000, clients in 1u32..=4, reqs in 2u64..=6, big_batch in any::<bool>(),
+        proto in 0u8..3,
+    ) {
+        let cfg = RunConfig {
+            f: 1, clients, requests_per_client: reqs, seed,
+            batch_size: if big_batch { 8 } else { 1 }, batch_flush: 80,
+            checkpoint_interval: 2, max_cycles: 20_000_000,
+            ..Default::default()
+        };
+        let histories: Vec<Vec<(u64, [u8; 32])>> = match proto {
+            0 => {
+                let mut c = PbftCluster::new(&cfg);
+                let r = run(&mut c, &cfg);
+                prop_assert!(r.safety_ok);
+                prop_assert_eq!(r.committed, clients as u64 * reqs);
+                c.nodes().iter().map(|n| n.checkpoint_history().to_vec()).collect()
+            }
+            1 => {
+                let mut c = MinBftCluster::new(&cfg);
+                let r = run(&mut c, &cfg);
+                prop_assert!(r.safety_ok);
+                prop_assert_eq!(r.committed, clients as u64 * reqs);
+                c.nodes().iter().map(|n| n.checkpoint_history().to_vec()).collect()
+            }
+            _ => {
+                let mut c = PassiveCluster::new(&cfg);
+                let r = run(&mut c, &cfg);
+                prop_assert!(r.safety_ok);
+                prop_assert_eq!(r.committed, clients as u64 * reqs);
+                c.nodes().iter().map(|n| n.checkpoint_history().to_vec()).collect()
+            }
+        };
+        // Enough ops ran for at least one watermark everywhere.
+        prop_assert!(
+            histories.iter().any(|h| !h.is_empty()),
+            "no certificate ever stabilised (proto={})", proto
+        );
+        // Every watermark two replicas both certified carries the same
+        // digest — across ALL pairs, at EVERY boundary.
+        for (i, a) in histories.iter().enumerate() {
+            for (j, b) in histories.iter().enumerate().skip(i + 1) {
+                for (seq, da) in a {
+                    for (seq_b, db) in b {
+                        if seq == seq_b {
+                            prop_assert_eq!(
+                                da, db,
+                                "replicas {} and {} disagree at watermark {} (proto={})",
+                                i, j, seq, proto
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 // ---------------- dense-state slot GC (PR 4) ----------------
 //
 // The dense rework anchors each replica's agreement slots in a window at
