@@ -97,8 +97,7 @@ fn bench_noc(c: &mut Criterion) {
 fn bench_protocols(c: &mut Criterion) {
     let mut g = c.benchmark_group("protocols");
     g.sample_size(20);
-    let config =
-        RunConfig { f: 1, clients: 1, requests_per_client: 10, seed: 7, ..Default::default() };
+    let config = RunConfig::builder().f(1).clients(1).requests_per_client(10).seed(7).build();
     g.bench_function("pbft_f1_10ops", |b| {
         b.iter(|| {
             let mut cluster = PbftCluster::new(&config);
@@ -120,14 +119,15 @@ fn bench_protocols(c: &mut Criterion) {
 fn bench_commit_batching(c: &mut Criterion) {
     let mut g = c.benchmark_group("commit");
     g.sample_size(20);
-    let workload = |batch_size: usize| RunConfig {
-        f: 1,
-        clients: 8,
-        requests_per_client: 8,
-        seed: 7,
-        batch_size,
-        batch_flush: 100,
-        ..Default::default()
+    let workload = |batch_size: usize| {
+        RunConfig::builder()
+            .f(1)
+            .clients(8)
+            .requests_per_client(8)
+            .seed(7)
+            .batch_size(batch_size)
+            .batch_flush(100)
+            .build()
     };
     for batch in [1usize, 8] {
         let config = workload(batch);

@@ -49,15 +49,14 @@ fn main() {
         (1..=4u32).flat_map(|f| [(f, "pbft"), (f, "minbft")]).collect();
     let reports = rsoc_bench::run_cells(&cells, options.jobs, |&(f, protocol)| {
         let n = if protocol == "pbft" { 3 * f + 1 } else { 2 * f + 1 };
-        let config = RunConfig {
-            f,
-            clients: 4,
-            requests_per_client: requests,
-            seed: 0xE3 + f as u64,
-            latency: mesh_latency(n),
-            max_cycles: 200_000_000,
-            ..Default::default()
-        };
+        let config = RunConfig::builder()
+            .f(f)
+            .clients(4)
+            .requests_per_client(requests)
+            .seed(0xE3 + f as u64)
+            .latency(mesh_latency(n))
+            .max_cycles(200_000_000)
+            .build();
         match protocol {
             "pbft" => run(&mut PbftCluster::new(&config), &config),
             _ => run(&mut MinBftCluster::new(&config), &config),

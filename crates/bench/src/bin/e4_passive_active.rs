@@ -52,15 +52,14 @@ fn main() {
         .collect();
 
     let reports = rsoc_bench::run_cells(&cells, options.jobs, |cell| {
-        let config = RunConfig {
-            f: 1,
-            clients: 1,
-            requests_per_client: requests,
-            seed: 0xE4,
-            client_timeout: 300,
-            max_cycles: 400_000_000,
-            ..Default::default()
-        };
+        let config = RunConfig::builder()
+            .f(1)
+            .clients(1)
+            .requests_per_client(requests)
+            .seed(0xE4)
+            .client_timeout(300)
+            .max_cycles(400_000_000)
+            .build();
         match *cell {
             Cell::Passive { detect } => {
                 let mut cluster = PassiveCluster::with_detector(detect / 4, detect);

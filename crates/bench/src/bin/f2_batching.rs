@@ -89,18 +89,17 @@ fn mesh_latency(n: u32) -> LatencyModel {
 }
 
 fn config(requests: u64, batch: usize, latency: LatencyModel, seed: u64) -> RunConfig {
-    RunConfig {
-        f: F,
-        clients: CLIENTS,
-        requests_per_client: requests,
-        seed,
-        latency,
-        max_cycles: 50_000_000,
-        batch_size: batch,
-        batch_flush: BATCH_FLUSH,
-        link_occupancy: LINK_OCCUPANCY,
-        ..Default::default()
-    }
+    RunConfig::builder()
+        .f(F)
+        .clients(CLIENTS)
+        .requests_per_client(requests)
+        .seed(seed)
+        .latency(latency)
+        .max_cycles(50_000_000)
+        .batch_size(batch)
+        .batch_flush(BATCH_FLUSH)
+        .link_occupancy(LINK_OCCUPANCY)
+        .build()
 }
 
 /// Runs one cell of the sweep, returning the report and total MAC ops

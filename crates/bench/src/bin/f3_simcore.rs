@@ -121,26 +121,25 @@ fn mesh_latency(n: u32) -> LatencyModel {
 }
 
 fn config(requests: u64, batch: usize, window: usize, n: u32, seed: u64) -> RunConfig {
-    RunConfig {
-        f: F,
-        clients: CLIENTS,
-        requests_per_client: requests,
-        seed,
-        latency: mesh_latency(n),
-        max_cycles: 50_000_000,
-        batch_size: batch,
-        batch_flush: BATCH_FLUSH,
-        link_occupancy: LINK_OCCUPANCY,
-        client_window: window,
+    RunConfig::builder()
+        .f(F)
+        .clients(CLIENTS)
+        .requests_per_client(requests)
+        .seed(seed)
+        .latency(mesh_latency(n))
+        .max_cycles(50_000_000)
+        .batch_size(batch)
+        .batch_flush(BATCH_FLUSH)
+        .link_occupancy(LINK_OCCUPANCY)
+        .client_window(window)
         // A window of k multiplies the in-flight population (and thus the
         // tail commit latency under egress serialization) by ~k; the
         // retransmit timeout must scale with it or the tail turns into a
         // retransmission storm that feeds itself. drop_rate is 0 here, so
         // a generous timeout costs nothing.
-        client_timeout: 4_000 * window.max(1) as u64,
-        request_patience: 1_500 * window.max(1) as u64,
-        ..Default::default()
-    }
+        .client_timeout(4_000 * window.max(1) as u64)
+        .request_patience(1_500 * window.max(1) as u64)
+        .build()
 }
 
 fn run_cell(protocol: &'static str, cfg: &RunConfig) -> RunReport {

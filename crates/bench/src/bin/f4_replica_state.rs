@@ -117,21 +117,20 @@ fn mesh_latency(n: u32) -> LatencyModel {
 }
 
 fn config(requests: u64, batch: usize, window: usize, n: u32, seed: u64) -> RunConfig {
-    RunConfig {
-        f: F,
-        clients: CLIENTS,
-        requests_per_client: requests,
-        seed,
-        latency: mesh_latency(n),
-        max_cycles: 50_000_000,
-        batch_size: batch,
-        batch_flush: BATCH_FLUSH,
-        link_occupancy: LINK_OCCUPANCY,
-        client_window: window,
-        client_timeout: 4_000 * window.max(1) as u64,
-        request_patience: 1_500 * window.max(1) as u64,
-        ..Default::default()
-    }
+    RunConfig::builder()
+        .f(F)
+        .clients(CLIENTS)
+        .requests_per_client(requests)
+        .seed(seed)
+        .latency(mesh_latency(n))
+        .max_cycles(50_000_000)
+        .batch_size(batch)
+        .batch_flush(BATCH_FLUSH)
+        .link_occupancy(LINK_OCCUPANCY)
+        .client_window(window)
+        .client_timeout(4_000 * window.max(1) as u64)
+        .request_patience(1_500 * window.max(1) as u64)
+        .build()
 }
 
 fn hex(d: &[u8; 32]) -> String {

@@ -332,17 +332,16 @@ fn parse_args() -> Options {
 }
 
 fn config(f: u32, batch: usize, seed: u64) -> RunConfig {
-    RunConfig {
-        f,
-        clients: CLIENTS,
-        requests_per_client: REQUESTS,
-        seed,
-        latency: LatencyModel::Uniform { min: 5, max: 15 },
-        max_cycles: MAX_CYCLES,
-        batch_size: batch,
-        batch_flush: 80,
-        ..Default::default()
-    }
+    RunConfig::builder()
+        .f(f)
+        .clients(CLIENTS)
+        .requests_per_client(REQUESTS)
+        .seed(seed)
+        .latency(LatencyModel::Uniform { min: 5, max: 15 })
+        .max_cycles(MAX_CYCLES)
+        .batch_size(batch)
+        .batch_flush(80)
+        .build()
 }
 
 /// Runs one cell and judges it.

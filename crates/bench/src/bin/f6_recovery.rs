@@ -220,18 +220,17 @@ fn parse_args() -> Options {
 }
 
 fn config(batch: usize, seed: u64) -> RunConfig {
-    RunConfig {
-        f: 1,
-        clients: CLIENTS,
-        requests_per_client: REQUESTS,
-        seed,
-        latency: LatencyModel::Uniform { min: 5, max: 15 },
-        max_cycles: MAX_CYCLES,
-        batch_size: batch,
-        batch_flush: 80,
-        checkpoint_interval: CKPT_INTERVAL,
-        ..Default::default()
-    }
+    RunConfig::builder()
+        .f(1)
+        .clients(CLIENTS)
+        .requests_per_client(REQUESTS)
+        .seed(seed)
+        .latency(LatencyModel::Uniform { min: 5, max: 15 })
+        .max_cycles(MAX_CYCLES)
+        .batch_size(batch)
+        .batch_flush(80)
+        .checkpoint_interval(CKPT_INTERVAL)
+        .build()
 }
 
 /// Runs one cell and judges it.

@@ -1,0 +1,186 @@
+//! Real-transport smoke: a localhost TCP cluster of separate OS
+//! processes must commit the full workload and converge to the *same*
+//! state digest a simulator run of the identical request log computes.
+//!
+//! For each protocol (PBFT f=1 → 4 replicas, MinBFT f=1 → 3 replicas):
+//!
+//! 1. run the deterministic simulator with the exact cluster workload to
+//!    obtain the expected digest;
+//! 2. spawn one `rsoc-serve` process per replica (ephemeral ports,
+//!    collected from their `LISTENING` lines, rendezvoused via a `PEERS`
+//!    stdin line);
+//! 3. spawn `rsoc-client` with `--expect-digest` — it fails unless every
+//!    replica converges to the simulator's digest;
+//! 4. check every process exits cleanly.
+//!
+//! Usage: `transport_smoke [--clients N] [--requests N]` (defaults
+//! 4×60 = 240 committed ops per protocol, above the 200-op gate).
+
+use rsoc_bft::api::Cluster;
+use rsoc_bft::runner::{run, RunConfig};
+use rsoc_transport::run::{digest_hex, Protocol};
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, Command, ExitCode, Stdio};
+
+const SEED: u64 = 42;
+const PAYLOAD: usize = 64;
+
+fn main() -> ExitCode {
+    let mut clients = 4u32;
+    let mut requests = 60u64;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match (flag.as_str(), it.next()) {
+            ("--clients", Some(v)) => clients = v.parse().expect("--clients"),
+            ("--requests", Some(v)) => requests = v.parse().expect("--requests"),
+            (other, _) => {
+                eprintln!("unknown flag {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    for protocol in [Protocol::Pbft, Protocol::MinBft] {
+        if let Err(e) = smoke(protocol, clients, requests) {
+            eprintln!("transport_smoke[{}]: {e}", protocol.name());
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Simulator digest for the workload the cluster is about to serve.
+fn simulator_digest(protocol: Protocol, clients: u32, requests: u64) -> Result<[u8; 32], String> {
+    let config = RunConfig::builder()
+        .f(1)
+        .clients(clients)
+        .requests_per_client(requests)
+        .payload_size(PAYLOAD)
+        .seed(SEED)
+        .build();
+    let expected_ops = u64::from(clients) * requests;
+    let (committed, digest) = match protocol {
+        Protocol::Pbft => {
+            let mut cluster = rsoc_bft::pbft::PbftCluster::new(&config);
+            let report = run(&mut cluster, &config);
+            (report.committed, cluster.nodes()[0].state_digest())
+        }
+        Protocol::MinBft => {
+            let mut cluster = rsoc_bft::minbft::MinBftCluster::new(&config);
+            let report = run(&mut cluster, &config);
+            (report.committed, cluster.nodes()[0].state_digest())
+        }
+    };
+    if committed != expected_ops {
+        return Err(format!("simulator committed {committed}, expected {expected_ops}"));
+    }
+    Ok(digest)
+}
+
+fn smoke(protocol: Protocol, clients: u32, requests: u64) -> Result<(), String> {
+    let expected = simulator_digest(protocol, clients, requests)?;
+    let n = protocol.cluster_size(1);
+    println!(
+        "[{}] n={n}, {clients} clients x {requests} ops, expecting digest {}",
+        protocol.name(),
+        digest_hex(&expected)
+    );
+
+    let serve_bin = sibling_binary("rsoc-serve")?;
+    let client_bin = sibling_binary("rsoc-client")?;
+
+    // Phase 1: start every replica and collect its ephemeral address.
+    let mut replicas: Vec<Child> = Vec::new();
+    let mut addrs: Vec<String> = Vec::new();
+    for id in 0..n {
+        let mut child = Command::new(&serve_bin)
+            .args(["--protocol", protocol.name()])
+            .args(["--id", &id.to_string()])
+            .args(["--f", "1"])
+            .args(["--seed", &SEED.to_string()])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .map_err(|e| format!("spawning {}: {e}", serve_bin.display()))?;
+        let stdout = child.stdout.as_mut().ok_or("no stdout")?;
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .map_err(|e| format!("reading LISTENING line: {e}"))?;
+        let addr = line
+            .strip_prefix("LISTENING ")
+            .ok_or_else(|| format!("replica {id}: expected LISTENING line, got {line:?}"))?
+            .trim()
+            .to_string();
+        addrs.push(addr);
+        replicas.push(child);
+    }
+
+    // Phase 2: rendezvous — every replica learns every address.
+    let peers_line = format!("PEERS {}\n", addrs.join(" "));
+    for child in &mut replicas {
+        child
+            .stdin
+            .as_mut()
+            .ok_or("no stdin")?
+            .write_all(peers_line.as_bytes())
+            .map_err(|e| format!("writing PEERS line: {e}"))?;
+    }
+
+    // Phase 3: the external client drives the run and gates on digest.
+    let status = Command::new(&client_bin)
+        .args(["--protocol", protocol.name()])
+        .args(["--f", "1"])
+        .args(["--seed", &SEED.to_string()])
+        .args(["--clients", &clients.to_string()])
+        .args(["--requests", &requests.to_string()])
+        .args(["--payload", &PAYLOAD.to_string()])
+        .args(["--addrs", &addrs.join(",")])
+        .args(["--expect-digest", &digest_hex(&expected)])
+        .status()
+        .map_err(|e| format!("spawning {}: {e}", client_bin.display()))?;
+    let client_failed = !status.success();
+
+    // Phase 4: replicas exit through the client's Shutdown.
+    let mut failures = Vec::new();
+    if client_failed {
+        failures.push("rsoc-client exited nonzero".to_string());
+    }
+    for (id, child) in replicas.iter_mut().enumerate() {
+        if client_failed {
+            // No Shutdown was sent; don't hang on a live serve loop.
+            let _ = child.kill();
+        }
+        match child.wait() {
+            Ok(s) if s.success() || client_failed => {}
+            Ok(s) => failures.push(format!("replica {id} exited with {s}")),
+            Err(e) => failures.push(format!("replica {id} wait: {e}")),
+        }
+    }
+    if failures.is_empty() {
+        println!(
+            "[{}] ok: {} ops, digest matches the simulator",
+            protocol.name(),
+            u64::from(clients) * requests
+        );
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
+/// Locates a cluster binary next to this driver (same target profile).
+fn sibling_binary(name: &str) -> Result<PathBuf, String> {
+    let me = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let dir = me.parent().ok_or("current_exe has no parent")?;
+    let path = dir.join(name);
+    if path.exists() {
+        Ok(path)
+    } else {
+        Err(format!(
+            "{} not found — build it first: cargo build -p rsoc_transport --bin {name}",
+            path.display()
+        ))
+    }
+}

@@ -11,6 +11,8 @@ use rsoc_crypto::{sha256, Sha256};
 use std::fmt;
 use std::sync::Arc;
 
+pub use crate::codec::{decode_frame, encode_frame, request_fields, Reader, Wire, WIRE_VERSION};
+
 /// Replica identity (0-based, dense).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ReplicaId(pub u32);
@@ -120,14 +122,18 @@ impl Batch {
         Self::compute_digest(&self.requests) == self.digest
     }
 
+    /// Hashes the batch's canonical wire bytes incrementally (no
+    /// allocation): `count u64 LE`, then each request's
+    /// [`request_fields`](crate::codec::request_fields). The codec's
+    /// [`Wire`](crate::codec::Wire) impl for `Batch` emits the *same*
+    /// bytes to a frame, so `sha256(encode(batch)) == batch.digest()` —
+    /// the simulator's digest path and the socket framing share one
+    /// definition.
     fn compute_digest(requests: &[Arc<Request>]) -> [u8; 32] {
         let mut h = Sha256::new();
         h.update(&(requests.len() as u64).to_le_bytes());
         for r in requests {
-            h.update(&r.op.client.0.to_le_bytes());
-            h.update(&r.op.seq.to_le_bytes());
-            h.update(&(r.payload.len() as u64).to_le_bytes());
-            h.update(&r.payload);
+            crate::codec::request_fields(r, &mut |bytes| h.update(bytes));
         }
         h.finalize()
     }
@@ -532,6 +538,16 @@ pub trait Cluster {
     /// # Panics
     /// Panics if `id` is out of range.
     fn set_script(&mut self, id: ReplicaId, script: crate::adversary::ReplicaScript);
+
+    /// Dissolves the cluster into its nodes (index = replica id).
+    ///
+    /// The real-transport plane runs one replica per OS process: every
+    /// process constructs the *same* cluster from the shared `(seed, f)`
+    /// configuration — key provisioning is deterministic in the seed, so
+    /// all processes derive identical key material — then extracts and
+    /// owns just its own node. The simulator keeps driving the intact
+    /// cluster through [`nodes_mut`](Self::nodes_mut).
+    fn into_nodes(self) -> Vec<Self::Node>;
 }
 
 #[cfg(test)]

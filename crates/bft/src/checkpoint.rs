@@ -124,7 +124,7 @@ pub struct CheckpointCert {
 
 /// One peer's answer to a state-transfer request: the stable certificate,
 /// the snapshot it certifies, and the committed tail above it.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StateTransfer {
     /// The stable checkpoint certificate the snapshot is checked against.
     pub cert: CheckpointCert,

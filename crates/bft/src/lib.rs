@@ -40,7 +40,7 @@
 //! use rsoc_bft::minbft::MinBftCluster;
 //! use rsoc_bft::runner::{RunConfig, run};
 //!
-//! let config = RunConfig { f: 1, clients: 2, requests_per_client: 5, seed: 42, ..Default::default() };
+//! let config = RunConfig::builder().f(1).clients(2).requests_per_client(5).seed(42).build();
 //! let mut cluster = MinBftCluster::new(&config);
 //! cluster.set_script(rsoc_bft::api::ReplicaId(2), Behavior::Silent.into());
 //! let report = run(&mut cluster, &config);
@@ -52,10 +52,13 @@ pub mod adversary;
 pub mod api;
 pub mod broadcast;
 pub mod checkpoint;
+pub mod codec;
 pub mod dense;
+pub mod harness;
 pub mod minbft;
 pub mod passive;
 pub mod pbft;
+pub mod plane;
 pub mod runner;
 pub mod statemachine;
 
@@ -65,5 +68,7 @@ pub use adversary::{
 };
 pub use api::{ClientId, LogEntry, OpId, ReplicaId, Reply, Request};
 pub use checkpoint::{CheckpointCert, CheckpointStats, CheckpointVoucher, CkptKeys};
-pub use runner::{run, run_scenario, RunConfig, RunReport, ScenarioOutcome};
+pub use codec::{decode_frame, encode_frame, Wire, WIRE_VERSION};
+pub use plane::{step_node, Clock, Transport};
+pub use runner::{run, run_scenario, RunConfig, RunConfigBuilder, RunReport, ScenarioOutcome};
 pub use statemachine::{CounterMachine, KvStore, StateMachine};

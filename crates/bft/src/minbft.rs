@@ -47,8 +47,37 @@ const REQUEST_PATIENCE: u64 = 1_500;
 /// Prepared-but-unexecuted `(seq, batch)` entries carried by view changes.
 type PreparedSet = Vec<(u64, Arc<Batch>)>;
 
+/// A backup's UI-certified commit vote (carries the batch so replicas
+/// that missed the PREPARE can still execute on a commit quorum).
+///
+/// Shared behind an [`Arc`] in [`MinBftMsg::Commit`]: the vote carries
+/// *two* 48-byte USIG certificates, and inlining them made `Commit` the
+/// enum's largest variant by far — every event memcpy'd through the
+/// simulator's timing-wheel arena paid for it. Behind the `Arc`, the
+/// per-peer broadcast clone is a refcount bump.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitVote {
+    /// View.
+    pub view: u64,
+    /// Sequence.
+    pub seq: u64,
+    /// Full request batch (shared across the fan-out).
+    pub batch: Arc<Batch>,
+    /// The primary's UI from the PREPARE (evidence of assignment).
+    pub primary_ui: UI,
+    /// Voting replica.
+    pub from: ReplicaId,
+    /// Voter's own USIG certificate.
+    pub ui: UI,
+}
+
 /// MinBFT wire messages.
-#[derive(Debug, Clone)]
+///
+/// Rare, bulky variants (commit votes, checkpoint vouchers/certs, state
+/// transfers) live behind `Arc`/`Box` so the enum's size — and with it
+/// every per-event memcpy through the timing-wheel arena — is pinned by
+/// the hot `Prepare` variant (see `message_enums_stay_small`).
+#[derive(Debug, Clone, PartialEq)]
 pub enum MinBftMsg {
     /// Client request (shared across the fan-out).
     Request(Arc<Request>),
@@ -63,22 +92,8 @@ pub enum MinBftMsg {
         /// Primary's USIG certificate over `(view, seq, batch digest)`.
         ui: UI,
     },
-    /// Backup's UI-certified commit vote (carries the batch so replicas
-    /// that missed the PREPARE can still execute on a commit quorum).
-    Commit {
-        /// View.
-        view: u64,
-        /// Sequence.
-        seq: u64,
-        /// Full request batch (shared across the fan-out).
-        batch: Arc<Batch>,
-        /// The primary's UI from the PREPARE (evidence of assignment).
-        primary_ui: UI,
-        /// Voting replica.
-        from: ReplicaId,
-        /// Voter's own USIG certificate.
-        ui: UI,
-    },
+    /// Backup's UI-certified commit vote (see [`CommitVote`]).
+    Commit(Arc<CommitVote>),
     /// Execution result (replica → client).
     Reply(Reply),
     /// Vote to replace the primary.
@@ -94,7 +109,8 @@ pub enum MinBftMsg {
         executed_upto: u64,
         /// The voter's stable checkpoint certificate, if any: the new
         /// primary verifies it and refuses to re-propose below it.
-        cert: Option<CheckpointCert>,
+        /// Boxed — certificates are rare and bulky.
+        cert: Option<Box<CheckpointCert>>,
     },
     /// New primary's installation message (re-proposals follow as normal
     /// UI-certified PREPAREs).
@@ -131,7 +147,8 @@ pub enum MinBftMsg {
     /// path that can close a gap older than `SENT_RETENTION`.
     CheckpointHint {
         /// The responder's stable checkpoint certificate (f+1 vouchers).
-        cert: CheckpointCert,
+        /// Boxed — certificates are rare and bulky.
+        cert: Box<CheckpointCert>,
         /// Lowest counter still in the responder's resend ring; the
         /// requester fast-forwards `accepted[from]` to just below it.
         ring_base: u64,
@@ -139,7 +156,8 @@ pub enum MinBftMsg {
         from: ReplicaId,
     },
     /// A replica's MAC'd vouch for its state digest at a watermark.
-    Checkpoint(CheckpointVoucher),
+    /// Boxed — vouchers are periodic, not per-request.
+    Checkpoint(Box<CheckpointVoucher>),
     /// A laggard asks peers for the latest certified state.
     StateRequest {
         /// The requester's execution watermark.
@@ -148,8 +166,8 @@ pub enum MinBftMsg {
         from: ReplicaId,
     },
     /// Certificate + certified snapshot + committed suffix (see
-    /// [`StateTransfer`]).
-    StateResponse(StateTransfer),
+    /// [`StateTransfer`]). Boxed — transfers are rare and huge.
+    StateResponse(Box<StateTransfer>),
 }
 
 /// One agreement slot; executed slots are *retired* from the window
@@ -609,8 +627,14 @@ impl MinBftReplica {
             else {
                 return;
             };
-            let commit =
-                MinBftMsg::Commit { view, seq, batch, primary_ui: ui, from: self.id, ui: my_ui };
+            let commit = MinBftMsg::Commit(Arc::new(CommitVote {
+                view,
+                seq,
+                batch,
+                primary_ui: ui,
+                from: self.id,
+                ui: my_ui,
+            }));
             self.record_sent(my_ui.counter, commit.clone());
             out.broadcast(self.n, self.id, commit);
         }
@@ -719,20 +743,20 @@ impl MinBftReplica {
                 from: self.id,
                 tag: Tag([0xEE; 32]),
             };
-            out.broadcast(self.n, self.id, MinBftMsg::Checkpoint(garbage.clone()));
+            out.broadcast(self.n, self.id, MinBftMsg::Checkpoint(Box::new(garbage.clone())));
             garbage = self.ckpt.record_local(
                 exec_seq,
                 lie,
                 self.log.committed(),
                 Arc::new(self.machine.snapshot()),
             );
-            out.broadcast(self.n, self.id, MinBftMsg::Checkpoint(garbage));
+            out.broadcast(self.n, self.id, MinBftMsg::Checkpoint(Box::new(garbage)));
             return;
         }
         let digest = self.machine.state_digest();
         let snapshot = Arc::new(self.machine.snapshot());
         let voucher = self.ckpt.record_local(exec_seq, digest, self.log.committed(), snapshot);
-        out.broadcast(self.n, self.id, MinBftMsg::Checkpoint(voucher.clone()));
+        out.broadcast(self.n, self.id, MinBftMsg::Checkpoint(Box::new(voucher.clone())));
         if self.ckpt.record(&voucher).is_some() {
             self.apply_truncation();
         }
@@ -804,7 +828,7 @@ impl MinBftReplica {
             view: self.view,
             from: self.id,
         };
-        out.send(Endpoint::Replica(from), MinBftMsg::StateResponse(transfer));
+        out.send(Endpoint::Replica(from), MinBftMsg::StateResponse(Box::new(transfer)));
     }
 
     /// Installs a transferred state if it checks out: certificate
@@ -948,7 +972,7 @@ impl MinBftReplica {
                 from: self.id,
                 prepared,
                 executed_upto: self.exec_upto,
-                cert: self.ckpt.stable().cloned(),
+                cert: self.ckpt.stable().cloned().map(Box::new),
             },
         );
         self.maybe_install_view(new_view, out);
@@ -1119,7 +1143,8 @@ impl MinBftReplica {
         let stash = std::mem::take(&mut self.future);
         for msg in stash {
             let msg_view = match &msg {
-                MinBftMsg::Prepare { view, .. } | MinBftMsg::Commit { view, .. } => *view,
+                MinBftMsg::Prepare { view, .. } => *view,
+                MinBftMsg::Commit(vote) => vote.view,
                 _ => continue,
             };
             if msg_view > current {
@@ -1151,39 +1176,33 @@ impl MinBftReplica {
                     self.drain_ready(out);
                 }
             }
-            MinBftMsg::Commit { view, seq, batch, primary_ui, from: voter, ui } => {
-                if view > self.view {
-                    self.future.push(MinBftMsg::Commit {
-                        view,
-                        seq,
-                        batch,
-                        primary_ui,
-                        from: voter,
-                        ui,
-                    });
+            MinBftMsg::Commit(vote) => {
+                if vote.view > self.view {
+                    self.future.push(MinBftMsg::Commit(vote));
                     return;
                 }
-                let digest = batch.digest();
-                let msg_copy = MinBftMsg::Commit {
-                    view,
-                    seq,
-                    batch: batch.clone(),
-                    primary_ui,
-                    from: voter,
-                    ui,
-                };
+                let digest = vote.batch.digest();
+                let msg_copy = MinBftMsg::Commit(vote.clone());
                 if self.ingest_ui(
-                    voter,
-                    &ui,
-                    &commit_bytes(view, seq, &digest, primary_ui.counter),
+                    vote.from,
+                    &vote.ui,
+                    &commit_bytes(vote.view, vote.seq, &digest, vote.primary_ui.counter),
                     &msg_copy,
                     out,
                 ) {
-                    self.handle_commit(view, seq, batch, primary_ui, voter, out);
+                    self.handle_commit(
+                        vote.view,
+                        vote.seq,
+                        vote.batch.clone(),
+                        vote.primary_ui,
+                        vote.from,
+                        out,
+                    );
                     self.drain_ready(out);
                 }
             }
             MinBftMsg::ReqViewChange { new_view, from: voter, prepared, executed_upto, cert } => {
+                let cert = cert.map(|c| *c);
                 self.handle_req_view_change(new_view, voter, prepared, executed_upto, cert, out)
             }
             MinBftMsg::NewView { view, preprepares } => {
@@ -1205,7 +1224,7 @@ impl MinBftReplica {
                             out.send(
                                 Endpoint::Replica(requester),
                                 MinBftMsg::CheckpointHint {
-                                    cert: cert.clone(),
+                                    cert: Box::new(cert.clone()),
                                     ring_base: self.sent_ui.base(),
                                     from: self.id,
                                 },
@@ -1221,13 +1240,13 @@ impl MinBftReplica {
                 }
             }
             MinBftMsg::CheckpointHint { cert, ring_base, from: sender } => {
-                self.handle_checkpoint_hint(from, cert, ring_base, sender)
+                self.handle_checkpoint_hint(from, *cert, ring_base, sender)
             }
-            MinBftMsg::Checkpoint(voucher) => self.handle_checkpoint(voucher, out),
+            MinBftMsg::Checkpoint(voucher) => self.handle_checkpoint(*voucher, out),
             MinBftMsg::StateRequest { have, from: requester } => {
                 self.handle_state_request(have, requester, out)
             }
-            MinBftMsg::StateResponse(st) => self.handle_state_response(st, out),
+            MinBftMsg::StateResponse(st) => self.handle_state_response(*st, out),
             MinBftMsg::Reply(_) => {}
         }
     }
@@ -1272,10 +1291,14 @@ impl MinBftReplica {
                 MinBftMsg::Prepare { view, seq, batch, ui } => {
                     self.handle_prepare(view, seq, batch, ui, out)
                 }
-                MinBftMsg::Commit { view, seq, batch, primary_ui, from, ui } => {
-                    let _ = ui;
-                    self.handle_commit(view, seq, batch, primary_ui, from, out)
-                }
+                MinBftMsg::Commit(vote) => self.handle_commit(
+                    vote.view,
+                    vote.seq,
+                    vote.batch.clone(),
+                    vote.primary_ui,
+                    vote.from,
+                    out,
+                ),
                 _ => {}
             }
         }
@@ -1442,6 +1465,10 @@ impl Cluster for MinBftCluster {
 
     fn nodes(&self) -> &[MinBftReplica] {
         &self.nodes
+    }
+
+    fn into_nodes(self) -> Vec<MinBftReplica> {
+        self.nodes
     }
 
     fn reply_quorum(&self) -> usize {
@@ -1744,5 +1771,32 @@ mod tests {
         let report = run(&mut cluster, &cfg);
         assert_eq!(report.committed, 4);
         assert_eq!(cluster.nodes()[0].usig.protection_name(), "plain");
+    }
+
+    /// Every queued event memcpys the whole message enum through the
+    /// timing-wheel arena, so the enum's size is a hot-path constant. The
+    /// rare bulky variants (commit votes with two 48-byte UIs, checkpoint
+    /// vouchers/certs, state transfers) are boxed to pin the ceiling at
+    /// the hot agreement variants; this test keeps it pinned.
+    #[test]
+    fn message_enums_stay_small() {
+        use std::mem::size_of;
+        // MinBFT's ceiling is Prepare { u64, u64, Arc<Batch>, UI } — two
+        // words of header, one pointer, one 48-byte certificate.
+        assert!(size_of::<MinBftMsg>() <= 88, "MinBftMsg grew to {}", size_of::<MinBftMsg>());
+        assert!(
+            size_of::<CommitVote>() > size_of::<MinBftMsg>(),
+            "boxing CommitVote is earning its keep"
+        );
+        assert!(
+            size_of::<crate::pbft::PbftMsg>() <= 88,
+            "PbftMsg grew to {}",
+            size_of::<crate::pbft::PbftMsg>()
+        );
+        assert!(
+            size_of::<crate::passive::PassiveMsg>() <= 88,
+            "PassiveMsg grew to {}",
+            size_of::<crate::passive::PassiveMsg>()
+        );
     }
 }

@@ -31,7 +31,11 @@ const TIMER_DETECT: u32 = 2;
 const TIMER_FLUSH: u32 = 3;
 
 /// Passive-replication wire messages.
-#[derive(Debug, Clone)]
+///
+/// Rare, bulky variants (checkpoint vouchers, state transfers) live behind
+/// `Box` so the enum's size — and with it every per-event memcpy through
+/// the timing-wheel arena — is pinned by the hot sync-path variants.
+#[derive(Debug, Clone, PartialEq)]
 pub enum PassiveMsg {
     /// Client request (shared across the fan-out).
     Request(Arc<Request>),
@@ -71,8 +75,8 @@ pub enum PassiveMsg {
     Reply(Reply),
     /// A replica's MAC'd vouch for its state digest at a log watermark
     /// (passive checkpoints are per log sequence — the two domains
-    /// coincide here).
-    Checkpoint(CheckpointVoucher),
+    /// coincide here). Boxed — vouchers are periodic, not per-request.
+    Checkpoint(Box<CheckpointVoucher>),
     /// A laggard asks its peer for the latest certified state (emitted
     /// when a sync gap exceeds the shipped-window retention).
     StateRequest {
@@ -82,8 +86,8 @@ pub enum PassiveMsg {
         from: ReplicaId,
     },
     /// Certificate + certified snapshot + committed suffix (see
-    /// [`StateTransfer`]).
-    StateResponse(StateTransfer),
+    /// [`StateTransfer`]). Boxed — transfers are rare and huge.
+    StateResponse(Box<StateTransfer>),
 }
 
 /// How many shipped `(request, result)` pairs the primary retains for
@@ -298,7 +302,7 @@ impl PassiveReplica {
         let digest = self.machine.state_digest();
         let snapshot = Arc::new(self.machine.snapshot());
         let voucher = self.ckpt.record_local(seq, digest, self.log.committed(), snapshot);
-        out.send(Endpoint::Replica(self.peer()), PassiveMsg::Checkpoint(voucher.clone()));
+        out.send(Endpoint::Replica(self.peer()), PassiveMsg::Checkpoint(Box::new(voucher.clone())));
         if self.ckpt.record(&voucher).is_some() {
             self.apply_truncation();
         }
@@ -360,7 +364,7 @@ impl PassiveReplica {
             view: self.epoch,
             from: self.id,
         };
-        out.send(Endpoint::Replica(from), PassiveMsg::StateResponse(transfer));
+        out.send(Endpoint::Replica(from), PassiveMsg::StateResponse(Box::new(transfer)));
     }
 
     /// Installs a transferred state if it checks out — certificate,
@@ -626,11 +630,11 @@ impl PassiveReplica {
                         }
                     }
                 }
-                PassiveMsg::Checkpoint(voucher) => self.handle_checkpoint(voucher),
+                PassiveMsg::Checkpoint(voucher) => self.handle_checkpoint(*voucher),
                 PassiveMsg::StateRequest { have, from: requester } => {
                     self.handle_state_request(have, requester, staged)
                 }
-                PassiveMsg::StateResponse(st) => self.handle_state_response(st, now),
+                PassiveMsg::StateResponse(st) => self.handle_state_response(*st, now),
                 PassiveMsg::Reply(_) => {}
             },
             Input::Timer { kind: TIMER_FLUSH, token } => {
@@ -736,6 +740,10 @@ impl Cluster for PassiveCluster {
 
     fn nodes(&self) -> &[PassiveReplica] {
         &self.nodes
+    }
+
+    fn into_nodes(self) -> Vec<PassiveReplica> {
+        self.nodes
     }
 
     fn reply_quorum(&self) -> usize {

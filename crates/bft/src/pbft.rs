@@ -59,7 +59,12 @@ const REQUEST_PATIENCE: u64 = 1_500;
 type PreparedSet = Vec<(u64, Arc<Batch>)>;
 
 /// PBFT wire messages.
-#[derive(Debug, Clone)]
+///
+/// Rare, bulky variants (checkpoint vouchers/certs, state transfers) live
+/// behind `Box` so the enum's size — and with it every per-event memcpy
+/// through the timing-wheel arena — is pinned by the hot agreement
+/// variants (see `message_enums_stay_small` in `minbft`).
+#[derive(Debug, Clone, PartialEq)]
 pub enum PbftMsg {
     /// Client request (client → all replicas; shared across the fan-out).
     Request(Arc<Request>),
@@ -113,7 +118,8 @@ pub enum PbftMsg {
         /// The voter's stable checkpoint certificate, if any. Verified by
         /// the receiver; the certified watermark floors the new view, so
         /// prepared entries at or below certified history are discarded.
-        cert: Option<CheckpointCert>,
+        /// Boxed — certificates are rare and bulky.
+        cert: Option<Box<CheckpointCert>>,
     },
     /// New primary's installation message.
     NewView {
@@ -124,7 +130,8 @@ pub enum PbftMsg {
     },
     /// Periodic checkpoint voucher: "my state digested to `digest` after
     /// executing slot `seq`" (MAC'd; f+1 matching form a certificate).
-    Checkpoint(CheckpointVoucher),
+    /// Boxed — vouchers are periodic, not per-request.
+    Checkpoint(Box<CheckpointVoucher>),
     /// A recovering replica asks peers for the latest certificate +
     /// snapshot + log suffix (`have` = its execution watermark).
     StateRequest {
@@ -134,7 +141,8 @@ pub enum PbftMsg {
         from: ReplicaId,
     },
     /// A peer's state-transfer answer (see [`StateTransfer`]).
-    StateResponse(StateTransfer),
+    /// Boxed — transfers are rare and huge.
+    StateResponse(Box<StateTransfer>),
 }
 
 /// One agreement slot. Slots live in the [`SeqWindow`]; execution removes
@@ -569,20 +577,20 @@ impl PbftReplica {
                 from: self.id,
                 tag: rsoc_crypto::Tag([0xEE; 32]),
             };
-            out.broadcast(self.n, self.id, PbftMsg::Checkpoint(garbage.clone()));
+            out.broadcast(self.n, self.id, PbftMsg::Checkpoint(Box::new(garbage.clone())));
             garbage = self.ckpt.record_local(
                 exec_seq,
                 lie,
                 self.log.committed(),
                 Arc::new(self.machine.snapshot()),
             );
-            out.broadcast(self.n, self.id, PbftMsg::Checkpoint(garbage));
+            out.broadcast(self.n, self.id, PbftMsg::Checkpoint(Box::new(garbage)));
             return;
         }
         let digest = self.machine.state_digest();
         let snapshot = Arc::new(self.machine.snapshot());
         let voucher = self.ckpt.record_local(exec_seq, digest, self.log.committed(), snapshot);
-        out.broadcast(self.n, self.id, PbftMsg::Checkpoint(voucher.clone()));
+        out.broadcast(self.n, self.id, PbftMsg::Checkpoint(Box::new(voucher.clone())));
         if self.ckpt.record(&voucher).is_some() {
             self.apply_truncation();
         }
@@ -661,7 +669,7 @@ impl PbftReplica {
             view: self.view,
             from: self.id,
         };
-        out.send(Endpoint::Replica(from), PbftMsg::StateResponse(transfer));
+        out.send(Endpoint::Replica(from), PbftMsg::StateResponse(Box::new(transfer)));
     }
 
     /// Installs a transferred state if it checks out: certificate verifies,
@@ -777,7 +785,7 @@ impl PbftReplica {
                 from: self.id,
                 prepared,
                 executed_upto: self.exec_upto,
-                cert: self.ckpt.stable().cloned(),
+                cert: self.ckpt.stable().cloned().map(Box::new),
             },
         );
         self.maybe_install_view(new_view, out);
@@ -1091,16 +1099,17 @@ impl PbftReplica {
                     self.handle_commit(view, seq, digest, from, staged)
                 }
                 PbftMsg::ViewChange { new_view, from, prepared, executed_upto, cert } => {
+                    let cert = cert.map(|c| *c);
                     self.handle_view_change(new_view, from, prepared, executed_upto, cert, staged)
                 }
                 PbftMsg::NewView { view, preprepares } => {
                     self.handle_new_view(view, preprepares, from, staged)
                 }
-                PbftMsg::Checkpoint(voucher) => self.handle_checkpoint(voucher, staged),
+                PbftMsg::Checkpoint(voucher) => self.handle_checkpoint(*voucher, staged),
                 PbftMsg::StateRequest { have, from } => {
                     self.handle_state_request(have, from, staged)
                 }
-                PbftMsg::StateResponse(st) => self.handle_state_response(st, staged),
+                PbftMsg::StateResponse(st) => self.handle_state_response(*st, staged),
                 PbftMsg::Reply(_) => {}
             },
             Input::Timer { kind: TIMER_REQUEST, token } => {
@@ -1184,6 +1193,10 @@ impl Cluster for PbftCluster {
 
     fn nodes(&self) -> &[PbftReplica] {
         &self.nodes
+    }
+
+    fn into_nodes(self) -> Vec<PbftReplica> {
+        self.nodes
     }
 
     fn reply_quorum(&self) -> usize {

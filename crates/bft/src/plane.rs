@@ -1,0 +1,159 @@
+//! The sans-io plane boundary: protocol cores against pluggable planes.
+//!
+//! A protocol node ([`ReplicaNode`]) is pure with respect to I/O and time:
+//! it consumes [`Input`]s and emits messages and timer requests into an
+//! [`Outbox`]. Everything on the other side of that line — message
+//! delivery, timer expiry, and the passage of (wall or virtual) time —
+//! belongs to a *plane*. This module names the boundary:
+//!
+//! * [`Clock`] — the plane's time source, in protocol cycles. The
+//!   deterministic simulator advances a virtual counter; the TCP plane
+//!   (`rsoc_transport`) divides a monotonic wall clock into cycles.
+//! * [`Transport`] — the plane's effect sink: after a node handles one
+//!   input, the plane takes the outbox and owns delivery of every message
+//!   and the scheduling of every armed timer.
+//! * [`step_node`] — the one canonical way to drive a node: clear the
+//!   (reused) outbox, deliver the input, hand the effects to the plane.
+//!
+//! Two planes implement [`Transport`]: the deterministic simulator in
+//! [`runner`](crate::runner) (virtual time, latency models, fault
+//! injection — the first and reference implementation, byte-identical to
+//! the pre-carve-out harness) and the threaded TCP plane in the
+//! `rsoc_transport` crate (real sockets, real time). The protocol cores
+//! cannot tell which one is driving them — that is the point: the same
+//! `rsoc_bft` cores that pass the scenario oracle serve real request
+//! traffic over sockets unchanged.
+
+use crate::api::{Input, Outbox, ReplicaId, ReplicaNode};
+
+/// A plane's time source, in protocol cycles.
+///
+/// Cycles are the only unit protocols speak: timeouts, patience windows
+/// and flush deadlines are all cycle counts. What a cycle *is* belongs to
+/// the plane — the simulator's virtual counter advances event by event,
+/// while the TCP plane maps cycles onto a monotonic wall clock at a
+/// configurable `ns / cycle` rate.
+pub trait Clock {
+    /// Current time in cycles (monotone, starts near 0).
+    fn now(&self) -> u64;
+}
+
+/// The plane side of the sans-io boundary.
+///
+/// After a node handles one input, the plane receives the node's
+/// [`Outbox`] and owns everything in it: each `(endpoint, message)` pair
+/// must be delivered (or deliberately dropped — loss is the plane's
+/// prerogative, and every protocol here tolerates it), and each
+/// `(delay, kind, token)` timer must fire back into the node as an
+/// [`Input::Timer`] no earlier than `now + delay`.
+///
+/// Implementations drain `out` and may keep its allocations: the driver
+/// reuses one outbox across every delivered event.
+pub trait Transport<M> {
+    /// Takes ownership of the effects `from` emitted at cycle `now`.
+    fn dispatch(&mut self, from: ReplicaId, out: &mut Outbox<M>, now: u64);
+}
+
+/// Drives one node through one input: clears the reused outbox, delivers
+/// the input, and hands the collected effects to the plane.
+///
+/// This is the single choreography both planes share — having it in one
+/// place keeps the clear/deliver/dispatch order (and with it the
+/// simulator's byte-identity guarantee) from drifting between them.
+pub fn step_node<N, P>(
+    node: &mut N,
+    input: Input<N::Msg>,
+    now: u64,
+    out: &mut Outbox<N::Msg>,
+    plane: &mut P,
+) where
+    N: ReplicaNode,
+    P: Transport<N::Msg> + ?Sized,
+{
+    out.clear();
+    node.on_input(input, now, out);
+    plane.dispatch(node.id(), out, now);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{Endpoint, LogEntry, Request};
+    use std::sync::Arc;
+
+    /// A node that echoes every message back to its sender and arms one
+    /// timer per input — just enough surface to exercise the choreography.
+    struct Echo {
+        id: ReplicaId,
+        inputs: u64,
+    }
+
+    impl ReplicaNode for Echo {
+        type Msg = u64;
+
+        fn id(&self) -> ReplicaId {
+            self.id
+        }
+
+        fn on_input(&mut self, input: Input<u64>, _now: u64, out: &mut Outbox<u64>) {
+            self.inputs += 1;
+            if let Input::Message { from, msg } = input {
+                out.send(from, msg + 1);
+            }
+            out.arm(10, 1, self.inputs);
+        }
+
+        fn committed_log(&self) -> &[LogEntry] {
+            &[]
+        }
+
+        fn make_request(_req: Arc<Request>) -> u64 {
+            0
+        }
+
+        fn as_reply(_msg: &u64) -> Option<&crate::api::Reply> {
+            None
+        }
+
+        fn state_digest(&self) -> [u8; 32] {
+            [0; 32]
+        }
+
+        fn current_view(&self) -> u64 {
+            0
+        }
+    }
+
+    /// A plane that records what it was handed.
+    #[derive(Default)]
+    struct Recording {
+        msgs: Vec<(ReplicaId, Endpoint, u64)>,
+        timers: Vec<(u64, u32, u64)>,
+    }
+
+    impl Transport<u64> for Recording {
+        fn dispatch(&mut self, from: ReplicaId, out: &mut Outbox<u64>, now: u64) {
+            for (to, msg) in out.msgs.drain(..) {
+                self.msgs.push((from, to, msg));
+            }
+            for (delay, kind, token) in out.timers.drain(..) {
+                self.timers.push((now + delay, kind, token));
+            }
+        }
+    }
+
+    #[test]
+    fn step_node_clears_delivers_and_dispatches() {
+        let mut node = Echo { id: ReplicaId(2), inputs: 0 };
+        let mut plane = Recording::default();
+        let mut out = Outbox::new();
+        // Pre-soil the outbox: step_node must clear stale effects first.
+        out.send(Endpoint::Replica(ReplicaId(9)), 99);
+        let from = Endpoint::Replica(ReplicaId(0));
+        step_node(&mut node, Input::Message { from, msg: 5 }, 100, &mut out, &mut plane);
+        step_node(&mut node, Input::Timer { kind: 1, token: 1 }, 110, &mut out, &mut plane);
+        assert_eq!(plane.msgs, vec![(ReplicaId(2), from, 6)]);
+        assert_eq!(plane.timers, vec![(110, 1, 1), (120, 1, 2)]);
+        assert!(out.msgs.is_empty() && out.timers.is_empty(), "plane drained the outbox");
+    }
+}

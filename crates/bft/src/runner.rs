@@ -32,6 +32,7 @@ use crate::adversary::Scenario;
 use crate::api::{
     ClientId, Cluster, Endpoint, Input, OpId, Outbox, ReplicaId, ReplicaNode, Request,
 };
+use crate::plane::{step_node, Transport};
 use rsoc_sim::{Histogram, SimRng, TimingWheel};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -162,6 +163,140 @@ impl Default for RunConfig {
             request_patience: 1_500,
             checkpoint_interval: 0,
         }
+    }
+}
+
+impl RunConfig {
+    /// Starts a [`RunConfigBuilder`] seeded with the defaults documented
+    /// on each setter.
+    pub fn builder() -> RunConfigBuilder {
+        RunConfigBuilder { config: RunConfig::default() }
+    }
+}
+
+/// Builder-style construction of a [`RunConfig`].
+///
+/// Every setter overrides one documented default; `build()` never fails.
+/// Experiments name only the knobs they vary:
+///
+/// ```
+/// use rsoc_bft::runner::RunConfig;
+///
+/// let config = RunConfig::builder().f(2).clients(4).batch_size(8).build();
+/// assert_eq!(config.requests_per_client, 10, "untouched knobs keep their defaults");
+/// ```
+///
+/// The struct's fields stay public — literal construction and field
+/// tweaks of an existing config remain possible — but harness call sites
+/// go through the builder so adding a knob no longer churns every
+/// experiment.
+#[derive(Debug, Clone)]
+pub struct RunConfigBuilder {
+    config: RunConfig,
+}
+
+impl RunConfigBuilder {
+    /// Fault threshold; each protocol derives its replica count from this
+    /// (PBFT: 3f+1, MinBFT: 2f+1, passive: 2). Default 1.
+    pub fn f(mut self, f: u32) -> Self {
+        self.config.f = f;
+        self
+    }
+
+    /// Number of closed-loop clients. Default 1.
+    pub fn clients(mut self, clients: u32) -> Self {
+        self.config.clients = clients;
+        self
+    }
+
+    /// Requests each client issues. Default 10.
+    pub fn requests_per_client(mut self, requests: u64) -> Self {
+        self.config.requests_per_client = requests;
+        self
+    }
+
+    /// RNG seed (drives latencies and payloads). Default 1.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Message latency model. Default `Uniform { min: 5, max: 15 }`.
+    pub fn latency(mut self, latency: LatencyModel) -> Self {
+        self.config.latency = latency;
+        self
+    }
+
+    /// Client retransmission timeout in cycles. Default 4_000.
+    pub fn client_timeout(mut self, cycles: u64) -> Self {
+        self.config.client_timeout = cycles;
+        self
+    }
+
+    /// Hard stop for the run. Default 2_000_000 cycles.
+    pub fn max_cycles(mut self, cycles: u64) -> Self {
+        self.config.max_cycles = cycles;
+        self
+    }
+
+    /// Probability that any single replica→replica message is lost.
+    /// Default 0.0.
+    pub fn drop_rate(mut self, rate: f64) -> Self {
+        self.config.drop_rate = rate;
+        self
+    }
+
+    /// Payload bytes per request. Default 16.
+    pub fn payload_size(mut self, bytes: usize) -> Self {
+        self.config.payload_size = bytes;
+        self
+    }
+
+    /// Maximum requests agreed on as one consensus unit (1 = unbatched).
+    /// Default 1.
+    pub fn batch_size(mut self, size: usize) -> Self {
+        self.config.batch_size = size;
+        self
+    }
+
+    /// Cycles a partially filled batch may wait before the primary
+    /// flushes it anyway. Default 200.
+    pub fn batch_flush(mut self, cycles: u64) -> Self {
+        self.config.batch_flush = cycles;
+        self
+    }
+
+    /// Cycles a replica's egress port is occupied per outgoing message
+    /// (0 = infinite interface bandwidth). Default 0.
+    pub fn link_occupancy(mut self, cycles: u64) -> Self {
+        self.config.link_occupancy = cycles;
+        self
+    }
+
+    /// Requests each client keeps outstanding (clamped to ≥ 1). Default 1
+    /// (strictly closed-loop).
+    pub fn client_window(mut self, window: usize) -> Self {
+        self.config.client_window = window;
+        self
+    }
+
+    /// Cycles a backup waits for a pending request to commit before
+    /// suspecting the primary. Default 1_500.
+    pub fn request_patience(mut self, cycles: u64) -> Self {
+        self.config.request_patience = cycles;
+        self
+    }
+
+    /// Executed watermark units between certified checkpoints (0 disables
+    /// the checkpoint/state-transfer subsystem, byte-invisibly). Default 0.
+    pub fn checkpoint_interval(mut self, interval: u64) -> Self {
+        self.config.checkpoint_interval = interval;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> RunConfig {
+        self.config
     }
 }
 
@@ -392,9 +527,32 @@ pub fn run_scenario<C: Cluster>(
 
     let quorum = cluster.reply_quorum();
 
+    // One outbox reused for every delivered event: cleared (capacity
+    // kept), so the steady state allocates nothing per event.
+    let mut out: Outbox<<C::Node as ReplicaNode>::Msg> = Outbox::new();
+
     macro_rules! push_event {
         ($at:expr, $ev:expr) => {{
             queue.push($at, $ev);
+        }};
+    }
+
+    // Drives one replica through one input via the sans-io boundary: a
+    // fresh `SimPlane` borrows the routing state for the duration of the
+    // dispatch (the wheel is borrowed through `$push`, so the plane is
+    // rebuilt per event instead of held across `queue.pop()`).
+    macro_rules! step_replica {
+        ($r:expr, $input:expr, $now:expr, $push:expr) => {{
+            let mut plane = SimPlane {
+                config,
+                rng: &mut rng,
+                egress_free: &mut egress_free,
+                messages_total: &mut messages_total,
+                messages_protocol: &mut messages_protocol,
+                fault: &mut fault,
+                push: $push,
+            };
+            step_node(&mut cluster.nodes_mut()[$r.0 as usize], $input, $now, &mut out, &mut plane);
         }};
     }
 
@@ -435,10 +593,6 @@ pub fn run_scenario<C: Cluster>(
         }
     }
 
-    // One outbox reused for every delivered event: cleared (capacity
-    // kept), so the steady state allocates nothing per event.
-    let mut out: Outbox<<C::Node as ReplicaNode>::Msg> = Outbox::new();
-
     while let Some((at, ev)) = queue.pop() {
         if at > config.max_cycles {
             now = config.max_cycles;
@@ -448,24 +602,9 @@ pub fn run_scenario<C: Cluster>(
         match ev {
             Queued::Deliver { from, to, msg } => match to {
                 Endpoint::Replica(r) => {
-                    out.clear();
-                    cluster.nodes_mut()[r.0 as usize].on_input(
-                        Input::Message { from, msg },
-                        now,
-                        &mut out,
-                    );
-                    route_outbox::<C>(
-                        r,
-                        &mut out,
-                        now,
-                        config,
-                        &mut rng,
-                        &mut egress_free,
-                        &mut messages_total,
-                        &mut messages_protocol,
-                        &mut fault,
-                        &mut |at, ev| queue.push(at, ev),
-                    );
+                    step_replica!(r, Input::Message { from, msg }, now, &mut |at, ev| {
+                        queue.push(at, ev)
+                    });
                 }
                 Endpoint::Client(c) => {
                     let Some(reply) = C::Node::as_reply(&msg) else { continue };
@@ -508,24 +647,9 @@ pub fn run_scenario<C: Cluster>(
                 }
             },
             Queued::ReplicaTimer { replica, kind, token } => {
-                out.clear();
-                cluster.nodes_mut()[replica.0 as usize].on_input(
-                    Input::Timer { kind, token },
-                    now,
-                    &mut out,
-                );
-                route_outbox::<C>(
-                    replica,
-                    &mut out,
-                    now,
-                    config,
-                    &mut rng,
-                    &mut egress_free,
-                    &mut messages_total,
-                    &mut messages_protocol,
-                    &mut fault,
-                    &mut |at, ev| queue.push(at, ev),
-                );
+                step_replica!(replica, Input::Timer { kind, token }, now, &mut |at, ev| {
+                    queue.push(at, ev)
+                });
             }
             Queued::ClientTimer { client, op_seq } => {
                 let c = &mut clients[client.0 as usize];
@@ -643,25 +767,12 @@ pub fn run_scenario<C: Cluster>(
             }
             drained += 1;
             let Queued::Deliver { from, to: Endpoint::Replica(r), msg } = ev else { continue };
-            out.clear();
-            cluster.nodes_mut()[r.0 as usize].on_input(Input::Message { from, msg }, at, &mut out);
-            route_outbox::<C>(
-                r,
-                &mut out,
-                at,
-                config,
-                &mut rng,
-                &mut egress_free,
-                &mut messages_total,
-                &mut messages_protocol,
-                &mut fault,
-                &mut |at2, ev| {
-                    // Deliveries keep flowing; timers die with the run.
-                    if matches!(ev, Queued::Deliver { .. }) {
-                        queue.push(at2, ev);
-                    }
-                },
-            );
+            step_replica!(r, Input::Message { from, msg }, at, &mut |at2, ev| {
+                // Deliveries keep flowing; timers die with the run.
+                if matches!(ev, Queued::Deliver { .. }) {
+                    queue.push(at2, ev);
+                }
+            });
         }
     }
 
@@ -709,28 +820,7 @@ fn client_issue<C: Cluster>(
     let seq = client.next_seq;
     client.next_seq += 1;
     let client_id = client.id;
-    // Payload filler comes from a PRNG keyed by (seed, client, seq), NOT
-    // the shared run RNG: request contents are then a pure function of the
-    // request's identity, so runs that interleave differently (batched vs
-    // unbatched, different latency models) execute identical commands.
-    let mut payload_rng = SimRng::new(
-        config.seed ^ ((client.id.0 as u64 + 1) << 40) ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15),
-    );
-    let mut payload = vec![0u8; config.payload_size];
-    for b in payload.iter_mut() {
-        *b = payload_rng.next_u32() as u8;
-    }
-    // Make payloads printable KV sets so state machines do real work.
-    // Each op writes its own key (client.seq): ops are independent, so a
-    // windowed client's completions may commit in any order and the final
-    // KV state is still a pure function of the op *set* — which is what
-    // lets the batched-vs-unbatched (and windowed-vs-closed-loop) digest
-    // equivalence checks hold under pipelining.
-    let text = format!("SET k{}.{seq} v{seq}", client.id.0);
-    let tlen = text.len().min(payload.len().max(text.len()));
-    payload.resize(tlen.max(config.payload_size), b'_');
-    let copy_len = text.len().min(payload.len());
-    payload[..copy_len].copy_from_slice(&text.as_bytes()[..copy_len]);
+    let payload = client_payload(config.seed, client_id.0, seq, config.payload_size);
 
     // The op's single allocation: every wire copy below (and every later
     // retransmission) shares this Arc.
@@ -749,163 +839,170 @@ fn client_issue<C: Cluster>(
     Some((seq, sends))
 }
 
-#[allow(clippy::too_many_arguments)]
-fn route_outbox<C: Cluster>(
-    from: ReplicaId,
-    out: &mut Outbox<<C::Node as ReplicaNode>::Msg>,
-    now: u64,
-    config: &RunConfig,
-    rng: &mut SimRng,
-    egress_free: &mut [u64],
-    messages_total: &mut u64,
-    messages_protocol: &mut u64,
-    fault: &mut FaultCtx<<C::Node as ReplicaNode>::Msg>,
-    push: &mut dyn FnMut(u64, Queued<<C::Node as ReplicaNode>::Msg>),
-) {
-    // A reorder window flips the departure order of this whole burst —
-    // later-queued messages grab the egress port (and their latency
-    // samples) first. Only taken when a scenario scripts it.
-    if fault.active && fault.scripts[from.0 as usize].reorders_at(now) {
-        let mut msgs: Vec<_> = out.msgs.drain(..).collect();
-        msgs.reverse();
-        for (to, msg) in msgs {
-            route_one::<C>(
-                from,
-                to,
-                msg,
-                now,
-                config,
-                rng,
-                egress_free,
-                messages_total,
-                messages_protocol,
-                fault,
-                push,
-            );
-        }
-    } else {
-        for (to, msg) in out.msgs.drain(..) {
-            route_one::<C>(
-                from,
-                to,
-                msg,
-                now,
-                config,
-                rng,
-                egress_free,
-                messages_total,
-                messages_protocol,
-                fault,
-                push,
-            );
-        }
+/// The deterministic payload of request `(client, seq)` under `seed` — a
+/// pure function of the request's *identity*, shared by the simulator's
+/// clients and the real-transport client driver (`rsoc-client`). Feeding
+/// both planes the same `(seed, clients, requests, payload_size)` makes
+/// them execute the identical request log, which is what lets a TCP
+/// cluster's state digests be checked against a simulator run.
+///
+/// Filler bytes come from a PRNG keyed by `(seed, client, seq)`, NOT any
+/// shared run RNG: runs that interleave differently (batched vs
+/// unbatched, different latency models, real sockets) still execute
+/// identical commands. The printable `SET k{client}.{seq} v{seq}` prefix
+/// makes state machines do real work, and each op writing its own key
+/// keeps the final KV state a pure function of the op *set*, independent
+/// of commit order.
+pub fn client_payload(seed: u64, client: u32, seq: u64, payload_size: usize) -> Vec<u8> {
+    let mut payload_rng =
+        SimRng::new(seed ^ ((client as u64 + 1) << 40) ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut payload = vec![0u8; payload_size];
+    for b in payload.iter_mut() {
+        *b = payload_rng.next_u32() as u8;
     }
-    for (delay, kind, token) in out.timers.drain(..) {
-        push(now + delay, Queued::ReplicaTimer { replica: from, kind, token });
+    let text = format!("SET k{client}.{seq} v{seq}");
+    let tlen = text.len().min(payload.len().max(text.len()));
+    payload.resize(tlen.max(payload_size), b'_');
+    let copy_len = text.len().min(payload.len());
+    payload[..copy_len].copy_from_slice(&text.as_bytes()[..copy_len]);
+    payload
+}
+
+/// The simulator's side of the sans-io boundary: the first (and
+/// reference) [`Transport`] implementation. It owns delivery — latency
+/// sampling, egress serialization, baseline loss, and every scripted
+/// transport fault — and timer scheduling, pushing both back into the
+/// run's [`TimingWheel`] through `push`.
+///
+/// A `SimPlane` is rebuilt per dispatched event (it borrows the routing
+/// state, and the wheel itself is borrowed through the closure), which
+/// keeps the carve-out byte-identical: the operation and RNG-draw order
+/// is exactly the pre-trait harness's.
+struct SimPlane<'a, 'b, M> {
+    config: &'a RunConfig,
+    rng: &'a mut SimRng,
+    egress_free: &'a mut [u64],
+    messages_total: &'a mut u64,
+    messages_protocol: &'a mut u64,
+    fault: &'a mut FaultCtx<'b, M>,
+    push: &'a mut dyn FnMut(u64, Queued<M>),
+}
+
+impl<M: Clone> Transport<M> for SimPlane<'_, '_, M> {
+    fn dispatch(&mut self, from: ReplicaId, out: &mut Outbox<M>, now: u64) {
+        // A reorder window flips the departure order of this whole burst —
+        // later-queued messages grab the egress port (and their latency
+        // samples) first. Only taken when a scenario scripts it.
+        if self.fault.active && self.fault.scripts[from.0 as usize].reorders_at(now) {
+            let mut msgs: Vec<_> = out.msgs.drain(..).collect();
+            msgs.reverse();
+            for (to, msg) in msgs {
+                self.route_one(from, to, msg, now);
+            }
+        } else {
+            for (to, msg) in out.msgs.drain(..) {
+                self.route_one(from, to, msg, now);
+            }
+        }
+        for (delay, kind, token) in out.timers.drain(..) {
+            (self.push)(now + delay, Queued::ReplicaTimer { replica: from, kind, token });
+        }
     }
 }
 
-/// Routes one outgoing message: egress serialization, baseline loss, then
-/// — only under an active scenario — partition severing, link-fault
-/// drop/delay, per-replica send delay, duplication, and replay recording.
-/// The fault-free tail is exactly the pre-scenario harness (same main-RNG
-/// draws in the same order).
-#[allow(clippy::too_many_arguments)]
-fn route_one<C: Cluster>(
-    from: ReplicaId,
-    to: Endpoint,
-    msg: <C::Node as ReplicaNode>::Msg,
-    now: u64,
-    config: &RunConfig,
-    rng: &mut SimRng,
-    egress_free: &mut [u64],
-    messages_total: &mut u64,
-    messages_protocol: &mut u64,
-    fault: &mut FaultCtx<<C::Node as ReplicaNode>::Msg>,
-    push: &mut dyn FnMut(u64, Queued<<C::Node as ReplicaNode>::Msg>),
-) {
-    // Sender-side serialization: each message occupies the replica's
-    // egress port for `link_occupancy` cycles, so a burst departs
-    // back-to-back rather than simultaneously. This charges the
-    // per-message fixed cost that batching amortizes; lost messages
-    // still occupy the port (they were physically sent).
-    let depart = if config.link_occupancy > 0 {
-        let free = egress_free[from.0 as usize].max(now) + config.link_occupancy;
-        egress_free[from.0 as usize] = free;
-        free
-    } else {
-        now
-    };
-    if let Endpoint::Replica(_) = to {
-        *messages_protocol += 1;
-        if rng.chance(config.drop_rate) {
-            *messages_total += 1; // sent but lost
-            return;
-        }
-    }
-    if fault.active {
-        let script = &fault.scripts[from.0 as usize];
-        // Record protocol sends for stale-replay schedules (oldest kept).
-        if !script.replays().is_empty()
-            && matches!(to, Endpoint::Replica(_))
-            && fault.recorded[from.0 as usize].len() < REPLAY_RECORD_CAP
-        {
-            fault.recorded[from.0 as usize].push((to, msg.clone()));
-        }
-        // Partition severing, judged at departure time: the message was
-        // sent (and charged) but never crosses the boundary.
-        if let Endpoint::Replica(dst) = to {
-            if fault.severed(depart, from, dst) {
-                fault.script_drops += 1;
-                *messages_total += 1;
+impl<M: Clone> SimPlane<'_, '_, M> {
+    /// Routes one outgoing message: egress serialization, baseline loss,
+    /// then — only under an active scenario — partition severing,
+    /// link-fault drop/delay, per-replica send delay, duplication, and
+    /// replay recording. The fault-free tail is exactly the pre-scenario
+    /// harness (same main-RNG draws in the same order).
+    fn route_one(&mut self, from: ReplicaId, to: Endpoint, msg: M, now: u64) {
+        let config = self.config;
+        // Sender-side serialization: each message occupies the replica's
+        // egress port for `link_occupancy` cycles, so a burst departs
+        // back-to-back rather than simultaneously. This charges the
+        // per-message fixed cost that batching amortizes; lost messages
+        // still occupy the port (they were physically sent).
+        let depart = if config.link_occupancy > 0 {
+            let free = self.egress_free[from.0 as usize].max(now) + config.link_occupancy;
+            self.egress_free[from.0 as usize] = free;
+            free
+        } else {
+            now
+        };
+        if let Endpoint::Replica(_) = to {
+            *self.messages_protocol += 1;
+            if self.rng.chance(config.drop_rate) {
+                *self.messages_total += 1; // sent but lost
                 return;
             }
         }
-        // Link faults: probabilistic drops plus fixed extra delay on
-        // matching (source, dest) pairs. All randomness from the fault
-        // stream — the main RNG's draw order is scenario-independent.
-        let mut extra = script.send_delay_at(now);
-        for l in &fault.scenario.links {
-            let src_match = l.source.is_none_or(|s| s == from.0);
-            let dst_match = match (l.dest, to) {
-                (None, _) => true,
-                (Some(d), Endpoint::Replica(r)) => d == r.0,
-                (Some(_), Endpoint::Client(_)) => false,
-            };
-            if src_match && dst_match && l.window.contains(depart) {
-                if l.drop_rate > 0.0 && fault.rng.chance(l.drop_rate) {
-                    fault.script_drops += 1;
-                    *messages_total += 1;
+        if self.fault.active {
+            let script = &self.fault.scripts[from.0 as usize];
+            // Record protocol sends for stale-replay schedules (oldest kept).
+            if !script.replays().is_empty()
+                && matches!(to, Endpoint::Replica(_))
+                && self.fault.recorded[from.0 as usize].len() < REPLAY_RECORD_CAP
+            {
+                self.fault.recorded[from.0 as usize].push((to, msg.clone()));
+            }
+            // Partition severing, judged at departure time: the message was
+            // sent (and charged) but never crosses the boundary.
+            if let Endpoint::Replica(dst) = to {
+                if self.fault.severed(depart, from, dst) {
+                    self.fault.script_drops += 1;
+                    *self.messages_total += 1;
                     return;
                 }
-                extra += l.extra_delay;
             }
-        }
-        *messages_total += 1;
-        let delay = config.latency.sample(Endpoint::Replica(from), to, rng);
-        push(
-            depart + delay + extra,
-            Queued::Deliver { from: Endpoint::Replica(from), to, msg: msg.clone() },
-        );
-        if script.duplicates_at(now) {
-            // The copy takes its own (fault-stream) latency draw: the two
-            // arrivals interleave arbitrarily with other traffic.
-            let dup_delay = config.latency.sample(Endpoint::Replica(from), to, &mut fault.rng);
-            *messages_total += 1;
-            if matches!(to, Endpoint::Replica(_)) {
-                *messages_protocol += 1;
+            // Link faults: probabilistic drops plus fixed extra delay on
+            // matching (source, dest) pairs. All randomness from the fault
+            // stream — the main RNG's draw order is scenario-independent.
+            let mut extra = script.send_delay_at(now);
+            let duplicate = script.duplicates_at(now);
+            for l in &self.fault.scenario.links {
+                let src_match = l.source.is_none_or(|s| s == from.0);
+                let dst_match = match (l.dest, to) {
+                    (None, _) => true,
+                    (Some(d), Endpoint::Replica(r)) => d == r.0,
+                    (Some(_), Endpoint::Client(_)) => false,
+                };
+                if src_match && dst_match && l.window.contains(depart) {
+                    if l.drop_rate > 0.0 && self.fault.rng.chance(l.drop_rate) {
+                        self.fault.script_drops += 1;
+                        *self.messages_total += 1;
+                        return;
+                    }
+                    extra += l.extra_delay;
+                }
             }
-            fault.duplicates += 1;
-            push(
-                depart + dup_delay + extra,
-                Queued::Deliver { from: Endpoint::Replica(from), to, msg },
+            *self.messages_total += 1;
+            let delay = config.latency.sample(Endpoint::Replica(from), to, self.rng);
+            (self.push)(
+                depart + delay + extra,
+                Queued::Deliver { from: Endpoint::Replica(from), to, msg: msg.clone() },
             );
+            if duplicate {
+                // The copy takes its own (fault-stream) latency draw: the
+                // two arrivals interleave arbitrarily with other traffic.
+                let dup_delay =
+                    config.latency.sample(Endpoint::Replica(from), to, &mut self.fault.rng);
+                *self.messages_total += 1;
+                if matches!(to, Endpoint::Replica(_)) {
+                    *self.messages_protocol += 1;
+                }
+                self.fault.duplicates += 1;
+                (self.push)(
+                    depart + dup_delay + extra,
+                    Queued::Deliver { from: Endpoint::Replica(from), to, msg },
+                );
+            }
+            return;
         }
-        return;
+        *self.messages_total += 1;
+        let delay = config.latency.sample(Endpoint::Replica(from), to, self.rng);
+        (self.push)(depart + delay, Queued::Deliver { from: Endpoint::Replica(from), to, msg });
     }
-    *messages_total += 1;
-    let delay = config.latency.sample(Endpoint::Replica(from), to, rng);
-    push(depart + delay, Queued::Deliver { from: Endpoint::Replica(from), to, msg });
 }
 
 /// Checks that all correct replicas' committed logs agree: for every pair,

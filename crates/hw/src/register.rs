@@ -36,7 +36,10 @@ impl LoadOutcome {
 ///
 /// This trait is object-safe so hybrids can be built over `Box<dyn
 /// RegisterCell>` and experiments can swap protection levels at runtime.
-pub trait RegisterCell: std::fmt::Debug {
+/// `Send` is a supertrait so replicas owning a boxed cell can move onto
+/// transport-plane node threads; every cell is plain data, so the bound
+/// costs implementors nothing.
+pub trait RegisterCell: std::fmt::Debug + Send {
     /// Writes a value (re-encoding clears any accumulated upsets).
     fn store(&mut self, value: u64);
     /// Reads the value, applying whatever detection/correction the cell has.

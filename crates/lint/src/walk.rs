@@ -4,7 +4,8 @@
 //! * `crates/{bft,hybrid,crypto,sim,noc,hw}/**` — protocol-core (the
 //!   deterministic-replay contract applies).
 //! * every other workspace `.rs` file (`crates/bench`, `crates/soc`,
-//!   the umbrella `src/`+`tests/`, this linter) — harness.
+//!   `crates/transport`, the umbrella `src/`+`tests/`, this linter) —
+//!   harness.
 //! * `vendor/`, `target/`, `.git/`, and lint fixture trees are skipped
 //!   entirely: vendored shims are third-party API surface, and fixtures
 //!   are *deliberately* violating.
@@ -88,6 +89,9 @@ mod tests {
         assert_eq!(classify(Path::new("crates/bft/src/pbft.rs")), Tier::ProtocolCore);
         assert_eq!(classify(Path::new("crates/sim/src/lib.rs")), Tier::ProtocolCore);
         assert_eq!(classify(Path::new("crates/bench/src/bin/f1.rs")), Tier::Harness);
+        // The TCP plane is harness: it owns wall-clock time and sockets,
+        // which the deterministic-replay contract forbids in core.
+        assert_eq!(classify(Path::new("crates/transport/src/node.rs")), Tier::Harness);
         assert_eq!(classify(Path::new("crates/lint/src/main.rs")), Tier::Harness);
         assert_eq!(classify(Path::new("src/lib.rs")), Tier::Harness);
         assert_eq!(classify(Path::new("tests/properties.rs")), Tier::Harness);

@@ -150,15 +150,14 @@ fn run_cycle<C: Cluster>(
 /// Runs one leave → wipe → re-join → transfer cycle and reports whether
 /// the rejuvenated replica re-converged.
 pub fn rejuvenation_cycle(cfg: &CycleConfig) -> CycleReport {
-    let run = RunConfig {
-        f: cfg.f,
-        clients: cfg.clients,
-        requests_per_client: cfg.requests_per_client,
-        seed: cfg.seed,
-        checkpoint_interval: cfg.checkpoint_interval,
-        max_cycles: cfg.max_cycles,
-        ..Default::default()
-    };
+    let run = RunConfig::builder()
+        .f(cfg.f)
+        .clients(cfg.clients)
+        .requests_per_client(cfg.requests_per_client)
+        .seed(cfg.seed)
+        .checkpoint_interval(cfg.checkpoint_interval)
+        .max_cycles(cfg.max_cycles)
+        .build();
     let scenario =
         Scenario::none().script(cfg.replica, ReplicaScript::correct().rejuvenate_at(cfg.at));
     let expected = cfg.clients as u64 * cfg.requests_per_client;

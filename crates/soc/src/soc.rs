@@ -161,15 +161,14 @@ impl ResilientSoc {
         let placement =
             self.select_replica_tiles(n).expect("not enough usable tiles for deployment");
         let seed = self.rng.next_u64();
-        let config = RunConfig {
-            f,
-            clients,
-            requests_per_client,
-            seed,
-            latency: self.latency_for(&placement),
-            max_cycles: 20_000_000,
-            ..Default::default()
-        };
+        let config = RunConfig::builder()
+            .f(f)
+            .clients(clients)
+            .requests_per_client(requests_per_client)
+            .seed(seed)
+            .latency(self.latency_for(&placement))
+            .max_cycles(20_000_000)
+            .build();
         // Compromised tiles run Byzantine replicas; the protocol must mask them.
         let byz: Vec<ReplicaId> = placement
             .iter()

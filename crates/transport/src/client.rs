@@ -1,0 +1,281 @@
+//! The external cluster client: issues the deterministic request log
+//! over TCP, tallies reply quorums, and checks cross-replica digest
+//! convergence.
+//!
+//! The workload is *the same request log the simulator issues*:
+//! [`client_payload`] is shared with the deterministic harness, so a
+//! cluster run over real sockets and a simulator run with the same
+//! `(seed, clients, requests, payload_size)` execute identical
+//! operations — which is what makes the final state digests comparable
+//! across planes.
+
+use crate::frame::{read_frame, write_frame};
+use crate::wire::{decode_envelope, encode_envelope, Envelope};
+use rsoc_bft::api::{ClientId, Endpoint, OpId, ReplicaNode, Request};
+use rsoc_bft::codec::Wire;
+use rsoc_bft::runner::client_payload;
+use std::io;
+use std::net::TcpStream;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How long the client keeps redialing a replica that is not up yet.
+const DIAL_BUDGET: Duration = Duration::from_secs(30);
+/// Delay between dial attempts.
+const DIAL_RETRY: Duration = Duration::from_millis(100);
+/// Poll interval while waiting for digest convergence.
+const SETTLE_POLL: Duration = Duration::from_millis(200);
+
+/// Client-side run parameters.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Replica listen addresses, index = replica id.
+    pub addrs: Vec<String>,
+    /// Number of logical clients this process issues for.
+    pub clients: u32,
+    /// Operations per logical client.
+    pub requests_per_client: u64,
+    /// Request payload size in bytes (see [`client_payload`]).
+    pub payload_size: usize,
+    /// Workload seed shared with the simulator run being mirrored.
+    pub seed: u64,
+    /// Matching replies required to accept a result (f+1).
+    pub quorum: usize,
+    /// Retransmit interval for an unanswered operation.
+    pub op_timeout: Duration,
+    /// Retransmissions per operation before the run fails.
+    pub max_retries: u32,
+    /// Budget for all replicas to converge on one digest at the end.
+    pub settle_timeout: Duration,
+}
+
+/// What a completed cluster run reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientReport {
+    /// Operations committed (always `clients * requests_per_client` on
+    /// success — the run fails rather than under-commit).
+    pub committed: u64,
+    /// The digest every replica converged to.
+    pub digest: [u8; 32],
+    /// Total retransmissions across the run (observability).
+    pub retransmits: u64,
+}
+
+/// Runs the full closed-loop workload against a live cluster.
+///
+/// Generic over the protocol node type only for its message wrapping
+/// ([`ReplicaNode::make_request`] / [`ReplicaNode::as_reply`]); no node
+/// state exists client-side.
+pub fn run_cluster_client<N>(config: &ClientConfig) -> io::Result<ClientReport>
+where
+    N: ReplicaNode,
+    N::Msg: Wire + Send + 'static,
+{
+    let n = config.addrs.len();
+    let mut conns = Vec::with_capacity(n);
+    let (tx, rx) = channel::<Envelope<N::Msg>>();
+    let hello =
+        encode_envelope::<N::Msg>(&Envelope::HelloClient { ids: (0..config.clients).collect() });
+    for addr in &config.addrs {
+        let mut stream = dial(addr)?;
+        write_frame(&mut stream, &hello)?;
+        let reader = stream.try_clone()?;
+        let tx = tx.clone();
+        thread::spawn(move || reader_loop::<N>(reader, &tx));
+        conns.push(stream);
+    }
+
+    // Closed-loop issue: one op at a time, round-robin over clients —
+    // requests stay maximally spread across batching windows, and the
+    // tally below never has to demux concurrent ops.
+    let mut retransmits = 0u64;
+    for seq in 1..=config.requests_per_client {
+        for client in 0..config.clients {
+            let payload = client_payload(config.seed, client, seq, config.payload_size);
+            let op = OpId { client: ClientId(client), seq };
+            let request = Arc::new(Request { op, payload });
+            retransmits += run_one_op::<N>(config, &mut conns, &rx, &request)?;
+        }
+    }
+
+    let (committed, digest) = settle::<N>(config, &mut conns, &rx)?;
+    let shutdown = encode_envelope::<N::Msg>(&Envelope::Shutdown);
+    for conn in &mut conns {
+        let _ = write_frame(conn, &shutdown);
+    }
+    Ok(ClientReport { committed, digest, retransmits })
+}
+
+/// Dials with retry: replicas may still be binding when the client
+/// starts.
+fn dial(addr: &str) -> io::Result<TcpStream> {
+    let deadline = Instant::now() + DIAL_BUDGET;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => {
+                s.set_nodelay(true).ok();
+                return Ok(s);
+            }
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(e);
+                }
+                thread::sleep(DIAL_RETRY);
+            }
+        }
+    }
+}
+
+/// Broadcasts one request and blocks until `quorum` replicas agree on a
+/// result, retransmitting on timeout. Returns the retransmission count.
+fn run_one_op<N>(
+    config: &ClientConfig,
+    conns: &mut [TcpStream],
+    rx: &Receiver<Envelope<N::Msg>>,
+    request: &Arc<Request>,
+) -> io::Result<u64>
+where
+    N: ReplicaNode,
+    N::Msg: Wire,
+{
+    let op = request.op;
+    let mut retries = 0u64;
+    broadcast::<N>(conns, request)?;
+    let mut deadline = Instant::now() + config.op_timeout;
+    // One tally bucket per distinct result; replicas are deduped by id
+    // bit so a resent reply never double-counts.
+    let mut tallies: Vec<(Arc<Vec<u8>>, u64)> = Vec::new();
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            if retries >= u64::from(config.max_retries) {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("op {op:?}: no quorum after {retries} retransmissions"),
+                ));
+            }
+            retries += 1;
+            broadcast::<N>(conns, request)?;
+            deadline = now + config.op_timeout;
+            continue;
+        }
+        let envelope = match rx.recv_timeout(deadline - now) {
+            Ok(e) => e,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => {
+                return Err(io::Error::new(io::ErrorKind::BrokenPipe, "all replica readers died"));
+            }
+        };
+        let Envelope::Msg { from: _, msg } = envelope else { continue };
+        let Some(reply) = N::as_reply(&msg) else { continue };
+        if reply.op != op {
+            continue; // stale reply from an earlier (already decided) op
+        }
+        let mask = 1u64 << (reply.replica.0 % 64);
+        let entry = match tallies.iter_mut().find(|(r, _)| *r == reply.result) {
+            Some(e) => e,
+            None => {
+                tallies.push((reply.result.clone(), 0));
+                let back = tallies.len() - 1;
+                &mut tallies[back]
+            }
+        };
+        if entry.1 & mask == 0 {
+            entry.1 |= mask;
+            if entry.1.count_ones() as usize >= config.quorum {
+                return Ok(retries);
+            }
+        }
+    }
+}
+
+/// Sends the request to every replica.
+fn broadcast<N>(conns: &mut [TcpStream], request: &Arc<Request>) -> io::Result<()>
+where
+    N: ReplicaNode,
+    N::Msg: Wire,
+{
+    let body = encode_envelope(&Envelope::Msg {
+        from: Endpoint::Client(request.op.client),
+        msg: N::make_request(request.clone()),
+    });
+    for conn in conns.iter_mut() {
+        write_frame(conn, &body)?;
+    }
+    Ok(())
+}
+
+/// Polls digests until every replica reports the full committed count
+/// and all digests agree.
+fn settle<N>(
+    config: &ClientConfig,
+    conns: &mut [TcpStream],
+    rx: &Receiver<Envelope<N::Msg>>,
+) -> io::Result<(u64, [u8; 32])>
+where
+    N: ReplicaNode,
+    N::Msg: Wire,
+{
+    let n = conns.len();
+    let expected = u64::from(config.clients) * config.requests_per_client;
+    let deadline = Instant::now() + config.settle_timeout;
+    let query = encode_envelope::<N::Msg>(&Envelope::DigestQuery);
+    let mut latest: Vec<Option<(u64, [u8; 32])>> = vec![None; n];
+    loop {
+        for conn in conns.iter_mut() {
+            write_frame(conn, &query)?;
+        }
+        let round_end = Instant::now() + SETTLE_POLL;
+        loop {
+            let now = Instant::now();
+            if now >= round_end {
+                break;
+            }
+            match rx.recv_timeout(round_end - now) {
+                Ok(Envelope::DigestReply { replica, committed, digest }) => {
+                    if let Some(slot) = latest.get_mut(replica as usize) {
+                        *slot = Some((committed, digest));
+                    }
+                }
+                Ok(_) => {} // late replies from the workload phase
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::BrokenPipe,
+                        "all replica readers died",
+                    ));
+                }
+            }
+        }
+        let done = latest.iter().all(|s| matches!(s, Some((c, _)) if *c >= expected));
+        if done {
+            let first = latest[0].map(|(_, d)| d).unwrap_or_default();
+            if latest.iter().all(|s| matches!(s, Some((_, d)) if *d == first)) {
+                return Ok((expected, first));
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("digest settle timed out: {latest:?} (expected committed={expected})"),
+            ));
+        }
+    }
+}
+
+/// Decodes frames from one replica connection into the shared channel.
+fn reader_loop<N>(mut stream: TcpStream, tx: &Sender<Envelope<N::Msg>>)
+where
+    N: ReplicaNode,
+    N::Msg: Wire,
+{
+    while let Ok(Some(body)) = read_frame(&mut stream) {
+        if let Some(env) = decode_envelope::<N::Msg>(&body) {
+            if tx.send(env).is_err() {
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Wall-clock implementation of the protocol core's [`Clock`] boundary.
+
+use rsoc_bft::plane::Clock;
+use std::time::{Duration, Instant};
+
+/// Maps wall time onto the protocol core's virtual-cycle timeline.
+///
+/// The protocols express every timeout in *cycles* (the simulator's
+/// virtual unit); the real plane needs a wall-time interpretation. One
+/// cycle maps to [`WallClock::DEFAULT_CYCLE_NS`] nanoseconds by default,
+/// which puts the default 1 500-cycle request patience at ~375 ms — slow
+/// enough to ride out CI scheduling jitter on localhost, fast enough
+/// that a genuinely dead primary is replaced promptly.
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    t0: Instant,
+    cycle_ns: u64,
+}
+
+impl WallClock {
+    /// Default wall-time width of one virtual cycle: 250 µs.
+    pub const DEFAULT_CYCLE_NS: u64 = 250_000;
+
+    /// Starts a clock at cycle 0 (now) with the given cycle width.
+    pub fn new(cycle_ns: u64) -> Self {
+        WallClock { t0: Instant::now(), cycle_ns: cycle_ns.max(1) }
+    }
+
+    /// Converts a cycle delta to wall time (for `recv_timeout` waits).
+    pub fn cycles_to_duration(&self, cycles: u64) -> Duration {
+        Duration::from_nanos(cycles.saturating_mul(self.cycle_ns))
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new(Self::DEFAULT_CYCLE_NS)
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> u64 {
+        (self.t0.elapsed().as_nanos() / u128::from(self.cycle_ns)) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_monotonically_in_cycle_units() {
+        let c = WallClock::new(1_000); // 1 µs cycles so the test is quick
+        let a = c.now();
+        std::thread::sleep(Duration::from_millis(2));
+        let b = c.now();
+        assert!(b > a, "2 ms must advance a 1 µs-cycle clock");
+        assert!(b - a >= 1_000, "at least ~1 000 cycles elapsed, got {}", b - a);
+    }
+
+    #[test]
+    fn zero_cycle_width_is_clamped() {
+        let c = WallClock::new(0);
+        let _ = c.now(); // must not divide by zero
+        assert_eq!(c.cycles_to_duration(3).as_nanos(), 3);
+    }
+}

@@ -1,0 +1,153 @@
+//! Length-framed byte transport over any `Read`/`Write` pair.
+//!
+//! The socket layer owns exactly one concern: cutting a TCP byte stream
+//! into discrete frames. A frame on the wire is a `u32` little-endian
+//! body length followed by the body; everything inside the body (version
+//! byte, message discriminants, fields) belongs to the versioned codec in
+//! [`rsoc_bft::codec`]. Keeping the two layers separate means the
+//! deterministic simulator — which never frames anything — shares the
+//! body encoding with the socket path byte for byte.
+//!
+//! Reads are *total*: a malformed prefix (oversized length, truncated
+//! body) surfaces as an [`io::Error`], never a panic, because the bytes
+//! come from the network and the peer may be Byzantine.
+
+use std::io::{self, Read, Write};
+
+/// Hard cap on a frame body. State transfers carry whole snapshots plus a
+/// committed log suffix, so the cap is generous; anything larger is a
+/// corrupt or hostile length prefix and is rejected before allocation.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Writes one frame: `u32` LE body length, then the body.
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    if body.len() > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "frame body exceeds MAX_FRAME"));
+    }
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+// Frames arrive from the network; every decode path below must reject
+// malformed input without panicking.
+// lint: ingress
+
+/// Reads one frame body.
+///
+/// Returns `Ok(None)` on a clean EOF *at a frame boundary* (the peer
+/// closed between frames — the normal end of a connection). EOF inside a
+/// length prefix or body is an error: the stream was cut mid-frame.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    // Fill the prefix manually: EOF before the *first* byte is a clean
+    // close, EOF after it means the stream was cut inside a header.
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < len_bytes.len() {
+        // In bounds: the loop condition keeps filled < len_bytes.len().
+        match r.read(&mut len_bytes[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended inside a length prefix",
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame length exceeds MAX_FRAME"));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+// lint: end
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trips_and_preserves_order() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"first").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[0xAB; 1000]).unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"first");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), vec![0xAB; 1000]);
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF at a frame boundary");
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(b"whatever");
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_body_is_an_error_not_a_clean_eof() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&100u32.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 10]); // 90 bytes short
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn truncated_length_prefix_is_an_error() {
+        // 1..=3 bytes of a length prefix: the stream died mid-header.
+        for n in 1..4usize {
+            let err = read_frame(&mut Cursor::new(vec![7u8; n])).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "prefix of {n} bytes");
+        }
+    }
+
+    #[test]
+    fn oversized_write_is_refused() {
+        let huge = vec![0u8; MAX_FRAME + 1];
+        let mut sink = Vec::new();
+        assert!(write_frame(&mut sink, &huge).is_err());
+        assert!(sink.is_empty(), "nothing partial reaches the wire");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Any byte soup either yields frames or a clean error — never a
+        /// panic, and every returned frame obeys the size cap.
+        #[test]
+        fn garbage_streams_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..4096)) {
+            let mut r = Cursor::new(&bytes);
+            while let Ok(Some(frame)) = read_frame(&mut r) {
+                prop_assert!(frame.len() <= MAX_FRAME);
+            }
+        }
+
+        /// Frames round-trip through an honest stream.
+        #[test]
+        fn round_trip(bodies in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..512), 0..8)) {
+            let mut buf = Vec::new();
+            for b in &bodies {
+                write_frame(&mut buf, b).unwrap();
+            }
+            let mut r = Cursor::new(buf);
+            for b in &bodies {
+                prop_assert_eq!(&read_frame(&mut r).unwrap().unwrap(), b);
+            }
+            prop_assert!(read_frame(&mut r).unwrap().is_none());
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # rsoc-transport — the real-transport plane for the sans-io core
+//!
+//! The protocol crates ([`rsoc_bft`]) are sans-io: a node consumes
+//! [`Input`](rsoc_bft::api::Input)s and emits into an
+//! [`Outbox`](rsoc_bft::api::Outbox); a *plane* owns delivery, timers,
+//! and time behind the [`Transport`](rsoc_bft::plane::Transport) /
+//! [`Clock`](rsoc_bft::plane::Clock) boundary. The deterministic
+//! simulator is the first plane; this crate is the second — the same
+//! protocol bytes over real TCP:
+//!
+//! * [`frame`] — length-framed codec (`u32` LE length + versioned body),
+//!   total against malformed input;
+//! * [`wire`] — the [`wire::Envelope`] that crosses a
+//!   connection: hello handshakes, protocol messages, digest queries;
+//! * [`clock`] — [`clock::WallClock`], mapping wall time onto
+//!   the protocols' virtual-cycle timeline;
+//! * [`pool`] — outbound connections with reconnect and backoff;
+//! * [`node`] — the threaded serve loop and [`node::TcpPlane`], the
+//!   `Transport` implementation;
+//! * [`client`] — the external cluster client issuing the simulator's
+//!   exact request log and checking digest convergence;
+//! * [`run`] — protocol selection shared by the `rsoc-serve` /
+//!   `rsoc-client` binaries and the in-process smoke test.
+//!
+//! Because both planes share one codec ([`rsoc_bft::codec`]) and one
+//! workload ([`rsoc_bft::runner::client_payload`]), a TCP cluster run
+//! and a simulator run with the same parameters commit the same
+//! operations and converge to the same state digest — the smoke driver
+//! asserts exactly that.
+
+pub mod client;
+pub mod clock;
+pub mod frame;
+pub mod node;
+pub mod pool;
+pub mod run;
+pub mod wire;
+
+pub use client::{run_cluster_client, ClientConfig, ClientReport};
+pub use clock::WallClock;
+pub use frame::{read_frame, write_frame, MAX_FRAME};
+pub use node::{serve, ServeReport, TcpPlane};
+pub use pool::PeerPool;
+pub use run::Protocol;
+pub use wire::{decode_envelope, encode_envelope, Envelope};

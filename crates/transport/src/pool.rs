@@ -1,0 +1,165 @@
+//! Outbound connection pool: one writer thread per peer, with
+//! dial-retry, reconnect, and exponential backoff.
+//!
+//! The protocol core assumes fair-lossy links (it retransmits and
+//! gap-fills above them), so the pool is allowed to *drop* under
+//! pressure: sends go through a bounded queue and a full queue sheds the
+//! newest frame rather than blocking the node loop. What the pool must
+//! never do is wedge — a dead peer costs its dialer nothing but a
+//! background thread in a backoff loop.
+
+use crate::frame::write_frame;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Frames queued per peer before sends shed (the protocols retransmit).
+const QUEUE_DEPTH: usize = 1024;
+/// First reconnect delay; doubles per failure up to [`BACKOFF_CAP`].
+const BACKOFF_START: Duration = Duration::from_millis(100);
+/// Reconnect delay ceiling.
+const BACKOFF_CAP: Duration = Duration::from_secs(2);
+
+/// One peer's outbound half.
+struct Peer {
+    tx: SyncSender<Vec<u8>>,
+    dropped: Arc<AtomicU64>,
+}
+
+/// Outbound frames to a fixed set of peers (index = replica id).
+pub struct PeerPool {
+    peers: Vec<Peer>,
+}
+
+impl PeerPool {
+    /// Spawns one writer thread per address. `hello` is re-sent first
+    /// after every (re)connect so the peer can re-identify the dialer.
+    /// Dialing happens in the background: construction never blocks on a
+    /// peer that is still starting up.
+    pub fn connect(addrs: Vec<String>, hello: Vec<u8>) -> Self {
+        let peers = addrs
+            .into_iter()
+            .map(|addr| {
+                let (tx, rx) = sync_channel::<Vec<u8>>(QUEUE_DEPTH);
+                let dropped = Arc::new(AtomicU64::new(0));
+                let hello = hello.clone();
+                thread::spawn(move || writer_loop(&addr, &hello, &rx));
+                Peer { tx, dropped }
+            })
+            .collect();
+        PeerPool { peers }
+    }
+
+    /// Queues one frame to `peer`. A full or disconnected queue sheds the
+    /// frame (counted, not fatal): the protocol layer owns reliability.
+    pub fn send(&self, peer: usize, body: Vec<u8>) {
+        let Some(p) = self.peers.get(peer) else { return };
+        match p.tx.try_send(body) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                p.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Frames shed for `peer` so far (observability for the smoke driver).
+    pub fn dropped(&self, peer: usize) -> u64 {
+        self.peers.get(peer).map(|p| p.dropped.load(Ordering::Relaxed)).unwrap_or(0)
+    }
+
+    /// Number of peers the pool was built over.
+    pub fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// True when the pool has no peers.
+    pub fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+}
+
+/// Dial → hello → drain queue; on any I/O error, back off and redial.
+/// Exits when the pool (all senders) is dropped and the queue is drained.
+fn writer_loop(addr: &str, hello: &[u8], rx: &Receiver<Vec<u8>>) {
+    let mut backoff = BACKOFF_START;
+    loop {
+        let Ok(mut stream) = TcpStream::connect(addr) else {
+            // The peer may simply not be listening yet (cluster start is
+            // unordered); keep frames queued and retry.
+            thread::sleep(backoff);
+            backoff = (backoff * 2).min(BACKOFF_CAP);
+            continue;
+        };
+        let _ = stream.set_nodelay(true);
+        backoff = BACKOFF_START;
+        if write_frame(&mut stream, hello).is_err() {
+            continue; // handshake failed: redial
+        }
+        loop {
+            // Blocking recv: the writer sleeps until the node has output.
+            let Ok(body) = rx.recv() else {
+                let _ = stream.flush();
+                return; // pool dropped: clean exit
+            };
+            if write_frame(&mut stream, &body).is_err() {
+                // The frame is lost (fair-lossy link); reconnect for the
+                // next one.
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::read_frame;
+    use std::net::TcpListener;
+
+    #[test]
+    fn delivers_hello_then_frames_in_order() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let pool = PeerPool::connect(vec![addr], b"hello".to_vec());
+        pool.send(0, b"one".to_vec());
+        pool.send(0, b"two".to_vec());
+        let (mut conn, _) = listener.accept().unwrap();
+        assert_eq!(read_frame(&mut conn).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut conn).unwrap().unwrap(), b"one");
+        assert_eq!(read_frame(&mut conn).unwrap().unwrap(), b"two");
+        drop(pool);
+        assert!(read_frame(&mut conn).unwrap().is_none(), "writer exits cleanly");
+    }
+
+    #[test]
+    fn connects_after_listener_appears() {
+        // Reserve a port, free it, and only re-bind after the pool has
+        // started dialing: the backoff loop must pick the listener up.
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap().to_string();
+        drop(probe);
+        let pool = PeerPool::connect(vec![addr.clone()], b"hi".to_vec());
+        pool.send(0, b"late".to_vec());
+        std::thread::sleep(Duration::from_millis(150));
+        let listener = TcpListener::bind(&addr).expect("port free for re-bind");
+        let (mut conn, _) = listener.accept().unwrap();
+        assert_eq!(read_frame(&mut conn).unwrap().unwrap(), b"hi");
+        assert_eq!(read_frame(&mut conn).unwrap().unwrap(), b"late");
+    }
+
+    #[test]
+    fn out_of_range_and_dead_peers_never_block() {
+        let pool = PeerPool::connect(vec!["127.0.0.1:1".to_string()], Vec::new());
+        pool.send(5, b"nobody home".to_vec()); // out of range: no-op
+        for _ in 0..(QUEUE_DEPTH + 10) {
+            pool.send(0, vec![0u8; 8]); // dead peer: queue fills, then sheds
+        }
+        assert!(pool.dropped(0) >= 10);
+        assert_eq!(pool.len(), 1);
+        assert!(!pool.is_empty());
+    }
+}

@@ -1,0 +1,155 @@
+//! Protocol selection for the cluster binaries and smoke tests.
+//!
+//! `rsoc-serve` and `rsoc-client` are protocol-generic; this module
+//! folds the concrete cluster types ([`PbftCluster`], [`MinBftCluster`])
+//! behind one [`Protocol`] switch so both binaries — and the in-process
+//! smoke test — share construction, quorum math, and the
+//! serve/client entry points.
+
+use crate::client::{run_cluster_client, ClientConfig, ClientReport};
+use crate::clock::WallClock;
+use crate::node::{serve, ServeReport};
+use rsoc_bft::api::Cluster;
+use rsoc_bft::minbft::MinBftCluster;
+use rsoc_bft::pbft::PbftCluster;
+use rsoc_bft::runner::RunConfig;
+use std::io;
+use std::net::TcpListener;
+
+/// Which protocol a cluster speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// PBFT: `3f+1` replicas.
+    Pbft,
+    /// MinBFT: `2f+1` replicas (USIG-anchored).
+    MinBft,
+}
+
+impl Protocol {
+    /// Parses the `--protocol` flag value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "pbft" => Some(Protocol::Pbft),
+            "minbft" => Some(Protocol::MinBft),
+            _ => None,
+        }
+    }
+
+    /// Cluster size for fault threshold `f`.
+    pub fn cluster_size(self, f: u32) -> u32 {
+        match self {
+            Protocol::Pbft => 3 * f + 1,
+            Protocol::MinBft => 2 * f + 1,
+        }
+    }
+
+    /// Client reply quorum for fault threshold `f` (both protocols:
+    /// `f+1` matching replies).
+    pub fn reply_quorum(self, f: u32) -> usize {
+        (f + 1) as usize
+    }
+
+    /// Flag value for spawning the twin process.
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::Pbft => "pbft",
+            Protocol::MinBft => "minbft",
+        }
+    }
+
+    /// Runs replica `id`'s serve loop. Every process constructs the same
+    /// cluster from the shared deterministic `config` (key provisioning
+    /// is a pure function of the seed) and extracts its own node.
+    pub fn serve(
+        self,
+        id: u32,
+        config: &RunConfig,
+        listener: TcpListener,
+        peer_addrs: Vec<String>,
+        clock: WallClock,
+    ) -> io::Result<ServeReport> {
+        match self {
+            Protocol::Pbft => {
+                let mut nodes = PbftCluster::new(config).into_nodes();
+                if (id as usize) >= nodes.len() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!("replica id {id} out of range for n={}", nodes.len()),
+                    ));
+                }
+                serve(nodes.swap_remove(id as usize), listener, peer_addrs, clock)
+            }
+            Protocol::MinBft => {
+                let mut nodes = MinBftCluster::new(config).into_nodes();
+                if (id as usize) >= nodes.len() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!("replica id {id} out of range for n={}", nodes.len()),
+                    ));
+                }
+                serve(nodes.swap_remove(id as usize), listener, peer_addrs, clock)
+            }
+        }
+    }
+
+    /// Runs the external cluster client against a live cluster.
+    pub fn client(self, config: &ClientConfig) -> io::Result<ClientReport> {
+        match self {
+            Protocol::Pbft => run_cluster_client::<<PbftCluster as Cluster>::Node>(config),
+            Protocol::MinBft => run_cluster_client::<<MinBftCluster as Cluster>::Node>(config),
+        }
+    }
+}
+
+/// Lowercase hex of a digest (for the binaries' line protocol).
+pub fn digest_hex(digest: &[u8; 32]) -> String {
+    let mut s = String::with_capacity(64);
+    for b in digest {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// Parses a 64-char lowercase/uppercase hex digest.
+pub fn parse_digest_hex(s: &str) -> Option<[u8; 32]> {
+    if s.len() != 64 {
+        return None;
+    }
+    let mut out = [0u8; 32];
+    for (i, chunk) in s.as_bytes().chunks(2).enumerate() {
+        let hi = (chunk[0] as char).to_digit(16)?;
+        let lo = (chunk[1] as char).to_digit(16)?;
+        out[i] = ((hi << 4) | lo) as u8;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_sizes() {
+        assert_eq!(Protocol::parse("pbft"), Some(Protocol::Pbft));
+        assert_eq!(Protocol::parse("minbft"), Some(Protocol::MinBft));
+        assert_eq!(Protocol::parse("raft"), None);
+        assert_eq!(Protocol::Pbft.cluster_size(1), 4);
+        assert_eq!(Protocol::MinBft.cluster_size(1), 3);
+        assert_eq!(Protocol::Pbft.reply_quorum(1), 2);
+        assert_eq!(Protocol::Pbft.name(), "pbft");
+        assert_eq!(Protocol::MinBft.name(), "minbft");
+    }
+
+    #[test]
+    fn digest_hex_round_trips() {
+        let mut d = [0u8; 32];
+        for (i, b) in d.iter_mut().enumerate() {
+            *b = (i * 7 + 3) as u8;
+        }
+        let s = digest_hex(&d);
+        assert_eq!(s.len(), 64);
+        assert_eq!(parse_digest_hex(&s), Some(d));
+        assert_eq!(parse_digest_hex("zz"), None);
+        assert_eq!(parse_digest_hex(&s[..62]), None);
+    }
+}

@@ -1,0 +1,107 @@
+//! In-process cluster smoke: real sockets, real threads, one process.
+//!
+//! Each replica's serve loop runs on its own thread against an ephemeral
+//! localhost port; the cluster client runs on the test thread. The final
+//! digest every replica converges to must equal the digest a
+//! *simulator* run of the same request log produces — the two-planes,
+//! one-core property the sans-io split exists for.
+
+use rsoc_bft::api::Cluster;
+use rsoc_bft::runner::{run, RunConfig};
+use rsoc_transport::run::Protocol;
+use rsoc_transport::{ClientConfig, WallClock};
+use std::net::TcpListener;
+use std::thread;
+use std::time::Duration;
+
+const SEED: u64 = 42;
+const CLIENTS: u32 = 2;
+const REQUESTS: u64 = 5;
+const PAYLOAD: usize = 48;
+
+/// Digest from a deterministic-simulator run of the identical workload.
+fn simulator_digest(protocol: Protocol, f: u32) -> [u8; 32] {
+    let config = RunConfig::builder()
+        .f(f)
+        .clients(CLIENTS)
+        .requests_per_client(REQUESTS)
+        .payload_size(PAYLOAD)
+        .seed(SEED)
+        .build();
+    match protocol {
+        Protocol::Pbft => {
+            let mut cluster = rsoc_bft::pbft::PbftCluster::new(&config);
+            let r = run(&mut cluster, &config);
+            assert!(r.safety_ok);
+            assert_eq!(r.committed, u64::from(CLIENTS) * REQUESTS);
+            cluster.nodes()[0].state_digest()
+        }
+        Protocol::MinBft => {
+            let mut cluster = rsoc_bft::minbft::MinBftCluster::new(&config);
+            let r = run(&mut cluster, &config);
+            assert!(r.safety_ok);
+            assert_eq!(r.committed, u64::from(CLIENTS) * REQUESTS);
+            cluster.nodes()[0].state_digest()
+        }
+    }
+}
+
+fn smoke(protocol: Protocol) {
+    let f = 1u32;
+    let n = protocol.cluster_size(f) as usize;
+
+    // Bind every listener first so the peer address list is complete
+    // before any serve loop starts.
+    let listeners: Vec<TcpListener> =
+        (0..n).map(|_| TcpListener::bind("127.0.0.1:0").expect("bind")).collect();
+    let addrs: Vec<String> =
+        listeners.iter().map(|l| l.local_addr().expect("addr").to_string()).collect();
+
+    let config = RunConfig::builder().f(f).seed(SEED).build();
+    let mut replicas = Vec::new();
+    for (id, listener) in listeners.into_iter().enumerate() {
+        let peer_addrs = addrs.clone();
+        let config = config.clone();
+        replicas.push(thread::spawn(move || {
+            // 50 µs cycles: timer patience ~75 ms, snappy for a test.
+            let clock = WallClock::new(50_000);
+            protocol.serve(id as u32, &config, listener, peer_addrs, clock).expect("serve")
+        }));
+    }
+
+    let client_config = ClientConfig {
+        addrs,
+        clients: CLIENTS,
+        requests_per_client: REQUESTS,
+        payload_size: PAYLOAD,
+        seed: SEED,
+        quorum: protocol.reply_quorum(f),
+        op_timeout: Duration::from_millis(1_000),
+        max_retries: 10,
+        settle_timeout: Duration::from_secs(20),
+    };
+    let report = protocol.client(&client_config).expect("cluster client");
+    assert_eq!(report.committed, u64::from(CLIENTS) * REQUESTS);
+
+    // Every replica exits through Shutdown and reports the same digest
+    // the client saw.
+    for handle in replicas {
+        let serve_report = handle.join().expect("replica thread");
+        assert_eq!(serve_report.committed, report.committed, "replica under-committed");
+        assert_eq!(serve_report.digest, report.digest, "replica digest diverged");
+    }
+
+    // The two-planes property: the TCP cluster's digest equals the
+    // simulator's for the same request log.
+    assert_eq!(report.digest, simulator_digest(protocol, f), "plane digests diverged");
+}
+
+#[test]
+fn pbft_cluster_over_tcp_matches_the_simulator() {
+    smoke(Protocol::Pbft);
+}
+
+#[test]
+fn minbft_cluster_over_tcp_matches_the_simulator() {
+    smoke(Protocol::MinBft);
+}
