@@ -12,7 +12,7 @@
 //! corrupted snapshots served to a recovering replica and forged
 //! checkpoint certificates.
 //!
-//! Five named scenarios × {pbft, minbft, passive} × batch {1, 8} (the two
+//! Six named scenarios × {pbft, minbft, passive} × batch {1, 8} (the three
 //! attack scenarios are BFT-only — passive's single snapshot source makes
 //! "all servers corrupt" indistinguishable from source death, its
 //! documented 2-replica residual):
@@ -34,6 +34,12 @@
 //! - `forged_certificate` — a replica broadcasts forged checkpoint
 //!   vouchers (garbage MACs and properly-signed digest lies); honest
 //!   replicas must reject them while real certificates still form.
+//! - `lying_responder` — one transfer responder serves a tampered log
+//!   suffix (digest lies and fabricated slots) to a recovering replica.
+//!   Suffix slots are accepted only on f+1 matching batch digests, so a
+//!   single liar can at worst stall the tail — never make the re-joiner
+//!   execute history the cluster did not commit (asserted: the re-join
+//!   still completes via transfer, and every correct replica converges).
 //!
 //! Writes **`BENCH_6.json`** (self-validated by re-reading). Virtual-time
 //! only: byte-identical for any `--jobs N` (checked in CI) and
@@ -105,8 +111,13 @@ fn specs() -> Vec<Spec> {
             attacks: "backup wiped mid-load; must re-join via state transfer",
             protocols: ALL,
             build: |n, batch| {
+                // MinBFT (n = 3): the suffix install quorum is f+1 = 2, and
+                // the 512-counter resend ring can replay a freshly-wiped
+                // stream before the second matching responder lands — wipe
+                // later so the re-join is pinned to a genuine transfer.
+                let delay = if n == 3 { 200 } else { 0 };
                 Scenario::none()
-                    .script(n - 1, ReplicaScript::correct().rejuvenate_at(wipe_at(batch)))
+                    .script(n - 1, ReplicaScript::correct().rejuvenate_at(wipe_at(batch) + delay))
             },
         },
         Spec {
@@ -138,6 +149,21 @@ fn specs() -> Vec<Spec> {
                     );
                 }
                 s
+            },
+        },
+        Spec {
+            name: "lying_responder",
+            attacks: "one transfer responder tampers its suffix; f+1 slot voting outvotes it",
+            protocols: BFT,
+            build: |n, batch| {
+                // Same late wipe as `corrupted_snapshot`: the re-joiner
+                // must be mid-transfer when the lying response lands.
+                Scenario::none()
+                    .script(n - 1, ReplicaScript::correct().rejuvenate_at(wipe_at(batch) + 200))
+                    .script(
+                        1,
+                        ReplicaScript::correct().corrupt_suffixes(Window::new(0, MAX_CYCLES)),
+                    )
             },
         },
         Spec {
@@ -366,6 +392,14 @@ fn check_row(row: &Row) -> Result<(), String> {
                 return fail("forgery suppressed real certificates");
             }
         }
+        "lying_responder" => {
+            if row.rejuvenations < 1 {
+                return fail("wipe never fired");
+            }
+            if row.state_transfers < 1 {
+                return fail("the lie blocked the re-join entirely");
+            }
+        }
         _ => {}
     }
     Ok(())
@@ -482,7 +516,7 @@ fn main() {
         let parsed: serde_json::Value =
             serde_json::from_str(&reread).expect("BENCH_6.json malformed");
         let row_count = parsed["rows"].as_array().map(|a| a.len()).unwrap_or(0);
-        assert!(row_count >= 26, "campaign shrank below the 26-cell floor: {row_count}");
+        assert!(row_count >= 30, "campaign shrank below the 30-cell floor: {row_count}");
         for row in parsed["rows"].as_array().expect("rows array") {
             assert_eq!(row["pass"].as_bool(), Some(true), "failed cell recorded: {row:?}");
             assert_eq!(row["safety_ok"].as_bool(), Some(true), "unsafe cell recorded: {row:?}");

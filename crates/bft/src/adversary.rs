@@ -108,6 +108,7 @@ pub struct ReplicaScript {
     replay: Vec<ReplaySpec>,
     rejuvenate: Vec<u64>,
     corrupt_snapshot: Vec<Window>,
+    corrupt_suffix: Vec<Window>,
     forge_checkpoint: Vec<Window>,
 }
 
@@ -184,6 +185,15 @@ impl ReplicaScript {
         self
     }
 
+    /// Adds a suffix-corruption window: the log suffixes this replica
+    /// *serves* with state transfers during it carry batches the cluster
+    /// never committed (certificate and snapshot stay honest, so only the
+    /// requester's f+1 slot-by-slot vote can out-vote the lie).
+    pub fn corrupt_suffixes(mut self, w: Window) -> Self {
+        self.corrupt_suffix.push(w);
+        self
+    }
+
     /// Adds a checkpoint-forgery window: instead of honest vouchers, the
     /// replica broadcasts vouchers over a fabricated state digest (one
     /// with a garbage MAC, one properly keyed — neither may certify).
@@ -205,6 +215,7 @@ impl ReplicaScript {
             && self.replay.is_empty()
             && self.rejuvenate.is_empty()
             && self.corrupt_snapshot.is_empty()
+            && self.corrupt_suffix.is_empty()
             && self.forge_checkpoint.is_empty()
     }
 
@@ -258,6 +269,11 @@ impl ReplicaScript {
         self.corrupt_snapshot.iter().any(|w| w.contains(now))
     }
 
+    /// Whether a suffix-corruption window is active at `now`.
+    pub fn corrupts_suffix_at(&self, now: u64) -> bool {
+        self.corrupt_suffix.iter().any(|w| w.contains(now))
+    }
+
     /// Whether a checkpoint-forgery window is active at `now`.
     pub fn forges_checkpoint_at(&self, now: u64) -> bool {
         self.forge_checkpoint.iter().any(|w| w.contains(now))
@@ -273,6 +289,7 @@ impl ReplicaScript {
         !self.equivocate.is_empty()
             || !self.forge_ui.is_empty()
             || !self.corrupt_snapshot.is_empty()
+            || !self.corrupt_suffix.is_empty()
             || !self.forge_checkpoint.is_empty()
     }
 
@@ -286,6 +303,7 @@ impl ReplicaScript {
             .chain(&self.equivocate)
             .chain(&self.forge_ui)
             .chain(&self.corrupt_snapshot)
+            .chain(&self.corrupt_suffix)
             .chain(&self.forge_checkpoint)
             .map(|w| w.until)
             .chain(self.delay.iter().map(|(w, _)| w.until))

@@ -507,6 +507,31 @@ pub trait ReplicaNode {
     fn checkpoint_history(&self) -> &[(u64, [u8; 32])] {
         &[]
     }
+
+    /// Turns on [`DurableEvent`](crate::durable::DurableEvent) emission.
+    /// Off by default (the simulator never persists), so the hooks are
+    /// byte-invisible to every existing plane. Default: no-op, for
+    /// protocols without a durability path.
+    fn enable_durability(&mut self) {}
+
+    /// Moves the events queued since the last drain into `out` (appended;
+    /// the caller owns clearing). The embedding plane persists them
+    /// **before** dispatching the same input's outbox — that ordering is
+    /// what "committed before acked" means. Default: no-op.
+    fn drain_durable(&mut self, _out: &mut Vec<crate::durable::DurableEvent>) {}
+
+    /// Rebuilds core state from a store's replay, **before** the serve
+    /// loop starts and before [`enable_durability`](Self::enable_durability)
+    /// (recovery must not re-persist what it replays). Disk contents are
+    /// ingress: implementations re-verify certificates and snapshot
+    /// digests, replay only the contiguous commit prefix, and leave any
+    /// remaining gap to collaborative state transfer. Default: no-op.
+    fn recover(
+        &mut self,
+        _state: crate::durable::RecoveredState,
+    ) -> crate::durable::RecoveryReport {
+        crate::durable::RecoveryReport::default()
+    }
 }
 
 /// A cluster: the set of nodes plus protocol-level metadata the harness

@@ -19,7 +19,7 @@
 //!   suffix, and rejoins live agreement.
 //! * **Log truncation**: once a checkpoint is stable, everything below it
 //!   is recoverable via CST, so retention rings (MinBFT `sent_ui`,
-//!   passive `shipped`, the per-request replay ring) and the committed
+//!   passive `shipped`, the per-slot batch replay ring) and the committed
 //!   log itself retire below the watermark — replica memory is bounded
 //!   by inter-checkpoint traffic instead of run length.
 //!
@@ -35,12 +35,18 @@
 //! USIG [`rsoc_hybrid::KeyRing`]. A Byzantine replica cannot forge
 //! another replica's voucher (no key), and a lone colluder vouching for a
 //! fabricated digest never reaches the f+1 quorum. The post-checkpoint
-//! *log suffix* of a transfer, however, is taken from a single responder:
-//! the snapshot below the watermark is certificate-verified, the suffix
-//! above it is trusted as honest (carrying per-entry commit certificates
-//! is the remaining step, recorded in the ROADMAP).
+//! *log suffix* of a transfer is cross-checked against **f+1 distinct
+//! responders** before any of it replays (PR 9): the snapshot below the
+//! watermark is certificate-verified as before, and above it a slot's
+//! batch installs only when f+1 responders carried the same batch digest
+//! for that slot — at least one of them honest. A lying responder can
+//! therefore at worst *stall* a recovering replica (deny it a quorum for
+//! the tail) but never *diverge* it; the requester keeps re-requesting
+//! on the [`CST_BACKOFF`] cadence until honest responders form the
+//! quorum. The responder's `view` claim remains trusted liveness-only
+//! metadata, like the view claims in view-change votes.
 
-use crate::api::{LogEntry, ReplicaId, Request};
+use crate::api::{Batch, LogEntry, ReplicaId};
 use rsoc_crypto::{sha256, MacKey, Tag};
 use std::sync::Arc;
 
@@ -124,23 +130,30 @@ pub struct CheckpointCert {
 
 /// One peer's answer to a state-transfer request: the stable certificate,
 /// the snapshot it certifies, and the committed tail above it.
+///
+/// The suffix is *slot-grained*: `(agreement seq, batch)` pairs starting
+/// at `cert.seq + 1`, dense (passive uses its log seq as the slot
+/// domain). Batches carry their own digest preimage (see
+/// [`Batch`]), so a requester can compare suffixes from different
+/// responders slot by slot and install only slots f+1 of them agree on —
+/// the execution watermark and the per-request log entries are *derived*
+/// from the voted slots, never taken from a responder's claim.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StateTransfer {
     /// The stable checkpoint certificate the snapshot is checked against.
     pub cert: CheckpointCert,
     /// KV snapshot; `sha256(snapshot)` must equal `cert.digest`.
     pub snapshot: Arc<Vec<u8>>,
-    /// Committed log length at the certificate watermark — the suffix
-    /// covers log sequences `log_base + 1 ..`.
+    /// Committed log length at the certificate watermark — replayed
+    /// entries are numbered `log_base + 1 ..` (cross-checked against
+    /// f+1 responders like the suffix).
     pub log_base: u64,
-    /// Committed requests above the watermark, in log order, each with the
-    /// log-entry digest it committed under (replayed after the snapshot
-    /// installs; carrying the original digests keeps the installed log
-    /// byte-identical to the peers' for the safety checker).
-    pub suffix: Arc<Vec<(Arc<Request>, [u8; 32])>>,
-    /// Responder's execution watermark in its agreement-seq domain.
-    pub exec_upto: u64,
-    /// Responder's current view/epoch, adopted on install.
+    /// Committed `(slot seq, batch)` pairs above the watermark, dense
+    /// from `cert.seq + 1` in slot order.
+    pub suffix: Arc<Vec<(u64, Arc<Batch>)>>,
+    /// Responder's current view/epoch — liveness-only metadata, adopted
+    /// from the install quorum's maximum so a laggard joins the view the
+    /// cluster moved to while it was down.
     pub view: u64,
     /// Responding replica.
     pub from: ReplicaId,
@@ -432,6 +445,169 @@ impl CheckpointStore {
 pub fn snapshot_matches(cert: &CheckpointCert, snapshot: &[u8]) -> bool {
     sha256(snapshot) == cert.digest
 }
+
+/// The cross-checked install a [`CstBuffer`] produces once enough
+/// responders agree: certificate, snapshot, log numbering base, the
+/// slot-by-slot voted suffix (dense from `cert.seq + 1`), and the install
+/// quorum's maximum view claim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CstInstall {
+    /// The certificate the quorum converged on.
+    pub cert: CheckpointCert,
+    /// The certified snapshot (taken from any quorum member — all carry
+    /// digest-identical bytes, pinned by the certificate).
+    pub snapshot: Arc<Vec<u8>>,
+    /// Committed-log length at the watermark (quorum-agreed).
+    pub log_base: u64,
+    /// Slots with an f+1-matching batch digest, dense from
+    /// `cert.seq + 1`; the install stops at the first non-quorate slot.
+    pub suffix: Vec<(u64, Arc<Batch>)>,
+    /// Maximum view claimed by the quorum (liveness-only metadata).
+    pub view: u64,
+}
+
+// lint: ingress
+/// Buffers *validated* transfer responses (certificate verified, snapshot
+/// digest-matched and parseable — the caller's job) until `quorum`
+/// distinct responders agree on a `(cert.seq, log_base)` group, then
+/// votes the suffix slot by slot.
+///
+/// This is the PR 9 closure of the single-responder CST residual: with
+/// `quorum = f+1`, every installed slot was vouched for by at least one
+/// honest responder, so a lying responder can deny progress (stall until
+/// the backoff re-request reaches honest peers) but never make a
+/// recovering replica execute a batch the cluster did not commit.
+#[derive(Debug, Default)]
+pub struct CstBuffer {
+    pending: Vec<StateTransfer>,
+}
+
+impl CstBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops all buffered responses (after an install, or on wipe).
+    pub fn clear(&mut self) {
+        self.pending.clear();
+    }
+
+    /// Buffered responses (observability/tests).
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Admits one validated response. One response per responder is kept
+    /// (latest wins — re-requests refresh a peer's answer); responses at
+    /// or below `floor` (the requester's execution watermark) are stale
+    /// and dropped.
+    pub fn admit(&mut self, st: StateTransfer, floor: u64) {
+        self.pending.retain(|p| p.from != st.from);
+        self.pending.retain(|p| p.cert.seq > floor);
+        if st.cert.seq > floor {
+            self.pending.push(st);
+        }
+    }
+
+    /// Returns the install once some `(cert.seq, log_base)` group has
+    /// `quorum` distinct responders (the highest such watermark wins;
+    /// deterministic across admission orders). `None` while no group is
+    /// quorate.
+    pub fn install_plan(&self, quorum: usize) -> Option<CstInstall> {
+        let quorum = quorum.max(1);
+        // Group keys, best watermark first.
+        let mut keys: Vec<(u64, u64)> =
+            self.pending.iter().map(|p| (p.cert.seq, p.log_base)).collect();
+        keys.sort_unstable_by(|a, b| b.cmp(a));
+        keys.dedup();
+        for (seq, log_base) in keys {
+            let group: Vec<&StateTransfer> = self
+                .pending
+                .iter()
+                .filter(|p| p.cert.seq == seq && p.log_base == log_base)
+                .collect();
+            if group.len() < quorum {
+                continue;
+            }
+            return Some(Self::vote(&group, quorum, seq, log_base));
+        }
+        None
+    }
+
+    /// Votes the suffix of one quorate group slot by slot: a slot installs
+    /// only when `quorum` members carry the same batch digest for it (at
+    /// least one of them honest), batches are content-verified, and the
+    /// accepted run is dense from the watermark.
+    fn vote(group: &[&StateTransfer], quorum: usize, seq: u64, log_base: u64) -> CstInstall {
+        // bounds: install_plan only calls with group.len() >= quorum >= 1
+        let first = &group[0];
+        let cert = first.cert.clone();
+        let snapshot = Arc::clone(&first.snapshot);
+        let view = group.iter().map(|p| p.view).max().unwrap_or(0);
+        let mut suffix = Vec::new();
+        let mut slot = seq;
+        'slots: loop {
+            slot += 1;
+            // Tally batch digests claimed for this slot across the group
+            // (linear scans: suffixes are bounded by inter-checkpoint
+            // traffic and groups by the cluster size).
+            let mut tally: Vec<([u8; 32], usize, &Arc<Batch>)> = Vec::new();
+            for p in group {
+                let Some((_, batch)) = p.suffix.iter().find(|(s, _)| *s == slot) else {
+                    continue;
+                };
+                let digest = batch.digest();
+                match tally.iter_mut().find(|(d, _, _)| *d == digest) {
+                    Some((_, count, _)) => *count += 1,
+                    None => tally.push((digest, 1, batch)),
+                }
+            }
+            for (_, count, batch) in &tally {
+                if *count >= quorum && batch.verify() && !batch.is_empty() {
+                    suffix.push((slot, Arc::clone(batch)));
+                    continue 'slots;
+                }
+            }
+            break; // first non-quorate slot ends the dense run
+        }
+        CstInstall { cert, snapshot, log_base, suffix, view }
+    }
+}
+
+/// Byzantine responder helper shared by the protocols' `corrupt_suffix`
+/// fault windows: tampers with a suffix about to be served. Replaces the
+/// last slot's batch with content the cluster never committed, or
+/// fabricates a slot above `after` when the suffix is empty — either way
+/// the requester's f+1 cross-check must out-vote it.
+pub fn tamper_suffix(suffix: &mut Vec<(u64, Arc<Batch>)>, after: u64) {
+    use crate::api::{ClientId, OpId, Request};
+    match suffix.last_mut() {
+        Some((_, batch)) => {
+            let evil: Vec<Arc<Request>> = batch
+                .requests()
+                .iter()
+                .map(|r| {
+                    let mut e = Request::clone(r);
+                    e.payload.push(0xEE);
+                    Arc::new(e)
+                })
+                .collect();
+            *batch = Arc::new(Batch::new(evil));
+        }
+        None => {
+            let op = OpId { client: ClientId(u32::MAX - 1), seq: after + 1 };
+            let req = Arc::new(Request { op, payload: b"FABRICATED".to_vec() });
+            suffix.push((after + 1, Arc::new(Batch::single(req))));
+        }
+    }
+}
+// lint: end
 
 /// A committed log that can truncate below the stable checkpoint: the
 /// retained entries are a contiguous *suffix* of the full history,

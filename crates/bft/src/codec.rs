@@ -34,7 +34,10 @@ use std::sync::Arc;
 
 /// Wire format version, the first byte of every frame. Bumped on any
 /// incompatible layout change; decoders reject other versions outright.
-pub const WIRE_VERSION: u8 = 1;
+/// Version 2: `StateTransfer` carries a slot-grained batch suffix and no
+/// longer an `exec_upto` claim (the receiver derives it from the voted
+/// suffix).
+pub const WIRE_VERSION: u8 = 2;
 
 /// Emits the canonical wire bytes of one request:
 /// `client u32 LE | seq u64 LE | payload_len u64 LE | payload`.
@@ -429,7 +432,6 @@ impl Wire for StateTransfer {
         self.snapshot.encode(buf);
         self.log_base.encode(buf);
         self.suffix.encode(buf);
-        self.exec_upto.encode(buf);
         self.view.encode(buf);
         self.from.encode(buf);
     }
@@ -439,8 +441,7 @@ impl Wire for StateTransfer {
             cert: CheckpointCert::decode(r)?,
             snapshot: Arc::<Vec<u8>>::decode(r)?,
             log_base: r.u64()?,
-            suffix: Arc::<Vec<(Arc<Request>, [u8; 32])>>::decode(r)?,
-            exec_upto: r.u64()?,
+            suffix: Arc::<Vec<(u64, Arc<Batch>)>>::decode(r)?,
             view: r.u64()?,
             from: ReplicaId::decode(r)?,
         })
@@ -774,8 +775,7 @@ mod tests {
             cert: cert(8),
             snapshot: Arc::new(b"snapshot".to_vec()),
             log_base: 9,
-            suffix: Arc::new(vec![(req(1, 9, b"op".to_vec()), [4; 32])]),
-            exec_upto: 10,
+            suffix: Arc::new(vec![(9u64, Arc::new(Batch::single(req(1, 9, b"op".to_vec()))))]),
             view: 2,
             from: ReplicaId(1),
         }

@@ -54,6 +54,7 @@ pub mod broadcast;
 pub mod checkpoint;
 pub mod codec;
 pub mod dense;
+pub mod durable;
 pub mod harness;
 pub mod minbft;
 pub mod passive;
@@ -69,6 +70,7 @@ pub use adversary::{
 pub use api::{ClientId, LogEntry, OpId, ReplicaId, Reply, Request};
 pub use checkpoint::{CheckpointCert, CheckpointStats, CheckpointVoucher, CkptKeys};
 pub use codec::{decode_frame, encode_frame, Wire, WIRE_VERSION};
+pub use durable::{DurableEvent, RecoveredState, RecoveryReport};
 pub use plane::{step_node, Clock, Transport};
 pub use runner::{run, run_scenario, RunConfig, RunConfigBuilder, RunReport, ScenarioOutcome};
 pub use statemachine::{CounterMachine, KvStore, StateMachine};

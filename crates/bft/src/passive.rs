@@ -11,14 +11,15 @@
 
 use crate::adversary::ReplicaScript;
 use crate::api::{
-    BatchDecision, Batcher, Cluster, Endpoint, Input, LogEntry, Outbox, ReplicaId, ReplicaNode,
-    Reply, Request,
+    Batch, BatchDecision, Batcher, Cluster, Endpoint, Input, LogEntry, Outbox, ReplicaId,
+    ReplicaNode, Reply, Request,
 };
 use crate::checkpoint::{
     snapshot_matches, CheckpointStats, CheckpointStore, CheckpointVoucher, CkptKeys, CommittedLog,
-    StateTransfer,
+    CstBuffer, StateTransfer,
 };
 use crate::dense::{OpIndex, SeqWindow};
+use crate::durable::{DurableEvent, RecoveredState, RecoveryReport};
 use crate::runner::RunConfig;
 use crate::statemachine::{KvStore, StateMachine};
 use std::sync::Arc;
@@ -124,8 +125,20 @@ pub struct PassiveReplica {
     /// replicas must vouch: passive has no spare quorum to outvote a lie.
     ckpt: CheckpointStore,
     /// Requests by log seq, retained above the stable checkpoint — the
-    /// replay source for serving state-transfer suffixes.
+    /// replay source for serving state-transfer suffixes (passive's slot
+    /// and log domains coincide; suffixes ship as single-request batches).
     replay_ring: SeqWindow<Arc<Request>>,
+    /// Buffered state-transfer responses (install quorum 1: with n = 2
+    /// there is no spare responder to outvote a lie — the documented
+    /// passive residual).
+    cst: CstBuffer,
+    /// True once the embedding plane persists [`DurableEvent`]s.
+    durability: bool,
+    /// Events awaiting [`ReplicaNode::drain_durable`].
+    durable: Vec<DurableEvent>,
+    /// Highest stable watermark already emitted as a
+    /// [`DurableEvent::Stable`].
+    durable_stable_seq: u64,
     /// Out-of-order state updates held back until their predecessors
     /// apply; the window watermark tracks the applied log prefix.
     held_updates: SeqWindow<(Arc<Request>, Arc<Vec<u8>>)>,
@@ -161,6 +174,10 @@ impl PassiveReplica {
             next_seq: 1,
             ckpt: CheckpointStore::new(id, 2, 0, CkptKeys::provision(0, 1)),
             replay_ring: SeqWindow::with_base(1),
+            cst: CstBuffer::new(),
+            durability: false,
+            durable: Vec::new(),
+            durable_stable_seq: 0,
             held_updates: SeqWindow::with_base(1),
             failovers: 0,
             shipped: SeqWindow::with_base(1),
@@ -272,6 +289,12 @@ impl PassiveReplica {
                 self.replay_ring.insert(seq, req.clone());
             }
             self.executed.insert(req.op, result.clone());
+            if self.durability {
+                self.durable.push(DurableEvent::Commit {
+                    seq,
+                    batch: Arc::new(Batch::single(req.clone())),
+                });
+            }
             out.send(
                 Endpoint::Client(req.op.client),
                 PassiveMsg::Reply(Reply { replica: self.id, op: req.op, result: result.clone() }),
@@ -318,6 +341,13 @@ impl PassiveReplica {
             self.replay_ring.retire_below(log_len + 1);
             self.shipped.retire_below(log_len + 1);
         }
+        if self.durability && self.ckpt.stable_seq() > self.durable_stable_seq {
+            if let Some((cert, log_len, snapshot)) = self.ckpt.serve() {
+                self.durable_stable_seq = cert.seq;
+                let cert = cert.clone();
+                self.durable.push(DurableEvent::Stable { cert, log_len, snapshot });
+            }
+        }
     }
 
     /// Ingests the peer's checkpoint voucher (MAC-verified by the store).
@@ -350,8 +380,10 @@ impl PassiveReplica {
             if entry.seq <= log_base {
                 continue;
             }
+            // Passive's slot and log domains coincide: each committed log
+            // entry ships as a single-request batch keyed by its log seq.
             match self.replay_ring.get(entry.seq) {
-                Some(req) => suffix.push((req.clone(), entry.digest)),
+                Some(req) => suffix.push((entry.seq, Arc::new(Batch::single(req.clone())))),
                 None => return, // suffix gap (mid-install)
             }
         }
@@ -360,7 +392,6 @@ impl PassiveReplica {
             snapshot,
             log_base,
             suffix: Arc::new(suffix),
-            exec_upto: self.log.committed(),
             view: self.epoch,
             from: self.id,
         };
@@ -383,27 +414,48 @@ impl PassiveReplica {
             self.ckpt.note_rejected();
             return; // corrupted snapshot: digest does not match the cert
         }
-        let Some(machine) = KvStore::install_snapshot(&st.snapshot) else {
+        if KvStore::install_snapshot(&st.snapshot).is_none() {
             self.ckpt.note_rejected();
             return;
-        };
-        self.ckpt.adopt_cert(&st.cert);
+        }
+        // With n = 2 there is no second responder to cross-check, so the
+        // install quorum is 1 — the shared buffer still enforces batch
+        // integrity and density on the suffix (the documented passive
+        // residual: a lying primary can feed a recovering backup).
+        self.cst.admit(st, self.log.committed());
+        let Some(plan) = self.cst.install_plan(1) else { return };
+        self.cst.clear();
+        let Some(machine) = KvStore::install_snapshot(&plan.snapshot) else { return };
+        self.ckpt.adopt_cert(&plan.cert);
         self.machine = machine;
-        self.log.reset_to(st.log_base);
-        self.replay_ring = SeqWindow::with_base(st.log_base + 1);
-        for (req, digest) in st.suffix.iter() {
-            let log_seq = self.log.committed() + 1;
-            let result = Arc::new(self.machine.apply(&req.payload));
-            self.log.push(LogEntry { seq: log_seq, op: req.op, digest: *digest });
-            self.replay_ring.insert(log_seq, req.clone());
-            self.executed.insert(req.op, result);
+        self.log.reset_to(plan.log_base);
+        self.replay_ring = SeqWindow::with_base(plan.log_base + 1);
+        if self.durability && plan.cert.seq > self.durable_stable_seq {
+            self.durable_stable_seq = plan.cert.seq;
+            self.durable.push(DurableEvent::Stable {
+                cert: plan.cert.clone(),
+                log_len: plan.log_base,
+                snapshot: plan.snapshot.clone(),
+            });
+        }
+        for (slot, batch) in &plan.suffix {
+            for req in batch.requests() {
+                let log_seq = self.log.committed() + 1;
+                let result = Arc::new(self.machine.apply(&req.payload));
+                self.log.push(LogEntry { seq: log_seq, op: req.op, digest: req.digest() });
+                self.replay_ring.insert(log_seq, req.clone());
+                self.executed.insert(req.op, result);
+            }
+            if self.durability {
+                self.durable.push(DurableEvent::Commit { seq: *slot, batch: batch.clone() });
+            }
         }
         self.held_updates = SeqWindow::with_base(self.log.committed() + 1);
         self.next_seq = self.next_seq.max(self.log.committed() + 1);
-        if st.view > self.epoch {
+        if plan.view > self.epoch {
             // The peer's epoch moved on while we were down; adopt it so
             // role accounting (primary = epoch % 2) stays coherent.
-            self.epoch = st.view;
+            self.epoch = plan.view;
         }
         self.last_heartbeat = now;
         self.ckpt.note_transfer();
@@ -449,6 +501,12 @@ impl PassiveReplica {
             self.log.push(LogEntry { seq: next, op: req.op, digest: req.digest() });
             if self.ckpt.enabled() {
                 self.replay_ring.insert(next, req.clone());
+            }
+            if self.durability {
+                self.durable.push(DurableEvent::Commit {
+                    seq: next,
+                    batch: Arc::new(Batch::single(req.clone())),
+                });
             }
             self.executed.insert(req.op, result);
             self.next_seq = self.next_seq.max(next + 1);
@@ -530,6 +588,8 @@ impl ReplicaNode for PassiveReplica {
         self.shipped = SeqWindow::with_base(1);
         self.sync_req_at = 0;
         self.replay_ring = SeqWindow::with_base(1);
+        self.cst.clear();
+        self.durable.clear();
         let (size, flush) = (self.batcher.batch_size(), self.batcher.flush_cycles());
         self.batcher = Batcher::new();
         self.batcher.configure(size, flush);
@@ -561,6 +621,57 @@ impl ReplicaNode for PassiveReplica {
 
     fn current_view(&self) -> u64 {
         self.epoch
+    }
+
+    fn enable_durability(&mut self) {
+        self.durability = true;
+    }
+
+    fn drain_durable(&mut self, out: &mut Vec<DurableEvent>) {
+        out.append(&mut self.durable);
+    }
+
+    /// Rebuilds volatile state from the persisted record before the first
+    /// input. Everything read back from disk is ingress: the certificate
+    /// and snapshot digest are re-verified, the commit run must be dense
+    /// and integrity-checked, and the first gap or garbage record stops
+    /// the replay (state transfer closes the rest). (Already inside the
+    /// crate-wide ingress lint region that opens above `handle_request`.)
+    fn recover(&mut self, state: RecoveredState) -> RecoveryReport {
+        let mut report = RecoveryReport::default();
+        if let Some((cert, log_len, snapshot)) = state.snapshot {
+            if self.ckpt.verify_cert(&cert) && snapshot_matches(&cert, &snapshot) {
+                if let Some(machine) = KvStore::install_snapshot(&snapshot) {
+                    self.ckpt.adopt_cert(&cert);
+                    self.machine = machine;
+                    self.log.reset_to(log_len);
+                    self.replay_ring = SeqWindow::with_base(log_len + 1);
+                    report.installed_seq = cert.seq;
+                }
+            }
+        }
+        for (seq, batch) in &state.commits {
+            if *seq <= self.log.committed() {
+                continue; // covered by the snapshot
+            }
+            if *seq != self.log.committed() + 1 || batch.is_empty() || !batch.verify() {
+                break; // gap or garbage: the rest comes via state transfer
+            }
+            for req in batch.requests() {
+                let log_seq = self.log.committed() + 1;
+                let result = Arc::new(self.machine.apply(&req.payload));
+                self.log.push(LogEntry { seq: log_seq, op: req.op, digest: req.digest() });
+                if self.ckpt.enabled() {
+                    self.replay_ring.insert(log_seq, req.clone());
+                }
+                self.executed.insert(req.op, result);
+            }
+            report.replayed += 1;
+        }
+        self.held_updates = SeqWindow::with_base(self.log.committed() + 1);
+        self.next_seq = self.next_seq.max(self.log.committed() + 1);
+        report.committed = self.log.committed();
+        report
     }
 }
 

@@ -38,10 +38,11 @@ use crate::api::{
     ReplicaId, ReplicaNode, Reply, Request, VcRound,
 };
 use crate::checkpoint::{
-    snapshot_matches, CheckpointCert, CheckpointStats, CheckpointStore, CheckpointVoucher,
-    CkptKeys, CommittedLog, StateTransfer,
+    snapshot_matches, tamper_suffix, CheckpointCert, CheckpointStats, CheckpointStore,
+    CheckpointVoucher, CkptKeys, CommittedLog, CstBuffer, CstInstall, StateTransfer,
 };
 use crate::dense::{op_token, token_op, OpIndex, ReplicaSet, SeqWindow};
+use crate::durable::{DurableEvent, RecoveredState, RecoveryReport};
 use crate::runner::RunConfig;
 use crate::statemachine::{KvStore, StateMachine};
 use std::collections::{BTreeMap, BTreeSet};
@@ -185,11 +186,21 @@ pub struct PbftReplica {
     /// Checkpoint vouchers/certificates and the transfer backoff
     /// (inert when the interval is 0).
     ckpt: CheckpointStore,
-    /// Executed requests above the stable checkpoint, keyed by log seq —
-    /// the suffix served with state transfers. Only populated while
-    /// checkpointing is enabled; retired below the watermark when a
+    /// Executed batches above the stable checkpoint, keyed by agreement
+    /// slot — the suffix served with state transfers. Only populated
+    /// while checkpointing is enabled; retired below the watermark when a
     /// certificate forms.
-    replay_ring: SeqWindow<Arc<Request>>,
+    replay_ring: SeqWindow<Arc<Batch>>,
+    /// Buffered state-transfer responses awaiting an f+1 install quorum.
+    cst: CstBuffer,
+    /// True once the embedding plane persists [`DurableEvent`]s (never in
+    /// the simulator — see [`crate::durable`]).
+    durability: bool,
+    /// Events awaiting [`ReplicaNode::drain_durable`].
+    durable: Vec<DurableEvent>,
+    /// Highest stable watermark already emitted as a
+    /// [`DurableEvent::Stable`] (dedup across truncation call sites).
+    durable_stable_seq: u64,
     vc_votes: Vec<VcRound>,
     vc_sent_for: u64,
     /// When `vc_sent_for` was last raised — the escalation rate limiter.
@@ -225,6 +236,10 @@ impl PbftReplica {
             machine: KvStore::new(),
             ckpt: CheckpointStore::new(id, (f + 1) as usize, 0, CkptKeys::provision(0, 1)),
             replay_ring: SeqWindow::with_base(1),
+            cst: CstBuffer::new(),
+            durability: false,
+            durable: Vec::new(),
+            durable_stable_seq: 0,
             vc_votes: Vec::new(),
             vc_sent_for: 0,
             vc_demanded_at: 0,
@@ -542,15 +557,18 @@ impl PbftReplica {
                 let log_seq = self.log.committed() + 1;
                 let result = Arc::new(self.machine.apply(&req.payload));
                 self.log.push(LogEntry { seq: log_seq, op: req.op, digest });
-                if self.ckpt.enabled() {
-                    self.replay_ring.insert(log_seq, req.clone());
-                }
                 self.executed.insert(req.op, result.clone());
                 self.pending.remove(&req.op);
                 out.send(
                     Endpoint::Client(req.op.client),
                     PbftMsg::Reply(Reply { replica: self.id, op: req.op, result }),
                 );
+            }
+            if self.ckpt.enabled() {
+                self.replay_ring.insert(next, batch.clone());
+            }
+            if self.durability {
+                self.durable.push(DurableEvent::Commit { seq: next, batch });
             }
             self.maybe_checkpoint(next, out);
         }
@@ -598,11 +616,20 @@ impl PbftReplica {
 
     /// Truncates the log and replay ring below the stable checkpoint
     /// (no-op while this replica has no locally recorded watermark — a
-    /// laggard keeps its suffix until state transfer resets it).
+    /// laggard keeps its suffix until state transfer resets it). With
+    /// durability on, a newly stable certificate we hold the snapshot for
+    /// is also emitted once as a [`DurableEvent::Stable`].
     fn apply_truncation(&mut self) {
         if let Some(log_len) = self.ckpt.stable_log_len() {
             self.log.truncate_below(log_len);
-            self.replay_ring.retire_below(log_len + 1);
+            self.replay_ring.retire_below(self.ckpt.stable_seq() + 1);
+        }
+        if self.durability && self.ckpt.stable_seq() > self.durable_stable_seq {
+            if let Some((cert, log_len, snapshot)) = self.ckpt.serve() {
+                self.durable_stable_seq = cert.seq;
+                let cert = cert.clone();
+                self.durable.push(DurableEvent::Stable { cert, log_len, snapshot });
+            }
         }
     }
 
@@ -638,13 +665,11 @@ impl PbftReplica {
         if cert.seq <= have {
             return; // requester is not behind our certificate
         }
+        let cert = cert.clone();
         let mut suffix = Vec::new();
-        for entry in self.log.entries() {
-            if entry.seq <= log_base {
-                continue;
-            }
-            match self.replay_ring.get(entry.seq) {
-                Some(req) => suffix.push((req.clone(), entry.digest)),
+        for slot in cert.seq + 1..=self.exec_upto {
+            match self.replay_ring.get(slot) {
+                Some(batch) => suffix.push((slot, batch.clone())),
                 None => return, // suffix gap (mid-install): let another peer serve
             }
         }
@@ -660,21 +685,31 @@ impl PbftReplica {
             }
             snapshot = Arc::new(bytes);
         }
+        if self.script.corrupts_suffix_at(self.now) {
+            // Byzantine responder: serve a suffix the cluster never
+            // committed. The requester's f+1 slot-by-slot vote must
+            // out-vote it (the snapshot and certificate stay honest, so
+            // this lie survives every digest cross-check a single
+            // responder could be subjected to).
+            tamper_suffix(&mut suffix, cert.seq);
+        }
         let transfer = StateTransfer {
-            cert: cert.clone(),
+            cert,
             snapshot,
             log_base,
             suffix: Arc::new(suffix),
-            exec_upto: self.exec_upto,
             view: self.view,
             from: self.id,
         };
         out.send(Endpoint::Replica(from), PbftMsg::StateResponse(Box::new(transfer)));
     }
 
-    /// Installs a transferred state if it checks out: certificate verifies,
-    /// snapshot digest matches the certificate, snapshot parses. Everything
-    /// in the response is adversarial input until those checks pass.
+    /// Validates a transfer response (certificate verifies, snapshot
+    /// digest matches the certificate, snapshot parses — everything in
+    /// the response is adversarial input until those checks pass) and
+    /// buffers it; installs once f+1 distinct responders agree on the
+    /// watermark, with the log suffix voted slot by slot (see
+    /// [`CstBuffer`]).
     fn handle_state_response(&mut self, st: StateTransfer, out: &mut Outbox<PbftMsg>) {
         if !self.ckpt.enabled() || st.cert.seq <= self.exec_upto {
             return; // not ahead of us: nothing to install
@@ -687,34 +722,47 @@ impl PbftReplica {
             self.ckpt.note_rejected();
             return; // corrupted snapshot: digest does not match the cert
         }
-        let Some(machine) = KvStore::install_snapshot(&st.snapshot) else {
+        if KvStore::install_snapshot(&st.snapshot).is_none() {
             self.ckpt.note_rejected();
             return; // digest collision is out of scope; malformed framing is not
-        };
-        self.ckpt.adopt_cert(&st.cert);
-        self.machine = machine;
-        self.log.reset_to(st.log_base);
-        self.replay_ring = SeqWindow::with_base(st.log_base + 1);
-        // Replay the committed suffix above the snapshot (trusted as
-        // honest — see the module-level trust boundary).
-        for (req, digest) in st.suffix.iter() {
-            let log_seq = self.log.committed() + 1;
-            let result = Arc::new(self.machine.apply(&req.payload));
-            self.log.push(LogEntry { seq: log_seq, op: req.op, digest: *digest });
-            self.replay_ring.insert(log_seq, req.clone());
-            self.executed.insert(req.op, result);
-            self.pending.remove(&req.op);
         }
-        self.exec_upto = self.exec_upto.max(st.exec_upto).max(st.cert.seq);
+        self.cst.admit(st, self.exec_upto);
+        let Some(plan) = self.cst.install_plan((self.f + 1) as usize) else { return };
+        self.cst.clear();
+        self.install_transfer(plan, out);
+    }
+
+    /// Installs a quorum-voted transfer: snapshot, certificate, voted log
+    /// suffix; then rejoins the cluster's view and resumes execution.
+    fn install_transfer(&mut self, plan: CstInstall, out: &mut Outbox<PbftMsg>) {
+        let Some(machine) = KvStore::install_snapshot(&plan.snapshot) else { return };
+        self.ckpt.adopt_cert(&plan.cert);
+        self.machine = machine;
+        self.log.reset_to(plan.log_base);
+        self.replay_ring = SeqWindow::with_base(plan.cert.seq + 1);
+        self.exec_upto = plan.cert.seq;
+        if self.durability && plan.cert.seq > self.durable_stable_seq {
+            self.durable_stable_seq = plan.cert.seq;
+            self.durable.push(DurableEvent::Stable {
+                cert: plan.cert.clone(),
+                log_len: plan.log_base,
+                snapshot: Arc::clone(&plan.snapshot),
+            });
+        }
+        // Replay the voted suffix: every slot here matched at f+1
+        // responders, at least one of them honest.
+        for (slot, batch) in &plan.suffix {
+            self.replay_commit(*slot, batch);
+        }
         self.slots.retire_below(self.exec_upto + 1);
         self.stored_preprepares.retire_below(self.exec_upto + 1);
         self.next_seq = self.next_seq.max(self.exec_upto + 1);
-        if st.view > self.view {
+        if plan.view > self.view {
             // The cluster moved on while we were down; join its view so the
             // current primary's proposals are accepted.
-            self.view = st.view;
-            self.vc_sent_for = self.vc_sent_for.max(st.view);
-            self.vc_votes.retain(|r| r.view > st.view);
+            self.view = plan.view;
+            self.vc_sent_for = self.vc_sent_for.max(plan.view);
+            self.vc_votes.retain(|r| r.view > plan.view);
         }
         self.ckpt.note_transfer();
         // Re-arm patience for requests still pending after the replay, and
@@ -725,6 +773,28 @@ impl PbftReplica {
             out.arm(self.patience, TIMER_REQUEST, token);
         }
         self.try_execute(out);
+    }
+
+    /// Applies one committed batch without emitting client replies —
+    /// shared by CST suffix install and WAL recovery replay (replies for
+    /// these operations either went out before the crash or will be
+    /// re-requested by their clients).
+    fn replay_commit(&mut self, seq: u64, batch: &Arc<Batch>) {
+        let digest = batch.digest();
+        self.exec_upto = seq;
+        for req in batch.requests() {
+            let log_seq = self.log.committed() + 1;
+            let result = Arc::new(self.machine.apply(&req.payload));
+            self.log.push(LogEntry { seq: log_seq, op: req.op, digest });
+            self.executed.insert(req.op, result);
+            self.pending.remove(&req.op);
+        }
+        if self.ckpt.enabled() {
+            self.replay_ring.insert(seq, batch.clone());
+        }
+        if self.durability {
+            self.durable.push(DurableEvent::Commit { seq, batch: batch.clone() });
+        }
     }
 
     fn prepared_uncommitted(&self) -> Vec<(u64, Arc<Batch>)> {
@@ -1044,6 +1114,8 @@ impl ReplicaNode for PbftReplica {
         self.exec_upto = 0;
         self.machine = KvStore::new();
         self.replay_ring = SeqWindow::with_base(1);
+        self.cst.clear();
+        self.durable.clear();
         self.vc_votes.clear();
         self.vc_sent_for = 0;
         self.vc_demanded_at = 0;
@@ -1080,6 +1152,49 @@ impl ReplicaNode for PbftReplica {
 
     fn current_view(&self) -> u64 {
         self.view
+    }
+
+    fn enable_durability(&mut self) {
+        self.durability = true;
+    }
+
+    fn drain_durable(&mut self, out: &mut Vec<DurableEvent>) {
+        out.append(&mut self.durable);
+    }
+
+    fn recover(&mut self, state: RecoveredState) -> RecoveryReport {
+        let mut report = RecoveryReport::default();
+        if let Some((cert, log_len, snapshot)) = state.snapshot {
+            // Disk contents are ingress: the certificate and snapshot are
+            // re-verified exactly as a transfer response would be.
+            if self.ckpt.verify_cert(&cert) && snapshot_matches(&cert, &snapshot) {
+                if let Some(machine) = KvStore::install_snapshot(&snapshot) {
+                    self.ckpt.adopt_cert(&cert);
+                    self.machine = machine;
+                    self.log.reset_to(log_len);
+                    self.replay_ring = SeqWindow::with_base(cert.seq + 1);
+                    self.exec_upto = cert.seq;
+                    self.slots.retire_below(cert.seq + 1);
+                    self.stored_preprepares.retire_below(cert.seq + 1);
+                    report.installed_seq = cert.seq;
+                }
+            }
+        }
+        // Replay the contiguous commit run above the snapshot; the first
+        // gap or garbage batch abandons the rest to state transfer.
+        for (seq, batch) in &state.commits {
+            if *seq <= self.exec_upto {
+                continue;
+            }
+            if *seq != self.exec_upto + 1 || batch.is_empty() || !batch.verify() {
+                break;
+            }
+            self.replay_commit(*seq, batch);
+            report.replayed += 1;
+        }
+        self.next_seq = self.next_seq.max(self.exec_upto + 1);
+        report.committed = self.log.committed();
+        report
     }
 }
 

@@ -177,6 +177,24 @@ impl Usig {
         key.verify(&payload[..len], &ui.tag)
     }
 
+    /// Resumes the counter at or above `counter` after a process restart.
+    ///
+    /// The USIG models a *hardware-monotonic* counter that outlives the
+    /// software stack; a restarted replica hands back the highest counter
+    /// value it persisted before the crash so the trusted component never
+    /// certifies two statements under one value (the exact equivocation
+    /// the hybrid exists to prevent). Resuming never moves the counter
+    /// backwards, and a corrupted register stays fail-stopped.
+    pub fn resume(&mut self, counter: u64) {
+        let current = match self.counter.load() {
+            LoadOutcome::Value(v) => v,
+            LoadOutcome::Detected => return, // fail-stopped: stay that way
+        };
+        if counter > current {
+            self.counter.store(counter);
+        }
+    }
+
     /// Flips a bit of the counter register (SEU injection for E2).
     pub fn inject_counter_flip(&mut self, bit: u32) {
         self.counter.inject_flip(bit);
@@ -354,6 +372,17 @@ mod tests {
         assert!(u.verify_ui(UsigId(0), &ui, b"m"));
         assert!(!u.verify_ui(UsigId(0), &ui, b"x"));
         assert_eq!(u.verified(), 2, "both MAC checks hit the counter");
+    }
+
+    #[test]
+    fn resume_never_regresses_the_counter() {
+        let mut u = usig_with(Box::new(PlainRegister::new(64)));
+        u.create_ui(b"a").unwrap(); // counter = 1
+        u.create_ui(b"b").unwrap(); // counter = 2
+        u.resume(7); // restart persisted watermark 7
+        assert_eq!(u.create_ui(b"c").unwrap().counter, 8);
+        u.resume(3); // stale watermark: must not move backwards
+        assert_eq!(u.create_ui(b"d").unwrap().counter, 9);
     }
 
     #[test]

@@ -92,6 +92,9 @@ mod tests {
         // The TCP plane is harness: it owns wall-clock time and sockets,
         // which the deterministic-replay contract forbids in core.
         assert_eq!(classify(Path::new("crates/transport/src/node.rs")), Tier::Harness);
+        // The durable store is harness too: it owns the filesystem, but
+        // its parsers still carry `// lint: ingress` contracts.
+        assert_eq!(classify(Path::new("crates/store/src/lib.rs")), Tier::Harness);
         assert_eq!(classify(Path::new("crates/lint/src/main.rs")), Tier::Harness);
         assert_eq!(classify(Path::new("src/lib.rs")), Tier::Harness);
         assert_eq!(classify(Path::new("tests/properties.rs")), Tier::Harness);

@@ -8,9 +8,10 @@
 //!     --expect-digest <hex from a simulator run of the same log>
 //! ```
 //!
-//! On success prints `CLIENT_DONE committed=<n> digest=<hex>
-//! retransmits=<n>`; any quorum failure, divergence, or digest mismatch
-//! exits nonzero.
+//! On success prints a `LATENCY p50_us=<n> p99_us=<n> p999_us=<n>` line
+//! (wall-clock request latency percentiles) followed by `CLIENT_DONE
+//! committed=<n> digest=<hex> retransmits=<n>`; any quorum failure,
+//! divergence, or digest mismatch exits nonzero.
 
 use rsoc_transport::run::{digest_hex, parse_digest_hex, Protocol};
 use rsoc_transport::ClientConfig;
@@ -103,6 +104,10 @@ fn run() -> Result<(), String> {
             ));
         }
     }
+    println!(
+        "LATENCY p50_us={} p99_us={} p999_us={}",
+        report.latency.p50_us, report.latency.p99_us, report.latency.p999_us
+    );
     println!(
         "CLIENT_DONE committed={} digest={} retransmits={}",
         report.committed,

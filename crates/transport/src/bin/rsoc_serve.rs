@@ -8,17 +8,25 @@
 //! 2. the launcher collects every replica's address and writes one
 //!    `PEERS <addr0> <addr1> ...` line to each process's stdin;
 //! 3. the serve loop runs until a client sends `Shutdown`, then the
-//!    process prints `DONE replica=<id> committed=<n> digest=<hex>`.
+//!    process prints `DONE replica=<id> committed=<n> digest=<hex>`
+//!    (preceded by a `RECOVERED installed=<seq> replayed=<n>
+//!    committed=<n>` line when `--data-dir` replayed prior state).
 //!
 //! ```text
 //! rsoc-serve --protocol pbft --id 0 --f 1 --seed 42
 //! ```
+//!
+//! `--data-dir DIR` makes the replica durable (WAL + snapshots via
+//! `rsoc_store`, persisted before acks). `--listen ADDR` binds a fixed
+//! address with `SO_REUSEADDR` instead of an ephemeral port — a
+//! restarted replica reclaims the address its peers already hold.
 
 use rsoc_bft::runner::RunConfig;
 use rsoc_transport::run::{digest_hex, Protocol};
-use rsoc_transport::WallClock;
+use rsoc_transport::{bind_reuseaddr, WallClock};
 use std::io::{BufRead, Write};
 use std::net::TcpListener;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -38,6 +46,8 @@ fn run() -> Result<(), String> {
     let mut seed = 42u64;
     let mut cycle_ns = WallClock::DEFAULT_CYCLE_NS;
     let mut checkpoint_interval = 0u64;
+    let mut data_dir: Option<PathBuf> = None;
+    let mut listen: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -58,6 +68,8 @@ fn run() -> Result<(), String> {
                 checkpoint_interval =
                     parse(value("--checkpoint-interval")?, "--checkpoint-interval")?;
             }
+            "--data-dir" => data_dir = Some(PathBuf::from(value("--data-dir")?)),
+            "--listen" => listen = Some(value("--listen")?.to_string()),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -67,8 +79,13 @@ fn run() -> Result<(), String> {
         return Err(format!("--id {id} out of range for n={n}"));
     }
 
-    let listener =
-        TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind 127.0.0.1:0: {e}"))?;
+    // A restarted replica rebinds its advertised address (through
+    // TIME_WAIT, hence SO_REUSEADDR); a fresh one takes an ephemeral
+    // port for collision-free parallel runs.
+    let listener = match &listen {
+        Some(addr) => bind_reuseaddr(addr).map_err(|e| format!("bind {addr}: {e}"))?,
+        None => TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind 127.0.0.1:0: {e}"))?,
+    };
     let addr = listener.local_addr().map_err(|e| format!("local_addr: {e}"))?;
     println!("LISTENING {addr}");
     std::io::stdout().flush().ok();
@@ -78,8 +95,15 @@ fn run() -> Result<(), String> {
     let config =
         RunConfig::builder().f(f).seed(seed).checkpoint_interval(checkpoint_interval).build();
     let clock = WallClock::new(cycle_ns);
-    let report =
-        protocol.serve(id, &config, listener, peers, clock).map_err(|e| format!("serve: {e}"))?;
+    let (report, recovery) = protocol
+        .serve(id, &config, listener, peers, clock, data_dir.as_deref())
+        .map_err(|e| format!("serve: {e}"))?;
+    if let Some(r) = recovery {
+        println!(
+            "RECOVERED installed={} replayed={} committed={}",
+            r.installed_seq, r.replayed, r.committed
+        );
+    }
     println!(
         "DONE replica={} committed={} digest={}",
         report.replica,

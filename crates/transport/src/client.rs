@@ -61,6 +61,32 @@ pub struct ClientReport {
     pub digest: [u8; 32],
     /// Total retransmissions across the run (observability).
     pub retransmits: u64,
+    /// Wall-clock per-operation latency percentiles.
+    pub latency: LatencySummary,
+}
+
+/// Wall-clock latency percentiles over every completed operation
+/// (broadcast to reply quorum, retransmissions included).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencySummary {
+    /// Median, in microseconds.
+    pub p50_us: u64,
+    /// 99th percentile, in microseconds.
+    pub p99_us: u64,
+    /// 99.9th percentile, in microseconds.
+    pub p999_us: u64,
+}
+
+impl LatencySummary {
+    /// Nearest-rank percentiles of `samples` (empty → all zeros).
+    fn from_samples(mut samples: Vec<u64>) -> Self {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        samples.sort_unstable();
+        let rank = |per_mille: usize| samples[(samples.len() - 1) * per_mille / 1000];
+        LatencySummary { p50_us: rank(500), p99_us: rank(990), p999_us: rank(999) }
+    }
 }
 
 /// Runs the full closed-loop workload against a live cluster.
@@ -76,36 +102,100 @@ where
     let n = config.addrs.len();
     let mut conns = Vec::with_capacity(n);
     let (tx, rx) = channel::<Envelope<N::Msg>>();
-    let hello =
-        encode_envelope::<N::Msg>(&Envelope::HelloClient { ids: (0..config.clients).collect() });
+    let hello = Arc::new(encode_envelope::<N::Msg>(&Envelope::HelloClient {
+        ids: (0..config.clients).collect(),
+    }));
     for addr in &config.addrs {
-        let mut stream = dial(addr)?;
-        write_frame(&mut stream, &hello)?;
-        let reader = stream.try_clone()?;
-        let tx = tx.clone();
-        thread::spawn(move || reader_loop::<N>(reader, &tx));
-        conns.push(stream);
+        let stream = dial(addr)?;
+        let mut conn = ReplicaConn::<N> {
+            addr: addr.clone(),
+            hello: hello.clone(),
+            tx: tx.clone(),
+            stream: None,
+        };
+        conn.adopt(stream)?;
+        conns.push(conn);
     }
 
     // Closed-loop issue: one op at a time, round-robin over clients —
     // requests stay maximally spread across batching windows, and the
     // tally below never has to demux concurrent ops.
     let mut retransmits = 0u64;
+    let mut latencies = Vec::with_capacity((config.requests_per_client * 4) as usize);
     for seq in 1..=config.requests_per_client {
         for client in 0..config.clients {
             let payload = client_payload(config.seed, client, seq, config.payload_size);
             let op = OpId { client: ClientId(client), seq };
             let request = Arc::new(Request { op, payload });
+            let start = Instant::now();
             retransmits += run_one_op::<N>(config, &mut conns, &rx, &request)?;
+            latencies.push(start.elapsed().as_micros().min(u64::MAX as u128) as u64);
         }
     }
 
     let (committed, digest) = settle::<N>(config, &mut conns, &rx)?;
     let shutdown = encode_envelope::<N::Msg>(&Envelope::Shutdown);
     for conn in &mut conns {
-        let _ = write_frame(conn, &shutdown);
+        conn.send(&shutdown);
     }
-    Ok(ClientReport { committed, digest, retransmits })
+    Ok(ClientReport {
+        committed,
+        digest,
+        retransmits,
+        latency: LatencySummary::from_samples(latencies),
+    })
+}
+
+/// One replica connection that survives the replica dying and coming
+/// back: a failed write drops the stream, and the next send redials,
+/// replays the hello, and spawns a fresh reader thread. While the
+/// replica is down, sends shed — every caller path retransmits or
+/// re-polls, so a dead replica costs retries, not the run.
+struct ReplicaConn<N: ReplicaNode> {
+    addr: String,
+    hello: Arc<Vec<u8>>,
+    tx: Sender<Envelope<N::Msg>>,
+    stream: Option<TcpStream>,
+}
+
+impl<N> ReplicaConn<N>
+where
+    N: ReplicaNode,
+    N::Msg: Wire + Send + 'static,
+{
+    /// Takes ownership of a freshly-dialed stream: sends the hello and
+    /// attaches a reader thread feeding the shared channel.
+    fn adopt(&mut self, mut stream: TcpStream) -> io::Result<()> {
+        write_frame(&mut stream, &self.hello)?;
+        let reader = stream.try_clone()?;
+        let tx = self.tx.clone();
+        thread::spawn(move || reader_loop::<N>(reader, &tx));
+        self.stream = Some(stream);
+        Ok(())
+    }
+
+    /// Sends one frame, reconnecting once on failure (a single
+    /// non-blocking dial attempt — a dead replica fails fast with
+    /// connection-refused and the send is shed).
+    fn send(&mut self, body: &[u8]) {
+        for _ in 0..2 {
+            if self.stream.is_none() {
+                let Ok(stream) = TcpStream::connect(&self.addr) else { return };
+                stream.set_nodelay(true).ok();
+                if self.adopt(stream).is_err() {
+                    self.stream = None;
+                    return;
+                }
+            }
+            // `adopt` just set the stream; a failed write clears it so
+            // the retry (or the next send) redials.
+            let Some(stream) = self.stream.as_mut() else { return };
+            if write_frame(stream, body).is_ok() {
+                return;
+            }
+            self.stream = None;
+        }
+    }
 }
 
 /// Dials with retry: replicas may still be binding when the client
@@ -132,17 +222,17 @@ fn dial(addr: &str) -> io::Result<TcpStream> {
 /// result, retransmitting on timeout. Returns the retransmission count.
 fn run_one_op<N>(
     config: &ClientConfig,
-    conns: &mut [TcpStream],
+    conns: &mut [ReplicaConn<N>],
     rx: &Receiver<Envelope<N::Msg>>,
     request: &Arc<Request>,
 ) -> io::Result<u64>
 where
     N: ReplicaNode,
-    N::Msg: Wire,
+    N::Msg: Wire + Send + 'static,
 {
     let op = request.op;
     let mut retries = 0u64;
-    broadcast::<N>(conns, request)?;
+    broadcast::<N>(conns, request);
     let mut deadline = Instant::now() + config.op_timeout;
     // One tally bucket per distinct result; replicas are deduped by id
     // bit so a resent reply never double-counts.
@@ -157,7 +247,7 @@ where
                 ));
             }
             retries += 1;
-            broadcast::<N>(conns, request)?;
+            broadcast::<N>(conns, request);
             deadline = now + config.op_timeout;
             continue;
         }
@@ -191,32 +281,32 @@ where
     }
 }
 
-/// Sends the request to every replica.
-fn broadcast<N>(conns: &mut [TcpStream], request: &Arc<Request>) -> io::Result<()>
+/// Sends the request to every replica (dead ones shed — quorum covers
+/// the rest, and the retransmit loop reaches a restarted replica).
+fn broadcast<N>(conns: &mut [ReplicaConn<N>], request: &Arc<Request>)
 where
     N: ReplicaNode,
-    N::Msg: Wire,
+    N::Msg: Wire + Send + 'static,
 {
     let body = encode_envelope(&Envelope::Msg {
         from: Endpoint::Client(request.op.client),
         msg: N::make_request(request.clone()),
     });
     for conn in conns.iter_mut() {
-        write_frame(conn, &body)?;
+        conn.send(&body);
     }
-    Ok(())
 }
 
 /// Polls digests until every replica reports the full committed count
 /// and all digests agree.
 fn settle<N>(
     config: &ClientConfig,
-    conns: &mut [TcpStream],
+    conns: &mut [ReplicaConn<N>],
     rx: &Receiver<Envelope<N::Msg>>,
 ) -> io::Result<(u64, [u8; 32])>
 where
     N: ReplicaNode,
-    N::Msg: Wire,
+    N::Msg: Wire + Send + 'static,
 {
     let n = conns.len();
     let expected = u64::from(config.clients) * config.requests_per_client;
@@ -225,7 +315,7 @@ where
     let mut latest: Vec<Option<(u64, [u8; 32])>> = vec![None; n];
     loop {
         for conn in conns.iter_mut() {
-            write_frame(conn, &query)?;
+            conn.send(&query);
         }
         let round_end = Instant::now() + SETTLE_POLL;
         loop {

@@ -15,8 +15,11 @@
 //! * [`clock`] — [`clock::WallClock`], mapping wall time onto
 //!   the protocols' virtual-cycle timeline;
 //! * [`pool`] — outbound connections with reconnect and backoff;
+//! * [`listen`] — `SO_REUSEADDR` binding so a restarted replica
+//!   reclaims its advertised address through `TIME_WAIT`;
 //! * [`node`] — the threaded serve loop and [`node::TcpPlane`], the
-//!   `Transport` implementation;
+//!   `Transport` implementation — durable when given an `rsoc_store`
+//!   data directory (persist before dispatch);
 //! * [`client`] — the external cluster client issuing the simulator's
 //!   exact request log and checking digest convergence;
 //! * [`run`] — protocol selection shared by the `rsoc-serve` /
@@ -31,14 +34,16 @@
 pub mod client;
 pub mod clock;
 pub mod frame;
+pub mod listen;
 pub mod node;
 pub mod pool;
 pub mod run;
 pub mod wire;
 
-pub use client::{run_cluster_client, ClientConfig, ClientReport};
+pub use client::{run_cluster_client, ClientConfig, ClientReport, LatencySummary};
 pub use clock::WallClock;
 pub use frame::{read_frame, write_frame, MAX_FRAME};
+pub use listen::bind_reuseaddr;
 pub use node::{serve, ServeReport, TcpPlane};
 pub use pool::PeerPool;
 pub use run::Protocol;

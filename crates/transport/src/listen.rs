@@ -1,0 +1,144 @@
+//! Listener binding for restartable replicas.
+//!
+//! A replica that is SIGKILLed and restarted must come back on the
+//! address its peers and clients already hold — the rendezvous happened
+//! once, at cluster launch. The kernel, however, leaves the old
+//! listener's connections in `TIME_WAIT`, and a plain
+//! [`TcpListener::bind`] on the same address can fail with
+//! `EADDRINUSE` for up to a minute. `SO_REUSEADDR` is the standard
+//! server-side answer (safe here: only the restarted process itself
+//! rebinds its own advertised address), but `std` exposes no socket
+//! options before binding — so this module makes the four raw libc
+//! calls itself on Unix. Non-Unix targets fall back to a plain bind.
+
+use std::io;
+use std::net::TcpListener;
+
+/// Binds a TCP listener on `addr` (IPv4 `host:port`) with
+/// `SO_REUSEADDR`, so a restarted replica can reclaim its advertised
+/// address while the previous incarnation's connections drain.
+#[cfg(unix)]
+pub fn bind_reuseaddr(addr: &str) -> io::Result<TcpListener> {
+    use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, ToSocketAddrs};
+    use std::os::fd::FromRawFd;
+
+    let resolved: SocketAddrV4 = addr
+        .to_socket_addrs()?
+        .find_map(|a| match a {
+            SocketAddr::V4(v4) => Some(v4),
+            SocketAddr::V6(_) => None,
+        })
+        .ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, format!("{addr}: no IPv4 address"))
+        })?;
+
+    // Linux/POSIX constants for the exact calls below (IPv4 + TCP only).
+    const AF_INET: i32 = 2;
+    const SOCK_STREAM: i32 = 1;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+    const BACKLOG: i32 = 128;
+
+    /// `struct sockaddr_in` (network byte order for port and address).
+    #[repr(C)]
+    struct SockaddrIn {
+        sin_family: u16,
+        sin_port: u16,
+        sin_addr: u32,
+        sin_zero: [u8; 8],
+    }
+
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(
+            fd: i32,
+            level: i32,
+            name: i32,
+            value: *const core::ffi::c_void,
+            len: u32,
+        ) -> i32;
+        fn bind(fd: i32, addr: *const core::ffi::c_void, len: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    // SAFETY: plain libc syscall; a negative return is checked before the
+    // fd is used anywhere.
+    let fd = unsafe { socket(AF_INET, SOCK_STREAM, 0) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    // Everything after this point must close `fd` on failure.
+    let fail = |fd: i32| -> io::Error {
+        let err = io::Error::last_os_error();
+        // SAFETY: fd came from `socket` above and is closed exactly once.
+        unsafe { close(fd) };
+        err
+    };
+
+    let one: i32 = 1;
+    // SAFETY: `one` outlives the call; the length matches its type.
+    let rc = unsafe {
+        setsockopt(
+            fd,
+            SOL_SOCKET,
+            SO_REUSEADDR,
+            (&one as *const i32).cast(),
+            std::mem::size_of::<i32>() as u32,
+        )
+    };
+    if rc != 0 {
+        return Err(fail(fd));
+    }
+
+    let ip: Ipv4Addr = *resolved.ip();
+    let sa = SockaddrIn {
+        sin_family: AF_INET as u16,
+        sin_port: resolved.port().to_be(),
+        sin_addr: u32::from(ip).to_be(),
+        sin_zero: [0; 8],
+    };
+    // SAFETY: `sa` is a correctly-laid-out sockaddr_in outliving the
+    // call; the length is its exact size.
+    let rc = unsafe {
+        bind(fd, (&sa as *const SockaddrIn).cast(), std::mem::size_of::<SockaddrIn>() as u32)
+    };
+    if rc != 0 {
+        return Err(fail(fd));
+    }
+    // SAFETY: fd is a bound, unconnected stream socket.
+    if unsafe { listen(fd, BACKLOG) } != 0 {
+        return Err(fail(fd));
+    }
+    // SAFETY: fd is a valid listening socket and ownership transfers to
+    // the TcpListener exactly once — no further raw use of fd follows.
+    Ok(unsafe { TcpListener::from_raw_fd(fd) })
+}
+
+/// Fallback for non-Unix targets: a plain bind (no `SO_REUSEADDR`, so a
+/// fast restart may need to wait out `TIME_WAIT`).
+#[cfg(not(unix))]
+pub fn bind_reuseaddr(addr: &str) -> io::Result<TcpListener> {
+    TcpListener::bind(addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rebinds_an_address_immediately() {
+        // Bind ephemeral, accept one connection (so the socket has seen
+        // traffic), drop, and rebind the same port right away — the
+        // TIME_WAIT scenario a restarted replica hits.
+        let first = bind_reuseaddr("127.0.0.1:0").expect("first bind");
+        let addr = first.local_addr().expect("local addr").to_string();
+        let client = std::net::TcpStream::connect(&addr).expect("dial");
+        let (accepted, _) = first.accept().expect("accept");
+        drop(accepted);
+        drop(client);
+        drop(first);
+        let again = bind_reuseaddr(&addr).expect("rebind after drop");
+        assert_eq!(again.local_addr().expect("addr").to_string(), addr);
+    }
+}

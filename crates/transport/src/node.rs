@@ -9,8 +9,9 @@
 //!   mpsc channel — the node loop's single ingress;
 //! * the **node loop** (the caller's thread) owns the protocol node and
 //!   a [`TcpPlane`], popping due timers and delivering network events
-//!   through [`step_node`] — exactly the choreography the deterministic
-//!   simulator uses, with the plane swapped;
+//!   through `step_durable` — the simulator's clear/deliver/dispatch
+//!   choreography (see [`step_node`](rsoc_bft::plane::step_node)) with a
+//!   persistence step spliced between deliver and dispatch;
 //! * a [`PeerPool`] writer thread per peer owns outbound delivery with
 //!   reconnect and backoff; client-facing writers are spawned per
 //!   client connection.
@@ -25,7 +26,9 @@ use crate::pool::PeerPool;
 use crate::wire::{decode_envelope, encode_envelope, Envelope};
 use rsoc_bft::api::{Endpoint, Input, Outbox, ReplicaId, ReplicaNode};
 use rsoc_bft::codec::Wire;
-use rsoc_bft::plane::{step_node, Clock, Transport};
+use rsoc_bft::durable::DurableEvent;
+use rsoc_bft::plane::{Clock, Transport};
+use rsoc_store::DataDir;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::io;
@@ -135,6 +138,38 @@ pub struct ServeReport {
     pub digest: [u8; 32],
 }
 
+/// One serve-loop step under the durability choreography: deliver the
+/// input, persist every event the core marked durable, *then* dispatch
+/// the outbox — no execution ack leaves the replica before the commit it
+/// acknowledges is on disk. With no store this is exactly
+/// [`step_node`](rsoc_bft::plane::step_node); a persist failure aborts
+/// the serve loop (fail-stop beats acking unpersisted state).
+fn step_durable<N>(
+    node: &mut N,
+    input: Input<N::Msg>,
+    now: u64,
+    out: &mut Outbox<N::Msg>,
+    plane: &mut TcpPlane<N::Msg>,
+    store: &mut Option<DataDir>,
+    events: &mut Vec<DurableEvent>,
+) -> io::Result<()>
+where
+    N: ReplicaNode,
+    N::Msg: Wire,
+{
+    out.clear();
+    node.on_input(input, now, out);
+    if let Some(store) = store.as_mut() {
+        events.clear();
+        node.drain_durable(events);
+        if !events.is_empty() {
+            store.persist(events)?;
+        }
+    }
+    plane.dispatch(node.id(), out, now);
+    Ok(())
+}
+
 /// Runs one protocol node against real TCP until a client sends
 /// [`Envelope::Shutdown`].
 ///
@@ -142,16 +177,25 @@ pub struct ServeReport {
 /// `peer_addrs[i]` is replica `i`'s listen address — the entry at the
 /// node's own index is ignored. The caller's thread becomes the node
 /// loop.
+///
+/// With a `store`, the node runs durable: the caller has already
+/// replayed the store's [`RecoveredState`](rsoc_bft::durable) into the
+/// node, and every step persists before it dispatches.
 pub fn serve<N>(
     mut node: N,
     listener: TcpListener,
     mut peer_addrs: Vec<String>,
     clock: WallClock,
+    mut store: Option<DataDir>,
 ) -> io::Result<ServeReport>
 where
     N: ReplicaNode,
     N::Msg: Wire + Send + 'static,
 {
+    if store.is_some() {
+        node.enable_durability();
+    }
+    let mut events: Vec<DurableEvent> = Vec::new();
     let me = node.id();
     // Never dial ourselves: inbound handles everything addressed to us,
     // and the protocols never self-send anyway.
@@ -170,7 +214,15 @@ where
         // Fire everything due before blocking again.
         let now = clock.now();
         while let Some((kind, token)) = plane.pop_due_timer(now) {
-            step_node(&mut node, Input::Timer { kind, token }, clock.now(), &mut out, &mut plane);
+            step_durable(
+                &mut node,
+                Input::Timer { kind, token },
+                clock.now(),
+                &mut out,
+                &mut plane,
+                &mut store,
+                &mut events,
+            )?;
         }
         let wait = match plane.next_timer() {
             Some(at) => clock.cycles_to_duration(at.saturating_sub(clock.now())).min(IDLE_WAIT),
@@ -178,13 +230,15 @@ where
         };
         match rx.recv_timeout(wait) {
             Ok(NetEvent::Deliver { from, msg }) => {
-                step_node(
+                step_durable(
                     &mut node,
                     Input::Message { from, msg },
                     clock.now(),
                     &mut out,
                     &mut plane,
-                );
+                    &mut store,
+                    &mut events,
+                )?;
             }
             Ok(NetEvent::RegisterClients { ids, tx }) => plane.register_clients(ids, tx),
             Ok(NetEvent::Query { tx }) => {

@@ -9,12 +9,16 @@
 use crate::client::{run_cluster_client, ClientConfig, ClientReport};
 use crate::clock::WallClock;
 use crate::node::{serve, ServeReport};
-use rsoc_bft::api::Cluster;
+use rsoc_bft::api::{Cluster, ReplicaNode};
+use rsoc_bft::codec::Wire;
+use rsoc_bft::durable::RecoveryReport;
 use rsoc_bft::minbft::MinBftCluster;
 use rsoc_bft::pbft::PbftCluster;
 use rsoc_bft::runner::RunConfig;
+use rsoc_store::DataDir;
 use std::io;
 use std::net::TcpListener;
+use std::path::Path;
 
 /// Which protocol a cluster speaks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,6 +64,11 @@ impl Protocol {
     /// Runs replica `id`'s serve loop. Every process constructs the same
     /// cluster from the shared deterministic `config` (key provisioning
     /// is a pure function of the seed) and extracts its own node.
+    ///
+    /// With a `data_dir`, the node first replays whatever the store
+    /// recovered from a previous incarnation (the returned
+    /// [`RecoveryReport`] says how much), then serves durably: commits
+    /// and stable checkpoints hit disk before their acks leave.
     pub fn serve(
         self,
         id: u32,
@@ -67,27 +76,16 @@ impl Protocol {
         listener: TcpListener,
         peer_addrs: Vec<String>,
         clock: WallClock,
-    ) -> io::Result<ServeReport> {
+        data_dir: Option<&Path>,
+    ) -> io::Result<(ServeReport, Option<RecoveryReport>)> {
         match self {
             Protocol::Pbft => {
-                let mut nodes = PbftCluster::new(config).into_nodes();
-                if (id as usize) >= nodes.len() {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidInput,
-                        format!("replica id {id} out of range for n={}", nodes.len()),
-                    ));
-                }
-                serve(nodes.swap_remove(id as usize), listener, peer_addrs, clock)
+                let nodes = PbftCluster::new(config).into_nodes();
+                serve_node(nodes, id, listener, peer_addrs, clock, data_dir)
             }
             Protocol::MinBft => {
-                let mut nodes = MinBftCluster::new(config).into_nodes();
-                if (id as usize) >= nodes.len() {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidInput,
-                        format!("replica id {id} out of range for n={}", nodes.len()),
-                    ));
-                }
-                serve(nodes.swap_remove(id as usize), listener, peer_addrs, clock)
+                let nodes = MinBftCluster::new(config).into_nodes();
+                serve_node(nodes, id, listener, peer_addrs, clock, data_dir)
             }
         }
     }
@@ -99,6 +97,39 @@ impl Protocol {
             Protocol::MinBft => run_cluster_client::<<MinBftCluster as Cluster>::Node>(config),
         }
     }
+}
+
+/// Extracts node `id`, runs recovery against `data_dir` if given, and
+/// enters the serve loop.
+fn serve_node<N>(
+    mut nodes: Vec<N>,
+    id: u32,
+    listener: TcpListener,
+    peer_addrs: Vec<String>,
+    clock: WallClock,
+    data_dir: Option<&Path>,
+) -> io::Result<(ServeReport, Option<RecoveryReport>)>
+where
+    N: ReplicaNode,
+    N::Msg: Wire + Send + 'static,
+{
+    if (id as usize) >= nodes.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("replica id {id} out of range for n={}", nodes.len()),
+        ));
+    }
+    let mut node = nodes.swap_remove(id as usize);
+    let (store, recovery) = match data_dir {
+        Some(dir) => {
+            let (store, state) = DataDir::open(dir)?;
+            let report = node.recover(state);
+            (Some(store), Some(report))
+        }
+        None => (None, None),
+    };
+    let report = serve(node, listener, peer_addrs, clock, store)?;
+    Ok((report, recovery))
 }
 
 /// Lowercase hex of a digest (for the binaries' line protocol).

@@ -65,7 +65,10 @@ fn smoke(protocol: Protocol) {
         replicas.push(thread::spawn(move || {
             // 50 µs cycles: timer patience ~75 ms, snappy for a test.
             let clock = WallClock::new(50_000);
-            protocol.serve(id as u32, &config, listener, peer_addrs, clock).expect("serve")
+            let (report, _) = protocol
+                .serve(id as u32, &config, listener, peer_addrs, clock, None)
+                .expect("serve");
+            report
         }));
     }
 
