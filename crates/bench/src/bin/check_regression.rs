@@ -12,10 +12,13 @@
 //!     [--metric ops_per_kcycle] [--tolerance 0.15] [--lower-metric macs_per_op]
 //! ```
 //!
-//! Rows are matched on every identity field present (`protocol`,
-//! `latency_model`, `batch_size`, `client_window`). A baseline row with
-//! no matching current row fails (a silently dropped cell is a
-//! regression too), as does any current row with `safety_ok = false`.
+//! Rows are matched on every identity field present (`generator`,
+//! `protocol`, `latency_model`, `batch_size`, `client_window`). A
+//! baseline row with no matching current row fails (a silently dropped
+//! cell is a regression too), as does any current row with
+//! `safety_ok = false` — or one whose sparse latency histogram
+//! (`hist_bucket_counts`) does not sum to its `committed` count: a
+//! record that lost commits in a merge is not a valid measurement.
 //!
 //! `--metric` is higher-is-better (throughput); a cell fails when it
 //! drops below `baseline × (1 − tolerance)`. `--lower-metric` names an
@@ -28,7 +31,8 @@
 use serde_json::Value;
 
 /// Fields that identify a swept cell (order fixed for stable output).
-const KEY_FIELDS: [&str; 4] = ["protocol", "latency_model", "batch_size", "client_window"];
+const KEY_FIELDS: [&str; 5] =
+    ["generator", "protocol", "latency_model", "batch_size", "client_window"];
 
 fn row_key(row: &Value) -> String {
     let mut parts = Vec::new();
@@ -41,6 +45,34 @@ fn row_key(row: &Value) -> String {
         }
     }
     parts.join(" ")
+}
+
+/// Histogram self-consistency: a row carrying a sparse latency histogram
+/// (`hist_bucket_indices` / `hist_bucket_counts`) must account for every
+/// committed op — ragged arrays or a count-sum ≠ `committed` means the
+/// record was produced by a broken merge (e.g. a bad shard stitch) and
+/// cannot be trusted as a baseline or a current run. Rows without
+/// histogram fields (earlier campaigns) are skipped.
+fn hist_inconsistency(row: &Value) -> Option<String> {
+    let counts = row["hist_bucket_counts"].as_array()?;
+    let Some(indices) = row["hist_bucket_indices"].as_array() else {
+        return Some("hist_bucket_counts present but hist_bucket_indices missing".into());
+    };
+    if indices.len() != counts.len() {
+        return Some(format!(
+            "ragged histogram: {} bucket indices vs {} counts",
+            indices.len(),
+            counts.len()
+        ));
+    }
+    let Some(committed) = row["committed"].as_u64() else {
+        return Some("histogram present but committed count missing".into());
+    };
+    let sum: u64 = counts.iter().filter_map(Value::as_u64).sum();
+    if sum != committed {
+        return Some(format!("histogram sums to {sum} but committed is {committed}"));
+    }
+    None
 }
 
 fn load_rows(path: &str) -> Result<Vec<Value>, String> {
@@ -110,6 +142,15 @@ fn main() {
         "perf gate: {metric}, tolerance {:.0}% ({baseline_path} -> {current_path})",
         tolerance * 100.0
     );
+    // Self-consistency before any comparison: a current row whose
+    // histogram doesn't account for its committed ops disqualifies the
+    // whole record, regardless of how the throughput numbers look.
+    for row in &current {
+        if let Some(why) = hist_inconsistency(row) {
+            println!("  FAIL {}: {why}", row_key(row));
+            failures += 1;
+        }
+    }
     for base_row in &baseline {
         let key = row_key(base_row);
         let Some(cur_row) = current.iter().find(|r| row_key(r) == key) else {
@@ -199,6 +240,60 @@ mod tests {
     fn unreadable_path_is_an_error() {
         let err = load_rows("/nonexistent/definitely_missing.json").unwrap_err();
         assert!(err.contains("read"), "{err}");
+    }
+
+    #[test]
+    fn consistent_histogram_passes_and_rows_without_one_are_skipped() {
+        let good: Value = serde_json::from_str(
+            r#"{"protocol": "pbft", "committed": 10,
+                "hist_bucket_indices": [3, 7], "hist_bucket_counts": [4, 6]}"#,
+        )
+        .unwrap();
+        assert_eq!(hist_inconsistency(&good), None);
+        // Earlier campaigns carry no histogram: not an inconsistency.
+        let legacy: Value =
+            serde_json::from_str(r#"{"protocol": "pbft", "ops_per_kcycle": 1.5}"#).unwrap();
+        assert_eq!(hist_inconsistency(&legacy), None);
+    }
+
+    #[test]
+    fn histogram_not_summing_to_committed_is_flagged() {
+        let short: Value = serde_json::from_str(
+            r#"{"protocol": "pbft", "committed": 10,
+                "hist_bucket_indices": [3, 7], "hist_bucket_counts": [4, 5]}"#,
+        )
+        .unwrap();
+        let why = hist_inconsistency(&short).expect("lost commit must be flagged");
+        assert!(why.contains("sums to 9"), "{why}");
+
+        let ragged: Value = serde_json::from_str(
+            r#"{"protocol": "pbft", "committed": 4,
+                "hist_bucket_indices": [3], "hist_bucket_counts": [3, 1]}"#,
+        )
+        .unwrap();
+        let why = hist_inconsistency(&ragged).expect("ragged arrays must be flagged");
+        assert!(why.contains("ragged"), "{why}");
+
+        let no_committed: Value = serde_json::from_str(
+            r#"{"protocol": "pbft",
+                "hist_bucket_indices": [3], "hist_bucket_counts": [3]}"#,
+        )
+        .unwrap();
+        assert!(hist_inconsistency(&no_committed).is_some());
+    }
+
+    #[test]
+    fn generator_field_distinguishes_cells_in_row_keys() {
+        let a: Value = serde_json::from_str(
+            r#"{"generator": "steady_poisson", "protocol": "pbft", "batch_size": 8}"#,
+        )
+        .unwrap();
+        let b: Value = serde_json::from_str(
+            r#"{"generator": "flash_zipf", "protocol": "pbft", "batch_size": 8}"#,
+        )
+        .unwrap();
+        assert_ne!(row_key(&a), row_key(&b));
+        assert_eq!(row_key(&a), "generator=steady_poisson protocol=pbft batch_size=8");
     }
 
     #[test]

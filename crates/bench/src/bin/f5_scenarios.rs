@@ -491,8 +491,12 @@ fn main() {
             ));
         }
     }
-    let opts_for_print =
-        rsoc_bench::ExpOptions { json: options.json, quick: options.quick, jobs: options.jobs };
+    let opts_for_print = rsoc_bench::ExpOptions {
+        json: options.json,
+        quick: options.quick,
+        jobs: options.jobs,
+        shard: None,
+    };
     table.print(&opts_for_print);
     assert!(failures.is_empty(), "oracle failures:\n  {}", failures.join("\n  "));
 

@@ -492,8 +492,12 @@ fn main() {
             failures.push(e);
         }
     }
-    let opts_for_print =
-        rsoc_bench::ExpOptions { json: options.json, quick: options.quick, jobs: options.jobs };
+    let opts_for_print = rsoc_bench::ExpOptions {
+        json: options.json,
+        quick: options.quick,
+        jobs: options.jobs,
+        shard: None,
+    };
     table.print(&opts_for_print);
     assert!(failures.is_empty(), "recovery failures:\n  {}", failures.join("\n  "));
 

@@ -27,7 +27,7 @@
 use serde::Serialize;
 
 pub mod parallel;
-pub use parallel::{default_jobs, run_cells};
+pub use parallel::{default_jobs, run_cells, run_cells_sharded};
 
 /// Shared command-line options for experiment binaries.
 #[derive(Debug, Clone, Copy)]
@@ -40,16 +40,23 @@ pub struct ExpOptions {
     /// to the machine's available parallelism). Results are merged in
     /// canonical cell order, so output is identical for any value.
     pub jobs: usize,
+    /// Cell partition for multi-machine sweeps (`--shard i/N`): this
+    /// invocation computes only cells whose canonical index is `i mod N`.
+    /// Each cell is a pure function of its parameters, so concatenating
+    /// the shards' records in canonical index order reproduces the
+    /// unsharded sweep byte-identically. `None` = the whole grid.
+    pub shard: Option<(usize, usize)>,
 }
 
 impl Default for ExpOptions {
     fn default() -> Self {
-        ExpOptions { json: false, quick: false, jobs: default_jobs() }
+        ExpOptions { json: false, quick: false, jobs: default_jobs(), shard: None }
     }
 }
 
 impl ExpOptions {
-    /// Parses `--json` / `--quick` / `--jobs N` from `std::env::args`.
+    /// Parses `--json` / `--quick` / `--jobs N` / `--shard i/N` from
+    /// `std::env::args`.
     pub fn from_args() -> Self {
         let mut o = ExpOptions::default();
         let mut args = std::env::args().skip(1);
@@ -65,6 +72,13 @@ impl ExpOptions {
                     });
                     o.jobs = o.jobs.max(1);
                 }
+                "--shard" => {
+                    let v = args.next().unwrap_or_default();
+                    o.shard = Some(parse_shard(&v).unwrap_or_else(|| {
+                        eprintln!("--shard needs i/N with 0 <= i < N, got {v:?}");
+                        std::process::exit(2);
+                    }));
+                }
                 other => eprintln!("ignoring unknown argument: {other}"),
             }
         }
@@ -79,6 +93,13 @@ impl ExpOptions {
             full
         }
     }
+}
+
+/// Parses a `i/N` shard designator (`0 <= i < N`, `N >= 1`).
+pub fn parse_shard(v: &str) -> Option<(usize, usize)> {
+    let (i, n) = v.split_once('/')?;
+    let (i, n) = (i.parse::<usize>().ok()?, n.parse::<usize>().ok()?);
+    (n >= 1 && i < n).then_some((i, n))
 }
 
 /// A table printer that also serializes rows as JSON.
@@ -165,13 +186,13 @@ mod tests {
     fn table_roundtrip() {
         let mut t = Table::new("demo", &["x", "y"]);
         t.row(&["1".into(), "2".into()], &Rec { a: 1 });
-        t.print(&ExpOptions { json: true, quick: false, jobs: 1 });
+        t.print(&ExpOptions { json: true, quick: false, jobs: 1, shard: None });
         assert_eq!(t.rows.len(), 1);
     }
 
     #[test]
     fn quick_scales_trials() {
-        let q = ExpOptions { json: false, quick: true, jobs: 1 };
+        let q = ExpOptions { json: false, quick: true, jobs: 1, shard: None };
         assert_eq!(q.trials(1000), 100);
         assert_eq!(q.trials(5), 1);
         let f = ExpOptions::default();

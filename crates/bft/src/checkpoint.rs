@@ -46,8 +46,9 @@
 //! quorum. The responder's `view` claim remains trusted liveness-only
 //! metadata, like the view claims in view-change votes.
 
-use crate::api::{Batch, LogEntry, ReplicaId};
+use crate::api::{Batch, ClientId, LogEntry, ReplicaId};
 use rsoc_crypto::{sha256, MacKey, Tag};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Cycles a recovering replica waits between state-transfer requests
@@ -168,6 +169,10 @@ pub struct CheckpointStats {
     pub transfers: u64,
     /// Vouchers/certificates/snapshots rejected by verification.
     pub rejected: u64,
+    /// Times a `CheckpointHint` escalation fast-forwarded this replica
+    /// past an aged-out retention ring (MinBFT only; stays 0 unless a
+    /// run crosses the 512-counter ring).
+    pub hint_resyncs: u64,
 }
 
 /// Own snapshot taken at a watermark, retained until a certificate forms
@@ -206,6 +211,7 @@ pub struct CheckpointStore {
     history: Vec<(u64, [u8; 32])>,
     transfers: u64,
     rejected: u64,
+    hint_resyncs: u64,
     /// Next cycle a state-transfer request may be sent.
     transfer_req_at: u64,
 }
@@ -225,6 +231,7 @@ impl CheckpointStore {
             history: Vec::new(),
             transfers: 0,
             rejected: 0,
+            hint_resyncs: 0,
             transfer_req_at: 0,
         }
     }
@@ -260,6 +267,7 @@ impl CheckpointStore {
             stable_seq: self.stable_seq(),
             transfers: self.transfers,
             rejected: self.rejected,
+            hint_resyncs: self.hint_resyncs,
         }
     }
 
@@ -425,6 +433,12 @@ impl CheckpointStore {
         self.rejected += 1;
     }
 
+    /// Counts a `CheckpointHint` fast-forward past an aged-out retention
+    /// ring — the observable proof a run crossed the ring end-to-end.
+    pub fn note_hint_resync(&mut self) {
+        self.hint_resyncs += 1;
+    }
+
     /// Rejuvenation wipe: volatile collection state is cleared. The stable
     /// certificate and the run counters survive — the certificate because
     /// it is self-verifying (re-checked from `CkptKeys` on every use) and
@@ -445,6 +459,131 @@ impl CheckpointStore {
 pub fn snapshot_matches(cert: &CheckpointCert, snapshot: &[u8]) -> bool {
     sha256(snapshot) == cert.digest
 }
+
+/// Latest executed `(seq, reply)` per client — the checkpointable core of
+/// the executed-reply dedup index.
+///
+/// A transfer-recovered or rejuvenated replica rebuilds its dedup index
+/// from the suffix replay only, so any op below the checkpoint watermark
+/// lost its retry reply: the replica would silently queue a client's
+/// retransmit of an already-committed request instead of answering it.
+/// Snapshotting this table into the checkpoint image closes that hole.
+/// With pipelined clients (window > 1) only the *latest* op per client is
+/// retained — a deliberate bound on image size; with window = 1 (every
+/// recovery campaign cell) it covers every retryable op exactly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClientSessions {
+    sessions: BTreeMap<ClientId, (u64, Arc<Vec<u8>>)>,
+}
+
+impl ClientSessions {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an executed op's reply; keeps the highest seq per client.
+    pub fn note(&mut self, client: ClientId, seq: u64, result: Arc<Vec<u8>>) {
+        match self.sessions.get(&client) {
+            Some((have, _)) if *have >= seq => {}
+            _ => {
+                self.sessions.insert(client, (seq, result));
+            }
+        }
+    }
+
+    /// Latest executed `(seq, reply)` for a client.
+    pub fn get(&self, client: ClientId) -> Option<(u64, &Arc<Vec<u8>>)> {
+        self.sessions.get(&client).map(|(seq, result)| (*seq, result))
+    }
+
+    /// Number of clients with a recorded session.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// True when no sessions are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Drops all sessions (rejuvenation wipe).
+    pub fn clear(&mut self) {
+        self.sessions.clear();
+    }
+
+    /// Sessions in ascending client order.
+    pub fn iter(&self) -> impl Iterator<Item = (ClientId, u64, &Arc<Vec<u8>>)> {
+        self.sessions.iter().map(|(c, (seq, result))| (*c, *seq, result))
+    }
+}
+
+/// Leading magic of a checkpoint image (version 1).
+pub const IMAGE_MAGIC: &[u8; 8] = b"CKIMG1\0\0";
+
+/// Frames a KV snapshot and the client-session table into one checkpoint
+/// image. This is what certificates digest and transfers carry:
+/// `magic · kv_len · kv · n_sessions · [client · seq · reply_len · reply]*`
+/// with sessions in ascending client order (all integers little-endian),
+/// so identical state always produces identical bytes.
+pub fn encode_image(kv: &[u8], sessions: &ClientSessions) -> Vec<u8> {
+    let body: usize = sessions.iter().map(|(_, _, r)| 4 + 8 + 8 + r.len()).sum();
+    let mut out = Vec::with_capacity(8 + 8 + kv.len() + 8 + body);
+    out.extend_from_slice(IMAGE_MAGIC);
+    out.extend_from_slice(&(kv.len() as u64).to_le_bytes());
+    out.extend_from_slice(kv);
+    out.extend_from_slice(&(sessions.len() as u64).to_le_bytes());
+    for (client, seq, result) in sessions.iter() {
+        out.extend_from_slice(&client.0.to_le_bytes());
+        out.extend_from_slice(&seq.to_le_bytes());
+        out.extend_from_slice(&(result.len() as u64).to_le_bytes());
+        out.extend_from_slice(result);
+    }
+    out
+}
+
+// lint: ingress
+/// Parses a checkpoint image received in a transfer (adversarial bytes —
+/// the certificate pins the digest, but a *corrupt* image must still be
+/// rejected, not panic). Returns the KV part and the session table, or
+/// `None` on any framing violation: bad magic, truncation, trailing
+/// bytes, or sessions out of ascending client order.
+pub fn decode_image(bytes: &[u8]) -> Option<(&[u8], ClientSessions)> {
+    fn take<'a>(bytes: &'a [u8], at: &mut usize, n: usize) -> Option<&'a [u8]> {
+        let end = at.checked_add(n)?;
+        let part = bytes.get(*at..end)?;
+        *at = end;
+        Some(part)
+    }
+    fn take_u64(bytes: &[u8], at: &mut usize) -> Option<u64> {
+        Some(u64::from_le_bytes(take(bytes, at, 8)?.try_into().ok()?))
+    }
+    let mut at = 0usize;
+    if take(bytes, &mut at, 8)? != IMAGE_MAGIC {
+        return None;
+    }
+    let kv_len = usize::try_from(take_u64(bytes, &mut at)?).ok()?;
+    let kv = take(bytes, &mut at, kv_len)?;
+    let n_sessions = take_u64(bytes, &mut at)?;
+    let mut sessions = ClientSessions::new();
+    let mut prev: Option<u32> = None;
+    for _ in 0..n_sessions {
+        let client = u32::from_le_bytes(take(bytes, &mut at, 4)?.try_into().ok()?);
+        if prev.is_some_and(|p| p >= client) {
+            return None; // must be strictly ascending: canonical + no dups
+        }
+        prev = Some(client);
+        let seq = take_u64(bytes, &mut at)?;
+        let len = usize::try_from(take_u64(bytes, &mut at)?).ok()?;
+        let result = take(bytes, &mut at, len)?;
+        sessions.note(ClientId(client), seq, Arc::new(result.to_vec()));
+    }
+    if at != bytes.len() {
+        return None; // trailing garbage
+    }
+    Some((kv, sessions))
+}
+// lint: end
 
 /// The cross-checked install a [`CstBuffer`] produces once enough
 /// responders agree: certificate, snapshot, log numbering base, the
@@ -850,5 +989,83 @@ mod tests {
         let cert = CheckpointCert { seq: 1, digest: sha256(&bytes), vouchers: vec![] };
         assert!(snapshot_matches(&cert, &bytes));
         assert!(!snapshot_matches(&cert, b"corrupted"));
+    }
+
+    #[test]
+    fn sessions_keep_latest_per_client() {
+        let mut s = ClientSessions::new();
+        s.note(ClientId(3), 2, Arc::new(b"r2".to_vec()));
+        s.note(ClientId(3), 1, Arc::new(b"r1".to_vec()));
+        s.note(ClientId(1), 5, Arc::new(b"r5".to_vec()));
+        assert_eq!(s.len(), 2);
+        let (seq, result) = s.get(ClientId(3)).unwrap();
+        assert_eq!((seq, result.as_slice()), (2, b"r2".as_slice()), "older seq must not clobber");
+        s.note(ClientId(3), 7, Arc::new(b"r7".to_vec()));
+        assert_eq!(s.get(ClientId(3)).unwrap().0, 7);
+        let order: Vec<u32> = s.iter().map(|(c, _, _)| c.0).collect();
+        assert_eq!(order, vec![1, 3], "iteration is ascending client order");
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn image_roundtrip_is_canonical() {
+        let mut s = ClientSessions::new();
+        s.note(ClientId(9), 4, Arc::new(b"ok 9.4".to_vec()));
+        s.note(ClientId(2), 1, Arc::new(Vec::new())); // empty replies survive
+        let kv = b"KV k1 v1\nKV k2 v2\n";
+        let image = encode_image(kv, &s);
+        let (kv2, s2) = decode_image(&image).expect("well-formed image");
+        assert_eq!(kv2, kv);
+        assert_eq!(s2, s);
+        // Canonical: re-encoding the decoded table gives identical bytes.
+        assert_eq!(encode_image(kv2, &s2), image);
+        // Empty everything still frames.
+        let empty = encode_image(b"", &ClientSessions::new());
+        let (kv3, s3) = decode_image(&empty).unwrap();
+        assert!(kv3.is_empty() && s3.is_empty());
+    }
+
+    #[test]
+    fn image_decode_rejects_malformed() {
+        let mut s = ClientSessions::new();
+        s.note(ClientId(1), 1, Arc::new(b"r".to_vec()));
+        let good = encode_image(b"kv", &s);
+        assert!(decode_image(&good).is_some());
+        assert!(decode_image(b"").is_none(), "empty");
+        assert!(decode_image(b"NOTMAGIC").is_none(), "bad magic");
+        assert!(decode_image(&good[..good.len() - 1]).is_none(), "truncated");
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(decode_image(&trailing).is_none(), "trailing bytes");
+        // Absurd kv length claims must not panic or allocate.
+        let mut huge = good.clone();
+        huge[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(decode_image(&huge).is_none(), "kv length overruns");
+        // Duplicate / descending clients violate canonical order.
+        let mut two = ClientSessions::new();
+        two.note(ClientId(1), 1, Arc::new(b"a".to_vec()));
+        two.note(ClientId(2), 1, Arc::new(b"b".to_vec()));
+        let img = encode_image(b"", &two);
+        let mut swapped = img.clone();
+        // Sessions start after magic(8) + kv_len(8) + kv(0) + count(8) = 24;
+        // each entry is 4 + 8 + 8 + 1 = 21 bytes.
+        let (a, b) = (24usize, 45usize);
+        let first: Vec<u8> = swapped[a..a + 21].to_vec();
+        let second: Vec<u8> = swapped[b..b + 21].to_vec();
+        swapped[a..a + 21].copy_from_slice(&second);
+        swapped[b..b + 21].copy_from_slice(&first);
+        assert!(decode_image(&swapped).is_none(), "descending client order");
+    }
+
+    #[test]
+    fn hint_resyncs_counter_lands_in_stats() {
+        let keys = CkptKeys::provision(7, 4);
+        let mut s = store(0, 2, 4, &keys);
+        assert_eq!(s.stats().hint_resyncs, 0);
+        s.note_hint_resync();
+        assert_eq!(s.stats().hint_resyncs, 1);
+        s.wipe();
+        assert_eq!(s.stats().hint_resyncs, 1, "counters are measurement, not protocol state");
     }
 }

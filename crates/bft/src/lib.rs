@@ -72,5 +72,8 @@ pub use checkpoint::{CheckpointCert, CheckpointStats, CheckpointVoucher, CkptKey
 pub use codec::{decode_frame, encode_frame, Wire, WIRE_VERSION};
 pub use durable::{DurableEvent, RecoveredState, RecoveryReport};
 pub use plane::{step_node, Clock, Transport};
-pub use runner::{run, run_scenario, RunConfig, RunConfigBuilder, RunReport, ScenarioOutcome};
+pub use runner::{
+    run, run_open_loop, run_scenario, OpenLoopReport, OpenLoopSpec, RunConfig, RunConfigBuilder,
+    RunReport, ScenarioOutcome,
+};
 pub use statemachine::{CounterMachine, KvStore, StateMachine};

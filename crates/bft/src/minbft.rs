@@ -24,8 +24,9 @@ use crate::api::{
     ReplicaId, ReplicaNode, Reply, Request, VcRound,
 };
 use crate::checkpoint::{
-    snapshot_matches, tamper_suffix, CheckpointCert, CheckpointStats, CheckpointStore,
-    CheckpointVoucher, CkptKeys, CommittedLog, CstBuffer, CstInstall, StateTransfer,
+    decode_image, encode_image, snapshot_matches, tamper_suffix, CheckpointCert, CheckpointStats,
+    CheckpointStore, CheckpointVoucher, CkptKeys, ClientSessions, CommittedLog, CstBuffer,
+    CstInstall, StateTransfer,
 };
 use crate::dense::{op_token, token_op, OpIndex, ReplicaSet, SeqWindow};
 use crate::durable::{DurableEvent, RecoveredState, RecoveryReport};
@@ -280,6 +281,11 @@ pub struct MinBftReplica {
     replay_ring: SeqWindow<Arc<Batch>>,
     /// Buffered state-transfer responses awaiting an f+1 install quorum.
     cst: CstBuffer,
+    /// Latest executed `(seq, reply)` per client — snapshotted into the
+    /// checkpoint image so retry dedup survives a wipe + CST re-join.
+    /// Maintained only while checkpointing is enabled (byte-invisible
+    /// otherwise).
+    sessions: ClientSessions,
     /// True once the embedding plane persists [`DurableEvent`]s (never in
     /// the simulator — see [`crate::durable`]).
     durability: bool,
@@ -330,6 +336,7 @@ impl MinBftReplica {
             ckpt: CheckpointStore::new(id, (f + 1) as usize, 0, CkptKeys::provision(0, 1)),
             replay_ring: SeqWindow::with_base(1),
             cst: CstBuffer::new(),
+            sessions: ClientSessions::new(),
             durability: false,
             durable: Vec::new(),
             durable_stable_seq: 0,
@@ -732,6 +739,9 @@ impl MinBftReplica {
                 let result = Arc::new(self.machine.apply(&req.payload));
                 self.log.push(LogEntry { seq: log_seq, op: req.op, digest });
                 self.executed.insert(req.op, result.clone());
+                if self.ckpt.enabled() {
+                    self.sessions.note(req.op.client, req.op.seq, result.clone());
+                }
                 self.pending.remove(&req.op);
                 self.assigned.insert(req.op, next);
                 out.send(
@@ -769,18 +779,21 @@ impl MinBftReplica {
                 tag: Tag([0xEE; 32]),
             };
             out.broadcast(self.n, self.id, MinBftMsg::Checkpoint(Box::new(garbage.clone())));
+            // The locally retained image stays honest (only the vouched
+            // digest lies) so the forger can still serve honest-certified
+            // checkpoints.
             garbage = self.ckpt.record_local(
                 exec_seq,
                 lie,
                 self.log.committed(),
-                Arc::new(self.machine.snapshot()),
+                Arc::new(encode_image(&self.machine.snapshot(), &self.sessions)),
             );
             out.broadcast(self.n, self.id, MinBftMsg::Checkpoint(Box::new(garbage)));
             return;
         }
-        let digest = self.machine.state_digest();
-        let snapshot = Arc::new(self.machine.snapshot());
-        let voucher = self.ckpt.record_local(exec_seq, digest, self.log.committed(), snapshot);
+        let image = Arc::new(encode_image(&self.machine.snapshot(), &self.sessions));
+        let digest = rsoc_crypto::sha256(&image);
+        let voucher = self.ckpt.record_local(exec_seq, digest, self.log.committed(), image);
         out.broadcast(self.n, self.id, MinBftMsg::Checkpoint(Box::new(voucher.clone())));
         if self.ckpt.record(&voucher).is_some() {
             self.apply_truncation();
@@ -885,7 +898,9 @@ impl MinBftReplica {
             self.ckpt.note_rejected();
             return; // corrupted snapshot: digest does not match the cert
         }
-        if KvStore::install_snapshot(&st.snapshot).is_none() {
+        let parses = decode_image(&st.snapshot)
+            .is_some_and(|(kv, _)| KvStore::install_snapshot(kv).is_some());
+        if !parses {
             self.ckpt.note_rejected();
             return;
         }
@@ -898,9 +913,17 @@ impl MinBftReplica {
     /// Installs a quorum-voted transfer: snapshot, certificate, voted log
     /// suffix; then rejoins the cluster's view and resumes execution.
     fn install_transfer(&mut self, plan: CstInstall, out: &mut Outbox<MinBftMsg>) {
-        let Some(machine) = KvStore::install_snapshot(&plan.snapshot) else { return };
+        let Some((kv, sessions)) = decode_image(&plan.snapshot) else { return };
+        let Some(machine) = KvStore::install_snapshot(kv) else { return };
         self.ckpt.adopt_cert(&plan.cert);
         self.machine = machine;
+        self.sessions = sessions;
+        // Repopulate the dedup index from the snapshotted sessions: a
+        // client retrying an op committed below the watermark still gets
+        // its byte-identical reply instead of a re-execution.
+        for (client, seq, result) in self.sessions.iter() {
+            self.executed.insert(OpId { client, seq }, result.clone());
+        }
         self.log.reset_to(plan.log_base);
         self.replay_ring = SeqWindow::with_base(plan.cert.seq + 1);
         self.exec_upto = plan.cert.seq;
@@ -944,7 +967,10 @@ impl MinBftReplica {
             let log_seq = self.log.committed() + 1;
             let result = Arc::new(self.machine.apply(&req.payload));
             self.log.push(LogEntry { seq: log_seq, op: req.op, digest });
-            self.executed.insert(req.op, result);
+            self.executed.insert(req.op, result.clone());
+            if self.ckpt.enabled() {
+                self.sessions.note(req.op.client, req.op.seq, result);
+            }
             self.pending.remove(&req.op);
             self.assigned.insert(req.op, seq);
         }
@@ -985,6 +1011,7 @@ impl MinBftReplica {
             *accepted = ring_base - 1;
             // bounds: accepted and ingress share length n; s indexed accepted above
             self.ingress[s].retire_below(ring_base);
+            self.ckpt.note_hint_resync();
         }
     }
 
@@ -1450,6 +1477,7 @@ impl ReplicaNode for MinBftReplica {
         self.machine = KvStore::new();
         self.replay_ring = SeqWindow::with_base(1);
         self.cst.clear();
+        self.sessions.clear();
         self.durable.clear();
         self.vc_votes.clear();
         self.vc_sent_for = 0;
@@ -1512,15 +1540,21 @@ impl ReplicaNode for MinBftReplica {
             // Disk contents are ingress: the certificate and snapshot are
             // re-verified exactly as a transfer response would be.
             if self.ckpt.verify_cert(&cert) && snapshot_matches(&cert, &snapshot) {
-                if let Some(machine) = KvStore::install_snapshot(&snapshot) {
-                    self.ckpt.adopt_cert(&cert);
-                    self.machine = machine;
-                    self.log.reset_to(log_len);
-                    self.replay_ring = SeqWindow::with_base(cert.seq + 1);
-                    self.exec_upto = cert.seq;
-                    self.slots.retire_below(cert.seq + 1);
-                    self.stored_prepares.retire_below(cert.seq + 1);
-                    report.installed_seq = cert.seq;
+                if let Some((kv, sessions)) = decode_image(&snapshot) {
+                    if let Some(machine) = KvStore::install_snapshot(kv) {
+                        self.ckpt.adopt_cert(&cert);
+                        self.machine = machine;
+                        self.sessions = sessions;
+                        for (client, seq, result) in self.sessions.iter() {
+                            self.executed.insert(OpId { client, seq }, result.clone());
+                        }
+                        self.log.reset_to(log_len);
+                        self.replay_ring = SeqWindow::with_base(cert.seq + 1);
+                        self.exec_upto = cert.seq;
+                        self.slots.retire_below(cert.seq + 1);
+                        self.stored_prepares.retire_below(cert.seq + 1);
+                        report.installed_seq = cert.seq;
+                    }
                 }
             }
         }

@@ -11,12 +11,12 @@
 
 use crate::adversary::ReplicaScript;
 use crate::api::{
-    Batch, BatchDecision, Batcher, Cluster, Endpoint, Input, LogEntry, Outbox, ReplicaId,
+    Batch, BatchDecision, Batcher, Cluster, Endpoint, Input, LogEntry, OpId, Outbox, ReplicaId,
     ReplicaNode, Reply, Request,
 };
 use crate::checkpoint::{
-    snapshot_matches, CheckpointStats, CheckpointStore, CheckpointVoucher, CkptKeys, CommittedLog,
-    CstBuffer, StateTransfer,
+    decode_image, encode_image, snapshot_matches, CheckpointStats, CheckpointStore,
+    CheckpointVoucher, CkptKeys, ClientSessions, CommittedLog, CstBuffer, StateTransfer,
 };
 use crate::dense::{OpIndex, SeqWindow};
 use crate::durable::{DurableEvent, RecoveredState, RecoveryReport};
@@ -132,6 +132,11 @@ pub struct PassiveReplica {
     /// there is no spare responder to outvote a lie — the documented
     /// passive residual).
     cst: CstBuffer,
+    /// Latest executed `(seq, reply)` per client — snapshotted into the
+    /// checkpoint image so retry dedup survives a wipe + state transfer.
+    /// Maintained only while checkpointing is enabled (byte-invisible
+    /// otherwise).
+    sessions: ClientSessions,
     /// True once the embedding plane persists [`DurableEvent`]s.
     durability: bool,
     /// Events awaiting [`ReplicaNode::drain_durable`].
@@ -175,6 +180,7 @@ impl PassiveReplica {
             ckpt: CheckpointStore::new(id, 2, 0, CkptKeys::provision(0, 1)),
             replay_ring: SeqWindow::with_base(1),
             cst: CstBuffer::new(),
+            sessions: ClientSessions::new(),
             durability: false,
             durable: Vec::new(),
             durable_stable_seq: 0,
@@ -289,6 +295,9 @@ impl PassiveReplica {
                 self.replay_ring.insert(seq, req.clone());
             }
             self.executed.insert(req.op, result.clone());
+            if self.ckpt.enabled() {
+                self.sessions.note(req.op.client, req.op.seq, result.clone());
+            }
             if self.durability {
                 self.durable.push(DurableEvent::Commit {
                     seq,
@@ -322,9 +331,9 @@ impl PassiveReplica {
         if !self.ckpt.due(seq) {
             return;
         }
-        let digest = self.machine.state_digest();
-        let snapshot = Arc::new(self.machine.snapshot());
-        let voucher = self.ckpt.record_local(seq, digest, self.log.committed(), snapshot);
+        let image = Arc::new(encode_image(&self.machine.snapshot(), &self.sessions));
+        let digest = rsoc_crypto::sha256(&image);
+        let voucher = self.ckpt.record_local(seq, digest, self.log.committed(), image);
         out.send(Endpoint::Replica(self.peer()), PassiveMsg::Checkpoint(Box::new(voucher.clone())));
         if self.ckpt.record(&voucher).is_some() {
             self.apply_truncation();
@@ -414,7 +423,9 @@ impl PassiveReplica {
             self.ckpt.note_rejected();
             return; // corrupted snapshot: digest does not match the cert
         }
-        if KvStore::install_snapshot(&st.snapshot).is_none() {
+        let parses = decode_image(&st.snapshot)
+            .is_some_and(|(kv, _)| KvStore::install_snapshot(kv).is_some());
+        if !parses {
             self.ckpt.note_rejected();
             return;
         }
@@ -425,9 +436,17 @@ impl PassiveReplica {
         self.cst.admit(st, self.log.committed());
         let Some(plan) = self.cst.install_plan(1) else { return };
         self.cst.clear();
-        let Some(machine) = KvStore::install_snapshot(&plan.snapshot) else { return };
+        let Some((kv, sessions)) = decode_image(&plan.snapshot) else { return };
+        let Some(machine) = KvStore::install_snapshot(kv) else { return };
         self.ckpt.adopt_cert(&plan.cert);
         self.machine = machine;
+        self.sessions = sessions;
+        // Repopulate the dedup index from the snapshotted sessions: a
+        // client retrying an op committed below the watermark still gets
+        // its byte-identical reply instead of a re-execution.
+        for (client, seq, result) in self.sessions.iter() {
+            self.executed.insert(OpId { client, seq }, result.clone());
+        }
         self.log.reset_to(plan.log_base);
         self.replay_ring = SeqWindow::with_base(plan.log_base + 1);
         if self.durability && plan.cert.seq > self.durable_stable_seq {
@@ -444,7 +463,8 @@ impl PassiveReplica {
                 let result = Arc::new(self.machine.apply(&req.payload));
                 self.log.push(LogEntry { seq: log_seq, op: req.op, digest: req.digest() });
                 self.replay_ring.insert(log_seq, req.clone());
-                self.executed.insert(req.op, result);
+                self.executed.insert(req.op, result.clone());
+                self.sessions.note(req.op.client, req.op.seq, result);
             }
             if self.durability {
                 self.durable.push(DurableEvent::Commit { seq: *slot, batch: batch.clone() });
@@ -508,7 +528,10 @@ impl PassiveReplica {
                     batch: Arc::new(Batch::single(req.clone())),
                 });
             }
-            self.executed.insert(req.op, result);
+            self.executed.insert(req.op, result.clone());
+            if self.ckpt.enabled() {
+                self.sessions.note(req.op.client, req.op.seq, result);
+            }
             self.next_seq = self.next_seq.max(next + 1);
             self.maybe_checkpoint(next, out);
         }
@@ -589,6 +612,7 @@ impl ReplicaNode for PassiveReplica {
         self.sync_req_at = 0;
         self.replay_ring = SeqWindow::with_base(1);
         self.cst.clear();
+        self.sessions.clear();
         self.durable.clear();
         let (size, flush) = (self.batcher.batch_size(), self.batcher.flush_cycles());
         self.batcher = Batcher::new();
@@ -641,12 +665,18 @@ impl ReplicaNode for PassiveReplica {
         let mut report = RecoveryReport::default();
         if let Some((cert, log_len, snapshot)) = state.snapshot {
             if self.ckpt.verify_cert(&cert) && snapshot_matches(&cert, &snapshot) {
-                if let Some(machine) = KvStore::install_snapshot(&snapshot) {
-                    self.ckpt.adopt_cert(&cert);
-                    self.machine = machine;
-                    self.log.reset_to(log_len);
-                    self.replay_ring = SeqWindow::with_base(log_len + 1);
-                    report.installed_seq = cert.seq;
+                if let Some((kv, sessions)) = decode_image(&snapshot) {
+                    if let Some(machine) = KvStore::install_snapshot(kv) {
+                        self.ckpt.adopt_cert(&cert);
+                        self.machine = machine;
+                        self.sessions = sessions;
+                        for (client, seq, result) in self.sessions.iter() {
+                            self.executed.insert(OpId { client, seq }, result.clone());
+                        }
+                        self.log.reset_to(log_len);
+                        self.replay_ring = SeqWindow::with_base(log_len + 1);
+                        report.installed_seq = cert.seq;
+                    }
                 }
             }
         }
@@ -664,7 +694,10 @@ impl ReplicaNode for PassiveReplica {
                 if self.ckpt.enabled() {
                     self.replay_ring.insert(log_seq, req.clone());
                 }
-                self.executed.insert(req.op, result);
+                self.executed.insert(req.op, result.clone());
+                if self.ckpt.enabled() {
+                    self.sessions.note(req.op.client, req.op.seq, result);
+                }
             }
             report.replayed += 1;
         }

@@ -38,8 +38,9 @@ use crate::api::{
     ReplicaId, ReplicaNode, Reply, Request, VcRound,
 };
 use crate::checkpoint::{
-    snapshot_matches, tamper_suffix, CheckpointCert, CheckpointStats, CheckpointStore,
-    CheckpointVoucher, CkptKeys, CommittedLog, CstBuffer, CstInstall, StateTransfer,
+    decode_image, encode_image, snapshot_matches, tamper_suffix, CheckpointCert, CheckpointStats,
+    CheckpointStore, CheckpointVoucher, CkptKeys, ClientSessions, CommittedLog, CstBuffer,
+    CstInstall, StateTransfer,
 };
 use crate::dense::{op_token, token_op, OpIndex, ReplicaSet, SeqWindow};
 use crate::durable::{DurableEvent, RecoveredState, RecoveryReport};
@@ -193,6 +194,11 @@ pub struct PbftReplica {
     replay_ring: SeqWindow<Arc<Batch>>,
     /// Buffered state-transfer responses awaiting an f+1 install quorum.
     cst: CstBuffer,
+    /// Latest executed reply per client, snapshotted into checkpoint
+    /// images so a transfer-recovered replica answers client retries for
+    /// ops below the watermark (maintained only while checkpointing is
+    /// enabled — byte-invisible otherwise).
+    sessions: ClientSessions,
     /// True once the embedding plane persists [`DurableEvent`]s (never in
     /// the simulator — see [`crate::durable`]).
     durability: bool,
@@ -237,6 +243,7 @@ impl PbftReplica {
             ckpt: CheckpointStore::new(id, (f + 1) as usize, 0, CkptKeys::provision(0, 1)),
             replay_ring: SeqWindow::with_base(1),
             cst: CstBuffer::new(),
+            sessions: ClientSessions::new(),
             durability: false,
             durable: Vec::new(),
             durable_stable_seq: 0,
@@ -558,6 +565,9 @@ impl PbftReplica {
                 let result = Arc::new(self.machine.apply(&req.payload));
                 self.log.push(LogEntry { seq: log_seq, op: req.op, digest });
                 self.executed.insert(req.op, result.clone());
+                if self.ckpt.enabled() {
+                    self.sessions.note(req.op.client, req.op.seq, result.clone());
+                }
                 self.pending.remove(&req.op);
                 out.send(
                     Endpoint::Client(req.op.client),
@@ -596,18 +606,24 @@ impl PbftReplica {
                 tag: rsoc_crypto::Tag([0xEE; 32]),
             };
             out.broadcast(self.n, self.id, PbftMsg::Checkpoint(Box::new(garbage.clone())));
+            // The locally retained image stays honest (only the vouched
+            // digest lies), so this replica can still serve a transfer if
+            // its peers certify the honest digest for this watermark.
             garbage = self.ckpt.record_local(
                 exec_seq,
                 lie,
                 self.log.committed(),
-                Arc::new(self.machine.snapshot()),
+                Arc::new(encode_image(&self.machine.snapshot(), &self.sessions)),
             );
             out.broadcast(self.n, self.id, PbftMsg::Checkpoint(Box::new(garbage)));
             return;
         }
-        let digest = self.machine.state_digest();
-        let snapshot = Arc::new(self.machine.snapshot());
-        let voucher = self.ckpt.record_local(exec_seq, digest, self.log.committed(), snapshot);
+        // Certificates digest the full checkpoint *image* — KV snapshot
+        // plus client sessions — so a recovered replica's dedup state is
+        // covered by the same f+1 vouchers as the application state.
+        let image = Arc::new(encode_image(&self.machine.snapshot(), &self.sessions));
+        let digest = rsoc_crypto::sha256(&image);
+        let voucher = self.ckpt.record_local(exec_seq, digest, self.log.committed(), image);
         out.broadcast(self.n, self.id, PbftMsg::Checkpoint(Box::new(voucher.clone())));
         if self.ckpt.record(&voucher).is_some() {
             self.apply_truncation();
@@ -722,7 +738,9 @@ impl PbftReplica {
             self.ckpt.note_rejected();
             return; // corrupted snapshot: digest does not match the cert
         }
-        if KvStore::install_snapshot(&st.snapshot).is_none() {
+        let parses = decode_image(&st.snapshot)
+            .is_some_and(|(kv, _)| KvStore::install_snapshot(kv).is_some());
+        if !parses {
             self.ckpt.note_rejected();
             return; // digest collision is out of scope; malformed framing is not
         }
@@ -735,9 +753,17 @@ impl PbftReplica {
     /// Installs a quorum-voted transfer: snapshot, certificate, voted log
     /// suffix; then rejoins the cluster's view and resumes execution.
     fn install_transfer(&mut self, plan: CstInstall, out: &mut Outbox<PbftMsg>) {
-        let Some(machine) = KvStore::install_snapshot(&plan.snapshot) else { return };
+        let Some((kv, sessions)) = decode_image(&plan.snapshot) else { return };
+        let Some(machine) = KvStore::install_snapshot(kv) else { return };
         self.ckpt.adopt_cert(&plan.cert);
         self.machine = machine;
+        // Restore the dedup index for ops below the watermark: a client
+        // retrying a committed op gets its original reply back instead of
+        // silently landing on this replica's pending watchlist.
+        self.sessions = sessions;
+        for (client, seq, result) in self.sessions.iter() {
+            self.executed.insert(OpId { client, seq }, result.clone());
+        }
         self.log.reset_to(plan.log_base);
         self.replay_ring = SeqWindow::with_base(plan.cert.seq + 1);
         self.exec_upto = plan.cert.seq;
@@ -786,7 +812,10 @@ impl PbftReplica {
             let log_seq = self.log.committed() + 1;
             let result = Arc::new(self.machine.apply(&req.payload));
             self.log.push(LogEntry { seq: log_seq, op: req.op, digest });
-            self.executed.insert(req.op, result);
+            self.executed.insert(req.op, result.clone());
+            if self.ckpt.enabled() {
+                self.sessions.note(req.op.client, req.op.seq, result);
+            }
             self.pending.remove(&req.op);
         }
         if self.ckpt.enabled() {
@@ -1115,6 +1144,7 @@ impl ReplicaNode for PbftReplica {
         self.machine = KvStore::new();
         self.replay_ring = SeqWindow::with_base(1);
         self.cst.clear();
+        self.sessions.clear();
         self.durable.clear();
         self.vc_votes.clear();
         self.vc_sent_for = 0;
@@ -1168,15 +1198,21 @@ impl ReplicaNode for PbftReplica {
             // Disk contents are ingress: the certificate and snapshot are
             // re-verified exactly as a transfer response would be.
             if self.ckpt.verify_cert(&cert) && snapshot_matches(&cert, &snapshot) {
-                if let Some(machine) = KvStore::install_snapshot(&snapshot) {
-                    self.ckpt.adopt_cert(&cert);
-                    self.machine = machine;
-                    self.log.reset_to(log_len);
-                    self.replay_ring = SeqWindow::with_base(cert.seq + 1);
-                    self.exec_upto = cert.seq;
-                    self.slots.retire_below(cert.seq + 1);
-                    self.stored_preprepares.retire_below(cert.seq + 1);
-                    report.installed_seq = cert.seq;
+                if let Some((kv, sessions)) = decode_image(&snapshot) {
+                    if let Some(machine) = KvStore::install_snapshot(kv) {
+                        self.ckpt.adopt_cert(&cert);
+                        self.machine = machine;
+                        self.sessions = sessions;
+                        for (client, seq, result) in self.sessions.iter() {
+                            self.executed.insert(OpId { client, seq }, result.clone());
+                        }
+                        self.log.reset_to(log_len);
+                        self.replay_ring = SeqWindow::with_base(cert.seq + 1);
+                        self.exec_upto = cert.seq;
+                        self.slots.retire_below(cert.seq + 1);
+                        self.stored_preprepares.retire_below(cert.seq + 1);
+                        report.installed_seq = cert.seq;
+                    }
                 }
             }
         }

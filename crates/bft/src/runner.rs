@@ -33,7 +33,9 @@ use crate::api::{
     ClientId, Cluster, Endpoint, Input, OpId, Outbox, ReplicaId, ReplicaNode, Request,
 };
 use crate::plane::{step_node, Transport};
-use rsoc_sim::{Histogram, SimRng, TimingWheel};
+use rsoc_sim::{
+    Arrival, ArrivalGen, Histogram, KeyDist, KeyPicker, LogHistogram, RateMod, SimRng, TimingWheel,
+};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -379,6 +381,10 @@ enum Queued<M> {
     RejuvTick {
         replica: u32,
     },
+    /// Open-loop plane: the next workload arrival is due. Never queued by
+    /// the closed-loop path; the generator state lives in
+    /// [`run_open_loop`]'s locals, so the event carries nothing.
+    Arrival,
 }
 
 /// Runtime state of one scenario interpretation: the dense per-replica
@@ -746,6 +752,8 @@ pub fn run_scenario<C: Cluster>(
                 cluster.nodes_mut()[replica as usize].wipe();
                 fault.rejuvenations += 1;
             }
+            // Open-loop plane event: never queued by the closed-loop path.
+            Queued::Arrival => {}
         }
         // Early exit when all clients have finished.
         if clients.iter().all(|c| c.done >= c.target) {
@@ -866,6 +874,314 @@ pub fn client_payload(seed: u64, client: u32, seq: u64, payload_size: usize) -> 
     let copy_len = text.len().min(payload.len());
     payload[..copy_len].copy_from_slice(&text.as_bytes()[..copy_len]);
     payload
+}
+
+// ------------------------------------------------------------- open loop
+
+/// Users per page of the dense per-user sequence table.
+const USER_PAGE: usize = 4096;
+
+/// Dense per-user sequence counters, paged so a million-user population
+/// costs memory proportional to the pages actually *touched* — no
+/// per-user allocation, no hashing on the arrival hot path. A `u32`
+/// per user bounds each user at 2^32 ops, far beyond any finite run.
+struct UserTable {
+    pages: Vec<Option<Box<[u32; USER_PAGE]>>>,
+    /// Users that have issued at least one op.
+    distinct: u64,
+}
+
+impl UserTable {
+    fn new(users: u32) -> Self {
+        let n_pages = (users.max(1) as usize).div_ceil(USER_PAGE);
+        UserTable { pages: (0..n_pages).map(|_| None).collect(), distinct: 0 }
+    }
+
+    /// Bumps and returns user `u`'s next 1-based sequence number.
+    fn bump(&mut self, u: u32) -> u64 {
+        let (p, i) = (u as usize / USER_PAGE, u as usize % USER_PAGE);
+        let page = self.pages[p].get_or_insert_with(|| Box::new([0u32; USER_PAGE]));
+        page[i] += 1;
+        if page[i] == 1 {
+            self.distinct += 1;
+        }
+        page[i] as u64
+    }
+}
+
+/// The open-loop workload: an arrival process (modulated by rate
+/// envelopes) decides *when* ops are injected, a key distribution decides
+/// *which user* issues each one. Unlike the closed-loop clients, arrivals
+/// never wait for replies — a saturated cluster accumulates in-flight ops
+/// instead of back-pressuring the generator, which is what exposes
+/// queueing-delay tails (and long-run state like the MinBFT resend ring)
+/// that a closed loop structurally cannot reach.
+#[derive(Debug, Clone)]
+pub struct OpenLoopSpec {
+    /// Inter-arrival process.
+    pub arrival: Arrival,
+    /// Rate envelopes composed on top of `arrival` (diurnal ramps, flash
+    /// crowds). Empty = the bare process.
+    pub mods: Vec<RateMod>,
+    /// User-identity distribution: its keyspace is the client population,
+    /// its shape the access skew (hot users issue more traffic).
+    pub users: KeyDist,
+    /// Total ops to inject; the run ends when all are committed (or
+    /// `max_cycles` strikes).
+    pub total_ops: u64,
+}
+
+/// Outcome of one open-loop run.
+#[derive(Debug, Clone)]
+pub struct OpenLoopReport {
+    /// Protocol name.
+    pub protocol: &'static str,
+    /// Replica count used.
+    pub n_replicas: usize,
+    /// Ops injected by the arrival process.
+    pub issued: u64,
+    /// Ops acknowledged (reply quorum reached).
+    pub committed: u64,
+    /// Users that issued at least one op.
+    pub distinct_users: u64,
+    /// Commit latencies in virtual cycles, log-bucketed and mergeable.
+    pub latency: LogHistogram,
+    /// All messages sent (client + protocol + replies).
+    pub messages_total: u64,
+    /// Replica→replica protocol messages only.
+    pub messages_protocol: u64,
+    /// Client retransmissions observed.
+    pub retries: u64,
+    /// Whether all correct replicas' logs were prefix-compatible.
+    pub safety_ok: bool,
+    /// Virtual duration of the run.
+    pub duration_cycles: u64,
+    /// Batch size the run was configured with (for reports).
+    pub batch_size: usize,
+}
+
+/// Runs `cluster` under an open-loop workload, optionally scripted by
+/// `scenario`. Deterministic for identical `(cluster, config, spec,
+/// scenario)` — the workload draws from its own RNG streams
+/// (`seed ^ 0x0A22_17A1`), so the arrival schedule and user sequence are
+/// invariant across protocols and batch sizes.
+///
+/// Scenario support covers replica scripts (crash/silence/content
+/// attacks, rejuvenation), partitions, and link faults. Flood and replay
+/// schedules are closed-loop-plane constructs and are not interpreted
+/// here (the open loop *is* the traffic source).
+pub fn run_open_loop<C: Cluster>(
+    cluster: &mut C,
+    config: &RunConfig,
+    spec: &OpenLoopSpec,
+    scenario: &Scenario,
+) -> OpenLoopReport {
+    let n = cluster.nodes().len();
+    for (r, s) in &scenario.replicas {
+        if (*r as usize) < n {
+            cluster.set_script(ReplicaId(*r), s.clone());
+        }
+    }
+    let mut fault: FaultCtx<<C::Node as ReplicaNode>::Msg> =
+        FaultCtx::new(scenario, n, config.seed);
+    let mut rng = SimRng::new(config.seed ^ 0xB07_F00D);
+    // Dedicated workload streams: other subsystems' draws (latencies,
+    // faults) never perturb the arrival schedule or the user sequence.
+    let workload_rng = SimRng::new(config.seed ^ 0x0A22_17A1);
+    let mut arrivals = ArrivalGen::new(spec.arrival, spec.mods.clone(), workload_rng.fork(0));
+    let mut pick_rng = workload_rng.fork(1);
+    let picker = KeyPicker::new(spec.users);
+    let mut table = UserTable::new(picker.keyspace());
+
+    let mut queue: TimingWheel<Queued<<C::Node as ReplicaNode>::Msg>> = TimingWheel::new();
+    let mut now: u64 = 0;
+    let mut egress_free: Vec<u64> = vec![0; n];
+
+    let mut messages_total = 0u64;
+    let mut messages_protocol = 0u64;
+    let mut latency = LogHistogram::new();
+    let mut committed = 0u64;
+    let mut issued = 0u64;
+    let mut retries = 0u64;
+
+    // In-flight ops, keyed sparsely by identity: a hot user may have many
+    // ops outstanding at once, and a million-user population must not pay
+    // per-user state for the idle majority.
+    let mut pending: crate::dense::OpIndex<PendingOp> = crate::dense::OpIndex::new();
+
+    let quorum = cluster.reply_quorum();
+    let mut out: Outbox<<C::Node as ReplicaNode>::Msg> = Outbox::new();
+
+    macro_rules! push_event {
+        ($at:expr, $ev:expr) => {{
+            queue.push($at, $ev);
+        }};
+    }
+
+    macro_rules! step_replica {
+        ($r:expr, $input:expr, $now:expr, $push:expr) => {{
+            let mut plane = SimPlane {
+                config,
+                rng: &mut rng,
+                egress_free: &mut egress_free,
+                messages_total: &mut messages_total,
+                messages_protocol: &mut messages_protocol,
+                fault: &mut fault,
+                push: $push,
+            };
+            step_node(&mut cluster.nodes_mut()[$r.0 as usize], $input, $now, &mut out, &mut plane);
+        }};
+    }
+
+    // Fan one wire copy of `req` to every replica, latency-sampled.
+    macro_rules! broadcast_request {
+        ($req:expr, $client:expr, $now:expr) => {{
+            for i in 0..n {
+                let to = Endpoint::Replica(ReplicaId(i as u32));
+                let delay = config.latency.sample(Endpoint::Client($client), to, &mut rng);
+                messages_total += 1;
+                push_event!(
+                    $now + delay,
+                    Queued::Deliver {
+                        from: Endpoint::Client($client),
+                        to,
+                        msg: C::Node::make_request($req.clone()),
+                    }
+                );
+            }
+        }};
+    }
+
+    if spec.total_ops > 0 {
+        push_event!(arrivals.next_arrival(), Queued::Arrival);
+    }
+    if fault.active {
+        for (r, script) in fault.scripts.iter().enumerate() {
+            for &at in script.rejuvenations() {
+                push_event!(at, Queued::RejuvTick { replica: r as u32 });
+            }
+        }
+    }
+
+    while let Some((at, ev)) = queue.pop() {
+        if at > config.max_cycles {
+            now = config.max_cycles;
+            break;
+        }
+        now = at;
+        match ev {
+            Queued::Arrival => {
+                let user = picker.pick(&mut pick_rng);
+                let seq = table.bump(user);
+                let client = ClientId(user);
+                let op = OpId { client, seq };
+                let payload = client_payload(config.seed, user, seq, config.payload_size);
+                let req = Arc::new(Request { op, payload });
+                pending.insert(
+                    op,
+                    PendingOp { request: req.clone(), sent_at: now, replies: Vec::new() },
+                );
+                issued += 1;
+                broadcast_request!(req, client, now);
+                push_event!(
+                    now + config.client_timeout,
+                    Queued::ClientTimer { client, op_seq: seq }
+                );
+                if issued < spec.total_ops {
+                    // Absolute times: the generator's clock *is* the
+                    // arrival schedule, strictly increasing past `now`.
+                    push_event!(arrivals.next_arrival(), Queued::Arrival);
+                }
+            }
+            Queued::Deliver { from, to, msg } => match to {
+                Endpoint::Replica(r) => {
+                    step_replica!(r, Input::Message { from, msg }, now, &mut |at, ev| {
+                        queue.push(at, ev)
+                    });
+                }
+                Endpoint::Client(c) => {
+                    let Some(reply) = C::Node::as_reply(&msg) else { continue };
+                    if reply.op.client != c {
+                        continue;
+                    }
+                    let Some(op) = pending.get_mut(&reply.op) else { continue };
+                    let voters = match op.replies.iter_mut().find(|(r, _)| *r == reply.result) {
+                        Some((_, v)) => v,
+                        None => {
+                            op.replies.push((reply.result.clone(), 0));
+                            &mut op.replies.last_mut().expect("just pushed").1
+                        }
+                    };
+                    *voters |= 1u64 << (reply.replica.0 & 63);
+                    if voters.count_ones() as usize >= quorum {
+                        committed += 1;
+                        latency.record(now - op.sent_at);
+                        pending.remove(&reply.op);
+                    }
+                }
+            },
+            Queued::ReplicaTimer { replica, kind, token } => {
+                step_replica!(replica, Input::Timer { kind, token }, now, &mut |at, ev| {
+                    queue.push(at, ev)
+                });
+            }
+            Queued::ClientTimer { client, op_seq } => {
+                let op = OpId { client, seq: op_seq };
+                if let Some(p) = pending.get(&op) {
+                    retries += 1;
+                    let req = p.request.clone();
+                    broadcast_request!(req, client, now);
+                    push_event!(
+                        now + config.client_timeout,
+                        Queued::ClientTimer { client, op_seq }
+                    );
+                }
+            }
+            Queued::RejuvTick { replica } => {
+                cluster.nodes_mut()[replica as usize].wipe();
+                fault.rejuvenations += 1;
+            }
+            // Closed-loop-plane scenario events: never scheduled here.
+            Queued::FloodTick { .. } | Queued::ReplayTick { .. } => {}
+        }
+        if issued >= spec.total_ops && pending.is_empty() {
+            break;
+        }
+    }
+
+    // Quiesce: drain in-flight deliveries (and the cascades they trigger)
+    // so checkpoint/state-transfer exchanges settle before the safety
+    // check; timers die with the run. Same bound as the closed loop.
+    if issued >= spec.total_ops && pending.is_empty() {
+        let mut drained = 0u64;
+        while let Some((at, ev)) = queue.pop() {
+            if at > config.max_cycles || drained > 5_000_000 {
+                break;
+            }
+            drained += 1;
+            let Queued::Deliver { from, to: Endpoint::Replica(r), msg } = ev else { continue };
+            step_replica!(r, Input::Message { from, msg }, at, &mut |at2, ev| {
+                if matches!(ev, Queued::Deliver { .. }) {
+                    queue.push(at2, ev);
+                }
+            });
+        }
+    }
+
+    OpenLoopReport {
+        protocol: cluster.protocol_name(),
+        n_replicas: n,
+        issued,
+        committed,
+        distinct_users: table.distinct,
+        latency,
+        messages_total,
+        messages_protocol,
+        retries,
+        safety_ok: check_safety(cluster),
+        duration_cycles: now,
+        batch_size: config.batch_size,
+    }
 }
 
 /// The simulator's side of the sans-io boundary: the first (and

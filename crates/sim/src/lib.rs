@@ -33,11 +33,13 @@ pub mod slab;
 pub mod stats;
 pub mod time;
 pub mod wheel;
+pub mod workload;
 
 pub use engine::{Action, Engine};
 pub use rng::SimRng;
 pub use script::{PulseTrain, Window};
 pub use slab::Slab;
-pub use stats::{Counter, Histogram, OnlineStats, TimeSeries};
+pub use stats::{Counter, Histogram, LogHistogram, OnlineStats, TimeSeries};
 pub use time::SimTime;
 pub use wheel::TimingWheel;
+pub use workload::{Arrival, ArrivalGen, KeyDist, KeyPicker, RateMod};

@@ -1,0 +1,422 @@
+//! Rate-scheduled workload generators.
+//!
+//! Generalizes the fixed-period [`crate::PulseTrain`] into open-loop
+//! arrival processes: Poisson or bursty inter-arrival draws, modulated by
+//! composable rate envelopes (diurnal ramps, flash crowds), plus skewed
+//! key pickers for hot-set and Zipf access patterns. Everything draws from
+//! a [`SimRng`] stream, so a workload is replayed bit-identically from its
+//! seed — the property every byte-compare gate in CI relies on.
+//!
+//! Rates are expressed in integer per-mille factors and gaps in whole
+//! cycles so the arrival *schedule* itself stays integer-exact; only the
+//! inter-arrival draws consume floating point, in a fixed draw order.
+//!
+//! ```
+//! use rsoc_sim::{Arrival, ArrivalGen, SimRng};
+//! let mut gen = ArrivalGen::new(Arrival::Poisson { mean_gap: 20 }, vec![], SimRng::new(7));
+//! let a = gen.next_arrival();
+//! let b = gen.next_arrival();
+//! assert!(b > a); // strictly increasing virtual-cycle times
+//! ```
+
+use crate::rng::SimRng;
+use crate::script::Window;
+
+/// Inter-arrival process for an open-loop client plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arrival {
+    /// Fixed gap between arrivals (the old `PulseTrain` shape).
+    Periodic {
+        /// Cycles between consecutive arrivals (min 1).
+        gap: u64,
+    },
+    /// Exponentially distributed gaps: a Poisson arrival process.
+    Poisson {
+        /// Mean cycles between arrivals (min 1).
+        mean_gap: u64,
+    },
+    /// Closely spaced bursts separated by exponential quiet gaps.
+    Bursty {
+        /// Arrivals per burst (min 1).
+        burst: u32,
+        /// Gap between arrivals inside a burst (min 1).
+        gap_in: u64,
+        /// Mean quiet gap between bursts (min 1).
+        mean_gap_between: u64,
+    },
+}
+
+/// A multiplicative rate envelope applied on top of an [`Arrival`] spec.
+///
+/// Factors are integer per-mille (1000 = 1.0×). Multiple modifiers
+/// compose by product. A higher rate shrinks the drawn gap; gaps are
+/// clamped to ≥ 1 cycle so time always advances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RateMod {
+    /// Triangle-wave rate swing with the given period: rate ramps
+    /// linearly `low → high` over the first half-period and back down
+    /// over the second, repeating forever.
+    Diurnal {
+        /// Full wave period in cycles (min 2).
+        period: u64,
+        /// Rate factor at the trough, per-mille.
+        low_per_mille: u64,
+        /// Rate factor at the peak, per-mille.
+        high_per_mille: u64,
+    },
+    /// A step spike: rate is multiplied by `mult_per_mille` while inside
+    /// the window, 1.0× outside.
+    FlashCrowd {
+        /// Cycles during which the crowd is present.
+        window: Window,
+        /// Rate multiplier inside the window, per-mille.
+        mult_per_mille: u64,
+    },
+}
+
+impl RateMod {
+    /// Per-mille rate factor contributed by this modifier at time `now`.
+    fn factor_at(&self, now: u64) -> u64 {
+        match *self {
+            RateMod::Diurnal { period, low_per_mille, high_per_mille } => {
+                let period = period.max(2);
+                let half = period / 2;
+                let phase = now % period;
+                // Distance from the trough, folded into [0, half].
+                let up = if phase <= half { phase } else { period - phase };
+                let (lo, hi) =
+                    (low_per_mille.min(high_per_mille), low_per_mille.max(high_per_mille));
+                let base = if low_per_mille <= high_per_mille { lo } else { hi };
+                let span = hi - lo;
+                if low_per_mille <= high_per_mille {
+                    base + span * up / half.max(1)
+                } else {
+                    // Inverted swing: start at the peak.
+                    hi - span * up / half.max(1)
+                }
+            }
+            RateMod::FlashCrowd { window, mult_per_mille } => {
+                if window.contains(now) {
+                    mult_per_mille
+                } else {
+                    1000
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic open-loop arrival generator: an [`Arrival`] process
+/// modulated by zero or more [`RateMod`] envelopes, yielding strictly
+/// increasing absolute virtual-cycle arrival times.
+#[derive(Debug, Clone)]
+pub struct ArrivalGen {
+    spec: Arrival,
+    mods: Vec<RateMod>,
+    rng: SimRng,
+    /// Time of the most recent arrival (0 before the first).
+    now: u64,
+    /// Remaining arrivals in the current burst (Bursty only).
+    burst_left: u32,
+}
+
+impl ArrivalGen {
+    /// Creates a generator. The first arrival lands one drawn gap after
+    /// cycle 0. The RNG should be a dedicated fork so other subsystems'
+    /// draws never perturb the schedule.
+    pub fn new(spec: Arrival, mods: Vec<RateMod>, rng: SimRng) -> Self {
+        let burst_left = match spec {
+            Arrival::Bursty { burst, .. } => burst.max(1),
+            _ => 0,
+        };
+        ArrivalGen { spec, mods, rng, now: 0, burst_left }
+    }
+
+    /// Composed per-mille rate factor at `now` (1000 with no modifiers).
+    fn rate_per_mille(&self, now: u64) -> u64 {
+        let mut f = 1000u64;
+        for m in &self.mods {
+            f = (f * m.factor_at(now) / 1000).max(1);
+        }
+        f
+    }
+
+    /// Draws the next base gap from the arrival spec (before modulation).
+    fn base_gap(&mut self) -> u64 {
+        match self.spec {
+            Arrival::Periodic { gap } => gap.max(1),
+            Arrival::Poisson { mean_gap } => {
+                let g = self.rng.exponential(mean_gap.max(1) as f64);
+                (g.round() as u64).max(1)
+            }
+            Arrival::Bursty { burst, gap_in, mean_gap_between } => {
+                if self.burst_left > 1 {
+                    self.burst_left -= 1;
+                    gap_in.max(1)
+                } else {
+                    self.burst_left = burst.max(1);
+                    let g = self.rng.exponential(mean_gap_between.max(1) as f64);
+                    (g.round() as u64).max(1)
+                }
+            }
+        }
+    }
+
+    /// Returns the next absolute arrival time in cycles. Strictly
+    /// increasing: consecutive arrivals are at least one cycle apart.
+    pub fn next_arrival(&mut self) -> u64 {
+        let base = self.base_gap();
+        // A rate of 2.0× halves the gap; 0.5× doubles it.
+        let rate = self.rate_per_mille(self.now);
+        let gap = (base * 1000 / rate).max(1);
+        self.now = self.now.saturating_add(gap);
+        self.now
+    }
+}
+
+/// Key-access distribution over a bounded keyspace `[0, n)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyDist {
+    /// Every key equally likely.
+    Uniform {
+        /// Keyspace size (min 1).
+        n: u32,
+    },
+    /// `hot_per_mille`/1000 of accesses hit the first `hot` keys
+    /// uniformly; the rest spread over the full keyspace.
+    HotSet {
+        /// Keyspace size (min 1).
+        n: u32,
+        /// Size of the hot set (clamped to `n`).
+        hot: u32,
+        /// Fraction of accesses routed to the hot set, per-mille.
+        hot_per_mille: u32,
+    },
+    /// Zipf-like skew: key `k` has weight `1/(k+1)^theta` with
+    /// `theta = theta_per_mille / 1000`.
+    Zipf {
+        /// Keyspace size (min 1, capped practically by CDF memory).
+        n: u32,
+        /// Skew exponent, per-mille (1000 = classic Zipf θ=1).
+        theta_per_mille: u32,
+    },
+}
+
+/// Precomputed sampler for a [`KeyDist`]. Construction is O(n) for Zipf
+/// (one CDF table); picking is O(1) or O(log n).
+#[derive(Debug, Clone)]
+pub struct KeyPicker {
+    dist: KeyDist,
+    /// Cumulative distribution for Zipf, empty otherwise.
+    cdf: Vec<f64>,
+}
+
+impl KeyPicker {
+    /// Builds the sampler, precomputing the Zipf CDF when needed.
+    pub fn new(dist: KeyDist) -> Self {
+        let cdf = match dist {
+            KeyDist::Zipf { n, theta_per_mille } => {
+                let n = n.max(1);
+                let theta = theta_per_mille as f64 / 1000.0;
+                let mut acc = 0.0;
+                let mut cdf = Vec::with_capacity(n as usize);
+                for k in 0..n {
+                    acc += 1.0 / ((k + 1) as f64).powf(theta);
+                    cdf.push(acc);
+                }
+                let total = acc;
+                for c in &mut cdf {
+                    *c /= total;
+                }
+                cdf
+            }
+            _ => Vec::new(),
+        };
+        KeyPicker { dist, cdf }
+    }
+
+    /// Number of distinct keys.
+    pub fn keyspace(&self) -> u32 {
+        match self.dist {
+            KeyDist::Uniform { n } | KeyDist::HotSet { n, .. } | KeyDist::Zipf { n, .. } => {
+                n.max(1)
+            }
+        }
+    }
+
+    /// Draws a key in `[0, keyspace)`.
+    pub fn pick(&self, rng: &mut SimRng) -> u32 {
+        match self.dist {
+            KeyDist::Uniform { n } => rng.below(n.max(1) as u64) as u32,
+            KeyDist::HotSet { n, hot, hot_per_mille } => {
+                let n = n.max(1);
+                let hot = hot.clamp(1, n);
+                if rng.below(1000) < hot_per_mille.min(1000) as u64 {
+                    rng.below(hot as u64) as u32
+                } else {
+                    rng.below(n as u64) as u32
+                }
+            }
+            KeyDist::Zipf { .. } => {
+                let u = rng.next_f64();
+                // First CDF entry >= u; the last entry is 1.0 by construction.
+                match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("CDF is NaN-free")) {
+                    Ok(i) | Err(i) => (i.min(self.cdf.len() - 1)) as u32,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(mut g: ArrivalGen, k: usize) -> Vec<u64> {
+        (0..k).map(|_| g.next_arrival()).collect()
+    }
+
+    #[test]
+    fn periodic_matches_pulse_train_shape() {
+        let g = ArrivalGen::new(Arrival::Periodic { gap: 10 }, vec![], SimRng::new(1));
+        assert_eq!(collect(g, 4), vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn arrivals_are_strictly_increasing_and_replayable() {
+        let specs = [
+            Arrival::Periodic { gap: 3 },
+            Arrival::Poisson { mean_gap: 7 },
+            Arrival::Bursty { burst: 4, gap_in: 1, mean_gap_between: 50 },
+        ];
+        for spec in specs {
+            let a = collect(ArrivalGen::new(spec, vec![], SimRng::new(42)), 500);
+            let b = collect(ArrivalGen::new(spec, vec![], SimRng::new(42)), 500);
+            assert_eq!(a, b, "same seed must replay identically");
+            assert!(a.windows(2).all(|w| w[0] < w[1]), "must strictly increase: {spec:?}");
+        }
+    }
+
+    #[test]
+    fn poisson_mean_gap_close() {
+        let arrivals = collect(
+            ArrivalGen::new(Arrival::Poisson { mean_gap: 20 }, vec![], SimRng::new(9)),
+            20_000,
+        );
+        let span = *arrivals.last().unwrap() - arrivals[0];
+        let mean = span as f64 / (arrivals.len() - 1) as f64;
+        assert!((mean - 20.0).abs() < 1.5, "mean gap {mean}");
+    }
+
+    #[test]
+    fn bursty_produces_tight_bursts() {
+        let arrivals = collect(
+            ArrivalGen::new(
+                Arrival::Bursty { burst: 5, gap_in: 1, mean_gap_between: 200 },
+                vec![],
+                SimRng::new(3),
+            ),
+            100,
+        );
+        let tight = arrivals.windows(2).filter(|w| w[1] - w[0] == 1).count();
+        // 4 of every 5 gaps are intra-burst.
+        assert!(tight >= 70, "tight gaps: {tight}");
+    }
+
+    #[test]
+    fn flash_crowd_compresses_gaps_inside_window() {
+        let mods =
+            vec![RateMod::FlashCrowd { window: Window::new(100, 200), mult_per_mille: 4000 }];
+        let arrivals =
+            collect(ArrivalGen::new(Arrival::Periodic { gap: 8 }, mods, SimRng::new(1)), 60);
+        let inside = arrivals.windows(2).filter(|w| Window::new(100, 200).contains(w[0]));
+        for w in inside {
+            assert_eq!(w[1] - w[0], 2, "4x crowd quarters the gap");
+        }
+        let before: Vec<_> = arrivals.iter().take_while(|&&t| t < 100).collect();
+        assert!(before.windows(2).all(|w| *w[1] - *w[0] == 8));
+    }
+
+    #[test]
+    fn diurnal_swings_rate_between_trough_and_peak() {
+        let m = RateMod::Diurnal { period: 1000, low_per_mille: 500, high_per_mille: 2000 };
+        assert_eq!(m.factor_at(0), 500);
+        assert_eq!(m.factor_at(500), 2000);
+        assert_eq!(m.factor_at(1000), 500);
+        let mid = m.factor_at(250);
+        assert!((1200..=1300).contains(&mid), "mid-ramp {mid}");
+        // Inverted bounds start at the peak instead.
+        let inv = RateMod::Diurnal { period: 1000, low_per_mille: 2000, high_per_mille: 500 };
+        assert_eq!(inv.factor_at(0), 2000);
+        assert_eq!(inv.factor_at(500), 500);
+    }
+
+    #[test]
+    fn rate_mods_compose_by_product() {
+        let mods = vec![
+            RateMod::FlashCrowd { window: Window::ALWAYS, mult_per_mille: 2000 },
+            RateMod::FlashCrowd { window: Window::ALWAYS, mult_per_mille: 2000 },
+        ];
+        let arrivals =
+            collect(ArrivalGen::new(Arrival::Periodic { gap: 8 }, mods, SimRng::new(1)), 10);
+        assert!(arrivals.windows(2).all(|w| w[1] - w[0] == 2), "4x total -> gap 2");
+    }
+
+    #[test]
+    fn gap_never_collapses_to_zero() {
+        let mods = vec![RateMod::FlashCrowd { window: Window::ALWAYS, mult_per_mille: 1_000_000 }];
+        let arrivals =
+            collect(ArrivalGen::new(Arrival::Periodic { gap: 1 }, mods, SimRng::new(1)), 50);
+        assert!(arrivals.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn uniform_picker_covers_keyspace() {
+        let p = KeyPicker::new(KeyDist::Uniform { n: 8 });
+        let mut rng = SimRng::new(5);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[p.pick(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(p.keyspace(), 8);
+    }
+
+    #[test]
+    fn hot_set_skews_to_front() {
+        let p = KeyPicker::new(KeyDist::HotSet { n: 1000, hot: 10, hot_per_mille: 900 });
+        let mut rng = SimRng::new(11);
+        let hot_hits = (0..10_000).filter(|_| p.pick(&mut rng) < 10).count();
+        // ~90% routed to the hot set plus ~1% uniform spillover.
+        assert!((8_500..=9_500).contains(&hot_hits), "hot hits {hot_hits}");
+    }
+
+    #[test]
+    fn zipf_is_monotone_decreasing_in_rank() {
+        let p = KeyPicker::new(KeyDist::Zipf { n: 100, theta_per_mille: 1000 });
+        let mut rng = SimRng::new(13);
+        let mut counts = [0u32; 100];
+        for _ in 0..50_000 {
+            counts[p.pick(&mut rng) as usize] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[50], "{counts:?}");
+        // Classic Zipf: rank 0 draws ~1/H(100) ≈ 19% of traffic.
+        assert!((7_000..=12_000).contains(&counts[0]), "head count {}", counts[0]);
+    }
+
+    #[test]
+    fn pickers_replay_identically() {
+        for dist in [
+            KeyDist::Uniform { n: 64 },
+            KeyDist::HotSet { n: 64, hot: 4, hot_per_mille: 800 },
+            KeyDist::Zipf { n: 64, theta_per_mille: 900 },
+        ] {
+            let p = KeyPicker::new(dist);
+            let mut r1 = SimRng::new(77);
+            let mut r2 = SimRng::new(77);
+            for _ in 0..200 {
+                assert_eq!(p.pick(&mut r1), p.pick(&mut r2));
+            }
+        }
+    }
+}

@@ -8,8 +8,10 @@
 //!     --expect-digest <hex from a simulator run of the same log>
 //! ```
 //!
-//! On success prints a `LATENCY p50_us=<n> p99_us=<n> p999_us=<n>` line
-//! (wall-clock request latency percentiles) followed by `CLIENT_DONE
+//! On success prints a `LATENCY p50_us=<n> p99_us=<n> p999_us=<n>
+//! max_us=<n> samples=<n>` line (wall-clock request latency percentiles,
+//! read from the same log-bucketed histogram the simulator's open-loop
+//! plane records in virtual cycles) followed by `CLIENT_DONE
 //! committed=<n> digest=<hex> retransmits=<n>`; any quorum failure,
 //! divergence, or digest mismatch exits nonzero.
 
@@ -105,8 +107,12 @@ fn run() -> Result<(), String> {
         }
     }
     println!(
-        "LATENCY p50_us={} p99_us={} p999_us={}",
-        report.latency.p50_us, report.latency.p99_us, report.latency.p999_us
+        "LATENCY p50_us={} p99_us={} p999_us={} max_us={} samples={}",
+        report.latency.p50_us,
+        report.latency.p99_us,
+        report.latency.p999_us,
+        report.latency.max_us,
+        report.latency_hist.count()
     );
     println!(
         "CLIENT_DONE committed={} digest={} retransmits={}",

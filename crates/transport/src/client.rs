@@ -14,6 +14,7 @@ use crate::wire::{decode_envelope, encode_envelope, Envelope};
 use rsoc_bft::api::{ClientId, Endpoint, OpId, ReplicaNode, Request};
 use rsoc_bft::codec::Wire;
 use rsoc_bft::runner::client_payload;
+use rsoc_sim::LogHistogram;
 use std::io;
 use std::net::TcpStream;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
@@ -52,7 +53,7 @@ pub struct ClientConfig {
 }
 
 /// What a completed cluster run reports.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClientReport {
     /// Operations committed (always `clients * requests_per_client` on
     /// success — the run fails rather than under-commit).
@@ -63,6 +64,12 @@ pub struct ClientReport {
     pub retransmits: u64,
     /// Wall-clock per-operation latency percentiles.
     pub latency: LatencySummary,
+    /// The full log-bucketed wall-clock latency distribution, in
+    /// microseconds — the same mergeable structure the simulator's
+    /// open-loop plane records in virtual cycles, so multi-process
+    /// client fleets can merge their distributions before taking
+    /// percentiles (percentiles themselves do not merge).
+    pub latency_hist: LogHistogram,
 }
 
 /// Wall-clock latency percentiles over every completed operation
@@ -75,17 +82,22 @@ pub struct LatencySummary {
     pub p99_us: u64,
     /// 99.9th percentile, in microseconds.
     pub p999_us: u64,
+    /// Largest observed latency, in microseconds (bucket-quantized).
+    pub max_us: u64,
 }
 
 impl LatencySummary {
-    /// Nearest-rank percentiles of `samples` (empty → all zeros).
-    fn from_samples(mut samples: Vec<u64>) -> Self {
-        if samples.is_empty() {
-            return LatencySummary::default();
+    /// Reads the percentiles out of a log-bucketed distribution (empty
+    /// → all zeros). Quantiles are nearest-rank over buckets, so a
+    /// summary is reproducible from a merged histogram — unlike sorting
+    /// raw samples, which a multi-process fleet no longer has.
+    fn from_histogram(hist: &LogHistogram) -> Self {
+        LatencySummary {
+            p50_us: hist.quantile(0.5).unwrap_or(0),
+            p99_us: hist.quantile(0.99).unwrap_or(0),
+            p999_us: hist.quantile(0.999).unwrap_or(0),
+            max_us: hist.max().unwrap_or(0),
         }
-        samples.sort_unstable();
-        let rank = |per_mille: usize| samples[(samples.len() - 1) * per_mille / 1000];
-        LatencySummary { p50_us: rank(500), p99_us: rank(990), p999_us: rank(999) }
     }
 }
 
@@ -121,7 +133,7 @@ where
     // requests stay maximally spread across batching windows, and the
     // tally below never has to demux concurrent ops.
     let mut retransmits = 0u64;
-    let mut latencies = Vec::with_capacity((config.requests_per_client * 4) as usize);
+    let mut latency_hist = LogHistogram::new();
     for seq in 1..=config.requests_per_client {
         for client in 0..config.clients {
             let payload = client_payload(config.seed, client, seq, config.payload_size);
@@ -129,7 +141,7 @@ where
             let request = Arc::new(Request { op, payload });
             let start = Instant::now();
             retransmits += run_one_op::<N>(config, &mut conns, &rx, &request)?;
-            latencies.push(start.elapsed().as_micros().min(u64::MAX as u128) as u64);
+            latency_hist.record(start.elapsed().as_micros().min(u64::MAX as u128) as u64);
         }
     }
 
@@ -142,7 +154,8 @@ where
         committed,
         digest,
         retransmits,
-        latency: LatencySummary::from_samples(latencies),
+        latency: LatencySummary::from_histogram(&latency_hist),
+        latency_hist,
     })
 }
 
